@@ -1,0 +1,40 @@
+//! Criterion bench for E10: metadata ops and the small-file read path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_hopsfs::load::populate;
+use ee_hopsfs::{FileSystem, FsConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_hopsfs");
+    for &shards in &[1usize, 16] {
+        let fs = FileSystem::new(FsConfig {
+            shards,
+            ..FsConfig::default()
+        });
+        populate(&fs, 8, 4);
+        group.bench_with_input(BenchmarkId::new("stat", shards), &shards, |b, _| {
+            b.iter(|| fs.stat("/bench/d0003/f0001").unwrap().id)
+        });
+        group.bench_with_input(BenchmarkId::new("list", shards), &shards, |b, _| {
+            b.iter(|| fs.list("/bench/d0003").unwrap().len())
+        });
+    }
+    // Inline vs block read.
+    let fs = FileSystem::new(FsConfig::default());
+    fs.create("/small", &vec![1u8; 16 << 10]).unwrap();
+    fs.create("/big", &vec![1u8; 4 << 20]).unwrap();
+    group.bench_function("read_small_16KiB_inline", |b| {
+        b.iter(|| fs.read("/small").unwrap().len())
+    });
+    group.bench_function("read_big_4MiB_blocks", |b| {
+        b.iter(|| fs.read("/big").unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for E11: the PROMET-lite full-year run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ee_datasets::landscape::LandscapeConfig;
+use ee_datasets::Landscape;
+use ee_food::promet::{run, PrometConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_water");
+    let world = Landscape::generate(LandscapeConfig {
+        size: 48,
+        parcels_per_side: 6,
+        ..LandscapeConfig::default()
+    })
+    .unwrap();
+    group.bench_function("promet_year_48px", |b| {
+        b.iter(|| {
+            run(&world, &world.truth, PrometConfig::default())
+                .unwrap()
+                .runoff_mm
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

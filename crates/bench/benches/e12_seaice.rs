@@ -1,0 +1,43 @@
+//! Criterion bench for E12: SAR simulation, product aggregation, PCDSS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ee_datasets::seaice::{IceWorld, IceWorldConfig};
+use ee_polar::icemap::{products_from_map, truth_masks};
+use ee_polar::pcdss::encode_bundle;
+use ee_util::timeline::Date;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_seaice");
+    let world = IceWorld::generate(IceWorldConfig {
+        size: 80,
+        days: 2,
+        ..IceWorldConfig::default()
+    })
+    .unwrap();
+    group.bench_function("simulate_sar_80px", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            world
+                .simulate_sar(0, Date::new(2017, 2, 10).unwrap(), seed)
+                .unwrap()
+                .num_bands()
+        })
+    });
+    let (truth, lead, ridge) = truth_masks(&world, 0);
+    group.bench_function("products_1km", |b| {
+        b.iter(|| products_from_map(&truth, &lead, &ridge, 25).concentration.mean())
+    });
+    let products = products_from_map(&truth, &lead, &ridge, 10);
+    group.bench_function("pcdss_encode", |b| {
+        b.iter(|| encode_bundle(&products, 1_000_000).unwrap().bytes())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

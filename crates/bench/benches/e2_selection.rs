@@ -1,0 +1,29 @@
+//! Criterion bench for E2: rectangular selection, indexed vs scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_bench::e2_selection::{point_store, selection_query};
+use ee_rdf::exec::query;
+use ee_rdf::store::IndexMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_selection");
+    for &n in &[10_000usize] {
+        let indexed = point_store(n, IndexMode::Full, 7);
+        let q = selection_query(30.0, 30.0);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| query(&indexed, &q).unwrap().len())
+        });
+        let scan = point_store(n, IndexMode::Scan, 7);
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| query(&scan, &q).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

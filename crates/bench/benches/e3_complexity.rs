@@ -1,0 +1,30 @@
+//! Criterion bench for E3: selection latency vs geometry complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_bench::e3_complexity::{geometry_store, GeomClass};
+use ee_bench::e2_selection::selection_query;
+use ee_rdf::exec::query;
+use ee_rdf::store::IndexMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_complexity");
+    let q = selection_query(30.0, 30.0);
+    for (label, class) in [
+        ("point", GeomClass::Point),
+        ("polygon64", GeomClass::Polygon(64)),
+        ("multipolygon64", GeomClass::MultiPolygon(64)),
+    ] {
+        let store = geometry_store(10_000, class, IndexMode::Full, 11);
+        group.bench_with_input(BenchmarkId::new("indexed", label), &label, |b, _| {
+            b.iter(|| query(&store, &q).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for E4: one synchronous training iteration priced on
+//! the NIC model, per strategy and worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_bench::e4_distributed::{cluster, workload};
+use ee_dl::distributed::{simulate_iteration, Strategy};
+use ee_util::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_distributed");
+    let spec = cluster(72);
+    let w = workload();
+    for &workers in &[4usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("allreduce", workers),
+            &workers,
+            |b, &n| {
+                let mut rng = Rng::seed_from(1);
+                b.iter(|| {
+                    simulate_iteration(&spec, &w, n, Strategy::RingAllReduce, &mut rng).unwrap()
+                })
+            },
+        );
+        if workers + 4 <= spec.num_nodes() {
+            group.bench_with_input(
+                BenchmarkId::new("parameter_server", workers),
+                &workers,
+                |b, &n| {
+                    let mut rng = Rng::seed_from(1);
+                    b.iter(|| {
+                        simulate_iteration(
+                            &spec,
+                            &w,
+                            n,
+                            Strategy::ParameterServer { servers: 4 },
+                            &mut rng,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for E6: scene simulation + patch-cutting throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ee_bench::e6_datasets::generate_batch;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_datasets");
+    group.bench_function("world_scene_patches_64px", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_batch(64, 16, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for E7: link discovery across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_bench::e7_interlink::entity_sets;
+use ee_interlink::discover::{discover, DiscoverConfig};
+use ee_interlink::entity::{LinkRule, SpatialRelation};
+use ee_interlink::meta::Pruning;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_interlink");
+    let (src, tgt) = entity_sets(1500, 13);
+    let rule = LinkRule::spatial(SpatialRelation::Intersects);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("wep", threads), &threads, |b, &t| {
+            b.iter(|| {
+                discover(
+                    &src,
+                    &tgt,
+                    rule,
+                    DiscoverConfig {
+                        grid_cells: 96,
+                        threads: t,
+                        pruning: Pruning::WeightedEdge,
+                    },
+                )
+                .unwrap()
+                .links
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

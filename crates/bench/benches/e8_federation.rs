@@ -1,0 +1,28 @@
+//! Criterion bench for E8: federated query plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_bench::e8_federation::{federation, JOIN_QUERY, SPATIAL_QUERY};
+use ee_federation::{federated_query, FederationCatalog, Mode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_federation");
+    let endpoints = federation(1000, 3);
+    let catalog = FederationCatalog::build(&endpoints);
+    for (name, q) in [("join", JOIN_QUERY), ("spatial", SPATIAL_QUERY)] {
+        for (plan, mode) in [("naive", Mode::Naive), ("optimized", Mode::Optimized)] {
+            group.bench_with_input(
+                BenchmarkId::new(plan, name),
+                &mode,
+                |b, &m| b.iter(|| federated_query(&endpoints, &catalog, q, m).unwrap().rows.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

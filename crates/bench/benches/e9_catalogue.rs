@@ -1,0 +1,38 @@
+//! Criterion bench for E9: classic vs semantic catalogue search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ee_catalogue::classic::Search;
+use ee_catalogue::{ClassicCatalogue, ProductGenerator, SemanticCatalogue};
+use ee_geo::Envelope;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_catalogue");
+    for &n in &[5_000usize] {
+        let region = Envelope::new(0.0, 0.0, 40.0, 40.0);
+        let products = ProductGenerator::new(region, 2017, 5).take(n);
+        let classic = ClassicCatalogue::build(products.clone());
+        let mut semantic = SemanticCatalogue::new();
+        for p in &products {
+            semantic.ingest_product(p);
+        }
+        semantic.finish_ingest();
+        let aoi = Envelope::new(10.0, 10.0, 12.0, 12.0);
+        group.bench_with_input(BenchmarkId::new("classic_aoi", n), &n, |b, _| {
+            b.iter(|| classic.search(&Search::aoi(aoi)).unwrap().len())
+        });
+        let q = "PREFIX eo: <http://extremeearth.eu/ont/eo#> \
+                 SELECT (COUNT(?p) AS ?n) WHERE { ?p eo:footprint ?f . \
+                 FILTER(geof:sfIntersects(?f, \"POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))\"^^geo:wktLiteral)) }";
+        group.bench_with_input(BenchmarkId::new("semantic_geosparql", n), &n, |b, _| {
+            b.iter(|| semantic.query(q).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

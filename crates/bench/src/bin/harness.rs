@@ -1,0 +1,51 @@
+//! The experiment harness: regenerates every E1–E12 table.
+//!
+//! ```text
+//! harness               # run everything at Quick scale
+//! harness --full        # the EXPERIMENTS.md scale
+//! harness e2 e3 --full  # selected experiments
+//! ```
+
+use ee_bench::{run, Scale, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() {
+        ALL.to_vec()
+    } else {
+        selected.iter().map(|s| s.as_str()).collect()
+    };
+    println!(
+        "# ExtremeEarth-rs experiment harness ({} scale)\n",
+        if scale == Scale::Full { "full" } else { "quick" }
+    );
+    for id in ids {
+        eprintln!("[harness] running {id} ...");
+        let start = std::time::Instant::now();
+        match run(id, scale) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                eprintln!(
+                    "[harness] {id} done in {:.1}s",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("[harness] unknown experiment {id:?}; known: {ALL:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! E10 — filesystem metadata throughput and the small-files path.
+//!
+//! Paper (C5, refs \[9\], \[13\], \[17\]): HopsFS scales HDFS metadata past one
+//! million ops/second by sharding it over a NewSQL database, and serves
+//! small files from the metadata layer. We sweep the shard count under a
+//! fixed multi-threaded load (the scaling *shape*), and tabulate the
+//! round-trip cost of reads across the inline-threshold boundary.
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+use ee_hopsfs::load::{read_cost, shard_sweep_point};
+use ee_hopsfs::FsConfig;
+
+/// Run E10.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (threads, ops) = match scale {
+        Scale::Quick => (4usize, 2_000u64),
+        Scale::Full => (8, 20_000),
+    };
+    let shards: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 4],
+        Scale::Full => vec![1, 2, 4, 8, 16],
+    };
+    let mut t1 = Table::new(
+        "E10a — metadata throughput vs shard count",
+        "The HopsFS architecture: namespace operations against a sharded transactional \
+         store; read-heavy industrial mix; throughput should grow with shards until \
+         thread count saturates.",
+        &[
+            "shards",
+            "ops/s",
+            "relative",
+            "fast-path commits",
+            "2PC commits",
+            "conflicts",
+        ],
+    );
+    let mut base: Option<f64> = None;
+    for &s in &shards {
+        let report = shard_sweep_point(s, threads, ops, 42);
+        let b = *base.get_or_insert(report.ops_per_sec);
+        t1.row(vec![
+            s.to_string(),
+            format!("{:.0}", report.ops_per_sec),
+            format!("{:.2}x", report.ops_per_sec / b),
+            report.single_shard_commits.to_string(),
+            report.multi_shard_commits.to_string(),
+            report.conflicts.to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E10b — small-file reads: inline (metadata layer) vs block path",
+        "Ref [17] ('Size Matters'): files at or under the inline threshold (64 KiB) are \
+         served entirely from the metadata store; larger files pay one datanode round \
+         trip per 1 MiB block.",
+        &[
+            "file size",
+            "metadata round trips",
+            "datanode round trips",
+            "total",
+        ],
+    );
+    let config = FsConfig::default(); // 64 KiB inline, 1 MiB blocks
+    for (label, size) in [
+        ("1 KiB", 1 << 10),
+        ("16 KiB", 16 << 10),
+        ("64 KiB", 64 << 10),
+        ("256 KiB", 256 << 10),
+        ("1 MiB", 1 << 20),
+        ("4 MiB", 4 << 20),
+    ] {
+        let (meta, dn) = read_cost(size, config).expect("read cost");
+        t2.row(vec![
+            label.into(),
+            meta.to_string(),
+            dn.to_string(),
+            fmt_f64((meta + dn) as f64),
+        ]);
+    }
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_help_and_small_files_skip_datanodes() {
+        let tables = run(Scale::Quick);
+        // More shards should not be slower (allowing wide tolerance on a
+        // loaded machine, just require within 30% or better).
+        let ops = |row: &Vec<String>| -> f64 { row[1].parse().unwrap() };
+        let r = &tables[0].rows;
+        assert!(
+            ops(&r[1]) > ops(&r[0]) * 0.7,
+            "4 shards at least comparable to 1: {} vs {}",
+            ops(&r[1]),
+            ops(&r[0])
+        );
+        // Small-file rows (≤ 64 KiB) have zero datanode trips.
+        for row in &tables[1].rows[..3] {
+            assert_eq!(row[2], "0", "{row:?}");
+        }
+        // 4 MiB = 4 block trips.
+        assert_eq!(tables[1].rows[5][2], "4");
+    }
+}

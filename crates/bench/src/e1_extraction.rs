@@ -1,0 +1,88 @@
+//! E1 — the information-extraction ratio.
+//!
+//! Paper (§1, Variety): "1 PB of Sentinel data may consist of about
+//! 750,000 datasets which, when processed, about 450 TB of content
+//! information and knowledge (e.g., classes of objects detected) can be
+//! generated." We run the scaled pipeline — archive scenes, classify,
+//! publish parcel knowledge — and report datasets and volumes.
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+use ee_datasets::landscape::LandscapeConfig;
+use ee_datasets::optics::{simulate_s2, OpticsConfig};
+use ee_datasets::Landscape;
+use ee_util::bytes::ByteSize;
+use ee_util::timeline::Date;
+use extremeearth::platform::{Platform, PlatformConfig};
+
+/// Run E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (size, scene_counts) = match scale {
+        Scale::Quick => (48usize, vec![2usize, 4]),
+        Scale::Full => (96, vec![4, 8, 16]),
+    };
+    let mut table = Table::new(
+        "E1 — data → information & knowledge volumes",
+        "Paper claim: 1 PB ≈ 750,000 datasets → ~450 TB of content information and knowledge. \
+         Scaled reproduction: synthetic Sentinel-2 scenes through the extraction pipeline.",
+        &[
+            "scenes (datasets)",
+            "input volume",
+            "knowledge triples",
+            "knowledge volume",
+            "KB knowledge / dataset",
+        ],
+    );
+    for &n in &scene_counts {
+        let world = Landscape::generate(LandscapeConfig {
+            size,
+            parcels_per_side: size / 8,
+            seed: 42,
+            ..LandscapeConfig::default()
+        })
+        .expect("world generation");
+        let scenes: Vec<_> = (0..n)
+            .map(|i| {
+                simulate_s2(
+                    &world,
+                    Date::from_ordinal(2017, 40 + i as u16 * 18).expect("valid doy"),
+                    OpticsConfig::default(),
+                    1000 + i as u64,
+                )
+                .expect("scene simulation")
+            })
+            .collect();
+        let mut platform = Platform::new(PlatformConfig::default()).expect("platform");
+        let report = platform
+            .extract_knowledge(&format!("e1-{n}"), &world, &scenes, &world.truth)
+            .expect("extraction");
+        table.row(vec![
+            report.datasets.to_string(),
+            ByteSize(report.input_bytes).to_string(),
+            report.knowledge_triples.to_string(),
+            ByteSize(report.knowledge_bytes).to_string(),
+            fmt_f64(report.knowledge_bytes as f64 / 1024.0 / report.datasets as f64),
+        ]);
+    }
+    table.row(vec![
+        "750,000 (paper, 1 PB)".into(),
+        "1 PiB".into(),
+        "—".into(),
+        "450 TiB (incl. derived rasters)".into(),
+        "—".into(),
+    ]);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 3, "two scales + the paper row");
+        assert!(tables[0].markdown().contains("E1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! E2 — rectangular spatial selections over point data.
+//!
+//! Paper (§1): Strabon "can only handle up to 100 GBs of point data and
+//! still be able to answer simple geospatial queries (selections over a
+//! rectangular area) efficiently (in a few seconds)". We measure the
+//! selection latency of the indexed (Strabon-style) store against the
+//! naive scan store as the point count grows — the shape that decides
+//! whether "a few seconds" survives scale.
+
+use crate::table::{fmt_secs, Table};
+use crate::Scale;
+use ee_rdf::exec::query;
+use ee_rdf::store::IndexMode;
+use ee_rdf::term::Term;
+use ee_rdf::TripleStore;
+use ee_util::Rng;
+use std::time::Instant;
+
+/// Region side (degrees-like units).
+const REGION: f64 = 100.0;
+
+/// Build a store of `n` point features.
+pub fn point_store(n: usize, mode: IndexMode, seed: u64) -> TripleStore {
+    let mut store = TripleStore::new(mode);
+    let mut rng = Rng::seed_from(seed);
+    let geom = Term::iri("http://e/hasGeometry");
+    let kind = Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    let feature = Term::iri("http://e/Feature");
+    for i in 0..n {
+        let s = Term::iri(format!("http://e/f{i}"));
+        let x = rng.range_f64(0.0, REGION);
+        let y = rng.range_f64(0.0, REGION);
+        store.insert(&s, &kind, &feature);
+        store.insert(&s, &geom, &Term::wkt(format!("POINT ({x} {y})")));
+    }
+    store.build_spatial_index();
+    store
+}
+
+/// The 1%-area rectangular selection query.
+pub fn selection_query(x0: f64, y0: f64) -> String {
+    let side = REGION / 10.0;
+    let (x1, y1) = (x0 + side, y0 + side);
+    format!(
+        "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE {{ \
+         ?s e:hasGeometry ?g . \
+         FILTER(geof:sfWithin(?g, \"POLYGON (({x0} {y0}, {x1} {y0}, {x1} {y1}, {x0} {y1}, {x0} {y0}))\"^^geo:wktLiteral)) }}"
+    )
+}
+
+/// Median selection latency (seconds) over `reps` random windows, plus the
+/// mean hit count.
+pub fn measure(store: &TripleStore, reps: usize, seed: u64) -> (f64, f64) {
+    let mut rng = Rng::seed_from(seed);
+    let mut times = Vec::with_capacity(reps);
+    let mut hits = 0.0;
+    for _ in 0..reps {
+        let x0 = rng.range_f64(0.0, REGION * 0.9);
+        let y0 = rng.range_f64(0.0, REGION * 0.9);
+        let q = selection_query(x0, y0);
+        let t0 = Instant::now();
+        let sol = query(store, &q).expect("selection query");
+        times.push(t0.elapsed().as_secs_f64());
+        if let Some(Term::Literal { lexical, .. }) = sol.scalar() {
+            hits += lexical.parse::<f64>().unwrap_or(0.0);
+        }
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times[times.len() / 2], hits / reps as f64)
+}
+
+/// Run E2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (sizes, reps) = match scale {
+        Scale::Quick => (vec![5_000usize, 20_000], 5usize),
+        Scale::Full => (vec![10_000, 50_000, 200_000, 500_000], 9),
+    };
+    let mut table = Table::new(
+        "E2 — rectangular selection latency vs point count",
+        "Paper claim: a Strabon-class store answers rectangular selections over point data \
+         'in a few seconds' up to ~100 GB; a naive store cannot. Three arms: triple \
+         indexes with R-tree pushdown (Strabon-style), triple indexes with spatial \
+         post-filtering only (the ablation), and a full scan (the naive baseline).",
+        &[
+            "points",
+            "indexed + pushdown",
+            "indexed, post-filter",
+            "full scan",
+            "pushdown speedup",
+            "mean hits",
+        ],
+    );
+    for &n in &sizes {
+        let indexed = point_store(n, IndexMode::Full, 7);
+        let (t_idx, hits) = measure(&indexed, reps, 99);
+        let post = point_store(n, IndexMode::NoPushdown, 7);
+        let (t_post, _) = measure(&post, reps, 99);
+        let scan = point_store(n, IndexMode::Scan, 7);
+        let (t_scan, _) = measure(&scan, reps, 99);
+        table.row(vec![
+            n.to_string(),
+            fmt_secs(t_idx),
+            fmt_secs(t_post),
+            fmt_secs(t_scan),
+            format!("{:.1}x", t_scan / t_idx.max(1e-12)),
+            format!("{hits:.0}"),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_beats_scan() {
+        let n = 20_000;
+        let indexed = point_store(n, IndexMode::Full, 1);
+        let scan = point_store(n, IndexMode::Scan, 1);
+        let (ti, hits_i) = measure(&indexed, 3, 5);
+        let (ts, hits_s) = measure(&scan, 3, 5);
+        assert!((hits_i - hits_s).abs() < 1e-9, "same answers");
+        assert!(hits_i > 0.0, "selections hit something");
+        assert!(ts > ti, "index must win: {ts} vs {ti}");
+    }
+
+    #[test]
+    fn quick_table_renders() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables[0].rows.len(), 2);
+    }
+}

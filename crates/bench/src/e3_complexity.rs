@@ -1,0 +1,166 @@
+//! E3 — selection latency vs geometry complexity.
+//!
+//! Paper (§1): "If the complexity of geometries in the dataset increases
+//! (i.e., we have multi-polygons), not even the aforementioned
+//! performance can be achieved for both Strabon and GraphDB." We grow the
+//! per-feature vertex count from points to heavy multipolygons and watch
+//! the refinement cost eat the index advantage.
+
+use crate::table::{fmt_secs, Table};
+use crate::Scale;
+use ee_rdf::store::IndexMode;
+use ee_rdf::term::Term;
+use ee_rdf::TripleStore;
+use ee_util::Rng;
+
+const REGION: f64 = 100.0;
+
+/// The geometry classes of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeomClass {
+    /// Plain points.
+    Point,
+    /// Single polygons with `usize` vertices.
+    Polygon(usize),
+    /// Multipolygons: 4 parts × `usize` vertices each.
+    MultiPolygon(usize),
+}
+
+impl GeomClass {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            GeomClass::Point => "POINT".into(),
+            GeomClass::Polygon(v) => format!("POLYGON ({v} vtx)"),
+            GeomClass::MultiPolygon(v) => format!("MULTIPOLYGON (4 × {v} vtx)"),
+        }
+    }
+
+    /// Vertex count per feature.
+    pub fn vertices(&self) -> usize {
+        match self {
+            GeomClass::Point => 1,
+            GeomClass::Polygon(v) => v + 1,
+            GeomClass::MultiPolygon(v) => 4 * (v + 1),
+        }
+    }
+}
+
+fn regular_ring(cx: f64, cy: f64, radius: f64, vertices: usize) -> String {
+    let pts: Vec<String> = (0..=vertices)
+        .map(|i| {
+            let theta = i as f64 / vertices as f64 * std::f64::consts::TAU;
+            format!("{} {}", cx + radius * theta.cos(), cy + radius * theta.sin())
+        })
+        .collect();
+    format!("({})", pts.join(", "))
+}
+
+/// Build a store of `n` features of the given geometry class.
+pub fn geometry_store(n: usize, class: GeomClass, mode: IndexMode, seed: u64) -> TripleStore {
+    let mut store = TripleStore::new(mode);
+    let mut rng = Rng::seed_from(seed);
+    let geom = Term::iri("http://e/hasGeometry");
+    for i in 0..n {
+        let s = Term::iri(format!("http://e/f{i}"));
+        let cx = rng.range_f64(2.0, REGION - 2.0);
+        let cy = rng.range_f64(2.0, REGION - 2.0);
+        let wkt = match class {
+            GeomClass::Point => format!("POINT ({cx} {cy})"),
+            GeomClass::Polygon(v) => format!("POLYGON {}", {
+                let ring = regular_ring(cx, cy, rng.range_f64(0.3, 1.2), v);
+                format!("({ring})")
+            }),
+            GeomClass::MultiPolygon(v) => {
+                let parts: Vec<String> = (0..4)
+                    .map(|k| {
+                        let dx = (k % 2) as f64 * 2.5;
+                        let dy = (k / 2) as f64 * 2.5;
+                        let ring =
+                            regular_ring(cx + dx, cy + dy, rng.range_f64(0.3, 1.0), v);
+                        format!("(({}))", &ring[1..ring.len() - 1])
+                    })
+                    .collect();
+                format!("MULTIPOLYGON ({})", parts.join(", "))
+            }
+        };
+        store.insert(&s, &geom, &Term::wkt(wkt));
+    }
+    store.build_spatial_index();
+    store
+}
+
+/// Run E3.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (n, reps) = match scale {
+        Scale::Quick => (3_000usize, 3usize),
+        Scale::Full => (20_000, 7),
+    };
+    let classes = [
+        GeomClass::Point,
+        GeomClass::Polygon(8),
+        GeomClass::Polygon(64),
+        GeomClass::MultiPolygon(16),
+        GeomClass::MultiPolygon(64),
+    ];
+    let mut table = Table::new(
+        "E3 — selection latency vs geometry complexity",
+        "Paper claim: performance degrades once geometries become multi-polygons. \
+         Same rectangular selection as E2 over equal feature counts of rising complexity.",
+        &[
+            "geometry class",
+            "vertices/feature",
+            "indexed median",
+            "scan median",
+            "indexed slowdown vs points",
+        ],
+    );
+    let mut point_base: Option<f64> = None;
+    for class in classes {
+        let indexed = geometry_store(n, class, IndexMode::Full, 11);
+        let (ti, _) = crate::e2_selection::measure(&indexed, reps, 31);
+        let scan = geometry_store(n, class, IndexMode::Scan, 11);
+        let (ts, _) = crate::e2_selection::measure(&scan, reps, 31);
+        let base = *point_base.get_or_insert(ti);
+        table.row(vec![
+            class.label(),
+            class.vertices().to_string(),
+            fmt_secs(ti),
+            fmt_secs(ts),
+            format!("{:.1}x", ti / base.max(1e-12)),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complexity_increases_latency() {
+        let n = 2_000;
+        let pts = geometry_store(n, GeomClass::Point, IndexMode::Full, 1);
+        let heavy = geometry_store(n, GeomClass::MultiPolygon(64), IndexMode::Full, 1);
+        let (tp, _) = crate::e2_selection::measure(&pts, 3, 5);
+        let (th, _) = crate::e2_selection::measure(&heavy, 3, 5);
+        assert!(
+            th > tp,
+            "multipolygon refinement must cost more: {th} vs {tp}"
+        );
+    }
+
+    #[test]
+    fn stores_hold_valid_geometries() {
+        let st = geometry_store(50, GeomClass::MultiPolygon(16), IndexMode::Full, 2);
+        assert_eq!(st.dict.num_geometries(), 50, "all WKT parsed");
+        let st2 = geometry_store(50, GeomClass::Polygon(8), IndexMode::Full, 2);
+        assert_eq!(st2.dict.num_geometries(), 50);
+    }
+
+    #[test]
+    fn quick_table_has_all_classes() {
+        let t = run(Scale::Quick);
+        assert_eq!(t[0].rows.len(), 5);
+    }
+}

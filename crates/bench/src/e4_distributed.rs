@@ -1,0 +1,222 @@
+//! E4 — distributed training scaling: collective allreduce vs parameter
+//! server.
+//!
+//! Paper (C1/C5): HOPS provides "distributed deep learning using
+//! TensorFlow's distribution strategies, including collective allreduce
+//! and parameter server", enabling training that "published deep learning
+//! architectures for Copernicus satellite images" (single-GPU) cannot do.
+//! Ref \[8\] adds the large-minibatch recipe. We price a ResNet-50-class
+//! workload on the NIC model and report the two strategies' scaling, plus
+//! the warmup ablation on real training.
+
+use crate::table::{fmt_f64, fmt_secs, Table};
+use crate::Scale;
+use ee_cluster::topology::ClusterSpec;
+use ee_dl::data::Dataset;
+use ee_dl::distributed::{
+    scaling_sweep, train_data_parallel, Strategy, WorkloadSpec,
+};
+use ee_dl::model::mlp;
+use ee_dl::optim::{LrSchedule, Sgd};
+use ee_tensor::Tensor;
+use ee_util::Rng;
+
+/// The priced workload: ResNet-50-class network on a V100-class GPU with
+/// 100 GbE (the fabric large-minibatch results assumed).
+pub fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        gradient_bytes: 100_000_000,
+        flops_per_sample: 8.0e9,
+        batch_per_worker: 32,
+        straggler_jitter: 0.05,
+    }
+}
+
+/// The cluster: one rack of GPU nodes on 100 GbE.
+pub fn cluster(n: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::flat(n);
+    spec.node.nic_bandwidth = 12.5e9;
+    spec
+}
+
+fn blobs(n: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::seed_from(seed);
+    let mut xs = Vec::with_capacity(n * 2);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let cls = i % 2;
+        let c = if cls == 0 { -1.0 } else { 1.0 };
+        xs.push((c + rng.normal(0.0, 0.45)) as f32);
+        xs.push((-c + rng.normal(0.0, 0.45)) as f32);
+        ys.push(cls);
+    }
+    Dataset::new(Tensor::from_vec(&[n, 2], xs).expect("shape"), ys).expect("dataset")
+}
+
+/// Run E4.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let workers: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 4, 16],
+        Scale::Full => vec![1, 2, 4, 8, 16, 32, 64],
+    };
+    let dataset_size = match scale {
+        Scale::Quick => 8_192,
+        Scale::Full => 65_536,
+    };
+    let spec = cluster(workers.iter().max().copied().unwrap_or(1) + 8);
+    let w = workload();
+    let mut t1 = Table::new(
+        "E4a — synchronous scaling: ring allreduce vs parameter server",
+        "Simulated epoch time for a 100 MB-gradient model (32 samples/worker/step) on \
+         100 GbE. The allreduce stays near-flat in communication; a single parameter \
+         server serialises N gradient pushes at its NIC.",
+        &[
+            "workers",
+            "allreduce epoch",
+            "allreduce efficiency",
+            "PS(1) epoch",
+            "PS(1) efficiency",
+            "PS(4) epoch",
+        ],
+    );
+    let ar = scaling_sweep(&spec, &w, &workers, |_| Strategy::RingAllReduce, dataset_size, 3)
+        .expect("allreduce sweep");
+    let ps1 = scaling_sweep(
+        &spec,
+        &w,
+        &workers,
+        |_| Strategy::ParameterServer { servers: 1 },
+        dataset_size,
+        3,
+    )
+    .expect("ps1 sweep");
+    let ps4 = scaling_sweep(
+        &spec,
+        &w,
+        &workers,
+        |_| Strategy::ParameterServer { servers: 4 },
+        dataset_size,
+        3,
+    )
+    .expect("ps4 sweep");
+    for i in 0..workers.len() {
+        t1.row(vec![
+            workers[i].to_string(),
+            fmt_secs(ar[i].epoch_time.as_secs()),
+            format!("{:.0}%", ar[i].efficiency * 100.0),
+            fmt_secs(ps1[i].epoch_time.as_secs()),
+            format!("{:.0}%", ps1[i].efficiency * 100.0),
+            fmt_secs(ps4[i].epoch_time.as_secs()),
+        ]);
+    }
+
+    // E4b: the warmup ablation (ref [8]) on real gradients.
+    let mut t2 = Table::new(
+        "E4b — large-minibatch LR scaling with and without warmup (ref [8])",
+        "8-worker data parallelism = 8× batch. Linear LR scaling needs a warmup ramp to \
+         avoid early instability; we report the training loss after 1 and after 8 epochs.",
+        &["schedule", "loss @ epoch 1", "loss @ epoch 8"],
+    );
+    let data = blobs(1024, 17);
+    let base_lr = 0.4f32;
+    for (name, schedule) in [
+        ("constant base LR (no scaling)", LrSchedule::Constant(base_lr)),
+        (
+            "8x LR, no warmup",
+            LrSchedule::Constant(base_lr * 8.0),
+        ),
+        (
+            "8x LR, 2-epoch warmup",
+            LrSchedule::LinearScalingWarmup {
+                base: base_lr,
+                scale: 8.0,
+                warmup_steps: 8, // 4 steps/epoch at batch 256
+            },
+        ),
+    ] {
+        let mut model = mlp(2, 24, 2, &mut Rng::seed_from(55));
+        let mut opt = Sgd::new(schedule, 0.9);
+        let losses = train_data_parallel(&mut model, &data, 8, 256, &mut opt, 8, 7)
+            .expect("training");
+        t2.row(vec![
+            name.into(),
+            fmt_f64(losses[0] as f64),
+            fmt_f64(*losses.last().expect("epochs ran") as f64),
+        ]);
+    }
+
+    // E4c: the HOPS "parallel deep learning experiments" service —
+    // hyper-parameter search campaigns priced on the cluster scheduler.
+    let mut t3 = Table::new(
+        "E4c — hyper-parameter search campaign makespan",
+        "HOPS provides parallel deep-learning experiments (hyperparameter search). \
+         A 24-trial random-search campaign (10-minute trials, 1 GPU each) on \
+         clusters of growing size; plus the best configuration the search found \
+         on a real validation task.",
+        &["GPUs", "campaign makespan", "speedup"],
+    );
+    use ee_dl::search::{best, campaign_makespan, random_configs, run_search};
+    use ee_util::timeline::SimDuration;
+    let trials = 24usize;
+    let trial_runtime = SimDuration::from_secs(600.0);
+    let mut base: Option<f64> = None;
+    for gpus in [1usize, 4, 8, 24] {
+        let makespan = campaign_makespan(trials, trial_runtime, gpus).expect("makespan");
+        let b = *base.get_or_insert(makespan.as_secs());
+        t3.row(vec![
+            gpus.to_string(),
+            fmt_secs(makespan.as_secs()),
+            format!("{:.1}x", b / makespan.as_secs()),
+        ]);
+    }
+    // A real (small) search to show the service end: the found config.
+    let data = blobs(512, 23);
+    let (train, val) = data.split(0.75, 2).expect("split");
+    let configs = random_configs(12, 40, 5);
+    let results = run_search(&configs, &train, &val, 7).expect("search");
+    let b = best(&results).expect("non-empty");
+    t3.row(vec![
+        "search result".into(),
+        format!(
+            "best of 12 random configs: hidden={}, lr={:.3}, momentum={:.2}",
+            b.config.hidden, b.config.lr, b.config.momentum
+        ),
+        format!("val accuracy {:.3}", b.accuracy),
+    ]);
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_scales_better_than_single_ps() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables.len(), 3);
+        // Parse the last row: 16 workers.
+        let last = tables[0].rows.last().unwrap();
+        let ar_eff: f64 = last[2].trim_end_matches('%').parse().unwrap();
+        let ps_eff: f64 = last[4].trim_end_matches('%').parse().unwrap();
+        assert!(
+            ar_eff > ps_eff,
+            "allreduce efficiency {ar_eff}% vs PS {ps_eff}%"
+        );
+    }
+
+    #[test]
+    fn warmup_table_has_three_schedules() {
+        let tables = run(Scale::Quick);
+        assert_eq!(tables[1].rows.len(), 3);
+    }
+
+    #[test]
+    fn campaign_makespan_scales_with_gpus() {
+        let tables = run(Scale::Quick);
+        let rows = &tables[2].rows;
+        // 24 trials x 10 min: 1 GPU = 240 min; 24 GPUs = 10 min.
+        assert!(rows[0][1].contains("4.00 h"), "{:?}", rows[0]);
+        assert!(rows[3][1].contains("10.0 min"), "{:?}", rows[3]);
+        assert!(rows.last().unwrap()[2].contains("val accuracy"));
+    }
+}

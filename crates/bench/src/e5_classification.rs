@@ -1,0 +1,256 @@
+//! E5 — classification quality: deep/temporal/multimodal vs shallow
+//! baselines, for crops and for sea ice.
+//!
+//! Paper (C1): two DL architectures will be developed — crop type and
+//! sea-ice mapping — exploiting "the spatial, spectral, temporal and
+//! multimodal properties of Sentinel data", against a state of the art of
+//! single-image shallow classification.
+
+use crate::table::{fmt_f64, Table};
+use crate::Scale;
+use ee_datasets::benchmark::{multimodal_pixels, pixels_from_scene, sar_pixels};
+use ee_datasets::landscape::LandscapeConfig;
+use ee_datasets::optics::{simulate_s2, simulate_season, OpticsConfig};
+use ee_datasets::sar::{simulate_s1, SarConfig};
+use ee_datasets::Landscape;
+use ee_dl::baselines::{Knn, SoftmaxRegression};
+use ee_dl::Dataset;
+use ee_food::cropmap;
+use ee_polar::icemap::{stage_confusion, IceMapper};
+use ee_util::timeline::Date;
+
+fn eval_split(data: &Dataset, seed: u64) -> (Dataset, Dataset) {
+    data.split(0.7, seed).expect("split")
+}
+
+fn mlp_accuracy(train: &Dataset, test: &Dataset, seed: u64) -> (f64, f64) {
+    let mut model =
+        ee_dl::baselines::train_mlp_baseline(train, 48, 25, 0.1, seed).expect("mlp train");
+    let d: usize = test.x.shape()[1..].iter().product();
+    let flat = test.x.reshape(&[test.len(), d]).expect("flat");
+    let cm = model.evaluate(&flat, &test.labels).expect("eval");
+    (cm.accuracy(), cm.macro_f1())
+}
+
+/// Run E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (size, samples) = match scale {
+        Scale::Quick => (48usize, 1200usize),
+        Scale::Full => (96, 4000),
+    };
+    let world = Landscape::generate(LandscapeConfig {
+        size,
+        parcels_per_side: size / 8,
+        seed: 20170101,
+        ..LandscapeConfig::default()
+    })
+    .expect("world");
+    let clear = OpticsConfig {
+        cloud_fraction: 0.0,
+        noise_std: 0.01,
+    };
+    let peak = Date::from_ordinal(2017, 150).expect("valid");
+    let optical = simulate_s2(&world, peak, clear, 5).expect("s2");
+    let sar = simulate_s1(&world, peak, SarConfig::default(), 6).expect("s1");
+
+    let mut t1 = Table::new(
+        "E5a — crop/land-cover classification (10 classes)",
+        "Per-pixel classifiers on the synthetic watershed; temporal and multimodal \
+         variants exploit exactly the structure Challenge C1 names.",
+        &["method", "features", "accuracy", "macro-F1"],
+    );
+
+    // Shallow baselines on single-date spectra.
+    let single = pixels_from_scene(&optical, &world.truth, samples, 9).expect("pixels");
+    let (train, test) = eval_split(&single, 1);
+    {
+        let mut lr = SoftmaxRegression::fit(&train, 150, 0.3, 2).expect("softmax");
+        let cm = lr.evaluate(&test).expect("eval");
+        t1.row(vec![
+            "softmax regression".into(),
+            "13 bands, single date".into(),
+            fmt_f64(cm.accuracy()),
+            fmt_f64(cm.macro_f1()),
+        ]);
+        let knn = Knn::fit(&train, 5).expect("knn");
+        let cm = knn.evaluate(&test).expect("eval");
+        t1.row(vec![
+            "kNN (k=5)".into(),
+            "13 bands, single date".into(),
+            fmt_f64(cm.accuracy()),
+            fmt_f64(cm.macro_f1()),
+        ]);
+        let (acc, f1) = mlp_accuracy(&train, &test, 3);
+        t1.row(vec![
+            "MLP".into(),
+            "13 bands, single date".into(),
+            fmt_f64(acc),
+            fmt_f64(f1),
+        ]);
+    }
+    // SAR-only.
+    {
+        let sar_data = sar_pixels(&sar, &world.truth, samples, 9).expect("sar pixels");
+        let (train, test) = eval_split(&sar_data, 4);
+        let (acc, f1) = mlp_accuracy(&train, &test, 5);
+        t1.row(vec![
+            "MLP".into(),
+            "SAR only (VV, VH, ratio)".into(),
+            fmt_f64(acc),
+            fmt_f64(f1),
+        ]);
+    }
+    // Multimodal.
+    {
+        let multi =
+            multimodal_pixels(&optical, &sar, &world.truth, samples, 9).expect("multimodal");
+        let (train, test) = eval_split(&multi, 6);
+        let (acc, f1) = mlp_accuracy(&train, &test, 7);
+        t1.row(vec![
+            "MLP".into(),
+            "multimodal (13 optical + 2 SAR)".into(),
+            fmt_f64(acc),
+            fmt_f64(f1),
+        ]);
+    }
+    // Spatial CNN over patches (the convolutional half of C1). Patches
+    // are pooled from several synthetic worlds — one scene is far too few
+    // patches for a CNN, exactly the scarcity Challenge C2 exists to fix.
+    {
+        let patch = 8usize;
+        let worlds = match scale {
+            Scale::Quick => 3usize,
+            Scale::Full => 6,
+        };
+        let mut all_x: Vec<f32> = Vec::new();
+        let mut all_y: Vec<usize> = Vec::new();
+        let mut width = 0usize;
+        for w in 0..worlds {
+            let ww = Landscape::generate(LandscapeConfig {
+                size,
+                parcels_per_side: size / 8,
+                seed: 9000 + w as u64,
+                ..LandscapeConfig::default()
+            })
+            .expect("world");
+            let scene = simulate_s2(&ww, peak, clear, 40 + w as u64).expect("scene");
+            let d = ee_datasets::benchmark::patches_from_scene(&scene, &ww.truth, patch)
+                .expect("patches");
+            width = d.x.shape()[1..].iter().product();
+            all_x.extend_from_slice(d.x.data());
+            all_y.extend_from_slice(&d.labels);
+        }
+        let n = all_y.len();
+        let x = ee_tensor::Tensor::from_vec(&[n, 13, patch, patch], all_x).expect("shape");
+        let _ = width;
+        let pooled = Dataset::new(x, all_y).expect("dataset");
+        let (mut train, mut test) = eval_split(&pooled, 21);
+        let (mean, std) = train.feature_stats();
+        train.standardize(&mean, &std);
+        test.standardize(&mean, &std);
+        let mut rng = ee_util::Rng::seed_from(31);
+        let mut cnn = ee_dl::model::patch_cnn(13, patch, 10, &mut rng);
+        let mut opt = ee_dl::optim::Adam::new(ee_dl::optim::LrSchedule::Constant(0.002));
+        let epochs = match scale {
+            Scale::Quick => 15,
+            Scale::Full => 40,
+        };
+        for epoch in 0..epochs {
+            for idx in ee_dl::data::BatchIter::new(train.len(), 32, 77 ^ epoch as u64) {
+                let batch = train.take(&idx).expect("batch");
+                cnn.compute_gradients(&batch.x, &batch.labels).expect("grads");
+                opt.step(&mut cnn).expect("step");
+            }
+        }
+        let cm = cnn.evaluate(&test.x, &test.labels).expect("eval");
+        t1.row(vec![
+            format!("patch CNN (2 conv blocks, {} patches)", pooled.len()),
+            format!("13 bands, {patch}×{patch} patches, single date"),
+            fmt_f64(cm.accuracy()),
+            fmt_f64(cm.macro_f1()),
+        ]);
+    }
+    // Temporal (the Challenge C1 architecture).
+    {
+        let dates: Vec<Date> = [60u16, 105, 150, 195, 240, 285]
+            .iter()
+            .map(|&d| Date::from_ordinal(2017, d).expect("valid"))
+            .collect();
+        let stack = simulate_season(&world, &dates, clear, 5).expect("season");
+        let (_, cm) = cropmap::classify_landscape(&world, &stack, 8).expect("temporal");
+        t1.row(vec![
+            "temporal MLP (crop mapper)".into(),
+            "NDVI series (6 dates) + anchors".into(),
+            fmt_f64(cm.accuracy()),
+            fmt_f64(cm.macro_f1()),
+        ]);
+    }
+
+    // Sea ice.
+    let mut t2 = Table::new(
+        "E5b — sea-ice stage classification (5 WMO classes, held-out day)",
+        "SAR features with texture, trained on days 0–2, evaluated on day 5.",
+        &["method", "accuracy", "macro-F1", "ice/water accuracy"],
+    );
+    {
+        let ice_world = ee_datasets::seaice::IceWorld::generate(
+            ee_datasets::seaice::IceWorldConfig {
+                size: size.max(64),
+                days: 6,
+                ..ee_datasets::seaice::IceWorldConfig::default()
+            },
+        )
+        .expect("ice world");
+        let day0 = Date::new(2017, 2, 10).expect("valid");
+        let train_days: Vec<(ee_raster::Scene, ee_raster::Raster<u8>)> = (0..3)
+            .map(|d| {
+                (
+                    ice_world
+                        .simulate_sar(d, day0.plus_days(d as u32), 100 + d as u64)
+                        .expect("sar"),
+                    ice_world.truth(d),
+                )
+            })
+            .collect();
+        let refs: Vec<(&ee_raster::Scene, &ee_raster::Raster<u8>)> =
+            train_days.iter().map(|(s, t)| (s, t)).collect();
+        let mut mapper = IceMapper::train(&refs, samples, 25, 7).expect("train");
+        let test_scene = ice_world
+            .simulate_sar(5, day0.plus_days(5), 999)
+            .expect("sar");
+        let truth5 = ice_world.truth(5);
+        let map = mapper.predict_map(&test_scene).expect("predict");
+        let cm = stage_confusion(&map, &truth5);
+        let binary = map
+            .iter()
+            .zip(truth5.iter())
+            .filter(|((_, _, p), (_, _, t))| (*p == 0) == (*t == 0))
+            .count() as f64
+            / map.data().len() as f64;
+        t2.row(vec![
+            "MLP + texture (IceMapper)".into(),
+            fmt_f64(cm.accuracy()),
+            fmt_f64(cm.macro_f1()),
+            fmt_f64(binary),
+        ]);
+    }
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_beats_single_date_linear() {
+        let tables = run(Scale::Quick);
+        let rows = &tables[0].rows;
+        let acc = |row: &Vec<String>| -> f64 { row[2].parse().unwrap() };
+        let softmax = acc(&rows[0]);
+        let temporal = acc(rows.last().unwrap());
+        assert!(
+            temporal > softmax,
+            "temporal {temporal} must beat single-date softmax {softmax}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! E6 — training-dataset generation at EuroSat scale and beyond.
+//!
+//! Paper (C2): the largest existing benchmark is EuroSat — "13 different
+//! spectral bands and 10 land cover classes with a total of 27,000
+//! labeled images"; ExtremeEarth will build *million-sample* datasets by
+//! "leveraging existing cartographic/thematic products". We measure
+//! patch-generation throughput (to project 27 k and 1 M samples) and the
+//! quality of cartography-derived weak labels under annotation noise and
+//! map staleness.
+
+use crate::table::{fmt_f64, fmt_secs, Table};
+use crate::Scale;
+use ee_datasets::benchmark::{label_agreement, patches_from_scene, weak_label_raster};
+use ee_datasets::landscape::LandscapeConfig;
+use ee_datasets::optics::{simulate_s2, OpticsConfig};
+use ee_datasets::Landscape;
+use ee_util::timeline::Date;
+use std::time::Instant;
+
+/// Generate one world + scene and cut patches; returns (patches, seconds).
+pub fn generate_batch(size: usize, patch: usize, seed: u64) -> (usize, f64) {
+    let t0 = Instant::now();
+    let world = Landscape::generate(LandscapeConfig {
+        size,
+        parcels_per_side: (size / 8).max(2),
+        seed,
+        ..LandscapeConfig::default()
+    })
+    .expect("world");
+    let scene = simulate_s2(
+        &world,
+        Date::from_ordinal(2017, 150).expect("valid"),
+        OpticsConfig::default(),
+        seed,
+    )
+    .expect("scene");
+    let ds = patches_from_scene(&scene, &world.truth, patch).expect("patches");
+    (ds.len(), t0.elapsed().as_secs_f64())
+}
+
+/// Run E6.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let (size, batches) = match scale {
+        Scale::Quick => (64usize, 2usize),
+        Scale::Full => (128, 4),
+    };
+    let patch = 16; // EuroSat patches are 64×64 at 10 m; ours are 16×16.
+    let mut total_patches = 0usize;
+    let mut total_secs = 0.0f64;
+    for b in 0..batches {
+        let (n, secs) = generate_batch(size, patch, 500 + b as u64);
+        total_patches += n;
+        total_secs += secs;
+    }
+    let rate = total_patches as f64 / total_secs.max(1e-9);
+    let mut t1 = Table::new(
+        "E6a — labelled-patch generation throughput (13 bands, 10 classes)",
+        "EuroSat (ref [11]) holds 27,000 patches; Challenge C2 targets millions. \
+         Projection from measured single-core generation throughput.",
+        &["metric", "value"],
+    );
+    t1.row(vec!["patch size".into(), format!("{patch}×{patch} px, 13 bands")]);
+    t1.row(vec!["patches generated".into(), total_patches.to_string()]);
+    t1.row(vec!["throughput".into(), format!("{rate:.0} patches/s")]);
+    t1.row(vec![
+        "projected time, 27,000 patches (EuroSat scale)".into(),
+        fmt_secs(27_000.0 / rate),
+    ]);
+    t1.row(vec![
+        "projected time, 1,000,000 patches (C2 target)".into(),
+        fmt_secs(1_000_000.0 / rate),
+    ]);
+
+    let mut t2 = Table::new(
+        "E6b — weak labels from cartographic products",
+        "Pixel agreement of map-derived labels with ground truth under annotation \
+         noise and map staleness (crop rotation since the map was made).",
+        &["annotation noise", "staleness", "label agreement"],
+    );
+    let world = Landscape::generate(LandscapeConfig {
+        size,
+        parcels_per_side: (size / 8).max(2),
+        seed: 321,
+        ..LandscapeConfig::default()
+    })
+    .expect("world");
+    for (noise, stale) in [
+        (0.0, 0.0),
+        (0.1, 0.0),
+        (0.3, 0.0),
+        (0.0, 0.25),
+        (0.1, 0.25),
+        (0.3, 0.5),
+    ] {
+        let weak = weak_label_raster(&world, noise, stale, 77);
+        t2.row(vec![
+            format!("{:.0}%", noise * 100.0),
+            format!("{:.0}%", stale * 100.0),
+            fmt_f64(label_agreement(&world, &weak)),
+        ]);
+    }
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_positive_and_clean_labels_perfect() {
+        let tables = run(Scale::Quick);
+        // Clean cartography row agrees fully.
+        let clean = &tables[1].rows[0];
+        assert_eq!(clean[2], "1.000", "{clean:?}");
+        // Noisier rows agree less.
+        let a_clean: f64 = tables[1].rows[0][2].parse().unwrap();
+        let a_noisy: f64 = tables[1].rows[2][2].parse().unwrap();
+        assert!(a_noisy < a_clean);
+    }
+}

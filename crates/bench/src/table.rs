@@ -1,0 +1,124 @@
+//! Markdown result tables.
+
+/// A result table with a title, a caption tying it to the paper's claim,
+/// headers and string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment/table title (e.g. `E2 — spatial selection scaling`).
+    pub title: String,
+    /// What paper claim this regenerates.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            caption: caption.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        if !self.caption.is_empty() {
+            out.push_str(&format!("{}\n\n", self.caption));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format a float with sensible precision for a table cell.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Format a duration in seconds adaptively.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.1} µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("E0 — demo", "a caption", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(42.42), "42.4");
+        assert_eq!(fmt_f64(0.1234), "0.123");
+        assert_eq!(fmt_f64(0.0001), "1.00e-4");
+        assert_eq!(fmt_secs(7200.0), "2.00 h");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0 µs");
+    }
+}

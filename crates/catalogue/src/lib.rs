@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! The EO data catalogue — classic and semantic (Challenge C4).
+//!
+//! "Currently, Copernicus data catalogues allow a user to access data by
+//! drawing an area of interest on the map and specifying search
+//! parameters such as sensing date, mission, satellite platform, product
+//! type" — that is [`classic`]. The challenge is the *semantic* catalogue
+//! ([`semantic`]) that "will expose the knowledge hidden in Sentinel
+//! satellite images" and answer questions like *"How many icebergs were
+//! embedded in the Norske Øer Ice Barrier at its maximum extent in
+//! 2017?"* — implemented here end-to-end over the `ee-rdf` engine,
+//! including that exact query ([`SemanticCatalogue::iceberg_question`]).
+//!
+//! [`product`] holds the product-metadata model and a synthetic metadata
+//! generator used to scale the E9 experiments ("trillions of metadata
+//! records", scaled to this machine).
+
+pub mod classic;
+pub mod product;
+pub mod semantic;
+
+pub use classic::ClassicCatalogue;
+pub use product::{Product, ProductGenerator};
+pub use semantic::SemanticCatalogue;
+
+/// Errors from the catalogue layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogueError {
+    /// Query failure bubbled up from the RDF engine.
+    Query(String),
+    /// Malformed search parameters.
+    BadSearch(String),
+}
+
+impl From<ee_rdf::RdfError> for CatalogueError {
+    fn from(e: ee_rdf::RdfError) -> Self {
+        CatalogueError::Query(e.to_string())
+    }
+}
+
+impl std::fmt::Display for CatalogueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogueError::Query(m) => write!(f, "catalogue query error: {m}"),
+            CatalogueError::BadSearch(m) => write!(f, "bad search: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogueError {}

@@ -1,0 +1,190 @@
+//! Product metadata and the synthetic metadata generator.
+
+use ee_geo::{Envelope, Point, Polygon};
+use ee_util::timeline::Date;
+use ee_util::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Copernicus-like product record.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Product {
+    /// Product identifier, e.g. `S2A_MSIL1C_2017182_T34SGH_0042`.
+    pub id: String,
+    /// Mission (`S1` / `S2` / `S3`).
+    pub mission: String,
+    /// Platform unit (`S2A`, `S2B`, ...).
+    pub platform: String,
+    /// Product type (`GRD`, `SLC`, `MSIL1C`, `MSIL2A`, `OLCI`).
+    pub product_type: String,
+    /// Sensing date.
+    pub sensing_year: i32,
+    /// Sensing day-of-year.
+    pub sensing_doy: u16,
+    /// Scene footprint corners (closed ring, lon/lat degrees).
+    pub footprint: Vec<(f64, f64)>,
+    /// Cloud cover percent (optical products; 0 for SAR).
+    pub cloud_cover: f64,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+}
+
+impl Product {
+    /// Sensing date as a [`Date`].
+    pub fn sensing_date(&self) -> Date {
+        Date::from_ordinal(self.sensing_year, self.sensing_doy).expect("valid at construction")
+    }
+
+    /// Footprint as a polygon.
+    pub fn polygon(&self) -> Polygon {
+        Polygon::from_exterior(
+            self.footprint
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .collect(),
+        )
+        .expect("footprint validated at construction")
+    }
+
+    /// Footprint bounding box.
+    pub fn envelope(&self) -> Envelope {
+        self.polygon().envelope()
+    }
+}
+
+/// Deterministic synthetic product-stream generator: tiles along orbit
+/// tracks over a configurable region, with realistic mission mix.
+pub struct ProductGenerator {
+    rng: Rng,
+    region: Envelope,
+    year: i32,
+    counter: u64,
+}
+
+impl ProductGenerator {
+    /// Products over `region` sensed during `year`.
+    pub fn new(region: Envelope, year: i32, seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from(seed),
+            region,
+            year,
+            counter: 0,
+        }
+    }
+
+    /// Generate the next product record.
+    pub fn next_product(&mut self) -> Product {
+        let rng = &mut self.rng;
+        self.counter += 1;
+        let (mission, platform, product_type, size, cloud) = match rng.below(10) {
+            0..=3 => (
+                "S1",
+                if rng.chance(0.5) { "S1A" } else { "S1B" },
+                if rng.chance(0.7) { "GRD" } else { "SLC" },
+                rng.range(800, 4200) as u64 * 1_000_000,
+                0.0,
+            ),
+            4..=8 => (
+                "S2",
+                if rng.chance(0.5) { "S2A" } else { "S2B" },
+                if rng.chance(0.6) { "MSIL1C" } else { "MSIL2A" },
+                rng.range(500, 900) as u64 * 1_000_000,
+                rng.range_f64(0.0, 100.0),
+            ),
+            _ => (
+                "S3",
+                "S3A",
+                "OLCI",
+                rng.range(300, 700) as u64 * 1_000_000,
+                rng.range_f64(0.0, 100.0),
+            ),
+        };
+        let doy = rng.range(1, 366) as u16;
+        // A tile footprint ~1° on a side, jittered inside the region.
+        let w = self.region.width().min(1.0);
+        let h = self.region.height().min(1.0);
+        let x0 = rng.range_f64(self.region.min_x, (self.region.max_x - w).max(self.region.min_x + 1e-9));
+        let y0 = rng.range_f64(self.region.min_y, (self.region.max_y - h).max(self.region.min_y + 1e-9));
+        // Slight parallelogram skew like real orbit tiles.
+        let skew = rng.range_f64(-0.08, 0.08);
+        let footprint = vec![
+            (x0, y0),
+            (x0 + w, y0 + skew),
+            (x0 + w + skew, y0 + h + skew),
+            (x0 + skew, y0 + h),
+            (x0, y0),
+        ];
+        Product {
+            id: format!(
+                "{platform}_{product_type}_{}{doy:03}_{:06}",
+                self.year, self.counter
+            ),
+            mission: mission.to_string(),
+            platform: platform.to_string(),
+            product_type: product_type.to_string(),
+            sensing_year: self.year,
+            sensing_doy: doy,
+            footprint,
+            cloud_cover: cloud,
+            size_bytes: size,
+        }
+    }
+
+    /// Generate `n` products.
+    pub fn take(&mut self, n: usize) -> Vec<Product> {
+        (0..n).map(|_| self.next_product()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> ProductGenerator {
+        ProductGenerator::new(Envelope::new(20.0, 35.0, 30.0, 42.0), 2017, 7)
+    }
+
+    #[test]
+    fn products_are_valid() {
+        let mut g = generator();
+        let batch = g.take(200);
+        assert_eq!(batch.len(), 200);
+        for p in &batch {
+            assert!(p.sensing_date().year() == 2017);
+            assert!(!p.polygon().exterior.points.is_empty());
+            assert!(p.envelope().intersects(&Envelope::new(19.0, 34.0, 32.0, 44.0)));
+            assert!((0.0..=100.0).contains(&p.cloud_cover));
+            assert!(p.size_bytes > 0);
+            if p.mission == "S1" {
+                assert_eq!(p.cloud_cover, 0.0, "SAR has no cloud figure");
+            }
+        }
+        // Unique ids.
+        let ids: std::collections::HashSet<&String> = batch.iter().map(|p| &p.id).collect();
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn mission_mix_is_realistic() {
+        let mut g = generator();
+        let batch = g.take(2000);
+        let s1 = batch.iter().filter(|p| p.mission == "S1").count();
+        let s2 = batch.iter().filter(|p| p.mission == "S2").count();
+        let s3 = batch.iter().filter(|p| p.mission == "S3").count();
+        assert!(s1 > 500 && s2 > 700 && s3 > 80, "mix {s1}/{s2}/{s3}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generator().take(50);
+        let b = generator().take(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = generator().next_product();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Product = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! A discrete-event simulated compute cluster.
+//!
+//! Challenge C5 runs the ExtremeEarth stack "in the elastic cloud
+//! environment [...] with significant storage, compute and GPU resources".
+//! That environment is not available here, so this crate simulates it:
+//!
+//! * [`topology`] — racks of nodes with CPU/GPU slots, per-device compute
+//!   rates and NIC bandwidths;
+//! * [`events`] — a deterministic discrete-event queue in virtual time
+//!   ([`ee_util::timeline::SimTime`]);
+//! * [`network`] — a store-and-forward NIC model: transfers serialise at
+//!   the sender's egress and the receiver's ingress, which reproduces the
+//!   central-bottleneck behaviour of parameter servers and the
+//!   bandwidth-optimality of ring allreduce without a full packet-level
+//!   simulation;
+//! * [`scheduler`] — a YARN-like FIFO container scheduler, used by the
+//!   platform layer for job placement and by the hyperparameter-search
+//!   experiments.
+//!
+//! The deep-learning crate (`ee-dl`) drives this simulator with *real*
+//! gradient payload sizes, so the E4 scaling curves combine genuine
+//! arithmetic with simulated time.
+
+pub mod events;
+pub mod network;
+pub mod scheduler;
+pub mod topology;
+
+pub use events::EventQueue;
+pub use network::Network;
+pub use topology::{ClusterSpec, NodeId, NodeSpec};
+
+/// Errors from the cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Referenced a node that does not exist.
+    UnknownNode(usize),
+    /// A job requested more resources than the whole cluster owns.
+    Unsatisfiable {
+        /// What was asked.
+        requested: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ClusterError::Unsatisfiable { requested } => {
+                write!(f, "request can never be satisfied: {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # ExtremeEarth-rs
+//!
+//! A from-scratch Rust reproduction of the system described in *"From
+//! Copernicus Big Data to Extreme Earth Analytics"* (Koubarakis et al.,
+//! EDBT 2019): extreme Earth analytics over Copernicus-scale data —
+//! scalable deep learning for Sentinel imagery, big linked geospatial
+//! data management, semantic catalogues, and the Food Security and Polar
+//! applications, all on a HOPS-like data platform.
+//!
+//! This crate is the public façade: it re-exports every subsystem under a
+//! stable name and provides the [`platform`] module — the Hopsworks-like
+//! orchestration layer (Challenge C5) that wires storage (`hopsfs`),
+//! compute (`cluster`), analytics (`dl`) and knowledge (`rdf`,
+//! `catalogue`) together, including the end-to-end information-extraction
+//! pipeline behind experiment E1 ("1 PB of Sentinel data … ~450 TB of
+//! content information and knowledge").
+//!
+//! ## Quick start
+//!
+//! ```
+//! use extremeearth::platform::{Platform, PlatformConfig};
+//! use extremeearth::datasets::{Landscape, LandscapeConfig};
+//!
+//! // A platform with a 4-shard metadata store.
+//! let mut platform = Platform::new(PlatformConfig::default()).unwrap();
+//! // Generate a small synthetic world and archive one optical scene.
+//! let world = Landscape::generate(LandscapeConfig {
+//!     size: 32, parcels_per_side: 4, ..LandscapeConfig::default()
+//! }).unwrap();
+//! let date = extremeearth::util::timeline::Date::new(2017, 6, 15).unwrap();
+//! let scene = extremeearth::datasets::optics::simulate_s2(
+//!     &world, date, Default::default(), 1).unwrap();
+//! let stored = platform.archive_scene("demo", &scene).unwrap();
+//! assert!(stored.bytes > 0);
+//! ```
+
+pub use ee_catalogue as catalogue;
+pub use ee_cluster as cluster;
+pub use ee_datasets as datasets;
+pub use ee_dl as dl;
+pub use ee_federation as federation;
+pub use ee_food as food;
+pub use ee_geo as geo;
+pub use ee_geotriples as geotriples;
+pub use ee_hopsfs as hopsfs;
+pub use ee_interlink as interlink;
+pub use ee_polar as polar;
+pub use ee_raster as raster;
+pub use ee_rdf as rdf;
+pub use ee_sextant as sextant;
+pub use ee_tensor as tensor;
+pub use ee_util as util;
+
+pub mod platform;
+
+pub use platform::{Platform, PlatformConfig};

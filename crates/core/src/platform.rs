@@ -1,0 +1,401 @@
+//! The platform layer: the Hopsworks analogue of Challenge C5.
+//!
+//! A [`Platform`] owns the HopsFS-analogue archive, the semantic
+//! catalogue, and the simulated cluster description. Projects organise
+//! the namespace (`/projects/<name>/...`); scenes are archived as
+//! codec-encoded band files; the information-extraction pipeline of
+//! experiment E1 runs scenes through classification and publishes the
+//! resulting knowledge as linked data, reporting the volume ratios the
+//! paper quotes.
+
+use ee_catalogue::SemanticCatalogue;
+use ee_cluster::topology::ClusterSpec;
+use ee_datasets::{LandClass, Landscape};
+use ee_hopsfs::{FileSystem, FsConfig};
+use ee_raster::{codec, Scene};
+use ee_rdf::term::Term;
+use ee_util::bytes::ByteSize;
+
+/// Platform-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// Storage-layer failure.
+    Storage(String),
+    /// Analytics failure.
+    Analytics(String),
+}
+
+impl From<ee_hopsfs::FsError> for PlatformError {
+    fn from(e: ee_hopsfs::FsError) -> Self {
+        PlatformError::Storage(e.to_string())
+    }
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Storage(m) => write!(f, "storage: {m}"),
+            PlatformError::Analytics(m) => write!(f, "analytics: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Metadata-store configuration.
+    pub fs: FsConfig,
+    /// The (simulated) compute cluster attached to the platform.
+    pub cluster: ClusterSpec,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            fs: FsConfig::default(),
+            cluster: ClusterSpec::flat(8),
+        }
+    }
+}
+
+/// Result of archiving one scene.
+#[derive(Debug, Clone)]
+pub struct StoredScene {
+    /// Directory path of the scene in the archive.
+    pub path: String,
+    /// Total encoded bytes across band files.
+    pub bytes: u64,
+    /// Band files written.
+    pub files: usize,
+}
+
+/// The E1 information-extraction report.
+#[derive(Debug, Clone)]
+pub struct ExtractionReport {
+    /// Scenes processed ("datasets" in the paper's terminology).
+    pub datasets: usize,
+    /// Raw archive bytes ingested.
+    pub input_bytes: u64,
+    /// Knowledge triples produced.
+    pub knowledge_triples: usize,
+    /// Serialised knowledge volume (N-Triples bytes).
+    pub knowledge_bytes: u64,
+}
+
+impl ExtractionReport {
+    /// Knowledge-to-data volume ratio (the paper's 450 TB / 1 PB ≈ 0.45,
+    /// at the information level rather than the byte level).
+    pub fn knowledge_ratio(&self) -> f64 {
+        if self.input_bytes == 0 {
+            return 0.0;
+        }
+        self.knowledge_bytes as f64 / self.input_bytes as f64
+    }
+}
+
+/// The platform.
+pub struct Platform {
+    fs: FileSystem,
+    catalogue: SemanticCatalogue,
+    cluster: ClusterSpec,
+    archived_bytes: u64,
+}
+
+impl Platform {
+    /// Boot a platform.
+    pub fn new(config: PlatformConfig) -> Result<Platform, PlatformError> {
+        let fs = FileSystem::new(config.fs);
+        fs.mkdir_p("/projects")?;
+        Ok(Platform {
+            fs,
+            catalogue: SemanticCatalogue::new(),
+            cluster: config.cluster,
+            archived_bytes: 0,
+        })
+    }
+
+    /// The archive filesystem.
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// The semantic catalogue.
+    pub fn catalogue(&self) -> &SemanticCatalogue {
+        &self.catalogue
+    }
+
+    /// Mutable catalogue access (pipelines publish into it).
+    pub fn catalogue_mut(&mut self) -> &mut SemanticCatalogue {
+        &mut self.catalogue
+    }
+
+    /// The attached cluster description.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Create a project namespace; idempotent.
+    pub fn create_project(&self, name: &str) -> Result<String, PlatformError> {
+        let path = format!("/projects/{name}");
+        self.fs.mkdir_p(&path)?;
+        self.fs.mkdir_p(&format!("{path}/scenes"))?;
+        self.fs.mkdir_p(&format!("{path}/knowledge"))?;
+        Ok(path)
+    }
+
+    /// Archive a scene's bands as codec files under the project.
+    pub fn archive_scene(
+        &mut self,
+        project: &str,
+        scene: &Scene,
+    ) -> Result<StoredScene, PlatformError> {
+        let base = format!("{}/scenes/{}", self.create_project(project)?, scene.id);
+        self.fs.mkdir_p(&base)?;
+        let mut total = 0u64;
+        let mut files = 0usize;
+        for (band, raster) in scene.bands() {
+            let encoded = codec::encode(raster);
+            total += encoded.len() as u64;
+            self.fs
+                .create(&format!("{base}/{}.eert", band.name()), &encoded)?;
+            files += 1;
+        }
+        self.archived_bytes += total;
+        Ok(StoredScene {
+            path: base,
+            bytes: total,
+            files,
+        })
+    }
+
+    /// List a project's archived scenes.
+    pub fn list_scenes(&self, project: &str) -> Result<Vec<String>, PlatformError> {
+        Ok(self
+            .fs
+            .list(&format!("/projects/{project}/scenes"))?
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect())
+    }
+
+    /// The E1 pipeline: archive `stack` scenes, classify the world with
+    /// the truth-trained mapper output (`crop_map`), publish per-parcel
+    /// knowledge, and report the data→knowledge volume relationship.
+    pub fn extract_knowledge(
+        &mut self,
+        project: &str,
+        world: &Landscape,
+        scenes: &[Scene],
+        crop_map: &ee_raster::Raster<u8>,
+    ) -> Result<ExtractionReport, PlatformError> {
+        let mut input_bytes = 0u64;
+        for scene in scenes {
+            let stored = self.archive_scene(project, scene)?;
+            input_bytes += stored.bytes;
+        }
+        // Knowledge: per-parcel classification triples, plus a per-scene
+        // per-parcel NDVI observation — content information grows with the
+        // number of datasets processed, as the paper's Variety figure
+        // describes.
+        let before = self.catalogue.len();
+        let farm = "http://extremeearth.eu/ont/farm#";
+        let mut knowledge_bytes = 0u64;
+        let mut observation_counter = 0u64;
+        for scene in scenes {
+            let Ok(ndvi) = ee_raster::indices::ndvi(scene) else {
+                continue; // SAR scenes carry no NDVI
+            };
+            // Mean NDVI per parcel for this acquisition.
+            let mut sums = vec![(0.0f64, 0usize); world.parcels.len() + 1];
+            for (c, r, pid) in world.parcel_map.iter() {
+                if pid != 0 {
+                    let cell = &mut sums[pid as usize];
+                    cell.0 += ndvi.at(c, r) as f64;
+                    cell.1 += 1;
+                }
+            }
+            for parcel in &world.parcels {
+                let (sum, count) = sums[parcel.id as usize];
+                if count == 0 {
+                    continue;
+                }
+                observation_counter += 1;
+                let obs = Term::iri(format!("{farm}obs/{observation_counter}"));
+                let triples = [
+                    (
+                        obs.clone(),
+                        Term::iri(format!("{farm}ofParcel")),
+                        Term::iri(format!("{farm}parcel/{}", parcel.id)),
+                    ),
+                    (
+                        obs.clone(),
+                        Term::iri(format!("{farm}sensedOn")),
+                        Term::date(scene.sensing),
+                    ),
+                    (
+                        obs.clone(),
+                        Term::iri(format!("{farm}meanNdvi")),
+                        Term::double((sum / count as f64 * 1000.0).round() / 1000.0),
+                    ),
+                ];
+                for (s, p, o) in triples {
+                    knowledge_bytes += (s.ntriples().len()
+                        + p.ntriples().len()
+                        + o.ntriples().len()
+                        + 4) as u64;
+                    self.catalogue_insert(&s, &p, &o);
+                }
+            }
+        }
+        for parcel in &world.parcels {
+            // Majority mapped class over the parcel.
+            let mut votes = [0u32; 10];
+            for (c, r, pid) in world.parcel_map.iter() {
+                if pid == parcel.id {
+                    votes[crop_map.at(c, r) as usize] += 1;
+                }
+            }
+            let mapped = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .and_then(|(i, _)| LandClass::from_index(i))
+                .unwrap_or(LandClass::BareSoil);
+            let subject = Term::iri(format!("{farm}parcel/{}", parcel.id));
+            let triples = [
+                (
+                    subject.clone(),
+                    Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                    Term::iri(format!("{farm}Parcel")),
+                ),
+                (
+                    subject.clone(),
+                    Term::iri(format!("{farm}cropType")),
+                    Term::string(mapped.name()),
+                ),
+                (
+                    subject.clone(),
+                    Term::iri("http://www.opengis.net/ont/geosparql#asWKT"),
+                    Term::geometry(&parcel.polygon.clone().into()),
+                ),
+            ];
+            for (s, p, o) in triples {
+                knowledge_bytes +=
+                    (s.ntriples().len() + p.ntriples().len() + o.ntriples().len() + 4) as u64;
+                // Store into the catalogue's knowledge graph through its
+                // public product-agnostic surface: the semantic store.
+                self.catalogue_insert(&s, &p, &o);
+            }
+        }
+        self.catalogue.finish_ingest();
+        let knowledge_triples = self.catalogue.len() - before;
+        Ok(ExtractionReport {
+            datasets: scenes.len(),
+            input_bytes,
+            knowledge_triples,
+            knowledge_bytes,
+        })
+    }
+
+    fn catalogue_insert(&mut self, s: &Term, p: &Term, o: &Term) {
+        // SemanticCatalogue does not expose raw insert; extend it here via
+        // its store-compatible observation API when shapes match, else use
+        // the generic path below.
+        self.catalogue.insert_raw(s, p, o);
+    }
+
+    /// Total bytes archived through this platform instance.
+    pub fn archive_volume(&self) -> ByteSize {
+        ByteSize(self.archived_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_datasets::landscape::LandscapeConfig;
+    use ee_datasets::optics::{simulate_s2, OpticsConfig};
+    use ee_util::timeline::Date;
+
+    fn world() -> Landscape {
+        Landscape::generate(LandscapeConfig {
+            size: 32,
+            parcels_per_side: 4,
+            ..LandscapeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn scene(world: &Landscape, seed: u64) -> Scene {
+        // Distinct dates give distinct product ids.
+        simulate_s2(
+            world,
+            Date::from_ordinal(2017, 160 + seed as u16).unwrap(),
+            OpticsConfig::default(),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn projects_and_archive() {
+        let mut p = Platform::new(PlatformConfig::default()).unwrap();
+        let w = world();
+        let s = scene(&w, 1);
+        let stored = p.archive_scene("food-security", &s).unwrap();
+        assert_eq!(stored.files, 13);
+        assert!(stored.bytes > 0);
+        let scenes = p.list_scenes("food-security").unwrap();
+        assert_eq!(scenes.len(), 1);
+        assert!(scenes[0].starts_with("S2_SYN_2017"), "{scenes:?}");
+        // Re-archiving under another project is independent.
+        p.archive_scene("polar", &s).unwrap();
+        assert_eq!(p.list_scenes("polar").unwrap().len(), 1);
+        assert_eq!(p.archive_volume().as_u64(), stored.bytes * 2);
+    }
+
+    #[test]
+    fn extraction_report_has_paper_shape() {
+        let mut p = Platform::new(PlatformConfig::default()).unwrap();
+        let w = world();
+        let scenes = vec![scene(&w, 1), scene(&w, 2)];
+        let report = p
+            .extract_knowledge("e1", &w, &scenes, &w.truth)
+            .unwrap();
+        assert_eq!(report.datasets, 2);
+        assert!(report.input_bytes > 0);
+        // 3 classification triples per parcel + 3 observation triples per
+        // parcel per scene.
+        assert_eq!(report.knowledge_triples, w.parcels.len() * 3 + w.parcels.len() * 3 * 2);
+        assert!(report.knowledge_bytes > 0);
+        // Knowledge is far smaller than pixels, but non-trivial.
+        let ratio = report.knowledge_ratio();
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio {ratio}");
+        // The knowledge is queryable.
+        let sol = p
+            .catalogue()
+            .query(
+                "PREFIX farm: <http://extremeearth.eu/ont/farm#> \
+                 SELECT (COUNT(?p) AS ?n) WHERE { ?p a farm:Parcel }",
+            )
+            .unwrap();
+        assert_eq!(
+            sol.scalar(),
+            Some(&Term::integer(w.parcels.len() as i64))
+        );
+    }
+
+    #[test]
+    fn archive_duplicate_scene_errors() {
+        let mut p = Platform::new(PlatformConfig::default()).unwrap();
+        let w = world();
+        let s = scene(&w, 1);
+        p.archive_scene("proj", &s).unwrap();
+        assert!(matches!(
+            p.archive_scene("proj", &s),
+            Err(PlatformError::Storage(_))
+        ));
+    }
+}

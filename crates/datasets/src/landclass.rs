@@ -1,0 +1,326 @@
+//! The land-cover taxonomy with spectral, SAR and phenological signatures.
+//!
+//! Ten classes (the cardinality of the EuroSat benchmark, ref \[11\]): five
+//! annual crops with true phenology, plus five static cover types. The
+//! per-band reflectances are plausible mid-range values for each cover at
+//! full development; the simulator mixes them with bare-soil spectra by
+//! the phenological canopy fraction, so class separability varies through
+//! the season exactly the way real crop classification does.
+
+use ee_raster::Band;
+
+/// The 10 land-cover classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LandClass {
+    /// Winter wheat (sown in autumn, harvested mid-summer).
+    Wheat,
+    /// Maize (sown late spring, harvested autumn).
+    Maize,
+    /// Winter rapeseed (distinct yellow-flowering spectra in spring).
+    Rapeseed,
+    /// Sugar beet (late canopy closure).
+    SugarBeet,
+    /// Permanent grassland.
+    Grassland,
+    /// Forest.
+    Forest,
+    /// Open water.
+    Water,
+    /// Built-up / urban.
+    Urban,
+    /// Bare soil / fallow.
+    BareSoil,
+    /// Wetland.
+    Wetland,
+}
+
+impl LandClass {
+    /// All classes, index order == `as_index` order.
+    pub const ALL: [LandClass; 10] = [
+        LandClass::Wheat,
+        LandClass::Maize,
+        LandClass::Rapeseed,
+        LandClass::SugarBeet,
+        LandClass::Grassland,
+        LandClass::Forest,
+        LandClass::Water,
+        LandClass::Urban,
+        LandClass::BareSoil,
+        LandClass::Wetland,
+    ];
+
+    /// The arable crops (classes with a crop calendar).
+    pub const CROPS: [LandClass; 5] = [
+        LandClass::Wheat,
+        LandClass::Maize,
+        LandClass::Rapeseed,
+        LandClass::SugarBeet,
+        LandClass::Grassland,
+    ];
+
+    /// Stable dense index, 0..10.
+    pub fn as_index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+
+    /// Inverse of [`LandClass::as_index`].
+    pub fn from_index(i: usize) -> Option<LandClass> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LandClass::Wheat => "Wheat",
+            LandClass::Maize => "Maize",
+            LandClass::Rapeseed => "Rapeseed",
+            LandClass::SugarBeet => "SugarBeet",
+            LandClass::Grassland => "Grassland",
+            LandClass::Forest => "Forest",
+            LandClass::Water => "Water",
+            LandClass::Urban => "Urban",
+            LandClass::BareSoil => "BareSoil",
+            LandClass::Wetland => "Wetland",
+        }
+    }
+
+    /// Is this an annual crop with a calendar?
+    pub fn is_crop(self) -> bool {
+        Self::CROPS.contains(&self)
+    }
+
+    /// Reflectance of the *fully developed* cover in a Sentinel-2 band
+    /// (0..1). Vegetation classes show the red-edge/NIR plateau; water is
+    /// dark in the infrared; urban is spectrally flat and bright.
+    pub fn reflectance(self, band: Band) -> f32 {
+        use Band::*;
+        let vegetation = |nir: f32, red: f32| match band {
+            B01 => 0.03,
+            B02 => 0.04,
+            B03 => 0.07,
+            B04 => red,
+            B05 => red + 0.10,
+            B06 => nir * 0.75,
+            B07 => nir * 0.92,
+            B08 => nir,
+            B8A => nir * 1.02,
+            B09 => nir * 0.35,
+            B10 => 0.01,
+            B11 => 0.18,
+            B12 => 0.10,
+            VV | VH => 0.0,
+        };
+        match self {
+            LandClass::Wheat => vegetation(0.42, 0.05),
+            LandClass::Maize => vegetation(0.48, 0.05),
+            LandClass::Rapeseed => match band {
+                // Flowering rapeseed is bright in green AND red.
+                B03 => 0.14,
+                B04 => 0.12,
+                _ => vegetation(0.46, 0.12),
+            },
+            LandClass::SugarBeet => vegetation(0.45, 0.04),
+            LandClass::Grassland => vegetation(0.38, 0.06),
+            LandClass::Forest => match band {
+                B11 => 0.12,
+                B12 => 0.06,
+                _ => vegetation(0.35, 0.035),
+            },
+            LandClass::Water => match band {
+                B01 => 0.06,
+                B02 => 0.05,
+                B03 => 0.04,
+                B04 => 0.02,
+                _ => 0.008,
+            },
+            LandClass::Urban => match band {
+                B01 | B02 => 0.12,
+                B03 | B04 => 0.15,
+                B05 | B06 | B07 => 0.17,
+                B08 | B8A => 0.20,
+                B09 => 0.10,
+                B10 => 0.01,
+                B11 => 0.25,
+                B12 => 0.23,
+                VV | VH => 0.0,
+            },
+            LandClass::BareSoil => match band {
+                B01 => 0.08,
+                B02 => 0.10,
+                B03 => 0.13,
+                B04 => 0.17,
+                B05 => 0.19,
+                B06 => 0.21,
+                B07 => 0.22,
+                B08 => 0.24,
+                B8A => 0.25,
+                B09 => 0.12,
+                B10 => 0.01,
+                B11 => 0.32,
+                B12 => 0.28,
+                VV | VH => 0.0,
+            },
+            LandClass::Wetland => match band {
+                B04 => 0.04,
+                B08 => 0.22,
+                B11 => 0.08,
+                B12 => 0.04,
+                _ => vegetation(0.22, 0.04) * 0.8,
+            },
+        }
+    }
+
+    /// SAR backscatter (dB) for (VV, VH) at full development.
+    /// Rough/volumetric targets (forest, urban) scatter strongly; calm
+    /// water is a specular mirror (very low).
+    pub fn backscatter_db(self) -> (f32, f32) {
+        match self {
+            LandClass::Wheat => (-10.0, -16.0),
+            LandClass::Maize => (-8.5, -14.0),
+            LandClass::Rapeseed => (-9.0, -14.5),
+            LandClass::SugarBeet => (-9.5, -15.0),
+            LandClass::Grassland => (-11.0, -17.0),
+            LandClass::Forest => (-7.0, -12.0),
+            LandClass::Water => (-22.0, -30.0),
+            LandClass::Urban => (-4.0, -10.0),
+            LandClass::BareSoil => (-13.0, -21.0),
+            LandClass::Wetland => (-15.0, -22.0),
+        }
+    }
+
+    /// Canopy fraction (0..1) at a day of year: the phenology curve.
+    /// Static covers return their constant density.
+    pub fn canopy(self, doy: u16) -> f32 {
+        fn bell(doy: u16, emergence: f64, peak: f64, harvest: f64) -> f32 {
+            let d = doy as f64;
+            if d < emergence || d > harvest {
+                return 0.0;
+            }
+            if d <= peak {
+                (((d - emergence) / (peak - emergence)) as f32).powf(1.5)
+            } else {
+                // Senescence towards harvest.
+                let t = (harvest - d) / (harvest - peak);
+                (t as f32).clamp(0.0, 1.0).powf(0.7)
+            }
+        }
+        match self {
+            // Winter wheat: greens up from ~day 60, peaks ~150, harvest ~200.
+            LandClass::Wheat => bell(doy, 40.0, 150.0, 205.0),
+            // Maize: sown ~120, peak ~210, harvest ~280.
+            LandClass::Maize => bell(doy, 125.0, 210.0, 285.0),
+            // Rapeseed: early green-up, peak (flowering) ~130, harvest ~190.
+            LandClass::Rapeseed => bell(doy, 35.0, 130.0, 195.0),
+            // Sugar beet: sown ~100, closes late, harvested ~290.
+            LandClass::SugarBeet => bell(doy, 110.0, 220.0, 300.0),
+            // Grassland: green all season with mild winter dip.
+            LandClass::Grassland => {
+                let seasonal =
+                    0.65 + 0.3 * ((doy as f32 - 190.0) * std::f32::consts::PI / 365.0).cos().abs();
+                seasonal.min(0.95)
+            }
+            LandClass::Forest => 0.9,
+            LandClass::Water | LandClass::Urban | LandClass::BareSoil => 0.0,
+            LandClass::Wetland => 0.55,
+        }
+    }
+
+    /// Crop coefficient Kc for evapotranspiration (PROMET-lite, ref \[10\]).
+    /// Scales reference ET by development stage; FAO-56-style values.
+    pub fn kc(self, doy: u16) -> f64 {
+        let canopy = self.canopy(doy) as f64;
+        match self {
+            LandClass::Wheat => 0.3 + 0.85 * canopy,
+            LandClass::Maize => 0.3 + 0.90 * canopy,
+            LandClass::Rapeseed => 0.35 + 0.75 * canopy,
+            LandClass::SugarBeet => 0.35 + 0.85 * canopy,
+            LandClass::Grassland => 0.4 + 0.55 * canopy,
+            LandClass::Forest => 1.0,
+            LandClass::Water => 1.05,
+            LandClass::Urban => 0.15,
+            LandClass::BareSoil => 0.25,
+            LandClass::Wetland => 1.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_classes_with_stable_indexes() {
+        assert_eq!(LandClass::ALL.len(), 10, "EuroSat cardinality");
+        for (i, c) in LandClass::ALL.iter().enumerate() {
+            assert_eq!(c.as_index(), i);
+            assert_eq!(LandClass::from_index(i), Some(*c));
+        }
+        assert_eq!(LandClass::from_index(10), None);
+    }
+
+    #[test]
+    fn crops_have_calendars_statics_do_not() {
+        assert!(LandClass::Wheat.is_crop());
+        assert!(!LandClass::Urban.is_crop());
+        assert_eq!(LandClass::Urban.canopy(180), 0.0);
+        assert_eq!(LandClass::Water.canopy(10), 0.0);
+    }
+
+    #[test]
+    fn wheat_phenology_shape() {
+        let w = LandClass::Wheat;
+        assert_eq!(w.canopy(10), 0.0, "dormant in winter");
+        assert!(w.canopy(150) > 0.9, "peak in late spring");
+        assert!(w.canopy(100) > 0.2 && w.canopy(100) < w.canopy(150));
+        assert!(w.canopy(195) < w.canopy(150), "senescing before harvest");
+        assert_eq!(w.canopy(250), 0.0, "harvested");
+    }
+
+    #[test]
+    fn maize_is_later_than_wheat() {
+        assert!(LandClass::Wheat.canopy(130) > 0.5);
+        assert_eq!(LandClass::Maize.canopy(120), 0.0, "not yet emerged");
+        assert!(LandClass::Maize.canopy(250) > 0.3);
+        assert_eq!(LandClass::Wheat.canopy(250), 0.0);
+    }
+
+    #[test]
+    fn spectra_are_physical() {
+        for c in LandClass::ALL {
+            for b in Band::S2_ALL {
+                let r = c.reflectance(b);
+                assert!((0.0..=1.0).contains(&r), "{c:?} {b:?} = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn vegetation_has_red_edge() {
+        for c in [LandClass::Wheat, LandClass::Forest, LandClass::Grassland] {
+            let red = c.reflectance(Band::B04);
+            let nir = c.reflectance(Band::B08);
+            assert!(nir > 3.0 * red, "{c:?} NIR {nir} vs red {red}");
+        }
+        // Water absorbs NIR.
+        assert!(LandClass::Water.reflectance(Band::B08) < LandClass::Water.reflectance(Band::B03));
+    }
+
+    #[test]
+    fn sar_signatures_separate_key_classes() {
+        let (water_vv, _) = LandClass::Water.backscatter_db();
+        let (urban_vv, _) = LandClass::Urban.backscatter_db();
+        let (forest_vv, forest_vh) = LandClass::Forest.backscatter_db();
+        assert!(urban_vv > forest_vv && forest_vv > water_vv);
+        assert!(forest_vh < forest_vv, "cross-pol is always weaker");
+    }
+
+    #[test]
+    fn kc_tracks_development() {
+        let kc_winter = LandClass::Wheat.kc(10);
+        let kc_peak = LandClass::Wheat.kc(150);
+        assert!(kc_peak > 1.0, "mid-season wheat Kc above 1: {kc_peak}");
+        assert!((kc_winter - 0.3).abs() < 1e-6, "bare Kc in winter");
+        assert!(LandClass::Water.kc(100) > 1.0);
+        assert!(LandClass::Urban.kc(100) < 0.3);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Sentinel-2 optical simulator.
+//!
+//! For a landscape, a date and a seed, produce a 13-band scene:
+//!
+//! * per-pixel reflectance = canopy-weighted mix of the class's developed
+//!   spectrum and bare soil (phenology drives the seasonal signal);
+//! * multiplicative terrain illumination from the DEM gradient;
+//! * additive Gaussian sensor noise per band;
+//! * a fractal cloud field (bright, spectrally flat) with a per-scene
+//!   cloud fraction — the reason median composites exist.
+
+use crate::landclass::LandClass;
+use crate::landscape::Landscape;
+use crate::DataGenError;
+use ee_raster::{Band, Mission, Raster, Scene};
+use ee_util::noise::Fbm;
+use ee_util::timeline::Date;
+use ee_util::Rng;
+
+/// Optical simulation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct OpticsConfig {
+    /// Fraction of the scene hidden by cloud (0..1).
+    pub cloud_fraction: f64,
+    /// Per-band additive noise standard deviation.
+    pub noise_std: f32,
+}
+
+impl Default for OpticsConfig {
+    fn default() -> Self {
+        Self {
+            cloud_fraction: 0.15,
+            noise_std: 0.012,
+        }
+    }
+}
+
+/// Simulate one Sentinel-2 scene over the landscape.
+pub fn simulate_s2(
+    world: &Landscape,
+    date: Date,
+    config: OpticsConfig,
+    seed: u64,
+) -> Result<Scene, DataGenError> {
+    let n = world.config.size;
+    let transform = world.truth.transform();
+    let mut rng = Rng::seed_from(seed ^ (date.ordinal() as u64) << 32 ^ date.year() as u64);
+    let doy = date.ordinal();
+
+    // Cloud mask: thresholded fBm so clouds are spatially coherent.
+    let cloud_field = Fbm::new(seed ^ 0xc10d ^ date.ordinal() as u64, 0.03).with_octaves(4);
+    let threshold = 1.0 - config.cloud_fraction;
+    let cloudy = |c: usize, r: usize| cloud_field.sample01(c as f64, r as f64) > threshold;
+
+    // Terrain illumination: brighter on "south-east" slopes.
+    let illum = |c: usize, r: usize| -> f32 {
+        let e = world.dem.at(c, r);
+        let ex = world.dem.at((c + 1).min(n - 1), r);
+        let ey = world.dem.at(c, (r + 1).min(n - 1));
+        let dx = (ex - e) / world.config.pixel_m as f32;
+        let dy = (ey - e) / world.config.pixel_m as f32;
+        (1.0 + 0.35 * (dx - dy)).clamp(0.75, 1.25)
+    };
+
+    let soil = LandClass::BareSoil;
+    let mut scene = Scene::new(
+        format!("S2_SYN_{}_{:03}", date.year(), date.ordinal()),
+        Mission::Sentinel2,
+        date,
+    );
+    for band in Band::S2_ALL {
+        let mut raster = Raster::zeros(n, n, transform);
+        for r in 0..n {
+            for c in 0..n {
+                let value = if cloudy(c, r) {
+                    // Clouds: bright, flat, slightly noisy.
+                    0.65 + rng.normal(0.0, 0.03) as f32
+                } else {
+                    let class = world.class_at(c, r);
+                    let eff_doy = world.effective_doy(c, r, doy);
+                    let canopy = class.canopy(eff_doy);
+                    let developed = class.reflectance(band);
+                    let bare = soil.reflectance(band);
+                    let mixed = canopy * developed + (1.0 - canopy) * bare;
+                    // Water/urban ignore the soil mix (canopy 0 already
+                    // yields bare soil, wrong for them) — use their own
+                    // spectrum directly for non-crop statics.
+                    let base = if class.is_crop() {
+                        mixed
+                    } else if class == LandClass::Forest || class == LandClass::Wetland {
+                        let cf = class.canopy(eff_doy);
+                        cf * developed + (1.0 - cf) * bare
+                    } else {
+                        developed
+                    };
+                    base * illum(c, r) + rng.normal(0.0, config.noise_std as f64) as f32
+                };
+                raster.put(c, r, value.clamp(0.0, 1.0));
+            }
+        }
+        scene.add_band(band, raster)?;
+    }
+    Ok(scene)
+}
+
+/// Simulate a full season of scenes at the given dates.
+pub fn simulate_season(
+    world: &Landscape,
+    dates: &[Date],
+    config: OpticsConfig,
+    seed: u64,
+) -> Result<ee_raster::stack::TimeStack, DataGenError> {
+    let mut stack = ee_raster::stack::TimeStack::new();
+    for (i, &date) in dates.iter().enumerate() {
+        let scene = simulate_s2(world, date, config, seed ^ (i as u64 * 0x9e37))?;
+        stack.push(scene)?;
+    }
+    Ok(stack)
+}
+
+/// The standard acquisition calendar: one scene every `every` days across
+/// a year (Sentinel-2's 5-day revisit would be `every = 5`).
+pub fn acquisition_dates(year: i32, every: u16) -> Vec<Date> {
+    assert!(every > 0);
+    let mut out = Vec::new();
+    let mut doy = 1u16;
+    while let Some(d) = Date::from_ordinal(year, doy) {
+        out.push(d);
+        doy += every;
+        if doy > 365 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::LandscapeConfig;
+    use ee_raster::indices;
+
+    fn world() -> Landscape {
+        Landscape::generate(LandscapeConfig {
+            size: 64,
+            parcels_per_side: 6,
+            ..LandscapeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn clear() -> OpticsConfig {
+        OpticsConfig {
+            cloud_fraction: 0.0,
+            noise_std: 0.005,
+        }
+    }
+
+    #[test]
+    fn scene_has_13_bands_and_matches_grid() {
+        let w = world();
+        let s = simulate_s2(&w, Date::new(2017, 6, 15).unwrap(), clear(), 1).unwrap();
+        assert_eq!(s.num_bands(), 13);
+        assert_eq!(s.shape(), (64, 64));
+        assert_eq!(s.footprint(), w.truth.envelope());
+        assert_eq!(s.mission, Mission::Sentinel2);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let w = world();
+        let d = Date::new(2017, 6, 15).unwrap();
+        let a = simulate_s2(&w, d, clear(), 7).unwrap();
+        let b = simulate_s2(&w, d, clear(), 7).unwrap();
+        assert_eq!(a.band(Band::B04).unwrap(), b.band(Band::B04).unwrap());
+    }
+
+    #[test]
+    fn summer_wheat_is_green_winter_is_not() {
+        let w = world();
+        // Find a wheat pixel.
+        let mut wheat = None;
+        'o: for r in 0..64 {
+            for c in 0..64 {
+                if w.class_at(c, r) == LandClass::Wheat {
+                    wheat = Some((c, r));
+                    break 'o;
+                }
+            }
+        }
+        let Some((c, r)) = wheat else {
+            return; // this seed grew no wheat on a small world; fine
+        };
+        let summer = simulate_s2(&w, Date::new(2017, 5, 30).unwrap(), clear(), 3).unwrap();
+        let winter = simulate_s2(&w, Date::new(2017, 1, 10).unwrap(), clear(), 3).unwrap();
+        let ndvi_summer = indices::ndvi(&summer).unwrap().at(c, r);
+        let ndvi_winter = indices::ndvi(&winter).unwrap().at(c, r);
+        assert!(
+            ndvi_summer > ndvi_winter + 0.15,
+            "seasonal NDVI: summer {ndvi_summer} vs winter {ndvi_winter}"
+        );
+    }
+
+    #[test]
+    fn water_is_dark_in_nir() {
+        let w = world();
+        let s = simulate_s2(&w, Date::new(2017, 7, 1).unwrap(), clear(), 5).unwrap();
+        let nir = s.band(Band::B08).unwrap();
+        let mut water_vals = Vec::new();
+        let mut veg_vals = Vec::new();
+        for r in 0..64 {
+            for c in 0..64 {
+                match w.class_at(c, r) {
+                    LandClass::Water => water_vals.push(nir.at(c, r)),
+                    LandClass::Forest => veg_vals.push(nir.at(c, r)),
+                    _ => {}
+                }
+            }
+        }
+        if water_vals.is_empty() || veg_vals.is_empty() {
+            return;
+        }
+        let wm = water_vals.iter().sum::<f32>() / water_vals.len() as f32;
+        let vm = veg_vals.iter().sum::<f32>() / veg_vals.len() as f32;
+        assert!(vm > wm * 3.0, "forest NIR {vm} vs water {wm}");
+    }
+
+    #[test]
+    fn clouds_brighten_pixels() {
+        let w = world();
+        let d = Date::new(2017, 6, 1).unwrap();
+        let clear_scene = simulate_s2(&w, d, clear(), 11).unwrap();
+        let cloudy_scene = simulate_s2(
+            &w,
+            d,
+            OpticsConfig {
+                cloud_fraction: 0.5,
+                noise_std: 0.005,
+            },
+            11,
+        )
+        .unwrap();
+        let clear_mean = clear_scene.band(Band::B02).unwrap().mean();
+        let cloudy_mean = cloudy_scene.band(Band::B02).unwrap().mean();
+        assert!(
+            cloudy_mean > clear_mean + 0.1,
+            "clouds raise blue-band mean: {clear_mean} → {cloudy_mean}"
+        );
+    }
+
+    #[test]
+    fn season_stack_orders_dates() {
+        let w = world();
+        let dates = acquisition_dates(2017, 30);
+        assert_eq!(dates.len(), 13);
+        let stack = simulate_season(&w, &dates[..4], clear(), 2).unwrap();
+        assert_eq!(stack.len(), 4);
+        let ds = stack.dates();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn acquisition_calendar() {
+        let d5 = acquisition_dates(2017, 5);
+        assert_eq!(d5.len(), 73);
+        assert_eq!(d5[0], Date::new(2017, 1, 1).unwrap());
+        assert_eq!(d5[1].ordinal(), 6);
+    }
+
+    #[test]
+    fn reflectances_stay_in_unit_range() {
+        let w = world();
+        let s = simulate_s2(
+            &w,
+            Date::new(2017, 8, 1).unwrap(),
+            OpticsConfig {
+                cloud_fraction: 0.3,
+                noise_std: 0.05,
+            },
+            13,
+        )
+        .unwrap();
+        for (_, raster) in s.bands() {
+            let (lo, hi) = raster.min_max();
+            assert!(lo >= 0.0 && hi <= 1.0, "band out of range [{lo}, {hi}]");
+        }
+    }
+}

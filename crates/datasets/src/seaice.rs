@@ -1,0 +1,483 @@
+//! The polar world of application A2: drifting sea ice with WMO
+//! stage-of-development classes, leads, ridges and icebergs.
+//!
+//! The world is a time-indexed field: ice thickness is a fractal noise
+//! field advected by a drift vector (plus meander), so consecutive days
+//! are spatially coherent — the property iceberg tracking and NRT
+//! compositing rely on. Ground truth at 40 m: class, concentration,
+//! leads, ridges, iceberg positions with stable identities.
+
+use crate::DataGenError;
+use ee_raster::raster::GeoTransform;
+use ee_raster::{Band, Mission, Raster, Scene};
+use ee_util::noise::Fbm;
+use ee_util::timeline::Date;
+use ee_util::Rng;
+
+/// WMO sea-ice stage-of-development classes (plus open water).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IceClass {
+    /// Ice-free ocean.
+    OpenWater,
+    /// New ice (< 10 cm).
+    NewIce,
+    /// Young ice (10–30 cm).
+    YoungIce,
+    /// First-year ice (30–120 cm).
+    FirstYearIce,
+    /// Multi-year ice (> 120 cm, survived a melt season).
+    MultiYearIce,
+}
+
+impl IceClass {
+    /// All classes in index order.
+    pub const ALL: [IceClass; 5] = [
+        IceClass::OpenWater,
+        IceClass::NewIce,
+        IceClass::YoungIce,
+        IceClass::FirstYearIce,
+        IceClass::MultiYearIce,
+    ];
+
+    /// Dense index 0..5.
+    pub fn as_index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+
+    /// Inverse of [`IceClass::as_index`].
+    pub fn from_index(i: usize) -> Option<IceClass> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// WMO-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IceClass::OpenWater => "OpenWater",
+            IceClass::NewIce => "NewIce",
+            IceClass::YoungIce => "YoungIce",
+            IceClass::FirstYearIce => "FirstYearIce",
+            IceClass::MultiYearIce => "MultiYearIce",
+        }
+    }
+
+    /// Classify by thickness in metres (negative = water).
+    pub fn from_thickness(m: f64) -> IceClass {
+        if m <= 0.0 {
+            IceClass::OpenWater
+        } else if m < 0.10 {
+            IceClass::NewIce
+        } else if m < 0.30 {
+            IceClass::YoungIce
+        } else if m < 1.20 {
+            IceClass::FirstYearIce
+        } else {
+            IceClass::MultiYearIce
+        }
+    }
+
+    /// Mean (VV, VH) backscatter in dB. Deformed/old ice is rough and
+    /// bright; calm water and smooth new ice are dark.
+    pub fn backscatter_db(self) -> (f32, f32) {
+        match self {
+            IceClass::OpenWater => (-20.0, -28.0),
+            IceClass::NewIce => (-17.0, -26.0),
+            IceClass::YoungIce => (-14.0, -22.0),
+            IceClass::FirstYearIce => (-11.0, -18.0),
+            IceClass::MultiYearIce => (-7.5, -13.0),
+        }
+    }
+}
+
+/// An iceberg's trajectory (one position per day).
+#[derive(Debug, Clone)]
+pub struct Iceberg {
+    /// Stable identity.
+    pub id: u32,
+    /// Radius in pixels (1..3).
+    pub radius: f64,
+    /// Pixel-space positions, indexed by day.
+    pub track: Vec<(f64, f64)>,
+}
+
+/// Ice-world generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IceWorldConfig {
+    /// Pixels per side.
+    pub size: usize,
+    /// Pixel size in metres (40 m SAR grid).
+    pub pixel_m: f64,
+    /// Number of days simulated.
+    pub days: usize,
+    /// Mean ice cover of the region (0..1): moves the thickness offset.
+    pub ice_cover: f64,
+    /// Number of icebergs.
+    pub icebergs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IceWorldConfig {
+    fn default() -> Self {
+        Self {
+            size: 160,
+            pixel_m: 40.0,
+            days: 20,
+            ice_cover: 0.65,
+            icebergs: 8,
+            seed: 20170201,
+        }
+    }
+}
+
+/// The generated polar world.
+pub struct IceWorld {
+    /// Configuration used.
+    pub config: IceWorldConfig,
+    /// Iceberg trajectories.
+    pub icebergs: Vec<Iceberg>,
+    thickness_noise: Fbm,
+    lead_noise: Fbm,
+    ridge_noise: Fbm,
+    drift: (f64, f64),
+    transform: GeoTransform,
+    thickness_offset: f64,
+}
+
+impl IceWorld {
+    /// Generate a world.
+    pub fn generate(config: IceWorldConfig) -> Result<IceWorld, DataGenError> {
+        if config.size < 16 || config.days == 0 {
+            return Err(DataGenError::Config(
+                "ice world needs size >= 16 and days >= 1".into(),
+            ));
+        }
+        let mut rng = Rng::seed_from(config.seed);
+        let drift = (rng.range_f64(0.8, 2.0), rng.range_f64(-0.8, 0.8));
+        let transform = GeoTransform::new(
+            0.0,
+            config.size as f64 * config.pixel_m,
+            config.pixel_m,
+        );
+        // Thickness offset calibrated so ~ice_cover of the field is > 0:
+        // fBm values are bell-shaped, so take the empirical quantile of a
+        // coarse sample of the actual noise field.
+        let calibration_noise = Fbm::new(config.seed ^ 0x1ce, 0.02).with_octaves(5);
+        let mut samples: Vec<f64> = Vec::with_capacity(64 * 64);
+        for i in 0..64 {
+            for j in 0..64 {
+                samples.push(calibration_noise.sample01(i as f64 * 3.1, j as f64 * 3.1));
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite noise"));
+        let q_index = (((1.0 - config.ice_cover) * samples.len() as f64) as usize)
+            .min(samples.len() - 1);
+        let thickness_offset = 1.0 - samples[q_index];
+        let mut icebergs = Vec::with_capacity(config.icebergs);
+        for id in 0..config.icebergs {
+            let mut x = rng.range_f64(5.0, config.size as f64 - 5.0);
+            let mut y = rng.range_f64(5.0, config.size as f64 - 5.0);
+            // Icebergs drift with the pack plus their own slip.
+            let vx = drift.0 * 0.8 + rng.range_f64(-0.3, 0.3);
+            let vy = drift.1 * 0.8 + rng.range_f64(-0.3, 0.3);
+            let radius = rng.range_f64(1.0, 2.5);
+            let mut track = Vec::with_capacity(config.days);
+            for _ in 0..config.days {
+                track.push((x, y));
+                x += vx + rng.normal(0.0, 0.15);
+                y += vy + rng.normal(0.0, 0.15);
+                // Reflect at the borders to stay in the scene.
+                if x < 2.0 || x > config.size as f64 - 2.0 {
+                    x = x.clamp(2.0, config.size as f64 - 2.0);
+                }
+                if y < 2.0 || y > config.size as f64 - 2.0 {
+                    y = y.clamp(2.0, config.size as f64 - 2.0);
+                }
+            }
+            icebergs.push(Iceberg {
+                id: id as u32,
+                radius,
+                track,
+            });
+        }
+        Ok(IceWorld {
+            thickness_noise: Fbm::new(config.seed ^ 0x1ce, 0.02).with_octaves(5),
+            lead_noise: Fbm::new(config.seed ^ 0x1ead, 0.05).with_octaves(3),
+            ridge_noise: Fbm::new(config.seed ^ 0x21d6e, 0.08).with_octaves(3),
+            drift,
+            transform,
+            thickness_offset,
+            config,
+            icebergs,
+        })
+    }
+
+    /// The world's geotransform.
+    pub fn transform(&self) -> GeoTransform {
+        self.transform
+    }
+
+    fn drifted(&self, c: usize, r: usize, day: usize) -> (f64, f64) {
+        // Advection: the field moves under the sensor.
+        let meander = (day as f64 * 0.7).sin() * 1.5;
+        (
+            c as f64 + day as f64 * self.drift.0 + meander,
+            r as f64 + day as f64 * self.drift.1,
+        )
+    }
+
+    /// Ice thickness in metres at a pixel on a day (≤ 0 = open water).
+    pub fn thickness(&self, c: usize, r: usize, day: usize) -> f64 {
+        let (x, y) = self.drifted(c, r, day);
+        let base = self.thickness_noise.sample01(x, y); // 0..1
+        // Map so that `ice_cover` of the field is ice, up to ~2.5 m, and
+        // ice slowly thickens through the freezing season.
+        let season = 1.0 + 0.01 * day as f64;
+        (base - (1.0 - self.thickness_offset)) * 2.5 * season
+    }
+
+    /// Is the pixel in a lead (linear opening) on that day? Only meaningful
+    /// where there is ice.
+    pub fn in_lead(&self, c: usize, r: usize, day: usize) -> bool {
+        let (x, y) = self.drifted(c, r, day);
+        // Zero-crossings of a smooth field form connected curves — leads.
+        self.lead_noise.sample(x, y).abs() < 0.025
+    }
+
+    /// Is the pixel on a pressure ridge on that day?
+    pub fn on_ridge(&self, c: usize, r: usize, day: usize) -> bool {
+        let (x, y) = self.drifted(c, r, day);
+        self.ridge_noise.sample(x, y) > 0.55 && self.thickness(c, r, day) > 0.3
+    }
+
+    /// Ground-truth class raster for a day (leads force open water).
+    pub fn truth(&self, day: usize) -> Raster<u8> {
+        let n = self.config.size;
+        Raster::from_fn(n, n, self.transform, |c, r| {
+            let t = self.thickness(c, r, day);
+            let class = if t > 0.0 && self.in_lead(c, r, day) {
+                IceClass::OpenWater
+            } else {
+                IceClass::from_thickness(t)
+            };
+            class.as_index() as u8
+        })
+    }
+
+    /// Per-pixel ice indicator (1 = ice) for concentration aggregation.
+    pub fn ice_mask(&self, day: usize) -> Raster<u8> {
+        let truth = self.truth(day);
+        truth.map(|v| if v == 0 { 0u8 } else { 1u8 })
+    }
+
+    /// Iceberg positions (pixel coordinates) on a day.
+    pub fn iceberg_positions(&self, day: usize) -> Vec<(u32, f64, f64)> {
+        self.icebergs
+            .iter()
+            .filter_map(|b| b.track.get(day).map(|&(x, y)| (b.id, x, y)))
+            .collect()
+    }
+
+    /// Simulate the day's SAR scene (VV + VH at 40 m), with speckle,
+    /// bright ridges and very bright iceberg point targets.
+    pub fn simulate_sar(&self, day: usize, date: Date, seed: u64) -> Result<Scene, DataGenError> {
+        let n = self.config.size;
+        let mut rng = Rng::seed_from(seed ^ day as u64);
+        let truth = self.truth(day);
+        let bergs = self.iceberg_positions(day);
+        let mut scene = Scene::new(
+            format!("S1_ICE_{}_{:03}_d{day}", date.year(), date.ordinal()),
+            Mission::Sentinel1,
+            date,
+        );
+        for (bi, band) in Band::S1_ALL.iter().enumerate() {
+            let mut raster = Raster::zeros(n, n, self.transform);
+            for r in 0..n {
+                for c in 0..n {
+                    let class = IceClass::from_index(truth.at(c, r) as usize).expect("valid");
+                    let (vv, vh) = class.backscatter_db();
+                    let mut db = if bi == 0 { vv } else { vh };
+                    if self.on_ridge(c, r, day) {
+                        db += 5.0; // deformed ice is bright
+                    }
+                    // Wind roughening varies open water by a few dB.
+                    if class == IceClass::OpenWater {
+                        db += (rng.f32() - 0.5) * 2.0;
+                    }
+                    // Iceberg point targets.
+                    for &(_, bx, by) in &bergs {
+                        let d2 = (bx - c as f64).powi(2) + (by - r as f64).powi(2);
+                        if d2 < 4.0 {
+                            db = db.max(0.0); // very strong return
+                        }
+                    }
+                    let linear = 10f64.powf(db as f64 / 10.0)
+                        * {
+                            // 4-look gamma speckle.
+                            let mut acc = 0.0;
+                            for _ in 0..4 {
+                                acc += rng.exponential(1.0);
+                            }
+                            acc / 4.0
+                        };
+                    raster.put(c, r, (10.0 * linear.log10()) as f32);
+                }
+            }
+            scene.add_band(*band, raster)?;
+        }
+        Ok(scene)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_raster::resample;
+
+    fn world() -> IceWorld {
+        IceWorld::generate(IceWorldConfig {
+            size: 96,
+            days: 10,
+            icebergs: 5,
+            ..IceWorldConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn class_taxonomy() {
+        assert_eq!(IceClass::ALL.len(), 5);
+        assert_eq!(IceClass::from_thickness(-0.5), IceClass::OpenWater);
+        assert_eq!(IceClass::from_thickness(0.05), IceClass::NewIce);
+        assert_eq!(IceClass::from_thickness(0.2), IceClass::YoungIce);
+        assert_eq!(IceClass::from_thickness(0.8), IceClass::FirstYearIce);
+        assert_eq!(IceClass::from_thickness(2.0), IceClass::MultiYearIce);
+        for (i, c) in IceClass::ALL.iter().enumerate() {
+            assert_eq!(c.as_index(), i);
+        }
+    }
+
+    #[test]
+    fn ice_cover_close_to_target() {
+        let w = world();
+        let mask = w.ice_mask(0);
+        let cover = mask.data().iter().filter(|&&v| v == 1).count() as f64
+            / mask.data().len() as f64;
+        assert!(
+            (cover - 0.65).abs() < 0.2,
+            "ice cover {cover} vs target 0.65"
+        );
+    }
+
+    #[test]
+    fn field_is_coherent_across_days() {
+        // Day-to-day truth must be similar (drift, not reshuffle).
+        let w = world();
+        let t0 = w.truth(0);
+        let t1 = w.truth(1);
+        let same = t0
+            .data()
+            .iter()
+            .zip(t1.data())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / t0.data().len() as f64;
+        assert!(same > 0.6, "day-to-day agreement {same}");
+        // But across 9 days the field has moved visibly.
+        let t9 = w.truth(9);
+        let same9 = t0
+            .data()
+            .iter()
+            .zip(t9.data())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / t0.data().len() as f64;
+        assert!(same9 < same, "more drift over more days");
+    }
+
+    #[test]
+    fn leads_exist_and_are_thin() {
+        let w = world();
+        let truth = w.truth(0);
+        let lead_pixels = (0..96)
+            .flat_map(|r| (0..96).map(move |c| (c, r)))
+            .filter(|&(c, r)| w.in_lead(c, r, 0) && w.thickness(c, r, 0) > 0.0)
+            .count();
+        let total = 96 * 96;
+        let frac = lead_pixels as f64 / total as f64;
+        assert!(frac > 0.002 && frac < 0.15, "lead fraction {frac}");
+        let _ = truth;
+    }
+
+    #[test]
+    fn iceberg_tracks_are_continuous() {
+        let w = world();
+        assert_eq!(w.icebergs.len(), 5);
+        for berg in &w.icebergs {
+            assert_eq!(berg.track.len(), 10);
+            for pair in berg.track.windows(2) {
+                let d = ((pair[1].0 - pair[0].0).powi(2) + (pair[1].1 - pair[0].1).powi(2)).sqrt();
+                assert!(d < 5.0, "iceberg {} jumped {d} px/day", berg.id);
+            }
+        }
+        let p0 = w.iceberg_positions(0);
+        assert_eq!(p0.len(), 5);
+    }
+
+    #[test]
+    fn sar_scene_separates_ice_from_water() {
+        let w = world();
+        let s = w
+            .simulate_sar(0, Date::new(2017, 2, 15).unwrap(), 7)
+            .unwrap();
+        let vv = s.band(Band::VV).unwrap();
+        let truth = w.truth(0);
+        let mut water = Vec::new();
+        let mut myi = Vec::new();
+        for (c, r, v) in truth.iter() {
+            match IceClass::from_index(v as usize).unwrap() {
+                IceClass::OpenWater => water.push(vv.at(c, r)),
+                IceClass::MultiYearIce => myi.push(vv.at(c, r)),
+                _ => {}
+            }
+        }
+        if water.len() > 30 && myi.len() > 30 {
+            let wm = water.iter().sum::<f32>() / water.len() as f32;
+            let mm = myi.iter().sum::<f32>() / myi.len() as f32;
+            assert!(mm > wm + 6.0, "MYI {mm} dB vs water {wm} dB");
+        }
+    }
+
+    #[test]
+    fn concentration_aggregates_to_1km(){
+        let w = world();
+        let mask = w.ice_mask(0);
+        // 40 m → 1 km: factor 25.
+        let conc = resample::fraction_of(&mask, 25, 1u8);
+        assert_eq!(conc.shape(), (96usize.div_ceil(25), 96usize.div_ceil(25)));
+        for (_, _, v) in conc.iter() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.truth(3), b.truth(3));
+        assert_eq!(a.iceberg_positions(3), b.iceberg_positions(3));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(IceWorld::generate(IceWorldConfig {
+            size: 4,
+            ..IceWorldConfig::default()
+        })
+        .is_err());
+        assert!(IceWorld::generate(IceWorldConfig {
+            days: 0,
+            ..IceWorldConfig::default()
+        })
+        .is_err());
+    }
+}

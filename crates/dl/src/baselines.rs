@@ -1,0 +1,246 @@
+//! Non-deep baselines for experiment E5: softmax (multinomial logistic)
+//! regression and k-nearest-neighbours over flat feature vectors.
+//!
+//! The paper's claim is that deep architectures exploiting spatial,
+//! spectral, temporal and multimodal structure beat shallow per-pixel
+//! classifiers; these are the shallow side of that comparison.
+
+use crate::data::Dataset;
+use crate::model::{mlp, Sequential};
+use crate::optim::{LrSchedule, Sgd};
+use crate::DlError;
+use ee_tensor::Tensor;
+use ee_util::stats::ConfusionMatrix;
+use ee_util::Rng;
+
+/// Multinomial logistic regression = a single dense layer trained with
+/// softmax cross-entropy. Implemented as a degenerate [`Sequential`].
+pub struct SoftmaxRegression {
+    model: Sequential,
+}
+
+impl SoftmaxRegression {
+    /// Train on flat features `[N, D]`.
+    pub fn fit(
+        data: &Dataset,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Result<SoftmaxRegression, DlError> {
+        let d: usize = data.x.shape()[1..].iter().product();
+        let k = data.num_classes();
+        let mut rng = Rng::seed_from(seed);
+        // A 0-hidden-layer "MLP": one dense layer.
+        let mut model = Sequential::new(
+            vec![crate::layer::Layer::dense(d, k, &mut rng)],
+            k,
+        );
+        let flat = data.x.reshape(&[data.len(), d])?;
+        let mut opt = Sgd::new(LrSchedule::Constant(lr), 0.9);
+        for _ in 0..epochs {
+            model.compute_gradients(&flat, &data.labels)?;
+            opt.step(&mut model)?;
+        }
+        Ok(SoftmaxRegression { model })
+    }
+
+    /// Evaluate on a dataset.
+    pub fn evaluate(&mut self, data: &Dataset) -> Result<ConfusionMatrix, DlError> {
+        let d: usize = data.x.shape()[1..].iter().product();
+        let flat = data.x.reshape(&[data.len(), d])?;
+        self.model.evaluate(&flat, &data.labels)
+    }
+}
+
+/// Brute-force k-nearest-neighbours (Euclidean) over flat features.
+pub struct Knn {
+    k: usize,
+    x: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Knn {
+    /// "Fit" = memorise the training set.
+    pub fn fit(data: &Dataset, k: usize) -> Result<Knn, DlError> {
+        if k == 0 || data.is_empty() {
+            return Err(DlError::Data("kNN needs k>0 and data".into()));
+        }
+        let d: usize = data.x.shape()[1..].iter().product();
+        Ok(Knn {
+            k,
+            x: data.x.reshape(&[data.len(), d])?,
+            labels: data.labels.clone(),
+            num_classes: data.num_classes(),
+        })
+    }
+
+    /// Predict one flat feature vector.
+    pub fn predict_one(&self, q: &[f32]) -> usize {
+        let d = self.x.shape()[1];
+        debug_assert_eq!(q.len(), d);
+        // Partial top-k scan: keep k best (distance, label).
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k + 1);
+        for i in 0..self.labels.len() {
+            let row = &self.x.data()[i * d..(i + 1) * d];
+            let mut dist = 0.0f32;
+            for (a, b) in row.iter().zip(q) {
+                let diff = a - b;
+                dist += diff * diff;
+            }
+            let pos = best.partition_point(|(bd, _)| *bd < dist);
+            if pos < self.k {
+                best.insert(pos, (dist, self.labels[i]));
+                best.truncate(self.k);
+            }
+        }
+        let mut votes = vec![0usize; self.num_classes];
+        for (_, y) in &best {
+            votes[*y] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Evaluate on a dataset.
+    pub fn evaluate(&self, data: &Dataset) -> Result<ConfusionMatrix, DlError> {
+        let d: usize = data.x.shape()[1..].iter().product();
+        if d != self.x.shape()[1] {
+            return Err(DlError::Data("feature width mismatch".into()));
+        }
+        let flat = data.x.reshape(&[data.len(), d])?;
+        let mut cm = ConfusionMatrix::new(self.num_classes);
+        for i in 0..data.len() {
+            let q = &flat.data()[i * d..(i + 1) * d];
+            cm.record(data.labels[i], self.predict_one(q));
+        }
+        Ok(cm)
+    }
+}
+
+/// Train an MLP baseline on flat features (the "spectral-only" per-pixel
+/// network used in the single-modality ablation).
+pub fn train_mlp_baseline(
+    data: &Dataset,
+    hidden: usize,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> Result<Sequential, DlError> {
+    let d: usize = data.x.shape()[1..].iter().product();
+    let k = data.num_classes();
+    let mut rng = Rng::seed_from(seed);
+    let mut model = mlp(d, hidden, k, &mut rng);
+    let flat = data.x.reshape(&[data.len(), d])?;
+    let mut opt = Sgd::new(LrSchedule::Constant(lr), 0.9);
+    for _ in 0..epochs {
+        for idx in crate::data::BatchIter::new(data.len(), 64, seed) {
+            let batch_x = {
+                let row = d;
+                let mut v = Vec::with_capacity(idx.len() * row);
+                for &i in &idx {
+                    v.extend_from_slice(&flat.data()[i * row..(i + 1) * row]);
+                }
+                Tensor::from_vec(&[idx.len(), row], v)?
+            };
+            let batch_y: Vec<usize> = idx.iter().map(|&i| data.labels[i]).collect();
+            model.compute_gradients(&batch_x, &batch_y)?;
+            opt.step(&mut model)?;
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data(n: usize, seed: u64) -> Dataset {
+        // Two concentric rings: linearly inseparable, kNN/MLP-friendly.
+        let mut rng = Rng::seed_from(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let r = if cls == 0 { 1.0 } else { 3.0 };
+            let theta = rng.range_f64(0.0, std::f64::consts::TAU);
+            xs.push((r * theta.cos() + rng.normal(0.0, 0.15)) as f32);
+            xs.push((r * theta.sin() + rng.normal(0.0, 0.15)) as f32);
+            ys.push(cls);
+        }
+        Dataset::new(Tensor::from_vec(&[n, 2], xs).unwrap(), ys).unwrap()
+    }
+
+    fn blob_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let cls = i % 3;
+            let (cx, cy) = [(0.0, 2.0), (-2.0, -1.0), (2.0, -1.0)][cls];
+            xs.push((cx + rng.normal(0.0, 0.4)) as f32);
+            xs.push((cy + rng.normal(0.0, 0.4)) as f32);
+            ys.push(cls);
+        }
+        Dataset::new(Tensor::from_vec(&[n, 2], xs).unwrap(), ys).unwrap()
+    }
+
+    #[test]
+    fn softmax_regression_solves_linear_problem() {
+        let data = blob_data(300, 1);
+        let (train, test) = data.split(0.8, 2).unwrap();
+        let mut lr = SoftmaxRegression::fit(&train, 200, 0.3, 3).unwrap();
+        let cm = lr.evaluate(&test).unwrap();
+        assert!(cm.accuracy() > 0.95, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn softmax_regression_fails_nonlinear_problem() {
+        let data = ring_data(400, 4);
+        let (train, test) = data.split(0.8, 5).unwrap();
+        let mut lr = SoftmaxRegression::fit(&train, 200, 0.3, 6).unwrap();
+        let cm = lr.evaluate(&test).unwrap();
+        assert!(cm.accuracy() < 0.75, "linear model cannot separate rings: {}", cm.accuracy());
+    }
+
+    #[test]
+    fn knn_solves_nonlinear_problem() {
+        let data = ring_data(400, 7);
+        let (train, test) = data.split(0.8, 8).unwrap();
+        let knn = Knn::fit(&train, 5).unwrap();
+        let cm = knn.evaluate(&test).unwrap();
+        assert!(cm.accuracy() > 0.95, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn knn_k1_memorises_training_set() {
+        let data = blob_data(60, 9);
+        let knn = Knn::fit(&data, 1).unwrap();
+        let cm = knn.evaluate(&data).unwrap();
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn knn_validates_inputs() {
+        let data = blob_data(10, 10);
+        assert!(Knn::fit(&data, 0).is_err());
+        let knn = Knn::fit(&data, 3).unwrap();
+        let wide = Dataset::new(Tensor::zeros(&[2, 5]), vec![0, 1]).unwrap();
+        assert!(knn.evaluate(&wide).is_err());
+    }
+
+    #[test]
+    fn mlp_baseline_beats_linear_on_rings() {
+        let data = ring_data(400, 11);
+        let (train, test) = data.split(0.8, 12).unwrap();
+        let mut mlp = train_mlp_baseline(&train, 32, 60, 0.1, 13).unwrap();
+        let d = 2;
+        let flat = test.x.reshape(&[test.len(), d]).unwrap();
+        let cm = mlp.evaluate(&flat, &test.labels).unwrap();
+        assert!(cm.accuracy() > 0.9, "MLP accuracy {}", cm.accuracy());
+    }
+}

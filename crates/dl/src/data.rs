@@ -1,0 +1,264 @@
+//! In-memory labelled datasets and mini-batching.
+
+use crate::DlError;
+use ee_tensor::Tensor;
+use ee_util::Rng;
+
+/// A labelled dataset: `x` is `[N, ...]`, `labels` has one entry per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Features (first axis is the sample axis).
+    pub x: Tensor,
+    /// Integer class labels.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Construct, validating the sample counts agree.
+    pub fn new(x: Tensor, labels: Vec<usize>) -> Result<Self, DlError> {
+        if x.shape().is_empty() || x.shape()[0] != labels.len() {
+            return Err(DlError::Data(format!(
+                "features have {} samples, labels {}",
+                x.shape().first().copied().unwrap_or(0),
+                labels.len()
+            )));
+        }
+        Ok(Self { x, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().max().map(|m| m + 1).unwrap_or(0)
+    }
+
+    /// Take rows by index into a new dataset.
+    pub fn take(&self, idx: &[usize]) -> Result<Dataset, DlError> {
+        let row: usize = self.x.shape()[1..].iter().product();
+        let mut data = Vec::with_capacity(idx.len() * row);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            if i >= self.len() {
+                return Err(DlError::Data(format!("index {i} out of range")));
+            }
+            data.extend_from_slice(&self.x.data()[i * row..(i + 1) * row]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = self.x.shape().to_vec();
+        shape[0] = idx.len();
+        Ok(Dataset {
+            x: Tensor::from_vec(&shape, data)?,
+            labels,
+        })
+    }
+
+    /// Stratified train/test split: `train_frac` of each class goes to the
+    /// training set, preserving class balance. Deterministic in the seed.
+    pub fn split(&self, train_frac: f64, seed: u64) -> Result<(Dataset, Dataset), DlError> {
+        let mut rng = Rng::seed_from(seed);
+        let k = self.num_classes();
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &y) in self.labels.iter().enumerate() {
+            by_class[y].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in &mut by_class {
+            rng.shuffle(class);
+            let cut = (class.len() as f64 * train_frac).round() as usize;
+            train_idx.extend_from_slice(&class[..cut]);
+            test_idx.extend_from_slice(&class[cut..]);
+        }
+        train_idx.sort_unstable();
+        test_idx.sort_unstable();
+        Ok((self.take(&train_idx)?, self.take(&test_idx)?))
+    }
+
+    /// Shard the dataset round-robin across `n` workers (data parallelism).
+    pub fn shard(&self, n: usize) -> Result<Vec<Dataset>, DlError> {
+        if n == 0 {
+            return Err(DlError::Data("cannot shard into 0 parts".into()));
+        }
+        let mut parts = Vec::with_capacity(n);
+        for w in 0..n {
+            let idx: Vec<usize> = (w..self.len()).step_by(n).collect();
+            parts.push(self.take(&idx)?);
+        }
+        Ok(parts)
+    }
+
+    /// Per-feature standardisation statistics `(mean, std)` over the
+    /// flattened feature axis.
+    pub fn feature_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        let row: usize = self.x.shape()[1..].iter().product();
+        let n = self.len().max(1) as f32;
+        let mut mean = vec![0.0f32; row];
+        for i in 0..self.len() {
+            for (j, m) in mean.iter_mut().enumerate() {
+                *m += self.x.data()[i * row + j];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; row];
+        for i in 0..self.len() {
+            for (j, v) in var.iter_mut().enumerate() {
+                let d = self.x.data()[i * row + j] - mean[j];
+                *v += d * d;
+            }
+        }
+        let std: Vec<f32> = var.iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
+        (mean, std)
+    }
+
+    /// Standardise in place with the given statistics (from
+    /// [`Dataset::feature_stats`] of the *training* set).
+    pub fn standardize(&mut self, mean: &[f32], std: &[f32]) {
+        let row: usize = self.x.shape()[1..].iter().product();
+        assert_eq!(mean.len(), row);
+        for i in 0..self.labels.len() {
+            for j in 0..row {
+                let v = &mut self.x.data_mut()[i * row + j];
+                *v = (*v - mean[j]) / std[j];
+            }
+        }
+    }
+}
+
+/// Deterministic shuffled mini-batch index iterator.
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch: usize,
+    pos: usize,
+}
+
+impl BatchIter {
+    /// Batches over `n` samples, shuffled by `seed`, of size `batch`
+    /// (final partial batch included).
+    pub fn new(n: usize, batch: usize, seed: u64) -> Self {
+        assert!(batch > 0);
+        let mut order: Vec<usize> = (0..n).collect();
+        Rng::seed_from(seed).shuffle(&mut order);
+        Self {
+            order,
+            batch,
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(self.order.len());
+        let out = self.order[self.pos..end].to_vec();
+        self.pos = end;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Tensor::from_vec(
+            &[n, 2],
+            (0..n * 2).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(x, labels).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let x = Tensor::zeros(&[3, 2]);
+        assert!(Dataset::new(x.clone(), vec![0, 1]).is_err());
+        assert!(Dataset::new(x, vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn take_selects_rows() {
+        let d = toy(6);
+        let t = d.take(&[1, 4]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.x.data(), &[2.0, 3.0, 8.0, 9.0]);
+        assert_eq!(t.labels, vec![1, 1]);
+        assert!(d.take(&[99]).is_err());
+    }
+
+    #[test]
+    fn stratified_split_preserves_balance() {
+        let d = toy(300);
+        let (train, test) = d.split(0.8, 7).unwrap();
+        assert_eq!(train.len() + test.len(), 300);
+        for class in 0..3 {
+            let tr = train.labels.iter().filter(|&&y| y == class).count();
+            let te = test.labels.iter().filter(|&&y| y == class).count();
+            assert_eq!(tr, 80, "class {class} train");
+            assert_eq!(te, 20, "class {class} test");
+        }
+        // Deterministic.
+        let (t2, _) = d.split(0.8, 7).unwrap();
+        assert_eq!(train.labels, t2.labels);
+    }
+
+    #[test]
+    fn shard_partitions_everything() {
+        let d = toy(10);
+        let shards = d.shard(3).unwrap();
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 10);
+        assert_eq!(shards[0].len(), 4);
+        assert_eq!(shards[1].len(), 3);
+        assert!(d.shard(0).is_err());
+    }
+
+    #[test]
+    fn standardisation_zero_mean_unit_var() {
+        let mut d = toy(50);
+        let (mean, std) = d.feature_stats();
+        d.standardize(&mean, &std);
+        let (m2, s2) = d.feature_stats();
+        for m in m2 {
+            assert!(m.abs() < 1e-4);
+        }
+        for s in s2 {
+            assert!((s - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batch_iter_covers_all_indices_once() {
+        let batches: Vec<Vec<usize>> = BatchIter::new(10, 3, 1).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3].len(), 1, "final partial batch");
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_iter_is_shuffled_and_deterministic() {
+        let a: Vec<usize> = BatchIter::new(100, 100, 5).next().unwrap();
+        let b: Vec<usize> = BatchIter::new(100, 100, 5).next().unwrap();
+        let c: Vec<usize> = BatchIter::new(100, 100, 6).next().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, (0..100).collect::<Vec<_>>(), "actually shuffled");
+    }
+}

@@ -1,0 +1,479 @@
+//! Distributed data-parallel training: collective allreduce and parameter
+//! server (the two TensorFlow distribution strategies HOPS exposes,
+//! Challenge C5), with real gradient math and simulated time.
+//!
+//! Two orthogonal pieces:
+//!
+//! 1. [`train_data_parallel`] executes *bit-exact* synchronous data
+//!    parallelism: the global batch is sharded over `w` logical workers,
+//!    each computes gradients on its shard (on real threads), gradients
+//!    are averaged — the arithmetic of an allreduce — and one optimiser
+//!    step updates the replicated model. A property test shows `w`-worker
+//!    training equals single-worker large-batch training.
+//! 2. [`simulate_iteration`] prices one synchronous iteration on the
+//!    `ee-cluster` NIC model for either strategy, producing the E4
+//!    scaling curves: ring allreduce moves `2(N−1)/N·G` bytes per NIC in
+//!    parallel (near-constant in N), while the parameter server's ingress
+//!    serialises `N·G/S` bytes (linear in N per server).
+
+use crate::data::{BatchIter, Dataset};
+use crate::model::Sequential;
+use crate::optim::Sgd;
+use crate::DlError;
+use ee_cluster::network::Network;
+use ee_cluster::topology::{ClusterSpec, NodeId};
+use ee_util::timeline::{SimDuration, SimTime};
+use ee_util::Rng;
+
+/// The gradient-exchange strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Ring collective allreduce (Horovod-style, bandwidth optimal).
+    RingAllReduce,
+    /// Central parameter server(s) holding sharded parameters.
+    ParameterServer {
+        /// Number of server nodes (parameters sharded evenly).
+        servers: usize,
+    },
+}
+
+/// Timing of one synchronous training iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationTiming {
+    /// Slowest worker's forward+backward time (the barrier).
+    pub compute: SimDuration,
+    /// Gradient-exchange time after the barrier.
+    pub communication: SimDuration,
+}
+
+impl IterationTiming {
+    /// Total iteration time.
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.communication
+    }
+}
+
+/// Workload description for the timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Gradient/parameter payload in bytes (`model.gradient_bytes()`).
+    pub gradient_bytes: u64,
+    /// FLOPs per sample for forward+backward.
+    pub flops_per_sample: f64,
+    /// Per-worker mini-batch size.
+    pub batch_per_worker: usize,
+    /// Multiplicative straggler jitter std-dev (0 = perfectly uniform).
+    pub straggler_jitter: f64,
+}
+
+/// Price one synchronous iteration of `workers` data-parallel workers on
+/// the cluster. Workers occupy nodes `0..workers`; parameter servers (if
+/// any) occupy the nodes after them.
+pub fn simulate_iteration(
+    spec: &ClusterSpec,
+    workload: &WorkloadSpec,
+    workers: usize,
+    strategy: Strategy,
+    rng: &mut Rng,
+) -> Result<IterationTiming, DlError> {
+    if workers == 0 {
+        return Err(DlError::Config("need at least one worker".into()));
+    }
+    let needed = match strategy {
+        Strategy::RingAllReduce => workers,
+        Strategy::ParameterServer { servers } => {
+            if servers == 0 {
+                return Err(DlError::Config("need at least one server".into()));
+            }
+            workers + servers
+        }
+    };
+    if needed > spec.num_nodes() {
+        return Err(DlError::Config(format!(
+            "{needed} nodes needed, cluster has {}",
+            spec.num_nodes()
+        )));
+    }
+    // Compute phase: slowest worker gates the synchronous exchange.
+    let base = workload.flops_per_sample * workload.batch_per_worker as f64 / spec.node.gpu_flops;
+    let mut slowest = 0.0f64;
+    for _ in 0..workers {
+        let jitter = (1.0 + workload.straggler_jitter * rng.gaussian().abs()).max(0.2);
+        slowest = slowest.max(base * jitter);
+    }
+    let compute = SimDuration::from_secs(slowest);
+
+    // Communication phase on a quiet network.
+    let mut net = Network::new(spec.clone());
+    let start = SimTime::ZERO;
+    let comm_end = match strategy {
+        Strategy::RingAllReduce => {
+            if workers == 1 {
+                start
+            } else {
+                // 2(N-1) steps of chunked exchange; each step is a barrier
+                // (synchronous collective).
+                let chunk = (workload.gradient_bytes / workers as u64).max(1);
+                let mut step_start = start;
+                for _ in 0..2 * (workers - 1) {
+                    let mut step_end = step_start;
+                    for w in 0..workers {
+                        let t = net.send(
+                            step_start,
+                            NodeId(w),
+                            NodeId((w + 1) % workers),
+                            chunk,
+                        );
+                        step_end = step_end.max(t.end);
+                    }
+                    step_start = step_end;
+                }
+                step_start
+            }
+        }
+        Strategy::ParameterServer { servers } => {
+            let shard = (workload.gradient_bytes / servers as u64).max(1);
+            // Push: every worker sends its gradient shard to each server.
+            let mut push_done = start;
+            for w in 0..workers {
+                for s in 0..servers {
+                    let t = net.send(start, NodeId(w), NodeId(workers + s), shard);
+                    push_done = push_done.max(t.end);
+                }
+            }
+            // Pull: servers broadcast updated shards back.
+            let mut pull_done = push_done;
+            for s in 0..servers {
+                for w in 0..workers {
+                    let t = net.send(push_done, NodeId(workers + s), NodeId(w), shard);
+                    pull_done = pull_done.max(t.end);
+                }
+            }
+            pull_done
+        }
+    };
+    Ok(IterationTiming {
+        compute,
+        communication: comm_end.since(start),
+    })
+}
+
+/// A full scaling sweep point: epoch time and throughput for `workers`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker count.
+    pub workers: usize,
+    /// Simulated time for one epoch.
+    pub epoch_time: SimDuration,
+    /// Samples per simulated second.
+    pub throughput: f64,
+    /// Throughput relative to one worker, divided by `workers`
+    /// (1.0 = perfect linear scaling).
+    pub efficiency: f64,
+}
+
+/// Sweep worker counts for a strategy, returning one point per count.
+pub fn scaling_sweep(
+    spec: &ClusterSpec,
+    workload: &WorkloadSpec,
+    worker_counts: &[usize],
+    strategy_for: impl Fn(usize) -> Strategy,
+    dataset_size: usize,
+    seed: u64,
+) -> Result<Vec<ScalingPoint>, DlError> {
+    let mut baseline: Option<f64> = None;
+    let mut out = Vec::with_capacity(worker_counts.len());
+    for &w in worker_counts {
+        let mut rng = Rng::seed_from(seed ^ w as u64);
+        let iters = dataset_size.div_ceil(workload.batch_per_worker * w);
+        let mut total = SimDuration::ZERO;
+        for _ in 0..iters {
+            let t = simulate_iteration(spec, workload, w, strategy_for(w), &mut rng)?;
+            total = total + t.total();
+        }
+        let throughput = dataset_size as f64 / total.as_secs().max(1e-12);
+        let per_worker = throughput / w as f64;
+        let eff = match baseline {
+            None => {
+                baseline = Some(per_worker);
+                1.0
+            }
+            Some(b) => per_worker / b,
+        };
+        out.push(ScalingPoint {
+            workers: w,
+            epoch_time: total,
+            throughput,
+            efficiency: eff,
+        });
+    }
+    Ok(out)
+}
+
+/// Exact synchronous data-parallel training of `model` on `dataset`.
+///
+/// Each logical worker computes gradients on its shard of every global
+/// batch (on a real thread); the shard gradients are weighted-averaged
+/// (allreduce arithmetic) and applied once. Returns per-epoch mean loss.
+pub fn train_data_parallel(
+    model: &mut Sequential,
+    dataset: &Dataset,
+    workers: usize,
+    global_batch: usize,
+    optimizer: &mut Sgd,
+    epochs: usize,
+    seed: u64,
+) -> Result<Vec<f32>, DlError> {
+    if workers == 0 || global_batch == 0 {
+        return Err(DlError::Config("workers and batch must be positive".into()));
+    }
+    if !global_batch.is_multiple_of(workers) {
+        return Err(DlError::Config(format!(
+            "global batch {global_batch} not divisible by {workers} workers"
+        )));
+    }
+    let mut losses = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for idx in BatchIter::new(dataset.len(), global_batch, seed ^ epoch as u64) {
+            let batch = dataset.take(&idx)?;
+            // Shard the batch contiguously across workers.
+            let per = batch.len().div_ceil(workers);
+            let mut shards = Vec::with_capacity(workers);
+            let mut start = 0;
+            while start < batch.len() {
+                let end = (start + per).min(batch.len());
+                shards.push(batch.take(&(start..end).collect::<Vec<_>>())?);
+                start = end;
+            }
+            // Each worker: replicate the model, compute shard gradients.
+            let results: Vec<(f32, Vec<f32>, usize)> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let mut replica = model.clone();
+                        scope.spawn(move |_| {
+                            let loss = replica
+                                .compute_gradients(&shard.x, &shard.labels)
+                                .expect("worker gradients");
+                            (loss, replica.flat_grads(), shard.len())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            })
+            .expect("scope");
+            // Allreduce arithmetic: sample-weighted mean of shard grads.
+            let total: usize = results.iter().map(|(_, _, n)| n).sum();
+            let mut avg = vec![0.0f32; model.num_params()];
+            let mut loss_acc = 0.0f32;
+            for (loss, grads, n) in &results {
+                let wgt = *n as f32 / total as f32;
+                for (a, g) in avg.iter_mut().zip(grads) {
+                    *a += wgt * g;
+                }
+                loss_acc += wgt * loss;
+            }
+            model.set_flat_grads(&avg)?;
+            optimizer.step(model)?;
+            epoch_loss += loss_acc;
+            batches += 1;
+        }
+        losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    Ok(losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::mlp;
+    use crate::optim::LrSchedule;
+    use ee_tensor::Tensor;
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = i % 2;
+            let c = if cls == 0 { -1.0 } else { 1.0 };
+            xs.push((c + rng.normal(0.0, 0.35)) as f32);
+            xs.push((-c + rng.normal(0.0, 0.35)) as f32);
+            ys.push(cls);
+        }
+        Dataset::new(Tensor::from_vec(&[n, 2], xs).unwrap(), ys).unwrap()
+    }
+
+    fn workload() -> WorkloadSpec {
+        WorkloadSpec {
+            gradient_bytes: 100_000_000, // 100 MB — ResNet-50-ish
+            flops_per_sample: 8.0e9,
+            batch_per_worker: 32,
+            straggler_jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn allreduce_time_stays_flat_with_workers() {
+        let spec = ClusterSpec::flat(64);
+        let w = workload();
+        let mut rng = Rng::seed_from(1);
+        let t4 = simulate_iteration(&spec, &w, 4, Strategy::RingAllReduce, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        let t32 = simulate_iteration(&spec, &w, 32, Strategy::RingAllReduce, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        // 2(N-1)/N → asymptote 2G/bw; ratio bounded.
+        assert!(t32 / t4 < 1.6, "allreduce must be near-flat: {t4} vs {t32}");
+    }
+
+    #[test]
+    fn parameter_server_time_grows_linearly() {
+        let spec = ClusterSpec::flat(80);
+        let w = workload();
+        let mut rng = Rng::seed_from(2);
+        let strat = Strategy::ParameterServer { servers: 1 };
+        let t4 = simulate_iteration(&spec, &w, 4, strat, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        let t32 = simulate_iteration(&spec, &w, 32, strat, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        let ratio = t32 / t4;
+        assert!(ratio > 6.0, "PS ingress is the bottleneck: ratio {ratio}");
+    }
+
+    #[test]
+    fn more_servers_relieve_the_bottleneck() {
+        let spec = ClusterSpec::flat(80);
+        let w = workload();
+        let mut rng = Rng::seed_from(3);
+        let t1 = simulate_iteration(&spec, &w, 16, Strategy::ParameterServer { servers: 1 }, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        let t4 = simulate_iteration(&spec, &w, 16, Strategy::ParameterServer { servers: 4 }, &mut rng)
+            .unwrap()
+            .communication
+            .as_secs();
+        assert!(t4 < t1 / 2.5, "sharding parameters helps: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn single_worker_has_no_communication() {
+        let spec = ClusterSpec::flat(4);
+        let w = workload();
+        let mut rng = Rng::seed_from(4);
+        let t = simulate_iteration(&spec, &w, 1, Strategy::RingAllReduce, &mut rng).unwrap();
+        assert_eq!(t.communication, SimDuration::ZERO);
+        assert!(t.compute.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn config_errors() {
+        let spec = ClusterSpec::flat(4);
+        let w = workload();
+        let mut rng = Rng::seed_from(5);
+        assert!(simulate_iteration(&spec, &w, 0, Strategy::RingAllReduce, &mut rng).is_err());
+        assert!(simulate_iteration(&spec, &w, 8, Strategy::RingAllReduce, &mut rng).is_err());
+        assert!(
+            simulate_iteration(&spec, &w, 4, Strategy::ParameterServer { servers: 1 }, &mut rng)
+                .is_err(),
+            "4 workers + 1 server > 4 nodes"
+        );
+        assert!(
+            simulate_iteration(&spec, &w, 2, Strategy::ParameterServer { servers: 0 }, &mut rng)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn straggler_jitter_slows_compute() {
+        let spec = ClusterSpec::flat(16);
+        let mut w = workload();
+        let mut rng = Rng::seed_from(6);
+        let fast = simulate_iteration(&spec, &w, 16, Strategy::RingAllReduce, &mut rng)
+            .unwrap()
+            .compute;
+        w.straggler_jitter = 0.5;
+        let slow = simulate_iteration(&spec, &w, 16, Strategy::RingAllReduce, &mut rng)
+            .unwrap()
+            .compute;
+        assert!(slow > fast, "max over jittered workers exceeds base");
+    }
+
+    #[test]
+    fn scaling_sweep_shapes() {
+        // Large-minibatch clusters run fast interconnects (Goyal et al.
+        // used 50 Gbit/s); on 10 GbE a 100 MB gradient is comm-bound.
+        let mut spec = ClusterSpec::flat(64);
+        spec.node.nic_bandwidth = 12.5e9; // 100 GbE
+        let w = workload();
+        let points = scaling_sweep(
+            &spec,
+            &w,
+            &[1, 4, 16],
+            |_| Strategy::RingAllReduce,
+            4096,
+            9,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].efficiency - 1.0).abs() < 1e-9);
+        assert!(points[2].throughput > points[0].throughput * 4.0, "scale-out wins");
+        assert!(points[2].efficiency <= 1.01, "never super-linear here");
+    }
+
+    #[test]
+    fn data_parallel_equals_single_worker_exactly() {
+        // The crucial correctness property: allreduce averaging of shard
+        // gradients == single-worker gradient of the whole batch.
+        let data = blobs(64, 10);
+        let seed_model = mlp(2, 8, 2, &mut Rng::seed_from(20));
+        let mut single = seed_model.clone();
+        let mut multi = seed_model;
+        let mut opt1 = Sgd::new(LrSchedule::Constant(0.1), 0.9);
+        let mut opt4 = Sgd::new(LrSchedule::Constant(0.1), 0.9);
+        let l1 = train_data_parallel(&mut single, &data, 1, 32, &mut opt1, 3, 77).unwrap();
+        let l4 = train_data_parallel(&mut multi, &data, 4, 32, &mut opt4, 3, 77).unwrap();
+        for (a, b) in l1.iter().zip(&l4) {
+            assert!((a - b).abs() < 1e-4, "losses {a} vs {b}");
+        }
+        for (p, q) in single.flat_params().iter().zip(multi.flat_params().iter()) {
+            assert!((p - q).abs() < 1e-4, "params diverged: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn data_parallel_trains_to_low_loss() {
+        let data = blobs(256, 11);
+        let mut model = mlp(2, 16, 2, &mut Rng::seed_from(21));
+        let mut opt = Sgd::new(
+            LrSchedule::LinearScalingWarmup {
+                base: 0.05,
+                scale: 4.0,
+                warmup_steps: 8,
+            },
+            0.9,
+        );
+        let losses = train_data_parallel(&mut model, &data, 4, 64, &mut opt, 8, 3).unwrap();
+        assert!(losses.last().unwrap() < &0.2, "final loss {:?}", losses.last());
+        let cm = model.evaluate(&data.x, &data.labels).unwrap();
+        assert!(cm.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn indivisible_batch_rejected() {
+        let data = blobs(32, 12);
+        let mut model = mlp(2, 4, 2, &mut Rng::seed_from(22));
+        let mut opt = Sgd::new(LrSchedule::Constant(0.1), 0.0);
+        assert!(train_data_parallel(&mut model, &data, 3, 32, &mut opt, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Network layers with stateful forward/backward caches.
+
+use ee_tensor::kernels;
+use ee_tensor::{init, Tensor};
+use ee_util::Rng;
+
+use crate::DlError;
+
+/// A network layer. Layers cache whatever the backward pass needs during
+/// `forward`, so a training step is `forward → backward → apply grads`.
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// 2-D convolution (stride 1, symmetric zero padding).
+    Conv2d {
+        /// Filters `[F, C, KH, KW]`.
+        weight: Tensor,
+        /// Bias `[F]`.
+        bias: Tensor,
+        /// Zero padding.
+        pad: usize,
+        /// Cached input.
+        cache: Option<Tensor>,
+        /// Parameter gradients from the last backward.
+        dweight: Tensor,
+        /// Bias gradient.
+        dbias: Tensor,
+    },
+    /// Fully connected: `[N, D] → [N, K]`.
+    Dense {
+        /// Weights `[D, K]`.
+        weight: Tensor,
+        /// Bias `[K]`.
+        bias: Tensor,
+        /// Cached input.
+        cache: Option<Tensor>,
+        /// Weight gradient.
+        dweight: Tensor,
+        /// Bias gradient.
+        dbias: Tensor,
+    },
+    /// Rectified linear unit.
+    Relu {
+        /// Pass-through mask from the last forward.
+        mask: Vec<bool>,
+    },
+    /// 2×2 max pooling, stride 2.
+    MaxPool2 {
+        /// Winner indices.
+        idx: Vec<usize>,
+        /// Input shape for the backward scatter.
+        in_shape: Vec<usize>,
+    },
+    /// Collapse `[N, C, H, W] → [N, C*H*W]`.
+    Flatten {
+        /// Input shape for the backward reshape.
+        in_shape: Vec<usize>,
+    },
+    /// Inverted dropout.
+    Dropout {
+        /// Drop probability.
+        p: f32,
+        /// Kept mask of the last forward.
+        mask: Vec<bool>,
+        /// Layer-local RNG (deterministic per seed).
+        rng: Rng,
+    },
+}
+
+impl Layer {
+    /// A convolution layer with He initialisation.
+    pub fn conv2d(in_channels: usize, filters: usize, k: usize, pad: usize, rng: &mut Rng) -> Layer {
+        let fan_in = in_channels * k * k;
+        Layer::Conv2d {
+            weight: init::he_normal(&[filters, in_channels, k, k], fan_in, rng),
+            bias: Tensor::zeros(&[filters]),
+            pad,
+            cache: None,
+            dweight: Tensor::zeros(&[filters, in_channels, k, k]),
+            dbias: Tensor::zeros(&[filters]),
+        }
+    }
+
+    /// A dense layer with He initialisation.
+    pub fn dense(in_features: usize, out_features: usize, rng: &mut Rng) -> Layer {
+        Layer::Dense {
+            weight: init::he_normal(&[in_features, out_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            cache: None,
+            dweight: Tensor::zeros(&[in_features, out_features]),
+            dbias: Tensor::zeros(&[out_features]),
+        }
+    }
+
+    /// A ReLU layer.
+    pub fn relu() -> Layer {
+        Layer::Relu { mask: Vec::new() }
+    }
+
+    /// A 2×2 max-pool layer.
+    pub fn maxpool2() -> Layer {
+        Layer::MaxPool2 {
+            idx: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// A flatten layer.
+    pub fn flatten() -> Layer {
+        Layer::Flatten { in_shape: Vec::new() }
+    }
+
+    /// A dropout layer with its own seeded RNG.
+    pub fn dropout(p: f32, seed: u64) -> Layer {
+        assert!((0.0..1.0).contains(&p), "dropout p in [0,1)");
+        Layer::Dropout {
+            p,
+            mask: Vec::new(),
+            rng: Rng::seed_from(seed),
+        }
+    }
+
+    /// Forward pass; `training` controls dropout behaviour.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, DlError> {
+        match self {
+            Layer::Conv2d {
+                weight,
+                bias,
+                pad,
+                cache,
+                ..
+            } => {
+                let y = kernels::conv2d_forward(x, weight, bias, *pad)?;
+                if training {
+                    *cache = Some(x.clone());
+                }
+                Ok(y)
+            }
+            Layer::Dense {
+                weight,
+                bias,
+                cache,
+                ..
+            } => {
+                let y = x.matmul(weight)?;
+                let mut y = y;
+                let k = bias.len();
+                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                    *v += bias.data()[i % k];
+                }
+                if training {
+                    *cache = Some(x.clone());
+                }
+                Ok(y)
+            }
+            Layer::Relu { mask } => {
+                let (y, m) = kernels::relu_forward(x);
+                if training {
+                    *mask = m;
+                }
+                Ok(y)
+            }
+            Layer::MaxPool2 { idx, in_shape } => {
+                let (y, i) = kernels::maxpool2_forward(x);
+                if training {
+                    *idx = i;
+                    *in_shape = x.shape().to_vec();
+                }
+                Ok(y)
+            }
+            Layer::Flatten { in_shape } => {
+                let n = x.shape()[0];
+                let rest: usize = x.shape()[1..].iter().product();
+                if training {
+                    *in_shape = x.shape().to_vec();
+                }
+                Ok(x.reshape(&[n, rest])?)
+            }
+            Layer::Dropout { p, mask, rng } => {
+                if !training {
+                    return Ok(x.clone());
+                }
+                let keep = 1.0 - *p;
+                let mut y = x.clone();
+                let mut m = Vec::with_capacity(x.len());
+                for v in y.data_mut() {
+                    let keep_this = rng.chance(keep as f64);
+                    m.push(keep_this);
+                    // Inverted dropout: scale at train time.
+                    *v = if keep_this { *v / keep } else { 0.0 };
+                }
+                *mask = m;
+                Ok(y)
+            }
+        }
+    }
+
+    /// Backward pass: consumes upstream gradient, stores parameter
+    /// gradients, returns the gradient w.r.t. this layer's input.
+    pub fn backward(&mut self, dout: &Tensor) -> Result<Tensor, DlError> {
+        match self {
+            Layer::Conv2d {
+                weight,
+                pad,
+                cache,
+                dweight,
+                dbias,
+                ..
+            } => {
+                let x = cache
+                    .as_ref()
+                    .ok_or_else(|| DlError::Data("backward before forward".into()))?;
+                let (dx, dw, db) = kernels::conv2d_backward(x, weight, dout, *pad)?;
+                *dweight = dw;
+                *dbias = db;
+                Ok(dx)
+            }
+            Layer::Dense {
+                weight,
+                cache,
+                dweight,
+                dbias,
+                ..
+            } => {
+                let x = cache
+                    .as_ref()
+                    .ok_or_else(|| DlError::Data("backward before forward".into()))?;
+                *dweight = x.transpose()?.matmul(dout)?;
+                let k = dout.shape()[1];
+                let mut db = Tensor::zeros(&[k]);
+                for (i, v) in dout.data().iter().enumerate() {
+                    db.data_mut()[i % k] += v;
+                }
+                *dbias = db;
+                Ok(dout.matmul(&weight.transpose()?)?)
+            }
+            Layer::Relu { mask } => Ok(kernels::relu_backward(dout, mask)),
+            Layer::MaxPool2 { idx, in_shape } => {
+                Ok(kernels::maxpool2_backward(dout, idx, in_shape))
+            }
+            Layer::Flatten { in_shape } => Ok(dout.reshape(in_shape)?),
+            Layer::Dropout { p, mask, .. } => {
+                let keep = 1.0 - *p;
+                let mut dx = dout.clone();
+                for (v, &m) in dx.data_mut().iter_mut().zip(mask.iter()) {
+                    *v = if m { *v / keep } else { 0.0 };
+                }
+                Ok(dx)
+            }
+        }
+    }
+
+    /// Immutable views of this layer's parameters (possibly none).
+    pub fn params(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::Conv2d { weight, bias, .. } | Layer::Dense { weight, bias, .. } => {
+                vec![weight, bias]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Mutable views of this layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            Layer::Conv2d { weight, bias, .. } | Layer::Dense { weight, bias, .. } => {
+                vec![weight, bias]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Gradients corresponding to [`Layer::params`].
+    pub fn grads(&self) -> Vec<&Tensor> {
+        match self {
+            Layer::Conv2d { dweight, dbias, .. } | Layer::Dense { dweight, dbias, .. } => {
+                vec![dweight, dbias]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Mutable gradients (for the allreduce averaging path).
+    pub fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        match self {
+            Layer::Conv2d { dweight, dbias, .. } | Layer::Dense { dweight, dbias, .. } => {
+                vec![dweight, dbias]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_backward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let mut layer = Layer::dense(4, 3, &mut rng);
+        let x = Tensor::full(&[2, 4], 1.0);
+        let y = layer.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        let dx = layer.backward(&Tensor::full(&[2, 3], 1.0)).unwrap();
+        assert_eq!(dx.shape(), &[2, 4]);
+        assert_eq!(layer.grads().len(), 2);
+        assert_eq!(layer.grads()[0].shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn dense_bias_broadcasts_over_batch() {
+        let mut layer = Layer::Dense {
+            weight: Tensor::zeros(&[2, 2]),
+            bias: Tensor::from_vec(&[2], vec![1.0, -1.0]).unwrap(),
+            cache: None,
+            dweight: Tensor::zeros(&[2, 2]),
+            dbias: Tensor::zeros(&[2]),
+        };
+        let y = layer.forward(&Tensor::zeros(&[3, 2]), false).unwrap();
+        assert_eq!(y.data(), &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut rng = Rng::seed_from(2);
+        let mut layer = Layer::dense(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]).unwrap();
+        let y = layer.forward(&x, true).unwrap();
+        let dout = Tensor::full(y.shape(), 1.0);
+        let dx = layer.backward(&dout).unwrap();
+        // Finite differences on the input.
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp = layer.forward(&xp, false).unwrap().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let ym = layer.forward(&xm, false).unwrap().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 1e-2, "dx[{i}] {num} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut rng = Rng::seed_from(3);
+        let mut layer = Layer::dense(2, 2, &mut rng);
+        assert!(layer.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn dropout_eval_mode_is_identity() {
+        let mut layer = Layer::dropout(0.5, 7);
+        let x = Tensor::full(&[10], 2.0);
+        let y = layer.forward(&x, false).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_train_mode_scales_and_zeroes() {
+        let mut layer = Layer::dropout(0.5, 7);
+        let x = Tensor::full(&[1000], 1.0);
+        let y = layer.forward(&x, true).unwrap();
+        let kept = y.data().iter().filter(|&&v| v > 0.0).count();
+        assert!((350..650).contains(&kept), "kept {kept} of 1000 at p=0.5");
+        // Kept units scaled by 1/keep = 2.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expectation preserved.
+        assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn stack_shapes_flow() {
+        // conv(3→8,k3,p1) → relu → pool → flatten on an 8x8 patch.
+        let mut rng = Rng::seed_from(4);
+        let mut layers = vec![
+            Layer::conv2d(3, 8, 3, 1, &mut rng),
+            Layer::relu(),
+            Layer::maxpool2(),
+            Layer::flatten(),
+        ];
+        let mut x = Tensor::full(&[2, 3, 8, 8], 0.5);
+        for l in &mut layers {
+            x = l.forward(&x, true).unwrap();
+        }
+        assert_eq!(x.shape(), &[2, 8 * 4 * 4]);
+        // And the gradient flows back to the input shape.
+        let mut d = Tensor::full(x.shape(), 1.0);
+        for l in layers.iter_mut().rev() {
+            d = l.backward(&d).unwrap();
+        }
+        assert_eq!(d.shape(), &[2, 3, 8, 8]);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! Deep learning for Copernicus imagery: layers, models, optimisers and
+//! distributed scale-out training (Challenge C1 / C5).
+//!
+//! * [`layer`] / [`model`] — a sequential CNN stack (conv, pool, dense,
+//!   ReLU, dropout, flatten) with exact backprop over the `ee-tensor`
+//!   kernels. Models expose their parameters as a flat vector, which is
+//!   what the distributed strategies exchange.
+//! * [`optim`] — SGD with momentum and Adam, plus the *linear scaling
+//!   rule with warmup* of Goyal et al. (the paper's ref \[8\], "Accurate,
+//!   Large Minibatch SGD") as a learning-rate schedule.
+//! * [`data`] — in-memory datasets, deterministic shuffled mini-batching,
+//!   per-feature standardisation and stratified splits.
+//! * [`baselines`] — softmax regression and k-NN, the non-deep baselines
+//!   of experiment E5.
+//! * [`distributed`] — the two distribution strategies the paper names
+//!   (collective allreduce and parameter server), with *real* gradient
+//!   mathematics executed per worker shard and *simulated* time from the
+//!   `ee-cluster` NIC model. Experiment E4's scaling curves come from
+//!   here.
+//! * [`search`] — parallel hyper-parameter search (grid and random), the
+//!   HOPS "parallel deep learning experiments" analogue.
+
+pub mod baselines;
+pub mod data;
+pub mod distributed;
+pub mod layer;
+pub mod model;
+pub mod optim;
+pub mod search;
+
+pub use data::Dataset;
+pub use layer::Layer;
+pub use model::Sequential;
+pub use optim::{Adam, LrSchedule, Sgd};
+
+/// Errors from the deep-learning layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlError {
+    /// Shape or rank error bubbled up from tensor ops.
+    Tensor(ee_tensor::TensorError),
+    /// Dataset construction / batching misuse.
+    Data(String),
+    /// Distributed-training configuration problem.
+    Config(String),
+}
+
+impl From<ee_tensor::TensorError> for DlError {
+    fn from(e: ee_tensor::TensorError) -> Self {
+        DlError::Tensor(e)
+    }
+}
+
+impl std::fmt::Display for DlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DlError::Data(msg) => write!(f, "data error: {msg}"),
+            DlError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DlError {}

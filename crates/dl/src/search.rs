@@ -1,0 +1,245 @@
+//! Parallel hyper-parameter search — the HOPS "parallel deep learning
+//! experiments (hyperparameter search)" service of Challenge C5.
+//!
+//! Trials are independent training runs over a grid or random sample of
+//! configurations, executed on real threads; the simulated-cluster
+//! scheduler ([`ee_cluster::scheduler`]) prices how long the same trial
+//! set would take on an N-GPU cluster, which is what the harness reports.
+
+use crate::data::Dataset;
+use crate::model::mlp;
+use crate::optim::{LrSchedule, Sgd};
+use crate::DlError;
+use ee_cluster::scheduler::{ContainerRequest, JobRequest, Scheduler};
+use ee_cluster::topology::ClusterSpec;
+use ee_util::timeline::{SimDuration, SimTime};
+use ee_util::Rng;
+
+/// One hyper-parameter configuration for the MLP family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+/// Result of a trial.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialResult {
+    /// The configuration.
+    pub config: TrialConfig,
+    /// Validation accuracy.
+    pub accuracy: f64,
+    /// Final training loss.
+    pub final_loss: f32,
+}
+
+/// Cartesian grid of configurations.
+pub fn grid(hiddens: &[usize], lrs: &[f32], momenta: &[f32], epochs: usize) -> Vec<TrialConfig> {
+    let mut out = Vec::with_capacity(hiddens.len() * lrs.len() * momenta.len());
+    for &hidden in hiddens {
+        for &lr in lrs {
+            for &momentum in momenta {
+                out.push(TrialConfig {
+                    hidden,
+                    lr,
+                    momentum,
+                    epochs,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Random sample of `n` configurations within ranges.
+pub fn random_configs(n: usize, epochs: usize, seed: u64) -> Vec<TrialConfig> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n)
+        .map(|_| TrialConfig {
+            hidden: 1 << rng.range(3, 8), // 8..128
+            lr: (10.0f64.powf(rng.range_f64(-2.5, -0.3))) as f32,
+            momentum: rng.range_f64(0.0, 0.95) as f32,
+            epochs,
+        })
+        .collect()
+}
+
+/// Run one trial: train an MLP on `train`, score on `val`.
+pub fn run_trial(
+    config: TrialConfig,
+    train: &Dataset,
+    val: &Dataset,
+    seed: u64,
+) -> Result<TrialResult, DlError> {
+    let d: usize = train.x.shape()[1..].iter().product();
+    let k = train.num_classes().max(val.num_classes());
+    let mut rng = Rng::seed_from(seed);
+    let mut model = mlp(d, config.hidden, k, &mut rng);
+    let flat = train.x.reshape(&[train.len(), d])?;
+    let mut opt = Sgd::new(LrSchedule::Constant(config.lr), config.momentum);
+    let mut final_loss = f32::INFINITY;
+    for _ in 0..config.epochs {
+        final_loss = model.compute_gradients(&flat, &train.labels)?;
+        opt.step(&mut model)?;
+    }
+    let vflat = val.x.reshape(&[val.len(), d])?;
+    let cm = model.evaluate(&vflat, &val.labels)?;
+    Ok(TrialResult {
+        config,
+        accuracy: cm.accuracy(),
+        final_loss,
+    })
+}
+
+/// Run all trials on real threads (bounded by the host); results keep the
+/// input order. Deterministic per seed.
+pub fn run_search(
+    configs: &[TrialConfig],
+    train: &Dataset,
+    val: &Dataset,
+    seed: u64,
+) -> Result<Vec<TrialResult>, DlError> {
+    let results: Vec<Result<TrialResult, DlError>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, &config)| {
+                scope.spawn(move |_| run_trial(config, train, val, seed ^ (i as u64 * 0x9E37)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial")).collect()
+    })
+    .expect("search scope");
+    results.into_iter().collect()
+}
+
+/// The best trial by validation accuracy.
+pub fn best(results: &[TrialResult]) -> Option<&TrialResult> {
+    results.iter().max_by(|a, b| {
+        a.accuracy
+            .partial_cmp(&b.accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+/// Price a search campaign on the simulated cluster: each trial is a
+/// 1-GPU container of `trial_runtime`; returns the makespan for the
+/// whole campaign on a cluster of `gpus` single-GPU nodes.
+pub fn campaign_makespan(
+    num_trials: usize,
+    trial_runtime: SimDuration,
+    gpus: usize,
+) -> Result<SimDuration, DlError> {
+    let mut sched = Scheduler::new(ClusterSpec::flat(gpus.max(1)));
+    for i in 0..num_trials {
+        sched
+            .submit(
+                SimTime::ZERO,
+                JobRequest {
+                    name: format!("trial-{i}"),
+                    containers: 1,
+                    each: ContainerRequest {
+                        cpus: 4,
+                        gpus: 1,
+                        runtime: trial_runtime,
+                    },
+                    gang: false,
+                },
+            )
+            .map_err(|e| DlError::Config(e.to_string()))?;
+    }
+    let reports = sched.run();
+    Ok(reports
+        .iter()
+        .map(|r| r.finished)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_tensor::Tensor;
+
+    fn data(seed: u64) -> (Dataset, Dataset) {
+        let mut rng = Rng::seed_from(seed);
+        let n = 200;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let c = if cls == 0 { -1.0 } else { 1.0 };
+            xs.push((c + rng.normal(0.0, 0.3)) as f32);
+            xs.push((c + rng.normal(0.0, 0.3)) as f32);
+            ys.push(cls);
+        }
+        Dataset::new(Tensor::from_vec(&[n, 2], xs).unwrap(), ys)
+            .unwrap()
+            .split(0.75, 1)
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_is_cartesian() {
+        let g = grid(&[8, 16], &[0.1, 0.2, 0.3], &[0.0], 5);
+        assert_eq!(g.len(), 6);
+        assert!(g.contains(&TrialConfig {
+            hidden: 16,
+            lr: 0.3,
+            momentum: 0.0,
+            epochs: 5
+        }));
+    }
+
+    #[test]
+    fn random_configs_in_bounds() {
+        let cfgs = random_configs(20, 3, 5);
+        assert_eq!(cfgs.len(), 20);
+        for c in &cfgs {
+            assert!((8..=128).contains(&c.hidden));
+            assert!(c.lr > 0.001 && c.lr < 0.6);
+            assert!((0.0..0.95).contains(&c.momentum));
+        }
+        assert_eq!(random_configs(20, 3, 5), cfgs, "deterministic");
+    }
+
+    #[test]
+    fn search_finds_a_good_config() {
+        let (train, val) = data(3);
+        let configs = grid(&[16], &[0.001, 0.3], &[0.9], 60);
+        let results = run_search(&configs, &train, &val, 9).unwrap();
+        assert_eq!(results.len(), 2);
+        let b = best(&results).unwrap();
+        assert!(b.accuracy > 0.9, "best accuracy {}", b.accuracy);
+        // The tiny learning rate must do worse than the tuned one.
+        assert!(results[1].accuracy >= results[0].accuracy);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (train, val) = data(4);
+        let configs = grid(&[8], &[0.1], &[0.5], 10);
+        let a = run_search(&configs, &train, &val, 1).unwrap();
+        let b = run_search(&configs, &train, &val, 1).unwrap();
+        assert_eq!(a[0].accuracy, b[0].accuracy);
+        assert_eq!(a[0].final_loss, b[0].final_loss);
+    }
+
+    #[test]
+    fn makespan_scales_with_gpus() {
+        let t = SimDuration::from_secs(600.0);
+        let one = campaign_makespan(16, t, 1).unwrap();
+        let four = campaign_makespan(16, t, 4).unwrap();
+        let sixteen = campaign_makespan(16, t, 16).unwrap();
+        assert_eq!(one.as_secs(), 16.0 * 600.0);
+        assert_eq!(four.as_secs(), 4.0 * 600.0);
+        assert_eq!(sixteen.as_secs(), 600.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The federated evaluator: source selection + bind joins vs naive
+//! broadcast.
+
+use crate::catalog::FederationCatalog;
+use crate::endpoint::Endpoint;
+use crate::FedError;
+use ee_geo::Envelope;
+use ee_rdf::dict::Dictionary;
+use ee_rdf::expr::{collect_const_geometries, eval, spatial_pushdown, truth, EvalCtx};
+use ee_rdf::parser::{parse_query, PatternTerm, SelectItem, TriplePattern};
+use ee_rdf::term::Term;
+use std::collections::{HashMap, HashSet};
+
+/// Federation execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Broadcast every pattern to every endpoint; join locally.
+    Naive,
+    /// Source selection (predicate + spatial extent) and bind joins.
+    Optimized,
+}
+
+/// One solution row: variable name → term.
+pub type Row = HashMap<String, Term>;
+
+/// The result of a federated query, with the cost metrics E8 reports.
+#[derive(Debug)]
+pub struct FedReport {
+    /// Solution rows (projected).
+    pub rows: Vec<Row>,
+    /// (endpoint name, requests served) pairs.
+    pub requests: Vec<(String, u64)>,
+    /// Sum of requests over endpoints.
+    pub total_requests: u64,
+    /// Total bindings shipped in bind joins.
+    pub bindings_shipped: u64,
+    /// Intermediate triples pulled from endpoints (transfer volume proxy).
+    pub triples_transferred: u64,
+}
+
+/// Run a query against the federation.
+pub fn federated_query(
+    endpoints: &[Endpoint],
+    catalog: &FederationCatalog,
+    sparql: &str,
+    mode: Mode,
+) -> Result<FedReport, FedError> {
+    let q = parse_query(sparql)?;
+    if !q.optionals.is_empty() || !q.group_by.is_empty() {
+        return Err(FedError::Unsupported(
+            "OPTIONAL / GROUP BY are not federated; run them at the client".into(),
+        ));
+    }
+    if q.select.iter().any(|s| matches!(s, SelectItem::Agg { .. })) {
+        return Err(FedError::Unsupported("aggregates are not federated".into()));
+    }
+    for ep in endpoints {
+        ep.reset_meters();
+    }
+    // Spatial region for source selection: any pushdown-able filter.
+    let mut const_geoms = Vec::new();
+    for f in &q.filters {
+        collect_const_geometries(f, &mut const_geoms);
+    }
+    let mut region: Option<(String, Envelope)> = None;
+    for f in &q.filters {
+        if let Some((var, env)) = spatial_pushdown(f, &const_geoms) {
+            region = Some((var, env));
+            break;
+        }
+    }
+
+    // Order patterns: most constants first (cheap selective starts).
+    let mut order: Vec<usize> = (0..q.patterns.len()).collect();
+    let const_count = |p: &TriplePattern| {
+        [&p.s, &p.p, &p.o]
+            .iter()
+            .filter(|t| matches!(t, PatternTerm::Const(_)))
+            .count()
+    };
+    order.sort_by_key(|&i| std::cmp::Reverse(const_count(&q.patterns[i])));
+
+    let mut triples_transferred = 0u64;
+    let mut rows: Vec<Row> = vec![HashMap::new()];
+    for &pi in &order {
+        let pattern = &q.patterns[pi];
+        let relevant: Vec<usize> = match mode {
+            Mode::Naive => (0..endpoints.len()).collect(),
+            Mode::Optimized => {
+                let predicate = match &pattern.p {
+                    PatternTerm::Const(Term::Iri(iri)) => Some(iri.as_str()),
+                    _ => None,
+                };
+                // Spatial restriction applies when this pattern binds the
+                // filtered geometry variable in object position.
+                let spatially_bound = matches!(
+                    (&pattern.o, &region),
+                    (PatternTerm::Var(v), Some((rv, _))) if v == rv
+                );
+                catalog.relevant(
+                    predicate,
+                    region.as_ref().map(|(_, e)| e),
+                    spatially_bound,
+                )
+            }
+        };
+        rows = extend_rows(
+            endpoints,
+            &relevant,
+            pattern,
+            rows,
+            mode,
+            &mut triples_transferred,
+        );
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // Local filters over complete rows.
+    if !q.filters.is_empty() {
+        rows.retain(|row| {
+            let mut dict = Dictionary::new();
+            let ids: HashMap<String, u64> = row
+                .iter()
+                .map(|(k, t)| (k.clone(), dict.intern(t)))
+                .collect();
+            q.filters.iter().all(|f| {
+                let ctx = EvalCtx {
+                    dict: &dict,
+                    lookup: &|name: &str| ids.get(name).copied(),
+                    const_geoms: &const_geoms,
+                };
+                truth(eval(f, &ctx)) == Some(true)
+            })
+        });
+    }
+
+    // Projection.
+    let projected: Vec<Row> = if q.star {
+        rows
+    } else {
+        let keep: HashSet<&String> = q
+            .select
+            .iter()
+            .filter_map(|s| match s {
+                SelectItem::Var(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        rows.into_iter()
+            .map(|mut row| {
+                row.retain(|k, _| keep.contains(k));
+                row
+            })
+            .collect()
+    };
+    let mut out = projected;
+    if q.distinct {
+        let mut seen = HashSet::new();
+        out.retain(|row| {
+            let mut key: Vec<(String, String)> = row
+                .iter()
+                .map(|(k, v)| (k.clone(), v.ntriples()))
+                .collect();
+            key.sort();
+            seen.insert(key)
+        });
+    }
+    if let Some(limit) = q.limit {
+        out.truncate(limit);
+    }
+    let requests: Vec<(String, u64)> = endpoints
+        .iter()
+        .map(|e| (e.name.clone(), e.requests()))
+        .collect();
+    let total_requests = requests.iter().map(|(_, r)| r).sum();
+    let bindings_shipped = endpoints.iter().map(|e| e.bindings_shipped()).sum();
+    Ok(FedReport {
+        rows: out,
+        requests,
+        total_requests,
+        bindings_shipped,
+        triples_transferred,
+    })
+}
+
+fn as_const<'a>(t: &'a PatternTerm, row: &'a Row) -> Option<&'a Term> {
+    match t {
+        PatternTerm::Const(c) => Some(c),
+        PatternTerm::Var(v) => row.get(v),
+    }
+}
+
+fn unify(pattern: &TriplePattern, triple: &(Term, Term, Term), row: &Row) -> Option<Row> {
+    let mut out = row.clone();
+    for (pt, actual) in [
+        (&pattern.s, &triple.0),
+        (&pattern.p, &triple.1),
+        (&pattern.o, &triple.2),
+    ] {
+        match pt {
+            PatternTerm::Const(c) => {
+                if c != actual {
+                    return None;
+                }
+            }
+            PatternTerm::Var(v) => match out.get(v) {
+                Some(existing) => {
+                    if existing != actual {
+                        return None;
+                    }
+                }
+                None => {
+                    out.insert(v.clone(), actual.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+fn extend_rows(
+    endpoints: &[Endpoint],
+    relevant: &[usize],
+    pattern: &TriplePattern,
+    rows: Vec<Row>,
+    mode: Mode,
+    transferred: &mut u64,
+) -> Vec<Row> {
+    // Bind-join opportunity: optimised mode, and the subject or object
+    // variable is already bound in (all) rows.
+    let bind_subject = matches!(&pattern.s, PatternTerm::Var(v) if rows.iter().all(|r| r.contains_key(v)))
+        && !rows.is_empty()
+        && !rows[0].is_empty();
+    let bind_object = matches!(&pattern.o, PatternTerm::Var(v) if rows.iter().all(|r| r.contains_key(v)))
+        && !rows.is_empty()
+        && !rows[0].is_empty();
+    if mode == Mode::Optimized && (bind_subject || bind_object) {
+        let var = match (bind_subject, &pattern.s, &pattern.o) {
+            (true, PatternTerm::Var(v), _) => v.clone(),
+            (false, _, PatternTerm::Var(v)) => v.clone(),
+            _ => unreachable!("guarded above"),
+        };
+        let mut distinct: Vec<&Term> = Vec::new();
+        let mut seen = HashSet::new();
+        for row in &rows {
+            let t = row.get(&var).expect("bound in all rows");
+            if seen.insert(t.ntriples()) {
+                distinct.push(t);
+            }
+        }
+        // Per-endpoint batched probe; results indexed by the bound value.
+        let mut by_value: HashMap<String, Vec<(Term, Term, Term)>> = HashMap::new();
+        let p_const = match &pattern.p {
+            PatternTerm::Const(c) => Some(c),
+            _ => None,
+        };
+        for &ei in relevant {
+            let bindings: Vec<Option<&Term>> = distinct.iter().map(|t| Some(*t)).collect();
+            let batches = if bind_subject {
+                let o_const = match &pattern.o {
+                    PatternTerm::Const(c) => Some(c),
+                    _ => None,
+                };
+                endpoints[ei].bind_join(&bindings, p_const, o_const, true)
+            } else {
+                endpoints[ei].bind_join(&bindings, p_const, None, false)
+            };
+            for (value, batch) in distinct.iter().zip(batches) {
+                *transferred += batch.len() as u64;
+                by_value
+                    .entry(value.ntriples())
+                    .or_default()
+                    .extend(batch);
+            }
+        }
+        let mut out = Vec::new();
+        for row in rows {
+            let key = row.get(&var).expect("bound").ntriples();
+            if let Some(triples) = by_value.get(&key) {
+                for t in triples {
+                    if let Some(extended) = unify(pattern, t, &row) {
+                        out.push(extended);
+                    }
+                }
+            }
+        }
+        return out;
+    }
+    // Broadcast path (naive mode, or nothing bound yet).
+    let template_row = Row::new();
+    let s_const = as_const(&pattern.s, &template_row).cloned();
+    let p_const = as_const(&pattern.p, &template_row).cloned();
+    let o_const = as_const(&pattern.o, &template_row).cloned();
+    let mut fetched: Vec<(Term, Term, Term)> = Vec::new();
+    for &ei in relevant {
+        let batch = endpoints[ei].match_pattern(s_const.as_ref(), p_const.as_ref(), o_const.as_ref());
+        *transferred += batch.len() as u64;
+        fetched.extend(batch);
+    }
+    let mut out = Vec::new();
+    for row in rows {
+        for t in &fetched {
+            if let Some(extended) = unify(pattern, t, &row) {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_rdf::store::IndexMode;
+    use ee_rdf::TripleStore;
+
+    fn t(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    /// Three endpoints: a crops source, an ice source, a places source.
+    fn federation() -> Vec<Endpoint> {
+        let mut crops = TripleStore::new(IndexMode::Full);
+        for i in 0..5 {
+            let f = t(&format!("field{i}"));
+            crops.insert(&f, &t("cropType"), &Term::string(if i % 2 == 0 { "wheat" } else { "maize" }));
+            crops.insert(
+                &f,
+                &t("hasGeom"),
+                &Term::wkt(format!("POINT ({} 0.5)", i as f64 + 0.5)),
+            );
+        }
+        crops.build_spatial_index();
+        let mut ice = TripleStore::new(IndexMode::Full);
+        for i in 0..4 {
+            let f = t(&format!("floe{i}"));
+            ice.insert(&f, &t("iceType"), &Term::string("first-year"));
+            ice.insert(
+                &f,
+                &t("hasGeom"),
+                &Term::wkt(format!("POINT ({} 80.5)", i as f64 + 0.5)),
+            );
+        }
+        ice.build_spatial_index();
+        let mut places = TripleStore::new(IndexMode::Full);
+        for i in 0..5 {
+            places.insert(
+                &t(&format!("field{i}")),
+                &t("name"),
+                &Term::string(format!("Field {i}")),
+            );
+        }
+        vec![
+            Endpoint::new("crops", crops),
+            Endpoint::new("ice", ice),
+            Endpoint::new("places", places),
+        ]
+    }
+
+    const QUERY: &str = "PREFIX e: <http://e/> SELECT ?f ?n WHERE { \
+        ?f e:cropType \"wheat\" . ?f e:name ?n }";
+
+    #[test]
+    fn naive_and_optimized_agree() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let naive = federated_query(&eps, &cat, QUERY, Mode::Naive).unwrap();
+        let opt = federated_query(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        let norm = |r: &FedReport| {
+            let mut v: Vec<String> = r
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut kv: Vec<String> =
+                        row.iter().map(|(k, t)| format!("{k}={}", t.ntriples())).collect();
+                    kv.sort();
+                    kv.join(",")
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&naive), norm(&opt));
+        assert_eq!(naive.rows.len(), 3, "wheat fields 0, 2, 4");
+    }
+
+    #[test]
+    fn optimized_sends_fewer_requests() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let naive = federated_query(&eps, &cat, QUERY, Mode::Naive).unwrap();
+        let opt = federated_query(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        assert!(
+            opt.total_requests < naive.total_requests,
+            "optimized {} vs naive {}",
+            opt.total_requests,
+            naive.total_requests
+        );
+        // The ice endpoint serves nothing in the optimised plan.
+        let ice_requests = opt
+            .requests
+            .iter()
+            .find(|(n, _)| n == "ice")
+            .map(|(_, r)| *r)
+            .unwrap();
+        assert_eq!(ice_requests, 0, "source selection prunes the ice endpoint");
+        assert!(opt.triples_transferred <= naive.triples_transferred);
+    }
+
+    #[test]
+    fn bind_join_reduces_transfer() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let opt = federated_query(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        assert!(opt.bindings_shipped > 0, "second pattern ran as a bind join");
+        // The naive plan pulls the full name table (5 triples); the bind
+        // join pulls only the wheat fields' names (3).
+        let naive = federated_query(&eps, &cat, QUERY, Mode::Naive).unwrap();
+        assert!(opt.triples_transferred < naive.triples_transferred);
+    }
+
+    #[test]
+    fn spatial_source_selection_prunes_by_extent() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        // A geometry query over the equator region: ice (at lat ~80) is
+        // irrelevant even though it has the hasGeom predicate.
+        let q = "PREFIX e: <http://e/> SELECT ?f WHERE { ?f e:hasGeom ?g . \
+                 FILTER(geof:sfWithin(?g, \"POLYGON ((0 0, 10 0, 10 2, 0 2, 0 0))\"^^geo:wktLiteral)) }";
+        let opt = federated_query(&eps, &cat, q, Mode::Optimized).unwrap();
+        assert_eq!(opt.rows.len(), 5, "all crop fields in the region");
+        let ice_requests = opt
+            .requests
+            .iter()
+            .find(|(n, _)| n == "ice")
+            .map(|(_, r)| *r)
+            .unwrap();
+        assert_eq!(ice_requests, 0, "extent-disjoint endpoint pruned");
+        // Naive mode pays the ice endpoint anyway.
+        let naive = federated_query(&eps, &cat, q, Mode::Naive).unwrap();
+        assert_eq!(naive.rows.len(), 5);
+        assert!(naive.requests.iter().find(|(n, _)| n == "ice").unwrap().1 > 0);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let q = "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?f e:cropType ?c } LIMIT 1";
+        let r = federated_query(&eps, &cat, q, Mode::Optimized).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn unsupported_features_rejected() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        for q in [
+            "SELECT ?s WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r } }",
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }",
+        ] {
+            assert!(matches!(
+                federated_query(&eps, &cat, q, Mode::Optimized),
+                Err(FedError::Unsupported(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_result_when_nothing_matches() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let q = "PREFIX e: <http://e/> SELECT ?f WHERE { ?f e:cropType \"rice\" }";
+        let r = federated_query(&eps, &cat, q, Mode::Optimized).unwrap();
+        assert!(r.rows.is_empty());
+    }
+}

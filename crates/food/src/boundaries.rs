@@ -1,0 +1,226 @@
+//! Field-boundary extraction from a classified crop map.
+//!
+//! Connected components (4-neighbourhood, same class) over the predicted
+//! map, small-component suppression, and per-component footprint
+//! polygons. The extracted fields are matched against the true parcels by
+//! overlap to score boundary quality.
+
+use ee_datasets::Landscape;
+use ee_geo::{Envelope, Polygon};
+use ee_raster::Raster;
+
+/// An extracted field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Component label (1-based).
+    pub id: u32,
+    /// Predicted class index.
+    pub class: u8,
+    /// Pixel count.
+    pub pixels: usize,
+    /// World-space footprint (bounding polygon of the component).
+    pub footprint: Polygon,
+}
+
+/// Label connected components of equal class; components smaller than
+/// `min_pixels` are suppressed (label 0). Returns (labels, fields).
+pub fn extract_fields(map: &Raster<u8>, min_pixels: usize) -> (Raster<u16>, Vec<Field>) {
+    let (cols, rows) = map.shape();
+    let mut labels: Raster<u16> = Raster::zeros(cols, rows, map.transform());
+    let mut fields = Vec::new();
+    let mut next_label: u16 = 1;
+    let mut stack = Vec::new();
+    for start_r in 0..rows {
+        for start_c in 0..cols {
+            if labels.at(start_c, start_r) != 0 {
+                continue;
+            }
+            let class = map.at(start_c, start_r);
+            // Flood fill.
+            let mut members = Vec::new();
+            stack.push((start_c, start_r));
+            labels.put(start_c, start_r, u16::MAX); // visited marker
+            while let Some((c, r)) = stack.pop() {
+                members.push((c, r));
+                let neighbours = [
+                    (c.wrapping_sub(1), r),
+                    (c + 1, r),
+                    (c, r.wrapping_sub(1)),
+                    (c, r + 1),
+                ];
+                for (nc, nr) in neighbours {
+                    if nc < cols && nr < rows && labels.at(nc, nr) == 0 && map.at(nc, nr) == class
+                    {
+                        labels.put(nc, nr, u16::MAX);
+                        stack.push((nc, nr));
+                    }
+                }
+            }
+            if members.len() >= min_pixels && next_label < u16::MAX {
+                let label = next_label;
+                next_label += 1;
+                let mut env = Envelope::empty();
+                for &(c, r) in &members {
+                    labels.put(c, r, label);
+                    let p = map.transform().pixel_center(c, r);
+                    env.expand(&p);
+                }
+                // Pad by half a pixel so the polygon covers whole pixels.
+                let half = map.transform().pixel_size / 2.0;
+                let footprint = Polygon::rectangle(
+                    env.min_x - half,
+                    env.min_y - half,
+                    env.max_x + half,
+                    env.max_y + half,
+                );
+                fields.push(Field {
+                    id: label as u32,
+                    class,
+                    pixels: members.len(),
+                    footprint,
+                });
+            } else {
+                for &(c, r) in &members {
+                    // Reset marker: too small to be a field.
+                    labels.put(c, r, 0);
+                }
+                // Mark visited but unlabelled pixels so we do not refill:
+                // use a sentinel pass below instead. Simplest correct fix:
+                // remember in a bitset.
+                for &(c, r) in &members {
+                    labels.put(c, r, u16::MAX - 1);
+                }
+            }
+        }
+    }
+    // Clear sentinels.
+    for v in labels.data_mut() {
+        if *v == u16::MAX - 1 {
+            *v = 0;
+        }
+    }
+    (labels, fields)
+}
+
+/// Boundary-quality score: fraction of true parcels for which some
+/// extracted field of the same class covers ≥ `overlap` of the parcel's
+/// pixels.
+pub fn parcel_recovery(
+    world: &Landscape,
+    labels: &Raster<u16>,
+    fields: &[Field],
+    overlap: f64,
+) -> f64 {
+    if world.parcels.is_empty() {
+        return 0.0;
+    }
+    let mut recovered = 0usize;
+    for parcel in &world.parcels {
+        // Count, per component label, parcel pixels covered.
+        let mut counts: std::collections::HashMap<u16, usize> = Default::default();
+        let mut total = 0usize;
+        for (c, r, pid) in world.parcel_map.iter() {
+            if pid == parcel.id {
+                total += 1;
+                let l = labels.at(c, r);
+                if l != 0 {
+                    *counts.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+        let best = counts
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|(&l, &n)| (l, n));
+        if let Some((label, n)) = best {
+            let field = fields.iter().find(|f| f.id == label as u32);
+            let class_ok = field
+                .map(|f| f.class == parcel.class.as_index() as u8)
+                .unwrap_or(false);
+            if class_ok && n as f64 / total as f64 >= overlap {
+                recovered += 1;
+            }
+        }
+    }
+    recovered as f64 / world.parcels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_raster::raster::GeoTransform;
+
+    fn gt() -> GeoTransform {
+        GeoTransform::new(0.0, 100.0, 10.0)
+    }
+
+    #[test]
+    fn single_uniform_region_is_one_field() {
+        let map: Raster<u8> = Raster::filled(10, 10, gt(), 3);
+        let (labels, fields) = extract_fields(&map, 4);
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].pixels, 100);
+        assert_eq!(fields[0].class, 3);
+        assert!(labels.data().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn two_classes_two_fields() {
+        let map: Raster<u8> = Raster::from_fn(10, 10, gt(), |c, _| if c < 5 { 1 } else { 2 });
+        let (_, fields) = extract_fields(&map, 4);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields.iter().map(|f| f.pixels).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn diagonal_is_not_connected() {
+        // Two same-class squares touching only diagonally → two fields.
+        let mut map: Raster<u8> = Raster::zeros(6, 6, gt());
+        for r in 0..3 {
+            for c in 0..3 {
+                map.put(c, r, 1);
+                map.put(c + 3, r + 3, 1);
+            }
+        }
+        let (_, fields) = extract_fields(&map, 2);
+        let ones: Vec<&Field> = fields.iter().filter(|f| f.class == 1).collect();
+        assert_eq!(ones.len(), 2, "4-connectivity separates diagonals");
+    }
+
+    #[test]
+    fn small_specks_suppressed() {
+        let mut map: Raster<u8> = Raster::filled(10, 10, gt(), 1);
+        map.put(5, 5, 9); // single-pixel noise
+        let (labels, fields) = extract_fields(&map, 4);
+        assert_eq!(fields.len(), 1, "speck filtered");
+        assert_eq!(labels.at(5, 5), 0, "speck unlabelled");
+    }
+
+    #[test]
+    fn footprint_covers_component() {
+        let map: Raster<u8> = Raster::from_fn(8, 8, gt(), |c, r| u8::from(c < 4 && r < 4));
+        let (_, fields) = extract_fields(&map, 4);
+        let f1 = fields.iter().find(|f| f.class == 1).unwrap();
+        // 4x4 pixels at 10 m = 40 m square (0,60)-(40,100) in world coords.
+        let env = f1.footprint.envelope();
+        assert_eq!(env, Envelope::new(0.0, 60.0, 40.0, 100.0));
+    }
+
+    #[test]
+    fn recovery_on_perfect_map() {
+        use ee_datasets::landscape::LandscapeConfig;
+        let world = ee_datasets::Landscape::generate(LandscapeConfig {
+            size: 48,
+            parcels_per_side: 5,
+            ..LandscapeConfig::default()
+        })
+        .unwrap();
+        // The "predicted" map is the truth itself.
+        let (labels, fields) = extract_fields(&world.truth, 6);
+        let recovery = parcel_recovery(&world, &labels, &fields, 0.7);
+        assert!(
+            recovery > 0.7,
+            "perfect map recovers most parcels: {recovery}"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-pixel crop-type classification from the seasonal time series.
+//!
+//! Features per pixel: NDVI at every acquisition plus red and NIR
+//! reflectance at three season anchors — the temporal signature that
+//! separates winter crops from summer crops (Challenge C1's "temporal
+//! dimension plays a very important role").
+
+use crate::FoodError;
+use ee_datasets::{LandClass, Landscape};
+use ee_dl::model::{mlp, Sequential};
+use ee_dl::optim::{LrSchedule, Sgd};
+use ee_dl::Dataset;
+use ee_raster::stack::TimeStack;
+use ee_raster::Raster;
+use ee_tensor::Tensor;
+use ee_util::stats::ConfusionMatrix;
+use ee_util::Rng;
+
+/// A trained per-pixel crop classifier.
+pub struct CropMapper {
+    model: Sequential,
+    mean: Vec<f32>,
+    std: Vec<f32>,
+    num_dates: usize,
+}
+
+/// Per-pixel temporal feature vector: NDVI series + B04/B08 anchors.
+fn pixel_features(stack: &TimeStack, col: usize, row: usize) -> Result<Vec<f32>, FoodError> {
+    let ndvi = stack
+        .ndvi_series(col, row)
+        .map_err(|e| FoodError::Data(e.to_string()))?;
+    let mut out = ndvi;
+    let anchors = [0, stack.len() / 2, stack.len() - 1];
+    for &a in &anchors {
+        let scene = &stack.scenes()[a];
+        let red = scene
+            .band(ee_raster::Band::B04)
+            .and_then(|r| r.get(col, row))
+            .map_err(|e| FoodError::Data(e.to_string()))?;
+        let nir = scene
+            .band(ee_raster::Band::B08)
+            .and_then(|r| r.get(col, row))
+            .map_err(|e| FoodError::Data(e.to_string()))?;
+        out.push(red);
+        out.push(nir);
+    }
+    Ok(out)
+}
+
+/// Assemble a labelled pixel-feature dataset from the stack + truth.
+pub fn feature_dataset(
+    stack: &TimeStack,
+    truth: &Raster<u8>,
+    max_samples: usize,
+    seed: u64,
+) -> Result<Dataset, FoodError> {
+    if stack.is_empty() {
+        return Err(FoodError::Data("empty time stack".into()));
+    }
+    let (cols, rows) = truth.shape();
+    let mut rng = Rng::seed_from(seed);
+    let take = rng.sample_indices(cols * rows, max_samples.min(cols * rows));
+    let width = stack.len() + 6;
+    let mut data = Vec::with_capacity(take.len() * width);
+    let mut labels = Vec::with_capacity(take.len());
+    for &i in &take {
+        let (c, r) = (i % cols, i / cols);
+        data.extend(pixel_features(stack, c, r)?);
+        labels.push(truth.at(c, r) as usize);
+    }
+    let x = Tensor::from_vec(&[take.len(), width], data)
+        .map_err(|e| FoodError::Data(e.to_string()))?;
+    Dataset::new(x, labels).map_err(|e| FoodError::Data(e.to_string()))
+}
+
+impl CropMapper {
+    /// Train on a labelled sample of pixels from the stack.
+    pub fn train(
+        stack: &TimeStack,
+        truth: &Raster<u8>,
+        samples: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<CropMapper, FoodError> {
+        let mut data = feature_dataset(stack, truth, samples, seed)?;
+        let (mean, std) = data.feature_stats();
+        data.standardize(&mean, &std);
+        let width = data.x.shape()[1];
+        let mut rng = Rng::seed_from(seed ^ 0xc409);
+        let mut model = mlp(width, 48, 10, &mut rng);
+        let mut opt = Sgd::new(LrSchedule::Constant(0.15), 0.9);
+        for epoch in 0..epochs {
+            for idx in ee_dl::data::BatchIter::new(data.len(), 128, seed ^ epoch as u64) {
+                let batch = data.take(&idx).map_err(|e| FoodError::Model(e.to_string()))?;
+                model
+                    .compute_gradients(&batch.x, &batch.labels)
+                    .map_err(|e| FoodError::Model(e.to_string()))?;
+                opt.step(&mut model).map_err(|e| FoodError::Model(e.to_string()))?;
+            }
+        }
+        Ok(CropMapper {
+            model,
+            mean,
+            std,
+            num_dates: stack.len(),
+        })
+    }
+
+    /// Predict the crop map for the whole stack extent.
+    pub fn predict_map(&mut self, stack: &TimeStack) -> Result<Raster<u8>, FoodError> {
+        if stack.len() != self.num_dates {
+            return Err(FoodError::Model(format!(
+                "mapper trained on {} dates, stack has {}",
+                self.num_dates,
+                stack.len()
+            )));
+        }
+        let template = stack.scenes()[0]
+            .band(ee_raster::Band::B04)
+            .map_err(|e| FoodError::Data(e.to_string()))?;
+        let (cols, rows) = template.shape();
+        let mut out: Raster<u8> = Raster::zeros(cols, rows, template.transform());
+        let width = self.num_dates + 6;
+        // Batched inference over rows.
+        for r in 0..rows {
+            let mut data = Vec::with_capacity(cols * width);
+            for c in 0..cols {
+                let mut f = pixel_features(stack, c, r)?;
+                for (v, (m, s)) in f.iter_mut().zip(self.mean.iter().zip(&self.std)) {
+                    *v = (*v - m) / s;
+                }
+                data.extend(f);
+            }
+            let x = Tensor::from_vec(&[cols, width], data)
+                .map_err(|e| FoodError::Model(e.to_string()))?;
+            let preds = self
+                .model
+                .predict(&x)
+                .map_err(|e| FoodError::Model(e.to_string()))?;
+            for (c, p) in preds.into_iter().enumerate() {
+                out.put(c, r, p as u8);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a predicted map against truth.
+    pub fn evaluate_map(predicted: &Raster<u8>, truth: &Raster<u8>) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(10);
+        for ((_, _, p), (_, _, t)) in predicted.iter().zip(truth.iter()) {
+            cm.record(t as usize, p as usize);
+        }
+        cm
+    }
+}
+
+/// Convenience: the full A1 classification step over a landscape.
+/// Returns (predicted map, accuracy matrix).
+pub fn classify_landscape(
+    world: &Landscape,
+    stack: &TimeStack,
+    seed: u64,
+) -> Result<(Raster<u8>, ConfusionMatrix), FoodError> {
+    let mut mapper = CropMapper::train(stack, &world.truth, 3000, 30, seed)?;
+    let map = mapper.predict_map(stack)?;
+    let cm = CropMapper::evaluate_map(&map, &world.truth);
+    Ok((map, cm))
+}
+
+/// Majority-vote the predicted classes within each true parcel — the
+/// "field-level" aggregation that turns pixel noise into per-field crop
+/// types.
+pub fn parcel_majority(world: &Landscape, predicted: &Raster<u8>) -> Vec<(u16, LandClass)> {
+    let mut votes: std::collections::HashMap<u16, [u32; 10]> = Default::default();
+    for (c, r, pid) in world.parcel_map.iter() {
+        if pid != 0 {
+            votes.entry(pid).or_insert([0; 10])[predicted.at(c, r) as usize] += 1;
+        }
+    }
+    let mut out: Vec<(u16, LandClass)> = votes
+        .into_iter()
+        .map(|(pid, counts)| {
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            (pid, LandClass::from_index(best).expect("valid class index"))
+        })
+        .collect();
+    out.sort_by_key(|(pid, _)| *pid);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_datasets::landscape::LandscapeConfig;
+    use ee_datasets::optics::{simulate_season, OpticsConfig};
+    use ee_util::timeline::Date;
+
+    fn world_and_stack() -> (Landscape, TimeStack) {
+        let world = Landscape::generate(LandscapeConfig {
+            size: 48,
+            parcels_per_side: 5,
+            ..LandscapeConfig::default()
+        })
+        .unwrap();
+        let dates: Vec<Date> = [60u16, 105, 150, 195, 240, 285]
+            .iter()
+            .map(|&d| Date::from_ordinal(2017, d).unwrap())
+            .collect();
+        let stack = simulate_season(
+            &world,
+            &dates,
+            OpticsConfig {
+                cloud_fraction: 0.0,
+                noise_std: 0.008,
+            },
+            5,
+        )
+        .unwrap();
+        (world, stack)
+    }
+
+    #[test]
+    fn feature_width_is_dates_plus_anchors() {
+        let (world, stack) = world_and_stack();
+        let d = feature_dataset(&stack, &world.truth, 100, 1).unwrap();
+        assert_eq!(d.x.shape(), &[100, 6 + 6]);
+    }
+
+    #[test]
+    fn classifier_beats_chance_comfortably() {
+        let (world, stack) = world_and_stack();
+        let (map, cm) = classify_landscape(&world, &stack, 42).unwrap();
+        assert_eq!(map.shape(), world.truth.shape());
+        // 10 classes → chance ≈ largest class share; demand much better.
+        assert!(
+            cm.accuracy() > 0.7,
+            "temporal classifier accuracy {}",
+            cm.accuracy()
+        );
+        assert!(cm.kappa() > 0.5, "kappa {}", cm.kappa());
+    }
+
+    #[test]
+    fn parcel_majority_cleans_pixel_noise() {
+        let (world, stack) = world_and_stack();
+        let (map, cm) = classify_landscape(&world, &stack, 43).unwrap();
+        let fields = parcel_majority(&world, &map);
+        assert_eq!(fields.len(), world.parcels.len());
+        let correct = fields
+            .iter()
+            .filter(|(pid, class)| {
+                world
+                    .parcels
+                    .iter()
+                    .find(|p| p.id == *pid)
+                    .map(|p| p.class == *class)
+                    .unwrap_or(false)
+            })
+            .count();
+        let field_acc = correct as f64 / fields.len() as f64;
+        assert!(
+            field_acc >= cm.accuracy() - 0.05,
+            "field-level {} vs pixel-level {}",
+            field_acc,
+            cm.accuracy()
+        );
+    }
+
+    #[test]
+    fn mapper_rejects_mismatched_stack() {
+        let (world, stack) = world_and_stack();
+        let mut mapper = CropMapper::train(&stack, &world.truth, 500, 5, 1).unwrap();
+        let shorter = stack.between(
+            Date::from_ordinal(2017, 60).unwrap(),
+            Date::from_ordinal(2017, 160).unwrap(),
+        );
+        assert!(mapper.predict_map(&shorter).is_err());
+    }
+}

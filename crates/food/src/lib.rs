@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! The Food Security application (Challenge A1).
+//!
+//! "To develop high resolution water availability maps for agricultural
+//! areas allowing a new level of detail for wide-scale irrigation
+//! support. The maps will be available as linked data together with other
+//! geospatial layers (e.g., OpenStreetMap, field boundaries, crop types
+//! etc.)". The pipeline:
+//!
+//! 1. [`cropmap`] — classify crop type per pixel from the seasonal
+//!    optical time series (the scalable-DL output of Challenge C1);
+//! 2. [`boundaries`] — extract field boundaries from the crop map by
+//!    connected-component analysis ("making it possible for the
+//!    processing chains to include this information as linked data");
+//! 3. [`promet`] — the PROMET-lite hydro-agroecological model (ref \[10\]):
+//!    a daily snow + soil water balance at 10 m, with *crop-specific*
+//!    crop coefficients taken from the predicted crop map — versus the
+//!    constant-coefficient baseline A1 says was "formerly only available
+//!    at farm level";
+//! 4. [`linked`] — publish parcels, crop types and water availability as
+//!    RDF through the GeoTriples mapping so downstream users query them
+//!    with GeoSPARQL.
+
+pub mod boundaries;
+pub mod cropmap;
+pub mod linked;
+pub mod promet;
+
+pub use cropmap::CropMapper;
+pub use promet::{PrometConfig, PrometOutput, WeatherGenerator};
+
+/// Errors from the Food Security pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoodError {
+    /// Data generation failed.
+    Data(String),
+    /// Training/inference failed.
+    Model(String),
+    /// Water-balance configuration problem.
+    Config(String),
+}
+
+impl From<ee_datasets::DataGenError> for FoodError {
+    fn from(e: ee_datasets::DataGenError) -> Self {
+        FoodError::Data(e.to_string())
+    }
+}
+
+impl From<ee_dl::DlError> for FoodError {
+    fn from(e: ee_dl::DlError) -> Self {
+        FoodError::Model(e.to_string())
+    }
+}
+
+impl From<ee_raster::RasterError> for FoodError {
+    fn from(e: ee_raster::RasterError) -> Self {
+        FoodError::Data(e.to_string())
+    }
+}
+
+impl std::fmt::Display for FoodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoodError::Data(m) => write!(f, "data error: {m}"),
+            FoodError::Model(m) => write!(f, "model error: {m}"),
+            FoodError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FoodError {}

@@ -1,0 +1,398 @@
+//! PROMET-lite: the hydro-agroecological water-balance model (ref \[10\])
+//! at 10 m resolution over the whole watershed, full year.
+//!
+//! Components, per day and per pixel:
+//!
+//! * a deterministic **weather generator** (seasonal temperature with
+//!   noise; Markov-chain rain occurrence with exponential amounts;
+//!   orographic correction from the DEM);
+//! * **snow**: sub-zero precipitation accumulates; degree-day melt;
+//! * **evapotranspiration**: Hargreaves-style reference ET scaled by the
+//!   *crop coefficient of the pixel's mapped crop* (the A1 innovation —
+//!   "crop type specific deduction of crop variables") and reduced under
+//!   soil-moisture stress;
+//! * **soil bucket**: plant-available water per pixel (capacity from the
+//!   soil map), surplus leaves as runoff.
+//!
+//! Outputs: the 10 m water-availability map (soil-water fraction),
+//! seasonal irrigation demand per pixel, and basin runoff — compared in
+//! E11 against a constant-Kc baseline.
+
+use crate::FoodError;
+use ee_datasets::{LandClass, Landscape};
+use ee_raster::Raster;
+use ee_util::Rng;
+
+/// Daily weather for the watershed.
+#[derive(Debug, Clone, Copy)]
+pub struct DailyWeather {
+    /// Mean air temperature at reference elevation, °C.
+    pub temp_mean: f64,
+    /// Diurnal temperature range, °C.
+    pub temp_range: f64,
+    /// Precipitation, mm.
+    pub precip_mm: f64,
+}
+
+/// A deterministic weather generator (temperate climate).
+pub struct WeatherGenerator {
+    rng: Rng,
+    raining: bool,
+}
+
+impl WeatherGenerator {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from(seed),
+            raining: false,
+        }
+    }
+
+    /// Weather for a day of year.
+    pub fn day(&mut self, doy: u16) -> DailyWeather {
+        let t = doy as f64;
+        // Seasonal cycle: -1 °C in January, 19 °C in July (doy ~196).
+        let seasonal = 9.0 + 10.0 * ((t - 196.0) * std::f64::consts::TAU / 365.0).cos();
+        let temp_mean = seasonal + self.rng.normal(0.0, 2.5);
+        let temp_range = (8.0 + self.rng.normal(0.0, 2.0)).clamp(2.0, 16.0);
+        // Markov rain: wet days cluster.
+        let p_rain = if self.raining { 0.6 } else { 0.22 };
+        self.raining = self.rng.chance(p_rain);
+        let precip_mm = if self.raining {
+            self.rng.exponential(1.0 / 5.0) // mean 5 mm
+        } else {
+            0.0
+        };
+        DailyWeather {
+            temp_mean,
+            temp_range,
+            precip_mm,
+        }
+    }
+}
+
+/// Hargreaves-style reference evapotranspiration, mm/day.
+pub fn reference_et(doy: u16, temp_mean: f64, temp_range: f64) -> f64 {
+    // Extraterrestrial radiation proxy for mid-latitudes, ~mm/day units,
+    // peaking at the summer solstice (doy 172).
+    let ra = 8.0 + 6.5 * ((doy as f64 - 172.0) * std::f64::consts::TAU / 365.0).cos();
+    let et = 0.0023 * ra * (temp_mean + 17.8).max(0.0) * temp_range.max(0.0).sqrt();
+    et.max(0.0)
+}
+
+/// Model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PrometConfig {
+    /// Year simulated.
+    pub year: i32,
+    /// Degree-day snowmelt factor, mm/°C/day.
+    pub melt_factor: f64,
+    /// Soil-moisture fraction below which ET is reduced linearly.
+    pub stress_threshold: f64,
+    /// Weather seed.
+    pub weather_seed: u64,
+    /// Use crop-specific Kc from the crop map (`false` = constant-Kc
+    /// baseline, the pre-ExtremeEarth state of the art).
+    pub crop_specific_kc: bool,
+}
+
+impl Default for PrometConfig {
+    fn default() -> Self {
+        Self {
+            year: 2017,
+            melt_factor: 3.0,
+            stress_threshold: 0.5,
+            weather_seed: 77,
+            crop_specific_kc: true,
+        }
+    }
+}
+
+/// Model outputs.
+pub struct PrometOutput {
+    /// Soil-water fraction (0..1) per pixel at the end of the run —
+    /// the 10 m water-availability map.
+    pub water_availability: Raster<f32>,
+    /// The same map captured at the *peak-stress* day (late August, day
+    /// 235) — the map irrigation decisions are actually made from.
+    pub summer_water_availability: Raster<f32>,
+    /// Seasonal irrigation demand per pixel, mm (unmet crop ET).
+    pub irrigation_demand: Raster<f32>,
+    /// Mean soil-water fraction per simulated day (basin average).
+    pub daily_basin_water: Vec<f64>,
+    /// Total basin runoff, mm averaged over pixels.
+    pub runoff_mm: f64,
+    /// Total snowfall, mm averaged over pixels.
+    pub snowfall_mm: f64,
+}
+
+/// Run the daily water balance for a year over the landscape, using
+/// `crop_map` for the Kc lookup (normally the classifier's prediction).
+pub fn run(
+    world: &Landscape,
+    crop_map: &Raster<u8>,
+    config: PrometConfig,
+) -> Result<PrometOutput, FoodError> {
+    if crop_map.shape() != world.truth.shape() {
+        return Err(FoodError::Config("crop map does not match the world grid".into()));
+    }
+    let (cols, rows) = world.truth.shape();
+    let n = cols * rows;
+    let mut weather = WeatherGenerator::new(config.weather_seed);
+    // State per pixel.
+    let mut soil: Vec<f64> = (0..n)
+        .map(|i| world.soil_awc.data()[i] as f64 * 0.75) // start three-quarters full
+        .collect();
+    let mut snow: Vec<f64> = vec![0.0; n];
+    let mut demand: Vec<f64> = vec![0.0; n];
+    let mut runoff_total = 0.0f64;
+    let mut snowfall_total = 0.0f64;
+    let mut daily_basin_water = Vec::with_capacity(366);
+    let days = if (config.year % 4 == 0 && config.year % 100 != 0) || config.year % 400 == 0 {
+        366
+    } else {
+        365
+    };
+    // Precompute per-pixel elevation lapse (−0.6 °C / 100 m above 150 m).
+    let lapse: Vec<f64> = world
+        .dem
+        .data()
+        .iter()
+        .map(|&e| (e as f64 - 150.0) * -0.006)
+        .collect();
+    let constant_kc = 0.75; // the farm-level, crop-agnostic baseline
+    let mut summer_snapshot: Option<Vec<f64>> = None;
+    for doy in 1..=days as u16 {
+        let w = weather.day(doy);
+        let et0 = reference_et(doy, w.temp_mean, w.temp_range);
+        let mut basin_water = 0.0f64;
+        for i in 0..n {
+            let (c, r) = (i % cols, i / cols);
+            let temp = w.temp_mean + lapse[i];
+            let awc = world.soil_awc.data()[i] as f64;
+            // Partition precipitation.
+            let (rain, snowfall) = if temp < 0.0 {
+                (0.0, w.precip_mm)
+            } else {
+                (w.precip_mm, 0.0)
+            };
+            snow[i] += snowfall;
+            snowfall_total += snowfall;
+            // Melt.
+            let melt = if temp > 0.0 {
+                (config.melt_factor * temp).min(snow[i])
+            } else {
+                0.0
+            };
+            snow[i] -= melt;
+            // Crop coefficient from the *mapped* class.
+            let class = LandClass::from_index(crop_map.at(c, r) as usize)
+                .unwrap_or(LandClass::BareSoil);
+            let eff_doy = world.effective_doy(c, r, doy);
+            let kc = if config.crop_specific_kc {
+                class.kc(eff_doy)
+            } else {
+                constant_kc
+            };
+            let et_potential = kc * et0;
+            // Moisture stress.
+            let fraction = (soil[i] / awc).clamp(0.0, 1.0);
+            let stress = if fraction >= config.stress_threshold {
+                1.0
+            } else {
+                fraction / config.stress_threshold
+            };
+            let et_actual = et_potential * stress;
+            if class.is_crop() {
+                demand[i] += et_potential - et_actual;
+            }
+            soil[i] += rain + melt - et_actual;
+            if soil[i] > awc {
+                runoff_total += soil[i] - awc;
+                soil[i] = awc;
+            }
+            if soil[i] < 0.0 {
+                soil[i] = 0.0;
+            }
+            basin_water += (soil[i] / awc).clamp(0.0, 1.0);
+        }
+        daily_basin_water.push(basin_water / n as f64);
+        if doy == 235 {
+            summer_snapshot = Some(soil.clone());
+        }
+    }
+    let summer = summer_snapshot.unwrap_or_else(|| soil.clone());
+    let transform = world.truth.transform();
+    let water_availability = Raster::from_vec(
+        cols,
+        rows,
+        transform,
+        soil.iter()
+            .zip(world.soil_awc.data())
+            .map(|(&s, &awc)| (s / awc as f64).clamp(0.0, 1.0) as f32)
+            .collect(),
+    )
+    .map_err(|e| FoodError::Data(e.to_string()))?;
+    let irrigation_demand = Raster::from_vec(
+        cols,
+        rows,
+        transform,
+        demand.iter().map(|&d| d as f32).collect(),
+    )
+    .map_err(|e| FoodError::Data(e.to_string()))?;
+    let summer_water_availability = Raster::from_vec(
+        cols,
+        rows,
+        transform,
+        summer
+            .iter()
+            .zip(world.soil_awc.data())
+            .map(|(&s, &awc)| (s / awc as f64).clamp(0.0, 1.0) as f32)
+            .collect(),
+    )
+    .map_err(|e| FoodError::Data(e.to_string()))?;
+    Ok(PrometOutput {
+        water_availability,
+        summer_water_availability,
+        irrigation_demand,
+        daily_basin_water,
+        runoff_mm: runoff_total / n as f64,
+        snowfall_mm: snowfall_total / n as f64,
+    })
+}
+
+/// Mean irrigation demand (mm) over pixels of each crop, from an output.
+pub fn demand_by_crop(world: &Landscape, output: &PrometOutput) -> Vec<(LandClass, f64)> {
+    let mut sums = [0.0f64; 10];
+    let mut counts = [0usize; 10];
+    for (c, r, v) in output.irrigation_demand.iter() {
+        let class = world.class_at(c, r);
+        sums[class.as_index()] += v as f64;
+        counts[class.as_index()] += 1;
+    }
+    LandClass::CROPS
+        .iter()
+        .filter(|c| counts[c.as_index()] > 0)
+        .map(|&c| (c, sums[c.as_index()] / counts[c.as_index()] as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_datasets::landscape::LandscapeConfig;
+
+    fn world() -> Landscape {
+        Landscape::generate(LandscapeConfig {
+            size: 32,
+            parcels_per_side: 4,
+            ..LandscapeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn weather_has_seasons() {
+        let mut gen = WeatherGenerator::new(1);
+        let winter: f64 = (1..60).map(|d| gen.day(d).temp_mean).sum::<f64>() / 59.0;
+        let mut gen2 = WeatherGenerator::new(1);
+        for d in 1..180 {
+            gen2.day(d);
+        }
+        let summer: f64 = (180..240).map(|d| gen2.day(d).temp_mean).sum::<f64>() / 60.0;
+        assert!(summer > winter + 10.0, "summer {summer} vs winter {winter}");
+    }
+
+    #[test]
+    fn weather_is_deterministic_and_rainy_enough() {
+        let a: Vec<f64> = {
+            let mut g = WeatherGenerator::new(5);
+            (1..=365).map(|d| g.day(d).precip_mm).collect()
+        };
+        let b: Vec<f64> = {
+            let mut g = WeatherGenerator::new(5);
+            (1..=365).map(|d| g.day(d).precip_mm).collect()
+        };
+        assert_eq!(a, b);
+        let annual: f64 = a.iter().sum();
+        assert!(
+            (300.0..1500.0).contains(&annual),
+            "annual precipitation {annual} mm"
+        );
+    }
+
+    #[test]
+    fn reference_et_peaks_in_summer() {
+        let summer = reference_et(180, 20.0, 10.0);
+        let winter = reference_et(10, 2.0, 6.0);
+        assert!(summer > 2.0 * winter, "ET0 summer {summer} vs winter {winter}");
+        assert!(reference_et(180, -30.0, 10.0) == 0.0, "no ET below -17.8 °C");
+    }
+
+    #[test]
+    fn full_year_run_is_sane() {
+        let w = world();
+        let out = run(&w, &w.truth, PrometConfig::default()).unwrap();
+        assert_eq!(out.daily_basin_water.len(), 365);
+        assert!(out.daily_basin_water.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        let (lo, hi) = out.water_availability.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(out.runoff_mm > 0.0, "a temperate year produces runoff");
+        assert!(out.snowfall_mm > 0.0, "some winter precipitation is snow");
+        // Summer is drier than early spring in the basin mean.
+        let spring = out.daily_basin_water[90];
+        let late_summer = out.daily_basin_water[230];
+        assert!(late_summer < spring, "seasonal drawdown {spring} → {late_summer}");
+    }
+
+    #[test]
+    fn crop_specific_kc_changes_demand() {
+        let w = world();
+        let specific = run(&w, &w.truth, PrometConfig::default()).unwrap();
+        let constant = run(
+            &w,
+            &w.truth,
+            PrometConfig {
+                crop_specific_kc: false,
+                ..PrometConfig::default()
+            },
+        )
+        .unwrap();
+        let by_crop = demand_by_crop(&w, &specific);
+        let by_crop_const = demand_by_crop(&w, &constant);
+        assert!(!by_crop.is_empty());
+        // With a constant Kc all crops look alike; with crop-specific Kc
+        // the spread across crops is wider.
+        let spread = |v: &[(LandClass, f64)]| -> f64 {
+            let vals: Vec<f64> = v.iter().map(|(_, d)| *d).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        };
+        if by_crop.len() >= 2 && by_crop_const.len() >= 2 {
+            assert!(
+                spread(&by_crop) > spread(&by_crop_const),
+                "crop-specific Kc differentiates crops: {:?} vs {:?}",
+                by_crop,
+                by_crop_const
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_map_shape_rejected() {
+        let w = world();
+        let wrong: Raster<u8> = Raster::zeros(8, 8, w.truth.transform());
+        assert!(run(&w, &wrong, PrometConfig::default()).is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let w = world();
+        let a = run(&w, &w.truth, PrometConfig::default()).unwrap();
+        let b = run(&w, &w.truth, PrometConfig::default()).unwrap();
+        assert_eq!(a.water_availability, b.water_availability);
+        assert_eq!(a.runoff_mm, b.runoff_mm);
+    }
+}

@@ -1,0 +1,177 @@
+//! Regular grids over a bounded region.
+//!
+//! [`Grid`] maps between continuous coordinates and discrete cells. It is
+//! used for equigrid blocking in `ee-interlink`, for rasterising vector
+//! layers in `ee-datasets`, and for the spatial histograms of
+//! `ee-federation`'s source selector.
+
+use crate::geometry::{Envelope, Point};
+
+/// A `cols x rows` grid of equal cells covering an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// The covered region.
+    pub extent: Envelope,
+    /// Number of columns (x direction).
+    pub cols: usize,
+    /// Number of rows (y direction).
+    pub rows: usize,
+}
+
+impl Grid {
+    /// Construct. Panics if `cols` or `rows` is zero or the extent is empty.
+    pub fn new(extent: Envelope, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        assert!(!extent.is_empty(), "grid extent must be non-empty");
+        Self { extent, cols, rows }
+    }
+
+    /// Construct with a target cell size; the cell count is rounded up so
+    /// cells are never larger than requested.
+    pub fn with_cell_size(extent: Envelope, cell_w: f64, cell_h: f64) -> Self {
+        assert!(cell_w > 0.0 && cell_h > 0.0);
+        let cols = (extent.width() / cell_w).ceil().max(1.0) as usize;
+        let rows = (extent.height() / cell_h).ceil().max(1.0) as usize;
+        Self::new(extent, cols, rows)
+    }
+
+    /// Cell width.
+    pub fn cell_width(&self) -> f64 {
+        self.extent.width() / self.cols as f64
+    }
+
+    /// Cell height.
+    pub fn cell_height(&self) -> f64 {
+        self.extent.height() / self.rows as f64
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The (col, row) of the cell containing `p`, or `None` if outside.
+    /// Points on the max edges map to the last cell.
+    pub fn locate(&self, p: &Point) -> Option<(usize, usize)> {
+        if !self.extent.contains_point(p) {
+            return None;
+        }
+        let col = (((p.x - self.extent.min_x) / self.cell_width()) as usize).min(self.cols - 1);
+        let row = (((p.y - self.extent.min_y) / self.cell_height()) as usize).min(self.rows - 1);
+        Some((col, row))
+    }
+
+    /// Flattened index of a (col, row) pair (row-major).
+    pub fn index(&self, col: usize, row: usize) -> usize {
+        debug_assert!(col < self.cols && row < self.rows);
+        row * self.cols + col
+    }
+
+    /// Envelope of a cell.
+    pub fn cell_envelope(&self, col: usize, row: usize) -> Envelope {
+        let w = self.cell_width();
+        let h = self.cell_height();
+        let x0 = self.extent.min_x + col as f64 * w;
+        let y0 = self.extent.min_y + row as f64 * h;
+        Envelope::new(x0, y0, x0 + w, y0 + h)
+    }
+
+    /// Inclusive (col, row) ranges of the cells intersecting an envelope,
+    /// or `None` when disjoint from the grid.
+    pub fn cells_overlapping(&self, env: &Envelope) -> Option<(usize, usize, usize, usize)> {
+        if !self.extent.intersects(env) {
+            return None;
+        }
+        let clamp_x = |x: f64| x.clamp(self.extent.min_x, self.extent.max_x);
+        let clamp_y = |y: f64| y.clamp(self.extent.min_y, self.extent.max_y);
+        let c0 = (((clamp_x(env.min_x) - self.extent.min_x) / self.cell_width()) as usize)
+            .min(self.cols - 1);
+        let c1 = (((clamp_x(env.max_x) - self.extent.min_x) / self.cell_width()) as usize)
+            .min(self.cols - 1);
+        let r0 = (((clamp_y(env.min_y) - self.extent.min_y) / self.cell_height()) as usize)
+            .min(self.rows - 1);
+        let r1 = (((clamp_y(env.max_y) - self.extent.min_y) / self.cell_height()) as usize)
+            .min(self.rows - 1);
+        Some((c0, r0, c1, r1))
+    }
+
+    /// Iterate the flattened indices of the cells intersecting an envelope.
+    pub fn overlapping_indices(&self, env: &Envelope) -> Vec<usize> {
+        match self.cells_overlapping(env) {
+            None => Vec::new(),
+            Some((c0, r0, c1, r1)) => {
+                let mut out = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+                for row in r0..=r1 {
+                    for col in c0..=c1 {
+                        out.push(self.index(col, row));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(Envelope::new(0.0, 0.0, 10.0, 5.0), 10, 5)
+    }
+
+    #[test]
+    fn geometry_of_cells() {
+        let g = grid();
+        assert_eq!(g.cell_width(), 1.0);
+        assert_eq!(g.cell_height(), 1.0);
+        assert_eq!(g.num_cells(), 50);
+        assert_eq!(g.cell_envelope(0, 0), Envelope::new(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(g.cell_envelope(9, 4), Envelope::new(9.0, 4.0, 10.0, 5.0));
+    }
+
+    #[test]
+    fn locate_points() {
+        let g = grid();
+        assert_eq!(g.locate(&Point::new(0.5, 0.5)), Some((0, 0)));
+        assert_eq!(g.locate(&Point::new(9.9, 4.9)), Some((9, 4)));
+        assert_eq!(g.locate(&Point::new(10.0, 5.0)), Some((9, 4)), "max edge maps inward");
+        assert_eq!(g.locate(&Point::new(-0.1, 0.0)), None);
+        assert_eq!(g.locate(&Point::new(0.0, 5.1)), None);
+    }
+
+    #[test]
+    fn overlap_ranges() {
+        let g = grid();
+        let q = Envelope::new(1.5, 0.5, 3.5, 2.5);
+        assert_eq!(g.cells_overlapping(&q), Some((1, 0, 3, 2)));
+        assert_eq!(g.overlapping_indices(&q).len(), 9);
+        // Query larger than the grid clamps to all cells.
+        let all = Envelope::new(-100.0, -100.0, 100.0, 100.0);
+        assert_eq!(g.overlapping_indices(&all).len(), 50);
+        // Disjoint query.
+        assert!(g.cells_overlapping(&Envelope::new(20.0, 20.0, 30.0, 30.0)).is_none());
+    }
+
+    #[test]
+    fn with_cell_size_rounds_up() {
+        let g = Grid::with_cell_size(Envelope::new(0.0, 0.0, 10.0, 10.0), 3.0, 3.0);
+        assert_eq!(g.cols, 4);
+        assert_eq!(g.rows, 4);
+        assert!(g.cell_width() <= 3.0);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = grid();
+        assert_eq!(g.index(0, 0), 0);
+        assert_eq!(g.index(9, 4), 49);
+        assert_eq!(g.index(3, 2), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        Grid::new(Envelope::new(0.0, 0.0, 1.0, 1.0), 0, 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests over the geometry kernels.
+
+use ee_geo::{algorithms, wkt, Envelope, Geometry, LineString, Point, Polygon};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random simple polygon: a star-shaped ring around a centre.
+fn arb_star_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        3usize..24,
+        proptest::collection::vec(0.5f64..5.0, 24),
+    )
+        .prop_map(|(cx, cy, vertices, radii)| {
+            let pts: Vec<Point> = (0..vertices)
+                .map(|k| {
+                    let theta = k as f64 / vertices as f64 * std::f64::consts::TAU;
+                    let r = radii[k % radii.len()];
+                    Point::new(cx + r * theta.cos(), cy + r * theta.sin())
+                })
+                .collect();
+            Polygon::from_exterior(pts).expect("star ring is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rect_point_containment_matches_envelope(p in arb_point(),
+                                               x0 in -80.0f64..80.0,
+                                               y0 in -80.0f64..80.0,
+                                               w in 0.1f64..40.0,
+                                               h in 0.1f64..40.0) {
+        let rect = Polygon::rectangle(x0, y0, x0 + w, y0 + h);
+        let env = Envelope::new(x0, y0, x0 + w, y0 + h);
+        prop_assert_eq!(
+            algorithms::point_in_polygon(&p, &rect),
+            env.contains_point(&p)
+        );
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in arb_star_polygon(), b in arb_star_polygon()) {
+        let ga: Geometry = a.into();
+        let gb: Geometry = b.into();
+        prop_assert_eq!(algorithms::intersects(&ga, &gb), algorithms::intersects(&gb, &ga));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_iff_intersecting(
+        a in arb_star_polygon(),
+        b in arb_star_polygon(),
+    ) {
+        let ga: Geometry = a.into();
+        let gb: Geometry = b.into();
+        let dab = algorithms::distance(&ga, &gb);
+        let dba = algorithms::distance(&gb, &ga);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert_eq!(dab == 0.0, algorithms::intersects(&ga, &gb));
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn contains_implies_intersects_and_envelope_containment(
+        a in arb_star_polygon(),
+        b in arb_star_polygon(),
+    ) {
+        let ga: Geometry = a.clone().into();
+        let gb: Geometry = b.clone().into();
+        if algorithms::contains(&ga, &gb) {
+            prop_assert!(algorithms::intersects(&ga, &gb));
+            prop_assert!(a.envelope().contains_envelope(&b.envelope()));
+            prop_assert!(algorithms::area(&ga) >= algorithms::area(&gb) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_hull_contains_every_input_point(
+        pts in proptest::collection::vec(arb_point(), 3..60),
+    ) {
+        if let Some(hull) = algorithms::convex_hull(&pts) {
+            let poly = Polygon::new(hull, vec![]).expect("hull ring");
+            for p in &pts {
+                prop_assert!(
+                    algorithms::point_in_polygon(p, &poly),
+                    "hull must contain {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_keeps_endpoints_and_never_grows(
+        pts in proptest::collection::vec(arb_point(), 2..40),
+        eps in 0.0f64..10.0,
+    ) {
+        let line = LineString::new(pts.clone()).expect(">= 2 points");
+        let s = algorithms::simplify(&line, eps);
+        prop_assert!(s.points.len() <= line.points.len());
+        prop_assert_eq!(s.points.first(), line.points.first());
+        prop_assert_eq!(s.points.last(), line.points.last());
+        // Zero tolerance keeps everything.
+        let exact = algorithms::simplify(&line, 0.0);
+        prop_assert!(exact.points.len() >= s.points.len());
+    }
+
+    #[test]
+    fn wkt_roundtrip_star_polygons(poly in arb_star_polygon()) {
+        let g: Geometry = poly.into();
+        let text = wkt::to_wkt(&g);
+        let back = wkt::parse_wkt(&text).expect("roundtrip");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn polygon_area_is_translation_invariant(
+        poly in arb_star_polygon(),
+        dx in -30.0f64..30.0,
+        dy in -30.0f64..30.0,
+    ) {
+        let moved = Polygon::from_exterior(
+            poly.exterior.points[..poly.exterior.points.len() - 1]
+                .iter()
+                .map(|p| Point::new(p.x + dx, p.y + dy))
+                .collect(),
+        )
+        .expect("ring still valid");
+        prop_assert!((algorithms::polygon_area(&poly) - algorithms::polygon_area(&moved)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,162 @@
+//! A minimal delimited-text table reader (the RML "logical table" source).
+//!
+//! Handles the workspace's own exports: comma separation, double-quote
+//! quoting with `""` escapes, a mandatory header row. Not a general CSV
+//! implementation — it exists so the mapping engine has a tabular source.
+
+use crate::MapError;
+
+/// A parsed table: header + rows of equal arity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Column index by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: &str) -> Option<&str> {
+        let ci = self.column(col)?;
+        self.rows.get(row).map(|r| r[ci].as_str())
+    }
+}
+
+/// Parse delimited text with a header row.
+pub fn parse_csv(text: &str) -> Result<Table, MapError> {
+    let mut lines = split_records(text);
+    if lines.is_empty() {
+        return Err(MapError::BadSource("empty input".into()));
+    }
+    let header = lines.remove(0);
+    let arity = header.len();
+    for (i, row) in lines.iter().enumerate() {
+        if row.len() != arity {
+            return Err(MapError::BadSource(format!(
+                "row {} has {} fields, header has {arity}",
+                i + 1,
+                row.len()
+            )));
+        }
+    }
+    Ok(Table {
+        header,
+        rows: lines,
+    })
+}
+
+/// Split into records honouring quotes (which may contain newlines).
+fn split_records(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    // Skip blank lines.
+                    if !(record.len() == 1 && record[0].is_empty()) {
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        record.clear();
+                    }
+                }
+                '\r' => {}
+                other => field.push(other),
+            }
+        }
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        if !(record.len() == 1 && record[0].is_empty()) {
+            records.push(record);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_table() {
+        let t = parse_csv("id,name\n1,alpha\n2,beta\n").unwrap();
+        assert_eq!(t.header, vec!["id", "name"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.cell(1, "name"), Some("beta"));
+        assert_eq!(t.column("id"), Some(0));
+        assert_eq!(t.column("nope"), None);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let t = parse_csv("a,b\n\"x,y\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.rows[0][0], "x,y");
+        assert_eq!(t.rows[0][1], "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = parse_csv("a\n\"she said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.rows[0][0], "she said \"hi\"");
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.rows[0], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(matches!(
+            parse_csv("a,b\n1\n"),
+            Err(MapError::BadSource(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = parse_csv("a,b\n1,2\n\n3,4\n").unwrap();
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! An in-memory vector feature collection (the GeoJSON-like source).
+
+use ee_geo::Geometry;
+use std::collections::BTreeMap;
+
+/// A property value on a feature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropValue {
+    /// Text.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// Lexical form used in templates.
+    pub fn lexical(&self) -> String {
+        match self {
+            PropValue::Str(s) => s.clone(),
+            PropValue::Int(i) => i.to_string(),
+            PropValue::Float(f) => format!("{f}"),
+            PropValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// One vector feature: geometry + properties.
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// The geometry.
+    pub geometry: Geometry,
+    /// Named properties.
+    pub properties: BTreeMap<String, PropValue>,
+}
+
+impl Feature {
+    /// Construct with empty properties.
+    pub fn new(geometry: Geometry) -> Self {
+        Self {
+            geometry,
+            properties: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style property insertion.
+    pub fn with(mut self, key: &str, value: PropValue) -> Self {
+        self.properties.insert(key.to_string(), value);
+        self
+    }
+
+    /// Property lookup.
+    pub fn get(&self, key: &str) -> Option<&PropValue> {
+        self.properties.get(key)
+    }
+}
+
+/// A collection of features (one "layer").
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCollection {
+    /// The features.
+    pub features: Vec<Feature>,
+}
+
+impl FeatureCollection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a feature.
+    pub fn push(&mut self, f: Feature) {
+        self.features.push(f);
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_geo::Point;
+
+    #[test]
+    fn builder_and_lookup() {
+        let f = Feature::new(Point::new(1.0, 2.0).into())
+            .with("name", PropValue::Str("Field 7".into()))
+            .with("area", PropValue::Float(1.25));
+        assert_eq!(f.get("name"), Some(&PropValue::Str("Field 7".into())));
+        assert_eq!(f.get("area").unwrap().lexical(), "1.25");
+        assert!(f.get("missing").is_none());
+    }
+
+    #[test]
+    fn lexical_forms() {
+        assert_eq!(PropValue::Int(-3).lexical(), "-3");
+        assert_eq!(PropValue::Bool(true).lexical(), "true");
+        assert_eq!(PropValue::Str("x y".into()).lexical(), "x y");
+    }
+
+    #[test]
+    fn collection_basics() {
+        let mut fc = FeatureCollection::new();
+        assert!(fc.is_empty());
+        fc.push(Feature::new(Point::new(0.0, 0.0).into()));
+        assert_eq!(fc.len(), 1);
+    }
+}

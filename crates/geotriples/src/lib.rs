@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! GeoTriples-analogue: mapping tabular and vector geodata into RDF
+//! (Challenge C3, ref \[16\]).
+//!
+//! GeoTriples transforms geospatial data into RDF graphs driven by
+//! R2RML/RML mappings. This crate implements the same architecture at the
+//! scale this workspace needs: an *RML-lite* mapping model ([`mapping`])
+//! executed over two source kinds — delimited text tables ([`csv`]) and a
+//! GeoJSON-like in-memory feature collection ([`features`]) — emitting
+//! triples straight into an `ee-rdf` [`ee_rdf::TripleStore`].
+//!
+//! A mapping is a set of `TriplesMap`s: a subject template plus
+//! predicate-object maps whose objects are column references (typed),
+//! constants, or the feature geometry serialised as a GeoSPARQL WKT
+//! literal — exactly GeoTriples' `rml:reference`/`rr:template` core.
+
+pub mod csv;
+pub mod features;
+pub mod mapping;
+
+pub use features::{Feature, FeatureCollection};
+pub use mapping::{ObjectMap, TermType, TriplesMap};
+
+/// Errors from the mapping engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// A template referenced a missing column/property.
+    MissingField(String),
+    /// Malformed template string.
+    BadTemplate(String),
+    /// Source parse failure (CSV structure).
+    BadSource(String),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::MissingField(c) => write!(f, "missing field {c:?}"),
+            MapError::BadTemplate(t) => write!(f, "bad template {t:?}"),
+            MapError::BadSource(m) => write!(f, "bad source: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}

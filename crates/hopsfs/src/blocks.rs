@@ -1,0 +1,129 @@
+//! The block-storage path (datanode analogue).
+//!
+//! Large file payloads are chunked into blocks held by this store; reading
+//! them costs extra round trips compared to the inline small-file path
+//! (ref \[17\], "Size Matters"). The store counts round trips so experiment
+//! E10 can report the latency model without wall-clock noise.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::FsError;
+
+/// In-memory datanode pool.
+pub struct BlockStore {
+    blocks: Mutex<HashMap<u64, Vec<u8>>>,
+    next_id: AtomicU64,
+    round_trips: AtomicU64,
+    /// Block size in bytes; files are chunked at this boundary.
+    pub block_size: usize,
+}
+
+impl BlockStore {
+    /// A block store with the given block size (HDFS-style, but smaller:
+    /// the default 1 MiB keeps test files multi-block).
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0);
+        Self {
+            blocks: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            round_trips: AtomicU64::new(0),
+            block_size,
+        }
+    }
+
+    /// Write a payload as blocks; returns the block ids in order.
+    pub fn write(&self, data: &[u8]) -> Vec<u64> {
+        let mut ids = Vec::with_capacity(data.len().div_ceil(self.block_size));
+        let mut blocks = self.blocks.lock();
+        for chunk in data.chunks(self.block_size) {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            blocks.insert(id, chunk.to_vec());
+            ids.push(id);
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        // Zero-length files still store one empty block for simplicity.
+        if ids.is_empty() {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            blocks.insert(id, Vec::new());
+            ids.push(id);
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        ids
+    }
+
+    /// Read blocks back in order.
+    pub fn read(&self, ids: &[u64]) -> Result<Vec<u8>, FsError> {
+        let blocks = self.blocks.lock();
+        let mut out = Vec::new();
+        for id in ids {
+            let chunk = blocks.get(id).ok_or(FsError::BlockMissing(*id))?;
+            out.extend_from_slice(chunk);
+            self.round_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// Drop blocks (file deletion).
+    pub fn free(&self, ids: &[u64]) {
+        let mut blocks = self.blocks.lock();
+        for id in ids {
+            blocks.remove(id);
+        }
+    }
+
+    /// Datanode round trips so far (one per block written or read).
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Number of live blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().len()
+    }
+
+    /// No live blocks?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_roundtrip() {
+        let bs = BlockStore::new(4);
+        let data = b"hello world!!".to_vec(); // 13 bytes → 4 blocks
+        let ids = bs.write(&data);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(bs.read(&ids).unwrap(), data);
+        assert_eq!(bs.round_trips(), 8, "4 writes + 4 reads");
+    }
+
+    #[test]
+    fn empty_file_gets_one_block() {
+        let bs = BlockStore::new(1024);
+        let ids = bs.write(&[]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(bs.read(&ids).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn free_releases_blocks() {
+        let bs = BlockStore::new(2);
+        let ids = bs.write(b"abcdef");
+        assert_eq!(bs.len(), 3);
+        bs.free(&ids);
+        assert!(bs.is_empty());
+        assert_eq!(bs.read(&ids), Err(FsError::BlockMissing(ids[0])));
+    }
+
+    #[test]
+    fn missing_block_is_an_error() {
+        let bs = BlockStore::new(8);
+        assert!(matches!(bs.read(&[999]), Err(FsError::BlockMissing(999))));
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! A HopsFS-analogue: hierarchical filesystem metadata in a sharded,
+//! transactional store.
+//!
+//! The paper (Challenge C5, refs \[9\], \[13\], \[17\]) builds on HopsFS, which
+//! moves HDFS namenode metadata into a distributed NewSQL database (NDB)
+//! so that metadata throughput scales with database shards, and serves
+//! *small files* directly from the metadata layer instead of the block
+//! layer. This crate reproduces both architectural properties:
+//!
+//! * [`store`] — a sharded key-value store with optimistic multi-key
+//!   transactions and two-phase commit across shards. Single-shard
+//!   transactions take the fast path (one shard lock); cross-shard
+//!   transactions pay prepare+commit on every participant, exactly the
+//!   trade HopsFS engineers around with its partition-key design.
+//! * [`namespace`] — the inode layer: directory entries are partitioned by
+//!   parent inode (HopsFS's partition-pruned index scans), so `ls` and
+//!   path resolution stay single-shard while `rename` across directories
+//!   is the slow cross-shard case.
+//! * [`blocks`] — the block-storage path with a simulated datanode
+//!   round-trip, and the inline small-file path that skips it (ref \[17\]).
+//! * [`load`] — multi-threaded load generator reproducing the op mix of
+//!   the HopsFS evaluation (reads dominate), used by experiment E10.
+
+pub mod blocks;
+pub mod load;
+pub mod namespace;
+pub mod store;
+
+pub use namespace::{FileSystem, FsConfig};
+pub use store::{ShardedStore, Tx};
+
+/// Errors from the metadata store and filesystem layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsError {
+    /// Optimistic-concurrency conflict: a read or written key changed
+    /// under the transaction. Retry.
+    Conflict,
+    /// Path component missing.
+    NotFound(String),
+    /// Tried to create something that exists.
+    AlreadyExists(String),
+    /// Operation on the wrong kind of inode (e.g. `ls` of a file).
+    NotADirectory(String),
+    /// Directory not empty on delete.
+    NotEmpty(String),
+    /// Malformed path.
+    BadPath(String),
+    /// Block layer failure.
+    BlockMissing(u64),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Conflict => write!(f, "transaction conflict; retry"),
+            FsError::NotFound(p) => write!(f, "not found: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::BadPath(p) => write!(f, "bad path: {p}"),
+            FsError::BlockMissing(b) => write!(f, "block {b} missing"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}

@@ -1,0 +1,236 @@
+//! Multi-threaded metadata load generator (experiment E10).
+//!
+//! Reproduces the shape of the HopsFS evaluation (refs \[9\], \[13\]): a
+//! read-dominated industrial op mix driven by many concurrent clients,
+//! with throughput reported against the number of store shards. Real
+//! threads hit the real store; wall-clock time is measured by the caller
+//! (the criterion bench) or by [`run_load`] itself for the harness tables.
+
+use crate::namespace::{FileSystem, FsConfig};
+use crate::FsError;
+use ee_util::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relative weights of the op mix (read-heavy, as in the HopsFS papers).
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// `stat` weight.
+    pub stat: f64,
+    /// Directory listing weight.
+    pub list: f64,
+    /// Small-file read weight.
+    pub read: f64,
+    /// File create weight.
+    pub create: f64,
+    /// File delete weight.
+    pub delete: f64,
+    /// Rename weight.
+    pub rename: f64,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        // Modelled on the Spotify HDFS trace the HopsFS paper replays.
+        Self {
+            stat: 0.40,
+            list: 0.10,
+            read: 0.25,
+            create: 0.18,
+            delete: 0.04,
+            rename: 0.03,
+        }
+    }
+}
+
+/// Result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations completed (including retried ones once).
+    pub ops: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Transactions that hit the single-shard fast path.
+    pub single_shard_commits: u64,
+    /// Transactions that needed cross-shard 2PC.
+    pub multi_shard_commits: u64,
+    /// Optimistic conflicts encountered (internally retried).
+    pub conflicts: u64,
+}
+
+/// Pre-populate a filesystem: `dirs` directories under `/bench`, each with
+/// `files_per_dir` small files. Returns the directory paths.
+pub fn populate(fs: &FileSystem, dirs: usize, files_per_dir: usize) -> Vec<String> {
+    let mut paths = Vec::with_capacity(dirs);
+    for d in 0..dirs {
+        let dir = format!("/bench/d{d:04}");
+        fs.mkdir_p(&dir).expect("populate mkdir");
+        for f in 0..files_per_dir {
+            fs.create(&format!("{dir}/f{f:04}"), b"seed-payload")
+                .expect("populate create");
+        }
+        paths.push(dir);
+    }
+    paths
+}
+
+/// Run `threads` clients, each performing `ops_per_thread` operations of
+/// the given mix against `fs`. Deterministic per (seed, thread).
+pub fn run_load(
+    fs: &FileSystem,
+    dirs: &[String],
+    mix: OpMix,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+) -> LoadReport {
+    assert!(!dirs.is_empty());
+    let before = fs.store().stats();
+    let completed = AtomicU64::new(0);
+    let start = std::time::Instant::now();
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let completed = &completed;
+            let dirs = &dirs;
+            let fs = &fs;
+            scope.spawn(move |_| {
+                let mut rng = Rng::seed_from(seed ^ (t as u64).wrapping_mul(0x9E37));
+                let weights = [mix.stat, mix.list, mix.read, mix.create, mix.delete, mix.rename];
+                // Per-thread private namespace for mutations avoids
+                // artificial hot-spots on one directory.
+                let own_dir = format!("/bench/t{t:02}");
+                fs.mkdir_p(&own_dir).expect("thread dir");
+                let mut created: Vec<String> = Vec::new();
+                let mut next_file = 0u64;
+                for _ in 0..ops_per_thread {
+                    let dir = &dirs[rng.range(0, dirs.len())];
+                    match rng.weighted_index(&weights).unwrap_or(0) {
+                        0 => {
+                            let _ = fs.stat(&format!("{dir}/f0000"));
+                        }
+                        1 => {
+                            let _ = fs.list(dir);
+                        }
+                        2 => {
+                            let _ = fs.read(&format!("{dir}/f0001"));
+                        }
+                        3 => {
+                            let path = format!("{own_dir}/n{next_file}");
+                            next_file += 1;
+                            if fs.create(&path, b"new-file-payload").is_ok() {
+                                created.push(path);
+                            }
+                        }
+                        4 => {
+                            if let Some(path) = created.pop() {
+                                let _ = fs.delete(&path);
+                            } else {
+                                let _ = fs.stat(&format!("{dir}/f0002"));
+                            }
+                        }
+                        _ => {
+                            if let Some(path) = created.pop() {
+                                let to = format!("{own_dir}/r{next_file}");
+                                next_file += 1;
+                                if fs.rename(&path, &to).is_ok() {
+                                    created.push(to);
+                                }
+                            } else {
+                                let _ = fs.list(dir);
+                            }
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("load threads");
+    let wall = start.elapsed().as_secs_f64();
+    let after = fs.store().stats();
+    let ops = completed.load(Ordering::Relaxed);
+    LoadReport {
+        ops,
+        wall_secs: wall,
+        ops_per_sec: ops as f64 / wall.max(1e-9),
+        single_shard_commits: after.0 - before.0,
+        multi_shard_commits: after.1 - before.1,
+        conflicts: after.2 - before.2,
+    }
+}
+
+/// Convenience: build a filesystem with `shards`, populate it, run the
+/// default mix, and report. Used by the E10 shard sweep.
+pub fn shard_sweep_point(
+    shards: usize,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+) -> LoadReport {
+    let fs = FileSystem::new(FsConfig {
+        shards,
+        ..FsConfig::default()
+    });
+    let dirs = populate(&fs, 16, 4);
+    run_load(&fs, &dirs, OpMix::default(), threads, ops_per_thread, seed)
+}
+
+/// Round-trip cost of reading one file of `size` bytes: `(metadata_trips,
+/// datanode_trips)`. Small files need metadata only (ref \[17\]).
+pub fn read_cost(size: usize, config: FsConfig) -> Result<(u64, u64), FsError> {
+    let fs = FileSystem::new(config);
+    let payload = vec![7u8; size];
+    fs.create("/probe", &payload)?;
+    let dn_before = fs.block_store().round_trips();
+    let got = fs.read("/probe")?;
+    assert_eq!(got.len(), size);
+    let dn = fs.block_store().round_trips() - dn_before;
+    // Metadata trips for a read: resolve (1 per component) + inode = 2.
+    Ok((2, dn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_builds_expected_tree() {
+        let fs = FileSystem::new(FsConfig::default());
+        let dirs = populate(&fs, 3, 2);
+        assert_eq!(dirs.len(), 3);
+        assert_eq!(fs.list("/bench").unwrap().len(), 3);
+        assert_eq!(fs.list(&dirs[0]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn load_run_completes_all_ops() {
+        let fs = FileSystem::new(FsConfig::default());
+        let dirs = populate(&fs, 4, 4);
+        let report = run_load(&fs, &dirs, OpMix::default(), 4, 200, 99);
+        assert_eq!(report.ops, 800);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.single_shard_commits > 0);
+    }
+
+    #[test]
+    fn read_cost_inline_vs_blocks() {
+        let config = FsConfig {
+            inline_threshold: 1024,
+            block_size: 1024,
+            ..FsConfig::default()
+        };
+        let (meta_small, dn_small) = read_cost(512, config).unwrap();
+        let (meta_large, dn_large) = read_cost(8 * 1024, config).unwrap();
+        assert_eq!(dn_small, 0, "small file served from metadata layer");
+        assert_eq!(meta_small, meta_large);
+        assert_eq!(dn_large, 8, "one trip per block");
+    }
+
+    #[test]
+    fn sweep_point_runs() {
+        let r = shard_sweep_point(2, 2, 50, 7);
+        assert_eq!(r.ops, 100);
+        assert_eq!(r.conflicts, 0, "disjoint namespaces should not conflict");
+    }
+}

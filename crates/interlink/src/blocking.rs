@@ -1,0 +1,152 @@
+//! Equigrid blocking: entities → grid cells → candidate pairs.
+
+use crate::entity::SpatialEntity;
+use ee_geo::grid::Grid;
+use ee_geo::Envelope;
+
+/// Block assignments for one dataset: `blocks[cell] = entity indexes`.
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    /// Per-cell entity index lists (indexes into the input slice).
+    pub cells: Vec<Vec<u32>>,
+    /// The grid used.
+    pub grid: Grid,
+}
+
+/// Compute the common extent of two datasets, padded by `slack`.
+pub fn common_extent(a: &[SpatialEntity], b: &[SpatialEntity], slack: f64) -> Envelope {
+    let mut env = Envelope::empty();
+    for e in a.iter().chain(b) {
+        env = env.union(&e.geometry.envelope());
+    }
+    if env.is_empty() {
+        return env;
+    }
+    Envelope::new(
+        env.min_x - slack - 1e-9,
+        env.min_y - slack - 1e-9,
+        env.max_x + slack + 1e-9,
+        env.max_y + slack + 1e-9,
+    )
+}
+
+/// Assign entities to the grid cells their (slack-padded) envelope
+/// overlaps.
+pub fn assign(entities: &[SpatialEntity], grid: &Grid, slack: f64) -> Blocks {
+    let mut cells = vec![Vec::new(); grid.num_cells()];
+    for (i, e) in entities.iter().enumerate() {
+        let env = e.geometry.envelope();
+        let padded = Envelope::new(
+            env.min_x - slack,
+            env.min_y - slack,
+            env.max_x + slack,
+            env.max_y + slack,
+        );
+        for cell in grid.overlapping_indices(&padded) {
+            cells[cell].push(i as u32);
+        }
+    }
+    Blocks {
+        cells,
+        grid: grid.clone(),
+    }
+}
+
+/// Candidate (source, target) index pairs: pairs co-occurring in at least
+/// one cell, deduplicated, each annotated with its co-occurrence count
+/// (the CBS weight used by meta-blocking).
+pub fn candidates(source: &Blocks, target: &Blocks) -> Vec<(u32, u32, u32)> {
+    use std::collections::HashMap;
+    debug_assert_eq!(source.cells.len(), target.cells.len());
+    let mut weights: HashMap<(u32, u32), u32> = HashMap::new();
+    for (s_cell, t_cell) in source.cells.iter().zip(&target.cells) {
+        for &si in s_cell {
+            for &ti in t_cell {
+                *weights.entry((si, ti)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32, u32)> = weights
+        .into_iter()
+        .map(|((s, t), w)| (s, t, w))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_geo::{Point, Polygon};
+
+    fn pt(id: u64, x: f64, y: f64) -> SpatialEntity {
+        SpatialEntity::new(id, Point::new(x, y).into())
+    }
+
+    #[test]
+    fn extent_covers_both_sets() {
+        let a = vec![pt(1, 0.0, 0.0)];
+        let b = vec![pt(2, 10.0, 5.0)];
+        let env = common_extent(&a, &b, 0.0);
+        assert!(env.contains_point(&Point::new(0.0, 0.0)));
+        assert!(env.contains_point(&Point::new(10.0, 5.0)));
+        let padded = common_extent(&a, &b, 2.0);
+        assert!(padded.contains_point(&Point::new(-1.9, -1.9)));
+    }
+
+    #[test]
+    fn assignment_is_local() {
+        let grid = Grid::new(Envelope::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        let ents = vec![pt(1, 0.5, 0.5), pt(2, 9.5, 9.5)];
+        let blocks = assign(&ents, &grid, 0.0);
+        let non_empty: Vec<usize> = blocks
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(non_empty.len(), 2);
+    }
+
+    #[test]
+    fn large_geometry_spans_cells() {
+        let grid = Grid::new(Envelope::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        let big = SpatialEntity::new(1, Polygon::rectangle(0.0, 0.0, 3.0, 3.0).into());
+        let blocks = assign(&[big], &grid, 0.0);
+        let count = blocks.cells.iter().filter(|c| !c.is_empty()).count();
+        assert!(count >= 9, "3x3 world units over 1x1 cells: {count} cells");
+    }
+
+    #[test]
+    fn slack_expands_assignment() {
+        let grid = Grid::new(Envelope::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        let e = vec![pt(1, 5.5, 5.5)];
+        let tight = assign(&e, &grid, 0.0);
+        let slacked = assign(&e, &grid, 1.0);
+        let n_tight = tight.cells.iter().filter(|c| !c.is_empty()).count();
+        let n_slack = slacked.cells.iter().filter(|c| !c.is_empty()).count();
+        assert!(n_slack > n_tight);
+    }
+
+    #[test]
+    fn candidates_only_from_shared_cells() {
+        let grid = Grid::new(Envelope::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        let src = vec![pt(1, 0.5, 0.5), pt(2, 9.5, 9.5)];
+        let tgt = vec![pt(1, 0.6, 0.6), pt(2, 5.0, 5.0)];
+        let sb = assign(&src, &grid, 0.0);
+        let tb = assign(&tgt, &grid, 0.0);
+        let cands = candidates(&sb, &tb);
+        assert_eq!(cands, vec![(0, 0, 1)], "only the co-located pair");
+    }
+
+    #[test]
+    fn cbs_weight_counts_shared_cells() {
+        let grid = Grid::new(Envelope::new(0.0, 0.0, 4.0, 4.0), 2, 2);
+        // Both cover the whole grid → share 4 cells.
+        let src = vec![SpatialEntity::new(1, Polygon::rectangle(0.0, 0.0, 4.0, 4.0).into())];
+        let tgt = vec![SpatialEntity::new(2, Polygon::rectangle(0.0, 0.0, 4.0, 4.0).into())];
+        let cands = candidates(&assign(&src, &grid, 0.0), &assign(&tgt, &grid, 0.0));
+        assert_eq!(cands, vec![(0, 0, 4)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Meta-blocking: prune the candidate graph by edge weight.
+//!
+//! The blocking graph's nodes are entities; edges are candidate pairs
+//! weighted by co-occurrence count (CBS). Weighted-edge pruning keeps the
+//! edges at or above the mean weight — ref \[19\]'s observation is that
+//! low-weight edges are overwhelmingly non-matches, so discarding them
+//! removes most comparisons at a small recall cost.
+
+/// Pruning scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pruning {
+    /// Keep everything (plain blocking).
+    None,
+    /// Weighted-edge pruning: keep weight ≥ mean weight.
+    WeightedEdge,
+    /// Keep weight ≥ `t`.
+    Threshold(f64),
+}
+
+/// Apply a pruning scheme to weighted candidates `(source, target, w)`.
+/// The workspace uses Jaccard-normalised block overlap as the weight
+/// (shared cells / union of cells), which — unlike raw CBS counts — does
+/// not penalise small geometries.
+pub fn prune(candidates: Vec<(u32, u32, f64)>, scheme: Pruning) -> Vec<(u32, u32, f64)> {
+    match scheme {
+        Pruning::None => candidates,
+        Pruning::Threshold(t) => candidates.into_iter().filter(|(_, _, w)| *w >= t).collect(),
+        Pruning::WeightedEdge => {
+            if candidates.is_empty() {
+                return candidates;
+            }
+            let mean =
+                candidates.iter().map(|(_, _, w)| *w).sum::<f64>() / candidates.len() as f64;
+            candidates
+                .into_iter()
+                .filter(|(_, _, w)| *w >= mean)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(u32, u32, f64)> {
+        vec![(0, 0, 1.0), (0, 1, 4.0), (1, 0, 2.0), (1, 1, 1.0), (2, 2, 4.0)]
+    }
+
+    #[test]
+    fn none_keeps_all() {
+        assert_eq!(prune(sample(), Pruning::None).len(), 5);
+    }
+
+    #[test]
+    fn weighted_edge_keeps_at_or_above_mean() {
+        // Mean = (1+4+2+1+4)/5 = 2.4 → keep 4, 4.
+        let kept = prune(sample(), Pruning::WeightedEdge);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|(_, _, w)| *w == 4.0));
+    }
+
+    #[test]
+    fn threshold_pruning() {
+        let kept = prune(sample(), Pruning::Threshold(2.0));
+        assert_eq!(kept.len(), 3);
+        assert_eq!(prune(sample(), Pruning::Threshold(100.0)).len(), 0);
+        assert_eq!(prune(sample(), Pruning::Threshold(0.0)).len(), 5);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(prune(Vec::new(), Pruning::WeightedEdge).is_empty());
+    }
+
+    #[test]
+    fn uniform_weights_all_survive_wep() {
+        let uniform = vec![(0, 0, 2.0), (1, 1, 2.0), (2, 2, 2.0)];
+        assert_eq!(prune(uniform.clone(), Pruning::WeightedEdge), uniform);
+    }
+}

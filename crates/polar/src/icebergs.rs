@@ -1,0 +1,357 @@
+//! Iceberg detection and tracking.
+//!
+//! Detection is CFAR-style: a pixel fires when its VV backscatter exceeds
+//! the local background median by a contrast margin; adjacent detections
+//! cluster into one target. Tracking is day-to-day nearest-neighbour
+//! assignment with a gating radius, maintaining stable track identities —
+//! the source of the "icebergs observed on date D" records the semantic
+//! catalogue serves.
+
+use crate::PolarError;
+use ee_raster::{Band, Raster, Scene};
+
+/// One detected target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Centroid column (pixel space).
+    pub x: f64,
+    /// Centroid row.
+    pub y: f64,
+    /// Member pixel count.
+    pub pixels: usize,
+    /// Peak backscatter, dB.
+    pub peak_db: f32,
+}
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Contrast over the local background median, dB.
+    pub contrast_db: f32,
+    /// Background window half-size in pixels.
+    pub window: usize,
+    /// Minimum / maximum cluster size in pixels.
+    pub min_pixels: usize,
+    /// Maximum cluster size (bigger = not a point target).
+    pub max_pixels: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            contrast_db: 8.0,
+            window: 7,
+            min_pixels: 1,
+            max_pixels: 40,
+        }
+    }
+}
+
+/// Local median of a window around (c, r).
+fn local_median(vv: &Raster<f32>, c: usize, r: usize, half: usize) -> f32 {
+    let (cols, rows) = vv.shape();
+    let c0 = c.saturating_sub(half);
+    let r0 = r.saturating_sub(half);
+    let c1 = (c + half).min(cols - 1);
+    let r1 = (r + half).min(rows - 1);
+    let mut vals = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+    for rr in r0..=r1 {
+        for cc in c0..=c1 {
+            vals.push(vv.at(cc, rr));
+        }
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN backscatter"));
+    vals[vals.len() / 2]
+}
+
+/// Detect bright point targets in a SAR scene.
+pub fn detect(scene: &Scene, config: DetectorConfig) -> Result<Vec<Detection>, PolarError> {
+    let vv = scene.band(Band::VV)?;
+    let (cols, rows) = vv.shape();
+    // CFAR mask.
+    let mut mask = vec![false; cols * rows];
+    for r in 0..rows {
+        for c in 0..cols {
+            let bg = local_median(vv, c, r, config.window);
+            if vv.at(c, r) > bg + config.contrast_db {
+                mask[r * cols + c] = true;
+            }
+        }
+    }
+    // Cluster 8-connected detections.
+    let mut visited = vec![false; cols * rows];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..cols * rows {
+        if !mask[start] || visited[start] {
+            continue;
+        }
+        stack.push(start);
+        visited[start] = true;
+        let mut members = Vec::new();
+        while let Some(i) = stack.pop() {
+            members.push(i);
+            let (c, r) = (i % cols, i / cols);
+            for dr in -1i64..=1 {
+                for dc in -1i64..=1 {
+                    let cc = c as i64 + dc;
+                    let rr = r as i64 + dr;
+                    if cc >= 0 && rr >= 0 && (cc as usize) < cols && (rr as usize) < rows {
+                        let j = rr as usize * cols + cc as usize;
+                        if mask[j] && !visited[j] {
+                            visited[j] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        if members.len() < config.min_pixels || members.len() > config.max_pixels {
+            continue;
+        }
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut peak = f32::NEG_INFINITY;
+        for &i in &members {
+            let (c, r) = (i % cols, i / cols);
+            sx += c as f64;
+            sy += r as f64;
+            peak = peak.max(vv.at(c, r));
+        }
+        out.push(Detection {
+            x: sx / members.len() as f64,
+            y: sy / members.len() as f64,
+            pixels: members.len(),
+            peak_db: peak,
+        });
+    }
+    Ok(out)
+}
+
+/// A maintained track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Track identity.
+    pub id: u32,
+    /// (day, detection) history.
+    pub history: Vec<(usize, Detection)>,
+}
+
+impl Track {
+    /// Last known position.
+    pub fn last(&self) -> (f64, f64) {
+        let d = &self.history.last().expect("tracks are never empty").1;
+        (d.x, d.y)
+    }
+}
+
+/// Day-to-day tracker with a gating radius (pixels/day).
+pub struct Tracker {
+    /// Completed + active tracks.
+    pub tracks: Vec<Track>,
+    gate: f64,
+    next_id: u32,
+}
+
+impl Tracker {
+    /// New tracker; `gate` is the max displacement per day.
+    pub fn new(gate: f64) -> Self {
+        Self {
+            tracks: Vec::new(),
+            gate,
+            next_id: 0,
+        }
+    }
+
+    /// Feed one day's detections; greedy nearest-neighbour assignment.
+    pub fn step(&mut self, day: usize, detections: &[Detection]) {
+        // Active = tracks updated on the previous day.
+        let mut candidate_pairs: Vec<(f64, usize, usize)> = Vec::new(); // (dist, track, det)
+        for (ti, track) in self.tracks.iter().enumerate() {
+            let (last_day, _) = track.history.last().expect("non-empty");
+            if day != last_day + 1 {
+                continue;
+            }
+            let (tx, ty) = track.last();
+            for (di, det) in detections.iter().enumerate() {
+                let dist = ((det.x - tx).powi(2) + (det.y - ty).powi(2)).sqrt();
+                if dist <= self.gate {
+                    candidate_pairs.push((dist, ti, di));
+                }
+            }
+        }
+        candidate_pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut track_used = vec![false; self.tracks.len()];
+        let mut det_used = vec![false; detections.len()];
+        for (_, ti, di) in candidate_pairs {
+            if !track_used[ti] && !det_used[di] {
+                track_used[ti] = true;
+                det_used[di] = true;
+                self.tracks[ti].history.push((day, detections[di]));
+            }
+        }
+        // Unmatched detections start new tracks.
+        for (di, det) in detections.iter().enumerate() {
+            if !det_used[di] {
+                self.tracks.push(Track {
+                    id: self.next_id,
+                    history: vec![(day, *det)],
+                });
+                self.next_id += 1;
+            }
+        }
+    }
+
+    /// Tracks observed on at least `min_days` days.
+    pub fn confirmed(&self, min_days: usize) -> Vec<&Track> {
+        self.tracks
+            .iter()
+            .filter(|t| t.history.len() >= min_days)
+            .collect()
+    }
+}
+
+/// Score detections against truth positions: a detection matches a truth
+/// target if within `radius` pixels. Returns (true positives, false
+/// positives, false negatives).
+pub fn score_detections(
+    detections: &[Detection],
+    truth: &[(u32, f64, f64)],
+    radius: f64,
+) -> (usize, usize, usize) {
+    let mut det_used = vec![false; detections.len()];
+    let mut tp = 0;
+    for &(_, tx, ty) in truth {
+        let best = detections
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| {
+                !det_used[*i] && ((d.x - tx).powi(2) + (d.y - ty).powi(2)).sqrt() <= radius
+            })
+            .min_by(|(_, a), (_, b)| {
+                let da = (a.x - tx).powi(2) + (a.y - ty).powi(2);
+                let db = (b.x - tx).powi(2) + (b.y - ty).powi(2);
+                da.partial_cmp(&db).expect("finite")
+            });
+        if let Some((i, _)) = best {
+            det_used[i] = true;
+            tp += 1;
+        }
+    }
+    let fp = det_used.iter().filter(|&&u| !u).count();
+    let fnn = truth.len() - tp;
+    (tp, fp, fnn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_datasets::seaice::{IceWorld, IceWorldConfig};
+    use ee_util::timeline::Date;
+
+    fn world() -> IceWorld {
+        IceWorld::generate(IceWorldConfig {
+            size: 96,
+            days: 8,
+            icebergs: 6,
+            ..IceWorldConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn detector_finds_most_icebergs() {
+        let w = world();
+        let scene = w
+            .simulate_sar(0, Date::new(2017, 2, 10).unwrap(), 3)
+            .unwrap();
+        let detections = detect(&scene, DetectorConfig::default()).unwrap();
+        let truth = w.iceberg_positions(0);
+        let (tp, _fp, fnn) = score_detections(&detections, &truth, 3.0);
+        assert!(
+            tp >= truth.len() - 2,
+            "detected {tp}/{} (missed {fnn})",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn tracker_maintains_identities() {
+        let w = world();
+        let mut tracker = Tracker::new(6.0);
+        for day in 0..8 {
+            let scene = w
+                .simulate_sar(day, Date::new(2017, 2, 10).unwrap(), 3)
+                .unwrap();
+            let detections = detect(&scene, DetectorConfig::default()).unwrap();
+            tracker.step(day, &detections);
+        }
+        let confirmed = tracker.confirmed(5);
+        assert!(
+            confirmed.len() >= 3,
+            "at least half the bergs tracked ≥5 days: {}",
+            confirmed.len()
+        );
+        // Track displacement per day must respect the gate.
+        for t in confirmed {
+            for w2 in t.history.windows(2) {
+                let (d0, a) = &w2[0];
+                let (d1, b) = &w2[1];
+                assert_eq!(d1 - d0, 1);
+                let step = ((b.x - a.x).powi(2) + (b.y - a.y).powi(2)).sqrt();
+                assert!(step <= 6.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_starts_new_tracks_for_new_targets() {
+        let mut tracker = Tracker::new(3.0);
+        let d1 = Detection {
+            x: 10.0,
+            y: 10.0,
+            pixels: 2,
+            peak_db: 0.0,
+        };
+        tracker.step(0, &[d1]);
+        // A far-away detection the next day exceeds the gate → new track.
+        let d2 = Detection {
+            x: 50.0,
+            y: 50.0,
+            pixels: 2,
+            peak_db: 0.0,
+        };
+        tracker.step(1, &[d2]);
+        assert_eq!(tracker.tracks.len(), 2);
+        // A nearby one continues the second track.
+        let d3 = Detection {
+            x: 51.5,
+            y: 50.5,
+            pixels: 2,
+            peak_db: 0.0,
+        };
+        tracker.step(2, &[d3]);
+        assert_eq!(tracker.tracks.len(), 2);
+        assert_eq!(tracker.tracks[1].history.len(), 2);
+    }
+
+    #[test]
+    fn score_counts_fp_and_fn() {
+        let detections = vec![
+            Detection { x: 10.0, y: 10.0, pixels: 1, peak_db: 0.0 },
+            Detection { x: 90.0, y: 90.0, pixels: 1, peak_db: 0.0 }, // false positive
+        ];
+        let truth = vec![(0u32, 10.5, 10.5), (1u32, 40.0, 40.0)]; // second missed
+        let (tp, fp, fnn) = score_detections(&detections, &truth, 2.0);
+        assert_eq!((tp, fp, fnn), (1, 1, 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (tp, fp, fnn) = score_detections(&[], &[], 2.0);
+        assert_eq!((tp, fp, fnn), (0, 0, 0));
+        let mut tracker = Tracker::new(3.0);
+        tracker.step(0, &[]);
+        assert!(tracker.tracks.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Sea-ice classification and the 1 km WMO product suite.
+//!
+//! Per-pixel features from the SAR scene: VV, VH, the cross-pol ratio and
+//! a local 3×3 texture (standard deviation of VV) — texture is what
+//! separates smooth new ice from wind-roughened water. The classifier is
+//! an MLP trained on labelled pixels of *other* days (temporal holdout).
+
+use crate::PolarError;
+use ee_datasets::seaice::{IceClass, IceWorld};
+use ee_dl::model::{mlp, Sequential};
+use ee_dl::optim::{LrSchedule, Sgd};
+use ee_dl::Dataset;
+use ee_raster::resample;
+use ee_raster::{Band, Raster, Scene};
+use ee_tensor::Tensor;
+use ee_util::stats::ConfusionMatrix;
+use ee_util::Rng;
+
+/// Width of the per-pixel feature vector.
+pub const FEATURES: usize = 4;
+
+/// Extract (VV, VH, VH−VV, local σ(VV)) at a pixel.
+fn pixel_features(vv: &Raster<f32>, vh: &Raster<f32>, c: usize, r: usize) -> [f32; FEATURES] {
+    let (cols, rows) = vv.shape();
+    let v = vv.at(c, r);
+    let h = vh.at(c, r);
+    // 3×3 std-dev of VV.
+    let mut sum = 0.0f32;
+    let mut sum2 = 0.0f32;
+    let mut n = 0.0f32;
+    for dr in -1i64..=1 {
+        for dc in -1i64..=1 {
+            let cc = c as i64 + dc;
+            let rr = r as i64 + dr;
+            if cc >= 0 && rr >= 0 && (cc as usize) < cols && (rr as usize) < rows {
+                let x = vv.at(cc as usize, rr as usize);
+                sum += x;
+                sum2 += x * x;
+                n += 1.0;
+            }
+        }
+    }
+    let mean = sum / n;
+    let var = (sum2 / n - mean * mean).max(0.0);
+    [v, h, h - v, var.sqrt()]
+}
+
+/// Build a labelled dataset from a SAR scene + truth raster.
+pub fn feature_dataset(
+    scene: &Scene,
+    truth: &Raster<u8>,
+    max_samples: usize,
+    seed: u64,
+) -> Result<Dataset, PolarError> {
+    let vv = scene.band(Band::VV)?;
+    let vh = scene.band(Band::VH)?;
+    let (cols, rows) = vv.shape();
+    let mut rng = Rng::seed_from(seed);
+    let take = rng.sample_indices(cols * rows, max_samples.min(cols * rows));
+    let mut data = Vec::with_capacity(take.len() * FEATURES);
+    let mut labels = Vec::with_capacity(take.len());
+    for &i in &take {
+        let (c, r) = (i % cols, i / cols);
+        data.extend(pixel_features(vv, vh, c, r));
+        labels.push(truth.at(c, r) as usize);
+    }
+    let x = Tensor::from_vec(&[take.len(), FEATURES], data)
+        .map_err(|e| PolarError::Model(e.to_string()))?;
+    Dataset::new(x, labels).map_err(|e| PolarError::Model(e.to_string()))
+}
+
+/// A trained WMO-stage classifier.
+pub struct IceMapper {
+    model: Sequential,
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl IceMapper {
+    /// Train on one or more labelled (scene, truth) days.
+    pub fn train(
+        days: &[(&Scene, &Raster<u8>)],
+        samples_per_day: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<IceMapper, PolarError> {
+        if days.is_empty() {
+            return Err(PolarError::Config("no training days".into()));
+        }
+        // Concatenate per-day datasets.
+        let mut all_x = Vec::new();
+        let mut all_y = Vec::new();
+        for (i, (scene, truth)) in days.iter().enumerate() {
+            let d = feature_dataset(scene, truth, samples_per_day, seed ^ (i as u64 * 0x77))?;
+            all_x.extend_from_slice(d.x.data());
+            all_y.extend_from_slice(&d.labels);
+        }
+        let n = all_y.len();
+        let x = Tensor::from_vec(&[n, FEATURES], all_x)
+            .map_err(|e| PolarError::Model(e.to_string()))?;
+        let mut data = Dataset::new(x, all_y).map_err(|e| PolarError::Model(e.to_string()))?;
+        let (mean, std) = data.feature_stats();
+        data.standardize(&mean, &std);
+        let mut rng = Rng::seed_from(seed ^ 0x1ce);
+        let mut model = mlp(FEATURES, 32, IceClass::ALL.len(), &mut rng);
+        let mut opt = Sgd::new(LrSchedule::Constant(0.2), 0.9);
+        for epoch in 0..epochs {
+            for idx in ee_dl::data::BatchIter::new(data.len(), 256, seed ^ epoch as u64) {
+                let batch = data.take(&idx).map_err(|e| PolarError::Model(e.to_string()))?;
+                model
+                    .compute_gradients(&batch.x, &batch.labels)
+                    .map_err(|e| PolarError::Model(e.to_string()))?;
+                opt.step(&mut model).map_err(|e| PolarError::Model(e.to_string()))?;
+            }
+        }
+        Ok(IceMapper { model, mean, std })
+    }
+
+    /// Classify every pixel of a scene.
+    pub fn predict_map(&mut self, scene: &Scene) -> Result<Raster<u8>, PolarError> {
+        let vv = scene.band(Band::VV)?;
+        let vh = scene.band(Band::VH)?;
+        let (cols, rows) = vv.shape();
+        let mut out: Raster<u8> = Raster::zeros(cols, rows, vv.transform());
+        for r in 0..rows {
+            let mut data = Vec::with_capacity(cols * FEATURES);
+            for c in 0..cols {
+                let mut f = pixel_features(vv, vh, c, r);
+                for (v, (m, s)) in f.iter_mut().zip(self.mean.iter().zip(&self.std)) {
+                    *v = (*v - m) / s;
+                }
+                data.extend(f);
+            }
+            let x = Tensor::from_vec(&[cols, FEATURES], data)
+                .map_err(|e| PolarError::Model(e.to_string()))?;
+            let preds = self
+                .model
+                .predict(&x)
+                .map_err(|e| PolarError::Model(e.to_string()))?;
+            for (c, p) in preds.into_iter().enumerate() {
+                out.put(c, r, p as u8);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The 1 km product suite for one day.
+pub struct IceProducts {
+    /// Ice concentration (0..1) per 1 km cell.
+    pub concentration: Raster<f32>,
+    /// Dominant WMO stage per 1 km cell (class index).
+    pub stage: Raster<u8>,
+    /// Lead fraction per cell.
+    pub lead_fraction: Raster<f32>,
+    /// Ridge fraction per cell.
+    pub ridge_fraction: Raster<f32>,
+}
+
+/// Aggregate a 40 m class map to the 1 km product suite. `factor` is the
+/// aggregation ratio (25 for 40 m → 1 km).
+pub fn products_from_map(
+    class_map: &Raster<u8>,
+    lead_mask: &Raster<u8>,
+    ridge_mask: &Raster<u8>,
+    factor: usize,
+) -> IceProducts {
+    let ice_mask = class_map.map(|v| u8::from(v != IceClass::OpenWater.as_index() as u8));
+    let concentration = resample::fraction_of(&ice_mask, factor, 1u8);
+    let lead_fraction = resample::fraction_of(lead_mask, factor, 1u8);
+    let ridge_fraction = resample::fraction_of(ridge_mask, factor, 1u8);
+    // Dominant stage by majority vote per block.
+    let (cols, rows) = class_map.shape();
+    let out_cols = cols.div_ceil(factor).max(1);
+    let out_rows = rows.div_ceil(factor).max(1);
+    let t = class_map.transform();
+    let stage = Raster::from_fn(
+        out_cols,
+        out_rows,
+        ee_raster::raster::GeoTransform::new(t.origin_x, t.origin_y, t.pixel_size * factor as f64),
+        |bc, br| {
+            let mut votes = [0u32; 8];
+            for dr in 0..factor {
+                for dc in 0..factor {
+                    let (c, r) = (bc * factor + dc, br * factor + dr);
+                    if c < cols && r < rows {
+                        votes[class_map.at(c, r) as usize] += 1;
+                    }
+                }
+            }
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(i, _)| i as u8)
+                .expect("non-empty")
+        },
+    );
+    IceProducts {
+        concentration,
+        stage,
+        lead_fraction,
+        ridge_fraction,
+    }
+}
+
+/// Truth masks for a world/day, for product evaluation.
+pub fn truth_masks(world: &IceWorld, day: usize) -> (Raster<u8>, Raster<u8>, Raster<u8>) {
+    let truth = world.truth(day);
+    let n = world.config.size;
+    let lead = Raster::from_fn(n, n, world.transform(), |c, r| {
+        u8::from(world.in_lead(c, r, day) && world.thickness(c, r, day) > 0.0)
+    });
+    let ridge = Raster::from_fn(n, n, world.transform(), |c, r| {
+        u8::from(world.on_ridge(c, r, day))
+    });
+    (truth, lead, ridge)
+}
+
+/// Mean absolute error between two same-shape f32 rasters.
+pub fn mae(a: &Raster<f32>, b: &Raster<f32>) -> f64 {
+    assert_eq!(a.shape(), b.shape());
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs() as f64)
+        .sum::<f64>()
+        / a.data().len() as f64
+}
+
+/// Confusion matrix of a predicted class map against truth.
+pub fn stage_confusion(predicted: &Raster<u8>, truth: &Raster<u8>) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new(IceClass::ALL.len());
+    for ((_, _, p), (_, _, t)) in predicted.iter().zip(truth.iter()) {
+        cm.record(t as usize, p as usize);
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_datasets::seaice::IceWorldConfig;
+    use ee_util::timeline::Date;
+
+    fn world() -> IceWorld {
+        IceWorld::generate(IceWorldConfig {
+            size: 80,
+            days: 6,
+            icebergs: 4,
+            ..IceWorldConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn date(day: usize) -> Date {
+        Date::from_ordinal(2017, 40 + day as u16).unwrap()
+    }
+
+    #[test]
+    fn classifier_beats_chance_on_held_out_day() {
+        let w = world();
+        let train_days: Vec<(Scene, Raster<u8>)> = (0..3)
+            .map(|d| {
+                let s = w.simulate_sar(d, date(d), 100 + d as u64).unwrap();
+                (s, w.truth(d))
+            })
+            .collect();
+        let refs: Vec<(&Scene, &Raster<u8>)> =
+            train_days.iter().map(|(s, t)| (s, t)).collect();
+        let mut mapper = IceMapper::train(&refs, 2000, 25, 7).unwrap();
+        // Held-out day 5.
+        let test_scene = w.simulate_sar(5, date(5), 999).unwrap();
+        let test_truth = w.truth(5);
+        let map = mapper.predict_map(&test_scene).unwrap();
+        let cm = stage_confusion(&map, &test_truth);
+        assert!(
+            cm.accuracy() > 0.55,
+            "5-class SAR stage accuracy {} (chance ~0.3)",
+            cm.accuracy()
+        );
+        // Water vs ice (binary collapse) should be strong.
+        let binary_correct: u64 = map
+            .iter()
+            .zip(test_truth.iter())
+            .filter(|((_, _, p), (_, _, t))| (*p == 0) == (*t == 0))
+            .count() as u64;
+        let binary_acc = binary_correct as f64 / (80.0 * 80.0);
+        assert!(binary_acc > 0.8, "ice/water accuracy {binary_acc}");
+    }
+
+    #[test]
+    fn products_aggregate_correctly() {
+        let w = world();
+        let (truth, lead, ridge) = truth_masks(&w, 0);
+        let products = products_from_map(&truth, &lead, &ridge, 20);
+        assert_eq!(products.concentration.shape(), (4, 4));
+        assert_eq!(products.stage.shape(), (4, 4));
+        for (_, _, v) in products.concentration.iter() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        for (_, _, v) in products.stage.iter() {
+            assert!((v as usize) < IceClass::ALL.len());
+        }
+        // Perfect input → concentration equals the truth aggregation.
+        let ice_mask = w.ice_mask(0);
+        let expected = resample::fraction_of(&ice_mask, 20, 1u8);
+        assert!(mae(&products.concentration, &expected) < 1e-6);
+    }
+
+    #[test]
+    fn product_resolution_is_1km_or_better() {
+        let w = world();
+        let (truth, lead, ridge) = truth_masks(&w, 0);
+        // 40 m * 25 = 1000 m.
+        let products = products_from_map(&truth, &lead, &ridge, 25);
+        assert!(products.concentration.transform().pixel_size <= 1000.0);
+    }
+
+    #[test]
+    fn mae_basics() {
+        let t = ee_raster::raster::GeoTransform::new(0.0, 2.0, 1.0);
+        let a: Raster<f32> = Raster::filled(2, 2, t, 0.5);
+        let b: Raster<f32> = Raster::filled(2, 2, t, 0.75);
+        assert!((mae(&a, &b) - 0.25).abs() < 1e-9);
+        assert_eq!(mae(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn training_requires_days() {
+        assert!(IceMapper::train(&[], 10, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! The Polar application (Challenge A2).
+//!
+//! "To produce high resolution ice maps from massive volumes of
+//! heterogeneous Copernicus data [...] sea ice concentration and type
+//! maps, displaying stage of development (in accordance with the WMO Sea
+//! Ice Nomenclature), including fraction of leads and ridges, over the
+//! Polar Regions, at a resolution of 1 km or better."
+//!
+//! * [`icemap`] — SAR-based per-pixel WMO stage classification and the
+//!   1 km product suite: concentration, dominant stage, lead and ridge
+//!   fractions, with accuracy metrics against the ice-world truth;
+//! * [`icebergs`] — CFAR-style iceberg detection in SAR backscatter and
+//!   day-to-day nearest-neighbour tracking with identity maintenance;
+//! * [`pcdss`] — the Polar Code Decision Support System delivery path:
+//!   products encoded for "restricted communication links", with byte
+//!   budgets and progressive degradation;
+//! * [`service`] — the near-real-time budget: acquisition → downlink →
+//!   processing (on-demand scalable compute, priced by `ee-cluster`) →
+//!   delivery, against the timeliness requirement of maritime users;
+//! * [`linked`] — iceberg observations and ice-feature extents published
+//!   into the semantic catalogue, closing the loop with Challenge C4's
+//!   "icebergs embedded in the ice barrier" query.
+
+pub mod icebergs;
+pub mod icemap;
+pub mod linked;
+pub mod pcdss;
+pub mod service;
+
+pub use icemap::{IceMapper, IceProducts};
+
+/// Errors from the Polar pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolarError {
+    /// Data generation failure.
+    Data(String),
+    /// Model failure.
+    Model(String),
+    /// Configuration problem.
+    Config(String),
+}
+
+impl From<ee_datasets::DataGenError> for PolarError {
+    fn from(e: ee_datasets::DataGenError) -> Self {
+        PolarError::Data(e.to_string())
+    }
+}
+
+impl From<ee_dl::DlError> for PolarError {
+    fn from(e: ee_dl::DlError) -> Self {
+        PolarError::Model(e.to_string())
+    }
+}
+
+impl From<ee_raster::RasterError> for PolarError {
+    fn from(e: ee_raster::RasterError) -> Self {
+        PolarError::Data(e.to_string())
+    }
+}
+
+impl std::fmt::Display for PolarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolarError::Data(m) => write!(f, "data error: {m}"),
+            PolarError::Model(m) => write!(f, "model error: {m}"),
+            PolarError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PolarError {}

@@ -1,0 +1,179 @@
+//! PCDSS delivery: ice products over restricted communication links.
+//!
+//! "PCDSS is designed to be used over restricted communication links, to
+//! bridge between the service production and users onboard ships in the
+//! Polar Regions." Ships sail with kilobit satellite links, so the 1 km
+//! product suite is quantised to bytes, RLE-compressed with the raster
+//! codec, and — when still over budget — progressively downsampled until
+//! it fits. The decoder restores a usable (if coarser) product.
+
+use crate::icemap::IceProducts;
+use crate::PolarError;
+use ee_raster::{codec, resample, Raster};
+
+/// A delivery-ready product bundle.
+#[derive(Debug, Clone)]
+pub struct PcdssBundle {
+    /// Encoded concentration (percent, u8).
+    pub concentration: Vec<u8>,
+    /// Encoded stage map.
+    pub stage: Vec<u8>,
+    /// Encoded lead fraction (percent, u8).
+    pub leads: Vec<u8>,
+    /// Downsampling applied (1 = full resolution).
+    pub downsample: usize,
+}
+
+impl PcdssBundle {
+    /// Total payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.concentration.len() + self.stage.len() + self.leads.len()
+    }
+}
+
+/// Quantise a 0..1 fraction raster to integer percent.
+fn to_percent(r: &Raster<f32>) -> Raster<u8> {
+    r.map(|v| (v * 100.0).round().clamp(0.0, 100.0) as u8)
+}
+
+/// Encode products within `budget_bytes`, degrading resolution if needed.
+/// Fails only if even a 1-pixel product cannot fit.
+pub fn encode_bundle(products: &IceProducts, budget_bytes: usize) -> Result<PcdssBundle, PolarError> {
+    let mut downsample = 1usize;
+    loop {
+        let conc = if downsample == 1 {
+            to_percent(&products.concentration)
+        } else {
+            to_percent(&resample::aggregate(&products.concentration, downsample))
+        };
+        let stage = if downsample == 1 {
+            products.stage.clone()
+        } else {
+            resample::resample(
+                &products.stage,
+                products.stage.cols().div_ceil(downsample).max(1),
+                products.stage.rows().div_ceil(downsample).max(1),
+                resample::Method::Nearest,
+            )
+        };
+        let leads = if downsample == 1 {
+            to_percent(&products.lead_fraction)
+        } else {
+            to_percent(&resample::aggregate(&products.lead_fraction, downsample))
+        };
+        let bundle = PcdssBundle {
+            concentration: codec::encode(&conc),
+            stage: codec::encode(&stage),
+            leads: codec::encode(&leads),
+            downsample,
+        };
+        if bundle.bytes() <= budget_bytes {
+            return Ok(bundle);
+        }
+        if conc.cols() <= 1 && conc.rows() <= 1 {
+            return Err(PolarError::Config(format!(
+                "budget {budget_bytes} B cannot fit even a 1-pixel product ({} B)",
+                bundle.bytes()
+            )));
+        }
+        downsample *= 2;
+    }
+}
+
+/// The decoded product trio: (concentration %, stage, lead fraction %).
+pub type DecodedBundle = (Raster<u8>, Raster<u8>, Raster<u8>);
+
+/// Decode a bundle back into usable rasters.
+pub fn decode_bundle(bundle: &PcdssBundle) -> Result<DecodedBundle, PolarError> {
+    let conc: Raster<u8> =
+        codec::decode(&bundle.concentration).map_err(|e| PolarError::Data(e.to_string()))?;
+    let stage: Raster<u8> =
+        codec::decode(&bundle.stage).map_err(|e| PolarError::Data(e.to_string()))?;
+    let leads: Raster<u8> =
+        codec::decode(&bundle.leads).map_err(|e| PolarError::Data(e.to_string()))?;
+    Ok((conc, stage, leads))
+}
+
+/// Seconds to ship `bytes` over a `bits_per_second` link.
+pub fn transmission_secs(bytes: usize, bits_per_second: f64) -> f64 {
+    (bytes as f64 * 8.0) / bits_per_second
+}
+
+/// Raw (uncompressed f32) size of the product suite, for the E12 ratio.
+pub fn raw_bytes(products: &IceProducts) -> usize {
+    let px = products.concentration.data().len();
+    // Three f32 layers + one u8 layer.
+    px * 4 * 3 + products.stage.data().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icemap::{products_from_map, truth_masks};
+    use ee_datasets::seaice::{IceWorld, IceWorldConfig};
+
+    fn products() -> IceProducts {
+        let w = IceWorld::generate(IceWorldConfig {
+            size: 100,
+            days: 2,
+            ..IceWorldConfig::default()
+        })
+        .unwrap();
+        let (truth, lead, ridge) = truth_masks(&w, 0);
+        products_from_map(&truth, &lead, &ridge, 5) // 20x20 product
+    }
+
+    #[test]
+    fn bundle_fits_generous_budget_at_full_resolution() {
+        let p = products();
+        let bundle = encode_bundle(&p, 100_000).unwrap();
+        assert_eq!(bundle.downsample, 1);
+        assert!(bundle.bytes() < raw_bytes(&p), "compressed beats raw");
+        let (conc, stage, leads) = decode_bundle(&bundle).unwrap();
+        assert_eq!(conc.shape(), (20, 20));
+        assert_eq!(stage.shape(), (20, 20));
+        assert_eq!(leads.shape(), (20, 20));
+        for (_, _, v) in conc.iter() {
+            assert!(v <= 100);
+        }
+    }
+
+    #[test]
+    fn tight_budget_forces_downsampling() {
+        let p = products();
+        let generous = encode_bundle(&p, 100_000).unwrap();
+        let tight = encode_bundle(&p, generous.bytes() / 3).unwrap();
+        assert!(tight.downsample > 1, "resolution degraded to fit");
+        assert!(tight.bytes() < generous.bytes());
+        let (conc, _, _) = decode_bundle(&tight).unwrap();
+        assert!(conc.cols() < 20);
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let p = products();
+        assert!(encode_bundle(&p, 10).is_err());
+    }
+
+    #[test]
+    fn quantisation_error_is_small() {
+        let p = products();
+        let bundle = encode_bundle(&p, 1_000_000).unwrap();
+        let (conc, _, _) = decode_bundle(&bundle).unwrap();
+        // Percent quantisation: within 0.5% of the f32 value.
+        for ((_, _, q), (_, _, f)) in conc.iter().zip(p.concentration.iter()) {
+            assert!((q as f32 / 100.0 - f).abs() <= 0.005 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn iridium_link_timing() {
+        // A 2.4 kbps link: 3 kB should take ~10 s.
+        let secs = transmission_secs(3_000, 2400.0);
+        assert!((secs - 10.0).abs() < 1e-9);
+        let p = products();
+        let bundle = encode_bundle(&p, 100_000).unwrap();
+        let t = transmission_secs(bundle.bytes(), 2400.0);
+        assert!(t < 60.0 * 30.0, "product delivers within half an hour on Iridium: {t} s");
+    }
+}

@@ -1,0 +1,169 @@
+//! The near-real-time service budget.
+//!
+//! "Since this is potentially going to be a significant processing load,
+//! but for limited periods of time as data is acquired and becomes
+//! available, then processing resources will need to be on demand and
+//! scalable to ensure efficiency." This module prices the end-to-end
+//! chain — downlink, on-demand processing (via the cluster scheduler),
+//! PCDSS delivery — against the timeliness requirement of maritime users.
+
+use crate::PolarError;
+use ee_cluster::scheduler::{ContainerRequest, JobRequest, Scheduler};
+use ee_cluster::topology::ClusterSpec;
+use ee_util::timeline::{SimDuration, SimTime};
+
+/// Parameters of one NRT product cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct NrtConfig {
+    /// Scene payload in bytes (a Sentinel-1 EW scene ≈ 1 GB).
+    pub scene_bytes: u64,
+    /// Ground-station downlink rate, bytes/s.
+    pub downlink_rate: f64,
+    /// Per-scene processing FLOPs (classification + products).
+    pub processing_flops: f64,
+    /// Scenes arriving in the burst (a polar pass).
+    pub scenes: usize,
+    /// Processing nodes available on demand.
+    pub nodes: usize,
+    /// PCDSS bundle bytes.
+    pub bundle_bytes: usize,
+    /// Ship link rate, bits/s.
+    pub ship_link_bps: f64,
+}
+
+impl Default for NrtConfig {
+    fn default() -> Self {
+        Self {
+            scene_bytes: 1_000_000_000,
+            downlink_rate: 60_000_000.0, // ~480 Mbit X-band
+            processing_flops: 2.0e13,
+            scenes: 6,
+            nodes: 4,
+            bundle_bytes: 6_000,
+            ship_link_bps: 2400.0,
+        }
+    }
+}
+
+/// Breakdown of the product-cycle latency.
+#[derive(Debug, Clone, Copy)]
+pub struct NrtReport {
+    /// Downlink time for the burst, seconds.
+    pub downlink_secs: f64,
+    /// Processing makespan (scheduler), seconds.
+    pub processing_secs: f64,
+    /// Delivery time to the ship, seconds.
+    pub delivery_secs: f64,
+}
+
+impl NrtReport {
+    /// Total end-to-end latency in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.downlink_secs + self.processing_secs + self.delivery_secs
+    }
+
+    /// Does the cycle meet a deadline (seconds)?
+    pub fn meets(&self, deadline_secs: f64) -> bool {
+        self.total_secs() <= deadline_secs
+    }
+}
+
+/// Price one NRT cycle.
+pub fn nrt_cycle(config: NrtConfig) -> Result<NrtReport, PolarError> {
+    if config.scenes == 0 || config.nodes == 0 {
+        return Err(PolarError::Config("scenes and nodes must be positive".into()));
+    }
+    // Downlink: the pass's scenes arrive serially on the station link.
+    let downlink_secs = config.scenes as f64 * config.scene_bytes as f64 / config.downlink_rate;
+    // Processing: one 1-GPU container per scene on the on-demand cluster.
+    let spec = ClusterSpec::flat(config.nodes);
+    let per_scene_secs = config.processing_flops / spec.node.gpu_flops;
+    let mut scheduler = Scheduler::new(spec);
+    for i in 0..config.scenes {
+        scheduler
+            .submit(
+                SimTime::ZERO,
+                JobRequest {
+                    name: format!("scene-{i}"),
+                    containers: 1,
+                    each: ContainerRequest {
+                        cpus: 4,
+                        gpus: 1,
+                        runtime: SimDuration::from_secs(per_scene_secs),
+                    },
+                    gang: false,
+                },
+            )
+            .map_err(|e| PolarError::Config(e.to_string()))?;
+    }
+    let reports = scheduler.run();
+    let processing_secs = reports
+        .iter()
+        .map(|r| r.finished.as_secs())
+        .fold(0.0, f64::max);
+    let delivery_secs = config.bundle_bytes as f64 * 8.0 / config.ship_link_bps;
+    Ok(NrtReport {
+        downlink_secs,
+        processing_secs,
+        delivery_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cycle_meets_three_hours() {
+        let r = nrt_cycle(NrtConfig::default()).unwrap();
+        assert!(r.meets(3.0 * 3600.0), "total {} s", r.total_secs());
+        assert!(r.downlink_secs > 0.0 && r.processing_secs > 0.0 && r.delivery_secs > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_shrink_processing() {
+        let slow = nrt_cycle(NrtConfig {
+            nodes: 1,
+            ..NrtConfig::default()
+        })
+        .unwrap();
+        let fast = nrt_cycle(NrtConfig {
+            nodes: 6,
+            ..NrtConfig::default()
+        })
+        .unwrap();
+        assert!(
+            fast.processing_secs < slow.processing_secs / 3.0,
+            "on-demand scale-out: {} vs {}",
+            slow.processing_secs,
+            fast.processing_secs
+        );
+        // Downlink and delivery are unchanged.
+        assert_eq!(fast.downlink_secs, slow.downlink_secs);
+        assert_eq!(fast.delivery_secs, slow.delivery_secs);
+    }
+
+    #[test]
+    fn slow_ship_link_dominates_small_bundles() {
+        let r = nrt_cycle(NrtConfig {
+            bundle_bytes: 60_000, // too big for the link
+            ..NrtConfig::default()
+        })
+        .unwrap();
+        assert!(r.delivery_secs > 100.0, "delivery {} s", r.delivery_secs);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(nrt_cycle(NrtConfig {
+            scenes: 0,
+            ..NrtConfig::default()
+        })
+        .is_err());
+        assert!(nrt_cycle(NrtConfig {
+            nodes: 0,
+            ..NrtConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Compact binary raster encoding.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   u32   0x45455254  ("EERT")
+//! version u8    1
+//! dtype   u8    Pixel::TYPE_TAG
+//! flags   u8    bit0 = RLE-compressed payload
+//! _pad    u8
+//! cols    u32
+//! rows    u32
+//! origin_x f64 | origin_y f64 | pixel_size f64
+//! payload  ...  raw row-major pixels, or RLE runs of (count u16, pixel)
+//! ```
+//!
+//! RLE pays off on label rasters (large uniform fields / ice classes); the
+//! encoder picks whichever representation is smaller. This codec is the
+//! payload format for the HopsFS-file experiments (E10) and the PCDSS
+//! product encoder (E12).
+
+use crate::raster::{GeoTransform, Pixel, Raster};
+use crate::RasterError;
+use bytes::{Buf, BufMut};
+
+const MAGIC: u32 = 0x4545_5254;
+const VERSION: u8 = 1;
+const FLAG_RLE: u8 = 0b0000_0001;
+
+/// Encode a raster; chooses raw or RLE, whichever is smaller.
+pub fn encode<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
+    let raw = encode_payload_raw(raster);
+    let rle = encode_payload_rle(raster);
+    let (flags, payload) = if rle.len() < raw.len() {
+        (FLAG_RLE, rle)
+    } else {
+        (0, raw)
+    };
+    let mut out = Vec::with_capacity(40 + payload.len());
+    out.put_u32_le(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(T::TYPE_TAG);
+    out.put_u8(flags);
+    out.put_u8(0);
+    out.put_u32_le(raster.cols() as u32);
+    out.put_u32_le(raster.rows() as u32);
+    let t = raster.transform();
+    out.put_f64_le(t.origin_x);
+    out.put_f64_le(t.origin_y);
+    out.put_f64_le(t.pixel_size);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_payload_raw<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raster.data().len() * T::BYTES);
+    for &v in raster.data() {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+fn encode_payload_rle<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
+    let data = raster.data();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == v && run < u16::MAX as usize {
+            run += 1;
+        }
+        out.put_u16_le(run as u16);
+        v.write_le(&mut out);
+        i += run;
+    }
+    out
+}
+
+/// Decode a raster previously produced by [`encode`]. The pixel type must
+/// match the encoded `dtype`.
+pub fn decode<T: Pixel>(mut buf: &[u8]) -> Result<Raster<T>, RasterError> {
+    let fail = |msg: &str| RasterError::Codec(msg.to_string());
+    if buf.len() < 40 {
+        return Err(fail("buffer shorter than header"));
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(RasterError::Codec(format!("unsupported version {version}")));
+    }
+    let dtype = buf.get_u8();
+    if dtype != T::TYPE_TAG {
+        return Err(RasterError::Codec(format!(
+            "dtype mismatch: encoded {dtype}, requested {}",
+            T::TYPE_TAG
+        )));
+    }
+    let flags = buf.get_u8();
+    let _pad = buf.get_u8();
+    let cols = buf.get_u32_le() as usize;
+    let rows = buf.get_u32_le() as usize;
+    let origin_x = buf.get_f64_le();
+    let origin_y = buf.get_f64_le();
+    let pixel_size = buf.get_f64_le();
+    if cols == 0 || rows == 0 {
+        return Err(fail("zero dimension"));
+    }
+    if pixel_size.is_nan() || pixel_size <= 0.0 {
+        return Err(fail("non-positive pixel size"));
+    }
+    let n = cols
+        .checked_mul(rows)
+        .ok_or_else(|| fail("dimension overflow"))?;
+    let mut data: Vec<T> = Vec::with_capacity(n);
+    if flags & FLAG_RLE != 0 {
+        while data.len() < n {
+            if buf.len() < 2 + T::BYTES {
+                return Err(fail("truncated RLE payload"));
+            }
+            let run = buf.get_u16_le() as usize;
+            if run == 0 {
+                return Err(fail("zero-length RLE run"));
+            }
+            let v = T::read_le(&buf[..T::BYTES]);
+            buf.advance(T::BYTES);
+            if data.len() + run > n {
+                return Err(fail("RLE run overflows raster"));
+            }
+            data.resize(data.len() + run, v);
+        }
+        if !buf.is_empty() {
+            return Err(fail("trailing bytes after RLE payload"));
+        }
+    } else {
+        if buf.len() != n * T::BYTES {
+            return Err(RasterError::Codec(format!(
+                "raw payload size {} != expected {}",
+                buf.len(),
+                n * T::BYTES
+            )));
+        }
+        for i in 0..n {
+            data.push(T::read_le(&buf[i * T::BYTES..i * T::BYTES + T::BYTES]));
+        }
+    }
+    Raster::from_vec(cols, rows, GeoTransform::new(origin_x, origin_y, pixel_size), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_util::Rng;
+
+    fn gt() -> GeoTransform {
+        GeoTransform::new(500.0, 4_000.0, 10.0)
+    }
+
+    #[test]
+    fn roundtrip_f32_noise() {
+        let mut rng = Rng::seed_from(1);
+        let r: Raster<f32> = Raster::from_fn(37, 23, gt(), |_, _| rng.f32());
+        let bytes = encode(&r);
+        let back: Raster<f32> = decode(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrip_u8_labels_compresses() {
+        // A label raster with large uniform runs: RLE must win.
+        let r: Raster<u8> = Raster::from_fn(128, 128, gt(), |c, _| if c < 100 { 3 } else { 7 });
+        let bytes = encode(&r);
+        assert!(bytes.len() < 128 * 128 / 4, "RLE should compress well, got {}", bytes.len());
+        let back: Raster<u8> = decode(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrip_u16() {
+        let r: Raster<u16> = Raster::from_fn(9, 9, gt(), |c, row| (row * 9 + c) as u16);
+        let back: Raster<u16> = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn noise_picks_raw_encoding() {
+        let mut rng = Rng::seed_from(2);
+        let r: Raster<f32> = Raster::from_fn(64, 64, gt(), |_, _| rng.f32());
+        let bytes = encode(&r);
+        // Raw payload: 40-byte header + 64*64*4.
+        assert_eq!(bytes.len(), 40 + 64 * 64 * 4);
+    }
+
+    #[test]
+    fn long_runs_split_at_u16_max() {
+        // 70_000 identical pixels exceed a single u16 run.
+        let r: Raster<u8> = Raster::filled(700, 100, gt(), 5);
+        let back: Raster<u8> = decode(&encode(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let r: Raster<u8> = Raster::filled(4, 4, gt(), 1);
+        let bytes = encode(&r);
+        let res: Result<Raster<f32>, _> = decode(&bytes);
+        assert!(matches!(res, Err(RasterError::Codec(_))));
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let r: Raster<u8> = Raster::filled(4, 4, gt(), 9);
+        let good = encode(&r);
+        // Too short.
+        assert!(decode::<u8>(&good[..10]).is_err());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode::<u8>(&bad).is_err());
+        // Truncated payload.
+        let cut = &good[..good.len() - 1];
+        assert!(decode::<u8>(cut).is_err());
+        // Bad version.
+        let mut badv = good.clone();
+        badv[4] = 99;
+        assert!(decode::<u8>(&badv).is_err());
+    }
+
+    #[test]
+    fn transform_roundtrips_exactly() {
+        let r: Raster<f32> = Raster::filled(3, 2, GeoTransform::new(-12.345, 67.89, 0.25), 1.0);
+        let back: Raster<f32> = decode(&encode(&r)).unwrap();
+        assert_eq!(back.transform(), r.transform());
+        assert_eq!(back.envelope(), r.envelope());
+    }
+}

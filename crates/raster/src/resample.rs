@@ -1,0 +1,192 @@
+//! Resampling between resolutions.
+//!
+//! A1 runs the PROMET-lite model at 10 m while some inputs arrive at 20 m
+//! or 60 m (as real Sentinel-2 bands do), and A2 composes 40 m SAR scenes
+//! into 1 km WMO products; both paths go through these kernels.
+
+use crate::raster::{GeoTransform, Pixel, Raster};
+
+/// Resampling method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Nearest neighbour — categorical rasters (labels, classes).
+    Nearest,
+    /// Bilinear interpolation — continuous measurements.
+    Bilinear,
+}
+
+/// Resample `src` onto a new grid of `cols x rows` pixels covering exactly
+/// the same world extent.
+pub fn resample<T: Pixel>(src: &Raster<T>, cols: usize, rows: usize, method: Method) -> Raster<T> {
+    assert!(cols > 0 && rows > 0);
+    let env = src.envelope();
+    let pixel_size_x = env.width() / cols as f64;
+    let pixel_size_y = env.height() / rows as f64;
+    // Keep pixels square-ish in the transform by using x size; for the
+    // workspace's equal-aspect use this is exact.
+    let transform = GeoTransform::new(env.min_x, env.max_y, pixel_size_x);
+    let sx = src.cols() as f64 / cols as f64;
+    let sy = src.rows() as f64 / rows as f64;
+    let _ = pixel_size_y;
+    Raster::from_fn(cols, rows, transform, |c, r| {
+        // Centre of the destination pixel in source pixel coordinates.
+        let fx = (c as f64 + 0.5) * sx - 0.5;
+        let fy = (r as f64 + 0.5) * sy - 0.5;
+        match method {
+            Method::Nearest => {
+                let sc = fx.round().clamp(0.0, (src.cols() - 1) as f64) as usize;
+                let sr = fy.round().clamp(0.0, (src.rows() - 1) as f64) as usize;
+                src.at(sc, sr)
+            }
+            Method::Bilinear => {
+                let x0 = fx.floor().clamp(0.0, (src.cols() - 1) as f64) as usize;
+                let y0 = fy.floor().clamp(0.0, (src.rows() - 1) as f64) as usize;
+                let x1 = (x0 + 1).min(src.cols() - 1);
+                let y1 = (y0 + 1).min(src.rows() - 1);
+                let tx = (fx - x0 as f64).clamp(0.0, 1.0);
+                let ty = (fy - y0 as f64).clamp(0.0, 1.0);
+                let v00 = src.at(x0, y0).to_f64();
+                let v10 = src.at(x1, y0).to_f64();
+                let v01 = src.at(x0, y1).to_f64();
+                let v11 = src.at(x1, y1).to_f64();
+                let top = v00 + tx * (v10 - v00);
+                let bot = v01 + tx * (v11 - v01);
+                T::from_f64(top + ty * (bot - top))
+            }
+        }
+    })
+}
+
+/// Block-average `src` down by an integer `factor` (aggregation to coarser
+/// products, e.g. 40 m backscatter → 1 km concentration cells).
+pub fn aggregate<T: Pixel>(src: &Raster<T>, factor: usize) -> Raster<T> {
+    assert!(factor > 0);
+    let cols = src.cols().div_ceil(factor).max(1);
+    let rows = src.rows().div_ceil(factor).max(1);
+    let t = src.transform();
+    let transform = GeoTransform::new(t.origin_x, t.origin_y, t.pixel_size * factor as f64);
+    Raster::from_fn(cols, rows, transform, |c, r| {
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for dr in 0..factor {
+            for dc in 0..factor {
+                let sc = c * factor + dc;
+                let sr = r * factor + dr;
+                if sc < src.cols() && sr < src.rows() {
+                    sum += src.at(sc, sr).to_f64();
+                    n += 1.0;
+                }
+            }
+        }
+        T::from_f64(sum / n)
+    })
+}
+
+/// Fraction of pixels in each `factor x factor` block equal to `value`
+/// (e.g. lead fraction inside a 1 km cell from a 40 m lead mask).
+pub fn fraction_of<T: Pixel>(src: &Raster<T>, factor: usize, value: T) -> Raster<f32> {
+    assert!(factor > 0);
+    let cols = src.cols().div_ceil(factor).max(1);
+    let rows = src.rows().div_ceil(factor).max(1);
+    let t = src.transform();
+    let transform = GeoTransform::new(t.origin_x, t.origin_y, t.pixel_size * factor as f64);
+    Raster::from_fn(cols, rows, transform, |c, r| {
+        let mut hits = 0.0f32;
+        let mut n = 0.0f32;
+        for dr in 0..factor {
+            for dc in 0..factor {
+                let sc = c * factor + dc;
+                let sr = r * factor + dr;
+                if sc < src.cols() && sr < src.rows() {
+                    if src.at(sc, sr) == value {
+                        hits += 1.0;
+                    }
+                    n += 1.0;
+                }
+            }
+        }
+        hits / n
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt() -> GeoTransform {
+        GeoTransform::new(0.0, 8.0, 1.0)
+    }
+
+    #[test]
+    fn nearest_upsample_replicates() {
+        let src: Raster<u8> = Raster::from_fn(2, 2, gt(), |c, r| (r * 2 + c) as u8);
+        let up = resample(&src, 4, 4, Method::Nearest);
+        assert_eq!(up.at(0, 0), 0);
+        assert_eq!(up.at(1, 1), 0);
+        assert_eq!(up.at(2, 2), 3);
+        assert_eq!(up.at(3, 0), 1);
+        // World extent preserved.
+        assert_eq!(up.envelope(), src.envelope());
+    }
+
+    #[test]
+    fn bilinear_upsample_is_smooth() {
+        let src: Raster<f32> = Raster::from_fn(2, 1, GeoTransform::new(0.0, 1.0, 1.0), |c, _| c as f32);
+        let up = resample(&src, 4, 1, Method::Bilinear);
+        let v: Vec<f32> = (0..4).map(|c| up.at(c, 0)).collect();
+        // Monotone non-decreasing ramp from 0 to 1.
+        assert!(v.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[3], 1.0);
+        assert!((v[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_resample_is_exact() {
+        let src: Raster<f32> = Raster::from_fn(5, 5, gt(), |c, r| (r * 5 + c) as f32);
+        for m in [Method::Nearest, Method::Bilinear] {
+            let same = resample(&src, 5, 5, m);
+            assert_eq!(same.data(), src.data(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn downsample_nearest_picks_centres() {
+        let src: Raster<u8> = Raster::from_fn(4, 4, gt(), |c, r| (r * 4 + c) as u8);
+        let down = resample(&src, 2, 2, Method::Nearest);
+        assert_eq!(down.shape(), (2, 2));
+        // Destination (0,0) centre maps to source (1.5, 1.5) → rounds to (2,2)=10? No:
+        // fx = 0.5*2-0.5 = 0.5 → rounds to 1 (round-half-even not used; 0.5.round()=1).
+        assert_eq!(down.at(0, 0), 5);
+    }
+
+    #[test]
+    fn aggregate_means_blocks() {
+        let src: Raster<f32> = Raster::from_fn(4, 4, gt(), |c, r| (r * 4 + c) as f32);
+        let a = aggregate(&src, 2);
+        assert_eq!(a.shape(), (2, 2));
+        assert_eq!(a.at(0, 0), 2.5);
+        assert_eq!(a.at(1, 1), (10.0 + 11.0 + 14.0 + 15.0) / 4.0);
+        assert_eq!(a.transform().pixel_size, 2.0);
+    }
+
+    #[test]
+    fn aggregate_handles_non_divisible() {
+        let src: Raster<f32> = Raster::from_fn(5, 5, gt(), |_, _| 3.0);
+        let a = aggregate(&src, 2);
+        assert_eq!(a.shape(), (3, 3));
+        for (_, _, v) in a.iter() {
+            assert_eq!(v, 3.0);
+        }
+    }
+
+    #[test]
+    fn fraction_counts_matching_pixels() {
+        let src: Raster<u8> = Raster::from_fn(4, 4, gt(), |c, _| if c < 2 { 1 } else { 0 });
+        let f = fraction_of(&src, 2, 1u8);
+        assert_eq!(f.at(0, 0), 1.0);
+        assert_eq!(f.at(1, 0), 0.0);
+        let g = fraction_of(&src, 4, 1u8);
+        assert_eq!(g.at(0, 0), 0.5);
+    }
+}

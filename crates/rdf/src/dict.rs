@@ -1,0 +1,160 @@
+//! Dictionary encoding: terms ↔ dense `u64` ids.
+//!
+//! All joins and index operations work on ids; terms (and their decoded
+//! typed values, including parsed geometries) are resolved only at the
+//! edges. This is the standard RDF-store design and the reason the E2
+//! selection stays cheap — no string compares in the join loop.
+
+use crate::term::{decode_non_geometry, Term, Value};
+use ee_geo::{wkt, Envelope, Geometry};
+use std::collections::HashMap;
+
+/// The term dictionary.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    by_term: HashMap<Term, u64>,
+    terms: Vec<Term>,
+    values: Vec<Value>,
+    geometries: Vec<Geometry>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id (stable across repeat calls).
+    /// Geometry literals are parsed once here; malformed WKT interns as
+    /// [`Value::Malformed`] (filters then never match it).
+    pub fn intern(&mut self, term: &Term) -> u64 {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u64;
+        let value = match decode_non_geometry(term) {
+            Some(v) => v,
+            None => {
+                // A WKT literal: parse into the geometry table.
+                let lexical = match term {
+                    Term::Literal { lexical, .. } => lexical,
+                    Term::Iri(_) => unreachable!("IRIs always decode"),
+                };
+                match wkt::parse_wkt(lexical) {
+                    Ok(g) => {
+                        self.geometries.push(g);
+                        Value::Geometry(self.geometries.len() - 1)
+                    }
+                    Err(_) => Value::Malformed,
+                }
+            }
+        };
+        self.terms.push(term.clone());
+        self.values.push(value);
+        self.by_term.insert(term.clone(), id);
+        id
+    }
+
+    /// Look up an existing term's id without interning.
+    pub fn id_of(&self, term: &Term) -> Option<u64> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term for an id.
+    pub fn term(&self, id: u64) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// The decoded value for an id.
+    pub fn value(&self, id: u64) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// The geometry behind a [`Value::Geometry`] index.
+    pub fn geometry(&self, geom_index: usize) -> &Geometry {
+        &self.geometries[geom_index]
+    }
+
+    /// If the id is a geometry literal, its geometry.
+    pub fn geometry_of(&self, id: u64) -> Option<&Geometry> {
+        match self.value(id) {
+            Value::Geometry(gi) => Some(self.geometry(*gi)),
+            _ => None,
+        }
+    }
+
+    /// Envelope of a geometry literal id.
+    pub fn envelope_of(&self, id: u64) -> Option<Envelope> {
+        self.geometry_of(id).map(|g| g.envelope())
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of parsed geometries.
+    pub fn num_geometries(&self) -> usize {
+        self.geometries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://e/a"));
+        let b = d.intern(&Term::iri("http://e/b"));
+        let a2 = d.intern(&Term::iri("http://e/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.term(a), &Term::iri("http://e/a"));
+    }
+
+    #[test]
+    fn id_of_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.id_of(&Term::iri("x")), None);
+        let id = d.intern(&Term::iri("x"));
+        assert_eq!(d.id_of(&Term::iri("x")), Some(id));
+    }
+
+    #[test]
+    fn values_are_decoded_once() {
+        let mut d = Dictionary::new();
+        let i = d.intern(&Term::integer(7));
+        assert_eq!(d.value(i), &Value::Int(7));
+        let s = d.intern(&Term::string("hello"));
+        assert_eq!(d.value(s), &Value::Str("hello".into()));
+    }
+
+    #[test]
+    fn geometries_parse_into_table() {
+        let mut d = Dictionary::new();
+        let g = d.intern(&Term::wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"));
+        assert_eq!(d.num_geometries(), 1);
+        let env = d.envelope_of(g).unwrap();
+        assert_eq!(env, Envelope::new(0.0, 0.0, 4.0, 4.0));
+        assert!(d.geometry_of(g).is_some());
+        // Non-geometry ids answer None.
+        let i = d.intern(&Term::integer(1));
+        assert!(d.geometry_of(i).is_none());
+    }
+
+    #[test]
+    fn malformed_wkt_interns_as_malformed() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::wkt("POLYGON (not wkt"));
+        assert_eq!(d.value(id), &Value::Malformed);
+        assert_eq!(d.num_geometries(), 0);
+    }
+}

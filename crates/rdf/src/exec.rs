@@ -1,0 +1,1004 @@
+//! The query evaluator.
+//!
+//! Pipeline: prepare (resolve constants, parse constant geometries, detect
+//! spatial pushdown) → greedy bound-position join ordering → index
+//! nested-loop join with eager filters → OPTIONAL left-joins → grouping /
+//! aggregation → DISTINCT / ORDER / LIMIT → term materialisation.
+
+use crate::expr::{collect_const_geometries, eval, spatial_pushdown, truth, EvalCtx, Expr};
+use crate::parser::{AggFunc, PatternTerm, Query, SelectItem};
+use crate::store::TripleStore;
+use crate::term::{Term, Value};
+use crate::RdfError;
+use ee_geo::Geometry;
+use std::collections::{HashMap, HashSet};
+
+/// Query solutions: a header of variable names and rows of optional terms
+/// (unbound OPTIONAL variables are `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    /// Projected variable names, in order.
+    pub vars: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a one-row one-column result (aggregates).
+    pub fn scalar(&self) -> Option<&Term> {
+        match (self.rows.len(), self.vars.len()) {
+            (1, 1) => self.rows[0][0].as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Column index of a variable.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+}
+
+/// Parse and execute a query against a store.
+pub fn query(store: &TripleStore, sparql: &str) -> Result<Solutions, RdfError> {
+    let q = crate::parser::parse_query(sparql)?;
+    execute(store, &q)
+}
+
+/// A pattern with positions resolved to ids; `None` in a const slot means
+/// the constant is not in the dictionary (pattern cannot match).
+#[derive(Debug, Clone)]
+enum Slot {
+    Var(usize),
+    Const(u64),
+    Impossible,
+}
+
+fn resolve_slot(
+    t: &PatternTerm,
+    store: &TripleStore,
+    vars: &mut Vec<String>,
+) -> Slot {
+    match t {
+        PatternTerm::Var(name) => Slot::Var(var_index(vars, name)),
+        PatternTerm::Const(term) => match store.dict.id_of(term) {
+            Some(id) => Slot::Const(id),
+            None => Slot::Impossible,
+        },
+    }
+}
+
+fn var_index(vars: &mut Vec<String>, name: &str) -> usize {
+    if let Some(i) = vars.iter().position(|v| v == name) {
+        i
+    } else {
+        vars.push(name.to_string());
+        vars.len() - 1
+    }
+}
+
+struct Prepared {
+    vars: Vec<String>,
+    required: Vec<[Slot; 3]>,
+    optionals: Vec<Vec<[Slot; 3]>>,
+    filters: Vec<(Expr, Vec<usize>)>,
+    const_geoms: Vec<(Term, Geometry)>,
+    /// Per-variable candidate id sets from spatial pushdown.
+    candidates: HashMap<usize, HashSet<u64>>,
+    impossible: bool,
+}
+
+fn collect_expr_vars(expr: &Expr, vars: &mut Vec<String>, out: &mut Vec<usize>) {
+    match expr {
+        Expr::Var(name) => {
+            let i = var_index(vars, name);
+            if !out.contains(&i) {
+                out.push(i);
+            }
+        }
+        Expr::Cmp(a, _, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Spatial(_, a, b)
+        | Expr::Distance(a, b)
+        | Expr::Arith(a, _, b) => {
+            collect_expr_vars(a, vars, out);
+            collect_expr_vars(b, vars, out);
+        }
+        Expr::Not(a) => collect_expr_vars(a, vars, out),
+        Expr::Const(_) => {}
+    }
+}
+
+fn prepare(store: &TripleStore, q: &Query) -> Prepared {
+    let mut vars = Vec::new();
+    // Select order defines projection order for named vars.
+    for item in &q.select {
+        if let SelectItem::Var(v) = item {
+            var_index(&mut vars, v);
+        }
+    }
+    let mut impossible = false;
+    let required: Vec<[Slot; 3]> = q
+        .patterns
+        .iter()
+        .map(|p| {
+            let s = [
+                resolve_slot(&p.s, store, &mut vars),
+                resolve_slot(&p.p, store, &mut vars),
+                resolve_slot(&p.o, store, &mut vars),
+            ];
+            if s.iter().any(|x| matches!(x, Slot::Impossible)) {
+                impossible = true;
+            }
+            s
+        })
+        .collect();
+    let optionals: Vec<Vec<[Slot; 3]>> = q
+        .optionals
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|p| {
+                    [
+                        resolve_slot(&p.s, store, &mut vars),
+                        resolve_slot(&p.p, store, &mut vars),
+                        resolve_slot(&p.o, store, &mut vars),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    let mut const_geoms = Vec::new();
+    for f in &q.filters {
+        collect_const_geometries(f, &mut const_geoms);
+    }
+    let mut candidates: HashMap<usize, HashSet<u64>> = HashMap::new();
+    for f in &q.filters {
+        if let Some((var, env)) = spatial_pushdown(f, &const_geoms) {
+            if let Some(ids) = store.spatial_candidates(&env) {
+                let vi = var_index(&mut vars, &var);
+                let set: HashSet<u64> = ids.into_iter().collect();
+                match candidates.entry(vi) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let merged: HashSet<u64> =
+                            e.get().intersection(&set).copied().collect();
+                        e.insert(merged);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(set);
+                    }
+                }
+            }
+        }
+    }
+    let filters: Vec<(Expr, Vec<usize>)> = q
+        .filters
+        .iter()
+        .map(|f| {
+            let mut used = Vec::new();
+            collect_expr_vars(f, &mut vars, &mut used);
+            (f.clone(), used)
+        })
+        .collect();
+    // Group/order vars must exist in the table too.
+    for v in &q.group_by {
+        var_index(&mut vars, v);
+    }
+    if let Some((v, _)) = &q.order_by {
+        var_index(&mut vars, v);
+    }
+    Prepared {
+        vars,
+        required,
+        optionals,
+        filters,
+        const_geoms,
+        candidates,
+        impossible,
+    }
+}
+
+/// Greedy choice of the next pattern: most bound positions, then fewest
+/// estimated matches.
+fn choose_next(
+    store: &TripleStore,
+    remaining: &[usize],
+    patterns: &[[Slot; 3]],
+    bound: &[Option<u64>],
+) -> usize {
+    let mut best = remaining[0];
+    let mut best_key = (usize::MAX, usize::MAX);
+    for &pi in remaining {
+        let mut bound_count = 0;
+        let ids: Vec<Option<u64>> = patterns[pi]
+            .iter()
+            .map(|s| match s {
+                Slot::Const(id) => {
+                    bound_count += 1;
+                    Some(*id)
+                }
+                Slot::Var(v) => {
+                    if let Some(id) = bound[*v] {
+                        bound_count += 1;
+                        Some(id)
+                    } else {
+                        None
+                    }
+                }
+                Slot::Impossible => Some(u64::MAX),
+            })
+            .collect();
+        let est = store.estimate(ids[0], ids[1], ids[2]);
+        let key = (3 - bound_count, est);
+        if key < best_key {
+            best_key = key;
+            best = pi;
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    store: &TripleStore,
+    prepared: &Prepared,
+    patterns: &[[Slot; 3]],
+    remaining: Vec<usize>,
+    bound: &mut Vec<Option<u64>>,
+    filters_done: &mut Vec<bool>,
+    out: &mut Vec<Vec<Option<u64>>>,
+) -> Result<(), RdfError> {
+    if remaining.is_empty() {
+        out.push(bound.clone());
+        return Ok(());
+    }
+    let pi = choose_next(store, &remaining, patterns, bound);
+    let rest: Vec<usize> = remaining.into_iter().filter(|&x| x != pi).collect();
+    let pat = &patterns[pi];
+    let fixed: Vec<Option<u64>> = pat
+        .iter()
+        .map(|s| match s {
+            Slot::Const(id) => Some(*id),
+            Slot::Var(v) => bound[*v],
+            Slot::Impossible => Some(u64::MAX),
+        })
+        .collect();
+    // Materialise matches first (avoids recursive closures over &mut).
+    // Spatial pushdown into the access path: when the object is an unbound
+    // variable with an R-tree candidate set, enumerate the candidates
+    // through the OSP/POS index instead of scanning the whole pattern —
+    // this is the difference between "a few seconds" and a full scan.
+    let mut matches: Vec<(u64, u64, u64)> = Vec::new();
+    let object_candidates = match (&pat[2], fixed[2]) {
+        (Slot::Var(v), None) => prepared.candidates.get(v),
+        _ => None,
+    };
+    match object_candidates {
+        Some(cands) if store.mode() == crate::store::IndexMode::Full => {
+            let mut ids: Vec<u64> = cands.iter().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                store.match_pattern(fixed[0], fixed[1], Some(id), &mut |t| {
+                    matches.push(t);
+                    true
+                });
+            }
+        }
+        _ => {
+            store.match_pattern(fixed[0], fixed[1], fixed[2], &mut |t| {
+                matches.push(t);
+                true
+            });
+        }
+    }
+    'next_match: for (s, p, o) in matches {
+        let triple = [s, p, o];
+        // Unify: bind unbound vars, checking candidate sets.
+        let mut newly_bound: Vec<usize> = Vec::new();
+        for (slot, &id) in pat.iter().zip(&triple) {
+            if let Slot::Var(v) = slot {
+                match bound[*v] {
+                    Some(existing) => {
+                        if existing != id {
+                            // same-pattern repeated var mismatch
+                            for &nv in &newly_bound {
+                                bound[nv] = None;
+                            }
+                            continue 'next_match;
+                        }
+                    }
+                    None => {
+                        if let Some(cands) = prepared.candidates.get(v) {
+                            if !cands.contains(&id) {
+                                for &nv in &newly_bound {
+                                    bound[nv] = None;
+                                }
+                                continue 'next_match;
+                            }
+                        }
+                        bound[*v] = Some(id);
+                        newly_bound.push(*v);
+                    }
+                }
+            }
+        }
+        // Eager filters: evaluate any filter that just became fully bound.
+        let mut newly_filtered: Vec<usize> = Vec::new();
+        let mut pass = true;
+        for (fi, (expr, used)) in prepared.filters.iter().enumerate() {
+            if filters_done[fi] {
+                continue;
+            }
+            if used.iter().all(|&v| bound[v].is_some()) {
+                let ctx = EvalCtx {
+                    dict: &store.dict,
+                    lookup: &|name: &str| {
+                        prepared
+                            .vars
+                            .iter()
+                            .position(|v| v == name)
+                            .and_then(|i| bound[i])
+                    },
+                    const_geoms: &prepared.const_geoms,
+                };
+                if truth(eval(expr, &ctx)) != Some(true) {
+                    pass = false;
+                    break;
+                }
+                filters_done[fi] = true;
+                newly_filtered.push(fi);
+            }
+        }
+        if pass {
+            join(store, prepared, patterns, rest.clone(), bound, filters_done, out)?;
+        }
+        for &fi in &newly_filtered {
+            filters_done[fi] = false;
+        }
+        for &nv in &newly_bound {
+            bound[nv] = None;
+        }
+    }
+    Ok(())
+}
+
+/// Left-join the optional groups onto each row.
+fn apply_optionals(
+    store: &TripleStore,
+    prepared: &Prepared,
+    rows: Vec<Vec<Option<u64>>>,
+) -> Result<Vec<Vec<Option<u64>>>, RdfError> {
+    let mut current = rows;
+    for group in &prepared.optionals {
+        // Optional groups containing unknown constants never match.
+        let impossible = group
+            .iter()
+            .any(|p| p.iter().any(|s| matches!(s, Slot::Impossible)));
+        let mut next = Vec::with_capacity(current.len());
+        for row in current {
+            if impossible {
+                next.push(row);
+                continue;
+            }
+            let mut bound = row.clone();
+            let mut matches = Vec::new();
+            let mut filters_done = vec![true; prepared.filters.len()]; // filters already applied
+            join(
+                store,
+                prepared,
+                group,
+                (0..group.len()).collect(),
+                &mut bound,
+                &mut filters_done,
+                &mut matches,
+            )?;
+            if matches.is_empty() {
+                next.push(row);
+            } else {
+                next.extend(matches);
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+fn numeric_of(store: &TripleStore, id: u64) -> Option<f64> {
+    match store.dict.value(id) {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Sort key for ORDER BY and MIN/MAX: numbers before dates before strings
+/// before everything else, each ordered internally.
+fn order_key(store: &TripleStore, id: u64) -> (u8, f64, String) {
+    match store.dict.value(id) {
+        Value::Int(i) => (0, *i as f64, String::new()),
+        Value::Float(f) => (0, *f, String::new()),
+        Value::Date(d) => (1, *d as f64, String::new()),
+        Value::Str(s) => (2, 0.0, s.clone()),
+        _ => (3, 0.0, store.dict.term(id).ntriples()),
+    }
+}
+
+/// Execute a prepared query.
+pub fn execute(store: &TripleStore, q: &Query) -> Result<Solutions, RdfError> {
+    let prepared = prepare(store, q);
+    let mut raw: Vec<Vec<Option<u64>>> = Vec::new();
+    if !prepared.impossible {
+        let mut bound = vec![None; prepared.vars.len()];
+        let mut filters_done = vec![false; prepared.filters.len()];
+        if prepared.required.is_empty() {
+            raw.push(bound.clone());
+        } else {
+            join(
+                store,
+                &prepared,
+                &prepared.required,
+                (0..prepared.required.len()).collect(),
+                &mut bound,
+                &mut filters_done,
+                &mut raw,
+            )?;
+        }
+        raw = apply_optionals(store, &prepared, raw)?;
+        // Residual filters (e.g. over OPTIONAL vars): a filter whose vars
+        // are not all bound evaluates to error → row dropped, unless it
+        // was already applied during the join.
+        let residual: Vec<&(Expr, Vec<usize>)> = prepared
+            .filters
+            .iter()
+            .filter(|(_, used)| {
+                // Filters over only-required vars were applied eagerly.
+                !used.iter().all(|&v| {
+                    prepared.required.iter().any(|p| {
+                        p.iter().any(|s| matches!(s, Slot::Var(x) if *x == v))
+                    })
+                })
+            })
+            .collect();
+        if !residual.is_empty() {
+            raw.retain(|row| {
+                residual.iter().all(|(expr, _)| {
+                    let ctx = EvalCtx {
+                        dict: &store.dict,
+                        lookup: &|name: &str| {
+                            prepared
+                                .vars
+                                .iter()
+                                .position(|v| v == name)
+                                .and_then(|i| row[i])
+                        },
+                        const_geoms: &prepared.const_geoms,
+                    };
+                    truth(eval(expr, &ctx)) == Some(true)
+                })
+            });
+        }
+    }
+
+    // Aggregation?
+    let has_agg = q.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }));
+    let (header, mut out_rows): (Vec<String>, Vec<Vec<Option<Term>>>) = if has_agg
+        || !q.group_by.is_empty()
+    {
+        aggregate(store, q, &prepared, raw)?
+    } else {
+        // Plain projection.
+        let names: Vec<String> = if q.star {
+            prepared.vars.clone()
+        } else {
+            q.select
+                .iter()
+                .filter_map(|s| match s {
+                    SelectItem::Var(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                prepared
+                    .vars
+                    .iter()
+                    .position(|v| v == n)
+                    .ok_or_else(|| RdfError::Eval(format!("unknown select variable ?{n}")))
+            })
+            .collect::<Result<_, _>>()?;
+        // ORDER BY before materialisation (on ids).
+        let mut rows = raw;
+        if let Some((ov, asc)) = &q.order_by {
+            let oi = prepared
+                .vars
+                .iter()
+                .position(|v| v == ov)
+                .ok_or_else(|| RdfError::Eval(format!("unknown order variable ?{ov}")))?;
+            rows.sort_by(|a, b| {
+                let ka = a[oi].map(|id| order_key(store, id));
+                let kb = b[oi].map(|id| order_key(store, id));
+                let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+                if *asc {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        let materialised: Vec<Vec<Option<Term>>> = rows
+            .into_iter()
+            .map(|row| {
+                idx.iter()
+                    .map(|&i| row[i].map(|id| store.dict.term(id).clone()))
+                    .collect()
+            })
+            .collect();
+        (names, materialised)
+    };
+
+    if q.distinct {
+        let mut seen = HashSet::new();
+        out_rows.retain(|row| {
+            let key: Vec<Option<String>> = row
+                .iter()
+                .map(|t| t.as_ref().map(|t| t.ntriples()))
+                .collect();
+            seen.insert(key)
+        });
+    }
+    // Aggregated results may still need ORDER BY over the alias.
+    if has_agg || !q.group_by.is_empty() {
+        if let Some((ov, asc)) = &q.order_by {
+            if let Some(ci) = header.iter().position(|h| h == ov) {
+                out_rows.sort_by(|a, b| {
+                    let ord = cmp_terms(&a[ci], &b[ci]);
+                    if *asc {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
+                });
+            }
+        }
+    }
+    let offset = q.offset.unwrap_or(0);
+    if offset > 0 {
+        out_rows = out_rows.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = q.limit {
+        out_rows.truncate(limit);
+    }
+    Ok(Solutions {
+        vars: header,
+        rows: out_rows,
+    })
+}
+
+fn cmp_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
+    let num = |t: &Option<Term>| -> Option<f64> {
+        match t {
+            Some(Term::Literal { lexical, datatype })
+                if datatype == crate::term::XSD_INTEGER || datatype == crate::term::XSD_DOUBLE =>
+            {
+                lexical.parse::<f64>().ok()
+            }
+            _ => None,
+        }
+    };
+    match (num(a), num(b)) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => format!("{a:?}").cmp(&format!("{b:?}")),
+    }
+}
+
+type Grouped = (Vec<String>, Vec<Vec<Option<Term>>>);
+
+fn aggregate(
+    store: &TripleStore,
+    q: &Query,
+    prepared: &Prepared,
+    rows: Vec<Vec<Option<u64>>>,
+) -> Result<Grouped, RdfError> {
+    let group_idx: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|v| {
+            prepared
+                .vars
+                .iter()
+                .position(|x| x == v)
+                .ok_or_else(|| RdfError::Eval(format!("unknown group variable ?{v}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut groups: HashMap<Vec<Option<u64>>, Vec<Vec<Option<u64>>>> = HashMap::new();
+    for row in rows {
+        let key: Vec<Option<u64>> = group_idx.iter().map(|&i| row[i]).collect();
+        groups.entry(key).or_default().push(row);
+    }
+    // Deterministic group order.
+    let mut keys: Vec<Vec<Option<u64>>> = groups.keys().cloned().collect();
+    keys.sort();
+    let mut header = Vec::new();
+    for item in &q.select {
+        match item {
+            SelectItem::Var(v) => {
+                if !q.group_by.contains(v) {
+                    return Err(RdfError::Eval(format!(
+                        "?{v} selected but not in GROUP BY"
+                    )));
+                }
+                header.push(v.clone());
+            }
+            SelectItem::Agg { alias, .. } => header.push(alias.clone()),
+        }
+    }
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let members = &groups[&key];
+        let mut row: Vec<Option<Term>> = Vec::with_capacity(q.select.len());
+        for item in &q.select {
+            match item {
+                SelectItem::Var(v) => {
+                    let gi = q.group_by.iter().position(|x| x == v).expect("checked");
+                    row.push(key[gi].map(|id| store.dict.term(id).clone()));
+                }
+                SelectItem::Agg { func, var, .. } => {
+                    let vi = var
+                        .as_ref()
+                        .map(|v| {
+                            prepared
+                                .vars
+                                .iter()
+                                .position(|x| x == v)
+                                .ok_or_else(|| RdfError::Eval(format!("unknown ?{v}")))
+                        })
+                        .transpose()?;
+                    row.push(Some(agg_value(store, *func, vi, members)));
+                }
+            }
+        }
+        out.push(row);
+    }
+    Ok((header, out))
+}
+
+fn agg_value(
+    store: &TripleStore,
+    func: AggFunc,
+    vi: Option<usize>,
+    members: &[Vec<Option<u64>>],
+) -> Term {
+    match func {
+        AggFunc::Count => {
+            let n = match vi {
+                None => members.len(),
+                Some(i) => members.iter().filter(|r| r[i].is_some()).count(),
+            };
+            Term::integer(n as i64)
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let vals: Vec<f64> = members
+                .iter()
+                .filter_map(|r| vi.and_then(|i| r[i]).and_then(|id| numeric_of(store, id)))
+                .collect();
+            let sum: f64 = vals.iter().sum();
+            match func {
+                AggFunc::Sum => Term::double(sum),
+                _ => Term::double(if vals.is_empty() { 0.0 } else { sum / vals.len() as f64 }),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<(u64, (u8, f64, String))> = None;
+            for r in members {
+                if let Some(id) = vi.and_then(|i| r[i]) {
+                    let k = order_key(store, id);
+                    let better = match &best {
+                        None => true,
+                        Some((_, bk)) => {
+                            if func == AggFunc::Min {
+                                k < *bk
+                            } else {
+                                k > *bk
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((id, k));
+                    }
+                }
+            }
+            best.map(|(id, _)| store.dict.term(id).clone())
+                .unwrap_or_else(|| Term::integer(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::IndexMode;
+
+    fn e(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn sample_store(mode: IndexMode) -> TripleStore {
+        let mut st = TripleStore::new(mode);
+        let name = e("name");
+        let age = e("age");
+        let knows = e("knows");
+        let geom = e("hasGeometry");
+        for (who, nm, a) in [("alice", "Alice", 30), ("bob", "Bob", 25), ("carol", "Carol", 35)] {
+            st.insert(&e(who), &name, &Term::string(nm));
+            st.insert(&e(who), &age, &Term::integer(a));
+        }
+        st.insert(&e("alice"), &knows, &e("bob"));
+        st.insert(&e("alice"), &knows, &e("carol"));
+        st.insert(&e("bob"), &knows, &e("carol"));
+        st.insert(&e("alice"), &geom, &Term::wkt("POINT (1 1)"));
+        st.insert(&e("bob"), &geom, &Term::wkt("POINT (5 5)"));
+        st.insert(&e("carol"), &geom, &Term::wkt("POINT (20 20)"));
+        st.build_spatial_index();
+        st
+    }
+
+    fn names_of(sol: &Solutions, col: usize) -> Vec<String> {
+        let mut v: Vec<String> = sol
+            .rows
+            .iter()
+            .filter_map(|r| r[col].as_ref())
+            .map(|t| t.ntriples())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn basic_bgp_join() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:knows ?y . ?y e:name ?n }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 3);
+        assert_eq!(names_of(&sol, 0), vec!["\"Bob\"", "\"Carol\"", "\"Carol\""]);
+    }
+
+    #[test]
+    fn filters_apply() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:age ?a . ?x e:name ?n . FILTER(?a >= 30) }",
+        )
+        .unwrap();
+        assert_eq!(names_of(&sol, 0), vec!["\"Alice\"", "\"Carol\""]);
+    }
+
+    #[test]
+    fn scan_and_full_agree() {
+        for q_text in [
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:knows ?y . ?y e:name ?n }",
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:age ?a . ?x e:name ?n . FILTER(?a < 31) }",
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:hasGeometry ?g . FILTER(geof:sfWithin(?g, \"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))\"^^geo:wktLiteral)) }",
+        ] {
+            let full = query(&sample_store(IndexMode::Full), q_text).unwrap();
+            let scan = query(&sample_store(IndexMode::Scan), q_text).unwrap();
+            let norm = |s: &Solutions| {
+                let mut v: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(norm(&full), norm(&scan), "{q_text}");
+        }
+    }
+
+    #[test]
+    fn spatial_selection_with_pushdown() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:hasGeometry ?g . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))\"^^geo:wktLiteral)) }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 2, "alice and bob inside, carol outside");
+    }
+
+    #[test]
+    fn distance_filter() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:hasGeometry ?g . \
+             FILTER(geof:distance(?g, \"POINT (0 0)\"^^geo:wktLiteral) < 3) }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 1, "only alice within distance 3");
+    }
+
+    #[test]
+    fn optional_left_join() {
+        let mut st = sample_store(IndexMode::Full);
+        st.insert(&e("dave"), &e("age"), &Term::integer(40));
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x ?n WHERE { ?x e:age ?a . OPTIONAL { ?x e:name ?n } }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 4);
+        let dave_row = sol
+            .rows
+            .iter()
+            .find(|r| r[0] == Some(e("dave")))
+            .expect("dave present");
+        assert_eq!(dave_row[1], None, "dave has no name");
+    }
+
+    #[test]
+    fn aggregates_with_grouping() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x e:knows ?y } GROUP BY ?x ORDER BY DESC(?n)",
+        )
+        .unwrap();
+        assert_eq!(sol.vars, vec!["x", "n"]);
+        assert_eq!(sol.rows[0][0], Some(e("alice")));
+        assert_eq!(sol.rows[0][1], Some(Term::integer(2)));
+        assert_eq!(sol.rows[1][1], Some(Term::integer(1)));
+    }
+
+    #[test]
+    fn count_star_and_scalar() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(&st, "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }").unwrap();
+        assert_eq!(sol.scalar(), Some(&Term::integer(12)));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?m) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?x e:age ?a }",
+        )
+        .unwrap();
+        assert_eq!(sol.rows[0][0], Some(Term::double(90.0)));
+        assert_eq!(sol.rows[0][1], Some(Term::double(30.0)));
+        assert_eq!(sol.rows[0][2], Some(Term::integer(25)));
+        assert_eq!(sol.rows[0][3], Some(Term::integer(35)));
+    }
+
+    #[test]
+    fn distinct_order_limit_offset() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT DISTINCT ?a WHERE { ?x e:age ?a } ORDER BY ?a LIMIT 2 OFFSET 1",
+        )
+        .unwrap();
+        assert_eq!(sol.rows.len(), 2);
+        assert_eq!(sol.rows[0][0], Some(Term::integer(30)));
+        assert_eq!(sol.rows[1][0], Some(Term::integer(35)));
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:name \"Nobody\" }",
+        )
+        .unwrap();
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT * WHERE { ?x e:knows ?y }",
+        )
+        .unwrap();
+        assert_eq!(sol.vars, vec!["x", "y"]);
+        assert_eq!(sol.len(), 3);
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        st.insert(&e("a"), &e("p"), &e("a"));
+        st.insert(&e("a"), &e("p"), &e("b"));
+        let sol = query(&st, "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:p ?x }").unwrap();
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol.rows[0][0], Some(e("a")));
+    }
+
+    #[test]
+    fn empty_where_returns_single_empty_row() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(&st, "SELECT (COUNT(*) AS ?n) WHERE { }").unwrap();
+        assert_eq!(sol.scalar(), Some(&Term::integer(1)));
+    }
+
+    #[test]
+    fn variable_variable_spatial_join() {
+        // No constant geometry → no pushdown; the filter still evaluates
+        // correctly over both bound variables.
+        let mut st = TripleStore::new(IndexMode::Full);
+        st.insert(&e("a"), &e("zone"), &Term::wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"));
+        st.insert(&e("b"), &e("poi"), &Term::wkt("POINT (5 5)"));
+        st.insert(&e("c"), &e("poi"), &Term::wkt("POINT (50 50)"));
+        st.build_spatial_index();
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?p WHERE { ?z e:zone ?zg . ?p e:poi ?pg . \
+             FILTER(geof:sfWithin(?pg, ?zg)) }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol.rows[0][0], Some(e("b")));
+    }
+
+    #[test]
+    fn order_by_dates() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        for (who, iso) in [("a", "2017-06-01"), ("b", "2017-01-15"), ("c", "2017-12-30")] {
+            st.insert(
+                &e(who),
+                &e("sensed"),
+                &Term::Literal {
+                    lexical: iso.into(),
+                    datatype: crate::term::XSD_DATE.into(),
+                },
+            );
+        }
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?s ?d WHERE { ?s e:sensed ?d } ORDER BY ?d",
+        )
+        .unwrap();
+        let order: Vec<_> = sol.rows.iter().map(|r| r[0].clone().unwrap()).collect();
+        assert_eq!(order, vec![e("b"), e("a"), e("c")]);
+    }
+
+    #[test]
+    fn offset_beyond_results_is_empty() {
+        let st = sample_store(IndexMode::Full);
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:age ?a } OFFSET 100",
+        )
+        .unwrap();
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn filter_on_optional_variable() {
+        let mut st = sample_store(IndexMode::Full);
+        st.insert(&e("dave"), &e("age"), &Term::integer(40));
+        // Dave has no name; the filter over ?n drops his row.
+        let sol = query(
+            &st,
+            "PREFIX e: <http://e/> SELECT ?x WHERE { ?x e:age ?a . OPTIONAL { ?x e:name ?n } FILTER(?n != \"Bob\") }",
+        )
+        .unwrap();
+        assert_eq!(sol.len(), 2, "alice and carol; bob filtered; dave errors out");
+    }
+}

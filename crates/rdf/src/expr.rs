@@ -1,0 +1,452 @@
+//! Filter expressions and their evaluation.
+//!
+//! SPARQL's error semantics apply: a type error in a filter makes the
+//! filter unsatisfied (the row is dropped), it does not fail the query.
+
+use crate::dict::Dictionary;
+use crate::term::{decode_non_geometry, Term, Value};
+use ee_geo::{algorithms, wkt, Envelope, Geometry};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// GeoSPARQL simple-feature predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialOp {
+    /// `geof:sfIntersects`
+    Intersects,
+    /// `geof:sfContains`
+    Contains,
+    /// `geof:sfWithin`
+    Within,
+}
+
+/// A filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// A constant term.
+    Const(Term),
+    /// Binary comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Spatial predicate between two geometry expressions.
+    Spatial(SpatialOp, Box<Expr>, Box<Expr>),
+    /// `geof:distance(a, b)` in coordinate units.
+    Distance(Box<Expr>, Box<Expr>),
+    /// Arithmetic `+ - * /` over numbers.
+    Arith(Box<Expr>, char, Box<Expr>),
+}
+
+/// A resolved scalar during evaluation.
+#[derive(Debug, Clone)]
+pub enum Scalar<'a> {
+    /// Numeric (integers widened to f64).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(&'a str),
+    /// Date as epoch days.
+    Date(i64),
+    /// Geometry reference.
+    Geom(&'a Geometry),
+    /// An IRI or other id-only term (identity comparisons only).
+    Id(u64),
+}
+
+/// Evaluation context: variable bindings into the dictionary, plus an
+/// overlay for constant terms that may not be interned in the store
+/// (query-supplied geometries, dates, numbers).
+pub struct EvalCtx<'a> {
+    /// The store dictionary.
+    pub dict: &'a Dictionary,
+    /// Variable bindings (name → id).
+    pub lookup: &'a dyn Fn(&str) -> Option<u64>,
+    /// Geometries parsed out of constant terms at query-prepare time.
+    pub const_geoms: &'a [(Term, Geometry)],
+}
+
+impl<'a> EvalCtx<'a> {
+    fn scalar_of_id(&self, id: u64) -> Option<Scalar<'a>> {
+        match self.dict.value(id) {
+            Value::Iri => Some(Scalar::Id(id)),
+            Value::Str(s) => Some(Scalar::Str(s)),
+            Value::Int(i) => Some(Scalar::Num(*i as f64)),
+            Value::Float(f) => Some(Scalar::Num(*f)),
+            Value::Bool(b) => Some(Scalar::Bool(*b)),
+            Value::Date(d) => Some(Scalar::Date(*d)),
+            Value::Geometry(gi) => Some(Scalar::Geom(self.dict.geometry(*gi))),
+            Value::Malformed => None,
+        }
+    }
+
+    fn scalar_of_const(&self, term: &'a Term) -> Option<Scalar<'a>> {
+        // Geometry constants come from the pre-parsed overlay.
+        if let Some((_, g)) = self.const_geoms.iter().find(|(t, _)| t == term) {
+            return Some(Scalar::Geom(g));
+        }
+        match decode_non_geometry(term)? {
+            Value::Iri => {
+                // IRIs compare by store identity; unknown IRIs can still
+                // be compared as strings-of-identity via the lexical form.
+                match self.dict.id_of(term) {
+                    Some(id) => Some(Scalar::Id(id)),
+                    None => match term {
+                        Term::Iri(s) => Some(Scalar::Str(s)),
+                        _ => None,
+                    },
+                }
+            }
+            Value::Str(_) => match term {
+                Term::Literal { lexical, .. } => Some(Scalar::Str(lexical)),
+                _ => None,
+            },
+            Value::Int(i) => Some(Scalar::Num(i as f64)),
+            Value::Float(f) => Some(Scalar::Num(f)),
+            Value::Bool(b) => Some(Scalar::Bool(b)),
+            Value::Date(d) => Some(Scalar::Date(d)),
+            Value::Geometry(_) | Value::Malformed => None,
+        }
+    }
+}
+
+/// Evaluate an expression to a scalar; `None` is SPARQL's type error.
+pub fn eval<'a>(expr: &'a Expr, ctx: &EvalCtx<'a>) -> Option<Scalar<'a>> {
+    match expr {
+        Expr::Var(name) => {
+            let id = (ctx.lookup)(name)?;
+            ctx.scalar_of_id(id)
+        }
+        Expr::Const(term) => ctx.scalar_of_const(term),
+        Expr::Cmp(lhs, op, rhs) => {
+            let l = eval(lhs, ctx)?;
+            let r = eval(rhs, ctx)?;
+            compare(&l, &r, *op).map(Scalar::Bool)
+        }
+        Expr::And(a, b) => {
+            let av = truth(eval(a, ctx))?;
+            if !av {
+                return Some(Scalar::Bool(false));
+            }
+            Some(Scalar::Bool(truth(eval(b, ctx))?))
+        }
+        Expr::Or(a, b) => {
+            let av = truth(eval(a, ctx))?;
+            if av {
+                return Some(Scalar::Bool(true));
+            }
+            Some(Scalar::Bool(truth(eval(b, ctx))?))
+        }
+        Expr::Not(a) => Some(Scalar::Bool(!truth(eval(a, ctx))?)),
+        Expr::Spatial(op, a, b) => {
+            let (Scalar::Geom(ga), Scalar::Geom(gb)) = (eval(a, ctx)?, eval(b, ctx)?) else {
+                return None;
+            };
+            let v = match op {
+                SpatialOp::Intersects => algorithms::intersects(ga, gb),
+                SpatialOp::Contains => algorithms::contains(ga, gb),
+                SpatialOp::Within => algorithms::within(ga, gb),
+            };
+            Some(Scalar::Bool(v))
+        }
+        Expr::Distance(a, b) => {
+            let (Scalar::Geom(ga), Scalar::Geom(gb)) = (eval(a, ctx)?, eval(b, ctx)?) else {
+                return None;
+            };
+            Some(Scalar::Num(algorithms::distance(ga, gb)))
+        }
+        Expr::Arith(a, op, b) => {
+            let (Scalar::Num(x), Scalar::Num(y)) = (eval(a, ctx)?, eval(b, ctx)?) else {
+                return None;
+            };
+            let v = match op {
+                '+' => x + y,
+                '-' => x - y,
+                '*' => x * y,
+                '/' => {
+                    if y == 0.0 {
+                        return None;
+                    }
+                    x / y
+                }
+                _ => return None,
+            };
+            Some(Scalar::Num(v))
+        }
+    }
+}
+
+/// Effective boolean value.
+pub fn truth(s: Option<Scalar>) -> Option<bool> {
+    match s? {
+        Scalar::Bool(b) => Some(b),
+        Scalar::Num(n) => Some(n != 0.0),
+        Scalar::Str(s) => Some(!s.is_empty()),
+        _ => None,
+    }
+}
+
+fn compare(l: &Scalar, r: &Scalar, op: CmpOp) -> Option<bool> {
+    use std::cmp::Ordering;
+    let ord = match (l, r) {
+        (Scalar::Num(a), Scalar::Num(b)) => a.partial_cmp(b)?,
+        (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
+        (Scalar::Date(a), Scalar::Date(b)) => a.cmp(b),
+        (Scalar::Bool(a), Scalar::Bool(b)) => a.cmp(b),
+        (Scalar::Id(a), Scalar::Id(b)) => {
+            // Identity only: equality/inequality meaningful.
+            match op {
+                CmpOp::Eq => return Some(a == b),
+                CmpOp::Ne => return Some(a != b),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    Some(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+/// Parse the geometry constants out of an expression tree (done once at
+/// query preparation). Returns `(term, geometry)` pairs.
+pub fn collect_const_geometries(expr: &Expr, out: &mut Vec<(Term, Geometry)>) {
+    match expr {
+        Expr::Const(t @ Term::Literal { lexical, datatype })
+            if datatype == crate::term::GEO_WKT
+            && !out.iter().any(|(seen, _)| seen == t) => {
+                if let Ok(g) = wkt::parse_wkt(lexical) {
+                    out.push((t.clone(), g));
+                }
+            }
+        Expr::Cmp(a, _, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Spatial(_, a, b)
+        | Expr::Distance(a, b)
+        | Expr::Arith(a, _, b) => {
+            collect_const_geometries(a, out);
+            collect_const_geometries(b, out);
+        }
+        Expr::Not(a) => collect_const_geometries(a, out),
+        _ => {}
+    }
+}
+
+/// If this filter is a spatial predicate between a variable and a constant
+/// geometry (in either argument order), return `(variable, envelope)` for
+/// R-tree pushdown. The envelope test is a *necessary* condition for all
+/// three predicates, so pushdown is always sound filter–refine.
+pub fn spatial_pushdown(expr: &Expr, const_geoms: &[(Term, Geometry)]) -> Option<(String, Envelope)> {
+    let Expr::Spatial(_, a, b) = expr else {
+        return None;
+    };
+    let env_of = |e: &Expr| -> Option<Envelope> {
+        if let Expr::Const(t) = e {
+            const_geoms
+                .iter()
+                .find(|(seen, _)| seen == t)
+                .map(|(_, g)| g.envelope())
+        } else {
+            None
+        }
+    };
+    match (a.as_ref(), b.as_ref()) {
+        (Expr::Var(v), c) => env_of(c).map(|env| (v.clone(), env)),
+        (c, Expr::Var(v)) => env_of(c).map(|env| (v.clone(), env)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ctx_eval(expr: &Expr, bindings: &[(&str, Term)]) -> Option<bool> {
+        let mut dict = Dictionary::new();
+        let map: HashMap<String, u64> = bindings
+            .iter()
+            .map(|(n, t)| (n.to_string(), dict.intern(t)))
+            .collect();
+        let mut geoms = Vec::new();
+        collect_const_geometries(expr, &mut geoms);
+        let lookup = move |name: &str| map.get(name).copied();
+        let ctx = EvalCtx {
+            dict: &dict,
+            lookup: &lookup,
+            const_geoms: &geoms,
+        };
+        truth(eval(expr, &ctx))
+    }
+
+    fn var(n: &str) -> Expr {
+        Expr::Var(n.into())
+    }
+
+    fn c(t: Term) -> Expr {
+        Expr::Const(t)
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let e = Expr::Cmp(Box::new(var("x")), CmpOp::Gt, Box::new(c(Term::integer(5))));
+        assert_eq!(ctx_eval(&e, &[("x", Term::integer(7))]), Some(true));
+        assert_eq!(ctx_eval(&e, &[("x", Term::integer(3))]), Some(false));
+        // Mixed int/double compare numerically.
+        assert_eq!(ctx_eval(&e, &[("x", Term::double(5.5))]), Some(true));
+    }
+
+    #[test]
+    fn string_and_date_comparisons() {
+        let e = Expr::Cmp(
+            Box::new(var("s")),
+            CmpOp::Lt,
+            Box::new(c(Term::string("mango"))),
+        );
+        assert_eq!(ctx_eval(&e, &[("s", Term::string("apple"))]), Some(true));
+        let d = Expr::Cmp(
+            Box::new(var("d")),
+            CmpOp::Ge,
+            Box::new(c(Term::Literal {
+                lexical: "2017-06-01".into(),
+                datatype: crate::term::XSD_DATE.into(),
+            })),
+        );
+        let date = Term::Literal {
+            lexical: "2017-07-15".into(),
+            datatype: crate::term::XSD_DATE.into(),
+        };
+        assert_eq!(ctx_eval(&d, &[("d", date)]), Some(true));
+    }
+
+    #[test]
+    fn boolean_algebra_short_circuits() {
+        let t = c(Term::boolean(true));
+        let f = c(Term::boolean(false));
+        assert_eq!(
+            ctx_eval(&Expr::And(Box::new(t.clone()), Box::new(f.clone())), &[]),
+            Some(false)
+        );
+        assert_eq!(
+            ctx_eval(&Expr::Or(Box::new(t.clone()), Box::new(f.clone())), &[]),
+            Some(true)
+        );
+        assert_eq!(ctx_eval(&Expr::Not(Box::new(f)), &[]), Some(true));
+        // False && error short-circuits to false (SPARQL semantics).
+        let err = var("unbound");
+        let sc = Expr::And(Box::new(c(Term::boolean(false))), Box::new(err));
+        assert_eq!(ctx_eval(&sc, &[]), Some(false));
+    }
+
+    #[test]
+    fn type_errors_yield_none() {
+        // Comparing a number to a string is a type error, not false.
+        let e = Expr::Cmp(
+            Box::new(c(Term::integer(1))),
+            CmpOp::Lt,
+            Box::new(c(Term::string("x"))),
+        );
+        assert_eq!(ctx_eval(&e, &[]), None);
+        // Unbound variable is an error.
+        assert_eq!(ctx_eval(&var("nope"), &[]), None);
+        // Division by zero.
+        let div = Expr::Arith(
+            Box::new(c(Term::integer(1))),
+            '/',
+            Box::new(c(Term::integer(0))),
+        );
+        assert_eq!(ctx_eval(&div, &[]), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Cmp(
+            Box::new(Expr::Arith(
+                Box::new(c(Term::integer(3))),
+                '*',
+                Box::new(c(Term::integer(4))),
+            )),
+            CmpOp::Eq,
+            Box::new(c(Term::integer(12))),
+        );
+        assert_eq!(ctx_eval(&e, &[]), Some(true));
+    }
+
+    #[test]
+    fn spatial_predicates() {
+        let poly = Term::wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+        let inside = Term::wkt("POINT (5 5)");
+        let outside = Term::wkt("POINT (50 50)");
+        let e = Expr::Spatial(
+            SpatialOp::Intersects,
+            Box::new(var("g")),
+            Box::new(c(poly.clone())),
+        );
+        assert_eq!(ctx_eval(&e, &[("g", inside.clone())]), Some(true));
+        assert_eq!(ctx_eval(&e, &[("g", outside)]), Some(false));
+        let w = Expr::Spatial(SpatialOp::Within, Box::new(var("g")), Box::new(c(poly)));
+        assert_eq!(ctx_eval(&w, &[("g", inside)]), Some(true));
+    }
+
+    #[test]
+    fn distance_function() {
+        let e = Expr::Cmp(
+            Box::new(Expr::Distance(
+                Box::new(var("g")),
+                Box::new(c(Term::wkt("POINT (0 0)"))),
+            )),
+            CmpOp::Lt,
+            Box::new(c(Term::double(5.1))),
+        );
+        assert_eq!(ctx_eval(&e, &[("g", Term::wkt("POINT (3 4)"))]), Some(true));
+        assert_eq!(ctx_eval(&e, &[("g", Term::wkt("POINT (30 40)"))]), Some(false));
+    }
+
+    #[test]
+    fn pushdown_detection() {
+        let poly = Term::wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+        let e = Expr::Spatial(
+            SpatialOp::Intersects,
+            Box::new(var("g")),
+            Box::new(c(poly.clone())),
+        );
+        let mut geoms = Vec::new();
+        collect_const_geometries(&e, &mut geoms);
+        let (v, env) = spatial_pushdown(&e, &geoms).unwrap();
+        assert_eq!(v, "g");
+        assert_eq!(env, Envelope::new(0.0, 0.0, 4.0, 4.0));
+        // Reversed argument order also detected.
+        let rev = Expr::Spatial(SpatialOp::Contains, Box::new(c(poly)), Box::new(var("g")));
+        assert!(spatial_pushdown(&rev, &geoms).is_some());
+        // Var-var spatial joins cannot push down.
+        let vv = Expr::Spatial(SpatialOp::Intersects, Box::new(var("a")), Box::new(var("b")));
+        assert!(spatial_pushdown(&vv, &geoms).is_none());
+    }
+}

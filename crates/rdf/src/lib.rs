@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! A geospatial RDF store with a SPARQL/GeoSPARQL subset — the
+//! "re-engineered Strabon" of Challenge C3.
+//!
+//! The paper's motivating numbers: Strabon (the state-of-the-art
+//! geospatial RDF store of ref \[15\]) "can only handle up to 100 GBs of
+//! point data and still be able to answer simple geospatial queries
+//! (selections over a rectangular area) efficiently (in a few seconds)",
+//! and degrades further on multi-polygons. This crate reproduces both the
+//! engine and that experiment:
+//!
+//! * [`term`] — RDF terms with typed literals (strings, integers,
+//!   doubles, booleans, dates and `geo:wktLiteral` geometries);
+//! * [`dict`] — dictionary encoding: every term interned to a `u64`, with
+//!   decoded typed values (including parsed geometries) kept alongside;
+//! * [`store`] — triples in three covering B-tree indexes (SPO/POS/OSP)
+//!   plus an R-tree over geometry literals; an [`store::IndexMode::Scan`]
+//!   mode disables all of it to serve as the pre-Strabon naive baseline
+//!   in experiments E2/E3;
+//! * [`expr`] — filter expressions: comparisons, boolean algebra, and the
+//!   GeoSPARQL functions `geof:sfIntersects` / `sfContains` / `sfWithin`
+//!   / `geof:distance`;
+//! * [`parser`] — a hand-written SPARQL-subset parser (`PREFIX`,
+//!   `SELECT [DISTINCT]`, basic graph patterns, `OPTIONAL`, `FILTER`,
+//!   `GROUP BY` with `COUNT/SUM/AVG/MIN/MAX`, `ORDER BY`, `LIMIT`);
+//! * [`exec`] — the evaluator: greedy selectivity-ordered index
+//!   nested-loop joins, eager filters, and *spatial pushdown* — a filter
+//!   `geof:sfIntersects(?g, <const>)` restricts `?g`'s candidates via the
+//!   R-tree before the join runs (filter–refine).
+
+pub mod dict;
+pub mod exec;
+pub mod expr;
+pub mod parser;
+pub mod store;
+pub mod term;
+
+pub use store::{IndexMode, TripleStore};
+pub use term::Term;
+
+/// Errors from the RDF layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RdfError {
+    /// Query text failed to parse.
+    Parse(String),
+    /// A well-formed query that the engine cannot evaluate.
+    Eval(String),
+    /// Bad term construction (e.g. malformed WKT literal).
+    Term(String),
+}
+
+impl std::fmt::Display for RdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdfError::Parse(m) => write!(f, "SPARQL parse error: {m}"),
+            RdfError::Eval(m) => write!(f, "evaluation error: {m}"),
+            RdfError::Term(m) => write!(f, "term error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}

@@ -1,0 +1,486 @@
+//! The triple store: dictionary-encoded triples in three covering B-tree
+//! indexes, plus an R-tree over geometry literals.
+
+use crate::dict::Dictionary;
+use crate::term::{Term, Value};
+use ee_geo::{Envelope, RTree};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// How the store answers triple patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// SPO/POS/OSP indexes + R-tree spatial pushdown (Strabon-style).
+    Full,
+    /// SPO/POS/OSP indexes but **no** spatial pushdown: spatial filters
+    /// are evaluated as plain post-filters. The ablation arm of E2 that
+    /// isolates what the R-tree buys on top of the triple indexes.
+    NoPushdown,
+    /// Linear scan of the triple list, no indexes at all — the naive
+    /// baseline of experiments E2/E3.
+    Scan,
+}
+
+/// A triple of dictionary ids.
+pub type IdTriple = (u64, u64, u64);
+
+/// The store.
+pub struct TripleStore {
+    /// Term dictionary (public read access for the evaluator).
+    pub dict: Dictionary,
+    mode: IndexMode,
+    all: Vec<IdTriple>,
+    /// Scan-mode dedup set (the indexed mode dedups through `spo`).
+    seen: std::collections::HashSet<IdTriple>,
+    spo: BTreeSet<(u64, u64, u64)>,
+    pos: BTreeSet<(u64, u64, u64)>,
+    osp: BTreeSet<(u64, u64, u64)>,
+    rtree: RTree<u64>,
+    pending_spatial: Vec<(Envelope, u64)>,
+}
+
+impl TripleStore {
+    /// An empty store in the given index mode.
+    pub fn new(mode: IndexMode) -> Self {
+        Self {
+            dict: Dictionary::new(),
+            mode,
+            all: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            spo: BTreeSet::new(),
+            pos: BTreeSet::new(),
+            osp: BTreeSet::new(),
+            rtree: RTree::new(),
+            pending_spatial: Vec::new(),
+        }
+    }
+
+    /// The index mode.
+    pub fn mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Insert a triple of terms. Duplicate triples are ignored.
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) {
+        let si = self.dict.intern(s);
+        let pi = self.dict.intern(p);
+        let oi = self.dict.intern(o);
+        self.insert_ids(si, pi, oi);
+    }
+
+    /// Insert a triple of pre-interned ids.
+    pub fn insert_ids(&mut self, s: u64, p: u64, o: u64) {
+        match self.mode {
+            IndexMode::Full | IndexMode::NoPushdown => {
+                if !self.spo.insert((s, p, o)) {
+                    return;
+                }
+                self.pos.insert((p, o, s));
+                self.osp.insert((o, s, p));
+                if self.mode == IndexMode::Full {
+                    if let Some(env) = self.dict.envelope_of(o) {
+                        // Buffer for bulk-load; ingests pay one STR pack.
+                        self.pending_spatial.push((env, o));
+                    }
+                }
+            }
+            IndexMode::Scan => {
+                if !self.seen.insert((s, p, o)) {
+                    return;
+                }
+            }
+        }
+        self.all.push((s, p, o));
+    }
+
+    /// Finish an ingest: bulk-(re)load the spatial index from all geometry
+    /// objects seen so far. Call after batch inserts; queries also call it
+    /// lazily through [`TripleStore::spatial_candidates`] being
+    /// conservative (it falls back to pending entries linearly).
+    pub fn build_spatial_index(&mut self) {
+        if self.pending_spatial.is_empty() {
+            return;
+        }
+        let mut items: Vec<(Envelope, u64)> = Vec::with_capacity(self.rtree.len() + self.pending_spatial.len());
+        // Existing entries are re-collected by scanning the dictionary
+        // (ids are stable), which avoids keeping a second copy.
+        items.append(&mut self.pending_spatial);
+        let mut seen: std::collections::HashSet<u64> = items.iter().map(|(_, id)| *id).collect();
+        let mut old = Vec::new();
+        self.rtree.visit(&Envelope::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::INFINITY), &mut |id| {
+            old.push(*id);
+        });
+        for id in old {
+            if seen.insert(id) {
+                if let Some(env) = self.dict.envelope_of(id) {
+                    items.push((env, id));
+                }
+            }
+        }
+        self.rtree = RTree::bulk_load(items);
+    }
+
+    /// Geometry-literal ids whose envelope intersects `query` (the spatial
+    /// pushdown primitive). `None` when the store cannot prune (scan mode).
+    pub fn spatial_candidates(&self, query: &Envelope) -> Option<Vec<u64>> {
+        if self.mode != IndexMode::Full {
+            return None;
+        }
+        let mut out: Vec<u64> = self.rtree.search(query).into_iter().copied().collect();
+        // Include not-yet-packed entries so correctness never depends on
+        // calling build_spatial_index.
+        for (env, id) in &self.pending_spatial {
+            if env.intersects(query) {
+                out.push(*id);
+            }
+        }
+        Some(out)
+    }
+
+    /// All triples matching a pattern of optional ids, via the best index
+    /// (or a scan in [`IndexMode::Scan`]). The callback returns `false` to
+    /// stop early.
+    pub fn match_pattern<F: FnMut(IdTriple) -> bool>(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        f: &mut F,
+    ) {
+        if self.mode == IndexMode::Scan {
+            for &(ts, tp, to) in &self.all {
+                if s.map(|v| v == ts).unwrap_or(true)
+                    && p.map(|v| v == tp).unwrap_or(true)
+                    && o.map(|v| v == to).unwrap_or(true)
+                    && !f((ts, tp, to))
+                {
+                    return;
+                }
+            }
+            return;
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    f((s, p, o));
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(ts, tp, to) in range3(&self.spo, s, Some(p)) {
+                    debug_assert!(ts == s && tp == p);
+                    if !f((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (Some(s), None, _) => {
+                for &(ts, tp, to) in range3(&self.spo, s, None) {
+                    if o.map(|v| v == to).unwrap_or(true) && !f((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(tp, to, ts) in range3(&self.pos, p, Some(o)) {
+                    if !f((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                for &(tp, to, ts) in range3(&self.pos, p, None) {
+                    if !f((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(to, ts, tp) in range3(&self.osp, o, None) {
+                    if !f((ts, tp, to)) {
+                        return;
+                    }
+                }
+            }
+            (None, None, None) => {
+                for &t in &self.spo {
+                    if !f(t) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimated result count of a pattern (exact for indexed lookups,
+    /// `len()` for unbounded/scan) — drives join ordering.
+    pub fn estimate(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> usize {
+        if self.mode == IndexMode::Scan {
+            // Scan mode has no statistics: every pattern costs a pass.
+            return self.all.len();
+        }
+        // Counts are capped: the planner only needs relative magnitude,
+        // and exact counts over huge ranges would make planning O(n) per
+        // join step.
+        const CAP: usize = 1024;
+        match (s, p, o) {
+            (None, None, None) => self.spo.len(),
+            (Some(s), pp, _) => range3(&self.spo, s, pp).take(CAP).count(),
+            (None, Some(p), oo) => range3(&self.pos, p, oo).take(CAP).count(),
+            (None, None, Some(o)) => range3(&self.osp, o, None).take(CAP).count(),
+        }
+    }
+
+    /// Iterate every triple (term-resolved), for export and interlinking.
+    pub fn triples(&self) -> impl Iterator<Item = (&Term, &Term, &Term)> {
+        // `all` is maintained in both modes, so one iterator serves both.
+        self.all
+            .iter()
+            .map(move |&(s, p, o)| (self.dict.term(s), self.dict.term(p), self.dict.term(o)))
+    }
+}
+
+/// Range over a 3-tuple B-tree with the first component fixed and the
+/// second optionally fixed.
+fn range3(
+    set: &BTreeSet<(u64, u64, u64)>,
+    first: u64,
+    second: Option<u64>,
+) -> impl Iterator<Item = &(u64, u64, u64)> {
+    let (lo, hi) = match second {
+        Some(s) => (
+            Bound::Included((first, s, u64::MIN)),
+            Bound::Included((first, s, u64::MAX)),
+        ),
+        None => (
+            Bound::Included((first, u64::MIN, u64::MIN)),
+            Bound::Included((first, u64::MAX, u64::MAX)),
+        ),
+    };
+    set.range((lo, hi))
+}
+
+/// Convenience for tests and loaders: is the exact triple present?
+impl TripleStore {
+    /// Membership test on terms.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(s),
+            self.dict.id_of(p),
+            self.dict.id_of(o),
+        ) else {
+            return false;
+        };
+        if self.mode == IndexMode::Scan {
+            self.all.contains(&(s, p, o))
+        } else {
+            self.spo.contains(&(s, p, o))
+        }
+    }
+
+    /// The decoded value of an object id (exposed for the evaluator).
+    pub fn value_of(&self, id: u64) -> &Value {
+        self.dict.value(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn store(mode: IndexMode) -> TripleStore {
+        let mut st = TripleStore::new(mode);
+        st.insert(&t("a"), &t("knows"), &t("b"));
+        st.insert(&t("a"), &t("knows"), &t("c"));
+        st.insert(&t("b"), &t("knows"), &t("c"));
+        st.insert(&t("a"), &t("age"), &Term::integer(30));
+        st
+    }
+
+    fn collect(
+        st: &TripleStore,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Vec<IdTriple> {
+        let sid = s.map(|x| st.dict.id_of(x).unwrap());
+        let pid = p.map(|x| st.dict.id_of(x).unwrap());
+        let oid = o.map(|x| st.dict.id_of(x).unwrap());
+        let mut out = Vec::new();
+        st.match_pattern(sid, pid, oid, &mut |t| {
+            out.push(t);
+            true
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn both_modes_agree_on_all_patterns() {
+        let full = store(IndexMode::Full);
+        let scan = store(IndexMode::Scan);
+        let a = t("a");
+        let knows = t("knows");
+        let c = t("c");
+        let cases: Vec<(Option<&Term>, Option<&Term>, Option<&Term>)> = vec![
+            (None, None, None),
+            (Some(&a), None, None),
+            (None, Some(&knows), None),
+            (None, None, Some(&c)),
+            (Some(&a), Some(&knows), None),
+            (None, Some(&knows), Some(&c)),
+            (Some(&a), Some(&knows), Some(&c)),
+        ];
+        for (s, p, o) in cases {
+            // Ids differ across dictionaries; compare resolved terms.
+            let resolve = |st: &TripleStore, v: Vec<IdTriple>| -> Vec<(Term, Term, Term)> {
+                let mut r: Vec<_> = v
+                    .into_iter()
+                    .map(|(a, b, c)| {
+                        (
+                            st.dict.term(a).clone(),
+                            st.dict.term(b).clone(),
+                            st.dict.term(c).clone(),
+                        )
+                    })
+                    .collect();
+                r.sort();
+                r
+            };
+            let lf = resolve(&full, collect(&full, s, p, o));
+            let ls = resolve(&scan, collect(&scan, s, p, o));
+            assert_eq!(lf, ls, "pattern {s:?} {p:?} {o:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut st = store(IndexMode::Full);
+        assert_eq!(st.len(), 4);
+        st.insert(&t("a"), &t("knows"), &t("b"));
+        assert_eq!(st.len(), 4);
+        let mut scan = store(IndexMode::Scan);
+        scan.insert(&t("a"), &t("knows"), &t("b"));
+        assert_eq!(scan.len(), 4);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let st = store(IndexMode::Full);
+        assert!(st.contains(&t("a"), &t("knows"), &t("b")));
+        assert!(!st.contains(&t("c"), &t("knows"), &t("a")));
+        assert!(!st.contains(&t("zz"), &t("knows"), &t("b")), "unknown term");
+    }
+
+    #[test]
+    fn early_termination() {
+        let st = store(IndexMode::Full);
+        let mut count = 0;
+        st.match_pattern(None, None, None, &mut |_| {
+            count += 1;
+            count < 2
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn estimates_reflect_selectivity() {
+        let st = store(IndexMode::Full);
+        let knows = st.dict.id_of(&t("knows")).unwrap();
+        let a = st.dict.id_of(&t("a")).unwrap();
+        assert_eq!(st.estimate(None, None, None), 4);
+        assert_eq!(st.estimate(None, Some(knows), None), 3);
+        assert_eq!(st.estimate(Some(a), Some(knows), None), 2);
+        // Scan mode: flat cost.
+        let sc = store(IndexMode::Scan);
+        assert_eq!(sc.estimate(Some(0), Some(1), Some(2)), 4);
+    }
+
+    #[test]
+    fn no_pushdown_mode_indexes_but_does_not_prune() {
+        let mut st = TripleStore::new(IndexMode::NoPushdown);
+        st.insert(&t("f"), &t("hasGeometry"), &Term::wkt("POINT (5 5)"));
+        st.build_spatial_index();
+        assert!(
+            st.spatial_candidates(&Envelope::new(0.0, 0.0, 10.0, 10.0)).is_none(),
+            "no R-tree pruning in this mode"
+        );
+        // But pattern matching still uses the B-tree indexes.
+        assert_eq!(st.estimate(None, st.dict.id_of(&t("hasGeometry")), None), 1);
+    }
+
+    #[test]
+    fn spatial_candidates_prune_by_envelope() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let has_geom = t("hasGeometry");
+        for i in 0..100 {
+            let x = i as f64;
+            st.insert(
+                &t(&format!("f{i}")),
+                &has_geom,
+                &Term::wkt(format!("POINT ({x} {x})")),
+            );
+        }
+        st.build_spatial_index();
+        let hits = st
+            .spatial_candidates(&Envelope::new(10.0, 10.0, 20.0, 20.0))
+            .unwrap();
+        assert_eq!(hits.len(), 11, "points 10..=20");
+        // Scan mode cannot prune.
+        let scan = TripleStore::new(IndexMode::Scan);
+        assert!(scan.spatial_candidates(&Envelope::new(0.0, 0.0, 1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn spatial_candidates_without_explicit_build() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        st.insert(&t("f"), &t("hasGeometry"), &Term::wkt("POINT (5 5)"));
+        // No build_spatial_index call: pending entries still found.
+        let hits = st
+            .spatial_candidates(&Envelope::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        // After build, same answer.
+        st.build_spatial_index();
+        let hits = st
+            .spatial_candidates(&Envelope::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn incremental_build_keeps_old_entries() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        st.insert(&t("f1"), &t("g"), &Term::wkt("POINT (1 1)"));
+        st.build_spatial_index();
+        st.insert(&t("f2"), &t("g"), &Term::wkt("POINT (2 2)"));
+        st.build_spatial_index();
+        let hits = st
+            .spatial_candidates(&Envelope::new(0.0, 0.0, 3.0, 3.0))
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn triples_iterator_resolves_terms() {
+        let st = store(IndexMode::Full);
+        let all: Vec<_> = st.triples().collect();
+        assert_eq!(all.len(), 4);
+        assert!(all
+            .iter()
+            .any(|(s, p, o)| *s == &t("a") && *p == &t("age") && *o == &Term::integer(30)));
+    }
+}

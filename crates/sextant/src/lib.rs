@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Sextant-analogue: visualising rasters and linked geospatial data
+//! (Challenge C3, ref \[5\]).
+//!
+//! Sextant is the TELEIOS/LEO stack's tool for "visualizing time-evolving
+//! linked geospatial data". This crate renders the workspace's products
+//! to standalone SVG documents:
+//!
+//! * [`palette`] — categorical palettes for the land-cover and sea-ice
+//!   taxonomies, and a continuous blue ramp for water-fraction maps;
+//! * [`svg`] — the renderer: categorical rasters as run-length-merged
+//!   cell rows, continuous rasters as graded cells, vector features as
+//!   polygon outlines, and WKT results of GeoSPARQL queries straight onto
+//!   the map — plus layering and a legend, Sextant's core workflow.
+
+pub mod palette;
+pub mod svg;
+
+pub use svg::{MapBuilder, Style};
+
+/// Errors from rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RenderError {
+    /// The map has no layers / empty extent.
+    EmptyMap,
+    /// A layer's georeferencing does not overlap the map extent.
+    DisjointLayer(String),
+    /// WKT in a query result failed to parse.
+    BadGeometry(String),
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::EmptyMap => write!(f, "map has no content"),
+            RenderError::DisjointLayer(name) => write!(f, "layer {name:?} outside map extent"),
+            RenderError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}

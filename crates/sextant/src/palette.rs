@@ -1,0 +1,83 @@
+//! Colour palettes for the workspace's taxonomies.
+
+/// An RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// CSS hex form (`#rrggbb`).
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+}
+
+/// Colours for the 10 land-cover classes, in `LandClass::ALL` order
+/// (wheat, maize, rapeseed, sugar beet, grassland, forest, water, urban,
+/// bare soil, wetland).
+pub const LAND_COVER: [Rgb; 10] = [
+    Rgb(0xe6, 0xc8, 0x4b), // wheat — straw
+    Rgb(0xf0, 0xa0, 0x30), // maize — orange
+    Rgb(0xf5, 0xe6, 0x42), // rapeseed — bright yellow
+    Rgb(0x8f, 0xbf, 0x4f), // sugar beet — light green
+    Rgb(0x52, 0xa3, 0x52), // grassland — green
+    Rgb(0x1c, 0x66, 0x2e), // forest — dark green
+    Rgb(0x2d, 0x6d, 0xc9), // water — blue
+    Rgb(0x9a, 0x9a, 0x9a), // urban — grey
+    Rgb(0xb0, 0x8a, 0x5e), // bare soil — brown
+    Rgb(0x46, 0xb0, 0xa5), // wetland — teal
+];
+
+/// Colours for the 5 WMO sea-ice classes, in `IceClass::ALL` order
+/// (open water, new ice, young ice, first-year, multi-year).
+pub const SEA_ICE: [Rgb; 5] = [
+    Rgb(0x0b, 0x3d, 0x6e), // open water — deep blue
+    Rgb(0x7f, 0xb2, 0xd9), // new ice — pale blue
+    Rgb(0xb5, 0xd4, 0xe8), // young ice — lighter
+    Rgb(0xe4, 0xee, 0xf5), // first-year — near white
+    Rgb(0xff, 0xff, 0xff), // multi-year — white
+];
+
+/// Continuous blue ramp for a 0..1 fraction (water availability,
+/// concentration): dry/low = sandy, wet/high = deep blue.
+pub fn fraction_ramp(v: f32) -> Rgb {
+    let t = v.clamp(0.0, 1.0);
+    let lerp = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t).round() as u8;
+    Rgb(lerp(0xd9, 0x0d), lerp(0xc2, 0x4a), lerp(0x8a, 0x8f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb(255, 0, 16).hex(), "#ff0010");
+        assert_eq!(Rgb(0, 0, 0).hex(), "#000000");
+    }
+
+    #[test]
+    fn palettes_have_taxonomy_cardinalities() {
+        assert_eq!(LAND_COVER.len(), 10);
+        assert_eq!(SEA_ICE.len(), 5);
+        // All land-cover colours are distinct.
+        for i in 0..LAND_COVER.len() {
+            for j in i + 1..LAND_COVER.len() {
+                assert_ne!(LAND_COVER[i], LAND_COVER[j], "classes {i} and {j} share a colour");
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_endpoints_and_monotone_blue() {
+        let dry = fraction_ramp(0.0);
+        let wet = fraction_ramp(1.0);
+        assert_eq!(dry, Rgb(0xd9, 0xc2, 0x8a));
+        assert_eq!(wet, Rgb(0x0d, 0x4a, 0x8f));
+        // Red channel decreases with wetness.
+        let mid = fraction_ramp(0.5);
+        assert!(dry.0 > mid.0 && mid.0 > wet.0);
+        // Out-of-range clamps.
+        assert_eq!(fraction_ramp(-1.0), dry);
+        assert_eq!(fraction_ramp(2.0), wet);
+    }
+}

@@ -1,0 +1,57 @@
+//! Parameter initialisation schemes.
+
+use crate::tensor::Tensor;
+use ee_util::Rng;
+
+/// He (Kaiming) normal initialisation for ReLU networks: `N(0, 2/fan_in)`.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.normal(0.0, std) as f32).collect())
+        .expect("shape/product consistent by construction")
+}
+
+/// Xavier/Glorot uniform initialisation: `U(±sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.range_f64(-limit, limit) as f32).collect(),
+    )
+    .expect("shape/product consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_variance_matches_fan_in() {
+        let mut rng = Rng::seed_from(4);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.02).abs() < 0.005, "var {var} expected 2/100");
+    }
+
+    #[test]
+    fn xavier_respects_limits() {
+        let mut rng = Rng::seed_from(5);
+        let t = xavier_uniform(&[50, 50], 50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        // Spread should roughly fill the interval.
+        let max = t.data().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!(max > 0.8 * limit);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(&[10], 10, &mut Rng::seed_from(7));
+        let b = he_normal(&[10], 10, &mut Rng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

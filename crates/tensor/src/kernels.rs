@@ -1,0 +1,491 @@
+//! Convolutional-network kernels with hand-derived gradients.
+//!
+//! Layout conventions:
+//! * activations: `[N, C, H, W]` (batch, channels, height, width);
+//! * convolution weights: `[F, C, KH, KW]`, bias `[F]`;
+//! * convolution uses stride 1 and symmetric zero padding `pad`;
+//! * pooling is 2×2, stride 2.
+//!
+//! The convolution is an im2col + matmul, the standard CPU formulation;
+//! the backward pass reuses the same column buffers. Every kernel has a
+//! finite-difference gradient check in the tests.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+/// Output spatial size of a stride-1 convolution.
+pub fn conv_out_size(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize) {
+    (h + 2 * pad + 1 - kh, w + 2 * pad + 1 - kw)
+}
+
+/// Lower one sample `[C, H, W]` into columns `[C*KH*KW, OH*OW]`.
+fn im2col(
+    x: &Tensor,
+    n: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    cols: &mut Vec<f32>,
+) -> (usize, usize) {
+    let (c, h, w) = (x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = conv_out_size(h, w, kh, kw, pad);
+    let rows = c * kh * kw;
+    cols.clear();
+    cols.resize(rows * oh * ow, 0.0);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let src_i = oi + ki;
+                    for oj in 0..ow {
+                        let src_j = oj + kj;
+                        let v = if src_i >= pad && src_j >= pad && src_i - pad < h && src_j - pad < w
+                        {
+                            x.at4(n, ci, src_i - pad, src_j - pad)
+                        } else {
+                            0.0
+                        };
+                        cols[row * (oh * ow) + oi * ow + oj] = v;
+                    }
+                }
+            }
+        }
+    }
+    (oh, ow)
+}
+
+/// Scatter columns back into an image gradient (transpose of [`im2col`]).
+#[allow(clippy::too_many_arguments)] // mirrors im2col's geometry parameters
+fn col2im(
+    cols: &[f32],
+    dx: &mut Tensor,
+    n: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) {
+    let (c, h, w) = (dx.shape()[1], dx.shape()[2], dx.shape()[3]);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..oh {
+                    let src_i = oi + ki;
+                    for oj in 0..ow {
+                        let src_j = oj + kj;
+                        if src_i >= pad && src_j >= pad && src_i - pad < h && src_j - pad < w {
+                            let v = cols[row * (oh * ow) + oi * ow + oj];
+                            let old = dx.at4(n, ci, src_i - pad, src_j - pad);
+                            dx.set4(n, ci, src_i - pad, src_j - pad, old + v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution. `x: [N,C,H,W]`, `weight: [F,C,KH,KW]`, `bias: [F]`
+/// → `[N,F,OH,OW]`.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    if x.shape().len() != 4 {
+        return Err(TensorError::BadRank {
+            expected: 4,
+            actual: x.shape().to_vec(),
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (f, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc != c || bias.shape() != [f] {
+        return Err(TensorError::ShapeMismatch {
+            left: x.shape().to_vec(),
+            right: weight.shape().to_vec(),
+        });
+    }
+    let (oh, ow) = conv_out_size(h, w, kh, kw, pad);
+    let rows = c * kh * kw;
+    let w_mat = weight.reshape(&[f, rows])?;
+    let mut out = Tensor::zeros(&[n, f, oh, ow]);
+    let mut cols = Vec::new();
+    for ni in 0..n {
+        im2col(x, ni, kh, kw, pad, &mut cols);
+        let col_t = Tensor::from_vec(&[rows, oh * ow], cols.clone())?;
+        let y = w_mat.matmul(&col_t)?; // [F, OH*OW]
+        for fi in 0..f {
+            let b = bias.data()[fi];
+            for p in 0..oh * ow {
+                let v = y.data()[fi * oh * ow + p] + b;
+                out.data_mut()[((ni * f + fi) * oh + p / ow) * ow + p % ow] = v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of a convolution: returns `(dx, dweight, dbias)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (f, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let (oh, ow) = conv_out_size(h, w, kh, kw, pad);
+    let rows = c * kh * kw;
+    let w_mat = weight.reshape(&[f, rows])?;
+    let w_t = w_mat.transpose()?;
+    let mut dw = Tensor::zeros(&[f, rows]);
+    let mut db = Tensor::zeros(&[f]);
+    let mut dx = Tensor::zeros(&[n, c, h, w]);
+    let mut cols = Vec::new();
+    for ni in 0..n {
+        // dOut slice for this sample as [F, OH*OW].
+        let mut dslice = vec![0.0f32; f * oh * ow];
+        for fi in 0..f {
+            for p in 0..oh * ow {
+                let v = dout.at4(ni, fi, p / ow, p % ow);
+                dslice[fi * oh * ow + p] = v;
+                db.data_mut()[fi] += v;
+            }
+        }
+        let d_mat = Tensor::from_vec(&[f, oh * ow], dslice)?;
+        im2col(x, ni, kh, kw, pad, &mut cols);
+        let col_t = Tensor::from_vec(&[rows, oh * ow], cols.clone())?;
+        // dW += dOut · colsᵀ
+        let dw_n = d_mat.matmul(&col_t.transpose()?)?;
+        dw.axpy(1.0, &dw_n)?;
+        // dCols = Wᵀ · dOut, scattered back.
+        let dcols = w_t.matmul(&d_mat)?;
+        col2im(dcols.data(), &mut dx, ni, kh, kw, pad, oh, ow);
+    }
+    Ok((dx, dw.reshape(&[f, c, kh, kw])?, db))
+}
+
+/// 2×2 max pooling, stride 2. Returns the pooled tensor and the flat
+/// indices of each maximum (for the backward pass). Odd trailing rows or
+/// columns are truncated, as most frameworks do.
+pub fn maxpool2_forward(x: &Tensor) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut idx = vec![0usize; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_at = 0usize;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let (i, j) = (oi * 2 + di, oj * 2 + dj);
+                            let v = x.at4(ni, ci, i, j);
+                            if v > best {
+                                best = v;
+                                best_at = ((ni * c + ci) * h + i) * w + j;
+                            }
+                        }
+                    }
+                    out.set4(ni, ci, oi, oj, best);
+                    idx[((ni * c + ci) * oh + oi) * ow + oj] = best_at;
+                }
+            }
+        }
+    }
+    (out, idx)
+}
+
+/// Backward of 2×2 max pooling: routes each output gradient to the input
+/// position that won the max.
+pub fn maxpool2_backward(dout: &Tensor, idx: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut dx = Tensor::zeros(input_shape);
+    for (flat, &src) in idx.iter().enumerate() {
+        dx.data_mut()[src] += dout.data()[flat];
+    }
+    dx
+}
+
+/// ReLU forward; returns activations and the pass-through mask.
+pub fn relu_forward(x: &Tensor) -> (Tensor, Vec<bool>) {
+    let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+    let mut y = x.clone();
+    for v in y.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    (y, mask)
+}
+
+/// ReLU backward.
+pub fn relu_backward(dout: &Tensor, mask: &[bool]) -> Tensor {
+    let mut dx = dout.clone();
+    for (v, &m) in dx.data_mut().iter_mut().zip(mask) {
+        if !m {
+            *v = 0.0;
+        }
+    }
+    dx
+}
+
+/// Row-wise softmax of logits `[N, K]`.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = logits.clone();
+    for i in 0..n {
+        let row = &mut out.data_mut()[i * k..(i + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of logits `[N, K]` against integer labels, plus the
+/// gradient w.r.t. the logits (`(softmax − onehot) / N`).
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range {k}");
+        let p = probs.data()[i * k + y].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * k + y] -= 1.0;
+    }
+    grad.scale_mut(1.0 / n as f32);
+    (loss / n as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ee_util::Rng;
+
+    fn random_tensor(shape: &[usize], rng: &mut Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|_| rng.normal(0.0, 1.0) as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn conv_output_size() {
+        assert_eq!(conv_out_size(8, 8, 3, 3, 1), (8, 8), "same-padding");
+        assert_eq!(conv_out_size(8, 8, 3, 3, 0), (6, 6), "valid");
+        assert_eq!(conv_out_size(5, 7, 1, 1, 0), (5, 7));
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // A single 1x1 identity filter reproduces the input channel.
+        let mut rng = Rng::seed_from(1);
+        let x = random_tensor(&[2, 1, 4, 4], &mut rng);
+        let w = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]).unwrap();
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d_forward(&x, &w, &b, 0).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        // 3x3 all-ones filter over a constant image = 9 * value inside,
+        // less at padded borders.
+        let x = Tensor::full(&[1, 1, 4, 4], 1.0);
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d_forward(&x, &w, &b, 1).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.at4(0, 0, 1, 1), 9.0, "interior");
+        assert_eq!(y.at4(0, 0, 0, 0), 4.0, "corner sees 2x2");
+        assert_eq!(y.at4(0, 0, 0, 1), 6.0, "edge sees 2x3");
+    }
+
+    #[test]
+    fn conv_bias_is_added() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(&[2], vec![0.5, -1.5]).unwrap();
+        let y = conv2d_forward(&x, &w, &b, 0).unwrap();
+        assert_eq!(y.at4(0, 0, 1, 1), 0.5);
+        assert_eq!(y.at4(0, 1, 0, 0), -1.5);
+    }
+
+    /// Finite-difference gradient check for the full conv + loss chain.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(42);
+        let x = random_tensor(&[2, 2, 5, 5], &mut rng);
+        let w = random_tensor(&[3, 2, 3, 3], &mut rng).scale(0.3);
+        let b = random_tensor(&[3], &mut rng).scale(0.1);
+        let pad = 1;
+        // Loss = sum of outputs (so dOut = ones).
+        let y = conv2d_forward(&x, &w, &b, pad).unwrap();
+        let dout = Tensor::full(y.shape(), 1.0);
+        let (dx, dw, db) = conv2d_backward(&x, &w, &dout, pad).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d_forward(x, w, b, pad).unwrap().sum()
+        };
+        // Check a scattering of coordinates in each parameter.
+        for &i in &[0usize, 7, 31, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+            assert!(
+                (num - dx.data()[i]).abs() < 0.05,
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+        for &i in &[0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+            assert!(
+                (num - dw.data()[i]).abs() < 0.5,
+                "dw[{i}]: numeric {num} vs analytic {}",
+                dw.data()[i]
+            );
+        }
+        for i in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &b)) / eps;
+            assert!(
+                (num - db.data()[i]).abs() < 0.5,
+                "db[{i}]: numeric {num} vs analytic {}",
+                db.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let (y, idx) = maxpool2_forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+        let dout = Tensor::full(&[1, 1, 2, 2], 1.0);
+        let dx = maxpool2_backward(&dout, &idx, &[1, 1, 4, 4]);
+        // Gradient lands exactly on the max positions.
+        assert_eq!(dx.data()[5], 1.0); // value 4.0 at (1,1)
+        assert_eq!(dx.data()[0], 0.0);
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn maxpool_truncates_odd_sizes() {
+        let x = Tensor::full(&[1, 1, 5, 5], 1.0);
+        let (y, _) = maxpool2_forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let (y, mask) = relu_forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let dout = Tensor::full(&[4], 1.0);
+        let dx = relu_backward(&dout, &mask);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(3);
+        let logits = random_tensor(&[5, 7], &mut rng).scale(3.0);
+        let p = softmax(&logits);
+        for i in 0..5 {
+            let s: f32 = p.data()[i * 7..(i + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.data()[i * 7..(i + 1) * 7].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(&[1, 3], vec![101.0, 102.0, 103.0]).unwrap();
+        let (pa, pb) = (softmax(&a), softmax(&b));
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+        let (loss_bad, _) = cross_entropy(&logits, &[1]);
+        assert!(loss_bad > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(9);
+        let logits = random_tensor(&[4, 5], &mut rng);
+        let labels = [0usize, 3, 2, 4];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (l1, _) = cross_entropy(&lp, &labels);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (l0, _) = cross_entropy(&lm, &labels);
+            let num = (l1 - l0) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: numeric {num} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        // Softmax-CE gradient rows sum to zero (probability simplex).
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -1.2, 0.8, 2.0, 0.0, -0.5]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[1, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+}

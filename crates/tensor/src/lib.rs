@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! Dense `f32` tensors and the numeric kernels behind `ee-dl`.
+//!
+//! The paper's Challenge C1 calls for deep-learning architectures for
+//! Sentinel imagery; since no TensorFlow exists in this workspace, this
+//! crate implements the numeric substrate from scratch:
+//!
+//! * [`tensor`] — an n-dimensional row-major `f32` array with shape
+//!   checking, explicit elementwise ops, 2-D matmul, reductions and
+//!   `argmax`;
+//! * [`kernels`] — the convolutional-network kernels: im2col convolution
+//!   (forward and backward), 2×2 max pooling, ReLU, softmax and
+//!   cross-entropy, all with hand-derived gradients;
+//! * [`init`] — He/Xavier parameter initialisation from the workspace RNG.
+//!
+//! Everything is deterministic; no SIMD intrinsics or threads — matmul is
+//! written cache-friendly (ikj loop order) which is fast enough for the
+//! patch-scale models of the experiments.
+
+pub mod init;
+pub mod kernels;
+pub mod tensor;
+
+pub use tensor::Tensor;
+
+/// Errors from tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: Vec<usize>,
+        /// Shape of the right/second operand.
+        right: Vec<usize>,
+    },
+    /// A reshape that changes the element count.
+    BadReshape {
+        /// Original element count.
+        elements: usize,
+        /// Requested shape.
+        requested: Vec<usize>,
+    },
+    /// Operation expects a different dimensionality.
+    BadRank {
+        /// Expected rank.
+        expected: usize,
+        /// Actual shape.
+        actual: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::BadReshape { elements, requested } => {
+                write!(f, "cannot reshape {elements} elements into {requested:?}")
+            }
+            TensorError::BadRank { expected, actual } => {
+                write!(f, "expected rank {expected}, got shape {actual:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

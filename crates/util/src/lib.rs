@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Shared utilities for the ExtremeEarth workspace.
+//!
+//! Everything in this crate is deliberately dependency-free and fully
+//! deterministic: all randomness flows from explicitly-seeded generators so
+//! that every experiment in the repository reproduces bit-for-bit.
+//!
+//! Modules:
+//! * [`rng`] — `SplitMix64` / `Xoshiro256PlusPlus` pseudo-random generators
+//!   with the handful of distributions the simulators need.
+//! * [`noise`] — 2-D value noise and fractal Brownian motion, used by the
+//!   synthetic-world generator.
+//! * [`stats`] — summary statistics, confusion matrices and classification
+//!   metrics shared by the evaluation harness.
+//! * [`bytes`] — human-readable byte-size formatting for reports.
+//! * [`timeline`] — virtual-time primitives shared by the discrete-event
+//!   simulators.
+
+pub mod bytes;
+pub mod noise;
+pub mod rng;
+pub mod stats;
+pub mod timeline;
+
+pub use rng::Rng;

@@ -1,0 +1,198 @@
+//! 2-D value noise and fractal Brownian motion.
+//!
+//! The synthetic-world generator uses fBm for terrain elevation, soil
+//! texture, sea-ice concentration fields and cloud masks. Value noise (a
+//! hash-based lattice noise with smooth interpolation) is sufficient for
+//! those purposes and is far simpler than gradient noise while remaining
+//! fully deterministic in the seed.
+
+/// Hash a lattice point together with a seed into a `f64` in `[-1, 1]`.
+#[inline]
+fn lattice(seed: u64, xi: i64, yi: i64) -> f64 {
+    // A 2-D variant of the splitmix finaliser over the packed coordinates.
+    let mut h = seed
+        ^ (xi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (yi as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+/// Quintic smoothstep used for C2-continuous interpolation.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// A seeded 2-D value-noise field.
+///
+/// `sample` is smooth (C2) and returns values in roughly `[-1, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Create a noise field from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Sample the field at `(x, y)`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let xf = x.floor();
+        let yf = y.floor();
+        let xi = xf as i64;
+        let yi = yf as i64;
+        let tx = fade(x - xf);
+        let ty = fade(y - yf);
+        let v00 = lattice(self.seed, xi, yi);
+        let v10 = lattice(self.seed, xi + 1, yi);
+        let v01 = lattice(self.seed, xi, yi + 1);
+        let v11 = lattice(self.seed, xi + 1, yi + 1);
+        let a = v00 + tx * (v10 - v00);
+        let b = v01 + tx * (v11 - v01);
+        a + ty * (b - a)
+    }
+}
+
+/// Fractal Brownian motion: a sum of octaves of [`ValueNoise`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fbm {
+    base: ValueNoise,
+    /// Number of octaves to sum (>= 1).
+    pub octaves: u32,
+    /// Frequency multiplier between octaves (typically 2.0).
+    pub lacunarity: f64,
+    /// Amplitude multiplier between octaves (typically 0.5).
+    pub gain: f64,
+    /// Base frequency applied to input coordinates.
+    pub frequency: f64,
+}
+
+impl Fbm {
+    /// fBm with conventional parameters (4 octaves, lacunarity 2, gain 0.5).
+    pub fn new(seed: u64, frequency: f64) -> Self {
+        Self {
+            base: ValueNoise::new(seed),
+            octaves: 4,
+            lacunarity: 2.0,
+            gain: 0.5,
+            frequency,
+        }
+    }
+
+    /// Builder-style octave override.
+    pub fn with_octaves(mut self, octaves: u32) -> Self {
+        self.octaves = octaves.max(1);
+        self
+    }
+
+    /// Sample the fractal field at `(x, y)`; output is approximately in
+    /// `[-1, 1]` (normalised by the geometric amplitude sum).
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let mut freq = self.frequency;
+        let mut amp = 1.0;
+        let mut total = 0.0;
+        let mut norm = 0.0;
+        for octave in 0..self.octaves {
+            // Offset each octave so lattice artefacts do not align.
+            let off = octave as f64 * 19.19;
+            total += amp * self.base.sample(x * freq + off, y * freq - off);
+            norm += amp;
+            freq *= self.lacunarity;
+            amp *= self.gain;
+        }
+        total / norm
+    }
+
+    /// Sample mapped to `[0, 1]`.
+    #[inline]
+    pub fn sample01(&self, x: f64, y: f64) -> f64 {
+        (self.sample(x, y) * 0.5 + 0.5).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let n1 = ValueNoise::new(99);
+        let n2 = ValueNoise::new(99);
+        for i in 0..100 {
+            let x = i as f64 * 0.37;
+            let y = i as f64 * 0.71;
+            assert_eq!(n1.sample(x, y), n2.sample(x, y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let n1 = ValueNoise::new(1);
+        let n2 = ValueNoise::new(2);
+        let diffs = (0..100)
+            .filter(|&i| {
+                let x = i as f64 * 0.37;
+                (n1.sample(x, x) - n2.sample(x, x)).abs() > 1e-12
+            })
+            .count();
+        assert!(diffs > 90);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let n = ValueNoise::new(5);
+        for i in 0..200 {
+            for j in 0..200 {
+                let v = n.sample(i as f64 * 0.13, j as f64 * 0.17);
+                assert!((-1.0..=1.0).contains(&v), "{v} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_interpolates_lattice_values() {
+        // At integer lattice points the sample equals the lattice hash, so
+        // adjacent samples inside a cell must lie between cell corners'
+        // neighbourhood — check continuity by small-step deltas.
+        let n = ValueNoise::new(7);
+        let mut prev = n.sample(0.0, 0.5);
+        for k in 1..1000 {
+            let cur = n.sample(k as f64 * 0.001, 0.5);
+            assert!((cur - prev).abs() < 0.02, "discontinuity at step {k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn fbm_bounded_and_deterministic() {
+        let f = Fbm::new(3, 0.01).with_octaves(6);
+        for i in 0..100 {
+            let v = f.sample(i as f64 * 3.3, i as f64 * 7.7);
+            assert!((-1.0..=1.0).contains(&v));
+            let u = f.sample01(i as f64 * 3.3, i as f64 * 7.7);
+            assert!((0.0..=1.0).contains(&u));
+            assert!((u - (v * 0.5 + 0.5)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fbm_has_more_detail_than_single_octave() {
+        // Variance of high-frequency differences should be larger with more
+        // octaves (roughness increases).
+        let f1 = Fbm::new(11, 0.05).with_octaves(1);
+        let f6 = Fbm::new(11, 0.05).with_octaves(6);
+        let rough = |f: &Fbm| -> f64 {
+            (0..2000)
+                .map(|i| {
+                    let x = i as f64 * 0.11;
+                    (f.sample(x + 0.05, 0.0) - f.sample(x, 0.0)).abs()
+                })
+                .sum()
+        };
+        assert!(rough(&f6) > rough(&f1));
+    }
+}

@@ -1,0 +1,329 @@
+//! Summary statistics and classification metrics.
+//!
+//! Used by the benchmark harness (latency summaries) and by the deep-learning
+//! evaluation code (confusion matrices, accuracy, per-class F1).
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Compute the `q`-quantile (0 ≤ q ≤ 1) of a sample by linear interpolation.
+/// Returns `None` for an empty sample. The input is copied and sorted.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// A square confusion matrix for `k`-class classification.
+///
+/// Rows are true classes, columns predicted classes.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// A `k`-class matrix with all counts zero.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Record one observation. Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "label out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Count for (truth, predicted).
+    pub fn get(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|i| self.get(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of a class: TP / (TP + FP). 0 if the class is never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.get(class, class);
+        let predicted: u64 = (0..self.k).map(|t| self.get(t, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of a class: TP / (TP + FN). 0 if the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.get(class, class);
+        let actual: u64 = (0..self.k).map(|p| self.get(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// Per-class F1 score.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        if self.k == 0 {
+            return 0.0;
+        }
+        (0..self.k).map(|c| self.f1(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Cohen's kappa — chance-corrected agreement, the standard metric for
+    /// land-cover map accuracy assessment.
+    pub fn kappa(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let po = self.accuracy();
+        let pe: f64 = (0..self.k)
+            .map(|c| {
+                let row: u64 = (0..self.k).map(|p| self.get(c, p)).sum();
+                let col: u64 = (0..self.k).map(|t| self.get(t, c)).sum();
+                (row as f64 / total) * (col as f64 / total)
+            })
+            .sum();
+        if (1.0 - pe).abs() < f64::EPSILON {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Merge another matrix of the same shape into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.k, other.k, "class-count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_matches_closed_form() {
+        let mut acc = Accumulator::new();
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for &x in &data {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_sane() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        // Interpolation between points.
+        assert_eq!(quantile(&[0.0, 10.0], 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn confusion_perfect_classifier() {
+        let mut cm = ConfusionMatrix::new(3);
+        for c in 0..3 {
+            for _ in 0..10 {
+                cm.record(c, c);
+            }
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert!((cm.kappa() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_known_values() {
+        // Binary matrix: TP=40 FN=10 / FP=5 TN=45
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..40 {
+            cm.record(1, 1);
+        }
+        for _ in 0..10 {
+            cm.record(1, 0);
+        }
+        for _ in 0..5 {
+            cm.record(0, 1);
+        }
+        for _ in 0..45 {
+            cm.record(0, 0);
+        }
+        assert!((cm.accuracy() - 0.85).abs() < 1e-12);
+        assert!((cm.precision(1) - 40.0 / 45.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.8).abs() < 1e-12);
+        let f1 = 2.0 * (40.0 / 45.0) * 0.8 / ((40.0 / 45.0) + 0.8);
+        assert!((cm.f1(1) - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_degenerate_classes() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        // Class 2 never appears anywhere.
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn confusion_merge() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(1, 0);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.get(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn confusion_rejects_bad_label() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The Food Security pipeline (application A1) end to end:
+//!
+//! synthetic watershed → a season of Sentinel-2 scenes → temporal crop
+//! classification → field-boundary extraction → PROMET-lite full-year
+//! water balance at 10 m → irrigation advisory as linked data.
+//!
+//! ```text
+//! cargo run --release --example food_security
+//! ```
+
+use extremeearth::datasets::landscape::LandscapeConfig;
+use extremeearth::datasets::optics::{simulate_season, OpticsConfig};
+use extremeearth::datasets::Landscape;
+use extremeearth::food::boundaries::{extract_fields, parcel_recovery};
+use extremeearth::food::cropmap::{classify_landscape, parcel_majority};
+use extremeearth::food::linked::{parcel_features, publish, FARM};
+use extremeearth::food::promet::{demand_by_crop, run as promet, PrometConfig};
+use extremeearth::util::timeline::Date;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The watershed.
+    let world = Landscape::generate(LandscapeConfig {
+        size: 64,
+        parcels_per_side: 8,
+        ..LandscapeConfig::default()
+    })?;
+    println!("watershed: {} parcels", world.parcels.len());
+
+    // A season of acquisitions (every ~45 days, cloud-free for the demo).
+    let dates: Vec<Date> = [60u16, 105, 150, 195, 240, 285]
+        .iter()
+        .map(|&d| Date::from_ordinal(2017, d).expect("valid ordinal"))
+        .collect();
+    let stack = simulate_season(
+        &world,
+        &dates,
+        OpticsConfig {
+            cloud_fraction: 0.0,
+            noise_std: 0.01,
+        },
+        7,
+    )?;
+
+    // Challenge C1: temporal crop classification.
+    let (crop_map, cm) = classify_landscape(&world, &stack, 42)?;
+    println!(
+        "crop map: accuracy {:.1}% | kappa {:.3}",
+        cm.accuracy() * 100.0,
+        cm.kappa()
+    );
+    let fields = parcel_majority(&world, &crop_map);
+    let correct = fields
+        .iter()
+        .filter(|(pid, class)| {
+            world
+                .parcels
+                .iter()
+                .any(|p| p.id == *pid && p.class == *class)
+        })
+        .count();
+    println!(
+        "field-level crop types: {}/{} parcels correct",
+        correct,
+        fields.len()
+    );
+
+    // Field boundaries from the predicted map.
+    let (labels, extracted) = extract_fields(&crop_map, 6);
+    let recovery = parcel_recovery(&world, &labels, &extracted, 0.6);
+    println!(
+        "boundaries: {} fields extracted, {:.0}% of true parcels recovered",
+        extracted.len(),
+        recovery * 100.0
+    );
+
+    // PROMET-lite (ref [10]): full-year water balance at 10 m, with
+    // crop-specific Kc taken from the *predicted* map.
+    let output = promet(&world, &crop_map, PrometConfig::default())?;
+    println!(
+        "water balance: runoff {:.0} mm | snowfall {:.0} mm | year-end basin water {:.2}",
+        output.runoff_mm,
+        output.snowfall_mm,
+        output.daily_basin_water.last().copied().unwrap_or(0.0)
+    );
+    for (crop, demand) in demand_by_crop(&world, &output) {
+        println!("  irrigation demand {:>10}: {demand:.1} mm", crop.name());
+    }
+
+    // Publish as linked data and run the farmer's query.
+    let fc = parcel_features(&world, &crop_map, &output)?;
+    let store = publish(&fc)?;
+    let sol = extremeearth::rdf::exec::query(
+        &store,
+        &format!(
+            "PREFIX farm: <{FARM}> SELECT ?p ?d WHERE {{ \
+             ?p a farm:Parcel ; farm:irrigationDemandMm ?d . FILTER(?d > 10) }} \
+             ORDER BY DESC(?d) LIMIT 5"
+        ),
+    )?;
+    println!("top parcels needing irrigation (> 10 mm): {}", sol.len());
+    for row in &sol.rows {
+        if let (Some(p), Some(d)) = (&row[0], &row[1]) {
+            println!("  {} -> {}", p.ntriples(), d.ntriples());
+        }
+    }
+
+    // Sextant: render the crop map and the peak-stress water map.
+    use extremeearth::sextant::palette::LAND_COVER;
+    use extremeearth::sextant::MapBuilder;
+    let labels: Vec<&str> = extremeearth::datasets::LandClass::ALL
+        .iter()
+        .map(|c| c.name())
+        .collect();
+    let crop_svg = MapBuilder::new()
+        .categorical("crop map", crop_map.clone(), &LAND_COVER, &labels)
+        .render()?;
+    std::fs::write("target/crop_map.svg", &crop_svg)?;
+    let water_svg = MapBuilder::new()
+        .continuous("water availability (day 235)", output.summer_water_availability.clone())
+        .render()?;
+    std::fs::write("target/water_availability.svg", &water_svg)?;
+    println!("maps written: target/crop_map.svg, target/water_availability.svg");
+    Ok(())
+}

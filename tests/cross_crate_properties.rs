@@ -1,0 +1,152 @@
+//! Property-based tests over cross-crate invariants: WKT round trips,
+//! R-tree equivalence with brute force, raster-codec round trips, the
+//! SPARQL engine's indexed/scan agreement, and dataset splits.
+
+use extremeearth::geo::{algorithms, wkt, Envelope, Geometry, Point, Polygon, RTree};
+use extremeearth::raster::raster::GeoTransform;
+use extremeearth::raster::{codec, Raster};
+use extremeearth::rdf::exec::query;
+use extremeearth::rdf::store::IndexMode;
+use extremeearth::rdf::term::Term;
+use extremeearth::rdf::TripleStore;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect_polygon() -> impl Strategy<Value = Polygon> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.1f64..50.0,
+        0.1f64..50.0,
+    )
+        .prop_map(|(x, y, w, h)| Polygon::rectangle(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wkt_roundtrips_points(p in arb_point()) {
+        let g: Geometry = p.into();
+        let text = wkt::to_wkt(&g);
+        let back = wkt::parse_wkt(&text).expect("roundtrip parse");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn wkt_roundtrips_polygons(poly in arb_rect_polygon()) {
+        let g: Geometry = poly.into();
+        let text = wkt::to_wkt(&g);
+        let back = wkt::parse_wkt(&text).expect("roundtrip parse");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn rectangle_intersection_matches_envelope_logic(
+        a in arb_rect_polygon(),
+        b in arb_rect_polygon(),
+    ) {
+        // For axis-aligned rectangles, exact intersection == envelope
+        // intersection; the geometry kernels must agree.
+        let ga: Geometry = a.clone().into();
+        let gb: Geometry = b.clone().into();
+        let exact = algorithms::intersects(&ga, &gb);
+        let bbox = a.envelope().intersects(&b.envelope());
+        prop_assert_eq!(exact, bbox);
+    }
+
+    #[test]
+    fn rtree_matches_brute_force(
+        items in prop::collection::vec(
+            (-500.0f64..500.0, -500.0f64..500.0, 0.1f64..20.0, 0.1f64..20.0),
+            1..200,
+        ),
+        query_box in (-600.0f64..600.0, -600.0f64..600.0, 1.0f64..300.0, 1.0f64..300.0),
+    ) {
+        let envs: Vec<(Envelope, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
+            .collect();
+        let tree = RTree::bulk_load(envs.clone());
+        let q = Envelope::new(query_box.0, query_box.1, query_box.0 + query_box.2, query_box.1 + query_box.3);
+        let mut got: Vec<usize> = tree.search(&q).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = envs
+            .iter()
+            .filter(|(e, _)| e.intersects(&q))
+            .map(|(_, i)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn raster_codec_roundtrips(
+        cols in 1usize..40,
+        rows in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let mut rng = extremeearth::util::Rng::seed_from(seed as u64);
+        let t = GeoTransform::new(0.0, rows as f64, 1.0);
+        let r: Raster<f32> = Raster::from_fn(cols, rows, t, |_, _| rng.f32());
+        let back: Raster<f32> = codec::decode(&codec::encode(&r)).expect("decode");
+        prop_assert_eq!(back, r);
+        // And a label raster (exercises RLE).
+        let l: Raster<u8> = Raster::from_fn(cols, rows, t, |c, _| (c / 7) as u8);
+        let back: Raster<u8> = codec::decode(&codec::encode(&l)).expect("decode");
+        prop_assert_eq!(back, l);
+    }
+
+    #[test]
+    fn sparql_indexed_and_scan_agree(
+        triples in prop::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..120),
+        filter_min in 0u8..12,
+    ) {
+        let build = |mode: IndexMode| {
+            let mut st = TripleStore::new(mode);
+            for &(s, p, o) in &triples {
+                st.insert(
+                    &Term::iri(format!("http://e/s{s}")),
+                    &Term::iri(format!("http://e/p{p}")),
+                    &Term::integer(o as i64),
+                );
+            }
+            st
+        };
+        let q = format!(
+            "PREFIX e: <http://e/> SELECT ?s ?o WHERE {{ ?s e:p1 ?o . FILTER(?o >= {filter_min}) }} ORDER BY ?o"
+        );
+        let normalize = |st: &TripleStore| {
+            let sol = query(st, &q).expect("query");
+            let mut rows: Vec<String> = sol.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(normalize(&build(IndexMode::Full)), normalize(&build(IndexMode::Scan)));
+    }
+
+    #[test]
+    fn stratified_split_partitions_everything(
+        n in 20usize..300,
+        frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = extremeearth::util::Rng::seed_from(seed);
+        let labels: Vec<usize> = (0..n).map(|_| rng.range(0, 4)).collect();
+        let x = extremeearth::tensor::Tensor::full(&[n, 2], 1.0);
+        let data = extremeearth::dl::Dataset::new(x, labels).expect("dataset");
+        let (train, test) = data.split(frac, seed).expect("split");
+        prop_assert_eq!(train.len() + test.len(), n);
+        // Per-class counts preserved.
+        for class in 0..4 {
+            let total = data.labels.iter().filter(|&&y| y == class).count();
+            let tr = train.labels.iter().filter(|&&y| y == class).count();
+            let te = test.labels.iter().filter(|&&y| y == class).count();
+            prop_assert_eq!(tr + te, total);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration of the Food Security pipeline (A1): synthetic
+//! world → optical season → temporal classification → boundaries →
+//! PROMET-lite → linked data, crossing six crates.
+
+use extremeearth::datasets::landscape::LandscapeConfig;
+use extremeearth::datasets::optics::{simulate_season, OpticsConfig};
+use extremeearth::datasets::Landscape;
+use extremeearth::food::boundaries::{extract_fields, parcel_recovery};
+use extremeearth::food::cropmap::classify_landscape;
+use extremeearth::food::linked::{parcel_features, publish, FARM};
+use extremeearth::food::promet::{run as promet, PrometConfig};
+use extremeearth::util::timeline::Date;
+
+fn world() -> Landscape {
+    Landscape::generate(LandscapeConfig {
+        size: 48,
+        parcels_per_side: 5,
+        seed: 20170101,
+        ..LandscapeConfig::default()
+    })
+    .expect("world")
+}
+
+#[test]
+fn full_pipeline_produces_consistent_artifacts() {
+    let world = world();
+    let dates: Vec<Date> = [60u16, 105, 150, 195, 240, 285]
+        .iter()
+        .map(|&d| Date::from_ordinal(2017, d).expect("valid"))
+        .collect();
+    let stack = simulate_season(
+        &world,
+        &dates,
+        OpticsConfig {
+            cloud_fraction: 0.0,
+            noise_std: 0.01,
+        },
+        7,
+    )
+    .expect("season");
+
+    // Classification on real model output (not truth).
+    let (crop_map, cm) = classify_landscape(&world, &stack, 42).expect("classify");
+    assert!(cm.accuracy() > 0.7, "accuracy {}", cm.accuracy());
+
+    // Boundaries from the predicted map recover most parcels.
+    let (labels, fields) = extract_fields(&crop_map, 6);
+    let recovery = parcel_recovery(&world, &labels, &fields, 0.6);
+    assert!(recovery > 0.6, "recovery {recovery}");
+
+    // Water balance driven by the *predicted* crop map.
+    let output = promet(&world, &crop_map, PrometConfig::default()).expect("promet");
+    assert_eq!(output.daily_basin_water.len(), 365);
+    assert!(output.runoff_mm > 0.0);
+
+    // Linked-data publication is complete and queryable.
+    let fc = parcel_features(&world, &crop_map, &output).expect("features");
+    assert_eq!(fc.len(), world.parcels.len());
+    let store = publish(&fc).expect("publish");
+    let sol = extremeearth::rdf::exec::query(
+        &store,
+        &format!("PREFIX farm: <{FARM}> SELECT (COUNT(?p) AS ?n) WHERE {{ ?p a farm:Parcel }}"),
+    )
+    .expect("query");
+    assert_eq!(
+        sol.scalar(),
+        Some(&extremeearth::rdf::term::Term::integer(
+            world.parcels.len() as i64
+        ))
+    );
+}
+
+#[test]
+fn cloudy_season_still_classifies_with_median_compositing_features() {
+    // Clouds degrade but do not break the pipeline (robustness check).
+    let world = world();
+    let dates: Vec<Date> = [60u16, 105, 150, 195, 240, 285]
+        .iter()
+        .map(|&d| Date::from_ordinal(2017, d).expect("valid"))
+        .collect();
+    let cloudy = simulate_season(
+        &world,
+        &dates,
+        OpticsConfig {
+            cloud_fraction: 0.25,
+            noise_std: 0.015,
+        },
+        11,
+    )
+    .expect("season");
+    let (_, cm) = classify_landscape(&world, &cloudy, 43).expect("classify");
+    assert!(
+        cm.accuracy() > 0.45,
+        "cloudy-season accuracy collapsed: {}",
+        cm.accuracy()
+    );
+}
+
+#[test]
+fn crop_specific_model_differentiates_demand_by_crop() {
+    let world = world();
+    let specific = promet(&world, &world.truth, PrometConfig::default()).expect("promet");
+    let constant = promet(
+        &world,
+        &world.truth,
+        PrometConfig {
+            crop_specific_kc: false,
+            ..PrometConfig::default()
+        },
+    )
+    .expect("promet const");
+    let spread = |o: &extremeearth::food::promet::PrometOutput| {
+        let d = extremeearth::food::promet::demand_by_crop(&world, o);
+        let vals: Vec<f64> = d.iter().map(|(_, v)| *v).collect();
+        vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    assert!(spread(&specific) > spread(&constant));
+}

@@ -1,0 +1,93 @@
+//! End-to-end integration of the Polar pipeline (A2): ice world → SAR →
+//! classification → 1 km products → icebergs → semantic catalogue →
+//! PCDSS, crossing five crates.
+
+use extremeearth::catalogue::SemanticCatalogue;
+use extremeearth::datasets::seaice::{IceWorld, IceWorldConfig};
+use extremeearth::polar::icebergs::{detect, score_detections, DetectorConfig, Tracker};
+use extremeearth::polar::icemap::{
+    mae, products_from_map, stage_confusion, truth_masks, IceMapper,
+};
+use extremeearth::polar::linked::{publish_ice_extents, publish_tracks};
+use extremeearth::polar::pcdss::{decode_bundle, encode_bundle};
+use extremeearth::util::timeline::Date;
+
+fn world() -> IceWorld {
+    IceWorld::generate(IceWorldConfig {
+        size: 80,
+        days: 6,
+        icebergs: 5,
+        ..IceWorldConfig::default()
+    })
+    .expect("ice world")
+}
+
+#[test]
+fn classification_products_and_delivery_cohere() {
+    let world = world();
+    let day0 = Date::new(2017, 2, 10).expect("valid");
+    let train: Vec<_> = (0..3)
+        .map(|d| {
+            (
+                world
+                    .simulate_sar(d, day0.plus_days(d as u32), 100 + d as u64)
+                    .expect("sar"),
+                world.truth(d),
+            )
+        })
+        .collect();
+    let refs: Vec<(&extremeearth::raster::Scene, &extremeearth::raster::Raster<u8>)> =
+        train.iter().map(|(s, t)| (s, t)).collect();
+    let mut mapper = IceMapper::train(&refs, 2000, 25, 7).expect("train");
+    let scene = world.simulate_sar(5, day0.plus_days(5), 999).expect("sar");
+    let predicted = mapper.predict_map(&scene).expect("predict");
+    let (truth, leads, ridges) = truth_masks(&world, 5);
+    let cm = stage_confusion(&predicted, &truth);
+    assert!(cm.accuracy() > 0.5, "stage accuracy {}", cm.accuracy());
+
+    // 1 km products agree with truth products closely.
+    let p_pred = products_from_map(&predicted, &leads, &ridges, 20);
+    let p_true = products_from_map(&truth, &leads, &ridges, 20);
+    assert!(mae(&p_pred.concentration, &p_true.concentration) < 0.15);
+
+    // PCDSS roundtrip preserves the concentration within quantisation.
+    let bundle = encode_bundle(&p_pred, 1_000_000).expect("encode");
+    let (conc, stage, _) = decode_bundle(&bundle).expect("decode");
+    assert_eq!(conc.shape(), p_pred.concentration.shape());
+    assert_eq!(stage.shape(), p_pred.stage.shape());
+}
+
+#[test]
+fn detection_tracking_catalogue_loop() {
+    let world = world();
+    let day0 = Date::new(2017, 2, 10).expect("valid");
+    let mut tracker = Tracker::new(6.0);
+    let mut total_tp = 0usize;
+    let mut total_truth = 0usize;
+    for d in 0..world.config.days {
+        let scene = world
+            .simulate_sar(d, day0.plus_days(d as u32), 5 + d as u64)
+            .expect("sar");
+        let detections = detect(&scene, DetectorConfig::default()).expect("detect");
+        let truth_positions = world.iceberg_positions(d);
+        let (tp, _, _) = score_detections(&detections, &truth_positions, 3.0);
+        total_tp += tp;
+        total_truth += truth_positions.len();
+        tracker.step(d, &detections);
+    }
+    let detection_recall = total_tp as f64 / total_truth as f64;
+    assert!(detection_recall > 0.6, "detection recall {detection_recall}");
+
+    let confirmed = tracker.confirmed(3);
+    assert!(!confirmed.is_empty());
+
+    let mut catalogue = SemanticCatalogue::new();
+    publish_tracks(&mut catalogue, &confirmed, world.transform(), day0).expect("tracks");
+    publish_ice_extents(&mut catalogue, &world, "Barrier", day0).expect("extents");
+    catalogue.finish_ingest();
+    let (count, when) = catalogue.iceberg_question("Barrier", 2017).expect("question");
+    assert!(when.year() == 2017);
+    assert!(count > 0, "the pipeline's knowledge answers the marquee query");
+    // And 2016 has no observations.
+    assert!(catalogue.iceberg_question("Barrier", 2016).is_err());
+}
