@@ -1,12 +1,17 @@
-//! The experiment harness: regenerates every E1–E12 table.
+//! The experiment harness: regenerates every E1–E12 table plus the E-k0
+//! kernel-throughput table.
 //!
 //! ```text
-//! harness               # run everything at Quick scale
-//! harness --full        # the EXPERIMENTS.md scale
-//! harness e2 e3 --full  # selected experiments
+//! harness                 # run everything at Quick scale
+//! harness --full          # the EXPERIMENTS.md scale
+//! harness e2 e3 --full    # selected experiments
+//! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
 //! ```
+//!
+//! The `kernels` experiment additionally writes its numbers to
+//! `BENCH_PR1.json` in the current directory.
 
-use ee_bench::{run, Scale, ALL};
+use ee_bench::{kernels, run, Scale, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +37,23 @@ fn main() {
     for id in ids {
         eprintln!("[harness] running {id} ...");
         let start = std::time::Instant::now();
+        if id == "kernels" {
+            // Runs once; the same numbers feed the table and the JSON.
+            let (tables, json) = kernels::report(scale);
+            for t in tables {
+                println!("{}", t.markdown());
+            }
+            let path = "BENCH_PR1.json";
+            match std::fs::write(path, json.emit_pretty() + "\n") {
+                Ok(()) => eprintln!("[harness] wrote {path}"),
+                Err(e) => eprintln!("[harness] could not write {path}: {e}"),
+            }
+            eprintln!(
+                "[harness] {id} done in {:.1}s",
+                start.elapsed().as_secs_f64()
+            );
+            continue;
+        }
         match run(id, scale) {
             Some(tables) => {
                 for t in tables {

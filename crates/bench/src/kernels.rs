@@ -1,0 +1,285 @@
+//! E-k0 — kernel throughput: the parallel cache-blocked compute kernels
+//! against their serial references.
+//!
+//! Times the two hot kernels the E4/E5 experiments sit on:
+//!
+//! * dense matmul (512³, the shape class of the MLP layers), tiled +
+//!   row-parallel vs the naive serial reference;
+//! * the E5-shaped convolution batch (32×13×8×8 patches, 16 filters of
+//!   3×3, pad 1), forward and backward, batch-parallel with the fast
+//!   im2col vs the original per-sample shared-buffer formulation.
+//!
+//! Every variant here is bit-identical to its reference (proven by the
+//! `parallel_identity` tests in ee-tensor); this module measures what the
+//! identity costs. [`report`] also returns the numbers as a JSON value,
+//! which the harness writes to `BENCH_PR1.json`.
+
+use crate::table::{fmt_f64, fmt_secs, Table};
+use crate::Scale;
+use ee_tensor::kernels::{
+    conv2d_backward_ref, conv2d_backward_with_threads, conv2d_forward_ref,
+    conv2d_forward_with_threads,
+};
+use ee_tensor::matmul::{matmul_into, matmul_serial_ref};
+use ee_tensor::Tensor;
+use ee_util::json::Json;
+use ee_util::Rng;
+
+/// Thread counts reported per kernel.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed invocation.
+fn time_once(f: &mut impl FnMut()) -> f64 {
+    let t = std::time::Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+fn rand_vec(rng: &mut Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.f32() - 0.5).collect()
+}
+
+struct Variant {
+    label: String,
+    threads: Option<usize>,
+    secs: f64,
+    gflops: f64,
+    speedup: f64,
+}
+
+fn variant_rows(table: &mut Table, kernel: &str, variants: &[Variant]) {
+    for v in variants {
+        table.row(vec![
+            kernel.to_string(),
+            v.label.clone(),
+            fmt_secs(v.secs),
+            fmt_f64(v.gflops),
+            format!("{:.2}x", v.speedup),
+        ]);
+    }
+}
+
+fn variant_json(variants: &[Variant]) -> Json {
+    Json::Arr(
+        variants
+            .iter()
+            .map(|v| {
+                let mut pairs = vec![("label", Json::Str(v.label.clone()))];
+                if let Some(t) = v.threads {
+                    pairs.push(("threads", Json::Num(t as f64)));
+                }
+                pairs.push(("secs", Json::Num(v.secs)));
+                pairs.push(("gflops", Json::Num(v.gflops)));
+                pairs.push(("speedup_vs_serial", Json::Num(v.speedup)));
+                Json::obj(pairs)
+            })
+            .collect(),
+    )
+}
+
+/// Serial reference plus the parallel kernel at each thread count.
+///
+/// Measurements are interleaved round-robin (serial, t=1, t=2, ... per
+/// round, minimum over rounds) so a transiently slow machine window —
+/// frequency scaling, a noisy neighbour — degrades every variant alike
+/// instead of skewing whichever one it landed on.
+fn sweep(
+    reps: usize,
+    flops: f64,
+    mut serial: impl FnMut(),
+    mut parallel: impl FnMut(usize),
+) -> Vec<Variant> {
+    // Untimed warm-up (also pre-faults output pages).
+    serial();
+    for &t in &THREADS {
+        parallel(t);
+    }
+    let mut best = [f64::INFINITY; 1 + THREADS.len()];
+    for _ in 0..reps {
+        best[0] = best[0].min(time_once(&mut serial));
+        for (i, &t) in THREADS.iter().enumerate() {
+            best[1 + i] = best[1 + i].min(time_once(&mut || parallel(t)));
+        }
+    }
+    let base = best[0];
+    let mut out = vec![Variant {
+        label: "serial-ref".to_string(),
+        threads: None,
+        secs: base,
+        gflops: flops / base / 1e9,
+        speedup: 1.0,
+    }];
+    for (i, &t) in THREADS.iter().enumerate() {
+        let secs = best[1 + i];
+        out.push(Variant {
+            label: format!("parallel t={t}"),
+            threads: Some(t),
+            secs,
+            gflops: flops / secs / 1e9,
+            speedup: base / secs,
+        });
+    }
+    out
+}
+
+/// Run the kernel benchmarks; returns the markdown table and the same
+/// numbers as a JSON document for `BENCH_PR1.json`.
+pub fn report(scale: Scale) -> (Vec<Table>, Json) {
+    let reps = match scale {
+        Scale::Quick => 5,
+        Scale::Full => 25,
+    };
+    let mut rng = Rng::seed_from(0xBE7C);
+
+    // Matmul: 512³, the shape class of the E4 MLP layers.
+    let (m, k, n) = (512, 512, 512);
+    let a = rand_vec(&mut rng, m * k);
+    let b = rand_vec(&mut rng, k * n);
+    let mut out_serial = vec![0.0f32; m * n];
+    let mut out_par = vec![0.0f32; m * n];
+    let mm_flops = 2.0 * (m * k * n) as f64;
+    let mm = sweep(
+        reps,
+        mm_flops,
+        || matmul_serial_ref(&a, &b, &mut out_serial, m, k, n),
+        |t| matmul_into(&a, &b, &mut out_par, m, k, n, t),
+    );
+
+    // Convolution: the E5 sea-ice patch batch. 32 patches of 13 bands at
+    // 8×8, 16 filters of 3×3, pad 1 → rows = 13*9 = 117, OH*OW = 64.
+    let (cn, cc, ch, cw, cf, ck, pad) = (32, 13, 8, 8, 16, 3, 1);
+    let x = Tensor::from_vec(&[cn, cc, ch, cw], rand_vec(&mut rng, cn * cc * ch * cw)).unwrap();
+    let weight = Tensor::from_vec(&[cf, cc, ck, ck], rand_vec(&mut rng, cf * cc * ck * ck)).unwrap();
+    let bias = Tensor::from_vec(&[cf], rand_vec(&mut rng, cf)).unwrap();
+    let rows = cc * ck * ck;
+    let ohw = ch * cw; // pad 1, 3×3 → same spatial size
+    let fwd_flops = 2.0 * (cn * cf * rows * ohw) as f64;
+    let fwd = sweep(
+        reps,
+        fwd_flops,
+        || {
+            conv2d_forward_ref(&x, &weight, &bias, pad).unwrap();
+        },
+        |t| {
+            conv2d_forward_with_threads(&x, &weight, &bias, pad, t).unwrap();
+        },
+    );
+
+    let dout = Tensor::from_vec(&[cn, cf, ch, cw], rand_vec(&mut rng, cn * cf * ohw)).unwrap();
+    // dW (A·colsᵀ) and dcols (Wᵀ·dout) are each a full matmul per sample.
+    let bwd_flops = 4.0 * (cn * cf * rows * ohw) as f64;
+    let bwd = sweep(
+        reps,
+        bwd_flops,
+        || {
+            conv2d_backward_ref(&x, &weight, &dout, pad).unwrap();
+        },
+        |t| {
+            conv2d_backward_with_threads(&x, &weight, &dout, pad, t).unwrap();
+        },
+    );
+
+    let mut table = Table::new(
+        "E-k0 — kernel throughput (parallel cache-blocked vs serial reference)",
+        "The hot kernels under E4/E5, rebuilt on the ee-util parallel runtime. \
+         Every parallel variant is bit-identical to serial-ref; speedup is \
+         time(serial-ref) / time(variant). Worker counts are adaptive: a \
+         kernel clamps to fewer workers when the problem is too small to \
+         amortise thread spawn, so t=N rows converge for small shapes.",
+        &["kernel", "variant", "time", "GFLOP/s", "speedup"],
+    );
+    variant_rows(&mut table, &format!("matmul {m}x{k}x{n}"), &mm);
+    variant_rows(
+        &mut table,
+        &format!("conv2d fwd {cn}x{cc}x{ch}x{cw} f{cf} k{ck} p{pad}"),
+        &fwd,
+    );
+    variant_rows(
+        &mut table,
+        &format!("conv2d bwd {cn}x{cc}x{ch}x{cw} f{cf} k{ck} p{pad}"),
+        &bwd,
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("pr1-kernels".to_string())),
+        (
+            "scale",
+            Json::Str(if scale == Scale::Full { "full" } else { "quick" }.to_string()),
+        ),
+        (
+            "host_threads",
+            Json::Num(ee_util::par::available_threads() as f64),
+        ),
+        (
+            "matmul",
+            Json::obj(vec![
+                ("m", Json::Num(m as f64)),
+                ("k", Json::Num(k as f64)),
+                ("n", Json::Num(n as f64)),
+                ("flops", Json::Num(mm_flops)),
+                ("variants", variant_json(&mm)),
+            ]),
+        ),
+        (
+            "conv2d_forward",
+            Json::obj(vec![
+                ("batch", Json::Num(cn as f64)),
+                ("channels", Json::Num(cc as f64)),
+                ("hw", Json::Num(ch as f64)),
+                ("filters", Json::Num(cf as f64)),
+                ("kernel", Json::Num(ck as f64)),
+                ("pad", Json::Num(pad as f64)),
+                ("flops", Json::Num(fwd_flops)),
+                ("variants", variant_json(&fwd)),
+            ]),
+        ),
+        (
+            "conv2d_backward",
+            Json::obj(vec![
+                ("batch", Json::Num(cn as f64)),
+                ("channels", Json::Num(cc as f64)),
+                ("hw", Json::Num(ch as f64)),
+                ("filters", Json::Num(cf as f64)),
+                ("kernel", Json::Num(ck as f64)),
+                ("pad", Json::Num(pad as f64)),
+                ("flops", Json::Num(bwd_flops)),
+                ("variants", variant_json(&bwd)),
+            ]),
+        ),
+    ]);
+    (vec![table], json)
+}
+
+/// Experiment-suite entry point (drops the JSON half of [`report`]).
+pub fn run(scale: Scale) -> Vec<Table> {
+    report(scale).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_positivity() {
+        let (tables, json) = report(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        // serial-ref + 4 thread counts, for 3 kernels.
+        assert_eq!(t.rows.len(), 3 * (1 + THREADS.len()));
+        for section in ["matmul", "conv2d_forward", "conv2d_backward"] {
+            let variants = json
+                .get(section)
+                .and_then(|s| s.get("variants"))
+                .and_then(Json::as_arr)
+                .unwrap();
+            assert_eq!(variants.len(), 1 + THREADS.len());
+            for v in variants {
+                assert!(v.get("gflops").unwrap().as_f64().unwrap() > 0.0);
+                assert!(v.get("speedup_vs_serial").unwrap().as_f64().unwrap() > 0.0);
+            }
+        }
+        // The document parses back from its own emission.
+        let text = json.emit_pretty();
+        ee_util::json::parse(&text).unwrap();
+    }
+}

@@ -2,12 +2,15 @@
 //! The experiment suite E1–E12: every quantitative claim the paper makes,
 //! regenerated at laptop scale.
 //!
-//! Each experiment module exposes a `run(scale) -> Table` used by both the
-//! `harness` binary (which prints the EXPERIMENTS.md tables) and the
-//! criterion benches (which time the hot kernels). The [`table::Table`]
-//! type renders GitHub-flavoured markdown.
+//! Each experiment module exposes a `run(scale) -> Vec<Table>` used by the
+//! `harness` binary, which prints the EXPERIMENTS.md tables. The extra
+//! [`kernels`] experiment (`E-k0`) times the parallel compute kernels
+//! against their serial references and doubles as the `BENCH_PR1.json`
+//! generator. The [`table::Table`] type renders GitHub-flavoured markdown.
 
 pub mod table;
+
+pub mod kernels;
 
 pub mod e1_extraction;
 pub mod e2_selection;
@@ -32,8 +35,8 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels",
 ];
 
 /// Run one experiment by id.
@@ -51,6 +54,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e10" => Some(e10_hopsfs::run(scale)),
         "e11" => Some(e11_water::run(scale)),
         "e12" => Some(e12_seaice::run(scale)),
+        "kernels" => Some(kernels::run(scale)),
         _ => None,
     }
 }

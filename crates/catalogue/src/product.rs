@@ -1,12 +1,12 @@
 //! Product metadata and the synthetic metadata generator.
 
 use ee_geo::{Envelope, Point, Polygon};
+use ee_util::json::Json;
 use ee_util::timeline::Date;
 use ee_util::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A Copernicus-like product record.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Product {
     /// Product identifier, e.g. `S2A_MSIL1C_2017182_T34SGH_0042`.
     pub id: String,
@@ -48,6 +48,71 @@ impl Product {
     /// Footprint bounding box.
     pub fn envelope(&self) -> Envelope {
         self.polygon().envelope()
+    }
+
+    /// Serialise to a JSON value ([`ee_util::json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("mission", Json::Str(self.mission.clone())),
+            ("platform", Json::Str(self.platform.clone())),
+            ("product_type", Json::Str(self.product_type.clone())),
+            ("sensing_year", Json::Num(self.sensing_year as f64)),
+            ("sensing_doy", Json::Num(self.sensing_doy as f64)),
+            (
+                "footprint",
+                Json::Arr(
+                    self.footprint
+                        .iter()
+                        .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                        .collect(),
+                ),
+            ),
+            ("cloud_cover", Json::Num(self.cloud_cover)),
+            ("size_bytes", Json::Num(self.size_bytes as f64)),
+        ])
+    }
+
+    /// Parse a product back from the JSON shape produced by [`Self::to_json`].
+    pub fn from_json(v: &Json) -> Result<Product, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+        };
+        let footprint = v
+            .get("footprint")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing or non-array field `footprint`".to_string())?
+            .iter()
+            .map(|pt| {
+                let pair = pt.as_arr().filter(|p| p.len() == 2);
+                match pair {
+                    Some(p) => match (p[0].as_f64(), p[1].as_f64()) {
+                        (Some(x), Some(y)) => Ok((x, y)),
+                        _ => Err("non-numeric footprint coordinate".to_string()),
+                    },
+                    None => Err("footprint entry is not a [x, y] pair".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Product {
+            id: str_field("id")?,
+            mission: str_field("mission")?,
+            platform: str_field("platform")?,
+            product_type: str_field("product_type")?,
+            sensing_year: num_field("sensing_year")? as i32,
+            sensing_doy: num_field("sensing_doy")? as u16,
+            footprint,
+            cloud_cover: num_field("cloud_cover")?,
+            size_bytes: num_field("size_bytes")? as u64,
+        })
     }
 }
 
@@ -181,10 +246,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let p = generator().next_product();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Product = serde_json::from_str(&json).unwrap();
+        let text = p.to_json().emit();
+        let back = Product::from_json(&ee_util::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_rejects_malformed_records() {
+        assert!(Product::from_json(&ee_util::json::parse("{}").unwrap()).is_err());
+        let mut v = generator().next_product().to_json();
+        if let ee_util::json::Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "footprint");
+        }
+        assert!(Product::from_json(&v).is_err());
     }
 }

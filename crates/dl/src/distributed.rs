@@ -248,22 +248,18 @@ pub fn train_data_parallel(
                 start = end;
             }
             // Each worker: replicate the model, compute shard gradients.
-            let results: Vec<(f32, Vec<f32>, usize)> = crossbeam::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        let mut replica = model.clone();
-                        scope.spawn(move |_| {
-                            let loss = replica
-                                .compute_gradients(&shard.x, &shard.labels)
-                                .expect("worker gradients");
-                            (loss, replica.flat_grads(), shard.len())
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
-            })
-            .expect("scope");
+            // `par::map` returns shard results in shard order, so the
+            // weighted average below reduces in a fixed order no matter
+            // which worker finishes first.
+            let model_ref: &Sequential = model;
+            let results: Vec<(f32, Vec<f32>, usize)> =
+                ee_util::par::map(&shards, shards.len(), |_, shard| {
+                    let mut replica = model_ref.clone();
+                    let loss = replica
+                        .compute_gradients(&shard.x, &shard.labels)
+                        .expect("worker gradients");
+                    (loss, replica.flat_grads(), shard.len())
+                });
             // Allreduce arithmetic: sample-weighted mean of shard grads.
             let total: usize = results.iter().map(|(_, _, n)| n).sum();
             let mut avg = vec![0.0f32; model.num_params()];

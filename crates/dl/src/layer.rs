@@ -224,7 +224,11 @@ impl Layer {
                 let x = cache
                     .as_ref()
                     .ok_or_else(|| DlError::Data("backward before forward".into()))?;
-                *dweight = x.transpose()?.matmul(dout)?;
+                // The cached input is usually a post-ReLU/dropout
+                // activation with many structural zeros, so xᵀ has sparse
+                // rows: the zero-skipping kernel wins here and stays
+                // bit-identical to the dense one on finite inputs.
+                *dweight = x.transpose()?.matmul_sparse(dout)?;
                 let k = dout.shape()[1];
                 let mut db = Tensor::zeros(&[k]);
                 for (i, v) in dout.data().iter().enumerate() {

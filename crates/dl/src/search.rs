@@ -105,17 +105,11 @@ pub fn run_search(
     val: &Dataset,
     seed: u64,
 ) -> Result<Vec<TrialResult>, DlError> {
-    let results: Vec<Result<TrialResult, DlError>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .enumerate()
-            .map(|(i, &config)| {
-                scope.spawn(move |_| run_trial(config, train, val, seed ^ (i as u64 * 0x9E37)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial")).collect()
-    })
-    .expect("search scope");
+    let threads = ee_util::par::available_threads().min(configs.len()).max(1);
+    let results: Vec<Result<TrialResult, DlError>> =
+        ee_util::par::map(configs, threads, |i, &config| {
+            run_trial(config, train, val, seed ^ (i as u64 * 0x9E37))
+        });
     results.into_iter().collect()
 }
 

@@ -1,128 +1,158 @@
 //! Property-based tests over the geometry kernels.
+//!
+//! Each property is exercised over 128 deterministic random cases drawn
+//! from a seeded [`ee_util::Rng`] (no external property-test framework,
+//! so the workspace builds offline). Failures print the case index so a
+//! failing draw can be replayed exactly.
 
 use ee_geo::{algorithms, wkt, Envelope, Geometry, LineString, Point, Polygon};
-use proptest::prelude::*;
+use ee_util::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 128;
+
+fn random_point(rng: &mut Rng) -> Point {
+    Point::new(rng.range_f64(-100.0, 100.0), rng.range_f64(-100.0, 100.0))
 }
 
 /// A random simple polygon: a star-shaped ring around a centre.
-fn arb_star_polygon() -> impl Strategy<Value = Polygon> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        3usize..24,
-        proptest::collection::vec(0.5f64..5.0, 24),
-    )
-        .prop_map(|(cx, cy, vertices, radii)| {
-            let pts: Vec<Point> = (0..vertices)
-                .map(|k| {
-                    let theta = k as f64 / vertices as f64 * std::f64::consts::TAU;
-                    let r = radii[k % radii.len()];
-                    Point::new(cx + r * theta.cos(), cy + r * theta.sin())
-                })
-                .collect();
-            Polygon::from_exterior(pts).expect("star ring is valid")
+fn random_star_polygon(rng: &mut Rng) -> Polygon {
+    let cx = rng.range_f64(-50.0, 50.0);
+    let cy = rng.range_f64(-50.0, 50.0);
+    let vertices = rng.range(3, 24);
+    let radii: Vec<f64> = (0..24).map(|_| rng.range_f64(0.5, 5.0)).collect();
+    let pts: Vec<Point> = (0..vertices)
+        .map(|k| {
+            let theta = k as f64 / vertices as f64 * std::f64::consts::TAU;
+            let r = radii[k % radii.len()];
+            Point::new(cx + r * theta.cos(), cy + r * theta.sin())
         })
+        .collect();
+    Polygon::from_exterior(pts).expect("star ring is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn rect_point_containment_matches_envelope(p in arb_point(),
-                                               x0 in -80.0f64..80.0,
-                                               y0 in -80.0f64..80.0,
-                                               w in 0.1f64..40.0,
-                                               h in 0.1f64..40.0) {
+#[test]
+fn rect_point_containment_matches_envelope() {
+    let mut rng = Rng::seed_from(0xEE01);
+    for case in 0..CASES {
+        let p = random_point(&mut rng);
+        let x0 = rng.range_f64(-80.0, 80.0);
+        let y0 = rng.range_f64(-80.0, 80.0);
+        let w = rng.range_f64(0.1, 40.0);
+        let h = rng.range_f64(0.1, 40.0);
         let rect = Polygon::rectangle(x0, y0, x0 + w, y0 + h);
         let env = Envelope::new(x0, y0, x0 + w, y0 + h);
-        prop_assert_eq!(
+        assert_eq!(
             algorithms::point_in_polygon(&p, &rect),
-            env.contains_point(&p)
+            env.contains_point(&p),
+            "case {case}: point {p:?} rect ({x0},{y0})+({w},{h})"
         );
     }
+}
 
-    #[test]
-    fn intersects_is_symmetric(a in arb_star_polygon(), b in arb_star_polygon()) {
-        let ga: Geometry = a.into();
-        let gb: Geometry = b.into();
-        prop_assert_eq!(algorithms::intersects(&ga, &gb), algorithms::intersects(&gb, &ga));
+#[test]
+fn intersects_is_symmetric() {
+    let mut rng = Rng::seed_from(0xEE02);
+    for case in 0..CASES {
+        let ga: Geometry = random_star_polygon(&mut rng).into();
+        let gb: Geometry = random_star_polygon(&mut rng).into();
+        assert_eq!(
+            algorithms::intersects(&ga, &gb),
+            algorithms::intersects(&gb, &ga),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn distance_is_symmetric_and_zero_iff_intersecting(
-        a in arb_star_polygon(),
-        b in arb_star_polygon(),
-    ) {
-        let ga: Geometry = a.into();
-        let gb: Geometry = b.into();
+#[test]
+fn distance_is_symmetric_and_zero_iff_intersecting() {
+    let mut rng = Rng::seed_from(0xEE03);
+    for case in 0..CASES {
+        let ga: Geometry = random_star_polygon(&mut rng).into();
+        let gb: Geometry = random_star_polygon(&mut rng).into();
         let dab = algorithms::distance(&ga, &gb);
         let dba = algorithms::distance(&gb, &ga);
-        prop_assert!((dab - dba).abs() < 1e-9);
-        prop_assert_eq!(dab == 0.0, algorithms::intersects(&ga, &gb));
-        prop_assert!(dab >= 0.0);
+        assert!((dab - dba).abs() < 1e-9, "case {case}: {dab} vs {dba}");
+        assert_eq!(dab == 0.0, algorithms::intersects(&ga, &gb), "case {case}");
+        assert!(dab >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn contains_implies_intersects_and_envelope_containment(
-        a in arb_star_polygon(),
-        b in arb_star_polygon(),
-    ) {
+#[test]
+fn contains_implies_intersects_and_envelope_containment() {
+    let mut rng = Rng::seed_from(0xEE04);
+    for case in 0..CASES {
+        let a = random_star_polygon(&mut rng);
+        let b = random_star_polygon(&mut rng);
         let ga: Geometry = a.clone().into();
         let gb: Geometry = b.clone().into();
         if algorithms::contains(&ga, &gb) {
-            prop_assert!(algorithms::intersects(&ga, &gb));
-            prop_assert!(a.envelope().contains_envelope(&b.envelope()));
-            prop_assert!(algorithms::area(&ga) >= algorithms::area(&gb) - 1e-9);
+            assert!(algorithms::intersects(&ga, &gb), "case {case}");
+            assert!(
+                a.envelope().contains_envelope(&b.envelope()),
+                "case {case}"
+            );
+            assert!(
+                algorithms::area(&ga) >= algorithms::area(&gb) - 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn convex_hull_contains_every_input_point(
-        pts in proptest::collection::vec(arb_point(), 3..60),
-    ) {
+#[test]
+fn convex_hull_contains_every_input_point() {
+    let mut rng = Rng::seed_from(0xEE05);
+    for case in 0..CASES {
+        let n = rng.range(3, 60);
+        let pts: Vec<Point> = (0..n).map(|_| random_point(&mut rng)).collect();
         if let Some(hull) = algorithms::convex_hull(&pts) {
             let poly = Polygon::new(hull, vec![]).expect("hull ring");
             for p in &pts {
-                prop_assert!(
+                assert!(
                     algorithms::point_in_polygon(p, &poly),
-                    "hull must contain {p:?}"
+                    "case {case}: hull must contain {p:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn simplify_keeps_endpoints_and_never_grows(
-        pts in proptest::collection::vec(arb_point(), 2..40),
-        eps in 0.0f64..10.0,
-    ) {
-        let line = LineString::new(pts.clone()).expect(">= 2 points");
+#[test]
+fn simplify_keeps_endpoints_and_never_grows() {
+    let mut rng = Rng::seed_from(0xEE06);
+    for case in 0..CASES {
+        let n = rng.range(2, 40);
+        let pts: Vec<Point> = (0..n).map(|_| random_point(&mut rng)).collect();
+        let eps = rng.range_f64(0.0, 10.0);
+        let line = LineString::new(pts).expect(">= 2 points");
         let s = algorithms::simplify(&line, eps);
-        prop_assert!(s.points.len() <= line.points.len());
-        prop_assert_eq!(s.points.first(), line.points.first());
-        prop_assert_eq!(s.points.last(), line.points.last());
+        assert!(s.points.len() <= line.points.len(), "case {case}");
+        assert_eq!(s.points.first(), line.points.first(), "case {case}");
+        assert_eq!(s.points.last(), line.points.last(), "case {case}");
         // Zero tolerance keeps everything.
         let exact = algorithms::simplify(&line, 0.0);
-        prop_assert!(exact.points.len() >= s.points.len());
+        assert!(exact.points.len() >= s.points.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn wkt_roundtrip_star_polygons(poly in arb_star_polygon()) {
-        let g: Geometry = poly.into();
+#[test]
+fn wkt_roundtrip_star_polygons() {
+    let mut rng = Rng::seed_from(0xEE07);
+    for case in 0..CASES {
+        let g: Geometry = random_star_polygon(&mut rng).into();
         let text = wkt::to_wkt(&g);
         let back = wkt::parse_wkt(&text).expect("roundtrip");
-        prop_assert_eq!(back, g);
+        assert_eq!(back, g, "case {case}: {text}");
     }
+}
 
-    #[test]
-    fn polygon_area_is_translation_invariant(
-        poly in arb_star_polygon(),
-        dx in -30.0f64..30.0,
-        dy in -30.0f64..30.0,
-    ) {
+#[test]
+fn polygon_area_is_translation_invariant() {
+    let mut rng = Rng::seed_from(0xEE08);
+    for case in 0..CASES {
+        let poly = random_star_polygon(&mut rng);
+        let dx = rng.range_f64(-30.0, 30.0);
+        let dy = rng.range_f64(-30.0, 30.0);
         let moved = Polygon::from_exterior(
             poly.exterior.points[..poly.exterior.points.len() - 1]
                 .iter()
@@ -130,6 +160,9 @@ proptest! {
                 .collect(),
         )
         .expect("ring still valid");
-        prop_assert!((algorithms::polygon_area(&poly) - algorithms::polygon_area(&moved)).abs() < 1e-6);
+        assert!(
+            (algorithms::polygon_area(&poly) - algorithms::polygon_area(&moved)).abs() < 1e-6,
+            "case {case}"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! (ref \[17\], "Size Matters"). The store counts round trips so experiment
 //! E10 can report the latency model without wall-clock noise.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,7 +36,7 @@ impl BlockStore {
     /// Write a payload as blocks; returns the block ids in order.
     pub fn write(&self, data: &[u8]) -> Vec<u64> {
         let mut ids = Vec::with_capacity(data.len().div_ceil(self.block_size));
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.blocks.lock().expect("block store mutex poisoned");
         for chunk in data.chunks(self.block_size) {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             blocks.insert(id, chunk.to_vec());
@@ -55,7 +55,7 @@ impl BlockStore {
 
     /// Read blocks back in order.
     pub fn read(&self, ids: &[u64]) -> Result<Vec<u8>, FsError> {
-        let blocks = self.blocks.lock();
+        let blocks = self.blocks.lock().expect("block store mutex poisoned");
         let mut out = Vec::new();
         for id in ids {
             let chunk = blocks.get(id).ok_or(FsError::BlockMissing(*id))?;
@@ -67,7 +67,7 @@ impl BlockStore {
 
     /// Drop blocks (file deletion).
     pub fn free(&self, ids: &[u64]) {
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.blocks.lock().expect("block store mutex poisoned");
         for id in ids {
             blocks.remove(id);
         }
@@ -80,7 +80,7 @@ impl BlockStore {
 
     /// Number of live blocks.
     pub fn len(&self) -> usize {
-        self.blocks.lock().len()
+        self.blocks.lock().expect("block store mutex poisoned").len()
     }
 
     /// No live blocks?

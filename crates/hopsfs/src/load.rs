@@ -3,13 +3,13 @@
 //! Reproduces the shape of the HopsFS evaluation (refs \[9\], \[13\]): a
 //! read-dominated industrial op mix driven by many concurrent clients,
 //! with throughput reported against the number of store shards. Real
-//! threads hit the real store; wall-clock time is measured by the caller
-//! (the criterion bench) or by [`run_load`] itself for the harness tables.
+//! threads (one `ee_util::par::fan_out` worker per client) hit the real
+//! store; wall-clock time is measured by [`run_load`] itself for the
+//! harness tables.
 
 use crate::namespace::{FileSystem, FsConfig};
 use crate::FsError;
 use ee_util::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relative weights of the op mix (read-heavy, as in the HopsFS papers).
 #[derive(Debug, Clone, Copy)]
@@ -87,69 +87,66 @@ pub fn run_load(
 ) -> LoadReport {
     assert!(!dirs.is_empty());
     let before = fs.store().stats();
-    let completed = AtomicU64::new(0);
     let start = std::time::Instant::now();
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let completed = &completed;
-            let dirs = &dirs;
-            let fs = &fs;
-            scope.spawn(move |_| {
-                let mut rng = Rng::seed_from(seed ^ (t as u64).wrapping_mul(0x9E37));
-                let weights = [mix.stat, mix.list, mix.read, mix.create, mix.delete, mix.rename];
-                // Per-thread private namespace for mutations avoids
-                // artificial hot-spots on one directory.
-                let own_dir = format!("/bench/t{t:02}");
-                fs.mkdir_p(&own_dir).expect("thread dir");
-                let mut created: Vec<String> = Vec::new();
-                let mut next_file = 0u64;
-                for _ in 0..ops_per_thread {
-                    let dir = &dirs[rng.range(0, dirs.len())];
-                    match rng.weighted_index(&weights).unwrap_or(0) {
-                        0 => {
-                            let _ = fs.stat(&format!("{dir}/f0000"));
-                        }
-                        1 => {
-                            let _ = fs.list(dir);
-                        }
-                        2 => {
-                            let _ = fs.read(&format!("{dir}/f0001"));
-                        }
-                        3 => {
-                            let path = format!("{own_dir}/n{next_file}");
-                            next_file += 1;
-                            if fs.create(&path, b"new-file-payload").is_ok() {
-                                created.push(path);
-                            }
-                        }
-                        4 => {
-                            if let Some(path) = created.pop() {
-                                let _ = fs.delete(&path);
-                            } else {
-                                let _ = fs.stat(&format!("{dir}/f0002"));
-                            }
-                        }
-                        _ => {
-                            if let Some(path) = created.pop() {
-                                let to = format!("{own_dir}/r{next_file}");
-                                next_file += 1;
-                                if fs.rename(&path, &to).is_ok() {
-                                    created.push(to);
-                                }
-                            } else {
-                                let _ = fs.list(dir);
-                            }
+    let per_worker_ops: Vec<u64> = ee_util::par::fan_out(threads.max(1), |t| {
+        let mut completed = 0u64;
+        {
+            let mut rng = Rng::seed_from(seed ^ (t as u64).wrapping_mul(0x9E37));
+            let weights = [
+                mix.stat, mix.list, mix.read, mix.create, mix.delete, mix.rename,
+            ];
+            // Per-thread private namespace for mutations avoids
+            // artificial hot-spots on one directory.
+            let own_dir = format!("/bench/t{t:02}");
+            fs.mkdir_p(&own_dir).expect("thread dir");
+            let mut created: Vec<String> = Vec::new();
+            let mut next_file = 0u64;
+            for _ in 0..ops_per_thread {
+                let dir = &dirs[rng.range(0, dirs.len())];
+                match rng.weighted_index(&weights).unwrap_or(0) {
+                    0 => {
+                        let _ = fs.stat(&format!("{dir}/f0000"));
+                    }
+                    1 => {
+                        let _ = fs.list(dir);
+                    }
+                    2 => {
+                        let _ = fs.read(&format!("{dir}/f0001"));
+                    }
+                    3 => {
+                        let path = format!("{own_dir}/n{next_file}");
+                        next_file += 1;
+                        if fs.create(&path, b"new-file-payload").is_ok() {
+                            created.push(path);
                         }
                     }
-                    completed.fetch_add(1, Ordering::Relaxed);
+                    4 => {
+                        if let Some(path) = created.pop() {
+                            let _ = fs.delete(&path);
+                        } else {
+                            let _ = fs.stat(&format!("{dir}/f0002"));
+                        }
+                    }
+                    _ => {
+                        if let Some(path) = created.pop() {
+                            let to = format!("{own_dir}/r{next_file}");
+                            next_file += 1;
+                            if fs.rename(&path, &to).is_ok() {
+                                created.push(to);
+                            }
+                        } else {
+                            let _ = fs.list(dir);
+                        }
+                    }
                 }
-            });
+                completed += 1;
+            }
         }
-    })
-    .expect("load threads");
+        completed
+    });
     let wall = start.elapsed().as_secs_f64();
     let after = fs.store().stats();
-    let ops = completed.load(Ordering::Relaxed);
+    let ops: u64 = per_worker_ops.iter().sum();
     LoadReport {
         ops,
         wall_secs: wall,

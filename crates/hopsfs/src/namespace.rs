@@ -211,22 +211,19 @@ impl FileSystem {
         let mut cur = ROOT;
         for comp in &comps {
             match self.store.read(&Key::Dirent(cur, comp.to_string())) {
-                Some(Meta::Dirent(child)) => {
-                    match self.read_inode(cur, child)?.kind {
-                        InodeKind::Dir => cur = child,
-                        InodeKind::File => {
-                            return Err(FsError::NotADirectory(comp.to_string()))
-                        }
-                    }
-                }
+                Some(Meta::Dirent(child)) => match self.read_inode(cur, child)?.kind {
+                    InodeKind::Dir => cur = child,
+                    InodeKind::File => return Err(FsError::NotADirectory(comp.to_string())),
+                },
                 _ => {
                     let parent = cur;
                     cur = self.with_retry(|| {
                         let mut tx = self.store.begin();
                         // Re-check under the transaction (another client may
                         // have created it meanwhile).
-                        if let Some(Meta::Dirent(child)) =
-                            self.store.get(&mut tx, &Key::Dirent(parent, comp.to_string()))
+                        if let Some(Meta::Dirent(child)) = self
+                            .store
+                            .get(&mut tx, &Key::Dirent(parent, comp.to_string()))
                         {
                             return Ok(child);
                         }
@@ -308,7 +305,10 @@ impl FileSystem {
         let (_, parent) = self.resolve(parents)?;
         self.with_retry(|| {
             let mut tx = self.store.begin();
-            let id = match self.store.get(&mut tx, &Key::Dirent(parent, name.to_string())) {
+            let id = match self
+                .store
+                .get(&mut tx, &Key::Dirent(parent, name.to_string()))
+            {
                 Some(Meta::Dirent(id)) => id,
                 _ => return Err(FsError::NotFound(path.to_string())),
             };
@@ -421,7 +421,8 @@ impl FileSystem {
             self.store.delete(&mut tx, fkey);
             self.store.delete(&mut tx, Key::Inode(fparent, id));
             self.store.put(&mut tx, tkey, Meta::Dirent(id));
-            self.store.put(&mut tx, Key::Inode(tparent, id), Meta::Inode(inode));
+            self.store
+                .put(&mut tx, Key::Inode(tparent, id), Meta::Inode(inode));
             self.store.commit(tx)?;
             Ok(())
         })
@@ -486,21 +487,30 @@ mod tests {
         fs.read("/d/f").unwrap();
         fs.delete("/d/f").unwrap();
         let after = fs.store().stats();
-        assert!(after.0 - before.0 >= 4, "create/stat/read/delete all fast path");
+        assert!(
+            after.0 - before.0 >= 4,
+            "create/stat/read/delete all fast path"
+        );
         assert_eq!(after.1, before.1, "no cross-shard commits");
     }
 
     #[test]
     fn create_requires_parent() {
         let fs = fs();
-        assert!(matches!(fs.create("/nope/x", b""), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.create("/nope/x", b""),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
     fn duplicate_create_rejected() {
         let fs = fs();
         fs.create("/f", b"1").unwrap();
-        assert!(matches!(fs.create("/f", b"2"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.create("/f", b"2"),
+            Err(FsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -512,7 +522,10 @@ mod tests {
         }
         let names: Vec<String> = fs.list("/d").unwrap().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
-        assert!(matches!(fs.list("/d/alpha"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.list("/d/alpha"),
+            Err(FsError::NotADirectory(_))
+        ));
         assert_eq!(fs.list("/").unwrap().len(), 1, "root listing works");
     }
 
@@ -547,7 +560,10 @@ mod tests {
         );
         // Rename onto an existing name fails.
         fs.create("/a/f", b"2").unwrap();
-        assert!(matches!(fs.rename("/a/f", "/b/g"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(
+            fs.rename("/a/f", "/b/g"),
+            Err(FsError::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -558,7 +574,11 @@ mod tests {
         let big: Vec<u8> = (0..50).collect();
         fs.create("/x/big", &big).unwrap();
         fs.rename("/x/big", "/y/big").unwrap();
-        assert_eq!(fs.read("/y/big").unwrap(), big, "inode record moved with dirent");
+        assert_eq!(
+            fs.read("/y/big").unwrap(),
+            big,
+            "inode record moved with dirent"
+        );
     }
 
     #[test]
@@ -576,7 +596,10 @@ mod tests {
     fn mkdir_over_file_fails() {
         let fs = fs();
         fs.create("/f", b"x").unwrap();
-        assert!(matches!(fs.mkdir_p("/f/sub"), Err(FsError::NotADirectory(_))));
+        assert!(matches!(
+            fs.mkdir_p("/f/sub"),
+            Err(FsError::NotADirectory(_))
+        ));
     }
 
     #[test]
@@ -621,6 +644,9 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         };
-        assert!(ids.windows(2).all(|w| w[0] == w[1]), "all threads agree: {ids:?}");
+        assert!(
+            ids.windows(2).all(|w| w[0] == w[1]),
+            "all threads agree: {ids:?}"
+        );
     }
 }

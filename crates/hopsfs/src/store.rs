@@ -16,7 +16,7 @@
 //! * Scans are read-committed snapshots of one shard (directory listings
 //!   are partitioned so a scan never crosses shards).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -96,7 +96,7 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
         if let Some(buffered) = tx.writes.get(key) {
             return buffered.clone();
         }
-        let shard = self.shards[self.shard_of(key)].lock();
+        let shard = self.shards[self.shard_of(key)].lock().expect("shard mutex poisoned");
         match shard.data.get(key) {
             Some((version, value)) => {
                 tx.reads.push((key.clone(), *version));
@@ -137,14 +137,15 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
         // Phase 1: lock in global order (deadlock-free), validate reads.
         let mut guards: Vec<_> = Vec::with_capacity(shard_ids.len());
         for &sid in &shard_ids {
-            guards.push((sid, self.shards[sid].lock()));
+            guards.push((sid, self.shards[sid].lock().expect("shard mutex poisoned")));
         }
-        let guard_of = |sid: usize, guards: &mut [(usize, parking_lot::MutexGuard<Shard<K, V>>)]| {
-            guards
-                .iter_mut()
-                .position(|(s, _)| *s == sid)
-                .expect("shard locked")
-        };
+        let guard_of =
+            |sid: usize, guards: &mut [(usize, std::sync::MutexGuard<Shard<K, V>>)]| {
+                guards
+                    .iter_mut()
+                    .position(|(s, _)| *s == sid)
+                    .expect("shard locked")
+            };
         for (key, seen_version) in &tx.reads {
             // A key both read and later written validates against the read
             // version as usual.
@@ -160,11 +161,7 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
         for (key, value) in tx.writes {
             let sid = self.shard_of(&key);
             let gi = guard_of(sid, &mut guards);
-            let entry = guards[gi]
-                .1
-                .data
-                .entry(key)
-                .or_insert((0, None));
+            let entry = guards[gi].1.data.entry(key).or_insert((0, None));
             entry.0 += 1;
             entry.1 = value;
         }
@@ -179,7 +176,7 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
 
     /// Read-committed point read outside any transaction.
     pub fn read(&self, key: &K) -> Option<V> {
-        let shard = self.shards[self.shard_of(key)].lock();
+        let shard = self.shards[self.shard_of(key)].lock().expect("shard mutex poisoned");
         shard.data.get(key).and_then(|(_, v)| v.clone())
     }
 
@@ -187,7 +184,7 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
     /// The caller's key design must keep the range on one shard (directory
     /// entries partitioned by parent id do).
     pub fn scan_shard(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
-        let shard = self.shards[self.shard_of(lo)].lock();
+        let shard = self.shards[self.shard_of(lo)].lock().expect("shard mutex poisoned");
         shard
             .data
             .range(lo.clone()..hi.clone())
@@ -208,7 +205,7 @@ impl<K: Ord + Clone, V: Clone> ShardedStore<K, V> {
     pub fn live_keys(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().data.values().filter(|(_, v)| v.is_some()).count())
+            .map(|s| s.lock().expect("shard mutex poisoned").data.values().filter(|(_, v)| v.is_some()).count())
             .sum()
     }
 }
@@ -315,7 +312,7 @@ mod tests {
         let mut t = s.begin();
         s.put(&mut t, 1, "a".into());
         s.commit(t).unwrap(); // version 1
-        // Reader observes version 1.
+                              // Reader observes version 1.
         let mut reader = s.begin();
         assert_eq!(s.get(&mut reader, &1), Some("a".into()));
         // Delete and re-insert elsewhere.
@@ -325,7 +322,7 @@ mod tests {
         let mut t = s.begin();
         s.put(&mut t, 1, "a".into());
         s.commit(t).unwrap(); // version 3 — same value, higher version
-        // Reader must still fail: no ABA.
+                              // Reader must still fail: no ABA.
         assert_eq!(s.commit(reader), Err(FsError::Conflict));
     }
 

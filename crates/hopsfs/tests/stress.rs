@@ -98,7 +98,10 @@ fn contended_creates_on_same_name_yield_exactly_one_winner() {
     let threads: Vec<_> = (0..6)
         .map(|t| {
             let fs = Arc::clone(&fs);
-            std::thread::spawn(move || fs.create("/race/target", format!("w{t}").as_bytes()).is_ok())
+            std::thread::spawn(move || {
+                fs.create("/race/target", format!("w{t}").as_bytes())
+                    .is_ok()
+            })
         })
         .collect();
     let winners = threads

@@ -131,27 +131,14 @@ pub fn discover(
     let pruned = prune(weighted, config.pruning);
     let comparisons = pruned.len();
 
-    // Verify on `threads` workers, chunked contiguously.
-    let chunk = pruned.len().div_ceil(config.threads).max(1);
-    let links: Vec<(u64, u64)> = if config.threads == 1 {
-        verify_chunk(&pruned, source, target, rule)
-    } else {
-        let chunks: Vec<&[(u32, u32, f64)]> = pruned.chunks(chunk).collect();
-        let mut results: Vec<Vec<(u64, u64)>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| scope.spawn(move |_| verify_chunk(c, source, target, rule)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("verify worker")).collect()
-        })
-        .expect("verification scope");
-        let mut all = Vec::new();
-        for r in &mut results {
-            all.append(r);
-        }
-        all
-    };
-    let mut links = links;
+    // Verify on `threads` workers, chunked contiguously; per-chunk
+    // results concatenate in chunk order, so the final (sorted) link set
+    // is identical for any thread count.
+    let results: Vec<Vec<(u64, u64)>> =
+        ee_util::par::map_chunks(&pruned, config.threads, |_, chunk| {
+            verify_chunk(chunk, source, target, rule)
+        });
+    let mut links: Vec<(u64, u64)> = results.into_iter().flatten().collect();
     links.sort_unstable();
     Ok(LinkReport {
         links,

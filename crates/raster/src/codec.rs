@@ -21,7 +21,66 @@
 
 use crate::raster::{GeoTransform, Pixel, Raster};
 use crate::RasterError;
-use bytes::{Buf, BufMut};
+
+/// Little-endian writes onto a plain `Vec<u8>` (what this codec needs
+/// from the former external buffer crate).
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian reads that advance the slice. The decoder checks
+/// lengths before calling these, so out-of-bounds indexing cannot fire.
+trait GetLe {
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_f64_le(&mut self) -> f64;
+    fn advance(&mut self, n: usize);
+}
+
+impl GetLe for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
 
 const MAGIC: u32 = 0x4545_5254;
 const VERSION: u8 = 1;

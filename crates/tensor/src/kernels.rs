@@ -6,20 +6,175 @@
 //! * convolution uses stride 1 and symmetric zero padding `pad`;
 //! * pooling is 2×2, stride 2.
 //!
-//! The convolution is an im2col + matmul, the standard CPU formulation;
-//! the backward pass reuses the same column buffers. Every kernel has a
-//! finite-difference gradient check in the tests.
+//! The convolution is an im2col + matmul, the standard CPU formulation,
+//! parallelised across the batch: samples are split into contiguous
+//! bands, each worker owns a thread-local column buffer (the old single
+//! shared `Vec<f32>` forced serialisation), lowers its samples with a
+//! row-segment `im2col` (contiguous `copy_from_slice` runs instead of a
+//! per-pixel bounds branch) and multiplies with the cache-blocked kernel
+//! from [`crate::matmul`]. Gradients reduce per-sample partials in sample
+//! order, so `dx`/`dw`/`db` are bit-identical for any worker count; the
+//! serial baselines ([`conv2d_forward_ref`], [`conv2d_backward_ref`])
+//! preserve the original one-sample-at-a-time formulation and the tests
+//! compare raw bits against them. Every kernel also has a
+//! finite-difference gradient check.
 
+use crate::matmul;
 use crate::tensor::Tensor;
 use crate::TensorError;
+use ee_util::par;
 
 /// Output spatial size of a stride-1 convolution.
 pub fn conv_out_size(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize) {
     (h + 2 * pad + 1 - kh, w + 2 * pad + 1 - kw)
 }
 
-/// Lower one sample `[C, H, W]` into columns `[C*KH*KW, OH*OW]`.
-fn im2col(
+/// Shared geometry of one convolution call.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    /// `C * KH * KW`, the column-matrix row count.
+    rows: usize,
+}
+
+impl ConvGeom {
+    fn new(c: usize, h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> Self {
+        let (oh, ow) = conv_out_size(h, w, kh, kw, pad);
+        Self {
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            pad,
+            oh,
+            ow,
+            rows: c * kh * kw,
+        }
+    }
+}
+
+/// Lower one sample `[C, H, W]` into columns `[C*KH*KW, OH*OW]` using
+/// contiguous row-segment copies (zero-fill at the padded borders).
+/// Produces exactly the same values as [`im2col_ref`].
+fn im2col_into(x_sample: &[f32], g: &ConvGeom, cols: &mut [f32]) {
+    debug_assert_eq!(x_sample.len(), g.c * g.h * g.w);
+    debug_assert_eq!(cols.len(), g.rows * g.oh * g.ow);
+    let ohw = g.oh * g.ow;
+    for ci in 0..g.c {
+        let chan = &x_sample[ci * g.h * g.w..(ci + 1) * g.h * g.w];
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = (ci * g.kh + ki) * g.kw + kj;
+                // Valid horizontal output range for this kernel column:
+                // src_j = oj + kj - pad must land in [0, w).
+                let lo = g.pad.saturating_sub(kj);
+                let hi = (g.w + g.pad).saturating_sub(kj).min(g.ow);
+                for oi in 0..g.oh {
+                    let dst = &mut cols[row * ohw + oi * g.ow..row * ohw + (oi + 1) * g.ow];
+                    let src_i = oi + ki;
+                    if src_i < g.pad || src_i - g.pad >= g.h || hi <= lo {
+                        dst.fill(0.0);
+                    } else {
+                        dst[..lo].fill(0.0);
+                        let src = (src_i - g.pad) * g.w + lo + kj - g.pad;
+                        dst[lo..hi].copy_from_slice(&chan[src..src + (hi - lo)]);
+                        dst[hi..].fill(0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`im2col_into`] writing the transposed layout `[OH*OW, C*KH*KW]`
+/// directly — the backward pass needs only `colsᵀ` (for `dW = dOut ·
+/// colsᵀ` through the tiled kernel), so materialising the transpose
+/// without the intermediate saves a full pass over the buffer. Values
+/// are identical to transposing [`im2col_into`]'s output.
+fn im2col_t_into(x_sample: &[f32], g: &ConvGeom, cols_t: &mut [f32]) {
+    debug_assert_eq!(x_sample.len(), g.c * g.h * g.w);
+    debug_assert_eq!(cols_t.len(), g.rows * g.oh * g.ow);
+    cols_t.fill(0.0);
+    for ci in 0..g.c {
+        let chan = &x_sample[ci * g.h * g.w..(ci + 1) * g.h * g.w];
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = (ci * g.kh + ki) * g.kw + kj;
+                let lo = g.pad.saturating_sub(kj);
+                let hi = (g.w + g.pad).saturating_sub(kj).min(g.ow);
+                if hi <= lo {
+                    continue;
+                }
+                for oi in 0..g.oh {
+                    let src_i = oi + ki;
+                    if src_i < g.pad || src_i - g.pad >= g.h {
+                        continue;
+                    }
+                    let src = (src_i - g.pad) * g.w + lo + kj - g.pad;
+                    let seg = &chan[src..src + (hi - lo)];
+                    for (oj, &v) in seg.iter().enumerate() {
+                        cols_t[(oi * g.ow + lo + oj) * g.rows + row] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter columns back into one sample's image gradient (transpose of
+/// [`im2col_into`]), accumulating. Element-addition order matches
+/// [`col2im_ref`] exactly.
+fn col2im_into(cols: &[f32], g: &ConvGeom, dx_sample: &mut [f32]) {
+    debug_assert_eq!(dx_sample.len(), g.c * g.h * g.w);
+    let ohw = g.oh * g.ow;
+    for ci in 0..g.c {
+        let chan = &mut dx_sample[ci * g.h * g.w..(ci + 1) * g.h * g.w];
+        for ki in 0..g.kh {
+            for kj in 0..g.kw {
+                let row = (ci * g.kh + ki) * g.kw + kj;
+                let lo = g.pad.saturating_sub(kj);
+                let hi = (g.w + g.pad).saturating_sub(kj).min(g.ow);
+                if hi <= lo {
+                    continue;
+                }
+                // Valid vertical output range: src_i = oi + ki - pad must
+                // land in [0, h). Walking both sides in row chunks lets
+                // the compiler hoist the bounds work out of the hot loop;
+                // each dx element still receives exactly one add per
+                // (ki, kj), in the same (ci, ki, kj, oi) order as the
+                // reference.
+                let oi0 = g.pad.saturating_sub(ki);
+                let oi1 = (g.h + g.pad).saturating_sub(ki).min(g.oh);
+                if oi1 <= oi0 {
+                    continue;
+                }
+                let off = lo + kj - g.pad;
+                let src_rows = cols[row * ohw + oi0 * g.ow..row * ohw + oi1 * g.ow]
+                    .chunks_exact(g.ow);
+                let dst_rows = chan[(oi0 + ki - g.pad) * g.w..]
+                    .chunks_mut(g.w)
+                    .take(oi1 - oi0);
+                for (srow, drow) in src_rows.zip(dst_rows) {
+                    for (d, &v) in drow[off..off + (hi - lo)].iter_mut().zip(&srow[lo..hi]) {
+                        *d += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reference im2col: the original per-pixel formulation. Kept as the
+/// baseline the fast path is tested (and benchmarked) against.
+fn im2col_ref(
     x: &Tensor,
     n: usize,
     kh: usize,
@@ -55,9 +210,9 @@ fn im2col(
     (oh, ow)
 }
 
-/// Scatter columns back into an image gradient (transpose of [`im2col`]).
+/// Reference col2im (transpose of [`im2col_ref`]).
 #[allow(clippy::too_many_arguments)] // mirrors im2col's geometry parameters
-fn col2im(
+fn col2im_ref(
     cols: &[f32],
     dx: &mut Tensor,
     n: usize,
@@ -88,42 +243,120 @@ fn col2im(
     }
 }
 
-/// Forward convolution. `x: [N,C,H,W]`, `weight: [F,C,KH,KW]`, `bias: [F]`
-/// → `[N,F,OH,OW]`.
-pub fn conv2d_forward(
+/// Clamp a requested worker count to the useful parallelism of a conv
+/// problem: at least ~4M multiply-adds per worker (below that, scoped
+/// thread spawn/join costs more than the work it buys), and never more
+/// workers than samples. Results are bit-identical at any worker count,
+/// so this only changes scheduling.
+fn conv_workers(requested: usize, n: usize, madds: usize) -> usize {
+    const MADDS_PER_WORKER: usize = 4 << 20;
+    requested
+        .min(n)
+        .min((madds / MADDS_PER_WORKER).max(1))
+        .max(1)
+}
+
+fn check_conv_shapes(
     x: &Tensor,
     weight: &Tensor,
-    bias: &Tensor,
-    pad: usize,
-) -> Result<Tensor, TensorError> {
+    bias: Option<&Tensor>,
+) -> Result<(usize, usize), TensorError> {
     if x.shape().len() != 4 {
         return Err(TensorError::BadRank {
             expected: 4,
             actual: x.shape().to_vec(),
         });
     }
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let (f, wc, kh, kw) = (
-        weight.shape()[0],
-        weight.shape()[1],
-        weight.shape()[2],
-        weight.shape()[3],
-    );
-    if wc != c || bias.shape() != [f] {
+    let c = x.shape()[1];
+    let (f, wc) = (weight.shape()[0], weight.shape()[1]);
+    let bias_ok = bias.map_or(true, |b| b.shape() == [f]);
+    if wc != c || !bias_ok {
         return Err(TensorError::ShapeMismatch {
             left: x.shape().to_vec(),
             right: weight.shape().to_vec(),
         });
     }
+    Ok((x.shape()[0], f))
+}
+
+/// Forward convolution. `x: [N,C,H,W]`, `weight: [F,C,KH,KW]`, `bias: [F]`
+/// → `[N,F,OH,OW]`. Batch-parallel with the default worker count.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    conv2d_forward_with_threads(x, weight, bias, pad, par::available_threads())
+}
+
+/// [`conv2d_forward`] with an explicit worker budget. Bit-identical to
+/// [`conv2d_forward_ref`] for any thread count.
+pub fn conv2d_forward_with_threads(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
+    let (n, f) = check_conv_shapes(x, weight, Some(bias))?;
+    let g = ConvGeom::new(
+        x.shape()[1],
+        x.shape()[2],
+        x.shape()[3],
+        weight.shape()[2],
+        weight.shape()[3],
+        pad,
+    );
+    let ohw = g.oh * g.ow;
+    let sample_in = g.c * g.h * g.w;
+    let sample_out = f * ohw;
+    let mut out = Tensor::zeros(&[n, f, g.oh, g.ow]);
+    if n == 0 || sample_out == 0 {
+        return Ok(out);
+    }
+    // weight is [F, C, KH, KW] row-major == [F, rows] flattened.
+    let (w_flat, x_flat, b_flat) = (weight.data(), x.data(), bias.data());
+    let threads = conv_workers(threads, n, n * f * g.rows * ohw);
+    par::for_rows_mut(out.data_mut(), sample_out, threads, |first, band| {
+        // Thread-local column buffer: workers never share im2col state.
+        let mut cols = vec![0.0f32; g.rows * ohw];
+        for (s, y) in band.chunks_mut(sample_out).enumerate() {
+            let ni = first + s;
+            im2col_into(&x_flat[ni * sample_in..(ni + 1) * sample_in], &g, &mut cols);
+            matmul::matmul_into(w_flat, &cols, y, f, g.rows, ohw, 1);
+            for fi in 0..f {
+                let bv = b_flat[fi];
+                for o in &mut y[fi * ohw..(fi + 1) * ohw] {
+                    *o += bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Serial reference forward convolution: the original one-sample-at-a-time
+/// shared-buffer formulation with the naive matmul. The parallel path is
+/// tested bit-for-bit against this (and benchmarked against it in E-k0).
+pub fn conv2d_forward_ref(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    let (n, f) = check_conv_shapes(x, weight, Some(bias))?;
+    let (h, w) = (x.shape()[2], x.shape()[3]);
+    let (kh, kw) = (weight.shape()[2], weight.shape()[3]);
     let (oh, ow) = conv_out_size(h, w, kh, kw, pad);
-    let rows = c * kh * kw;
+    let rows = x.shape()[1] * kh * kw;
     let w_mat = weight.reshape(&[f, rows])?;
     let mut out = Tensor::zeros(&[n, f, oh, ow]);
     let mut cols = Vec::new();
     for ni in 0..n {
-        im2col(x, ni, kh, kw, pad, &mut cols);
+        im2col_ref(x, ni, kh, kw, pad, &mut cols);
         let col_t = Tensor::from_vec(&[rows, oh * ow], cols.clone())?;
-        let y = w_mat.matmul(&col_t)?; // [F, OH*OW]
+        let y = w_mat.matmul_serial_ref(&col_t)?; // [F, OH*OW]
         for fi in 0..f {
             let b = bias.data()[fi];
             for p in 0..oh * ow {
@@ -136,7 +369,114 @@ pub fn conv2d_forward(
 }
 
 /// Gradients of a convolution: returns `(dx, dweight, dbias)`.
+/// Batch-parallel with the default worker count.
 pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_with_threads(x, weight, dout, pad, par::available_threads())
+}
+
+/// [`conv2d_backward`] with an explicit worker budget.
+///
+/// Workers compute per-sample `(dw, db)` partials which the caller
+/// reduces in ascending sample order — the same association as the serial
+/// reference — while `dx` is written into disjoint per-sample bands, so
+/// all three gradients are bit-identical to [`conv2d_backward_ref`] for
+/// any thread count.
+pub fn conv2d_backward_with_threads(
+    x: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+    threads: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let (n, f) = check_conv_shapes(x, weight, None)?;
+    let g = ConvGeom::new(
+        x.shape()[1],
+        x.shape()[2],
+        x.shape()[3],
+        weight.shape()[2],
+        weight.shape()[3],
+        pad,
+    );
+    let ohw = g.oh * g.ow;
+    let sample_in = g.c * g.h * g.w;
+    let sample_out = f * ohw;
+    // wᵀ as [rows, F], shared read-only across workers.
+    let mut w_t = vec![0.0f32; g.rows * f];
+    for fi in 0..f {
+        for r in 0..g.rows {
+            w_t[r * f + fi] = weight.data()[fi * g.rows + r];
+        }
+    }
+    let mut dx = Tensor::zeros(&[n, g.c, g.h, g.w]);
+    let (x_flat, dout_flat) = (x.data(), dout.data());
+    let threads = conv_workers(threads, n, 2 * n * f * g.rows * ohw);
+    let per_sample: Vec<Vec<(Vec<f32>, Vec<f32>)>> = if n == 0 {
+        Vec::new()
+    } else {
+        par::for_rows_mut(dx.data_mut(), sample_in, threads, |first, band| {
+            let mut cols_t = vec![0.0f32; ohw * g.rows];
+            let mut dcols = vec![0.0f32; g.rows * ohw];
+            let mut partials = Vec::with_capacity(band.len() / sample_in);
+            for (s, dxs) in band.chunks_mut(sample_in).enumerate() {
+                let ni = first + s;
+                // dOut for this sample is already a contiguous [F, OH*OW]
+                // slice in [N,F,OH,OW] layout.
+                let dslice = &dout_flat[ni * sample_out..(ni + 1) * sample_out];
+                let mut db_n = vec![0.0f32; f];
+                for (fi, dbv) in db_n.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for &v in &dslice[fi * ohw..(fi + 1) * ohw] {
+                        acc += v;
+                    }
+                    *dbv = acc;
+                }
+                // dW_n = dOut · colsᵀ, through the tiled kernel over a
+                // directly-materialised transposed im2col (thread-local
+                // buffer): the tiled kernel accumulates each element in
+                // ascending-k order, the same association as the
+                // reference's naive matmul over its own materialised
+                // transpose — and unlike an in-place row-dot it
+                // autovectorises.
+                im2col_t_into(&x_flat[ni * sample_in..(ni + 1) * sample_in], &g, &mut cols_t);
+                let mut dw_n = vec![0.0f32; f * g.rows];
+                matmul::matmul_into(dslice, &cols_t, &mut dw_n, f, ohw, g.rows, 1);
+                // dCols = wᵀ · dOut, scattered back into this sample's dx.
+                matmul::matmul_into(&w_t, dslice, &mut dcols, g.rows, f, ohw, 1);
+                col2im_into(&dcols, &g, dxs);
+                partials.push((dw_n, db_n));
+            }
+            partials
+        })
+    };
+    // Fixed-order reduction: samples ascending, exactly the serial
+    // association.
+    let mut dw = vec![0.0f32; f * g.rows];
+    let mut db = vec![0.0f32; f];
+    for band in per_sample {
+        for (dw_n, db_n) in band {
+            for (a, b) in dw.iter_mut().zip(&dw_n) {
+                *a += b;
+            }
+            for (a, b) in db.iter_mut().zip(&db_n) {
+                *a += b;
+            }
+        }
+    }
+    Ok((
+        dx,
+        Tensor::from_vec(&[f, g.c, g.kh, g.kw], dw)?,
+        Tensor::from_vec(&[f], db)?,
+    ))
+}
+
+/// Serial reference backward convolution: one sample at a time with the
+/// naive matmul and per-sample `(dw, db)` partials added in sample order.
+pub fn conv2d_backward_ref(
     x: &Tensor,
     weight: &Tensor,
     dout: &Tensor,
@@ -158,24 +498,30 @@ pub fn conv2d_backward(
     let mut dx = Tensor::zeros(&[n, c, h, w]);
     let mut cols = Vec::new();
     for ni in 0..n {
-        // dOut slice for this sample as [F, OH*OW].
+        // dOut slice for this sample as [F, OH*OW]; db accumulates a
+        // per-sample partial (summed from zero) so the association is
+        // sample-major — the property the parallel reduction reproduces.
         let mut dslice = vec![0.0f32; f * oh * ow];
+        let mut db_n = vec![0.0f32; f];
         for fi in 0..f {
             for p in 0..oh * ow {
                 let v = dout.at4(ni, fi, p / ow, p % ow);
                 dslice[fi * oh * ow + p] = v;
-                db.data_mut()[fi] += v;
+                db_n[fi] += v;
             }
         }
+        for (acc, v) in db.data_mut().iter_mut().zip(&db_n) {
+            *acc += v;
+        }
         let d_mat = Tensor::from_vec(&[f, oh * ow], dslice)?;
-        im2col(x, ni, kh, kw, pad, &mut cols);
+        im2col_ref(x, ni, kh, kw, pad, &mut cols);
         let col_t = Tensor::from_vec(&[rows, oh * ow], cols.clone())?;
         // dW += dOut · colsᵀ
-        let dw_n = d_mat.matmul(&col_t.transpose()?)?;
+        let dw_n = d_mat.matmul_serial_ref(&col_t.transpose()?)?;
         dw.axpy(1.0, &dw_n)?;
         // dCols = Wᵀ · dOut, scattered back.
-        let dcols = w_t.matmul(&d_mat)?;
-        col2im(dcols.data(), &mut dx, ni, kh, kw, pad, oh, ow);
+        let dcols = w_t.matmul_serial_ref(&d_mat)?;
+        col2im_ref(dcols.data(), &mut dx, ni, kh, kw, pad, oh, ow);
     }
     Ok((dx, dw.reshape(&[f, c, kh, kw])?, db))
 }

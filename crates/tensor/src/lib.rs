@@ -8,17 +8,27 @@
 //! * [`tensor`] — an n-dimensional row-major `f32` array with shape
 //!   checking, explicit elementwise ops, 2-D matmul, reductions and
 //!   `argmax`;
+//! * [`matmul`] — the cache-blocked matrix-multiply kernels: an 8×32
+//!   register tile accumulated over 256-deep k-blocks, parallelised over
+//!   contiguous row bands via `ee_util::par`, plus the naive serial
+//!   reference and a sparsity-aware variant;
 //! * [`kernels`] — the convolutional-network kernels: im2col convolution
-//!   (forward and backward), 2×2 max pooling, ReLU, softmax and
-//!   cross-entropy, all with hand-derived gradients;
+//!   (forward and backward, batch-parallel with thread-local column
+//!   buffers), 2×2 max pooling, ReLU, softmax and cross-entropy, all with
+//!   hand-derived gradients;
 //! * [`init`] — He/Xavier parameter initialisation from the workspace RNG.
 //!
-//! Everything is deterministic; no SIMD intrinsics or threads — matmul is
-//! written cache-friendly (ikj loop order) which is fast enough for the
-//! patch-scale models of the experiments.
+//! Everything is deterministic *including* the threaded kernels: every
+//! parallel path fixes its floating-point accumulation order (ascending-k
+//! per output element, sample-order gradient reduction) so results are
+//! bit-identical to the serial reference at any worker count — the tests
+//! compare raw `f32` bits. No hand-written SIMD intrinsics; the register
+//! tiles are shaped so the autovectoriser emits FMA vector code for the
+//! build host (see `.cargo/config.toml`).
 
 pub mod init;
 pub mod kernels;
+pub mod matmul;
 pub mod tensor;
 
 pub use tensor::Tensor;

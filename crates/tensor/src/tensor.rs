@@ -189,9 +189,7 @@ impl Tensor {
         }
     }
 
-    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] → [m, n]`.
-    /// ikj loop order keeps the inner loop streaming over contiguous rows.
-    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+    fn check_matmul_shapes(&self, other: &Tensor) -> Result<(usize, usize, usize), TensorError> {
         if self.shape.len() != 2 {
             return Err(TensorError::BadRank {
                 expected: 2,
@@ -204,22 +202,55 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let n = other.shape[1];
+        Ok((self.shape[0], self.shape[1], other.shape[1]))
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] → [m, n]`.
+    ///
+    /// Dispatches to the cache-blocked, row-band-parallel kernel in
+    /// [`crate::matmul`] with the default worker count
+    /// ([`ee_util::par::available_threads`]). The result is bit-identical
+    /// to [`Tensor::matmul_serial_ref`] for any thread count.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_with_threads(other, ee_util::par::available_threads())
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker budget.
+    pub fn matmul_with_threads(
+        &self,
+        other: &Tensor,
+        threads: usize,
+    ) -> Result<Tensor, TensorError> {
+        let (m, k, n) = self.check_matmul_shapes(other)?;
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::matmul::matmul_into(&self.data, &other.data, &mut out, m, k, n, threads);
+        Ok(Tensor {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// The naive single-thread ikj reference matmul. Kept (and exported)
+    /// as the bit-identity baseline for the blocked/parallel kernel; use
+    /// [`Tensor::matmul`] everywhere else.
+    pub fn matmul_serial_ref(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, n) = self.check_matmul_shapes(other)?;
+        let mut out = vec![0.0f32; m * n];
+        crate::matmul::matmul_serial_ref(&self.data, &other.data, &mut out, m, k, n);
+        Ok(Tensor {
+            shape: vec![m, n],
+            data: out,
+        })
+    }
+
+    /// Sparsity-aware matmul that skips zero entries of `self`. Only
+    /// worth it when `self` has structural zeros (post-ReLU activations,
+    /// one-hot targets); bit-identical to the dense kernels on finite
+    /// inputs.
+    pub fn matmul_sparse(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k, n) = self.check_matmul_shapes(other)?;
+        let mut out = vec![0.0f32; m * n];
+        crate::matmul::matmul_sparse_into(&self.data, &other.data, &mut out, m, k, n);
         Ok(Tensor {
             shape: vec![m, n],
             data: out,

@@ -1,0 +1,163 @@
+//! Bit-identity of the parallel kernels against their serial references.
+//!
+//! Determinism is a stated design invariant of this workspace (DESIGN.md):
+//! every experiment must reproduce bit-for-bit, including on machines with
+//! different core counts. These tests therefore compare raw `f32` bits —
+//! not tolerances — between the blocked/parallel kernels and the serial
+//! reference implementations, across shapes chosen to hit every edge
+//! case: block sizes that don't divide the problem, 1×1 kernels, pad > 0,
+//! batch 1.
+
+use ee_tensor::kernels::{
+    conv2d_backward_ref, conv2d_backward_with_threads, conv2d_forward_ref,
+    conv2d_forward_with_threads,
+};
+use ee_tensor::Tensor;
+use ee_util::Rng;
+
+const THREADS: &[usize] = &[1, 2, 3, 4, 8];
+
+fn random_tensor(shape: &[usize], rng: &mut Rng) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.normal(0.0, 1.0) as f32).collect()).unwrap()
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn matmul_parallel_is_bit_identical_across_odd_shapes() {
+    let mut rng = Rng::seed_from(100);
+    // (m, k, n): below one tile, ragged tiles, k crossing the KC block.
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (1, 130, 1),
+        (5, 3, 7),
+        (8, 256, 32),
+        (9, 257, 33),
+        (31, 300, 63),
+        (64, 64, 64),
+    ] {
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        let reference = a.matmul_serial_ref(&b).unwrap();
+        for &t in THREADS {
+            let got = a.matmul_with_threads(&b, t).unwrap();
+            assert_bits_eq(&got, &reference, &format!("matmul {m}x{k}x{n} t={t}"));
+        }
+        // The default entry point too, whatever thread count it picks.
+        assert_bits_eq(&a.matmul(&b).unwrap(), &reference, "matmul default");
+    }
+}
+
+#[test]
+fn matmul_sparse_is_bit_identical_on_one_hot_rows() {
+    // One-hot targets are the canonical proven-sparse operand.
+    let (m, k, n) = (16usize, 10usize, 12usize);
+    let mut rng = Rng::seed_from(101);
+    let mut onehot = vec![0.0f32; m * k];
+    for i in 0..m {
+        onehot[i * k + (i * 7) % k] = 1.0;
+    }
+    let a = Tensor::from_vec(&[m, k], onehot).unwrap();
+    let b = random_tensor(&[k, n], &mut rng);
+    assert_bits_eq(
+        &a.matmul_sparse(&b).unwrap(),
+        &a.matmul_serial_ref(&b).unwrap(),
+        "sparse matmul",
+    );
+}
+
+/// Conv shapes exercising: batch 1, 1×1 kernels, pad 0 and pad > 1,
+/// non-square images, channel counts that make ragged column matrices.
+fn conv_cases() -> Vec<(Vec<usize>, Vec<usize>, usize)> {
+    vec![
+        (vec![1, 1, 1, 1], vec![1, 1, 1, 1], 0), // degenerate minimum
+        (vec![1, 3, 5, 5], vec![4, 3, 3, 3], 1), // batch 1, same-pad
+        (vec![2, 1, 4, 6], vec![3, 1, 1, 1], 0), // 1x1 kernel, non-square
+        (vec![3, 2, 5, 4], vec![2, 2, 3, 3], 2), // pad 2 > kernel reach
+        (vec![5, 4, 7, 7], vec![6, 4, 3, 3], 1), // batch not divisible by threads
+        (vec![8, 13, 8, 8], vec![16, 13, 3, 3], 1), // E5 patch shape
+    ]
+}
+
+#[test]
+fn conv2d_forward_parallel_is_bit_identical() {
+    let mut rng = Rng::seed_from(200);
+    for (xs, ws, pad) in conv_cases() {
+        let x = random_tensor(&xs, &mut rng);
+        let w = random_tensor(&ws, &mut rng).scale(0.3);
+        let b = random_tensor(&[ws[0]], &mut rng).scale(0.1);
+        let reference = conv2d_forward_ref(&x, &w, &b, pad).unwrap();
+        for &t in THREADS {
+            let got = conv2d_forward_with_threads(&x, &w, &b, pad, t).unwrap();
+            assert_bits_eq(&got, &reference, &format!("conv fwd {xs:?} pad={pad} t={t}"));
+        }
+    }
+}
+
+#[test]
+fn conv2d_backward_parallel_is_bit_identical() {
+    let mut rng = Rng::seed_from(300);
+    for (xs, ws, pad) in conv_cases() {
+        let x = random_tensor(&xs, &mut rng);
+        let w = random_tensor(&ws, &mut rng).scale(0.3);
+        let b = random_tensor(&[ws[0]], &mut rng).scale(0.1);
+        let y = conv2d_forward_ref(&x, &w, &b, pad).unwrap();
+        let dout = random_tensor(y.shape(), &mut rng);
+        let (dx_ref, dw_ref, db_ref) = conv2d_backward_ref(&x, &w, &dout, pad).unwrap();
+        for &t in THREADS {
+            let (dx, dw, db) = conv2d_backward_with_threads(&x, &w, &dout, pad, t).unwrap();
+            let tag = format!("conv bwd {xs:?} pad={pad} t={t}");
+            assert_bits_eq(&dx, &dx_ref, &format!("{tag}: dx"));
+            assert_bits_eq(&dw, &dw_ref, &format!("{tag}: dw"));
+            assert_bits_eq(&db, &db_ref, &format!("{tag}: db"));
+        }
+    }
+}
+
+#[test]
+fn conv_gradients_match_finite_differences_with_threading() {
+    // The analytic gradients stay correct (not just self-consistent) when
+    // computed on multiple workers.
+    let mut rng = Rng::seed_from(400);
+    let x = random_tensor(&[3, 2, 5, 5], &mut rng);
+    let w = random_tensor(&[3, 2, 3, 3], &mut rng).scale(0.3);
+    let b = random_tensor(&[3], &mut rng).scale(0.1);
+    let pad = 1;
+    let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+        conv2d_forward_with_threads(x, w, b, pad, 4).unwrap().sum()
+    };
+    let y = conv2d_forward_with_threads(&x, &w, &b, pad, 4).unwrap();
+    let dout = Tensor::full(y.shape(), 1.0);
+    let (dx, dw, _db) = conv2d_backward_with_threads(&x, &w, &dout, pad, 4).unwrap();
+    let eps = 1e-2f32;
+    for &i in &[0usize, 11, 57, 149] {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let num = (loss(&xp, &w, &b) - loss(&x, &w, &b)) / eps;
+        assert!(
+            (num - dx.data()[i]).abs() < 0.05,
+            "dx[{i}]: numeric {num} vs analytic {}",
+            dx.data()[i]
+        );
+    }
+    for &i in &[0usize, 5, 17, 53] {
+        let mut wp = w.clone();
+        wp.data_mut()[i] += eps;
+        let num = (loss(&x, &wp, &b) - loss(&x, &w, &b)) / eps;
+        assert!(
+            (num - dw.data()[i]).abs() < 0.5,
+            "dw[{i}]: numeric {num} vs analytic {}",
+            dw.data()[i]
+        );
+    }
+}

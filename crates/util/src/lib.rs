@@ -15,9 +15,15 @@
 //! * [`bytes`] — human-readable byte-size formatting for reports.
 //! * [`timeline`] — virtual-time primitives shared by the discrete-event
 //!   simulators.
+//! * [`par`] — the workspace's single threading idiom: chunked scoped
+//!   fan-out with deterministic fixed-order reduction.
+//! * [`json`] — a small JSON value tree, emitter and parser (no external
+//!   serialisation crates).
 
 pub mod bytes;
+pub mod json;
 pub mod noise;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod timeline;

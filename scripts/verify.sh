@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and test the whole workspace with zero
+# network access, then smoke-run the distributed-training (E4),
+# classification (E5) and kernel-throughput (E-k0) experiments.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: offline release build =="
+cargo build --release --offline
+
+echo "== tier-1: offline test suite =="
+cargo test -q --offline
+
+echo "== smoke: harness e4 e5 kernels (quick scale) =="
+./target/release/harness e4 e5 kernels
+
+echo "verify.sh: all green"
