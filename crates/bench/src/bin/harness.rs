@@ -1,20 +1,34 @@
 //! The experiment harness: regenerates every E1–E12 table plus the E-k0
-//! kernel-throughput table.
+//! kernel-throughput and E-s0 serving-tier tables.
 //!
 //! ```text
 //! harness                 # run everything at Quick scale
+//! harness --list          # print the experiment ids and exit
 //! harness --full          # the EXPERIMENTS.md scale
 //! harness e2 e3 --full    # selected experiments
 //! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
+//! harness e-s0 --full     # serving tier; also writes BENCH_PR2.json
 //! ```
 //!
-//! The `kernels` experiment additionally writes its numbers to
-//! `BENCH_PR1.json` in the current directory.
+//! Unknown experiment ids and unknown flags are rejected up front, before
+//! anything runs.
 
-use ee_bench::{kernels, run, Scale, ALL};
+use ee_bench::{e_s0_serve, kernels, run, Scale, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    for a in args.iter().filter(|a| a.starts_with("--")) {
+        if a != "--full" {
+            eprintln!("[harness] unknown flag {a:?}; known: --full, --list");
+            std::process::exit(2);
+        }
+    }
     let scale = if args.iter().any(|a| a == "--full") {
         Scale::Full
     } else {
@@ -30,6 +44,14 @@ fn main() {
     } else {
         selected.iter().map(|s| s.as_str()).collect()
     };
+    // Validate every id before running any experiment, so a typo at the
+    // end of the list doesn't waste the minutes spent on the ones before.
+    for id in &ids {
+        if !ALL.contains(id) {
+            eprintln!("[harness] unknown experiment {id:?}; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
     println!(
         "# ExtremeEarth-rs experiment harness ({} scale)\n",
         if scale == Scale::Full { "full" } else { "quick" }
@@ -37,37 +59,40 @@ fn main() {
     for id in ids {
         eprintln!("[harness] running {id} ...");
         let start = std::time::Instant::now();
-        if id == "kernels" {
-            // Runs once; the same numbers feed the table and the JSON.
-            let (tables, json) = kernels::report(scale);
-            for t in tables {
-                println!("{}", t.markdown());
+        // The two bench-artifact experiments run once, feeding both the
+        // printed table and their JSON file.
+        let json_artifact = match id {
+            "kernels" => {
+                let (tables, json) = kernels::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                Some(("BENCH_PR1.json", json))
             }
-            let path = "BENCH_PR1.json";
+            "e-s0" => {
+                let (tables, json) = e_s0_serve::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                Some(("BENCH_PR2.json", json))
+            }
+            _ => {
+                let tables = run(id, scale).expect("id validated above");
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                None
+            }
+        };
+        if let Some((path, json)) = json_artifact {
             match std::fs::write(path, json.emit_pretty() + "\n") {
                 Ok(()) => eprintln!("[harness] wrote {path}"),
                 Err(e) => eprintln!("[harness] could not write {path}: {e}"),
             }
-            eprintln!(
-                "[harness] {id} done in {:.1}s",
-                start.elapsed().as_secs_f64()
-            );
-            continue;
         }
-        match run(id, scale) {
-            Some(tables) => {
-                for t in tables {
-                    println!("{}", t.markdown());
-                }
-                eprintln!(
-                    "[harness] {id} done in {:.1}s",
-                    start.elapsed().as_secs_f64()
-                );
-            }
-            None => {
-                eprintln!("[harness] unknown experiment {id:?}; known: {ALL:?}");
-                std::process::exit(2);
-            }
-        }
+        eprintln!(
+            "[harness] {id} done in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

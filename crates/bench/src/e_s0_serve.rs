@@ -1,0 +1,345 @@
+//! E-s0 — the serving tier under closed-loop load.
+//!
+//! The paper's engines answer batch experiments (E2, E9, E12…); this
+//! experiment measures them behind `ee-serve` as network services, over
+//! real localhost sockets:
+//!
+//! 1. **Cold vs warm cache** — per route, the p50 of first-touch
+//!    requests (engine does the work) against repeats of the same
+//!    requests (sharded-LRU replay).
+//! 2. **Concurrency sweep** — closed-loop clients in
+//!    connection-per-request mode against a deliberately small worker
+//!    pool and admission watermark, reporting throughput, latency
+//!    percentiles, 503 shed counts, and the p99 over *admitted*
+//!    requests (which must stay bounded while overloaded).
+//!
+//! [`report`] returns the tables plus a JSON value the harness writes to
+//! `BENCH_PR2.json`.
+
+use crate::table::Table;
+use crate::Scale;
+use ee_serve::loadgen::{self, ConnMode, LoadPlan};
+use ee_serve::{start, AppState, DataConfig, ServerConfig};
+use ee_util::json::Json;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Microseconds pretty-printer (µs under 1 ms, ms above).
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    }
+}
+
+/// Distinct request targets per route. Every target is a real route on
+/// the engines; distinct parameters defeat the cache (cold), repeats
+/// hit it (warm).
+fn route_targets(state: &AppState, per_route: usize) -> Vec<(&'static str, Vec<String>)> {
+    let grid = (per_route as f64).sqrt().ceil() as usize;
+    let step = ee_serve::state::REGION / (grid as f64 + 1.0);
+    let query: Vec<String> = (0..per_route)
+        .map(|i| {
+            let (gx, gy) = (i % grid, i / grid);
+            format!(
+                "/query?x0={:.2}&y0={:.2}&side=10",
+                gx as f64 * step,
+                gy as f64 * step
+            )
+        })
+        .collect();
+    let catalogue: Vec<String> = (0..per_route)
+        .map(|i| {
+            let (gx, gy) = (i % grid, i / grid);
+            // The archive region is (0,0)..(40,40).
+            let (x, y) = (gx as f64 * 36.0 / grid as f64, gy as f64 * 36.0 / grid as f64);
+            format!(
+                "/catalogue/search?minx={x:.2}&miny={y:.2}&maxx={:.2}&maxy={:.2}",
+                x + 4.0,
+                y + 4.0
+            )
+        })
+        .collect();
+    let mut tiles = Vec::new();
+    'outer: for (level, r) in state.pyramid.iter().enumerate() {
+        let tr = r.rows().div_ceil(state.tile_size);
+        let tc = r.cols().div_ceil(state.tile_size);
+        for row in 0..tr {
+            for col in 0..tc {
+                tiles.push(format!("/tiles/{level}/{row}/{col}"));
+                if tiles.len() >= per_route {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let budgets = [1_000_000usize, 100_000, 50_000, 20_000, 10_000];
+    let ice: Vec<String> = ee_serve::state::ICE_REGIONS
+        .iter()
+        .flat_map(|r| budgets.iter().map(move |b| format!("/ice/{r}?budget={b}")))
+        .take(per_route)
+        .collect();
+    vec![
+        ("query", query),
+        ("catalogue", catalogue),
+        ("tiles", tiles),
+        ("ice", ice),
+    ]
+}
+
+struct ColdWarm {
+    route: &'static str,
+    targets: usize,
+    cold_p50_us: u64,
+    warm_p50_us: u64,
+    warm_hit_rate: f64,
+}
+
+/// Stage 1: cold vs warm per route on an uncontended server.
+fn cold_warm(state: &Arc<AppState>, per_route: usize) -> Vec<ColdWarm> {
+    let mut out = Vec::new();
+    for (route, targets) in route_targets(state, per_route) {
+        // Fresh server per route: cold really is cold.
+        let server = start(
+            ServerConfig {
+                workers: 4,
+                queue_watermark: 256,
+                ..ServerConfig::default()
+            },
+            Arc::clone(state),
+        )
+        .expect("start server");
+        let cold = loadgen::run(
+            server.addr,
+            &targets,
+            &LoadPlan {
+                clients: 1,
+                requests_per_client: targets.len(),
+                mode: ConnMode::KeepAlive,
+                timeout: Duration::from_secs(30),
+            },
+        );
+        let warm = loadgen::run(
+            server.addr,
+            &targets,
+            &LoadPlan {
+                clients: 1,
+                requests_per_client: targets.len() * 3,
+                mode: ConnMode::KeepAlive,
+                timeout: Duration::from_secs(30),
+            },
+        );
+        let warm_hit_rate = if warm.ok == 0 {
+            0.0
+        } else {
+            warm.cache_hits as f64 / warm.ok as f64
+        };
+        out.push(ColdWarm {
+            route,
+            targets: targets.len(),
+            cold_p50_us: cold.p50_us,
+            warm_p50_us: warm.p50_us,
+            warm_hit_rate,
+        });
+        server.shutdown();
+    }
+    out
+}
+
+struct SweepPoint {
+    clients: usize,
+    report: loadgen::LoadReport,
+    cache_hit_pct: f64,
+}
+
+/// Stage 2: closed-loop concurrency sweep in connection-per-request
+/// mode against a small pool (watermark + workers are the saturation
+/// point; past it the server must shed with 503).
+fn sweep(
+    state: &Arc<AppState>,
+    client_counts: &[usize],
+    requests_per_client: usize,
+) -> (Vec<SweepPoint>, usize, usize) {
+    let workers = 4;
+    let watermark = 8;
+    let mut targets = Vec::new();
+    for (_, t) in route_targets(state, 16) {
+        targets.extend(t);
+    }
+    let mut points = Vec::new();
+    for &clients in client_counts {
+        // Fresh server per point: queue, cache and counters start clean.
+        let server = start(
+            ServerConfig {
+                workers,
+                queue_watermark: watermark,
+                deadline: Duration::from_secs(2),
+                ..ServerConfig::default()
+            },
+            Arc::clone(state),
+        )
+        .expect("start server");
+        let report = loadgen::run(
+            server.addr,
+            &targets,
+            &LoadPlan {
+                clients,
+                requests_per_client,
+                mode: ConnMode::PerRequest,
+                timeout: Duration::from_secs(30),
+            },
+        );
+        let cache_hit_pct = 100.0 * server.cache().hit_rate();
+        server.shutdown();
+        points.push(SweepPoint {
+            clients,
+            report,
+            cache_hit_pct,
+        });
+    }
+    (points, workers, watermark)
+}
+
+/// Run E-s0 and return the tables plus the `BENCH_PR2.json` value.
+pub fn report(scale: Scale) -> (Vec<Table>, Json) {
+    let (data, per_route, client_counts, requests_per_client): (_, usize, &[usize], usize) =
+        match scale {
+            Scale::Quick => (DataConfig::tiny(), 9, &[1, 2, 4, 8, 24], 25),
+            Scale::Full => (DataConfig::default(), 16, &[1, 2, 4, 8, 16, 32, 64], 60),
+        };
+    let state = Arc::new(AppState::build(data));
+
+    let cw = cold_warm(&state, per_route);
+    let mut t1 = Table::new(
+        "E-s0a — response cache, cold vs warm (p50 per route)",
+        "Single keep-alive client; cold = first touch of each distinct target \
+         (engine executes), warm = repeats of the same targets (sharded-LRU replay).",
+        &["route", "targets", "cold p50", "warm p50", "speedup", "warm hit rate"],
+    );
+    for c in &cw {
+        let speedup = if c.warm_p50_us == 0 {
+            f64::INFINITY
+        } else {
+            c.cold_p50_us as f64 / c.warm_p50_us as f64
+        };
+        t1.row(vec![
+            format!("/{}", c.route),
+            c.targets.to_string(),
+            fmt_us(c.cold_p50_us),
+            fmt_us(c.warm_p50_us),
+            format!("{speedup:.1}x"),
+            format!("{:.0}%", 100.0 * c.warm_hit_rate),
+        ]);
+    }
+
+    let (points, workers, watermark) = sweep(&state, client_counts, requests_per_client);
+    let mut t2 = Table::new(
+        "E-s0b — closed-loop concurrency sweep (mixed routes)",
+        format!(
+            "Connection-per-request clients over localhost; {workers} workers, admission \
+             watermark {watermark}. Past ~{} in-flight connections the server sheds with \
+             503 + Retry-After while the p99 of admitted requests stays bounded.",
+            workers + watermark
+        ),
+        &[
+            "clients", "ok", "503", "504", "req/s", "p50", "p95", "p99", "admitted p99",
+            "cache hit",
+        ],
+    );
+    for p in &points {
+        let r = &p.report;
+        t2.row(vec![
+            p.clients.to_string(),
+            r.ok.to_string(),
+            r.rejected.to_string(),
+            r.expired.to_string(),
+            format!("{:.0}", r.throughput()),
+            fmt_us(r.p50_us),
+            fmt_us(r.p95_us),
+            fmt_us(r.p99_us),
+            fmt_us(r.admitted_p99_us),
+            format!("{:.0}%", p.cache_hit_pct),
+        ]);
+    }
+
+    let json = Json::obj(vec![
+        ("experiment", Json::Str("e-s0".into())),
+        (
+            "scale",
+            Json::Str(if scale == Scale::Full { "full" } else { "quick" }.into()),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("workers", Json::Num(workers as f64)),
+                ("queue_watermark", Json::Num(watermark as f64)),
+                ("deadline_ms", Json::Num(2_000.0)),
+            ]),
+        ),
+        (
+            "cold_warm",
+            Json::Arr(
+                cw.iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("route", Json::Str(c.route.into())),
+                            ("targets", Json::Num(c.targets as f64)),
+                            ("cold_p50_us", Json::Num(c.cold_p50_us as f64)),
+                            ("warm_p50_us", Json::Num(c.warm_p50_us as f64)),
+                            ("warm_hit_rate", Json::Num(c.warm_hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sweep",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        let r = &p.report;
+                        Json::obj(vec![
+                            ("clients", Json::Num(p.clients as f64)),
+                            ("ok", Json::Num(r.ok as f64)),
+                            ("rejected_503", Json::Num(r.rejected as f64)),
+                            ("expired_504", Json::Num(r.expired as f64)),
+                            ("errors", Json::Num(r.errors as f64)),
+                            ("throughput_rps", Json::Num(r.throughput())),
+                            ("p50_us", Json::Num(r.p50_us as f64)),
+                            ("p95_us", Json::Num(r.p95_us as f64)),
+                            ("p99_us", Json::Num(r.p99_us as f64)),
+                            ("admitted_p99_us", Json::Num(r.admitted_p99_us as f64)),
+                            ("cache_hit_pct", Json::Num(p.cache_hit_pct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    (vec![t1, t2], json)
+}
+
+/// Run E-s0, discarding the JSON (the `run(id, scale)` registry shape).
+pub fn run(scale: Scale) -> Vec<Table> {
+    report(scale).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_has_both_tables_and_sane_numbers() {
+        let (tables, json) = report(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        let md0 = tables[0].markdown();
+        assert!(md0.contains("/query") && md0.contains("/tiles"), "{md0}");
+        let md1 = tables[1].markdown();
+        assert!(md1.contains("24"), "top concurrency present: {md1}");
+        let text = json.emit();
+        assert!(text.contains("\"cold_warm\""));
+        assert!(text.contains("\"sweep\""));
+    }
+}

@@ -3,13 +3,16 @@
 //! regenerated at laptop scale.
 //!
 //! Each experiment module exposes a `run(scale) -> Vec<Table>` used by the
-//! `harness` binary, which prints the EXPERIMENTS.md tables. The extra
-//! [`kernels`] experiment (`E-k0`) times the parallel compute kernels
-//! against their serial references and doubles as the `BENCH_PR1.json`
-//! generator. The [`table::Table`] type renders GitHub-flavoured markdown.
+//! `harness` binary, which prints the EXPERIMENTS.md tables. Two extra
+//! experiments ride along: [`kernels`] (`E-k0`) times the parallel compute
+//! kernels against their serial references (writes `BENCH_PR1.json`), and
+//! [`e_s0_serve`] (`E-s0`) load-tests the `ee-serve` serving tier over real
+//! sockets (writes `BENCH_PR2.json`). The [`table::Table`] type renders
+//! GitHub-flavoured markdown.
 
 pub mod table;
 
+pub mod e_s0_serve;
 pub mod kernels;
 
 pub mod e1_extraction;
@@ -35,8 +38,8 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
 ];
 
 /// Run one experiment by id.
@@ -55,6 +58,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e11" => Some(e11_water::run(scale)),
         "e12" => Some(e12_seaice::run(scale)),
         "kernels" => Some(kernels::run(scale)),
+        "e-s0" => Some(e_s0_serve::run(scale)),
         _ => None,
     }
 }

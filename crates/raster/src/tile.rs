@@ -78,32 +78,57 @@ pub fn untile<T: Pixel>(tiles: &[Tile<T>], tile_size: usize) -> Option<Raster<T>
 
 /// One level of an overview pyramid: downsample by 2 with box averaging
 /// (odd trailing rows/columns average the available pixels).
-pub fn downsample2<T: Pixel>(raster: &Raster<T>) -> Raster<T> {
+///
+/// Output rows are data-parallel; this runs on [`ee_util::par`] with the
+/// default worker count. Each output pixel is a pure function of the
+/// input, so the result is identical for every thread count.
+pub fn downsample2<T: Pixel + Send + Sync>(raster: &Raster<T>) -> Raster<T> {
+    downsample2_with_threads(raster, ee_util::par::available_threads())
+}
+
+/// [`downsample2`] with an explicit worker count (1 = serial reference).
+pub fn downsample2_with_threads<T: Pixel + Send + Sync>(
+    raster: &Raster<T>,
+    threads: usize,
+) -> Raster<T> {
     let cols = raster.cols().div_ceil(2).max(1);
     let rows = raster.rows().div_ceil(2).max(1);
     let t = raster.transform();
     let transform =
         crate::raster::GeoTransform::new(t.origin_x, t.origin_y, t.pixel_size * 2.0);
-    Raster::from_fn(cols, rows, transform, |c, r| {
-        let mut sum = 0.0;
-        let mut n = 0.0;
-        for dr in 0..2 {
-            for dc in 0..2 {
-                let sc = c * 2 + dc;
-                let sr = r * 2 + dr;
-                if sc < raster.cols() && sr < raster.rows() {
-                    sum += raster.at(sc, sr).to_f64();
-                    n += 1.0;
+    // Small levels are not worth a thread spawn; the top of every pyramid
+    // runs inline.
+    let threads = if cols * rows < 4096 { 1 } else { threads };
+    let mut out = Raster::zeros(cols, rows, transform);
+    ee_util::par::for_rows_mut(out.data_mut(), cols, threads, |first_row, band| {
+        for (i, out_row) in band.chunks_mut(cols).enumerate() {
+            let r = first_row + i;
+            for (c, v) in out_row.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                let mut n = 0.0;
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        let sc = c * 2 + dc;
+                        let sr = r * 2 + dr;
+                        if sc < raster.cols() && sr < raster.rows() {
+                            sum += raster.at(sc, sr).to_f64();
+                            n += 1.0;
+                        }
+                    }
                 }
+                *v = T::from_f64(sum / n);
             }
         }
-        T::from_f64(sum / n)
-    })
+    });
+    out
 }
 
 /// Build a full overview pyramid: level 0 is the input, each further level
 /// halves the resolution, down to a single-ish pixel.
-pub fn pyramid<T: Pixel>(raster: &Raster<T>) -> Vec<Raster<T>> {
+///
+/// Levels are built in sequence (each needs the previous), but every
+/// level's rows are computed in parallel via [`downsample2`].
+pub fn pyramid<T: Pixel + Send + Sync>(raster: &Raster<T>) -> Vec<Raster<T>> {
     let mut levels = vec![raster.clone()];
     while levels.last().expect("non-empty").cols() > 1
         || levels.last().expect("non-empty").rows() > 1
@@ -192,6 +217,23 @@ mod tests {
         // Each level halves (ceil) the previous.
         for w in levels.windows(2) {
             assert_eq!(w[1].cols(), w[0].cols().div_ceil(2).max(1));
+        }
+    }
+
+    #[test]
+    fn downsample_parallel_identical_to_serial() {
+        // The by-row parallel split must be invisible: bit-identical
+        // output for every worker count, including sizes above the
+        // inline-threshold and ragged odd edges.
+        for (cols, rows) in [(129, 97), (200, 200), (64, 3)] {
+            let r: Raster<f32> = Raster::from_fn(cols, rows, gt(), |c, row| {
+                ((row * cols + c) as f32).sin()
+            });
+            let serial = downsample2_with_threads(&r, 1);
+            for threads in [2usize, 3, 4, 8] {
+                let par = downsample2_with_threads(&r, threads);
+                assert_eq!(par, serial, "{cols}x{rows} threads={threads}");
+            }
         }
     }
 

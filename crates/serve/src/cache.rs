@@ -1,0 +1,340 @@
+//! Sharded LRU response cache with TTL.
+//!
+//! The cache sits between the router and the engines: cacheable GET
+//! responses are stored under a canonicalised request key (see
+//! [`crate::router::cache_key`]) so that repeated queries, catalogue
+//! searches, tile fetches and ice bundles are answered without touching
+//! the engines at all. Design:
+//!
+//! * **Sharding.** Keys are distributed over `shards` independent
+//!   `Mutex<Shard>` instances by FNV-1a hash, so concurrent workers
+//!   rarely contend on the same lock. FNV is used (not `RandomState`)
+//!   to keep shard assignment deterministic run-to-run.
+//! * **True LRU per shard.** Each shard keeps an intrusive doubly-linked
+//!   list threaded through a slab of nodes; get/put/evict are all O(1).
+//! * **TTL.** Every entry carries an expiry instant; expired entries are
+//!   treated as misses and reclaimed lazily on access or eviction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cached response body: everything needed to replay the response
+/// without re-running the engine.
+#[derive(Debug)]
+pub struct CachedBody {
+    /// HTTP status (only 200s are cached, but kept for completeness).
+    pub status: u16,
+    /// Content type of the cached body.
+    pub content_type: String,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+/// FNV-1a, used for deterministic shard selection.
+fn fnv1a(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: String,
+    value: Arc<CachedBody>,
+    expires: Instant,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab + intrusive list, most-recent at `head`.
+struct Shard {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn remove_index(&mut self, idx: usize) {
+        self.unlink(idx);
+        let key = std::mem::take(&mut self.nodes[idx].key);
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn get(&mut self, key: &str, now: Instant) -> Option<Arc<CachedBody>> {
+        let idx = *self.map.get(key)?;
+        if self.nodes[idx].expires <= now {
+            self.remove_index(idx);
+            return None;
+        }
+        // Move to front.
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.nodes[idx].value))
+    }
+
+    fn put(&mut self, key: String, value: Arc<CachedBody>, expires: Instant) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.nodes[idx].expires = expires;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            if victim == NIL {
+                return; // capacity 0
+            }
+            self.remove_index(victim);
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            expires,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// The sharded cache.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    ttl: Duration,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    /// Create a cache of `shards` shards of `capacity_per_shard` entries
+    /// each, with every entry living `ttl` from insertion.
+    pub fn new(shards: usize, capacity_per_shard: usize, ttl: Duration) -> Self {
+        let shards = shards.max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(capacity_per_shard)))
+                .collect(),
+            ttl,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let idx = (fnv1a(key) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Look up a key; counts a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedBody>> {
+        let got = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key, Instant::now());
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert (or refresh) a key.
+    pub fn put(&self, key: String, value: Arc<CachedBody>) {
+        let expires = Instant::now() + self.ttl;
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .put(key, value, expires);
+    }
+
+    /// Entries currently held (expired-but-unreclaimed entries count).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in [0, 1]; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<CachedBody> {
+        Arc::new(CachedBody {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: s.as_bytes().to_vec(),
+        })
+    }
+
+    #[test]
+    fn get_put_and_hit_accounting() {
+        let c = ShardedLru::new(4, 8, Duration::from_secs(60));
+        assert!(c.get("k").is_none());
+        c.put("k".into(), body("v"));
+        assert_eq!(c.get("k").unwrap().body, b"v");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Single shard so eviction order is observable.
+        let c = ShardedLru::new(1, 3, Duration::from_secs(60));
+        c.put("a".into(), body("1"));
+        c.put("b".into(), body("2"));
+        c.put("c".into(), body("3"));
+        // Touch "a" so "b" is now least-recent.
+        assert!(c.get("a").is_some());
+        c.put("d".into(), body("4"));
+        assert!(c.get("b").is_none(), "b evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert!(c.get("d").is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let c = ShardedLru::new(2, 4, Duration::from_millis(30));
+        c.put("k".into(), body("v"));
+        assert!(c.get("k").is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(c.get("k").is_none(), "expired entry is a miss");
+        assert_eq!(c.len(), 0, "expired entry reclaimed on access");
+    }
+
+    #[test]
+    fn refresh_updates_value_and_recency() {
+        let c = ShardedLru::new(1, 2, Duration::from_secs(60));
+        c.put("a".into(), body("1"));
+        c.put("b".into(), body("2"));
+        c.put("a".into(), body("1b"));
+        c.put("c".into(), body("3")); // evicts b (a was refreshed)
+        assert_eq!(c.get("a").unwrap().body, b"1b");
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn slab_reuse_survives_churn() {
+        let c = ShardedLru::new(2, 16, Duration::from_secs(60));
+        for round in 0..50 {
+            for i in 0..40 {
+                c.put(format!("k{i}"), body(&format!("r{round}v{i}")));
+            }
+        }
+        assert!(c.len() <= 32, "bounded by shard capacities");
+        // Recent keys are present with their latest values.
+        let v = c.get("k39").expect("most recent key cached");
+        assert_eq!(v.body, b"r49v39");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = Arc::new(ShardedLru::new(8, 64, Duration::from_secs(60)));
+        ee_util::par::fan_out(8, |w| {
+            for i in 0..500 {
+                let key = format!("k{}", (w * 31 + i) % 100);
+                if i % 3 == 0 {
+                    c.put(key, body("x"));
+                } else {
+                    let _ = c.get(&key);
+                }
+            }
+        });
+        assert!(c.len() <= 8 * 64);
+        assert!(c.hits() + c.misses() > 0);
+    }
+}

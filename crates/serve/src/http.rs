@@ -1,0 +1,526 @@
+//! A minimal HTTP/1.1 wire implementation: request parsing, response
+//! emission, and the tiny client-side reader the load generator and the
+//! integration tests share.
+//!
+//! Deliberately small — exactly the subset the serving tier needs:
+//! request line + headers + `Content-Length` bodies, percent-decoded
+//! paths and query strings, and keep-alive semantics (HTTP/1.1 persistent
+//! by default, `Connection: close` honoured both ways). No chunked
+//! transfer encoding, no trailers, no upgrade.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body. Anything bigger is refused with 413
+/// rather than buffered — the serving tier fronts read-mostly analytics.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted header section (request line + all headers).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parse failure, mapped by the server onto a 4xx response (or a silent
+/// close for `ConnectionClosed`).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before the first byte of a request — the peer hung up
+    /// between keep-alive requests; not an error worth a response.
+    ConnectionClosed,
+    /// Read timed out waiting for the next request on a kept-alive
+    /// connection.
+    IdleTimeout,
+    /// Malformed request (bad request line, header, or length).
+    Malformed(String),
+    /// Body longer than [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// Underlying socket error mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::IdleTimeout => write!(f, "idle timeout"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge(n) => write!(f, "body of {n} bytes too large"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path component, e.g. `/tiles/2/0/1`.
+    pub path: String,
+    /// Decoded query parameters in document order.
+    pub query: Vec<(String, String)>,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+    /// True when the request used HTTP/1.1 (keep-alive by default).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a query parameter with `FromStr`, falling back on absence or
+    /// garbage.
+    pub fn param_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.param(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Read one request from a buffered stream.
+///
+/// Blocks until a full request arrives, the peer closes, or the stream's
+/// read timeout fires (surfaced as [`HttpError::IdleTimeout`]).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    read_crlf_line(r, &mut line, true)?;
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line".into()));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let mut headers = Vec::new();
+    let mut header_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        read_crlf_line(r, &mut h, false)?;
+        if h.is_empty() {
+            break;
+        }
+        header_bytes += h.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let (name, value) = h
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {h:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(HttpError::Io)?;
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw),
+        query: query_raw.map(parse_query).unwrap_or_default(),
+        headers,
+        body,
+        http11,
+    })
+}
+
+/// Read a CRLF (or bare-LF) terminated line, stripped of the terminator.
+/// `at_boundary` marks the first read of a request, where clean EOF means
+/// the peer ended the keep-alive session rather than truncated a message.
+fn read_crlf_line<R: BufRead>(
+    r: &mut R,
+    out: &mut String,
+    at_boundary: bool,
+) -> Result<(), HttpError> {
+    let mut buf = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if at_boundary && buf.is_empty() {
+                    Err(HttpError::ConnectionClosed)
+                } else {
+                    Err(HttpError::Malformed("unexpected EOF in line".into()))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_HEADER_BYTES {
+                    return Err(HttpError::Malformed("line too long".into()));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return if at_boundary && buf.is_empty() {
+                    Err(HttpError::IdleTimeout)
+                } else {
+                    Err(HttpError::Io(e))
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    *out = String::from_utf8(buf)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?;
+    Ok(())
+}
+
+/// Decode `%XX` sequences and `+`-as-space.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Split a raw query string into decoded key/value pairs.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// Extra headers (`Content-Length`, `Connection` and `Content-Type`
+    /// are emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, v: &ee_util::json::Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+            body: v.emit().into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": ...}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let v = ee_util::json::Json::obj(vec![(
+            "error",
+            ee_util::json::Json::Str(message.to_string()),
+        )]);
+        Response::json(status, &v)
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A binary response.
+    pub fn octets(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream".into(),
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialise onto the wire. `keep_alive` controls the `Connection`
+    /// header; the caller decides whether to actually reuse the socket.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            self.content_type,
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (n, v) in &self.headers {
+            head.push_str(n);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this tier emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// A client-side response, as read by [`read_response`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+impl ClientResponse {
+    /// First value of a header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one response from a buffered stream (client side: load generator
+/// and tests).
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
+    let mut line = String::new();
+    read_crlf_line(r, &mut line, true)?;
+    let mut parts = line.split_ascii_whitespace();
+    let _version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty status line".into()))?;
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        read_crlf_line(r, &mut h, false)?;
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    let keep_alive = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .is_none_or(|(_, v)| !v.eq_ignore_ascii_case("close"));
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_line_headers_and_query() {
+        let raw = b"GET /query?x0=1.5&y0=2&mode=a%20b HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.param("x0"), Some("1.5"));
+        assert_eq!(req.param("mode"), Some("a b"));
+        assert_eq!(req.param_or("y0", 0.0), 2.0);
+        assert_eq!(req.param_or("missing", 9usize), 9);
+        assert_eq!(req.header("x-trace"), Some("7"));
+        assert!(req.http11);
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn connection_close_and_http10_semantics() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(!req.wants_keep_alive());
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(!req.wants_keep_alive());
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn body_via_content_length() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.body, b"hello");
+        // Oversized bodies are refused before allocation.
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        match read_request(&mut BufReader::new(raw.as_bytes())) {
+            Err(HttpError::BodyTooLarge(_)) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_connection_closed() {
+        let raw = b"";
+        match read_request(&mut BufReader::new(&raw[..])) {
+            Err(HttpError::ConnectionClosed) => {}
+            other => panic!("expected ConnectionClosed, got {other:?}"),
+        }
+        // EOF mid-message is malformed instead.
+        let raw = b"GET / HTTP/1.1\r\nHost";
+        assert!(matches!(
+            read_request(&mut BufReader::new(&raw[..])),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_reader() {
+        let resp = Response::json(
+            200,
+            &ee_util::json::Json::obj(vec![("ok", ee_util::json::Json::Bool(true))]),
+        )
+        .with_header("x-cache", "HIT");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let got = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.header("x-cache"), Some("HIT"));
+        assert_eq!(got.header("connection"), Some("keep-alive"));
+        assert_eq!(got.body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c%zz%"), "a/b c%zz%");
+        let q = parse_query("a=1&b&=x&c=%E2%82%AC");
+        assert_eq!(q[0], ("a".into(), "1".into()));
+        assert_eq!(q[1], ("b".into(), "".into()));
+        assert_eq!(q[3], ("c".into(), "€".into()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # ee-serve — the serving tier
+//!
+//! A dependency-free (std-only) multi-threaded HTTP/1.1 server that
+//! fronts the workspace's analytics engines, closing the loop from the
+//! paper's batch experiments to an interactive access layer: the hot
+//! spatial-selection, catalogue-search, tile-overview and sea-ice
+//! product paths become network services with caching, admission
+//! control, and observable latency.
+//!
+//! Routes:
+//!
+//! | Route | Engine | Paper path |
+//! |---|---|---|
+//! | `GET /query` | `ee-rdf` BGP + spatial filter | E2/E3 selections |
+//! | `GET /catalogue/search` | `ee-catalogue` classic / semantic | E9 |
+//! | `GET /tiles/{level}/{row}/{col}` | `ee-raster` overview pyramid | browse imagery |
+//! | `GET /ice/{region}` | `ee-polar` PCDSS bundle | E12 |
+//! | `GET /healthz` | — | liveness + data inventory |
+//! | `GET /metrics` | — | Prometheus text format |
+//!
+//! Module map: [`http`] wire parsing, [`router`] request→engine
+//! dispatch, [`state`] the engines, [`cache`] a sharded LRU with TTL,
+//! [`metrics`] counters + latency histograms, [`server`] the accept
+//! loop / bounded queue / worker pool, [`loadgen`] the closed-loop
+//! client driving the E-s0 experiment.
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use server::{start, ServerConfig, ServerHandle};
+pub use state::{AppState, DataConfig};

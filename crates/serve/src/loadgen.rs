@@ -1,0 +1,275 @@
+//! Closed-loop load generator for the serving tier.
+//!
+//! `N` client threads each drive real localhost TCP connections against a
+//! running server: issue a request, wait for the full response, record
+//! the latency, repeat. Closed-loop means offered load adapts to service
+//! rate — exactly the client model behind the E-s0 experiment's
+//! concurrency sweep.
+//!
+//! Two connection modes:
+//!
+//! * [`ConnMode::PerRequest`] — a fresh connection per request. Every
+//!   request passes admission control, so this is the mode that probes
+//!   the 503 watermark under overload.
+//! * [`ConnMode::KeepAlive`] — one persistent connection per client
+//!   reused for all its requests; measures steady-state service latency
+//!   (and warm-cache behaviour) without per-connection setup noise.
+
+use crate::http::{read_response, ClientResponse, HttpError};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How clients manage connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// Fresh connection per request: every request faces admission.
+    PerRequest,
+    /// One keep-alive connection per client thread.
+    KeepAlive,
+}
+
+/// A load-generation plan.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Connection management mode.
+    pub mode: ConnMode,
+    /// Client-side socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            clients: 4,
+            requests_per_client: 50,
+            mode: ConnMode::KeepAlive,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// 2xx responses.
+    pub ok: u64,
+    /// 503 admission rejections.
+    pub rejected: u64,
+    /// 504 deadline expiries.
+    pub expired: u64,
+    /// Other HTTP statuses (4xx bugs in the target list, 5xx…).
+    pub other: u64,
+    /// Transport-level failures (connect refused, timeout, short read).
+    pub errors: u64,
+    /// `x-cache: HIT` responses among the 2xx.
+    pub cache_hits: u64,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// Latency percentiles over **successful (2xx) requests**, µs.
+    pub p50_us: u64,
+    /// 95th percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+    /// Mean 2xx latency, µs.
+    pub mean_us: u64,
+    /// p99 over every *admitted* request (2xx + 504): the bounded-tail
+    /// criterion under overload.
+    pub admitted_p99_us: u64,
+}
+
+impl LoadReport {
+    /// Completed requests of any status (excludes transport errors).
+    pub fn completed(&self) -> u64 {
+        self.ok + self.rejected + self.expired + self.other
+    }
+
+    /// Successful requests per second over the wall-clock.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn issue(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    keep_alive: bool,
+) -> Result<ClientResponse, HttpError> {
+    let conn_header = if keep_alive { "keep-alive" } else { "close" };
+    let req = format!(
+        "GET {target} HTTP/1.1\r\nhost: localhost\r\nconnection: {conn_header}\r\n\r\n"
+    );
+    stream.write_all(req.as_bytes()).map_err(HttpError::Io)?;
+    stream.flush().map_err(HttpError::Io)?;
+    read_response(reader)
+}
+
+/// Run the plan against `addr`, each client cycling through `targets`
+/// round-robin (offset by client id so clients don't move in lock-step).
+///
+/// Panics if `targets` is empty.
+pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport {
+    assert!(!targets.is_empty(), "loadgen needs at least one target");
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let expired = AtomicU64::new(0);
+    let other = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let ok_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let admitted_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    let t0 = Instant::now();
+    ee_util::par::fan_out(plan.clients.max(1), |client| {
+        let mut local_ok: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
+        let mut local_admitted: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
+        let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+        for i in 0..plan.requests_per_client {
+            let target = &targets[(client + i) % targets.len()];
+            if conn.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_read_timeout(Some(plan.timeout));
+                        let _ = s.set_write_timeout(Some(plan.timeout));
+                        let _ = s.set_nodelay(true);
+                        match s.try_clone() {
+                            Ok(r) => conn = Some((s, BufReader::new(r))),
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            let keep_alive = plan.mode == ConnMode::KeepAlive;
+            let (stream, reader) = conn.as_mut().expect("connection just established");
+            let start = Instant::now();
+            let resp = issue(stream, reader, target, keep_alive);
+            let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            match resp {
+                Ok(r) => {
+                    match r.status {
+                        200..=299 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if r.header("x-cache").is_some_and(|v| v == "HIT") {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            local_ok.push(us);
+                            local_admitted.push(us);
+                        }
+                        503 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        504 => {
+                            expired.fetch_add(1, Ordering::Relaxed);
+                            local_admitted.push(us);
+                        }
+                        _ => {
+                            other.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // The server closes after non-keep-alive exchanges and
+                    // after error responses; reconnect next iteration.
+                    if !keep_alive || !r.keep_alive {
+                        conn = None;
+                    }
+                }
+                Err(_) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    conn = None;
+                }
+            }
+        }
+        ok_lat.lock().expect("latency vec poisoned").extend(local_ok);
+        admitted_lat
+            .lock()
+            .expect("latency vec poisoned")
+            .extend(local_admitted);
+    });
+    let wall = t0.elapsed();
+
+    let mut ok_lat = ok_lat.into_inner().expect("latency vec poisoned");
+    ok_lat.sort_unstable();
+    let mut admitted_lat = admitted_lat.into_inner().expect("latency vec poisoned");
+    admitted_lat.sort_unstable();
+    let mean_us = if ok_lat.is_empty() {
+        0
+    } else {
+        ok_lat.iter().sum::<u64>() / ok_lat.len() as u64
+    };
+    LoadReport {
+        ok: ok.into_inner(),
+        rejected: rejected.into_inner(),
+        expired: expired.into_inner(),
+        other: other.into_inner(),
+        errors: errors.into_inner(),
+        cache_hits: cache_hits.into_inner(),
+        wall,
+        p50_us: percentile(&ok_lat, 0.50),
+        p95_us: percentile(&ok_lat, 0.95),
+        p99_us: percentile(&ok_lat, 0.99),
+        mean_us,
+        admitted_p99_us: percentile(&admitted_lat, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.50), 51); // nearest-rank on 0-based index
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = LoadReport {
+            ok: 90,
+            rejected: 8,
+            expired: 2,
+            other: 0,
+            errors: 1,
+            cache_hits: 40,
+            wall: Duration::from_secs(2),
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            mean_us: 120,
+            admitted_p99_us: 350,
+        };
+        assert_eq!(r.completed(), 100);
+        assert!((r.throughput() - 45.0).abs() < 1e-9);
+    }
+}

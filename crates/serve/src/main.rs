@@ -1,0 +1,51 @@
+//! `ee-serve` binary: build the engines, bind, and serve until killed.
+//!
+//! ```text
+//! cargo run -p ee-serve --release              # defaults (127.0.0.1:7207)
+//! EE_SERVE_ADDR=0.0.0.0:8080 cargo run -p ee-serve --release
+//! EE_SERVE_TINY=1 cargo run -p ee-serve        # small dataset, fast start
+//! ```
+
+use ee_serve::{start, AppState, DataConfig, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let addr =
+        std::env::var("EE_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7207".to_string());
+    let data = if std::env::var("EE_SERVE_TINY").is_ok() {
+        DataConfig::tiny()
+    } else {
+        DataConfig::default()
+    };
+    eprintln!(
+        "ee-serve: building engines (points={}, products={}, scene={}px, ice={} regions)...",
+        data.points,
+        data.products,
+        data.scene_size,
+        ee_serve::state::ICE_REGIONS.len()
+    );
+    let t0 = std::time::Instant::now();
+    let state = Arc::new(AppState::build(data));
+    eprintln!("ee-serve: engines ready in {:?}", t0.elapsed());
+
+    let config = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let handle = match start(config, state) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ee-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "ee-serve: listening on http://{} ({} workers) — try /healthz, /query, /tiles/0/0/0",
+        handle.addr, workers
+    );
+    // Serve forever; the process is stopped by signal.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

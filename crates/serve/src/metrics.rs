@@ -1,0 +1,362 @@
+//! Serving-tier metrics: atomic counters, queue-depth gauges and
+//! log-scaled latency histograms, exported in Prometheus text format at
+//! `/metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — the
+//! counters are statistics, not synchronisation), so recording on the
+//! request hot path costs a handful of uncontended atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket count: powers of two of microseconds, 1 µs … ~33 s,
+/// plus an overflow bucket.
+pub const BUCKETS: usize = 26;
+
+/// A fixed-bucket latency histogram over microseconds.
+///
+/// Bucket `i` counts samples with `value_us < 2^(i+1)` (and ≥ `2^i` for
+/// i > 0); the last bucket absorbs everything larger. Quantiles are
+/// answered with the bucket upper bound — a ≤2× overestimate, which is
+/// the right direction to err for tail-latency reporting.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        ((64 - us.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (µs) of bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// Record one latency sample.
+    pub fn record_us(&self, us: u64) {
+        self.counts[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile `q` in [0,1], as the upper bound of the
+    /// bucket where the cumulative count crosses `q·total`. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += self.counts[i].load(Ordering::Relaxed);
+            if cum >= target {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
+
+    /// Snapshot of per-bucket counts.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Route classes tracked separately in the metrics (path templates, not
+/// concrete paths, so cardinality stays fixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `/query` — RDF BGP selection.
+    Query,
+    /// `/catalogue/search`.
+    Catalogue,
+    /// `/tiles/{level}/{row}/{col}`.
+    Tiles,
+    /// `/ice/{region}`.
+    Ice,
+    /// `/healthz`.
+    Healthz,
+    /// `/metrics`.
+    Metrics,
+    /// `/debug/*` (test-only routes).
+    Debug,
+    /// Anything unrecognised (404s).
+    Other,
+}
+
+/// All routes, for iteration.
+pub const ROUTES: [Route; 8] = [
+    Route::Query,
+    Route::Catalogue,
+    Route::Tiles,
+    Route::Ice,
+    Route::Healthz,
+    Route::Metrics,
+    Route::Debug,
+    Route::Other,
+];
+
+impl Route {
+    /// Stable label used in metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Query => "query",
+            Route::Catalogue => "catalogue",
+            Route::Tiles => "tiles",
+            Route::Ice => "ice",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Debug => "debug",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ROUTES.iter().position(|r| *r == self).expect("in ROUTES")
+    }
+}
+
+/// All serving-tier metrics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections admitted past the accept queue.
+    pub admitted: AtomicU64,
+    /// Connections rejected with 503 at the watermark.
+    pub rejected: AtomicU64,
+    /// Requests that exceeded their deadline (504).
+    pub deadline_expired: AtomicU64,
+    /// Requests answered (any status).
+    pub handled: AtomicU64,
+    /// Malformed requests answered 4xx.
+    pub bad_requests: AtomicU64,
+    /// Current accept-queue depth.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the accept queue.
+    pub queue_peak: AtomicU64,
+    per_route_requests: [AtomicU64; ROUTES.len()],
+    per_route_latency: [Histogram; ROUTES.len()],
+}
+
+impl Metrics {
+    /// Create zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed request on `route` with its latency.
+    pub fn record(&self, route: Route, latency_us: u64) {
+        self.per_route_requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        self.per_route_latency[route.index()].record_us(latency_us);
+        self.handled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests seen on a route.
+    pub fn route_requests(&self, route: Route) -> u64 {
+        self.per_route_requests[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// Latency histogram of a route.
+    pub fn route_latency(&self, route: Route) -> &Histogram {
+        &self.per_route_latency[route.index()]
+    }
+
+    /// Update the queue-depth gauge (called with the depth after a
+    /// push/pop) and track the peak.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Render everything in Prometheus text exposition format. Cache
+    /// statistics come from the caller so the metrics type stays
+    /// decoupled from the cache type.
+    pub fn render_prometheus(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            "ee_serve_connections_admitted_total",
+            "Connections admitted past the accept queue",
+            self.admitted.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_connections_rejected_total",
+            "Connections rejected with 503 at the admission watermark",
+            self.rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_deadline_expired_total",
+            "Requests past their deadline (504)",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_requests_total",
+            "Requests answered",
+            self.handled.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_bad_requests_total",
+            "Malformed requests answered 4xx",
+            self.bad_requests.load(Ordering::Relaxed),
+        );
+        counter("ee_serve_cache_hits_total", "Response cache hits", cache_hits);
+        counter(
+            "ee_serve_cache_misses_total",
+            "Response cache misses",
+            cache_misses,
+        );
+        let hit_rate = if cache_hits + cache_misses == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / (cache_hits + cache_misses) as f64
+        };
+        out.push_str(&format!(
+            "# HELP ee_serve_cache_hit_rate Response cache hit rate\n\
+             # TYPE ee_serve_cache_hit_rate gauge\nee_serve_cache_hit_rate {hit_rate}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_cache_entries Response cache entries held\n\
+             # TYPE ee_serve_cache_entries gauge\nee_serve_cache_entries {cache_len}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_queue_depth Accept queue depth\n\
+             # TYPE ee_serve_queue_depth gauge\nee_serve_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_queue_peak Accept queue high-water mark\n\
+             # TYPE ee_serve_queue_peak gauge\nee_serve_queue_peak {}\n",
+            self.queue_peak.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP ee_serve_route_requests_total Requests per route\n\
+             # TYPE ee_serve_route_requests_total counter\n",
+        );
+        for r in ROUTES {
+            out.push_str(&format!(
+                "ee_serve_route_requests_total{{route=\"{}\"}} {}\n",
+                r.label(),
+                self.route_requests(r)
+            ));
+        }
+        out.push_str(
+            "# HELP ee_serve_latency_us Request latency histogram (µs)\n\
+             # TYPE ee_serve_latency_us histogram\n",
+        );
+        for r in ROUTES {
+            let h = self.route_latency(r);
+            if h.count() == 0 {
+                continue;
+            }
+            let snap = h.snapshot();
+            let mut cum = 0u64;
+            for (i, c) in snap.iter().enumerate() {
+                cum += c;
+                if *c > 0 || i == BUCKETS - 1 {
+                    out.push_str(&format!(
+                        "ee_serve_latency_us_bucket{{route=\"{}\",le=\"{}\"}} {}\n",
+                        r.label(),
+                        Histogram::bucket_bound(i),
+                        cum
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "ee_serve_latency_us_sum{{route=\"{}\"}} {}\n\
+                 ee_serve_latency_us_count{{route=\"{}\"}} {}\n",
+                r.label(),
+                h.sum_us(),
+                r.label(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_is_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_us(0.5);
+        assert!((32..=64).contains(&p50), "p50 bucket bound {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 10_000, "p99 {p99} must cover the outlier");
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(h.quantile_us(0.0).max(1), h.quantile_us(0.0));
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn metrics_record_and_render() {
+        let m = Metrics::new();
+        m.record(Route::Query, 120);
+        m.record(Route::Query, 80);
+        m.record(Route::Tiles, 40);
+        m.set_queue_depth(3);
+        m.set_queue_depth(1);
+        assert_eq!(m.route_requests(Route::Query), 2);
+        assert_eq!(m.handled.load(Ordering::Relaxed), 3);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 3);
+        let text = m.render_prometheus(5, 10, 7);
+        assert!(text.contains("ee_serve_route_requests_total{route=\"query\"} 2"));
+        assert!(text.contains("ee_serve_cache_hit_rate 0.333"));
+        assert!(text.contains("ee_serve_queue_depth 1"));
+        assert!(text.contains("ee_serve_latency_us_count{route=\"query\"} 2"));
+        // Prometheus text format: every non-comment line is `name value`
+        // or `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+}

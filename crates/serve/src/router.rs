@@ -1,0 +1,457 @@
+//! Route table and handlers: maps parsed requests onto the engines in
+//! [`AppState`] and produces [`Response`]s.
+//!
+//! Routes:
+//!
+//! | route                       | engine                         | verb |
+//! |-----------------------------|--------------------------------|------|
+//! | `/query`                    | `ee-rdf` BGP selection (E2/E3) | GET  |
+//! | `/catalogue/search`         | `ee-catalogue` (E9)            | GET  |
+//! | `/tiles/{level}/{row}/{col}`| `ee-raster` pyramid            | GET  |
+//! | `/ice/{region}`             | `ee-polar` PCDSS bundle (E12)  | GET  |
+//! | `/healthz`                  | liveness + engine inventory    | GET  |
+//! | `/debug/sleep`              | deadline testing (opt-in)      | GET  |
+//!
+//! (`/metrics` is answered by the server itself, which owns the metrics
+//! and cache objects.)
+
+use crate::http::{Request, Response};
+use crate::metrics::Route;
+use crate::state::{selection_sparql, AppState, ICE_REGIONS, REGION};
+use ee_geo::Envelope;
+use ee_polar::pcdss::encode_bundle;
+use ee_rdf::term::Term;
+use ee_util::json::Json;
+use std::time::Instant;
+
+/// What a dispatch produced: a response, or proof that the per-request
+/// deadline expired mid-handler (the server turns this into a 504).
+pub enum Outcome {
+    /// Normal response.
+    Ready(Response),
+    /// The handler observed the deadline pass and aborted.
+    DeadlineExceeded,
+}
+
+/// Classify a path onto a route (used for metrics even when the handler
+/// then 404s).
+pub fn classify(path: &str) -> Route {
+    let mut segs = path.split('/').filter(|s| !s.is_empty());
+    match segs.next() {
+        Some("query") => Route::Query,
+        Some("catalogue") => Route::Catalogue,
+        Some("tiles") => Route::Tiles,
+        Some("ice") => Route::Ice,
+        Some("healthz") => Route::Healthz,
+        Some("metrics") => Route::Metrics,
+        Some("debug") => Route::Debug,
+        _ => Route::Other,
+    }
+}
+
+/// Canonical cache key for a request, or `None` when the request must
+/// not be served from (or stored into) the response cache.
+///
+/// The key canonicalises the query string — parameters sorted by name
+/// (stable for equal names) — so `?a=1&b=2` and `?b=2&a=1` share an
+/// entry. Only GETs on the four engine routes are cacheable; health,
+/// metrics and debug endpoints always reflect live state.
+pub fn cache_key(req: &Request) -> Option<String> {
+    if req.method != "GET" {
+        return None;
+    }
+    match classify(&req.path) {
+        Route::Query | Route::Catalogue | Route::Tiles | Route::Ice => {
+            let mut params = req.query.clone();
+            params.sort_by(|a, b| a.0.cmp(&b.0));
+            let canon: Vec<String> =
+                params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            Some(format!("GET|{}|{}", req.path, canon.join("&")))
+        }
+        _ => None,
+    }
+}
+
+/// Dispatch a request to its handler.
+pub fn dispatch(
+    state: &AppState,
+    req: &Request,
+    deadline: Instant,
+    debug_routes: bool,
+) -> Outcome {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    if req.method != "GET" {
+        return Outcome::Ready(Response::error(405, "only GET is served"));
+    }
+    match segs.as_slice() {
+        ["query"] => Outcome::Ready(handle_query(state, req)),
+        ["catalogue", "search"] => Outcome::Ready(handle_catalogue(state, req)),
+        ["tiles", level, row, col] => Outcome::Ready(handle_tile(state, level, row, col)),
+        ["ice", region] => Outcome::Ready(handle_ice(state, req, region)),
+        ["healthz"] => Outcome::Ready(handle_healthz(state)),
+        ["debug", "sleep"] if debug_routes => debug_sleep(req, deadline),
+        _ => Outcome::Ready(Response::error(404, "no such route")),
+    }
+}
+
+/// `/query` — rectangular selections (or raw SPARQL) over the point
+/// store. Parameters: `sparql` (raw query) or `x0`,`y0`,`side`
+/// (selection window, E2 shape); `limit` caps materialised rows.
+fn handle_query(state: &AppState, req: &Request) -> Response {
+    let sparql = match req.param("sparql") {
+        Some(q) => q.to_string(),
+        None => {
+            let x0 = req.param_or("x0", REGION * 0.45);
+            let y0 = req.param_or("y0", REGION * 0.45);
+            let side = req.param_or("side", REGION / 10.0);
+            if !(x0.is_finite() && y0.is_finite() && side.is_finite() && side > 0.0) {
+                return Response::error(400, "x0/y0/side must be finite, side > 0");
+            }
+            selection_sparql(x0, y0, side)
+        }
+    };
+    let limit = req.param_or("limit", 1000usize);
+    match ee_rdf::exec::query(&state.store, &sparql) {
+        Ok(sol) => {
+            let rows: Vec<Json> = sol
+                .rows
+                .iter()
+                .take(limit)
+                .map(|row| {
+                    Json::Arr(row.iter().map(|t| term_json(t.as_ref())).collect())
+                })
+                .collect();
+            Json::obj(vec![
+                ("vars", Json::Arr(sol.vars.iter().map(|v| Json::Str(v.clone())).collect())),
+                ("count", Json::Num(sol.rows.len() as f64)),
+                ("rows", Json::Arr(rows)),
+            ])
+            .pipe_json()
+        }
+        Err(e) => Response::error(400, &format!("query failed: {e}")),
+    }
+}
+
+fn term_json(t: Option<&Term>) -> Json {
+    match t {
+        None => Json::Null,
+        Some(Term::Iri(iri)) => Json::Str(iri.clone()),
+        Some(Term::Literal { lexical, .. }) => Json::Str(lexical.clone()),
+    }
+}
+
+/// `/catalogue/search` — AOI search. Parameters: `minx,miny,maxx,maxy`
+/// (AOI), `mode=classic|semantic`, `limit` (classic result cap).
+fn handle_catalogue(state: &AppState, req: &Request) -> Response {
+    let minx: f64 = req.param_or("minx", 10.0);
+    let miny: f64 = req.param_or("miny", 10.0);
+    let maxx = req.param_or("maxx", minx + 2.0);
+    let maxy = req.param_or("maxy", miny + 2.0);
+    if !(minx.is_finite() && miny.is_finite() && maxx > minx && maxy > miny) {
+        return Response::error(400, "need finite minx,miny < maxx,maxy");
+    }
+    let aoi = Envelope::new(minx, miny, maxx, maxy);
+    match req.param("mode").unwrap_or("classic") {
+        "classic" => match state.classic_search(aoi) {
+            Ok(hits) => {
+                let limit = req.param_or("limit", 50usize);
+                let ids: Vec<Json> =
+                    hits.iter().take(limit).map(|p| p.to_json()).collect();
+                Json::obj(vec![
+                    ("mode", Json::Str("classic".into())),
+                    ("count", Json::Num(hits.len() as f64)),
+                    ("products", Json::Arr(ids)),
+                ])
+                .pipe_json()
+            }
+            Err(e) => Response::error(400, &format!("search failed: {e}")),
+        },
+        "semantic" => {
+            let wkt = format!(
+                "POLYGON (({minx} {miny}, {maxx} {miny}, {maxx} {maxy}, {minx} {maxy}, {minx} {miny}))"
+            );
+            let q = format!(
+                "PREFIX eo: <http://extremeearth.eu/ont/eo#> \
+                 SELECT (COUNT(?p) AS ?n) WHERE {{ ?p eo:footprint ?f . \
+                 FILTER(geof:sfIntersects(?f, \"{wkt}\"^^geo:wktLiteral)) }}"
+            );
+            match state.semantic.query(&q) {
+                Ok(sol) => {
+                    let n = match sol.scalar() {
+                        Some(Term::Literal { lexical, .. }) => {
+                            lexical.parse::<f64>().unwrap_or(0.0)
+                        }
+                        _ => 0.0,
+                    };
+                    Json::obj(vec![
+                        ("mode", Json::Str("semantic".into())),
+                        ("count", Json::Num(n)),
+                        ("triples_held", Json::Num(state.semantic.len() as f64)),
+                    ])
+                    .pipe_json()
+                }
+                Err(e) => Response::error(400, &format!("semantic search failed: {e}")),
+            }
+        }
+        other => Response::error(400, &format!("unknown mode {other:?}")),
+    }
+}
+
+/// `/tiles/{level}/{row}/{col}` — a codec-encoded tile window of the
+/// overview pyramid. The body is the `ee_raster::codec` byte stream;
+/// grid geometry comes back in `x-tile-*` headers.
+fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response {
+    let (Ok(level), Ok(row), Ok(col)) = (
+        level.parse::<usize>(),
+        row.parse::<usize>(),
+        col.parse::<usize>(),
+    ) else {
+        return Response::error(400, "tile coordinates must be non-negative integers");
+    };
+    let Some(raster) = state.pyramid.get(level) else {
+        return Response::error(
+            404,
+            &format!("level {level} outside pyramid of {}", state.pyramid.len()),
+        );
+    };
+    let ts = state.tile_size;
+    let (col0, row0) = (col * ts, row * ts);
+    if col0 >= raster.cols() || row0 >= raster.rows() {
+        return Response::error(404, "tile outside level extent");
+    }
+    let w = ts.min(raster.cols() - col0);
+    let h = ts.min(raster.rows() - row0);
+    let window = raster.window(col0, row0, w, h).expect("bounds checked");
+    Response::octets(200, ee_raster::codec::encode(&window))
+        .with_header("x-tile-cols", w.to_string())
+        .with_header("x-tile-rows", h.to_string())
+        .with_header("x-pyramid-levels", state.pyramid.len().to_string())
+}
+
+/// `/ice/{region}` — the PCDSS product bundle for a region, encoded
+/// within `?budget=` bytes (default 1 MB). The body concatenates the
+/// three length-prefixed codec segments (concentration, stage, leads) in
+/// the order PCDSS ships them.
+fn handle_ice(state: &AppState, req: &Request, region: &str) -> Response {
+    let Some(products) = state.ice_region(region) else {
+        return Response::error(
+            404,
+            &format!("unknown region {region:?}; known: {ICE_REGIONS:?}"),
+        );
+    };
+    let budget = req.param_or("budget", 1_000_000usize);
+    match encode_bundle(products, budget) {
+        Ok(bundle) => {
+            let mut body = Vec::with_capacity(bundle.bytes() + 12);
+            for seg in [&bundle.concentration, &bundle.stage, &bundle.leads] {
+                body.extend_from_slice(&(seg.len() as u32).to_le_bytes());
+                body.extend_from_slice(seg);
+            }
+            Response::octets(200, body)
+                .with_header("x-downsample", bundle.downsample.to_string())
+                .with_header("x-bundle-bytes", bundle.bytes().to_string())
+        }
+        Err(e) => Response::error(400, &format!("budget unsatisfiable: {e}")),
+    }
+}
+
+/// `/healthz` — liveness, uptime, and the engine inventory.
+fn handle_healthz(state: &AppState) -> Response {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
+        ("points", Json::Num(state.store.len() as f64)),
+        ("products", Json::Num(state.classic.len() as f64)),
+        ("pyramid_levels", Json::Num(state.pyramid.len() as f64)),
+        (
+            "ice_regions",
+            Json::Arr(
+                state
+                    .ice
+                    .iter()
+                    .map(|(n, _)| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .pipe_json()
+}
+
+/// `/debug/sleep?ms=N` — hold a worker for `ms`, checking the deadline
+/// every slice. Exists so deadline enforcement is testable end-to-end.
+fn debug_sleep(req: &Request, deadline: Instant) -> Outcome {
+    let ms = req.param_or("ms", 10u64).min(60_000);
+    let until = Instant::now() + std::time::Duration::from_millis(ms);
+    while Instant::now() < until {
+        if Instant::now() >= deadline {
+            return Outcome::DeadlineExceeded;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    Outcome::Ready(Response::json(
+        200,
+        &Json::obj(vec![("slept_ms", Json::Num(ms as f64))]),
+    ))
+}
+
+/// Small helper: turn a [`Json`] into a 200 response.
+trait PipeJson {
+    fn pipe_json(self) -> Response;
+}
+
+impl PipeJson for Json {
+    fn pipe_json(self) -> Response {
+        Response::json(200, &self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_request;
+    use crate::state::DataConfig;
+    use std::io::BufReader;
+    use std::sync::OnceLock;
+
+    fn state() -> &'static AppState {
+        static STATE: OnceLock<AppState> = OnceLock::new();
+        STATE.get_or_init(|| AppState::build(DataConfig::tiny()))
+    }
+
+    fn get(target: &str) -> Request {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + std::time::Duration::from_secs(30)
+    }
+
+    fn ready(o: Outcome) -> Response {
+        match o {
+            Outcome::Ready(r) => r,
+            Outcome::DeadlineExceeded => panic!("unexpected deadline"),
+        }
+    }
+
+    #[test]
+    fn cache_key_canonicalises_query_order() {
+        let a = cache_key(&get("/query?x0=1&y0=2")).unwrap();
+        let b = cache_key(&get("/query?y0=2&x0=1")).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, cache_key(&get("/query?x0=1&y0=3")).unwrap());
+        assert!(cache_key(&get("/healthz")).is_none());
+        assert!(cache_key(&get("/metrics")).is_none());
+        let mut post = get("/query?x0=1");
+        post.method = "POST".into();
+        assert!(cache_key(&post).is_none());
+    }
+
+    #[test]
+    fn query_route_returns_solutions() {
+        let resp = ready(dispatch(state(), &get("/query?x0=10&y0=10&side=20"), far_deadline(), false));
+        assert_eq!(resp.status, 200);
+        let v = ee_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(v.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
+        // Raw SPARQL arm and the 400 path.
+        let resp = ready(dispatch(state(), &get("/query?sparql=nonsense"), far_deadline(), false));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn catalogue_route_classic_and_semantic_agree() {
+        let target = "/catalogue/search?minx=5&miny=5&maxx=12&maxy=12";
+        let classic = ready(dispatch(state(), &get(target), far_deadline(), false));
+        assert_eq!(classic.status, 200);
+        let cv = ee_util::json::parse(std::str::from_utf8(&classic.body).unwrap()).unwrap();
+        let semantic = ready(dispatch(
+            state(),
+            &get(&format!("{target}&mode=semantic")),
+            far_deadline(),
+            false,
+        ));
+        let sv = ee_util::json::parse(std::str::from_utf8(&semantic.body).unwrap()).unwrap();
+        assert_eq!(
+            cv.get("count").and_then(Json::as_f64),
+            sv.get("count").and_then(Json::as_f64),
+            "both catalogue arms count the same products"
+        );
+    }
+
+    #[test]
+    fn tile_route_serves_decodable_windows() {
+        let resp = ready(dispatch(state(), &get("/tiles/0/0/0"), far_deadline(), false));
+        assert_eq!(resp.status, 200);
+        let tile: ee_raster::Raster<f32> = ee_raster::codec::decode(&resp.body).unwrap();
+        assert_eq!(tile.shape(), (32, 32));
+        // Edge tile is clipped, deep level is small, out of range 404s.
+        let deep = ready(dispatch(state(), &get("/tiles/5/0/0"), far_deadline(), false));
+        assert_eq!(deep.status, 200);
+        assert_eq!(ready(dispatch(state(), &get("/tiles/99/0/0"), far_deadline(), false)).status, 404);
+        assert_eq!(ready(dispatch(state(), &get("/tiles/0/99/0"), far_deadline(), false)).status, 404);
+        assert_eq!(ready(dispatch(state(), &get("/tiles/0/x/0"), far_deadline(), false)).status, 400);
+    }
+
+    #[test]
+    fn ice_route_respects_budget() {
+        let full = ready(dispatch(state(), &get("/ice/fram-strait"), far_deadline(), false));
+        assert_eq!(full.status, 200);
+        assert_eq!(full.headers.iter().find(|(n, _)| n == "x-downsample").unwrap().1, "1");
+        let full_bytes: usize = full
+            .headers
+            .iter()
+            .find(|(n, _)| n == "x-bundle-bytes")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        // Any budget below the full-resolution size forces ≥1 halving.
+        let tight = ready(dispatch(
+            state(),
+            &get(&format!("/ice/fram-strait?budget={}", full_bytes - 1)),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(tight.status, 200);
+        let ds: usize = tight
+            .headers
+            .iter()
+            .find(|(n, _)| n == "x-downsample")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(ds > 1, "tight budget forces downsampling");
+        assert!(tight.body.len() < full.body.len());
+        assert_eq!(
+            ready(dispatch(state(), &get("/ice/atlantis"), far_deadline(), false)).status,
+            404
+        );
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let h = ready(dispatch(state(), &get("/healthz"), far_deadline(), false));
+        assert_eq!(h.status, 200);
+        assert_eq!(ready(dispatch(state(), &get("/nope"), far_deadline(), false)).status, 404);
+        // Debug routes 404 unless enabled.
+        assert_eq!(
+            ready(dispatch(state(), &get("/debug/sleep?ms=1"), far_deadline(), false)).status,
+            404
+        );
+        let mut post = get("/query");
+        post.method = "POST".into();
+        assert_eq!(ready(dispatch(state(), &post, far_deadline(), false)).status, 405);
+    }
+
+    #[test]
+    fn debug_sleep_honours_deadline() {
+        let past = Instant::now();
+        match dispatch(state(), &get("/debug/sleep?ms=500"), past, true) {
+            Outcome::DeadlineExceeded => {}
+            Outcome::Ready(r) => panic!("expected deadline, got {}", r.status),
+        }
+        let ok = ready(dispatch(state(), &get("/debug/sleep?ms=2"), far_deadline(), true));
+        assert_eq!(ok.status, 200);
+    }
+}

@@ -1,0 +1,363 @@
+//! The server: accept loop, bounded admission queue, fixed worker pool,
+//! per-request deadlines, and graceful overload.
+//!
+//! Threading model (no async runtime — `std::net` + the same scoped-pool
+//! spirit as `ee_util::par`, but with long-lived workers):
+//!
+//! ```text
+//!   acceptor thread ──► bounded VecDeque<Conn> ──► N worker threads
+//!        │                    (Mutex + Condvar)          │
+//!        └─ depth ≥ watermark ⇒ immediate 503            └─ full keep-alive
+//!           + Retry-After, connection closed                conversation per
+//!                                                          dequeued connection
+//! ```
+//!
+//! Admission control happens **per connection** at accept time: once the
+//! queue is at the watermark the acceptor answers `503 Service
+//! Unavailable` with `Retry-After` and closes, so overload sheds load in
+//! O(1) instead of stacking sockets until memory or latency collapses.
+//! Admitted connections carry their admission instant; every request on
+//! the connection gets a deadline (queue wait counts against the first),
+//! and a request that cannot finish in time is answered `504`.
+//!
+//! Responses to cacheable GETs are stored in the sharded LRU
+//! ([`crate::cache`]) under a canonical key; hits are replayed without
+//! touching the engines and marked `x-cache: HIT`.
+
+use crate::cache::{CachedBody, ShardedLru};
+use crate::http::{read_request, HttpError, Response};
+use crate::metrics::Metrics;
+use crate::router::{cache_key, classify, dispatch, Outcome};
+use crate::state::AppState;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission watermark: accepts are 503-rejected while the queue
+    /// holds this many connections.
+    pub queue_watermark: usize,
+    /// Per-request deadline (first request: measured from admission, so
+    /// queue wait counts; later keep-alive requests: from read).
+    pub deadline: Duration,
+    /// Idle timeout for keep-alive connections.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before it is recycled.
+    pub max_requests_per_conn: usize,
+    /// Response-cache shards.
+    pub cache_shards: usize,
+    /// Response-cache entries per shard.
+    pub cache_capacity_per_shard: usize,
+    /// Response-cache TTL.
+    pub cache_ttl: Duration,
+    /// `Retry-After` seconds advertised on 503.
+    pub retry_after_secs: u64,
+    /// Enable `/debug/*` routes (tests and experiments only).
+    pub debug_routes: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: ee_util::par::available_threads().min(8),
+            queue_watermark: 64,
+            deadline: Duration::from_millis(2_000),
+            idle_timeout: Duration::from_millis(5_000),
+            max_requests_per_conn: 10_000,
+            cache_shards: 8,
+            cache_capacity_per_shard: 512,
+            cache_ttl: Duration::from_secs(60),
+            retry_after_secs: 1,
+            debug_routes: false,
+        }
+    }
+}
+
+/// An admitted connection waiting for (or being served by) a worker.
+struct Conn {
+    stream: TcpStream,
+    admitted: Instant,
+}
+
+struct Shared {
+    config: ServerConfig,
+    state: Arc<AppState>,
+    metrics: Metrics,
+    cache: ShardedLru,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// A running server; dropping it does **not** stop the threads — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    /// The bound address (resolved ephemeral port).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Serving-tier metrics (live).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Response cache statistics (live).
+    pub fn cache(&self) -> &ShardedLru {
+        &self.shared.cache
+    }
+
+    /// Stop accepting, wake the workers, and join every thread. Idempotent
+    /// in effect; consumes the handle.
+    pub fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Close anything still queued.
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .clear();
+    }
+}
+
+/// Start a server on `config.addr` fronting `state`.
+pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: ShardedLru::new(
+            config.cache_shards,
+            config.cache_capacity_per_shard,
+            config.cache_ttl,
+        ),
+        metrics: Metrics::new(),
+        state,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        stop: AtomicBool::new(false),
+        config,
+    });
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ee-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    for w in 0..shared.config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ee-serve-worker-{w}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let depth = {
+            let q = shared.queue.lock().expect("queue poisoned");
+            q.len()
+        };
+        if depth >= shared.config.queue_watermark {
+            // Overload: shed in O(1) with an explicit retry hint.
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+            let resp = Response::error(503, "admission queue full")
+                .with_header("retry-after", shared.config.retry_after_secs.to_string());
+            let mut s = stream;
+            let _ = resp.write_to(&mut s, false);
+            continue;
+        }
+        shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        q.push_back(Conn {
+            stream,
+            admitted: Instant::now(),
+        });
+        shared.metrics.set_queue_depth(q.len() as u64);
+        drop(q);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(c) = q.pop_front() {
+                    shared.metrics.set_queue_depth(q.len() as u64);
+                    break c;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        };
+        serve_connection(shared, conn);
+    }
+}
+
+/// Serve one admitted connection to completion (close, error, idle
+/// timeout, or request budget).
+fn serve_connection(shared: &Shared, conn: Conn) {
+    let Conn { stream, admitted } = conn;
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // The first request's deadline starts at admission: time spent in the
+    // accept queue counts against it.
+    let mut deadline = admitted + shared.config.deadline;
+    for served in 0..shared.config.max_requests_per_conn {
+        if served > 0 {
+            deadline = Instant::now() + shared.config.deadline;
+        }
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed) | Err(HttpError::IdleTimeout) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::BodyTooLarge(_)) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(413, "body too large").write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Malformed(m)) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(400, &m).write_to(&mut writer, false);
+                return;
+            }
+        };
+        let keep_alive = req.wants_keep_alive() && served + 1 < shared.config.max_requests_per_conn;
+        let route = classify(&req.path);
+        let t0 = Instant::now();
+
+        let response = if Instant::now() >= deadline {
+            // Expired while queued (or while the previous exchange ran).
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(504, "deadline exceeded before handling")
+        } else if route == crate::metrics::Route::Metrics {
+            // Served here because it needs the metrics + cache objects.
+            Response::text(
+                200,
+                shared.metrics.render_prometheus(
+                    shared.cache.hits(),
+                    shared.cache.misses(),
+                    shared.cache.len(),
+                ),
+            )
+        } else {
+            let key = cache_key(&req);
+            let cacheable = key.is_some();
+            let cached = key.as_ref().and_then(|k| shared.cache.get(k));
+            match cached {
+                Some(hit) => Response {
+                    status: hit.status,
+                    content_type: hit.content_type.clone(),
+                    headers: vec![("x-cache".into(), "HIT".into())],
+                    body: hit.body.clone(),
+                },
+                None => {
+                    match dispatch(&shared.state, &req, deadline, shared.config.debug_routes) {
+                        Outcome::DeadlineExceeded => {
+                            shared
+                                .metrics
+                                .deadline_expired
+                                .fetch_add(1, Ordering::Relaxed);
+                            Response::error(504, "deadline exceeded in handler")
+                        }
+                        Outcome::Ready(mut resp) => {
+                            if resp.status == 200 {
+                                if let Some(k) = key {
+                                    shared.cache.put(
+                                        k,
+                                        Arc::new(CachedBody {
+                                            status: resp.status,
+                                            content_type: resp.content_type.clone(),
+                                            body: resp.body.clone(),
+                                        }),
+                                    );
+                                }
+                            }
+                            if cacheable {
+                                resp.headers.push(("x-cache".into(), "MISS".into()));
+                            }
+                            resp
+                        }
+                    }
+                }
+            }
+        };
+
+        let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.metrics.record(route, latency_us);
+        if response.write_to(&mut writer, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The server is exercised end-to-end over real sockets in
+    // `tests/server.rs`; unit tests here stay within module seams.
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_watermark > 0);
+        assert!(c.deadline > Duration::ZERO);
+        assert!(c.cache_shards > 0);
+    }
+}

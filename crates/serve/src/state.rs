@@ -1,0 +1,250 @@
+//! The application state behind the routes: one instance of each
+//! analytics engine, built once at startup and shared read-only by every
+//! worker thread.
+//!
+//! * an [`ee_rdf::TripleStore`] of point features with a spatial index —
+//!   the E2/E3 rectangular-selection path, behind `/query`;
+//! * an [`ee_catalogue::ClassicCatalogue`] + [`SemanticCatalogue`] pair
+//!   over the same generated archive — the E9 path, behind
+//!   `/catalogue/search`;
+//! * an overview pyramid of a synthetic Sentinel-2 scene (built with the
+//!   row-parallel [`ee_raster::tile::pyramid`]) — behind `/tiles`;
+//! * per-region 200 m sea-ice product suites ready for PCDSS bundling —
+//!   the E12 path, behind `/ice/{region}`.
+//!
+//! Everything is deterministic from [`DataConfig::seed`].
+
+use ee_catalogue::classic::Search;
+use ee_catalogue::{ClassicCatalogue, ProductGenerator, SemanticCatalogue};
+use ee_datasets::landscape::{Landscape, LandscapeConfig};
+use ee_datasets::optics::{simulate_s2, OpticsConfig};
+use ee_datasets::seaice::{IceWorld, IceWorldConfig};
+use ee_geo::Envelope;
+use ee_polar::icemap::{products_from_map, truth_masks, IceProducts};
+use ee_raster::scene::Band;
+use ee_raster::tile::pyramid;
+use ee_raster::Raster;
+use ee_rdf::store::IndexMode;
+use ee_rdf::term::Term;
+use ee_rdf::TripleStore;
+use ee_util::timeline::Date;
+use ee_util::Rng;
+
+/// Side length of the square point-feature region served by `/query`
+/// (degree-like units, matching the E2 experiment).
+pub const REGION: f64 = 100.0;
+
+/// Ice regions served by `/ice/{region}`.
+pub const ICE_REGIONS: [&str; 3] = ["fram-strait", "norske-oer", "baffin-bay"];
+
+/// Sizing knobs for the engines behind the routes.
+#[derive(Debug, Clone)]
+pub struct DataConfig {
+    /// Point features in the RDF store.
+    pub points: usize,
+    /// Products in the catalogue archive.
+    pub products: usize,
+    /// Side of the synthetic Sentinel-2 scene feeding the tile pyramid.
+    pub scene_size: usize,
+    /// Tile side served by `/tiles`.
+    pub tile_size: usize,
+    /// Side of each simulated ice world.
+    pub ice_size: usize,
+    /// Master seed; every engine derives from it.
+    pub seed: u64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        DataConfig {
+            points: 20_000,
+            products: 5_000,
+            scene_size: 256,
+            tile_size: 64,
+            ice_size: 64,
+            seed: 2019,
+        }
+    }
+}
+
+impl DataConfig {
+    /// A small configuration for tests and quick benchmarks.
+    pub fn tiny() -> Self {
+        DataConfig {
+            points: 2_000,
+            products: 500,
+            scene_size: 96,
+            tile_size: 32,
+            ice_size: 48,
+            seed: 2019,
+        }
+    }
+}
+
+/// Everything the handlers read. Built once, then immutable — workers
+/// share it behind an `Arc` with no locks.
+pub struct AppState {
+    /// Sizing used to build the state.
+    pub config: DataConfig,
+    /// Point-feature store with spatial index (the `/query` engine).
+    pub store: TripleStore,
+    /// R-tree indexed product catalogue (the classic `/catalogue` arm).
+    pub classic: ClassicCatalogue,
+    /// GeoSPARQL catalogue over the same archive (the semantic arm).
+    pub semantic: SemanticCatalogue,
+    /// Overview pyramid, level 0 = full resolution.
+    pub pyramid: Vec<Raster<f32>>,
+    /// Tile side for `/tiles`.
+    pub tile_size: usize,
+    /// Pre-computed ice product suites by region name.
+    pub ice: Vec<(String, IceProducts)>,
+    /// Server start time, reported by `/healthz`.
+    pub started: std::time::Instant,
+}
+
+impl AppState {
+    /// Build every engine. Deterministic in `config`; the pyramid build
+    /// runs row-parallel on the `ee_util::par` pool.
+    pub fn build(config: DataConfig) -> AppState {
+        let store = point_store(config.points, config.seed);
+
+        let region = Envelope::new(0.0, 0.0, 40.0, 40.0);
+        let products =
+            ProductGenerator::new(region, 2017, config.seed ^ 5).take(config.products);
+        let classic = ClassicCatalogue::build(products.clone());
+        let mut semantic = SemanticCatalogue::new();
+        for p in &products {
+            semantic.ingest_product(p);
+        }
+        semantic.finish_ingest();
+
+        let world = Landscape::generate(LandscapeConfig {
+            size: config.scene_size,
+            seed: config.seed ^ 11,
+            ..LandscapeConfig::default()
+        })
+        .expect("landscape generation");
+        let scene = simulate_s2(
+            &world,
+            Date::new(2017, 7, 1).expect("valid date"),
+            OpticsConfig::default(),
+            config.seed ^ 13,
+        )
+        .expect("scene simulation");
+        let band = scene.band(Band::B04).expect("B04 simulated").clone();
+        let pyramid = pyramid(&band);
+
+        let ice = ICE_REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let world = IceWorld::generate(IceWorldConfig {
+                    size: config.ice_size,
+                    days: 3,
+                    icebergs: 4,
+                    seed: config.seed ^ (0x1ce << 8) ^ i as u64,
+                    ..IceWorldConfig::default()
+                })
+                .expect("ice world");
+                let (truth, leads, ridges) = truth_masks(&world, 1);
+                // 40 m grid aggregated ×5 → 200 m products ("1 km or
+                // better"), the same suite E12b delivers over PCDSS.
+                (name.to_string(), products_from_map(&truth, &leads, &ridges, 5))
+            })
+            .collect();
+
+        let tile_size = config.tile_size.max(1);
+        AppState {
+            config,
+            store,
+            classic,
+            semantic,
+            pyramid,
+            tile_size,
+            ice,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// The ice products of a region, if it exists.
+    pub fn ice_region(&self, name: &str) -> Option<&IceProducts> {
+        self.ice
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// Run a classic AOI search, returning matching products.
+    pub fn classic_search(
+        &self,
+        aoi: Envelope,
+    ) -> Result<Vec<&ee_catalogue::Product>, ee_catalogue::CatalogueError> {
+        self.classic.search(&Search::aoi(aoi))
+    }
+}
+
+/// Build a spatially-indexed store of `n` point features — the same
+/// shape as the E2 experiment's store, so `/query` serves the paper's
+/// "selections over a rectangular area" workload.
+pub fn point_store(n: usize, seed: u64) -> TripleStore {
+    let mut store = TripleStore::new(IndexMode::Full);
+    let mut rng = Rng::seed_from(seed);
+    let geom = Term::iri("http://e/hasGeometry");
+    let kind = Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    let feature = Term::iri("http://e/Feature");
+    for i in 0..n {
+        let s = Term::iri(format!("http://e/f{i}"));
+        let x = rng.range_f64(0.0, REGION);
+        let y = rng.range_f64(0.0, REGION);
+        store.insert(&s, &kind, &feature);
+        store.insert(&s, &geom, &Term::wkt(format!("POINT ({x} {y})")));
+    }
+    store.build_spatial_index();
+    store
+}
+
+/// The rectangular-selection query `/query` issues when given a window
+/// origin instead of raw SPARQL (side defaults to 1% of the region's
+/// area, matching E2).
+pub fn selection_sparql(x0: f64, y0: f64, side: f64) -> String {
+    let (x1, y1) = (x0 + side, y0 + side);
+    format!(
+        "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE {{ \
+         ?s e:hasGeometry ?g . \
+         FILTER(geof:sfWithin(?g, \"POLYGON (({x0} {y0}, {x1} {y0}, {x1} {y1}, {x0} {y1}, {x0} {y0}))\"^^geo:wktLiteral)) }}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_and_complete() {
+        let a = AppState::build(DataConfig::tiny());
+        assert!(a.store.len() >= 2 * a.config.points);
+        assert_eq!(a.classic.len(), a.config.products);
+        assert!(!a.semantic.is_empty());
+        assert_eq!(a.pyramid[0].shape(), (96, 96));
+        assert_eq!(a.pyramid.last().unwrap().shape(), (1, 1));
+        assert_eq!(a.ice.len(), ICE_REGIONS.len());
+        assert!(a.ice_region("fram-strait").is_some());
+        assert!(a.ice_region("atlantis").is_none());
+        // Determinism: the same config builds the same data.
+        let b = AppState::build(DataConfig::tiny());
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.pyramid[2], b.pyramid[2]);
+    }
+
+    #[test]
+    fn selection_query_answers() {
+        let state = AppState::build(DataConfig::tiny());
+        let q = selection_sparql(10.0, 10.0, 10.0);
+        let sol = ee_rdf::exec::query(&state.store, &q).expect("selection");
+        let n = match sol.scalar() {
+            Some(Term::Literal { lexical, .. }) => lexical.parse::<usize>().unwrap(),
+            other => panic!("expected scalar count, got {other:?}"),
+        };
+        assert!(n > 0, "1% window over 2k points hits something");
+    }
+}

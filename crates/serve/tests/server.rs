@@ -1,0 +1,234 @@
+//! End-to-end serving-tier tests over real localhost sockets: keep-alive
+//! reuse, cache hit/miss, per-request deadlines, and 503 admission
+//! shedding under overload — the behaviours E-s0 measures, asserted
+//! functionally here.
+
+use ee_serve::http::read_response;
+use ee_serve::loadgen::{self, ConnMode, LoadPlan};
+use ee_serve::{start, AppState, DataConfig, ServerConfig};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One engine state shared by every test server (building it is the
+/// expensive part; servers themselves are cheap).
+fn state() -> Arc<AppState> {
+    static STATE: OnceLock<Arc<AppState>> = OnceLock::new();
+    Arc::clone(STATE.get_or_init(|| Arc::new(AppState::build(DataConfig::tiny()))))
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_watermark: 8,
+        deadline: Duration::from_millis(1_500),
+        idle_timeout: Duration::from_millis(2_000),
+        debug_routes: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let r = s.try_clone().expect("clone");
+    (s, BufReader::new(r))
+}
+
+fn send(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    keep_alive: bool,
+) -> ee_serve::http::ClientResponse {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    write!(stream, "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: {conn}\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    read_response(reader).expect("response")
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = start(test_config(), state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    for i in 0..5 {
+        let resp = send(&mut s, &mut r, "/healthz", true);
+        assert_eq!(resp.status, 200, "request {i} on the same connection");
+        assert!(resp.keep_alive);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"ok\":true"), "healthz body: {text}");
+    }
+    // A Connection: close request ends the conversation.
+    let resp = send(&mut s, &mut r, "/healthz", false);
+    assert_eq!(resp.status, 200);
+    assert!(!resp.keep_alive);
+    // Exactly one connection was admitted for all six requests.
+    assert_eq!(
+        server.metrics().admitted.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cache_misses_then_hits_with_canonicalised_keys() {
+    let server = start(test_config(), state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    let miss = send(&mut s, &mut r, "/query?x0=5&y0=5&side=10", true);
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.header("x-cache"), Some("MISS"));
+
+    let hit = send(&mut s, &mut r, "/query?x0=5&y0=5&side=10", true);
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("x-cache"), Some("HIT"));
+    assert_eq!(hit.body, miss.body, "cached body identical");
+
+    // Same parameters in a different order canonicalise to the same key.
+    let reordered = send(&mut s, &mut r, "/query?side=10&y0=5&x0=5", true);
+    assert_eq!(reordered.header("x-cache"), Some("HIT"));
+
+    // A different request is its own entry.
+    let other = send(&mut s, &mut r, "/tiles/0/0/0", true);
+    assert_eq!(other.status, 200);
+    assert_eq!(other.header("x-cache"), Some("MISS"));
+    let other2 = send(&mut s, &mut r, "/tiles/0/0/0", true);
+    assert_eq!(other2.header("x-cache"), Some("HIT"));
+
+    // /healthz is uncacheable: no x-cache header at all.
+    let h = send(&mut s, &mut r, "/healthz", true);
+    assert_eq!(h.header("x-cache"), None);
+
+    assert!(server.cache().hits() >= 3);
+    server.shutdown();
+}
+
+#[test]
+fn slow_handler_times_out_with_504() {
+    let mut config = test_config();
+    config.deadline = Duration::from_millis(120);
+    let server = start(config, state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    // Well under the deadline: fine.
+    let ok = send(&mut s, &mut r, "/debug/sleep?ms=10", true);
+    assert_eq!(ok.status, 200);
+    // Sleeps far past the deadline: the handler notices and aborts.
+    let slow = send(&mut s, &mut r, "/debug/sleep?ms=5000", true);
+    assert_eq!(slow.status, 504, "deadline exceeded mid-handler");
+    assert_eq!(
+        server
+            .metrics()
+            .deadline_expired
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    // One worker, tiny queue, and handlers pinned slow so the queue
+    // genuinely backs up.
+    let mut config = test_config();
+    config.workers = 1;
+    config.queue_watermark = 2;
+    config.deadline = Duration::from_secs(5);
+    let server = start(config, state()).expect("start");
+    let addr = server.addr;
+
+    // Fill the worker and the queue with slow requests on separate
+    // connections, without waiting for responses.
+    let mut held = Vec::new();
+    for _ in 0..4 {
+        let (mut s, r) = connect(addr);
+        write!(
+            s,
+            "GET /debug/sleep?ms=1500 HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
+        )
+        .unwrap();
+        s.flush().unwrap();
+        held.push((s, r));
+        // Give the acceptor time to enqueue before the next connect.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Queue is now at the watermark: fresh connections are rejected
+    // immediately with 503 + Retry-After.
+    let (mut s, mut r) = connect(addr);
+    let resp = send(&mut s, &mut r, "/healthz", false);
+    assert_eq!(resp.status, 503, "watermark rejects new connections");
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // The admitted requests still complete; with 1 worker + queue of 2,
+    // the last held connection may itself have been 503-shed.
+    let mut completed = 0;
+    for (_s, mut r) in held {
+        if let Ok(resp) = read_response(&mut r) {
+            assert!(
+                resp.status == 200 || resp.status == 504 || resp.status == 503,
+                "unexpected status {}",
+                resp.status
+            );
+            if resp.status != 503 {
+                completed += 1;
+            }
+        }
+    }
+    assert!(completed >= 3, "admitted work drains, got {completed}");
+    assert!(
+        server
+            .metrics()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_drives_all_routes_and_metrics_report() {
+    let server = start(test_config(), state()).expect("start");
+    let targets: Vec<String> = vec![
+        "/query?x0=5&y0=5&side=10".into(),
+        "/catalogue/search?minx=10&miny=10&maxx=14&maxy=14".into(),
+        "/tiles/1/0/0".into(),
+        "/ice/fram-strait".into(),
+    ];
+    let report = loadgen::run(
+        server.addr,
+        &targets,
+        &LoadPlan {
+            clients: 4,
+            requests_per_client: 20,
+            mode: ConnMode::KeepAlive,
+            timeout: Duration::from_secs(10),
+        },
+    );
+    assert_eq!(report.ok, 80, "all requests succeed: {report:?}");
+    assert_eq!(report.errors, 0);
+    assert!(report.cache_hits > 0, "repeats hit the cache");
+    assert!(report.p50_us > 0 && report.p50_us <= report.p99_us);
+    assert!(report.throughput() > 0.0);
+
+    // The Prometheus endpoint reflects the traffic.
+    let (mut s, mut r) = connect(server.addr);
+    let m = send(&mut s, &mut r, "/metrics", false);
+    assert_eq!(m.status, 200);
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(text.contains("ee_serve_requests_total"), "{text}");
+    assert!(text.contains("ee_serve_cache_hits_total"));
+    assert!(text.contains("route=\"query\""));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_not_a_hang() {
+    let server = start(test_config(), state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    s.write_all(b"NONSENSE\r\n\r\n").unwrap();
+    s.flush().unwrap();
+    let resp = read_response(&mut r).expect("error response");
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}

@@ -60,9 +60,9 @@ mod tests {
         assert_eq!(LAND_COVER.len(), 10);
         assert_eq!(SEA_ICE.len(), 5);
         // All land-cover colours are distinct.
-        for i in 0..LAND_COVER.len() {
-            for j in i + 1..LAND_COVER.len() {
-                assert_ne!(LAND_COVER[i], LAND_COVER[j], "classes {i} and {j} share a colour");
+        for (i, a) in LAND_COVER.iter().enumerate() {
+            for (j, b) in LAND_COVER.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "classes {i} and {j} share a colour");
             }
         }
     }

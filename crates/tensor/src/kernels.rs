@@ -269,7 +269,7 @@ fn check_conv_shapes(
     }
     let c = x.shape()[1];
     let (f, wc) = (weight.shape()[0], weight.shape()[1]);
-    let bias_ok = bias.map_or(true, |b| b.shape() == [f]);
+    let bias_ok = bias.is_none_or(|b| b.shape() == [f]);
     if wc != c || !bias_ok {
         return Err(TensorError::ShapeMismatch {
             left: x.shape().to_vec(),

@@ -91,6 +91,7 @@ pub fn matmul_sparse_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
 /// k-block. Accumulation is ascending-`k` per element, the association
 /// every kernel here shares.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn tile_at<const W: usize>(
     a_band: &[f32],
     b: &[f32],
@@ -142,6 +143,7 @@ mod avx512 {
     /// Caller guarantees `avx512f` is available and the `MR`×`NR` tile at
     /// `(i, j)` is fully in bounds for `a_band`/`b`/`out_band`.
     #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
     pub unsafe fn tile_8x32(
         a_band: &[f32],
         b: &[f32],

@@ -232,12 +232,19 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth accepted by [`parse`]. The parser is
+/// recursive-descent, so without a bound a hostile wire payload of
+/// `[[[[…` could exhaust the thread stack; 128 levels is far beyond any
+/// document this workspace produces.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a JSON document. Trailing whitespace is allowed; trailing
 /// content is an error.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -251,6 +258,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -303,12 +311,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -324,6 +342,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -332,11 +351,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -347,6 +368,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -454,9 +476,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        match text.parse::<f64>() {
+            // Rust parses "1e999" to +inf rather than failing; JSON has no
+            // non-finite numbers, so an overflowing literal from the wire
+            // is a malformed document, not infinity.
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            Ok(_) => Err(self.err("number out of f64 range")),
+            Err(_) => Err(self.err("invalid number")),
+        }
     }
 }
 
@@ -529,6 +556,92 @@ mod tests {
         assert!(parse("1 2").is_err());
         let e = parse(r#"{"a" 1}"#).unwrap_err();
         assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn control_chars_roundtrip() {
+        // Every C0 control character survives emit → parse, as does DEL
+        // (which JSON passes through raw).
+        let s: String = (0u32..0x20).chain([0x7f]).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Json::Str(s.clone());
+        let emitted = v.emit();
+        assert!(
+            emitted.bytes().all(|b| b == 0x7f || b >= 0x20),
+            "no raw C0 control bytes on the wire: {emitted:?}"
+        );
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_roundtrip() {
+        // \u escapes (BMP and surrogate pairs) parse to the same string
+        // the raw-UTF-8 emission re-parses to.
+        let parsed = parse(r#""éA🌍€""#).unwrap();
+        assert_eq!(parsed, Json::Str("éA🌍€".to_string()));
+        assert_eq!(parse(&parsed.emit()).unwrap(), parsed);
+        // Lone or malformed surrogates are rejected, not mangled.
+        assert!(parse(r#""\ud83c""#).is_err());
+        assert!(parse(r#""\ud83cx""#).is_err());
+        assert!(parse(r#""\ud83cA""#).is_err());
+        assert!(parse(r#""\udf0d""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn nonfinite_floats_emit_null_and_never_parse() {
+        // Emission maps non-finite to null (valid JSON, documented loss);
+        // parsing never manufactures a non-finite value, even from
+        // overflowing literals.
+        assert_eq!(Json::Num(f64::NAN).emit(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).emit(), "null");
+        assert!(parse("1e999").is_err(), "overflow must not parse to inf");
+        assert!(parse("-1e999").is_err());
+        assert!(parse("1e308").is_ok(), "in-range exponents still parse");
+        for (k, v) in [("a", f64::INFINITY), ("b", f64::NAN)] {
+            let doc = Json::obj(vec![(k, Json::Num(v))]).emit();
+            let back = parse(&doc).unwrap();
+            assert_eq!(back.get(k), Some(&Json::Null));
+        }
+    }
+
+    #[test]
+    fn integers_roundtrip_to_the_53_bit_limit() {
+        // Counters cross the wire as JSON numbers; every integer with an
+        // exact f64 representation must round-trip bit-for-bit.
+        for v in [
+            0i64,
+            1,
+            -1,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+            (1i64 << 53) - 1,
+            1i64 << 53,
+            -(1i64 << 53),
+        ] {
+            let emitted = Json::Num(v as f64).emit();
+            let back = parse(&emitted).unwrap();
+            assert_eq!(back.as_i64(), Some(v), "via {emitted}");
+        }
+        assert_eq!(
+            parse(&Json::Num(((1u64 << 53) - 1) as f64).emit()).unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+        // Beyond 2^53 the accessors refuse rather than silently round.
+        assert_eq!(Json::Num(1.8e19).as_u64(), None);
+        assert_eq!(Json::Num(9.3e18).as_i64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok(), "exactly MAX_DEPTH levels parse");
+        let too_deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&too_deep).is_err());
+        let hostile = "[".repeat(200_000);
+        assert!(parse(&hostile).is_err(), "hostile wire input errors cleanly");
+        // Depth is container nesting, not document length: a long flat
+        // array is fine.
+        let flat = format!("[{}]", vec!["0"; 10_000].join(","));
+        assert!(parse(&flat).is_ok());
     }
 
     #[test]

@@ -156,7 +156,7 @@ where
 {
     assert!(row_len > 0, "row_len must be positive");
     assert!(
-        data.len() % row_len == 0,
+        data.len().is_multiple_of(row_len),
         "buffer length {} not a multiple of row length {row_len}",
         data.len()
     );

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and test the whole workspace with zero
-# network access, then smoke-run the distributed-training (E4),
-# classification (E5) and kernel-throughput (E-k0) experiments.
+# network access, lint with clippy as errors, then smoke-run the
+# distributed-training (E4), classification (E5), kernel-throughput
+# (E-k0) and serving-tier (E-s0) experiments.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -13,7 +14,10 @@ cargo build --release --offline
 echo "== tier-1: offline test suite =="
 cargo test -q --offline
 
-echo "== smoke: harness e4 e5 kernels (quick scale) =="
-./target/release/harness e4 e5 kernels
+echo "== lint: clippy (warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "== smoke: harness e4 e5 kernels e-s0 (quick scale) =="
+./target/release/harness e4 e5 kernels e-s0
 
 echo "verify.sh: all green"
