@@ -8,12 +8,15 @@
 //! harness e2 e3 --full    # selected experiments
 //! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
 //! harness e-s0 --full     # serving tier; also writes BENCH_PR2.json
+//! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
-//! anything runs.
+//! anything runs; `--threads` must be a positive integer. The E3 threads
+//! sweep asserts each parallel run bit-identical to serial and aborts
+//! (non-zero exit) on divergence.
 
-use ee_bench::{e_s0_serve, kernels, run, Scale, ALL};
+use ee_bench::{e3_complexity, e_s0_serve, kernels, run, Scale, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,10 +26,34 @@ fn main() {
         }
         return;
     }
-    for a in args.iter().filter(|a| a.starts_with("--")) {
-        if a != "--full" {
-            eprintln!("[harness] unknown flag {a:?}; known: --full, --list");
-            std::process::exit(2);
+    // Validate flags (and pull out --threads' value) before running
+    // anything.
+    let mut max_threads: Option<usize> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => {}
+            "--threads" => {
+                let Some(v) = it.next() else {
+                    eprintln!("[harness] --threads needs a value, e.g. --threads 4");
+                    std::process::exit(2);
+                };
+                match v.parse::<usize>() {
+                    Ok(t) if t >= 1 => max_threads = Some(t),
+                    _ => {
+                        eprintln!("[harness] --threads must be a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "[harness] unknown flag {other:?}; known: --full, --list, --threads N"
+                );
+                std::process::exit(2);
+            }
+            other => positional.push(other.to_string()),
         }
     }
     let scale = if args.iter().any(|a| a == "--full") {
@@ -34,11 +61,7 @@ fn main() {
     } else {
         Scale::Quick
     };
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let selected: Vec<String> = positional;
     let ids: Vec<&str> = if selected.is_empty() {
         ALL.to_vec()
     } else {
@@ -75,6 +98,16 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 Some(("BENCH_PR2.json", json))
+            }
+            "e3" => {
+                let max = max_threads.unwrap_or_else(|| {
+                    ee_util::par::available_threads().clamp(1, 8)
+                });
+                let (tables, json) = e3_complexity::report(scale, max);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                Some(("BENCH_PR3.json", json))
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

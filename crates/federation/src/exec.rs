@@ -1,13 +1,22 @@
 //! The federated evaluator: source selection + bind joins vs naive
 //! broadcast.
+//!
+//! Since the engine split, federation plans against the same
+//! [`ee_rdf::plan::Plan`] type as the local evaluator: [`plan_federated`]
+//! builds a *logical* plan (no dictionary ids — endpoints do not share a
+//! dictionary) and then rewrites it with per-pattern source assignments
+//! into a [`FedPlan`]. Execution walks the plan's join order, shipping
+//! each pattern to its assigned endpoints — as a bind join when the plan
+//! says a join variable is already bound, as a broadcast otherwise — and
+//! evaluates the plan's filters locally over the complete rows.
 
 use crate::catalog::FederationCatalog;
 use crate::endpoint::Endpoint;
 use crate::FedError;
-use ee_geo::Envelope;
 use ee_rdf::dict::Dictionary;
-use ee_rdf::expr::{collect_const_geometries, eval, spatial_pushdown, truth, EvalCtx};
-use ee_rdf::parser::{parse_query, PatternTerm, SelectItem, TriplePattern};
+use ee_rdf::expr::{eval, truth, EvalCtx};
+use ee_rdf::parser::{parse_query, PatternTerm, TriplePattern};
+use ee_rdf::plan::Plan;
 use ee_rdf::term::Term;
 use std::collections::{HashMap, HashSet};
 
@@ -38,53 +47,38 @@ pub struct FedReport {
     pub triples_transferred: u64,
 }
 
-/// Run a query against the federation.
-pub fn federated_query(
+/// A logical [`Plan`] rewritten with source assignments: for each pattern
+/// (indexed as in `plan.patterns`), the endpoints it will be shipped to.
+#[derive(Debug)]
+pub struct FedPlan {
+    /// The shared logical plan (join order, filters, region, projection).
+    pub plan: Plan,
+    /// Per-pattern relevant endpoint indices.
+    pub sources: Vec<Vec<usize>>,
+}
+
+/// Build the federated plan: parse, plan logically through the shared
+/// planner, then assign sources per pattern (the plan rewrite).
+pub fn plan_federated(
     endpoints: &[Endpoint],
     catalog: &FederationCatalog,
     sparql: &str,
     mode: Mode,
-) -> Result<FedReport, FedError> {
+) -> Result<FedPlan, FedError> {
     let q = parse_query(sparql)?;
-    if !q.optionals.is_empty() || !q.group_by.is_empty() {
+    let plan = ee_rdf::plan::logical(&q)?;
+    if !plan.optionals.is_empty() || !plan.group_by.is_empty() {
         return Err(FedError::Unsupported(
             "OPTIONAL / GROUP BY are not federated; run them at the client".into(),
         ));
     }
-    if q.select.iter().any(|s| matches!(s, SelectItem::Agg { .. })) {
+    if plan.has_agg {
         return Err(FedError::Unsupported("aggregates are not federated".into()));
     }
-    for ep in endpoints {
-        ep.reset_meters();
-    }
-    // Spatial region for source selection: any pushdown-able filter.
-    let mut const_geoms = Vec::new();
-    for f in &q.filters {
-        collect_const_geometries(f, &mut const_geoms);
-    }
-    let mut region: Option<(String, Envelope)> = None;
-    for f in &q.filters {
-        if let Some((var, env)) = spatial_pushdown(f, &const_geoms) {
-            region = Some((var, env));
-            break;
-        }
-    }
-
-    // Order patterns: most constants first (cheap selective starts).
-    let mut order: Vec<usize> = (0..q.patterns.len()).collect();
-    let const_count = |p: &TriplePattern| {
-        [&p.s, &p.p, &p.o]
-            .iter()
-            .filter(|t| matches!(t, PatternTerm::Const(_)))
-            .count()
-    };
-    order.sort_by_key(|&i| std::cmp::Reverse(const_count(&q.patterns[i])));
-
-    let mut triples_transferred = 0u64;
-    let mut rows: Vec<Row> = vec![HashMap::new()];
-    for &pi in &order {
-        let pattern = &q.patterns[pi];
-        let relevant: Vec<usize> = match mode {
+    let sources: Vec<Vec<usize>> = plan
+        .patterns
+        .iter()
+        .map(|pattern| match mode {
             Mode::Naive => (0..endpoints.len()).collect(),
             Mode::Optimized => {
                 let predicate = match &pattern.p {
@@ -94,19 +88,48 @@ pub fn federated_query(
                 // Spatial restriction applies when this pattern binds the
                 // filtered geometry variable in object position.
                 let spatially_bound = matches!(
-                    (&pattern.o, &region),
+                    (&pattern.o, &plan.region),
                     (PatternTerm::Var(v), Some((rv, _))) if v == rv
                 );
                 catalog.relevant(
                     predicate,
-                    region.as_ref().map(|(_, e)| e),
+                    plan.region.as_ref().map(|(_, e)| e),
                     spatially_bound,
                 )
             }
-        };
+        })
+        .collect();
+    Ok(FedPlan { plan, sources })
+}
+
+/// Run a query against the federation.
+pub fn federated_query(
+    endpoints: &[Endpoint],
+    catalog: &FederationCatalog,
+    sparql: &str,
+    mode: Mode,
+) -> Result<FedReport, FedError> {
+    let fed = plan_federated(endpoints, catalog, sparql, mode)?;
+    execute_federated(endpoints, &fed, mode)
+}
+
+/// Execute a prepared federated plan.
+pub fn execute_federated(
+    endpoints: &[Endpoint],
+    fed: &FedPlan,
+    mode: Mode,
+) -> Result<FedReport, FedError> {
+    let plan = &fed.plan;
+    for ep in endpoints {
+        ep.reset_meters();
+    }
+    let mut triples_transferred = 0u64;
+    let mut rows: Vec<Row> = vec![HashMap::new()];
+    for &pi in &plan.order {
+        let pattern = &plan.patterns[pi];
         rows = extend_rows(
             endpoints,
-            &relevant,
+            &fed.sources[pi],
             pattern,
             rows,
             mode,
@@ -117,46 +140,43 @@ pub fn federated_query(
         }
     }
 
-    // Local filters over complete rows.
-    if !q.filters.is_empty() {
+    // The plan's filters, evaluated locally over complete rows. Only the
+    // variables each filter actually references are interned.
+    if !plan.filters.is_empty() {
         rows.retain(|row| {
-            let mut dict = Dictionary::new();
-            let ids: HashMap<String, u64> = row
-                .iter()
-                .map(|(k, t)| (k.clone(), dict.intern(t)))
-                .collect();
-            q.filters.iter().all(|f| {
+            plan.filters.iter().all(|f| {
+                let mut dict = Dictionary::new();
+                let ids: HashMap<&str, u64> = f
+                    .lookup
+                    .iter()
+                    .filter_map(|(name, _)| {
+                        row.get(name).map(|t| (name.as_str(), dict.intern(t)))
+                    })
+                    .collect();
                 let ctx = EvalCtx {
                     dict: &dict,
                     lookup: &|name: &str| ids.get(name).copied(),
-                    const_geoms: &const_geoms,
+                    const_geoms: &plan.const_geoms,
                 };
-                truth(eval(f, &ctx)) == Some(true)
+                truth(eval(&f.expr, &ctx)) == Some(true)
             })
         });
     }
 
-    // Projection.
-    let projected: Vec<Row> = if q.star {
+    // Projection: the plan resolved the kept names at plan time.
+    let projected: Vec<Row> = if plan.star {
         rows
     } else {
-        let keep: HashSet<&String> = q
-            .select
-            .iter()
-            .filter_map(|s| match s {
-                SelectItem::Var(v) => Some(v),
-                _ => None,
-            })
-            .collect();
+        let keep: HashSet<&str> = plan.projection.iter().map(|(n, _)| n.as_str()).collect();
         rows.into_iter()
             .map(|mut row| {
-                row.retain(|k, _| keep.contains(k));
+                row.retain(|k, _| keep.contains(k.as_str()));
                 row
             })
             .collect()
     };
     let mut out = projected;
-    if q.distinct {
+    if plan.distinct {
         let mut seen = HashSet::new();
         out.retain(|row| {
             let mut key: Vec<(String, String)> = row
@@ -167,7 +187,7 @@ pub fn federated_query(
             seen.insert(key)
         });
     }
-    if let Some(limit) = q.limit {
+    if let Some(limit) = plan.limit {
         out.truncate(limit);
     }
     let requests: Vec<(String, u64)> = endpoints
@@ -475,5 +495,23 @@ mod tests {
         let q = "PREFIX e: <http://e/> SELECT ?f WHERE { ?f e:cropType \"rice\" }";
         let r = federated_query(&eps, &cat, q, Mode::Optimized).unwrap();
         assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn fed_plan_exposes_source_assignments() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let fed = plan_federated(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        assert_eq!(fed.sources.len(), 2);
+        // Pattern 0 (cropType) goes only to the crops endpoint; pattern 1
+        // (name) only to places.
+        assert_eq!(fed.sources[0], vec![0], "cropType → crops only");
+        assert_eq!(fed.sources[1], vec![2], "name → places only");
+        // The shared plan orders the two-constant pattern first.
+        assert_eq!(fed.plan.order[0], 0);
+        // Executing the prepared plan matches the one-shot entry point.
+        let direct = federated_query(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        let via_plan = execute_federated(&eps, &fed, Mode::Optimized).unwrap();
+        assert_eq!(via_plan.rows.len(), direct.rows.len());
     }
 }

@@ -25,7 +25,7 @@ pub mod exec;
 
 pub use catalog::FederationCatalog;
 pub use endpoint::Endpoint;
-pub use exec::{federated_query, FedReport, Mode};
+pub use exec::{execute_federated, federated_query, plan_federated, FedPlan, FedReport, Mode};
 
 /// Errors from federated evaluation.
 #[derive(Debug, Clone, PartialEq)]

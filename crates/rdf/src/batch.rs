@@ -1,0 +1,170 @@
+//! Columnar binding batches.
+//!
+//! A [`Batch`] holds the intermediate solutions of a query as columns of
+//! dictionary ids — one column per entry in the plan's variable table —
+//! instead of the row-of-`Option<Term>` representation the old evaluator
+//! carried through every join step. Ids are 8 bytes, unbound is the
+//! [`UNBOUND`] sentinel (the dictionary allocates ids from zero and can
+//! never issue `u64::MAX`), and the physical operators read and write
+//! rows through a small fixed-width scratch buffer, so a join probe
+//! touches contiguous memory rather than chasing `Option` tags.
+//!
+//! Batches are append-only per operator: parallel operators build one
+//! mini-batch per chunk and concatenate them in chunk order, which is
+//! what keeps parallel execution bit-identical to serial.
+
+/// The "unbound variable" sentinel. The dictionary allocates ids starting
+/// at zero, so `u64::MAX` can never collide with a real term id.
+pub const UNBOUND: u64 = u64::MAX;
+
+/// A columnar batch of variable bindings over dictionary ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    len: usize,
+    cols: Vec<Vec<u64>>,
+}
+
+impl Batch {
+    /// An empty batch with `width` columns.
+    pub fn new(width: usize) -> Self {
+        Self {
+            len: 0,
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// A single all-unbound row — the join pipeline's seed.
+    pub fn unit(width: usize) -> Self {
+        Self {
+            len: 1,
+            cols: vec![vec![UNBOUND]; width],
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The id at (`row`, `col`); [`UNBOUND`] when unbound.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.cols[col][row]
+    }
+
+    /// One full column.
+    pub fn col(&self, col: usize) -> &[u64] {
+        &self.cols[col]
+    }
+
+    /// Append one row given as a width-sized slice.
+    pub fn push_row(&mut self, row: &[u64]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Copy row `row` into `buf` (resized to the batch width).
+    pub fn read_row(&self, row: usize, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[row]));
+    }
+
+    /// Append all rows of `other` (same width) after this batch's rows.
+    pub fn append(&mut self, other: &Batch) {
+        debug_assert_eq!(self.width(), other.width());
+        for (c, oc) in self.cols.iter_mut().zip(&other.cols) {
+            c.extend_from_slice(oc);
+        }
+        self.len += other.len;
+    }
+
+    /// Keep only rows where `keep[row]` is true, preserving order.
+    pub fn retain(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len);
+        for c in &mut self.cols {
+            let mut i = 0;
+            c.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+        }
+        self.len = keep.iter().filter(|&&k| k).count();
+    }
+
+    /// Materialise into row-major `Option` form for the execution tail
+    /// (grouping, ordering, projection).
+    pub fn into_rows(self) -> Vec<Vec<Option<u64>>> {
+        let mut rows = vec![Vec::with_capacity(self.cols.len()); self.len];
+        for c in &self.cols {
+            for (r, &v) in c.iter().enumerate() {
+                rows[r].push(if v == UNBOUND { None } else { Some(v) });
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_read_roundtrip() {
+        let mut b = Batch::new(3);
+        b.push_row(&[1, UNBOUND, 3]);
+        b.push_row(&[4, 5, UNBOUND]);
+        assert_eq!(b.len(), 2);
+        let mut buf = Vec::new();
+        b.read_row(0, &mut buf);
+        assert_eq!(buf, vec![1, UNBOUND, 3]);
+        assert_eq!(b.get(1, 1), 5);
+        assert_eq!(
+            b.into_rows(),
+            vec![vec![Some(1), None, Some(3)], vec![Some(4), Some(5), None]]
+        );
+    }
+
+    #[test]
+    fn append_preserves_order() {
+        let mut a = Batch::new(2);
+        a.push_row(&[1, 2]);
+        let mut b = Batch::new(2);
+        b.push_row(&[3, 4]);
+        b.push_row(&[5, 6]);
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.col(0), &[1, 3, 5]);
+        assert_eq!(a.col(1), &[2, 4, 6]);
+    }
+
+    #[test]
+    fn retain_is_order_preserving() {
+        let mut b = Batch::new(1);
+        for i in 0..6 {
+            b.push_row(&[i]);
+        }
+        b.retain(&[true, false, true, false, true, false]);
+        assert_eq!(b.col(0), &[0, 2, 4]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn unit_row_is_all_unbound() {
+        let b = Batch::unit(4);
+        assert_eq!(b.len(), 1);
+        assert!((0..4).all(|c| b.get(0, c) == UNBOUND));
+    }
+}

@@ -1,16 +1,24 @@
-//! The query evaluator.
+//! The query executor: a thin pipeline over the staged engine.
 //!
-//! Pipeline: prepare (resolve constants, parse constant geometries, detect
-//! spatial pushdown) → greedy bound-position join ordering → index
-//! nested-loop join with eager filters → OPTIONAL left-joins → grouping /
-//! aggregation → DISTINCT / ORDER / LIMIT → term materialisation.
+//! Pipeline: [`crate::plan::plan`] (constant resolution, static greedy
+//! join order, filter placement, spatial pushdown) → [`crate::join`]
+//! physical operators over columnar [`crate::batch::Batch`]es (parallel,
+//! bit-identical to serial) → OPTIONAL left-joins → residual filters →
+//! grouping / aggregation → DISTINCT / ORDER / LIMIT → term
+//! materialisation.
+//!
+//! [`query`] parses + plans + executes at the ambient thread count;
+//! [`query_with_threads`] pins the thread count (the E3 speedup sweep and
+//! the parallel-identity tests); [`execute_plan`] runs a prepared
+//! [`Plan`] directly — the serving tier's plan cache calls this.
 
-use crate::expr::{collect_const_geometries, eval, spatial_pushdown, truth, EvalCtx, Expr};
-use crate::parser::{AggFunc, PatternTerm, Query, SelectItem};
+use crate::batch::Batch;
+use crate::parser::{AggFunc, Query, SelectItem};
+use crate::plan::Plan;
 use crate::store::TripleStore;
 use crate::term::{Term, Value};
-use crate::RdfError;
-use ee_geo::Geometry;
+use crate::{join, RdfError};
+use ee_util::par;
 use std::collections::{HashMap, HashSet};
 
 /// Query solutions: a header of variable names and rows of optional terms
@@ -42,376 +50,139 @@ impl Solutions {
         }
     }
 
-    /// Column index of a variable.
+    /// Column index of a variable. Resolve once and index rows directly;
+    /// plans resolve their own columns at plan time.
     pub fn column(&self, var: &str) -> Option<usize> {
         self.vars.iter().position(|v| v == var)
     }
 }
 
-/// Parse and execute a query against a store.
+/// Parse and execute a query against a store at the ambient thread count.
 pub fn query(store: &TripleStore, sparql: &str) -> Result<Solutions, RdfError> {
+    query_with_threads(store, sparql, par::available_threads())
+}
+
+/// Parse and execute a query with an explicit thread count. `threads = 1`
+/// is fully serial; any other count produces bit-identical results.
+pub fn query_with_threads(
+    store: &TripleStore,
+    sparql: &str,
+    threads: usize,
+) -> Result<Solutions, RdfError> {
     let q = crate::parser::parse_query(sparql)?;
-    execute(store, &q)
+    let plan = crate::plan::plan(store, &q)?;
+    execute_plan(store, &plan, threads)
 }
 
-/// A pattern with positions resolved to ids; `None` in a const slot means
-/// the constant is not in the dictionary (pattern cannot match).
-#[derive(Debug, Clone)]
-enum Slot {
-    Var(usize),
-    Const(u64),
-    Impossible,
+/// Execute a parsed query (plans first; kept for API compatibility).
+pub fn execute(store: &TripleStore, q: &Query) -> Result<Solutions, RdfError> {
+    let plan = crate::plan::plan(store, q)?;
+    execute_plan(store, &plan, par::available_threads())
 }
 
-fn resolve_slot(
-    t: &PatternTerm,
+/// Execute a prepared [`Plan`]. The plan may be reused across calls and
+/// shared between threads (the serving tier caches them).
+pub fn execute_plan(
     store: &TripleStore,
-    vars: &mut Vec<String>,
-) -> Slot {
-    match t {
-        PatternTerm::Var(name) => Slot::Var(var_index(vars, name)),
-        PatternTerm::Const(term) => match store.dict.id_of(term) {
-            Some(id) => Slot::Const(id),
-            None => Slot::Impossible,
-        },
-    }
-}
-
-fn var_index(vars: &mut Vec<String>, name: &str) -> usize {
-    if let Some(i) = vars.iter().position(|v| v == name) {
-        i
+    plan: &Plan,
+    threads: usize,
+) -> Result<Solutions, RdfError> {
+    let width = plan.vars.len();
+    let mut batch = if plan.impossible {
+        Batch::new(width)
     } else {
-        vars.push(name.to_string());
-        vars.len() - 1
-    }
-}
-
-struct Prepared {
-    vars: Vec<String>,
-    required: Vec<[Slot; 3]>,
-    optionals: Vec<Vec<[Slot; 3]>>,
-    filters: Vec<(Expr, Vec<usize>)>,
-    const_geoms: Vec<(Term, Geometry)>,
-    /// Per-variable candidate id sets from spatial pushdown.
-    candidates: HashMap<usize, HashSet<u64>>,
-    impossible: bool,
-}
-
-fn collect_expr_vars(expr: &Expr, vars: &mut Vec<String>, out: &mut Vec<usize>) {
-    match expr {
-        Expr::Var(name) => {
-            let i = var_index(vars, name);
-            if !out.contains(&i) {
-                out.push(i);
-            }
-        }
-        Expr::Cmp(a, _, b)
-        | Expr::And(a, b)
-        | Expr::Or(a, b)
-        | Expr::Spatial(_, a, b)
-        | Expr::Distance(a, b)
-        | Expr::Arith(a, _, b) => {
-            collect_expr_vars(a, vars, out);
-            collect_expr_vars(b, vars, out);
-        }
-        Expr::Not(a) => collect_expr_vars(a, vars, out),
-        Expr::Const(_) => {}
-    }
-}
-
-fn prepare(store: &TripleStore, q: &Query) -> Prepared {
-    let mut vars = Vec::new();
-    // Select order defines projection order for named vars.
-    for item in &q.select {
-        if let SelectItem::Var(v) = item {
-            var_index(&mut vars, v);
-        }
-    }
-    let mut impossible = false;
-    let required: Vec<[Slot; 3]> = q
-        .patterns
-        .iter()
-        .map(|p| {
-            let s = [
-                resolve_slot(&p.s, store, &mut vars),
-                resolve_slot(&p.p, store, &mut vars),
-                resolve_slot(&p.o, store, &mut vars),
-            ];
-            if s.iter().any(|x| matches!(x, Slot::Impossible)) {
-                impossible = true;
-            }
-            s
-        })
-        .collect();
-    let optionals: Vec<Vec<[Slot; 3]>> = q
-        .optionals
-        .iter()
-        .map(|group| {
-            group
-                .iter()
-                .map(|p| {
-                    [
-                        resolve_slot(&p.s, store, &mut vars),
-                        resolve_slot(&p.p, store, &mut vars),
-                        resolve_slot(&p.o, store, &mut vars),
-                    ]
-                })
-                .collect()
-        })
-        .collect();
-    let mut const_geoms = Vec::new();
-    for f in &q.filters {
-        collect_const_geometries(f, &mut const_geoms);
-    }
-    let mut candidates: HashMap<usize, HashSet<u64>> = HashMap::new();
-    for f in &q.filters {
-        if let Some((var, env)) = spatial_pushdown(f, &const_geoms) {
-            if let Some(ids) = store.spatial_candidates(&env) {
-                let vi = var_index(&mut vars, &var);
-                let set: HashSet<u64> = ids.into_iter().collect();
-                match candidates.entry(vi) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let merged: HashSet<u64> =
-                            e.get().intersection(&set).copied().collect();
-                        e.insert(merged);
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(set);
-                    }
-                }
-            }
-        }
-    }
-    let filters: Vec<(Expr, Vec<usize>)> = q
-        .filters
-        .iter()
-        .map(|f| {
-            let mut used = Vec::new();
-            collect_expr_vars(f, &mut vars, &mut used);
-            (f.clone(), used)
-        })
-        .collect();
-    // Group/order vars must exist in the table too.
-    for v in &q.group_by {
-        var_index(&mut vars, v);
-    }
-    if let Some((v, _)) = &q.order_by {
-        var_index(&mut vars, v);
-    }
-    Prepared {
-        vars,
-        required,
-        optionals,
-        filters,
-        const_geoms,
-        candidates,
-        impossible,
-    }
-}
-
-/// Greedy choice of the next pattern: most bound positions, then fewest
-/// estimated matches.
-fn choose_next(
-    store: &TripleStore,
-    remaining: &[usize],
-    patterns: &[[Slot; 3]],
-    bound: &[Option<u64>],
-) -> usize {
-    let mut best = remaining[0];
-    let mut best_key = (usize::MAX, usize::MAX);
-    for &pi in remaining {
-        let mut bound_count = 0;
-        let ids: Vec<Option<u64>> = patterns[pi]
-            .iter()
-            .map(|s| match s {
-                Slot::Const(id) => {
-                    bound_count += 1;
-                    Some(*id)
-                }
-                Slot::Var(v) => {
-                    if let Some(id) = bound[*v] {
-                        bound_count += 1;
-                        Some(id)
-                    } else {
-                        None
-                    }
-                }
-                Slot::Impossible => Some(u64::MAX),
-            })
-            .collect();
-        let est = store.estimate(ids[0], ids[1], ids[2]);
-        let key = (3 - bound_count, est);
-        if key < best_key {
-            best_key = key;
-            best = pi;
-        }
-    }
-    best
-}
-
-#[allow(clippy::too_many_arguments)]
-fn join(
-    store: &TripleStore,
-    prepared: &Prepared,
-    patterns: &[[Slot; 3]],
-    remaining: Vec<usize>,
-    bound: &mut Vec<Option<u64>>,
-    filters_done: &mut Vec<bool>,
-    out: &mut Vec<Vec<Option<u64>>>,
-) -> Result<(), RdfError> {
-    if remaining.is_empty() {
-        out.push(bound.clone());
-        return Ok(());
-    }
-    let pi = choose_next(store, &remaining, patterns, bound);
-    let rest: Vec<usize> = remaining.into_iter().filter(|&x| x != pi).collect();
-    let pat = &patterns[pi];
-    let fixed: Vec<Option<u64>> = pat
-        .iter()
-        .map(|s| match s {
-            Slot::Const(id) => Some(*id),
-            Slot::Var(v) => bound[*v],
-            Slot::Impossible => Some(u64::MAX),
-        })
-        .collect();
-    // Materialise matches first (avoids recursive closures over &mut).
-    // Spatial pushdown into the access path: when the object is an unbound
-    // variable with an R-tree candidate set, enumerate the candidates
-    // through the OSP/POS index instead of scanning the whole pattern —
-    // this is the difference between "a few seconds" and a full scan.
-    let mut matches: Vec<(u64, u64, u64)> = Vec::new();
-    let object_candidates = match (&pat[2], fixed[2]) {
-        (Slot::Var(v), None) => prepared.candidates.get(v),
-        _ => None,
+        Batch::unit(width)
     };
-    match object_candidates {
-        Some(cands) if store.mode() == crate::store::IndexMode::Full => {
-            let mut ids: Vec<u64> = cands.iter().copied().collect();
-            ids.sort_unstable();
-            for id in ids {
-                store.match_pattern(fixed[0], fixed[1], Some(id), &mut |t| {
-                    matches.push(t);
-                    true
+    if !plan.impossible {
+        for (step, &pi) in plan.order.iter().enumerate() {
+            batch = join::extend(store, plan, &batch, &plan.slots[pi], threads);
+            for f in &plan.filters {
+                if f.apply_after == Some(step) {
+                    let mask = join::filter_mask(store, plan, f, &batch, threads);
+                    batch.retain(&mask);
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+        }
+        batch = join::apply_optionals(store, plan, batch, threads);
+        for f in &plan.filters {
+            if f.apply_after.is_none() {
+                let mask = join::filter_mask(store, plan, f, &batch, threads);
+                batch.retain(&mask);
+            }
+        }
+    }
+    let raw = batch.into_rows();
+
+    let (header, mut out_rows): (Vec<String>, Vec<Vec<Option<Term>>>) =
+        if plan.has_agg || !plan.group_by.is_empty() {
+            aggregate(store, plan, raw)?
+        } else {
+            // ORDER BY before materialisation (on ids).
+            let mut rows = raw;
+            if let Some((oi, asc)) = plan.order_by {
+                rows.sort_by(|a, b| {
+                    let ka = a[oi].map(|id| order_key(store, id));
+                    let kb = b[oi].map(|id| order_key(store, id));
+                    let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+                    if asc {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
+                });
+            }
+            let names: Vec<String> = plan.projection.iter().map(|(n, _)| n.clone()).collect();
+            let materialised: Vec<Vec<Option<Term>>> = rows
+                .into_iter()
+                .map(|row| {
+                    plan.projection
+                        .iter()
+                        .map(|&(_, i)| row[i].map(|id| store.dict.term(id).clone()))
+                        .collect()
+                })
+                .collect();
+            (names, materialised)
+        };
+
+    if plan.distinct {
+        let mut seen = HashSet::new();
+        out_rows.retain(|row| {
+            let key: Vec<Option<String>> = row
+                .iter()
+                .map(|t| t.as_ref().map(|t| t.ntriples()))
+                .collect();
+            seen.insert(key)
+        });
+    }
+    // Aggregated results may still need ORDER BY over the alias.
+    if plan.has_agg || !plan.group_by.is_empty() {
+        if let Some((ov, asc)) = plan.order_by_name() {
+            if let Some(ci) = header.iter().position(|h| h == ov) {
+                out_rows.sort_by(|a, b| {
+                    let ord = cmp_terms(&a[ci], &b[ci]);
+                    if asc {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
                 });
             }
         }
-        _ => {
-            store.match_pattern(fixed[0], fixed[1], fixed[2], &mut |t| {
-                matches.push(t);
-                true
-            });
-        }
     }
-    'next_match: for (s, p, o) in matches {
-        let triple = [s, p, o];
-        // Unify: bind unbound vars, checking candidate sets.
-        let mut newly_bound: Vec<usize> = Vec::new();
-        for (slot, &id) in pat.iter().zip(&triple) {
-            if let Slot::Var(v) = slot {
-                match bound[*v] {
-                    Some(existing) => {
-                        if existing != id {
-                            // same-pattern repeated var mismatch
-                            for &nv in &newly_bound {
-                                bound[nv] = None;
-                            }
-                            continue 'next_match;
-                        }
-                    }
-                    None => {
-                        if let Some(cands) = prepared.candidates.get(v) {
-                            if !cands.contains(&id) {
-                                for &nv in &newly_bound {
-                                    bound[nv] = None;
-                                }
-                                continue 'next_match;
-                            }
-                        }
-                        bound[*v] = Some(id);
-                        newly_bound.push(*v);
-                    }
-                }
-            }
-        }
-        // Eager filters: evaluate any filter that just became fully bound.
-        let mut newly_filtered: Vec<usize> = Vec::new();
-        let mut pass = true;
-        for (fi, (expr, used)) in prepared.filters.iter().enumerate() {
-            if filters_done[fi] {
-                continue;
-            }
-            if used.iter().all(|&v| bound[v].is_some()) {
-                let ctx = EvalCtx {
-                    dict: &store.dict,
-                    lookup: &|name: &str| {
-                        prepared
-                            .vars
-                            .iter()
-                            .position(|v| v == name)
-                            .and_then(|i| bound[i])
-                    },
-                    const_geoms: &prepared.const_geoms,
-                };
-                if truth(eval(expr, &ctx)) != Some(true) {
-                    pass = false;
-                    break;
-                }
-                filters_done[fi] = true;
-                newly_filtered.push(fi);
-            }
-        }
-        if pass {
-            join(store, prepared, patterns, rest.clone(), bound, filters_done, out)?;
-        }
-        for &fi in &newly_filtered {
-            filters_done[fi] = false;
-        }
-        for &nv in &newly_bound {
-            bound[nv] = None;
-        }
+    let offset = plan.offset.unwrap_or(0);
+    if offset > 0 {
+        out_rows = out_rows.into_iter().skip(offset).collect();
     }
-    Ok(())
-}
-
-/// Left-join the optional groups onto each row.
-fn apply_optionals(
-    store: &TripleStore,
-    prepared: &Prepared,
-    rows: Vec<Vec<Option<u64>>>,
-) -> Result<Vec<Vec<Option<u64>>>, RdfError> {
-    let mut current = rows;
-    for group in &prepared.optionals {
-        // Optional groups containing unknown constants never match.
-        let impossible = group
-            .iter()
-            .any(|p| p.iter().any(|s| matches!(s, Slot::Impossible)));
-        let mut next = Vec::with_capacity(current.len());
-        for row in current {
-            if impossible {
-                next.push(row);
-                continue;
-            }
-            let mut bound = row.clone();
-            let mut matches = Vec::new();
-            let mut filters_done = vec![true; prepared.filters.len()]; // filters already applied
-            join(
-                store,
-                prepared,
-                group,
-                (0..group.len()).collect(),
-                &mut bound,
-                &mut filters_done,
-                &mut matches,
-            )?;
-            if matches.is_empty() {
-                next.push(row);
-            } else {
-                next.extend(matches);
-            }
-        }
-        current = next;
+    if let Some(limit) = plan.limit {
+        out_rows.truncate(limit);
     }
-    Ok(current)
+    Ok(Solutions {
+        vars: header,
+        rows: out_rows,
+    })
 }
 
 fn numeric_of(store: &TripleStore, id: u64) -> Option<f64> {
@@ -432,159 +203,6 @@ fn order_key(store: &TripleStore, id: u64) -> (u8, f64, String) {
         Value::Str(s) => (2, 0.0, s.clone()),
         _ => (3, 0.0, store.dict.term(id).ntriples()),
     }
-}
-
-/// Execute a prepared query.
-pub fn execute(store: &TripleStore, q: &Query) -> Result<Solutions, RdfError> {
-    let prepared = prepare(store, q);
-    let mut raw: Vec<Vec<Option<u64>>> = Vec::new();
-    if !prepared.impossible {
-        let mut bound = vec![None; prepared.vars.len()];
-        let mut filters_done = vec![false; prepared.filters.len()];
-        if prepared.required.is_empty() {
-            raw.push(bound.clone());
-        } else {
-            join(
-                store,
-                &prepared,
-                &prepared.required,
-                (0..prepared.required.len()).collect(),
-                &mut bound,
-                &mut filters_done,
-                &mut raw,
-            )?;
-        }
-        raw = apply_optionals(store, &prepared, raw)?;
-        // Residual filters (e.g. over OPTIONAL vars): a filter whose vars
-        // are not all bound evaluates to error → row dropped, unless it
-        // was already applied during the join.
-        let residual: Vec<&(Expr, Vec<usize>)> = prepared
-            .filters
-            .iter()
-            .filter(|(_, used)| {
-                // Filters over only-required vars were applied eagerly.
-                !used.iter().all(|&v| {
-                    prepared.required.iter().any(|p| {
-                        p.iter().any(|s| matches!(s, Slot::Var(x) if *x == v))
-                    })
-                })
-            })
-            .collect();
-        if !residual.is_empty() {
-            raw.retain(|row| {
-                residual.iter().all(|(expr, _)| {
-                    let ctx = EvalCtx {
-                        dict: &store.dict,
-                        lookup: &|name: &str| {
-                            prepared
-                                .vars
-                                .iter()
-                                .position(|v| v == name)
-                                .and_then(|i| row[i])
-                        },
-                        const_geoms: &prepared.const_geoms,
-                    };
-                    truth(eval(expr, &ctx)) == Some(true)
-                })
-            });
-        }
-    }
-
-    // Aggregation?
-    let has_agg = q.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }));
-    let (header, mut out_rows): (Vec<String>, Vec<Vec<Option<Term>>>) = if has_agg
-        || !q.group_by.is_empty()
-    {
-        aggregate(store, q, &prepared, raw)?
-    } else {
-        // Plain projection.
-        let names: Vec<String> = if q.star {
-            prepared.vars.clone()
-        } else {
-            q.select
-                .iter()
-                .filter_map(|s| match s {
-                    SelectItem::Var(v) => Some(v.clone()),
-                    _ => None,
-                })
-                .collect()
-        };
-        let idx: Vec<usize> = names
-            .iter()
-            .map(|n| {
-                prepared
-                    .vars
-                    .iter()
-                    .position(|v| v == n)
-                    .ok_or_else(|| RdfError::Eval(format!("unknown select variable ?{n}")))
-            })
-            .collect::<Result<_, _>>()?;
-        // ORDER BY before materialisation (on ids).
-        let mut rows = raw;
-        if let Some((ov, asc)) = &q.order_by {
-            let oi = prepared
-                .vars
-                .iter()
-                .position(|v| v == ov)
-                .ok_or_else(|| RdfError::Eval(format!("unknown order variable ?{ov}")))?;
-            rows.sort_by(|a, b| {
-                let ka = a[oi].map(|id| order_key(store, id));
-                let kb = b[oi].map(|id| order_key(store, id));
-                let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
-                if *asc {
-                    ord
-                } else {
-                    ord.reverse()
-                }
-            });
-        }
-        let materialised: Vec<Vec<Option<Term>>> = rows
-            .into_iter()
-            .map(|row| {
-                idx.iter()
-                    .map(|&i| row[i].map(|id| store.dict.term(id).clone()))
-                    .collect()
-            })
-            .collect();
-        (names, materialised)
-    };
-
-    if q.distinct {
-        let mut seen = HashSet::new();
-        out_rows.retain(|row| {
-            let key: Vec<Option<String>> = row
-                .iter()
-                .map(|t| t.as_ref().map(|t| t.ntriples()))
-                .collect();
-            seen.insert(key)
-        });
-    }
-    // Aggregated results may still need ORDER BY over the alias.
-    if has_agg || !q.group_by.is_empty() {
-        if let Some((ov, asc)) = &q.order_by {
-            if let Some(ci) = header.iter().position(|h| h == ov) {
-                out_rows.sort_by(|a, b| {
-                    let ord = cmp_terms(&a[ci], &b[ci]);
-                    if *asc {
-                        ord
-                    } else {
-                        ord.reverse()
-                    }
-                });
-            }
-        }
-    }
-    let offset = q.offset.unwrap_or(0);
-    if offset > 0 {
-        out_rows = out_rows.into_iter().skip(offset).collect();
-    }
-    if let Some(limit) = q.limit {
-        out_rows.truncate(limit);
-    }
-    Ok(Solutions {
-        vars: header,
-        rows: out_rows,
-    })
 }
 
 fn cmp_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
@@ -608,34 +226,23 @@ type Grouped = (Vec<String>, Vec<Vec<Option<Term>>>);
 
 fn aggregate(
     store: &TripleStore,
-    q: &Query,
-    prepared: &Prepared,
+    plan: &Plan,
     rows: Vec<Vec<Option<u64>>>,
 ) -> Result<Grouped, RdfError> {
-    let group_idx: Vec<usize> = q
-        .group_by
-        .iter()
-        .map(|v| {
-            prepared
-                .vars
-                .iter()
-                .position(|x| x == v)
-                .ok_or_else(|| RdfError::Eval(format!("unknown group variable ?{v}")))
-        })
-        .collect::<Result<_, _>>()?;
+    let group_names: Vec<&str> = plan.group_by.iter().map(|&i| plan.vars[i].as_str()).collect();
     let mut groups: HashMap<Vec<Option<u64>>, Vec<Vec<Option<u64>>>> = HashMap::new();
     for row in rows {
-        let key: Vec<Option<u64>> = group_idx.iter().map(|&i| row[i]).collect();
+        let key: Vec<Option<u64>> = plan.group_by.iter().map(|&i| row[i]).collect();
         groups.entry(key).or_default().push(row);
     }
     // Deterministic group order.
     let mut keys: Vec<Vec<Option<u64>>> = groups.keys().cloned().collect();
     keys.sort();
     let mut header = Vec::new();
-    for item in &q.select {
+    for item in &plan.select {
         match item {
             SelectItem::Var(v) => {
-                if !q.group_by.contains(v) {
+                if !group_names.contains(&v.as_str()) {
                     return Err(RdfError::Eval(format!(
                         "?{v} selected but not in GROUP BY"
                     )));
@@ -648,19 +255,18 @@ fn aggregate(
     let mut out = Vec::with_capacity(keys.len());
     for key in keys {
         let members = &groups[&key];
-        let mut row: Vec<Option<Term>> = Vec::with_capacity(q.select.len());
-        for item in &q.select {
+        let mut row: Vec<Option<Term>> = Vec::with_capacity(plan.select.len());
+        for item in &plan.select {
             match item {
                 SelectItem::Var(v) => {
-                    let gi = q.group_by.iter().position(|x| x == v).expect("checked");
+                    let gi = group_names.iter().position(|x| x == v).expect("checked");
                     row.push(key[gi].map(|id| store.dict.term(id).clone()));
                 }
                 SelectItem::Agg { func, var, .. } => {
                     let vi = var
                         .as_ref()
                         .map(|v| {
-                            prepared
-                                .vars
+                            plan.vars
                                 .iter()
                                 .position(|x| x == v)
                                 .ok_or_else(|| RdfError::Eval(format!("unknown ?{v}")))
@@ -1000,5 +606,80 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sol.len(), 2, "alice and carol; bob filtered; dave errors out");
+    }
+
+    /// A store big enough that every parallel code path (hash probes,
+    /// candidate enumeration, filter masks, optional joins) actually
+    /// splits into multiple chunks.
+    fn parallel_corpus_store() -> TripleStore {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let geom = e("hasGeometry");
+        let class = e("class");
+        let name = e("name");
+        let near = e("near");
+        let mut rng: u64 = 42;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for i in 0..600 {
+            let s = e(&format!("f{i}"));
+            let x = next() * 100.0;
+            let y = next() * 100.0;
+            st.insert(&s, &geom, &Term::wkt(format!("POINT ({x:.4} {y:.4})")));
+            st.insert(&s, &class, &e(if i % 3 == 0 { "crop" } else { "urban" }));
+            if i % 2 == 0 {
+                st.insert(&s, &name, &Term::string(format!("feature {i}")));
+            }
+            st.insert(&s, &near, &e(&format!("f{}", (i + 7) % 600)));
+        }
+        st.build_spatial_index();
+        st
+    }
+
+    /// The tentpole guarantee: t ∈ {1, 2, 4, 8} produce byte-identical
+    /// Solutions over the E2/E3-shaped query corpus.
+    #[test]
+    fn parallel_executor_is_bit_identical_to_serial() {
+        let st = parallel_corpus_store();
+        let corpus = [
+            // E2/E3 shape: spatial selection with pushdown + COUNT.
+            "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((10 10, 40 10, 40 40, 10 40, 10 10))\"^^geo:wktLiteral)) }",
+            // Spatial selection projecting the feature ids.
+            "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:hasGeometry ?g . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((0 0, 25 0, 25 25, 0 25, 0 0))\"^^geo:wktLiteral)) }",
+            // Multi-pattern join wide enough to trigger hash probes.
+            "PREFIX e: <http://e/> SELECT ?s ?t WHERE { ?s e:near ?t . ?s e:class e:crop . ?t e:class e:urban }",
+            // Join + numeric-ish filter + DISTINCT + ORDER.
+            "PREFIX e: <http://e/> SELECT DISTINCT ?n WHERE { ?s e:class e:crop . ?s e:name ?n } ORDER BY ?n LIMIT 50",
+            // OPTIONAL left join at scale.
+            "PREFIX e: <http://e/> SELECT ?s ?n WHERE { ?s e:class e:crop . OPTIONAL { ?s e:name ?n } }",
+            // Aggregation with grouping over a join.
+            "PREFIX e: <http://e/> SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s e:class ?c . ?s e:near ?t } GROUP BY ?c ORDER BY ?c",
+            // Spatial join with pushdown + second pattern.
+            "PREFIX e: <http://e/> SELECT ?s ?n WHERE { ?s e:hasGeometry ?g . ?s e:name ?n . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((30 30, 70 30, 70 70, 30 70, 30 30))\"^^geo:wktLiteral)) }",
+        ];
+        for q_text in corpus {
+            let serial = query_with_threads(&st, q_text, 1).unwrap();
+            assert!(!serial.vars.is_empty());
+            for t in [2, 4, 8] {
+                let parallel = query_with_threads(&st, q_text, t).unwrap();
+                assert_eq!(serial, parallel, "threads={t} diverged on {q_text}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_plan_reuse_matches_one_shot() {
+        let st = parallel_corpus_store();
+        let q_text = "PREFIX e: <http://e/> SELECT ?s ?t WHERE { ?s e:near ?t . ?s e:class e:crop }";
+        let q = crate::parser::parse_query(q_text).unwrap();
+        let plan = crate::plan::plan(&st, &q).unwrap();
+        let once = query_with_threads(&st, q_text, 4).unwrap();
+        for _ in 0..3 {
+            assert_eq!(execute_plan(&st, &plan, 4).unwrap(), once);
+        }
     }
 }

@@ -1,0 +1,371 @@
+//! Physical operators: parallel pattern extension (index nested-loop and
+//! hash probes), filter masks, and OPTIONAL left-joins over columnar
+//! [`Batch`]es.
+//!
+//! ## Parallelism contract
+//!
+//! Every operator here is bit-identical to its serial execution for any
+//! thread count. Two rules enforce that:
+//!
+//! 1. **Access-path selection never looks at the thread count.** Whether
+//!    a step runs as a hash probe, an index nested-loop, or a candidate
+//!    enumeration is a function of the plan, the batch size, and the
+//!    store's cardinality estimate only — so serial and parallel runs
+//!    take the same path and see the same per-row match order.
+//! 2. **Fixed-order reduction.** Work is split into contiguous chunks of
+//!    the input (rows or candidate ids) via
+//!    [`ee_util::par::map_chunks_guided`]; each chunk produces a private
+//!    mini-batch and the chunks are concatenated in chunk order, which is
+//!    input order. Chunk *boundaries* may vary with the thread count;
+//!    the concatenated output cannot.
+//!
+//! Guided (work-stealing) scheduling matters here because join probes and
+//! spatial refinement are skewed: one polygon row can cost 100× its
+//! neighbour, so maximal-even chunks would leave threads idle.
+
+use crate::batch::{Batch, UNBOUND};
+use crate::expr::{eval, truth, EvalCtx};
+use crate::plan::{FilterPlan, Plan, Slot};
+use crate::store::{IdTriple, IndexMode, TripleStore, ESTIMATE_CAP};
+use ee_util::par;
+use std::collections::HashMap;
+
+/// Chunks per thread for guided scheduling: enough slack that a skewed
+/// chunk can be stolen around, not so many that coordination dominates.
+const OVERSUBSCRIBE: usize = 8;
+
+/// Minimum probe-side rows before building a hash table pays for itself.
+const HASH_MIN_ROWS: usize = 32;
+
+/// The spatial candidate set for a pattern's object position, when the
+/// object is a still-unbound variable with an R-tree pushdown set and the
+/// store supports indexed enumeration.
+fn object_candidates<'p>(
+    store: &TripleStore,
+    plan: &'p Plan,
+    slots: &[Slot; 3],
+    row: &[u64],
+) -> Option<&'p [u64]> {
+    match &slots[2] {
+        Slot::Var(v) if row[*v] == UNBOUND && store.mode() == IndexMode::Full => {
+            plan.candidates.get(v).map(|c| c.as_slice())
+        }
+        _ => None,
+    }
+}
+
+fn fixed_ids(slots: &[Slot; 3], row: &[u64]) -> [Option<u64>; 3] {
+    let f = |s: &Slot| match s {
+        Slot::Const(id) => Some(*id),
+        Slot::Var(v) => {
+            let id = row[*v];
+            if id == UNBOUND {
+                None
+            } else {
+                Some(id)
+            }
+        }
+        Slot::Impossible => Some(u64::MAX),
+    };
+    [f(&slots[0]), f(&slots[1]), f(&slots[2])]
+}
+
+/// Whether enumerating `cands` beats scanning the pattern directly: the
+/// pattern's own estimate is at the cap (unbounded scan) or larger than
+/// the candidate set. Depends only on the store and bindings — never the
+/// thread count — so serial and parallel runs pick the same path. When
+/// this says no, the direct scan still honours the candidate set: `unify`
+/// rejects non-candidates by binary search.
+fn candidates_pay(store: &TripleStore, cands: &[u64], fixed: &[Option<u64>; 3]) -> bool {
+    let est = store.estimate(fixed[0], fixed[1], None);
+    est >= ESTIMATE_CAP || cands.len() < est
+}
+
+/// All index matches of `slots` under the bindings in `row`, taking the
+/// candidate-enumeration access path when spatial pushdown applies and
+/// is estimated cheaper than the direct scan.
+fn collect_matches(
+    store: &TripleStore,
+    plan: &Plan,
+    slots: &[Slot; 3],
+    row: &[u64],
+) -> Vec<IdTriple> {
+    let fixed = fixed_ids(slots, row);
+    let mut matches = Vec::new();
+    match object_candidates(store, plan, slots, row) {
+        Some(cands) if candidates_pay(store, cands, &fixed) => {
+            for &id in cands {
+                store.match_pattern(fixed[0], fixed[1], Some(id), &mut |t| {
+                    matches.push(t);
+                    true
+                });
+            }
+        }
+        _ => {
+            store.match_pattern(fixed[0], fixed[1], fixed[2], &mut |t| {
+                matches.push(t);
+                true
+            });
+        }
+    }
+    matches
+}
+
+/// Unify `triple` against `slots` into `work` (a copy of the input row).
+/// Returns false on a repeated-variable mismatch or a candidate-set miss;
+/// `work` is garbage after a false return and must be re-copied.
+fn unify(plan: &Plan, slots: &[Slot; 3], triple: IdTriple, work: &mut [u64]) -> bool {
+    let ids = [triple.0, triple.1, triple.2];
+    for (slot, &id) in slots.iter().zip(&ids) {
+        if let Slot::Var(v) = slot {
+            let existing = work[*v];
+            if existing == UNBOUND {
+                if let Some(cands) = plan.candidates.get(v) {
+                    if cands.binary_search(&id).is_err() {
+                        return false;
+                    }
+                }
+                work[*v] = id;
+            } else if existing != id {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Extend every row of `batch` by the matches of one pattern, in row
+/// order (and match order within a row). This is one join step.
+pub fn extend(
+    store: &TripleStore,
+    plan: &Plan,
+    batch: &Batch,
+    slots: &[Slot; 3],
+    threads: usize,
+) -> Batch {
+    let width = plan.vars.len();
+    let mut out = Batch::new(width);
+    if batch.is_empty() || slots.iter().any(|s| matches!(s, Slot::Impossible)) {
+        return out;
+    }
+
+    // Single-row batch with a spatial candidate set (the canonical first
+    // step of a selection query): parallelise the per-triple-pattern scan
+    // across the candidate ids themselves.
+    if batch.len() == 1 {
+        let mut row = Vec::new();
+        batch.read_row(0, &mut row);
+        if let Some(cands) = object_candidates(store, plan, slots, &row)
+            .filter(|c| candidates_pay(store, c, &fixed_ids(slots, &row)))
+        {
+            let fixed = fixed_ids(slots, &row);
+            let parts = par::map_chunks_guided(cands, threads, OVERSUBSCRIBE, |_, chunk| {
+                let mut rows: Vec<u64> = Vec::new();
+                let mut work = vec![0u64; width];
+                for &id in chunk {
+                    store.match_pattern(fixed[0], fixed[1], Some(id), &mut |t| {
+                        work.copy_from_slice(&row);
+                        if unify(plan, slots, t, &mut work) {
+                            rows.extend_from_slice(&work);
+                        }
+                        true
+                    });
+                }
+                rows
+            });
+            for rows in &parts {
+                for r in rows.chunks(width) {
+                    out.push_row(r);
+                }
+            }
+            return out;
+        }
+    }
+
+    // Batch-bound variable positions are join keys; when the build side
+    // is provably small, hash it once and probe rows against it instead
+    // of one index lookup per row. The choice depends only on the batch
+    // and the estimate — never on the thread count.
+    let mut first_row = Vec::new();
+    batch.read_row(0, &mut first_row);
+    let key_cols: Vec<(usize, usize)> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, s)| match s {
+            Slot::Var(v) if first_row[*v] != UNBOUND => Some((pos, *v)),
+            _ => None,
+        })
+        .collect();
+    let consts = fixed_ids(slots, &vec![UNBOUND; width]);
+    let build_est = store.estimate(consts[0], consts[1], consts[2]);
+    let use_hash =
+        !key_cols.is_empty() && batch.len() >= HASH_MIN_ROWS && build_est < ESTIMATE_CAP;
+
+    let rows_idx: Vec<usize> = (0..batch.len()).collect();
+    let parts: Vec<Vec<u64>> = if use_hash {
+        let mut table: HashMap<[u64; 3], Vec<IdTriple>> = HashMap::new();
+        store.match_pattern(consts[0], consts[1], consts[2], &mut |t| {
+            let ids = [t.0, t.1, t.2];
+            let mut key = [UNBOUND; 3];
+            for &(pos, _) in &key_cols {
+                key[pos] = ids[pos];
+            }
+            table.entry(key).or_default().push(t);
+            true
+        });
+        par::map_chunks_guided(&rows_idx, threads, OVERSUBSCRIBE, |_, chunk| {
+            let mut rows: Vec<u64> = Vec::new();
+            let mut row = Vec::new();
+            let mut work = vec![0u64; width];
+            for &r in chunk {
+                batch.read_row(r, &mut row);
+                let mut key = [UNBOUND; 3];
+                for &(pos, v) in &key_cols {
+                    key[pos] = row[v];
+                }
+                if let Some(matches) = table.get(&key) {
+                    for &t in matches {
+                        work.copy_from_slice(&row);
+                        if unify(plan, slots, t, &mut work) {
+                            rows.extend_from_slice(&work);
+                        }
+                    }
+                }
+            }
+            rows
+        })
+    } else {
+        par::map_chunks_guided(&rows_idx, threads, OVERSUBSCRIBE, |_, chunk| {
+            let mut rows: Vec<u64> = Vec::new();
+            let mut row = Vec::new();
+            let mut work = vec![0u64; width];
+            for &r in chunk {
+                batch.read_row(r, &mut row);
+                for t in collect_matches(store, plan, slots, &row) {
+                    work.copy_from_slice(&row);
+                    if unify(plan, slots, t, &mut work) {
+                        rows.extend_from_slice(&work);
+                    }
+                }
+            }
+            rows
+        })
+    };
+    for rows in &parts {
+        for r in rows.chunks(width) {
+            out.push_row(r);
+        }
+    }
+    out
+}
+
+/// Evaluate one filter over every row in parallel; returns the keep mask
+/// in row order. Rows where the expression errors (e.g. an unbound
+/// variable) are dropped, matching SPARQL's error-is-false semantics.
+pub fn filter_mask(
+    store: &TripleStore,
+    plan: &Plan,
+    f: &FilterPlan,
+    batch: &Batch,
+    threads: usize,
+) -> Vec<bool> {
+    let rows_idx: Vec<usize> = (0..batch.len()).collect();
+    let parts = par::map_chunks_guided(&rows_idx, threads, OVERSUBSCRIBE, |_, chunk| {
+        chunk
+            .iter()
+            .map(|&r| {
+                let lookup = |name: &str| {
+                    f.lookup
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .and_then(|&(_, col)| {
+                            let id = batch.get(r, col);
+                            if id == UNBOUND {
+                                None
+                            } else {
+                                Some(id)
+                            }
+                        })
+                };
+                let ctx = EvalCtx {
+                    dict: &store.dict,
+                    lookup: &lookup,
+                    const_geoms: &plan.const_geoms,
+                };
+                truth(eval(&f.expr, &ctx)) == Some(true)
+            })
+            .collect::<Vec<bool>>()
+    });
+    parts.concat()
+}
+
+/// Depth-first join of an optional group's patterns under one row's
+/// bindings; emits extended rows row-major into `out`.
+fn join_group(
+    store: &TripleStore,
+    plan: &Plan,
+    group: &[[Slot; 3]],
+    gi: usize,
+    work: &mut Vec<u64>,
+    out: &mut Vec<u64>,
+    found: &mut usize,
+) {
+    if gi == group.len() {
+        out.extend_from_slice(work);
+        *found += 1;
+        return;
+    }
+    let matches = collect_matches(store, plan, &group[gi], work);
+    let snapshot = work.clone();
+    for t in matches {
+        work.copy_from_slice(&snapshot);
+        if unify(plan, &group[gi], t, work) {
+            join_group(store, plan, group, gi + 1, work, out, found);
+        }
+    }
+    work.copy_from_slice(&snapshot);
+}
+
+/// Left-join each OPTIONAL group onto every row: rows with matches are
+/// replaced by their extensions, rows without pass through unchanged.
+pub fn apply_optionals(
+    store: &TripleStore,
+    plan: &Plan,
+    mut batch: Batch,
+    threads: usize,
+) -> Batch {
+    let width = plan.vars.len();
+    for group in &plan.optionals {
+        // A group with an unknown constant never matches: every row
+        // passes through unextended.
+        if group
+            .iter()
+            .any(|p| p.iter().any(|s| matches!(s, Slot::Impossible)))
+        {
+            continue;
+        }
+        let rows_idx: Vec<usize> = (0..batch.len()).collect();
+        let parts = par::map_chunks_guided(&rows_idx, threads, OVERSUBSCRIBE, |_, chunk| {
+            let mut rows: Vec<u64> = Vec::new();
+            let mut row = Vec::new();
+            for &r in chunk {
+                batch.read_row(r, &mut row);
+                let mut work = row.clone();
+                let mut found = 0;
+                join_group(store, plan, group, 0, &mut work, &mut rows, &mut found);
+                if found == 0 {
+                    rows.extend_from_slice(&row);
+                }
+            }
+            rows
+        });
+        let mut next = Batch::new(width);
+        for rows in &parts {
+            for r in rows.chunks(width) {
+                next.push_row(r);
+            }
+        }
+        batch = next;
+    }
+    batch
+}

@@ -23,15 +23,28 @@
 //! * [`parser`] — a hand-written SPARQL-subset parser (`PREFIX`,
 //!   `SELECT [DISTINCT]`, basic graph patterns, `OPTIONAL`, `FILTER`,
 //!   `GROUP BY` with `COUNT/SUM/AVG/MIN/MAX`, `ORDER BY`, `LIMIT`);
-//! * [`exec`] — the evaluator: greedy selectivity-ordered index
-//!   nested-loop joins, eager filters, and *spatial pushdown* — a filter
-//!   `geof:sfIntersects(?g, <const>)` restricts `?g`'s candidates via the
-//!   R-tree before the join runs (filter–refine).
+//! * [`plan`] — logical/physical query planning: constants resolved to
+//!   ids, a static greedy join order, filters pinned to their earliest
+//!   evaluation step, projection/group/order columns resolved, and
+//!   *spatial pushdown* — a filter `geof:sfIntersects(?g, <const>)`
+//!   restricts `?g`'s candidates via the R-tree before the join runs
+//!   (filter–refine). The resulting [`plan::Plan`] is inspectable,
+//!   cacheable, and shared by the federation engine and the serving tier;
+//! * [`batch`] — columnar binding batches over term ids;
+//! * [`join`] — the physical operators: index nested-loop and hash-probe
+//!   pattern extension, filter masks, and OPTIONAL left-joins, all
+//!   parallelised with fixed-order reduction so any thread count is
+//!   bit-identical to serial;
+//! * [`exec`] — the executor pipeline tying plan → batches → operators →
+//!   aggregation / ordering / materialisation together.
 
+pub mod batch;
 pub mod dict;
 pub mod exec;
 pub mod expr;
+pub mod join;
 pub mod parser;
+pub mod plan;
 pub mod store;
 pub mod term;
 

@@ -24,6 +24,11 @@ pub enum IndexMode {
 /// A triple of dictionary ids.
 pub type IdTriple = (u64, u64, u64);
 
+/// Cardinality estimates are capped here: the planner only needs relative
+/// magnitude, and exact counts over huge ranges would make planning O(n)
+/// per join step. An estimate equal to the cap means "at least this many".
+pub const ESTIMATE_CAP: usize = 1024;
+
 /// The store.
 pub struct TripleStore {
     /// Term dictionary (public read access for the evaluator).
@@ -228,15 +233,11 @@ impl TripleStore {
             // Scan mode has no statistics: every pattern costs a pass.
             return self.all.len();
         }
-        // Counts are capped: the planner only needs relative magnitude,
-        // and exact counts over huge ranges would make planning O(n) per
-        // join step.
-        const CAP: usize = 1024;
         match (s, p, o) {
             (None, None, None) => self.spo.len(),
-            (Some(s), pp, _) => range3(&self.spo, s, pp).take(CAP).count(),
-            (None, Some(p), oo) => range3(&self.pos, p, oo).take(CAP).count(),
-            (None, None, Some(o)) => range3(&self.osp, o, None).take(CAP).count(),
+            (Some(s), pp, _) => range3(&self.spo, s, pp).take(ESTIMATE_CAP).count(),
+            (None, Some(p), oo) => range3(&self.pos, p, oo).take(ESTIMATE_CAP).count(),
+            (None, None, Some(o)) => range3(&self.osp, o, None).take(ESTIMATE_CAP).count(),
         }
     }
 

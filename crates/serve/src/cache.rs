@@ -28,6 +28,9 @@ pub struct CachedBody {
     pub status: u16,
     /// Content type of the cached body.
     pub content_type: String,
+    /// Extra response headers to replay with the body (e.g. `etag`,
+    /// `x-tile-cols`), so a cache hit is indistinguishable from a miss.
+    pub headers: Vec<(String, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -252,6 +255,7 @@ mod tests {
         Arc::new(CachedBody {
             status: 200,
             content_type: "text/plain".into(),
+            headers: Vec::new(),
             body: s.as_bytes().to_vec(),
         })
     }

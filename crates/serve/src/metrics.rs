@@ -158,6 +158,9 @@ pub struct Metrics {
     pub handled: AtomicU64,
     /// Malformed requests answered 4xx.
     pub bad_requests: AtomicU64,
+    /// Conditional requests answered 304 Not Modified (`If-None-Match`
+    /// matched the response's ETag, so the body was elided).
+    pub not_modified: AtomicU64,
     /// Current accept-queue depth.
     pub queue_depth: AtomicU64,
     /// High-water mark of the accept queue.
@@ -196,10 +199,16 @@ impl Metrics {
         self.queue_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
-    /// Render everything in Prometheus text exposition format. Cache
-    /// statistics come from the caller so the metrics type stays
-    /// decoupled from the cache type.
-    pub fn render_prometheus(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
+    /// Render everything in Prometheus text exposition format. Cache and
+    /// plan-cache statistics come from the caller so the metrics type
+    /// stays decoupled from the cache types.
+    pub fn render_prometheus(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_len: usize,
+        plan_stats: (u64, u64, usize),
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let mut counter = |name: &str, help: &str, v: u64| {
             out.push_str(&format!(
@@ -231,6 +240,11 @@ impl Metrics {
             "Malformed requests answered 4xx",
             self.bad_requests.load(Ordering::Relaxed),
         );
+        counter(
+            "ee_serve_not_modified_total",
+            "Conditional requests answered 304 Not Modified",
+            self.not_modified.load(Ordering::Relaxed),
+        );
         counter("ee_serve_cache_hits_total", "Response cache hits", cache_hits);
         counter(
             "ee_serve_cache_misses_total",
@@ -249,6 +263,21 @@ impl Metrics {
         out.push_str(&format!(
             "# HELP ee_serve_cache_entries Response cache entries held\n\
              # TYPE ee_serve_cache_entries gauge\nee_serve_cache_entries {cache_len}\n"
+        ));
+        let (plan_hits, plan_misses, plan_len) = plan_stats;
+        out.push_str(&format!(
+            "# HELP ee_serve_plan_cache_hits_total Prepared-plan cache hits on /query\n\
+             # TYPE ee_serve_plan_cache_hits_total counter\n\
+             ee_serve_plan_cache_hits_total {plan_hits}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_plan_cache_misses_total Prepared-plan cache misses on /query\n\
+             # TYPE ee_serve_plan_cache_misses_total counter\n\
+             ee_serve_plan_cache_misses_total {plan_misses}\n"
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_plan_cache_entries Prepared plans held\n\
+             # TYPE ee_serve_plan_cache_entries gauge\nee_serve_plan_cache_entries {plan_len}\n"
         ));
         out.push_str(&format!(
             "# HELP ee_serve_queue_depth Accept queue depth\n\
@@ -348,9 +377,14 @@ mod tests {
         assert_eq!(m.route_requests(Route::Query), 2);
         assert_eq!(m.handled.load(Ordering::Relaxed), 3);
         assert_eq!(m.queue_peak.load(Ordering::Relaxed), 3);
-        let text = m.render_prometheus(5, 10, 7);
+        m.not_modified.fetch_add(2, Ordering::Relaxed);
+        let text = m.render_prometheus(5, 10, 7, (4, 2, 2));
         assert!(text.contains("ee_serve_route_requests_total{route=\"query\"} 2"));
         assert!(text.contains("ee_serve_cache_hit_rate 0.333"));
+        assert!(text.contains("ee_serve_not_modified_total 2"));
+        assert!(text.contains("ee_serve_plan_cache_hits_total 4"));
+        assert!(text.contains("ee_serve_plan_cache_misses_total 2"));
+        assert!(text.contains("ee_serve_plan_cache_entries 2"));
         assert!(text.contains("ee_serve_queue_depth 1"));
         assert!(text.contains("ee_serve_latency_us_count{route=\"query\"} 2"));
         // Prometheus text format: every non-comment line is `name value`

@@ -3,14 +3,20 @@
 //!
 //! Routes:
 //!
-//! | route                       | engine                         | verb |
-//! |-----------------------------|--------------------------------|------|
-//! | `/query`                    | `ee-rdf` BGP selection (E2/E3) | GET  |
-//! | `/catalogue/search`         | `ee-catalogue` (E9)            | GET  |
-//! | `/tiles/{level}/{row}/{col}`| `ee-raster` pyramid            | GET  |
-//! | `/ice/{region}`             | `ee-polar` PCDSS bundle (E12)  | GET  |
-//! | `/healthz`                  | liveness + engine inventory    | GET  |
-//! | `/debug/sleep`              | deadline testing (opt-in)      | GET  |
+//! | route                       | engine                         | verb     |
+//! |-----------------------------|--------------------------------|----------|
+//! | `/query`                    | `ee-rdf` BGP selection (E2/E3) | GET/POST |
+//! | `/catalogue/search`         | `ee-catalogue` (E9)            | GET      |
+//! | `/tiles/{level}/{row}/{col}`| `ee-raster` pyramid            | GET      |
+//! | `/ice/{region}`             | `ee-polar` PCDSS bundle (E12)  | GET      |
+//! | `/healthz`                  | liveness + engine inventory    | GET      |
+//! | `/debug/sleep`              | deadline testing (opt-in)      | GET      |
+//!
+//! `POST /query` takes the raw SPARQL text as the request body; both
+//! verbs execute through [`AppState::prepared_query`], so a repeated
+//! query hits the prepared-plan cache regardless of how it arrives.
+//! Tile responses carry a strong `etag` derived from the body bytes;
+//! the server layer answers `If-None-Match` revalidations with 304.
 //!
 //! (`/metrics` is answered by the server itself, which owns the metrics
 //! and cache objects.)
@@ -80,8 +86,11 @@ pub fn dispatch(
     debug_routes: bool,
 ) -> Outcome {
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    if req.method == "POST" && segs.as_slice() == ["query"] {
+        return Outcome::Ready(handle_query_post(state, req));
+    }
     if req.method != "GET" {
-        return Outcome::Ready(Response::error(405, "only GET is served"));
+        return Outcome::Ready(Response::error(405, "only GET is served (and POST /query)"));
     }
     match segs.as_slice() {
         ["query"] => Outcome::Ready(handle_query(state, req)),
@@ -111,7 +120,25 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
         }
     };
     let limit = req.param_or("limit", 1000usize);
-    match ee_rdf::exec::query(&state.store, &sparql) {
+    run_query(state, &sparql, limit)
+}
+
+/// `POST /query` — the request body is the raw SPARQL text. Executes
+/// through the same prepared-plan path as GET.
+fn handle_query_post(state: &AppState, req: &Request) -> Response {
+    let Ok(sparql) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body must be UTF-8 SPARQL text");
+    };
+    if sparql.trim().is_empty() {
+        return Response::error(400, "empty body; POST the SPARQL query text");
+    }
+    let limit = req.param_or("limit", 1000usize);
+    run_query(state, sparql, limit)
+}
+
+/// Shared GET/POST tail: prepared-plan execution + JSON materialisation.
+fn run_query(state: &AppState, sparql: &str, limit: usize) -> Response {
+    match state.prepared_query(sparql) {
         Ok(sol) => {
             let rows: Vec<Json> = sol
                 .rows
@@ -222,10 +249,24 @@ fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response 
     let w = ts.min(raster.cols() - col0);
     let h = ts.min(raster.rows() - row0);
     let window = raster.window(col0, row0, w, h).expect("bounds checked");
-    Response::octets(200, ee_raster::codec::encode(&window))
+    let body = ee_raster::codec::encode(&window);
+    let etag = etag_of(&body);
+    Response::octets(200, body)
         .with_header("x-tile-cols", w.to_string())
         .with_header("x-tile-rows", h.to_string())
         .with_header("x-pyramid-levels", state.pyramid.len().to_string())
+        .with_header("etag", etag)
+}
+
+/// Strong ETag for a response body: quoted FNV-1a hex over the bytes.
+/// Deterministic, so revalidation works across restarts and replicas.
+pub fn etag_of(body: &[u8]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in body {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("\"{h:016x}\"")
 }
 
 /// `/ice/{region}` — the PCDSS product bundle for a region, encoded
@@ -439,9 +480,77 @@ mod tests {
             ready(dispatch(state(), &get("/debug/sleep?ms=1"), far_deadline(), false)).status,
             404
         );
-        let mut post = get("/query");
+        // POST is served only on /query; everything else stays 405.
+        let mut post = get("/healthz");
         post.method = "POST".into();
         assert_eq!(ready(dispatch(state(), &post, far_deadline(), false)).status, 405);
+    }
+
+    #[test]
+    fn post_query_executes_sparql_body() {
+        let sparql = "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g }";
+        let raw = format!(
+            "POST /query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{sparql}",
+            sparql.len()
+        );
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        let resp = ready(dispatch(state(), &req, far_deadline(), false));
+        assert_eq!(resp.status, 200);
+        let v = ee_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(v.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
+        // Malformed SPARQL and empty bodies are 400, not 500.
+        let raw = "POST /query HTTP/1.1\r\ncontent-length: 8\r\n\r\nnonsense";
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(ready(dispatch(state(), &req, far_deadline(), false)).status, 400);
+        let raw = "POST /query HTTP/1.1\r\ncontent-length: 0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(ready(dispatch(state(), &req, far_deadline(), false)).status, 400);
+    }
+
+    #[test]
+    fn get_and_post_query_share_the_plan_cache() {
+        // A fresh state so cache counters start at zero.
+        let s = AppState::build(DataConfig::tiny());
+        let sparql = "PREFIX e: <http://e/>  SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g }";
+        let via_get = ready(dispatch(
+            &s,
+            &get(&format!("/query?sparql={}", sparql.replace(' ', "%20"))),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(via_get.status, 200);
+        // POST the same query with different whitespace: canonicalisation
+        // makes it the same plan-cache entry.
+        let body = sparql.replace("  ", " \n ");
+        let raw = format!(
+            "POST /query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
+        let via_post = ready(dispatch(&s, &req, far_deadline(), false));
+        assert_eq!(via_post.status, 200);
+        assert_eq!(via_get.body, via_post.body, "same answer both verbs");
+        let (hits, misses, entries) = s.plan_cache_stats();
+        assert_eq!((hits, misses, entries), (1, 1, 1), "one plan, reused");
+    }
+
+    #[test]
+    fn tile_responses_carry_a_deterministic_etag() {
+        let a = ready(dispatch(state(), &get("/tiles/0/0/0"), far_deadline(), false));
+        let b = ready(dispatch(state(), &get("/tiles/0/0/0"), far_deadline(), false));
+        let tag = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "etag")
+                .map(|(_, v)| v.clone())
+                .expect("tile has etag")
+        };
+        assert_eq!(tag(&a), tag(&b), "same tile, same tag");
+        assert!(tag(&a).starts_with('"') && tag(&a).ends_with('"'));
+        let c = ready(dispatch(state(), &get("/tiles/1/0/0"), far_deadline(), false));
+        assert_ne!(tag(&a), tag(&c), "different tile, different tag");
+        assert_eq!(etag_of(b"x"), etag_of(b"x"));
+        assert_ne!(etag_of(b"x"), etag_of(b"y"));
     }
 
     #[test]

@@ -275,7 +275,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
         let route = classify(&req.path);
         let t0 = Instant::now();
 
-        let response = if Instant::now() >= deadline {
+        let mut response = if Instant::now() >= deadline {
             // Expired while queued (or while the previous exchange ran).
             shared
                 .metrics
@@ -290,6 +290,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     shared.cache.hits(),
                     shared.cache.misses(),
                     shared.cache.len(),
+                    shared.state.plan_cache_stats(),
                 ),
             )
         } else {
@@ -297,12 +298,16 @@ fn serve_connection(shared: &Shared, conn: Conn) {
             let cacheable = key.is_some();
             let cached = key.as_ref().and_then(|k| shared.cache.get(k));
             match cached {
-                Some(hit) => Response {
-                    status: hit.status,
-                    content_type: hit.content_type.clone(),
-                    headers: vec![("x-cache".into(), "HIT".into())],
-                    body: hit.body.clone(),
-                },
+                Some(hit) => {
+                    let mut headers = hit.headers.clone();
+                    headers.push(("x-cache".into(), "HIT".into()));
+                    Response {
+                        status: hit.status,
+                        content_type: hit.content_type.clone(),
+                        headers,
+                        body: hit.body.clone(),
+                    }
+                }
                 None => {
                     match dispatch(&shared.state, &req, deadline, shared.config.debug_routes) {
                         Outcome::DeadlineExceeded => {
@@ -320,6 +325,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                                         Arc::new(CachedBody {
                                             status: resp.status,
                                             content_type: resp.content_type.clone(),
+                                            headers: resp.headers.clone(),
                                             body: resp.body.clone(),
                                         }),
                                     );
@@ -334,6 +340,26 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 }
             }
         };
+
+        // Conditional requests: when the client's If-None-Match equals
+        // the response's ETag the body is elided with a 304. Applied
+        // after cache resolution so both hits and misses revalidate.
+        if response.status == 200 {
+            if let (Some(inm), Some(tag)) = (
+                req.header("if-none-match"),
+                response
+                    .headers
+                    .iter()
+                    .find(|(n, _)| n == "etag")
+                    .map(|(_, v)| v.clone()),
+            ) {
+                if inm == tag || inm == "*" {
+                    shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
+                    response.status = 304;
+                    response.body = Vec::new();
+                }
+            }
+        }
 
         let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         shared.metrics.record(route, latency_us);

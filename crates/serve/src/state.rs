@@ -29,6 +29,9 @@ use ee_rdf::term::Term;
 use ee_rdf::TripleStore;
 use ee_util::timeline::Date;
 use ee_util::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Side length of the square point-feature region served by `/query`
 /// (degree-like units, matching the E2 experiment).
@@ -100,6 +103,13 @@ pub struct AppState {
     pub ice: Vec<(String, IceProducts)>,
     /// Server start time, reported by `/healthz`.
     pub started: std::time::Instant,
+    /// Prepared [`ee_rdf::plan::Plan`]s keyed on canonicalised query
+    /// text, so repeated `/query` requests skip parse + plan.
+    plans: Mutex<HashMap<String, Arc<ee_rdf::plan::Plan>>>,
+    /// Plan-cache hits (reported by `/metrics`).
+    plan_hits: AtomicU64,
+    /// Plan-cache misses (reported by `/metrics`).
+    plan_misses: AtomicU64,
 }
 
 impl AppState {
@@ -163,7 +173,50 @@ impl AppState {
             tile_size,
             ice,
             started: std::time::Instant::now(),
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Evaluate a SPARQL query through the prepared-plan path: the text
+    /// is canonicalised (whitespace-collapsed), looked up in the plan
+    /// cache, planned on miss, then executed with
+    /// [`ee_rdf::exec::execute_plan`]. Both GET and POST `/query` land
+    /// here, so a repeated query — however submitted — pays parse +
+    /// planning once.
+    pub fn prepared_query(
+        &self,
+        sparql: &str,
+    ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
+        let key = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
+        let cached = self.plans.lock().expect("plan cache lock").get(&key).cloned();
+        let plan = match cached {
+            Some(p) => {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            None => {
+                let q = ee_rdf::parser::parse_query(sparql)?;
+                let p = Arc::new(ee_rdf::plan::plan(&self.store, &q)?);
+                self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                self.plans
+                    .lock()
+                    .expect("plan cache lock")
+                    .insert(key, p.clone());
+                p
+            }
+        };
+        ee_rdf::exec::execute_plan(&self.store, &plan, ee_util::par::available_threads())
+    }
+
+    /// Plan-cache statistics: `(hits, misses, entries)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64, usize) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+            self.plans.lock().expect("plan cache lock").len(),
+        )
     }
 
     /// The ice products of a region, if it exists.

@@ -42,9 +42,47 @@ fn send(
     target: &str,
     keep_alive: bool,
 ) -> ee_serve::http::ClientResponse {
+    send_with(stream, reader, target, keep_alive, &[])
+}
+
+fn send_with(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> ee_serve::http::ClientResponse {
     let conn = if keep_alive { "keep-alive" } else { "close" };
-    write!(stream, "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: {conn}\r\n\r\n").unwrap();
-    stream.flush().unwrap();
+    let extra: String = extra_headers
+        .iter()
+        .map(|(n, v)| format!("{n}: {v}\r\n"))
+        .collect();
+    // Tolerate write errors: a server that sheds the connection may close
+    // it mid-write, and the interesting assertion is on the response (or
+    // its absence), not the request bytes landing.
+    let _ = write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: {conn}\r\n{extra}\r\n"
+    );
+    let _ = stream.flush();
+    read_response(reader).expect("response")
+}
+
+fn post(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> ee_serve::http::ClientResponse {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let _ = write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nhost: t\r\nconnection: {conn}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
     read_response(reader).expect("response")
 }
 
@@ -142,12 +180,12 @@ fn overload_sheds_with_503_and_retry_after() {
     let mut held = Vec::new();
     for _ in 0..4 {
         let (mut s, r) = connect(addr);
-        write!(
+        // Shed connections may close before the bytes land; keep going.
+        let _ = write!(
             s,
             "GET /debug/sleep?ms=1500 HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"
-        )
-        .unwrap();
-        s.flush().unwrap();
+        );
+        let _ = s.flush();
         held.push((s, r));
         // Give the acceptor time to enqueue before the next connect.
         std::thread::sleep(Duration::from_millis(50));
@@ -219,6 +257,86 @@ fn loadgen_drives_all_routes_and_metrics_report() {
     assert!(text.contains("ee_serve_requests_total"), "{text}");
     assert!(text.contains("ee_serve_cache_hits_total"));
     assert!(text.contains("route=\"query\""));
+    server.shutdown();
+}
+
+#[test]
+fn post_query_roundtrips_sparql_and_rejects_malformed_bodies() {
+    let server = start(test_config(), state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    let sparql = "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) \
+                  WHERE { ?s e:hasGeometry ?g }";
+    let resp = post(&mut s, &mut r, "/query", sparql.as_bytes(), true);
+    assert_eq!(resp.status, 200, "POSTed SPARQL executes");
+    let text = String::from_utf8(resp.body.clone()).unwrap();
+    assert!(text.contains("\"vars\""), "solution JSON: {text}");
+    assert!(text.contains("\"count\""), "solution JSON: {text}");
+
+    // The same query again (same connection, different whitespace) rides
+    // the prepared-plan cache and answers identically.
+    let respaced = sparql.replace(' ', "  ");
+    let again = post(&mut s, &mut r, "/query", respaced.as_bytes(), true);
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, resp.body, "plan reuse changes nothing");
+
+    // Malformed SPARQL body → 400 with a parse message, not a 500.
+    let bad = post(&mut s, &mut r, "/query", b"SELECT WHERE garbage {", true);
+    assert_eq!(bad.status, 400, "malformed body is a client error");
+
+    // Invalid UTF-8 body → 400 as well.
+    let binary = post(&mut s, &mut r, "/query", &[0xff, 0xfe, 0x80], true);
+    assert_eq!(binary.status, 400);
+
+    // POST on any other route stays 405.
+    let nope = post(&mut s, &mut r, "/healthz", b"", true);
+    assert_eq!(nope.status, 405);
+
+    // /metrics shows the plan cache working.
+    let m = send(&mut s, &mut r, "/metrics", false);
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(text.contains("ee_serve_plan_cache_hits_total"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn conditional_tile_requests_return_304_on_matching_etag() {
+    let server = start(test_config(), state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    let first = send(&mut s, &mut r, "/tiles/0/0/0", true);
+    assert_eq!(first.status, 200);
+    let etag = first.header("etag").expect("tile carries etag").to_string();
+    assert!(!first.body.is_empty());
+
+    // Revalidate with the tag: 304, empty body — and the response came
+    // from the cache (headers, including etag, were replayed).
+    let revalidated = send_with(
+        &mut s,
+        &mut r,
+        "/tiles/0/0/0",
+        true,
+        &[("if-none-match", &etag)],
+    );
+    assert_eq!(revalidated.status, 304, "matching tag elides the body");
+    assert!(revalidated.body.is_empty());
+
+    // A stale tag gets the full body again.
+    let stale = send_with(
+        &mut s,
+        &mut r,
+        "/tiles/0/0/0",
+        true,
+        &[("if-none-match", "\"0000000000000000\"")],
+    );
+    assert_eq!(stale.status, 200);
+    assert_eq!(stale.body, first.body);
+    assert_eq!(stale.header("etag"), Some(etag.as_str()), "cache hit keeps etag");
+
+    // The 304s are counted.
+    let m = send(&mut s, &mut r, "/metrics", false);
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(text.contains("ee_serve_not_modified_total 1"), "{text}");
     server.shutdown();
 }
 

@@ -114,6 +114,86 @@ where
     })
 }
 
+/// Like [`map_chunks`], but with **guided scheduling** for skewed
+/// workloads: the input is split into many small chunks (about
+/// `oversubscribe`× more than `threads`, tapering so early chunks are
+/// larger), and workers pull the next unclaimed chunk from a shared
+/// atomic counter instead of owning a fixed contiguous band. A worker
+/// stuck on a dense chunk no longer stalls the whole band — the others
+/// steal the remaining chunks.
+///
+/// The per-chunk results come back **in chunk order** (fixed-order
+/// reduction): the output is a pure function of `(items.len(),
+/// threads, oversubscribe)` and `f`, never of which worker ran which
+/// chunk, so callers keep the workspace-wide determinism contract.
+/// `oversubscribe == 1` degrades to the uniform [`map_chunks`] split.
+pub fn map_chunks_guided<T, R, F>(
+    items: &[T],
+    threads: usize,
+    oversubscribe: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let t = threads.min(items.len()).max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunks = (t * oversubscribe.max(1)).min(items.len()).max(1);
+    // Chunk boundaries are computed once, deterministically: maximal-even
+    // split (sizes differ by at most one, earlier chunks take the
+    // remainder) — identical to map_chunks with `chunks` workers.
+    let base = items.len() / chunks;
+    let rem = items.len() % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        bounds.push((start, &items[start..start + len]));
+        start += len;
+    }
+    if t == 1 {
+        return bounds.into_iter().map(|(s, chunk)| f(s, chunk)).collect();
+    }
+    // Work-stealing dispatch: each worker claims the next chunk index from
+    // a shared counter and writes its result into that chunk's slot.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..chunks).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t);
+        for _ in 0..t {
+            let f = &f;
+            let next = &next;
+            let slots = &slots;
+            let bounds = &bounds;
+            handles.push(scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= bounds.len() {
+                    return;
+                }
+                let (s, chunk) = bounds[i];
+                let r = f(s, chunk);
+                *slots[i].lock().expect("guided slot poisoned") = Some(r);
+            }));
+        }
+        for h in handles {
+            h.join().expect("ee-util par worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("guided slot poisoned")
+                .expect("every chunk claimed exactly once")
+        })
+        .collect()
+}
+
 /// Map `f(index, item)` over `items` on up to `threads` workers,
 /// preserving input order in the result.
 ///
@@ -237,6 +317,58 @@ mod tests {
             let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
             assert!(hi - lo <= 1, "uneven chunks {sizes:?}");
         }
+    }
+
+    #[test]
+    fn guided_matches_uniform_for_any_thread_count() {
+        let items: Vec<u64> = (0..241).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x % 97).collect();
+        for threads in [1usize, 2, 3, 4, 8, 50] {
+            for over in [1usize, 2, 4, 8] {
+                let per_chunk =
+                    map_chunks_guided(&items, threads, over, |_, c| {
+                        c.iter().map(|x| x * x % 97).collect::<Vec<u64>>()
+                    });
+                let flat: Vec<u64> = per_chunk.into_iter().flatten().collect();
+                assert_eq!(flat, serial, "threads={threads} over={over}");
+            }
+        }
+    }
+
+    #[test]
+    fn guided_chunk_partition_is_deterministic() {
+        // The chunk boundaries (and so the reduction shape) depend only on
+        // (len, threads, oversubscribe) — run twice, compare starts.
+        let items: Vec<u8> = vec![0; 103];
+        let starts = |threads| {
+            map_chunks_guided(&items, threads, 4, |s, c| (s, c.len()))
+        };
+        assert_eq!(starts(4), starts(4));
+        let got = starts(4);
+        let mut expect = 0usize;
+        for (s, len) in &got {
+            assert_eq!(*s, expect, "contiguous chunks");
+            expect += len;
+        }
+        assert_eq!(expect, items.len());
+        assert!(got.len() >= 4, "oversubscribed beyond thread count");
+    }
+
+    #[test]
+    fn guided_handles_skew_and_empty() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_chunks_guided(&empty, 4, 4, |_, c| c.len()).is_empty());
+        // A skewed workload (cost concentrated in one region) still
+        // produces ordered, complete results.
+        let items: Vec<u32> = (0..64).collect();
+        let out = map_chunks_guided(&items, 4, 8, |_, c| {
+            if c.first().is_some_and(|&x| x < 8) {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            c.to_vec()
+        });
+        let flat: Vec<u32> = out.into_iter().flatten().collect();
+        assert_eq!(flat, items);
     }
 
     #[test]

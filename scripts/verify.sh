@@ -2,7 +2,9 @@
 # Tier-1 verification: build and test the whole workspace with zero
 # network access, lint with clippy as errors, then smoke-run the
 # distributed-training (E4), classification (E5), kernel-throughput
-# (E-k0) and serving-tier (E-s0) experiments.
+# (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
+# sweep at 4 threads (the harness aborts non-zero if any parallel run
+# diverges from the serial answer).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -19,5 +21,8 @@ cargo clippy --offline --all-targets -- -D warnings
 
 echo "== smoke: harness e4 e5 kernels e-s0 (quick scale) =="
 ./target/release/harness e4 e5 kernels e-s0
+
+echo "== smoke: harness e3 --threads 4 (serial-vs-parallel identity) =="
+./target/release/harness e3 --threads 4
 
 echo "verify.sh: all green"
