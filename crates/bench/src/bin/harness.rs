@@ -7,7 +7,7 @@
 //! harness --full          # the EXPERIMENTS.md scale
 //! harness e2 e3 --full    # selected experiments
 //! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
-//! harness e-s0 --full     # serving tier; also writes BENCH_PR2.json
+//! harness e-s0 --full     # serving tier; writes BENCH_PR2.json + BENCH_PR4.json
 //! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
 //! ```
 //!
@@ -84,20 +84,28 @@ fn main() {
         let start = std::time::Instant::now();
         // The two bench-artifact experiments run once, feeding both the
         // printed table and their JSON file.
-        let json_artifact = match id {
+        let json_artifacts: Vec<(&str, ee_util::json::Json)> = match id {
             "kernels" => {
                 let (tables, json) = kernels::report(scale);
                 for t in tables {
                     println!("{}", t.markdown());
                 }
-                Some(("BENCH_PR1.json", json))
+                vec![("BENCH_PR1.json", json)]
             }
             "e-s0" => {
                 let (tables, json) = e_s0_serve::report(scale);
                 for t in tables {
                     println!("{}", t.markdown());
                 }
-                Some(("BENCH_PR2.json", json))
+                // The streaming stage feeds its own artifact.
+                let (tables, streaming_json) = e_s0_serve::streaming_report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![
+                    ("BENCH_PR2.json", json),
+                    ("BENCH_PR4.json", streaming_json),
+                ]
             }
             "e3" => {
                 let max = max_threads.unwrap_or_else(|| {
@@ -107,17 +115,17 @@ fn main() {
                 for t in tables {
                     println!("{}", t.markdown());
                 }
-                Some(("BENCH_PR3.json", json))
+                vec![("BENCH_PR3.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");
                 for t in tables {
                     println!("{}", t.markdown());
                 }
-                None
+                Vec::new()
             }
         };
-        if let Some((path, json)) = json_artifact {
+        for (path, json) in json_artifacts {
             match std::fs::write(path, json.emit_pretty() + "\n") {
                 Ok(()) => eprintln!("[harness] wrote {path}"),
                 Err(e) => eprintln!("[harness] could not write {path}: {e}"),

@@ -321,6 +321,111 @@ pub fn report(scale: Scale) -> (Vec<Table>, Json) {
     (vec![t1, t2], json)
 }
 
+/// Stage 3 — the streaming response path under load.
+///
+/// A dedicated state whose level-0 tile is far larger than anything the
+/// earlier stages serve (and, at full scale, larger than the old 1 MiB
+/// response buffer cap, which made this request unanswerable before the
+/// streaming path existed). The server's per-entry cache cap is set to
+/// zero so every request re-encodes and streams chunked end-to-end; the
+/// interesting numbers are the time-to-first-byte percentiles — the
+/// first chunk leaves while the rest of the tile is still being encoded
+/// — against the full-transfer latency.
+///
+/// Returns the table plus the JSON value the harness writes to
+/// `BENCH_PR4.json`.
+pub fn streaming_report(scale: Scale) -> (Vec<Table>, Json) {
+    let (scene, clients, requests_per_client) = match scale {
+        Scale::Quick => (192usize, 2usize, 8usize),
+        Scale::Full => (640, 4, 16),
+    };
+    let state = Arc::new(AppState::build(DataConfig {
+        points: 500,
+        products: 100,
+        scene_size: scene,
+        tile_size: scene,
+        ice_size: 32,
+        seed: 2019,
+    }));
+    let tile_bytes = 40 + scene * scene * 4;
+    let server = start(
+        ServerConfig {
+            workers: 4,
+            queue_watermark: 64,
+            deadline: Duration::from_secs(30),
+            // Nothing fits in the response cache: every request takes
+            // the chunked streaming path and is counted uncacheable.
+            cache_max_body_bytes: 0,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&state),
+    )
+    .expect("start server");
+    let report = loadgen::run(
+        server.addr,
+        &["/tiles/0/0/0".to_string()],
+        &LoadPlan {
+            clients,
+            requests_per_client,
+            mode: ConnMode::KeepAlive,
+            timeout: Duration::from_secs(60),
+        },
+    );
+    let uncacheable = server
+        .metrics()
+        .stream_uncacheable
+        .load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+
+    let mut t = Table::new(
+        "E-s0c — streaming a large tile (chunked transfer)",
+        format!(
+            "{clients} keep-alive clients pulling a {tile_bytes}-byte level-0 tile; the \
+             cache's per-entry cap is 0 so every request streams. TTFB stops at the \
+             response head, latency at the last chunk.",
+        ),
+        &[
+            "tile bytes", "ok", "ttfb p50", "ttfb p95", "ttfb p99", "p50", "p99", "MB/s",
+        ],
+    );
+    let mbps = if report.wall.as_secs_f64() == 0.0 {
+        0.0
+    } else {
+        (report.ok as f64 * tile_bytes as f64) / report.wall.as_secs_f64() / 1e6
+    };
+    t.row(vec![
+        tile_bytes.to_string(),
+        report.ok.to_string(),
+        fmt_us(report.ttfb_p50_us),
+        fmt_us(report.ttfb_p95_us),
+        fmt_us(report.ttfb_p99_us),
+        fmt_us(report.p50_us),
+        fmt_us(report.p99_us),
+        format!("{mbps:.0}"),
+    ]);
+
+    let json = Json::obj(vec![
+        ("experiment", Json::Str("e-s0-streaming".into())),
+        (
+            "scale",
+            Json::Str(if scale == Scale::Full { "full" } else { "quick" }.into()),
+        ),
+        ("tile_bytes", Json::Num(tile_bytes as f64)),
+        ("clients", Json::Num(clients as f64)),
+        ("ok", Json::Num(report.ok as f64)),
+        ("errors", Json::Num(report.errors as f64)),
+        ("ttfb_p50_us", Json::Num(report.ttfb_p50_us as f64)),
+        ("ttfb_p95_us", Json::Num(report.ttfb_p95_us as f64)),
+        ("ttfb_p99_us", Json::Num(report.ttfb_p99_us as f64)),
+        ("p50_us", Json::Num(report.p50_us as f64)),
+        ("p99_us", Json::Num(report.p99_us as f64)),
+        ("throughput_rps", Json::Num(report.throughput())),
+        ("transfer_mb_per_s", Json::Num(mbps)),
+        ("stream_uncacheable_total", Json::Num(uncacheable as f64)),
+    ]);
+    (vec![t], json)
+}
+
 /// Run E-s0, discarding the JSON (the `run(id, scale)` registry shape).
 pub fn run(scale: Scale) -> Vec<Table> {
     report(scale).0
@@ -329,6 +434,24 @@ pub fn run(scale: Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quick_streaming_report_streams_every_request() {
+        let (tables, json) = streaming_report(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        let md = tables[0].markdown();
+        assert!(md.contains("147496"), "192×192 f32 tile + header: {md}");
+        let text = json.emit();
+        assert!(text.contains("\"ttfb_p50_us\""), "{text}");
+        let v = ee_util::json::parse(&text).unwrap();
+        let ok = v.get("ok").and_then(Json::as_f64).unwrap();
+        assert!(ok >= 16.0, "2 clients × 8 requests: {text}");
+        let uncacheable = v
+            .get("stream_uncacheable_total")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(uncacheable >= ok, "every request bypassed the cache");
+    }
 
     #[test]
     fn quick_report_has_both_tables_and_sane_numbers() {

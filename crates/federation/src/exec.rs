@@ -19,9 +19,11 @@ use ee_rdf::parser::{parse_query, PatternTerm, TriplePattern};
 use ee_rdf::plan::Plan;
 use ee_rdf::term::Term;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Federation execution mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Broadcast every pattern to every endpoint; join locally.
     Naive,
@@ -100,6 +102,93 @@ pub fn plan_federated(
         })
         .collect();
     Ok(FedPlan { plan, sources })
+}
+
+/// Prepared-plan cache for the federated evaluator, mirroring the
+/// serving tier's SPARQL plan cache: query text is canonicalised
+/// (whitespace-collapsed) and keyed together with the execution
+/// [`Mode`], because the naive and optimized rewrites assign different
+/// sources to the same logical plan. Repeated queries skip parse,
+/// logical planning, and source selection.
+///
+/// Source assignments depend on the catalog, so a cache belongs to one
+/// federation: rebuild (or drop) it when endpoints or their extents
+/// change.
+pub struct PlanCache {
+    plans: Mutex<HashMap<(String, Mode), Arc<FedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolve `sparql` under `mode` to a prepared [`FedPlan`], planning
+    /// on miss.
+    pub fn prepare(
+        &self,
+        endpoints: &[Endpoint],
+        catalog: &FederationCatalog,
+        sparql: &str,
+        mode: Mode,
+    ) -> Result<Arc<FedPlan>, FedError> {
+        let key = (
+            sparql.split_whitespace().collect::<Vec<_>>().join(" "),
+            mode,
+        );
+        let cached = self.plans.lock().expect("plan cache lock").get(&key).cloned();
+        match cached {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(p)
+            }
+            None => {
+                let p = Arc::new(plan_federated(endpoints, catalog, sparql, mode)?);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.plans
+                    .lock()
+                    .expect("plan cache lock")
+                    .insert(key, p.clone());
+                Ok(p)
+            }
+        }
+    }
+
+    /// Cache statistics: `(hits, misses, entries)`.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.plans.lock().expect("plan cache lock").len(),
+        )
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+/// Run a query against the federation through a [`PlanCache`]:
+/// [`federated_query`] with the parse/plan/source-selection front half
+/// cached across calls.
+pub fn federated_query_cached(
+    endpoints: &[Endpoint],
+    catalog: &FederationCatalog,
+    cache: &PlanCache,
+    sparql: &str,
+    mode: Mode,
+) -> Result<FedReport, FedError> {
+    let fed = cache.prepare(endpoints, catalog, sparql, mode)?;
+    execute_federated(endpoints, &fed, mode)
 }
 
 /// Run a query against the federation.
@@ -495,6 +584,29 @@ mod tests {
         let q = "PREFIX e: <http://e/> SELECT ?f WHERE { ?f e:cropType \"rice\" }";
         let r = federated_query(&eps, &cat, q, Mode::Optimized).unwrap();
         assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_reuses_prepared_plans() {
+        let eps = federation();
+        let cat = FederationCatalog::build(&eps);
+        let cache = PlanCache::new();
+        let direct = federated_query(&eps, &cat, QUERY, Mode::Optimized).unwrap();
+        let first = federated_query_cached(&eps, &cat, &cache, QUERY, Mode::Optimized).unwrap();
+        assert_eq!(first.rows.len(), direct.rows.len());
+        // Same query with different whitespace: canonicalisation hits.
+        let respaced = QUERY.replace(" . ", " \n . ");
+        let second =
+            federated_query_cached(&eps, &cat, &cache, &respaced, Mode::Optimized).unwrap();
+        assert_eq!(second.rows.len(), direct.rows.len());
+        assert_eq!(cache.stats(), (1, 1, 1), "one plan, reused");
+        // The mode is part of the key: naive gets its own rewrite.
+        let naive = federated_query_cached(&eps, &cat, &cache, QUERY, Mode::Naive).unwrap();
+        assert_eq!(naive.rows.len(), direct.rows.len());
+        assert_eq!(cache.stats(), (1, 2, 2), "modes cached separately");
+        // Parse errors surface through the cached path too, uncached.
+        assert!(federated_query_cached(&eps, &cat, &cache, "nonsense", Mode::Naive).is_err());
+        assert_eq!(cache.stats().2, 2, "failed plans are not cached");
     }
 
     #[test]

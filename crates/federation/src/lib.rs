@@ -25,7 +25,10 @@ pub mod exec;
 
 pub use catalog::FederationCatalog;
 pub use endpoint::Endpoint;
-pub use exec::{execute_federated, federated_query, plan_federated, FedPlan, FedReport, Mode};
+pub use exec::{
+    execute_federated, federated_query, federated_query_cached, plan_federated, FedPlan,
+    FedReport, Mode, PlanCache,
+};
 
 /// Errors from federated evaluation.
 #[derive(Debug, Clone, PartialEq)]

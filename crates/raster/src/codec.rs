@@ -86,16 +86,30 @@ const MAGIC: u32 = 0x4545_5254;
 const VERSION: u8 = 1;
 const FLAG_RLE: u8 = 0b0000_0001;
 
-/// Encode a raster; chooses raw or RLE, whichever is smaller.
-pub fn encode<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
-    let raw = encode_payload_raw(raster);
-    let rle = encode_payload_rle(raster);
-    let (flags, payload) = if rle.len() < raw.len() {
-        (FLAG_RLE, rle)
-    } else {
-        (0, raw)
-    };
-    let mut out = Vec::with_capacity(40 + payload.len());
+/// Payload bytes emitted per chunk by the incremental encoders (a run may
+/// overshoot slightly; runs are never split across chunks).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Size of the RLE payload in bytes, computed by scanning runs without
+/// materialising them — how the encoders choose raw vs RLE up front.
+fn rle_size<T: Pixel>(data: &[T]) -> usize {
+    let mut runs = 0usize;
+    let mut i = 0;
+    while i < data.len() {
+        let v = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == v && run < u16::MAX as usize {
+            run += 1;
+        }
+        runs += 1;
+        i += run;
+    }
+    runs * (2 + T::BYTES)
+}
+
+/// The 40-byte header for a raster with the given payload `flags`.
+fn header_bytes<T: Pixel>(raster: &Raster<T>, flags: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40);
     out.put_u32_le(MAGIC);
     out.put_u8(VERSION);
     out.put_u8(T::TYPE_TAG);
@@ -107,33 +121,104 @@ pub fn encode<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
     out.put_f64_le(t.origin_x);
     out.put_f64_le(t.origin_y);
     out.put_f64_le(t.pixel_size);
-    out.extend_from_slice(&payload);
     out
 }
 
-fn encode_payload_raw<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(raster.data().len() * T::BYTES);
-    for &v in raster.data() {
-        v.write_le(&mut out);
-    }
-    out
-}
-
-fn encode_payload_rle<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
-    let data = raster.data();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < data.len() {
-        let v = data[i];
-        let mut run = 1usize;
-        while i + run < data.len() && data[i + run] == v && run < u16::MAX as usize {
-            run += 1;
+/// Append payload bytes for pixels starting at `*pos` until `buf` holds
+/// at least [`CHUNK_BYTES`] or the data is exhausted. RLE runs are
+/// emitted whole, so chunk boundaries never split a run and the
+/// concatenated chunks are byte-identical to a one-shot encode.
+fn fill_payload<T: Pixel>(data: &[T], rle: bool, pos: &mut usize, buf: &mut Vec<u8>) {
+    while *pos < data.len() && buf.len() < CHUNK_BYTES {
+        if rle {
+            let v = data[*pos];
+            let mut run = 1usize;
+            while *pos + run < data.len() && data[*pos + run] == v && run < u16::MAX as usize {
+                run += 1;
+            }
+            buf.put_u16_le(run as u16);
+            v.write_le(buf);
+            *pos += run;
+        } else {
+            data[*pos].write_le(buf);
+            *pos += 1;
         }
-        out.put_u16_le(run as u16);
-        v.write_le(&mut out);
-        i += run;
     }
+}
+
+/// Encode a raster; chooses raw or RLE, whichever is smaller. A
+/// `Vec<u8>` wrapper over [`encode_into`].
+pub fn encode<T: Pixel>(raster: &Raster<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + raster.data().len() * T::BYTES);
+    encode_into(raster, &mut out).expect("writes to a Vec cannot fail");
     out
+}
+
+/// Encode a raster into any sink, [`CHUNK_BYTES`]-sized write at a time,
+/// without materialising the payload. The representation choice (raw vs
+/// RLE) is made up front by scanning run lengths, so the output is
+/// byte-identical to [`encode`].
+pub fn encode_into<T: Pixel, W: std::io::Write>(
+    raster: &Raster<T>,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let data = raster.data();
+    let rle = rle_size::<T>(data) < data.len() * T::BYTES;
+    w.write_all(&header_bytes(raster, if rle { FLAG_RLE } else { 0 }))?;
+    let mut pos = 0usize;
+    let mut buf = Vec::with_capacity(CHUNK_BYTES + 2 + T::BYTES);
+    while pos < data.len() {
+        buf.clear();
+        fill_payload(data, rle, &mut pos, &mut buf);
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// A pull-based producer of encoded-raster chunks: the first chunk opens
+/// with the 40-byte header, then payload flows in ~[`CHUNK_BYTES`]
+/// pieces. Owns the raster, so a serving tier can hold one inside a
+/// response body without lifetimes. Concatenating every chunk equals
+/// [`encode`] byte-for-byte.
+pub struct EncodeChunks<T: Pixel> {
+    raster: Raster<T>,
+    rle: bool,
+    pos: usize,
+    header_pending: bool,
+    buf: Vec<u8>,
+}
+
+impl<T: Pixel> EncodeChunks<T> {
+    /// Prepare to encode `raster` incrementally (the raw-vs-RLE scan
+    /// happens here; no payload bytes are produced yet).
+    pub fn new(raster: Raster<T>) -> Self {
+        let rle = rle_size::<T>(raster.data()) < raster.data().len() * T::BYTES;
+        EncodeChunks {
+            raster,
+            rle,
+            pos: 0,
+            header_pending: true,
+            buf: Vec::with_capacity(CHUNK_BYTES + 64),
+        }
+    }
+
+    /// The next chunk of encoded bytes, or `None` once exhausted. The
+    /// returned slice is valid until the next call.
+    pub fn next_chunk(&mut self) -> Option<&[u8]> {
+        self.buf.clear();
+        if self.header_pending {
+            self.header_pending = false;
+            let flags = if self.rle { FLAG_RLE } else { 0 };
+            self.buf = header_bytes(&self.raster, flags);
+            self.buf.reserve(CHUNK_BYTES + 64);
+        }
+        fill_payload(self.raster.data(), self.rle, &mut self.pos, &mut self.buf);
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(&self.buf)
+        }
+    }
 }
 
 /// Decode a raster previously produced by [`encode`]. The pixel type must
@@ -285,6 +370,53 @@ mod tests {
         let mut badv = good.clone();
         badv[4] = 99;
         assert!(decode::<u8>(&badv).is_err());
+    }
+
+    #[test]
+    fn encode_into_and_chunks_match_encode_bytes() {
+        let mut rng = Rng::seed_from(7);
+        // Noise f32 (raw payload, > CHUNK_BYTES so several chunks) and a
+        // runny u8 label raster (RLE payload).
+        let noise: Raster<f32> = Raster::from_fn(200, 150, gt(), |_, _| rng.f32());
+        let labels: Raster<u8> =
+            Raster::from_fn(300, 300, gt(), |c, r| ((c / 90) + (r / 120)) as u8);
+        fn check<T: crate::raster::Pixel>(r: &Raster<T>) {
+            let oneshot = encode(r);
+            let mut sunk = Vec::new();
+            encode_into(r, &mut sunk).unwrap();
+            assert_eq!(sunk, oneshot, "encode_into diverged");
+            let mut chunks = EncodeChunks::new(r.clone());
+            let mut cat = Vec::new();
+            let mut n = 0usize;
+            while let Some(c) = chunks.next_chunk() {
+                assert!(!c.is_empty());
+                cat.extend_from_slice(c);
+                n += 1;
+            }
+            assert_eq!(cat, oneshot, "chunk concat diverged");
+            if oneshot.len() > CHUNK_BYTES + 40 {
+                assert!(n > 1, "large payload must span chunks, got {n}");
+            }
+            let back: Raster<T> = decode(&cat).unwrap();
+            assert_eq!(&back, r);
+        }
+        check(&noise);
+        check(&labels);
+    }
+
+    #[test]
+    fn encode_into_propagates_sink_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let r: Raster<u8> = Raster::filled(8, 8, gt(), 3);
+        assert!(encode_into(&r, &mut Failing).is_err());
     }
 
     #[test]

@@ -81,12 +81,139 @@ pub fn execute(store: &TripleStore, q: &Query) -> Result<Solutions, RdfError> {
 }
 
 /// Execute a prepared [`Plan`]. The plan may be reused across calls and
-/// shared between threads (the serving tier caches them).
+/// shared between threads (the serving tier caches them). A collect
+/// wrapper over [`stream_plan`]: pulls every batch and concatenates, so
+/// results are identical to the incremental path by construction.
 pub fn execute_plan(
     store: &TripleStore,
     plan: &Plan,
     threads: usize,
 ) -> Result<Solutions, RdfError> {
+    let mut core = stream_plan(store, plan, threads)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = core.next_batch(store) {
+        rows.extend(batch);
+    }
+    Ok(Solutions {
+        vars: core.take_vars(),
+        rows,
+    })
+}
+
+/// Rows per batch yielded by [`StreamCore::next_batch`]. Small enough
+/// that a `/query` consumer sees the first bytes before the last row is
+/// materialised; big enough to amortise the per-batch bookkeeping.
+pub const STREAM_BATCH_ROWS: usize = 256;
+
+/// Where a [`StreamCore`] is in its life: draining raw id rows that are
+/// materialised per batch (the non-aggregate path), draining rows that
+/// had to be computed eagerly (grouping and alias-ORDER need every input
+/// row), or exhausted.
+enum Phase {
+    /// Non-aggregate path: id rows (already globally sorted when the plan
+    /// orders), materialised [`STREAM_BATCH_ROWS`] at a time.
+    Ids(std::vec::IntoIter<Vec<Option<u64>>>),
+    /// Aggregate/grouped path: fully processed term rows, drained in
+    /// batches (groups are few — the expensive part was the join).
+    Rows(std::vec::IntoIter<Vec<Option<Term>>>),
+}
+
+/// Incremental query results: the join pipeline has run, but rows are
+/// materialised and post-processed (DISTINCT, OFFSET, LIMIT) lazily,
+/// one batch per [`next_batch`](StreamCore::next_batch) call.
+///
+/// Owns no borrows — the store is passed to each `next_batch` call — so
+/// a serving tier can park a `StreamCore` inside a response object next
+/// to an `Arc` of the store without self-referential lifetimes.
+/// Concatenating every batch reproduces [`execute_plan`]'s output
+/// exactly: same operation order, same comparators, same DISTINCT keys.
+pub struct StreamCore {
+    vars: Vec<String>,
+    projection: Vec<(String, usize)>,
+    phase: Phase,
+    /// DISTINCT dedup keys seen so far, persistent across batches.
+    seen: Option<HashSet<Vec<Option<String>>>>,
+    /// OFFSET rows still to skip (counted after DISTINCT).
+    to_skip: usize,
+    /// LIMIT rows still to emit (`None` = unlimited).
+    remaining: Option<usize>,
+}
+
+impl StreamCore {
+    /// Projected variable names, in order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    fn take_vars(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.vars)
+    }
+
+    /// Produce the next batch of up to [`STREAM_BATCH_ROWS`] result rows,
+    /// or `None` when the stream is exhausted (or LIMIT was reached).
+    /// `store` must be the store the stream was built from.
+    pub fn next_batch(&mut self, store: &TripleStore) -> Option<Vec<Vec<Option<Term>>>> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        let mut out = Vec::new();
+        // Pull input rows until a non-empty output batch forms (DISTINCT
+        // and OFFSET may eat whole input chunks) or input runs dry.
+        while out.len() < STREAM_BATCH_ROWS {
+            let row = match &mut self.phase {
+                Phase::Ids(it) => match it.next() {
+                    Some(ids) => self
+                        .projection
+                        .iter()
+                        .map(|&(_, i)| ids[i].map(|id| store.dict.term(id).clone()))
+                        .collect::<Vec<Option<Term>>>(),
+                    None => break,
+                },
+                Phase::Rows(it) => match it.next() {
+                    Some(r) => r,
+                    None => break,
+                },
+            };
+            if let Some(seen) = &mut self.seen {
+                let key: Vec<Option<String>> = row
+                    .iter()
+                    .map(|t| t.as_ref().map(|t| t.ntriples()))
+                    .collect();
+                if !seen.insert(key) {
+                    continue;
+                }
+            }
+            if self.to_skip > 0 {
+                self.to_skip -= 1;
+                continue;
+            }
+            out.push(row);
+            if let Some(rem) = &mut self.remaining {
+                *rem -= 1;
+                if *rem == 0 {
+                    break;
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+/// Run a prepared [`Plan`]'s join pipeline and return a [`StreamCore`]
+/// that yields result batches incrementally. The joins (the expensive,
+/// parallel part) run here; materialisation, DISTINCT, OFFSET and LIMIT
+/// are deferred to [`StreamCore::next_batch`]. Aggregated or grouped
+/// queries are inherently blocking (every input row feeds the result),
+/// so their rows are computed here and merely drained in batches.
+pub fn stream_plan(
+    store: &TripleStore,
+    plan: &Plan,
+    threads: usize,
+) -> Result<StreamCore, RdfError> {
     let width = plan.vars.len();
     let mut batch = if plan.impossible {
         Batch::new(width)
@@ -116,49 +243,21 @@ pub fn execute_plan(
     }
     let raw = batch.into_rows();
 
-    let (header, mut out_rows): (Vec<String>, Vec<Vec<Option<Term>>>) =
-        if plan.has_agg || !plan.group_by.is_empty() {
-            aggregate(store, plan, raw)?
-        } else {
-            // ORDER BY before materialisation (on ids).
-            let mut rows = raw;
-            if let Some((oi, asc)) = plan.order_by {
-                rows.sort_by(|a, b| {
-                    let ka = a[oi].map(|id| order_key(store, id));
-                    let kb = b[oi].map(|id| order_key(store, id));
-                    let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
-                    if asc {
-                        ord
-                    } else {
-                        ord.reverse()
-                    }
-                });
-            }
-            let names: Vec<String> = plan.projection.iter().map(|(n, _)| n.clone()).collect();
-            let materialised: Vec<Vec<Option<Term>>> = rows
-                .into_iter()
-                .map(|row| {
-                    plan.projection
-                        .iter()
-                        .map(|&(_, i)| row[i].map(|id| store.dict.term(id).clone()))
-                        .collect()
-                })
-                .collect();
-            (names, materialised)
-        };
-
-    if plan.distinct {
-        let mut seen = HashSet::new();
-        out_rows.retain(|row| {
-            let key: Vec<Option<String>> = row
-                .iter()
-                .map(|t| t.as_ref().map(|t| t.ntriples()))
-                .collect();
-            seen.insert(key)
-        });
-    }
-    // Aggregated results may still need ORDER BY over the alias.
     if plan.has_agg || !plan.group_by.is_empty() {
+        // Blocking path: aggregate, then DISTINCT, then alias ORDER BY —
+        // the exact op order of the historical collect path. OFFSET and
+        // LIMIT stay streaming for uniformity.
+        let (header, mut out_rows) = aggregate(store, plan, raw)?;
+        if plan.distinct {
+            let mut seen = HashSet::new();
+            out_rows.retain(|row| {
+                let key: Vec<Option<String>> = row
+                    .iter()
+                    .map(|t| t.as_ref().map(|t| t.ntriples()))
+                    .collect();
+                seen.insert(key)
+            });
+        }
         if let Some((ov, asc)) = plan.order_by_name() {
             if let Some(ci) = header.iter().position(|h| h == ov) {
                 out_rows.sort_by(|a, b| {
@@ -171,18 +270,84 @@ pub fn execute_plan(
                 });
             }
         }
+        return Ok(StreamCore {
+            vars: header,
+            projection: Vec::new(),
+            phase: Phase::Rows(out_rows.into_iter()),
+            seen: None, // already applied eagerly above
+            to_skip: plan.offset.unwrap_or(0),
+            remaining: plan.limit,
+        });
     }
-    let offset = plan.offset.unwrap_or(0);
-    if offset > 0 {
-        out_rows = out_rows.into_iter().skip(offset).collect();
+
+    // Non-aggregate path: ORDER BY is global, so sort the id rows now
+    // (same stable sort and key as ever); everything downstream streams.
+    let mut rows = raw;
+    if let Some((oi, asc)) = plan.order_by {
+        rows.sort_by(|a, b| {
+            let ka = a[oi].map(|id| order_key(store, id));
+            let kb = b[oi].map(|id| order_key(store, id));
+            let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+            if asc {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
     }
-    if let Some(limit) = plan.limit {
-        out_rows.truncate(limit);
-    }
-    Ok(Solutions {
-        vars: header,
-        rows: out_rows,
+    Ok(StreamCore {
+        vars: plan.projection.iter().map(|(n, _)| n.clone()).collect(),
+        projection: plan.projection.clone(),
+        phase: Phase::Ids(rows.into_iter()),
+        seen: plan.distinct.then(HashSet::new),
+        to_skip: plan.offset.unwrap_or(0),
+        remaining: plan.limit,
     })
+}
+
+/// A [`StreamCore`] bundled with its store — the ergonomic form for
+/// callers whose store outlives the stream (tests, library use). The
+/// serving tier uses [`StreamCore`] directly with a shared-ownership
+/// store instead.
+pub struct SolutionStream<'a> {
+    store: &'a TripleStore,
+    core: StreamCore,
+}
+
+impl<'a> SolutionStream<'a> {
+    /// Plan-driver entry point: run the joins, defer the rest.
+    pub fn new(
+        store: &'a TripleStore,
+        plan: &Plan,
+        threads: usize,
+    ) -> Result<SolutionStream<'a>, RdfError> {
+        Ok(SolutionStream {
+            store,
+            core: stream_plan(store, plan, threads)?,
+        })
+    }
+
+    /// Projected variable names, in order.
+    pub fn vars(&self) -> &[String] {
+        self.core.vars()
+    }
+
+    /// Next batch of result rows, or `None` when exhausted.
+    pub fn next_batch(&mut self) -> Option<Vec<Vec<Option<Term>>>> {
+        self.core.next_batch(self.store)
+    }
+
+    /// Drain the remaining batches into a [`Solutions`].
+    pub fn collect(mut self) -> Solutions {
+        let mut rows = Vec::new();
+        while let Some(b) = self.next_batch() {
+            rows.extend(b);
+        }
+        Solutions {
+            vars: self.core.take_vars(),
+            rows,
+        }
+    }
 }
 
 fn numeric_of(store: &TripleStore, id: u64) -> Option<f64> {
@@ -667,6 +832,48 @@ mod tests {
             for t in [2, 4, 8] {
                 let parallel = query_with_threads(&st, q_text, t).unwrap();
                 assert_eq!(serial, parallel, "threads={t} diverged on {q_text}");
+            }
+        }
+    }
+
+    /// Acceptance criterion: batch-at-a-time streaming is identical to
+    /// the collect path at t ∈ {1, 4}, across the whole op-order matrix
+    /// (DISTINCT, ORDER BY, OFFSET/LIMIT, aggregation, OPTIONAL).
+    #[test]
+    fn solution_stream_is_identical_to_collect() {
+        let st = parallel_corpus_store();
+        let corpus = [
+            "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((10 10, 40 10, 40 40, 10 40, 10 10))\"^^geo:wktLiteral)) }",
+            "PREFIX e: <http://e/> SELECT ?s ?t WHERE { ?s e:near ?t . ?s e:class e:crop . ?t e:class e:urban }",
+            "PREFIX e: <http://e/> SELECT DISTINCT ?n WHERE { ?s e:class e:crop . ?s e:name ?n } ORDER BY ?n LIMIT 50",
+            "PREFIX e: <http://e/> SELECT ?s ?n WHERE { ?s e:class e:crop . OPTIONAL { ?s e:name ?n } }",
+            "PREFIX e: <http://e/> SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s e:class ?c . ?s e:near ?t } GROUP BY ?c ORDER BY ?c",
+            "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:near ?t } OFFSET 13 LIMIT 40",
+            "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?s e:class ?c } OFFSET 1",
+        ] ;
+        for q_text in corpus {
+            for t in [1usize, 4] {
+                let collected = query_with_threads(&st, q_text, t).unwrap();
+                let q = crate::parser::parse_query(q_text).unwrap();
+                let plan = crate::plan::plan(&st, &q).unwrap();
+                let mut stream = SolutionStream::new(&st, &plan, t).unwrap();
+                assert_eq!(stream.vars(), collected.vars.as_slice(), "{q_text}");
+                let mut rows = Vec::new();
+                let mut batches = 0usize;
+                while let Some(b) = stream.next_batch() {
+                    assert!(!b.is_empty(), "empty batches are never yielded");
+                    assert!(b.len() <= STREAM_BATCH_ROWS);
+                    rows.extend(b);
+                    batches += 1;
+                }
+                assert_eq!(rows, collected.rows, "t={t} stream diverged on {q_text}");
+                if collected.rows.len() > STREAM_BATCH_ROWS {
+                    assert!(batches > 1, "large result must span batches");
+                }
+                // The one-shot collector agrees too.
+                let again = SolutionStream::new(&st, &plan, t).unwrap().collect();
+                assert_eq!(again, collected, "{q_text}");
             }
         }
     }

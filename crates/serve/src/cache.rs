@@ -165,23 +165,44 @@ impl Shard {
 pub struct ShardedLru {
     shards: Vec<Mutex<Shard>>,
     ttl: Duration,
+    max_entry_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ShardedLru {
     /// Create a cache of `shards` shards of `capacity_per_shard` entries
-    /// each, with every entry living `ttl` from insertion.
+    /// each, with every entry living `ttl` from insertion and no
+    /// per-entry size cap.
     pub fn new(shards: usize, capacity_per_shard: usize, ttl: Duration) -> Self {
+        Self::with_max_entry_bytes(shards, capacity_per_shard, ttl, usize::MAX)
+    }
+
+    /// [`new`](ShardedLru::new) with a per-entry body-size cap: `put`
+    /// refuses (returns `false` for) bodies larger than
+    /// `max_entry_bytes`, so one huge streamed tile can't monopolise the
+    /// cache's memory.
+    pub fn with_max_entry_bytes(
+        shards: usize,
+        capacity_per_shard: usize,
+        ttl: Duration,
+        max_entry_bytes: usize,
+    ) -> Self {
         let shards = shards.max(1);
         ShardedLru {
             shards: (0..shards)
                 .map(|_| Mutex::new(Shard::new(capacity_per_shard)))
                 .collect(),
             ttl,
+            max_entry_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The per-entry body-size cap (`usize::MAX` when uncapped).
+    pub fn max_entry_bytes(&self) -> usize {
+        self.max_entry_bytes
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard> {
@@ -203,13 +224,18 @@ impl ShardedLru {
         got
     }
 
-    /// Insert (or refresh) a key.
-    pub fn put(&self, key: String, value: Arc<CachedBody>) {
+    /// Insert (or refresh) a key. Returns `false` (without storing)
+    /// when the body exceeds the per-entry byte cap.
+    pub fn put(&self, key: String, value: Arc<CachedBody>) -> bool {
+        if value.body.len() > self.max_entry_bytes {
+            return false;
+        }
         let expires = Instant::now() + self.ttl;
         self.shard(&key)
             .lock()
             .expect("cache shard poisoned")
             .put(key, value, expires);
+        true
     }
 
     /// Entries currently held (expired-but-unreclaimed entries count).
@@ -261,10 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn max_entry_bytes_refuses_oversized_bodies() {
+        let c = ShardedLru::with_max_entry_bytes(2, 8, Duration::from_secs(60), 4);
+        assert!(c.put("small".into(), body("abcd")), "at the cap is stored");
+        assert!(!c.put("big".into(), body("abcde")), "over the cap refused");
+        assert!(c.get("small").is_some());
+        assert!(c.get("big").is_none());
+        assert_eq!(c.max_entry_bytes(), 4);
+        assert_eq!(ShardedLru::new(1, 1, Duration::ZERO).max_entry_bytes(), usize::MAX);
+    }
+
+    #[test]
     fn get_put_and_hit_accounting() {
         let c = ShardedLru::new(4, 8, Duration::from_secs(60));
         assert!(c.get("k").is_none());
-        c.put("k".into(), body("v"));
+        assert!(c.put("k".into(), body("v")));
         assert_eq!(c.get("k").unwrap().body, b"v");
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);

@@ -1,17 +1,25 @@
 //! A minimal HTTP/1.1 wire implementation: request parsing, response
-//! emission, and the tiny client-side reader the load generator and the
-//! integration tests share.
+//! emission (full or chunked), and the tiny client-side reader the load
+//! generator and the integration tests share.
 //!
 //! Deliberately small — exactly the subset the serving tier needs:
-//! request line + headers + `Content-Length` bodies, percent-decoded
-//! paths and query strings, and keep-alive semantics (HTTP/1.1 persistent
-//! by default, `Connection: close` honoured both ways). No chunked
-//! transfer encoding, no trailers, no upgrade.
+//! request line + headers + `Content-Length` request bodies,
+//! percent-decoded paths and query strings, keep-alive semantics
+//! (HTTP/1.1 persistent by default, `Connection: close` honoured both
+//! ways), and `Transfer-Encoding: chunked` on the **response** side so
+//! large bodies stream incrementally instead of materialising in one
+//! `Vec<u8>`. No request-side chunked bodies, no trailers, no upgrade.
+//!
+//! A response body is a [`Body`]: either [`Body::Full`] (sized,
+//! `Content-Length`) or [`Body::Streamed`] (a pull-based [`BodyStream`]
+//! producer, chunked framing). The request-side 1 MiB cap stays; there
+//! is no response-side cap — that is the point of streaming.
 
 use std::io::{BufRead, Write};
 
-/// Largest accepted request body. Anything bigger is refused with 413
-/// rather than buffered — the serving tier fronts read-mostly analytics.
+/// Largest accepted **request** body. Anything bigger is refused with
+/// 413 rather than buffered — the serving tier fronts read-mostly
+/// analytics. Responses are uncapped: large bodies stream chunked.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Largest accepted header section (request line + all headers).
@@ -271,18 +279,108 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// A pull-based producer of response-body bytes.
+///
+/// `next_chunk` returns `Some(chunk)` until the body is exhausted, then
+/// `None`. The returned slice borrows the producer's internal buffer and
+/// is valid until the next call. Empty chunks are permitted (the writer
+/// skips them — an empty chunk would terminate chunked framing early).
+/// Errors abort the response mid-stream; with chunked framing the peer
+/// observes the truncation (no terminating `0\r\n\r\n`).
+pub trait BodyStream: Send {
+    /// Produce the next chunk of body bytes, or `None` when done.
+    fn next_chunk(&mut self) -> std::io::Result<Option<&[u8]>>;
+}
+
+/// A [`BodyStream`] over a fixed sequence of chunks — the simplest
+/// producer, used by tests and anywhere the chunking is precomputed.
+pub struct ChunkedSlices {
+    chunks: Vec<Vec<u8>>,
+    next: usize,
+}
+
+impl ChunkedSlices {
+    /// A stream yielding `chunks` in order.
+    pub fn new(chunks: Vec<Vec<u8>>) -> Self {
+        ChunkedSlices { chunks, next: 0 }
+    }
+}
+
+impl BodyStream for ChunkedSlices {
+    fn next_chunk(&mut self) -> std::io::Result<Option<&[u8]>> {
+        if self.next >= self.chunks.len() {
+            return Ok(None);
+        }
+        self.next += 1;
+        Ok(Some(&self.chunks[self.next - 1]))
+    }
+}
+
+/// A response body: fully materialised (`Content-Length` framing) or an
+/// incremental producer (`Transfer-Encoding: chunked` framing).
+pub enum Body {
+    /// Sized body, written in one piece.
+    Full(Vec<u8>),
+    /// Incremental body, written chunk by chunk as the producer yields.
+    Streamed(Box<dyn BodyStream>),
+}
+
+impl Body {
+    /// An empty sized body (304s, HEAD-ish replies).
+    pub fn empty() -> Body {
+        Body::Full(Vec::new())
+    }
+
+    /// True for [`Body::Streamed`].
+    pub fn is_streamed(&self) -> bool {
+        matches!(self, Body::Streamed(_))
+    }
+
+    /// The sized bytes of a [`Body::Full`]; `None` for streams.
+    pub fn as_full(&self) -> Option<&[u8]> {
+        match self {
+            Body::Full(b) => Some(b),
+            Body::Streamed(_) => None,
+        }
+    }
+
+    /// Drain the body into one `Vec<u8>` (tests and non-wire callers).
+    /// Full bodies move out; streams are pulled to exhaustion.
+    pub fn collect(self) -> std::io::Result<Vec<u8>> {
+        match self {
+            Body::Full(b) => Ok(b),
+            Body::Streamed(mut s) => {
+                let mut out = Vec::new();
+                while let Some(chunk) = s.next_chunk()? {
+                    out.extend_from_slice(chunk);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Full(b) => write!(f, "Body::Full({} bytes)", b.len()),
+            Body::Streamed(_) => write!(f, "Body::Streamed(..)"),
+        }
+    }
+}
+
 /// A response under construction.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: String,
-    /// Extra headers (`Content-Length`, `Connection` and `Content-Type`
-    /// are emitted automatically).
+    /// Extra headers (`Content-Length` / `Transfer-Encoding`,
+    /// `Connection` and `Content-Type` are emitted automatically).
     pub headers: Vec<(String, String)>,
     /// Response body.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
@@ -292,7 +390,7 @@ impl Response {
             status,
             content_type: "application/json".into(),
             headers: Vec::new(),
-            body: v.emit().into_bytes(),
+            body: Body::Full(v.emit().into_bytes()),
         }
     }
 
@@ -311,7 +409,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8".into(),
             headers: Vec::new(),
-            body: body.into().into_bytes(),
+            body: Body::Full(body.into().into_bytes()),
         }
     }
 
@@ -321,7 +419,22 @@ impl Response {
             status,
             content_type: "application/octet-stream".into(),
             headers: Vec::new(),
-            body,
+            body: Body::Full(body),
+        }
+    }
+
+    /// A streamed response: the body is produced incrementally by
+    /// `stream` and transmitted with chunked framing.
+    pub fn streamed(
+        status: u16,
+        content_type: impl Into<String>,
+        stream: Box<dyn BodyStream>,
+    ) -> Response {
+        Response {
+            status,
+            content_type: content_type.into(),
+            headers: Vec::new(),
+            body: Body::Streamed(stream),
         }
     }
 
@@ -333,12 +446,36 @@ impl Response {
 
     /// Serialise onto the wire. `keep_alive` controls the `Connection`
     /// header; the caller decides whether to actually reuse the socket.
-    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+    /// Streamed bodies are pulled to exhaustion (hence `&mut self`).
+    pub fn write_to<W: Write>(&mut self, w: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        self.write_to_observed(w, keep_alive, |_| true)
+    }
+
+    /// [`write_to`](Response::write_to) with a per-chunk observer.
+    ///
+    /// `observe` sees every body chunk before it is written (full bodies
+    /// are one chunk) — the server uses it to tee streamed bodies into
+    /// the response cache, count bytes sent, and timestamp the first
+    /// byte. For **streamed** bodies a `false` return aborts the
+    /// response between chunks (the deadline-between-chunks rule: the
+    /// peer sees a truncated chunked body, never a stalled worker); for
+    /// full bodies the return value is ignored — a sized response that
+    /// made it through its handler is always transmitted whole.
+    pub fn write_to_observed<W: Write>(
+        &mut self,
+        w: &mut W,
+        keep_alive: bool,
+        mut observe: impl FnMut(&[u8]) -> bool,
+    ) -> std::io::Result<()> {
+        let framing = match &self.body {
+            Body::Full(b) => format!("content-length: {}", b.len()),
+            Body::Streamed(_) => "transfer-encoding: chunked".to_string(),
+        };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\n{}\r\ncontent-type: {}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
-            self.body.len(),
+            framing,
             self.content_type,
             if keep_alive { "keep-alive" } else { "close" },
         );
@@ -350,7 +487,30 @@ impl Response {
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        match &mut self.body {
+            Body::Full(b) => {
+                observe(b);
+                w.write_all(b)?;
+            }
+            Body::Streamed(s) => {
+                while let Some(chunk) = s.next_chunk()? {
+                    if chunk.is_empty() {
+                        continue; // an empty chunk would mean "end of body"
+                    }
+                    if !observe(chunk) {
+                        w.flush()?;
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "response aborted between chunks",
+                        ));
+                    }
+                    write!(w, "{:x}\r\n", chunk.len())?;
+                    w.write_all(chunk)?;
+                    w.write_all(b"\r\n")?;
+                }
+                w.write_all(b"0\r\n\r\n")?;
+            }
+        }
         w.flush()
     }
 }
@@ -396,9 +556,34 @@ impl ClientResponse {
     }
 }
 
-/// Read one response from a buffered stream (client side: load generator
-/// and tests).
-pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
+/// The status line + headers of a response, read before any body bytes.
+/// Splitting head from body lets the load generator timestamp the first
+/// byte (TTFB) separately from total latency.
+#[derive(Debug, Clone)]
+pub struct ResponseHead {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Whether the server will keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+impl ResponseHead {
+    /// First value of a header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read the status line and headers of one response. Returns once the
+/// blank line is consumed — the body (if any) is still on the wire;
+/// follow with [`read_response_body`].
+pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead, HttpError> {
     let mut line = String::new();
     read_crlf_line(r, &mut line, true)?;
     let mut parts = line.split_ascii_whitespace();
@@ -420,22 +605,78 @@ pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError>
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-        .unwrap_or(0);
-    let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body).map_err(HttpError::Io)?;
     let keep_alive = headers
         .iter()
         .find(|(n, _)| n == "connection")
         .is_none_or(|(_, v)| !v.eq_ignore_ascii_case("close"));
-    Ok(ClientResponse {
+    Ok(ResponseHead {
         status,
         headers,
-        body,
         keep_alive,
+    })
+}
+
+/// Read the body that follows `head`: `Content-Length`-sized, or chunked
+/// frames decoded and concatenated when the head carried
+/// `Transfer-Encoding: chunked`. Without either framing header the body
+/// is taken to be empty (this tier never responds with read-to-EOF
+/// bodies).
+pub fn read_response_body<R: BufRead>(
+    r: &mut R,
+    head: &ResponseHead,
+) -> Result<Vec<u8>, HttpError> {
+    let chunked = head
+        .header("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            read_crlf_line(r, &mut size_line, false)?;
+            // Ignore chunk extensions (";...") per RFC 9112 §7.1.1.
+            let size_hex = size_line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_hex, 16)
+                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section: we send none, so expect the blank line.
+                let mut trailer = String::new();
+                read_crlf_line(r, &mut trailer, false)?;
+                if !trailer.is_empty() {
+                    return Err(HttpError::Malformed("unexpected trailer".into()));
+                }
+                return Ok(body);
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            r.read_exact(&mut body[start..]).map_err(HttpError::Io)?;
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf).map_err(HttpError::Io)?;
+            if &crlf != b"\r\n" {
+                return Err(HttpError::Malformed("chunk not CRLF-terminated".into()));
+            }
+        }
+    }
+    let content_length = head
+        .header("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(HttpError::Io)?;
+    }
+    Ok(body)
+}
+
+/// Read one response from a buffered stream (client side: load generator
+/// and tests). Decodes both `Content-Length` and chunked framing.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<ClientResponse, HttpError> {
+    let head = read_response_head(r)?;
+    let body = read_response_body(r, &head)?;
+    Ok(ClientResponse {
+        status: head.status,
+        headers: head.headers,
+        body,
+        keep_alive: head.keep_alive,
     })
 }
 
@@ -502,7 +743,7 @@ mod tests {
 
     #[test]
     fn response_roundtrips_through_client_reader() {
-        let resp = Response::json(
+        let mut resp = Response::json(
             200,
             &ee_util::json::Json::obj(vec![("ok", ee_util::json::Json::Bool(true))]),
         )
@@ -514,6 +755,119 @@ mod tests {
         assert_eq!(got.header("x-cache"), Some("HIT"));
         assert_eq!(got.header("connection"), Some("keep-alive"));
         assert_eq!(got.body, br#"{"ok":true}"#);
+    }
+
+    /// Write `chunks` as a streamed response, return (wire bytes, decoded
+    /// client response).
+    fn stream_roundtrip(chunks: Vec<Vec<u8>>) -> (Vec<u8>, ClientResponse) {
+        let mut resp = Response::streamed(
+            200,
+            "application/octet-stream",
+            Box::new(ChunkedSlices::new(chunks)),
+        );
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let got = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        (wire, got)
+    }
+
+    #[test]
+    fn chunked_empty_body_roundtrips() {
+        let (wire, got) = stream_roundtrip(vec![]);
+        assert_eq!(got.status, 200);
+        assert_eq!(got.header("transfer-encoding"), Some("chunked"));
+        assert!(got.header("content-length").is_none());
+        assert!(got.body.is_empty());
+        // The wire carries exactly the last-chunk marker.
+        assert!(wire.ends_with(b"\r\n\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunked_one_byte_chunks_roundtrip() {
+        let payload = b"streaming, one byte at a time";
+        let chunks: Vec<Vec<u8>> = payload.iter().map(|&b| vec![b]).collect();
+        let (_, got) = stream_roundtrip(chunks);
+        assert_eq!(got.body, payload);
+    }
+
+    #[test]
+    fn chunked_empty_chunks_are_skipped_not_terminators() {
+        let (_, got) = stream_roundtrip(vec![
+            Vec::new(),
+            b"alpha".to_vec(),
+            Vec::new(),
+            b"beta".to_vec(),
+            Vec::new(),
+        ]);
+        assert_eq!(got.body, b"alphabeta");
+    }
+
+    #[test]
+    fn chunked_body_straddles_small_read_buffer() {
+        // Chunks larger than the reader's internal buffer force every
+        // read_exact path to loop across buffer refills.
+        let big: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut resp = Response::streamed(
+            200,
+            "application/octet-stream",
+            Box::new(ChunkedSlices::new(vec![
+                big.clone(),
+                b"tail".to_vec(),
+                big.clone(),
+            ])),
+        );
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).unwrap();
+        let mut reader = BufReader::with_capacity(7, &wire[..]);
+        let got = read_response(&mut reader).unwrap();
+        let mut want = big.clone();
+        want.extend_from_slice(b"tail");
+        want.extend_from_slice(&big);
+        assert_eq!(got.body, want);
+        assert!(!got.keep_alive);
+    }
+
+    #[test]
+    fn chunk_extensions_are_ignored_by_decoder() {
+        let wire = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n5;ext=1\r\nhello\r\n0\r\n\r\n";
+        let got = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(got.body, b"hello");
+    }
+
+    #[test]
+    fn observer_false_aborts_stream_between_chunks() {
+        let mut resp = Response::streamed(
+            200,
+            "application/octet-stream",
+            Box::new(ChunkedSlices::new(vec![b"one".to_vec(), b"two".to_vec()])),
+        );
+        let mut wire = Vec::new();
+        let mut seen = 0;
+        let err = resp
+            .write_to_observed(&mut wire, true, |_| {
+                seen += 1;
+                seen < 2
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // First chunk made it out; no terminating 0-chunk followed, so a
+        // client sees the truncation.
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("one"));
+        assert!(!text.contains("two"));
+        assert!(!wire.ends_with(b"0\r\n\r\n"));
+    }
+
+    #[test]
+    fn body_collect_drains_streams() {
+        let body = Body::Streamed(Box::new(ChunkedSlices::new(vec![
+            b"a".to_vec(),
+            b"bc".to_vec(),
+        ])));
+        assert!(body.is_streamed());
+        assert_eq!(body.collect().unwrap(), b"abc");
+        assert_eq!(Body::Full(b"xy".to_vec()).collect().unwrap(), b"xy");
+        assert_eq!(Body::empty().as_full(), Some(&b""[..]));
     }
 
     #[test]

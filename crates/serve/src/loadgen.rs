@@ -15,7 +15,7 @@
 //!   reused for all its requests; measures steady-state service latency
 //!   (and warm-cache behaviour) without per-connection setup noise.
 
-use crate::http::{read_response, ClientResponse, HttpError};
+use crate::http::{read_response_body, read_response_head, ClientResponse, HttpError};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +83,16 @@ pub struct LoadReport {
     /// p99 over every *admitted* request (2xx + 504): the bounded-tail
     /// criterion under overload.
     pub admitted_p99_us: u64,
+    /// Time-to-first-byte percentiles over 2xx requests, µs: the clock
+    /// stops when the response head has been read, before the body
+    /// drains. For streamed responses this is the number that chunked
+    /// transfer improves — the first tile chunk arrives while the rest
+    /// is still being encoded.
+    pub ttfb_p50_us: u64,
+    /// 95th percentile TTFB, µs.
+    pub ttfb_p95_us: u64,
+    /// 99th percentile TTFB, µs.
+    pub ttfb_p99_us: u64,
 }
 
 impl LoadReport {
@@ -110,19 +120,33 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Issue one request and read the response in two stages, returning the
+/// response and the time-to-first-byte (head read) in microseconds.
 fn issue(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     target: &str,
     keep_alive: bool,
-) -> Result<ClientResponse, HttpError> {
+) -> Result<(ClientResponse, u64), HttpError> {
     let conn_header = if keep_alive { "keep-alive" } else { "close" };
     let req = format!(
         "GET {target} HTTP/1.1\r\nhost: localhost\r\nconnection: {conn_header}\r\n\r\n"
     );
+    let t0 = Instant::now();
     stream.write_all(req.as_bytes()).map_err(HttpError::Io)?;
     stream.flush().map_err(HttpError::Io)?;
-    read_response(reader)
+    let head = read_response_head(reader)?;
+    let ttfb_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let body = read_response_body(reader, &head)?;
+    Ok((
+        ClientResponse {
+            status: head.status,
+            headers: head.headers,
+            body,
+            keep_alive: head.keep_alive,
+        },
+        ttfb_us,
+    ))
 }
 
 /// Run the plan against `addr`, each client cycling through `targets`
@@ -139,11 +163,13 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
     let cache_hits = AtomicU64::new(0);
     let ok_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let admitted_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let ttfb_lat: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
     let t0 = Instant::now();
     ee_util::par::fan_out(plan.clients.max(1), |client| {
         let mut local_ok: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
         let mut local_admitted: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
+        let mut local_ttfb: Vec<u64> = Vec::with_capacity(plan.requests_per_client);
         let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
         for i in 0..plan.requests_per_client {
             let target = &targets[(client + i) % targets.len()];
@@ -173,7 +199,7 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
             let resp = issue(stream, reader, target, keep_alive);
             let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             match resp {
-                Ok(r) => {
+                Ok((r, ttfb_us)) => {
                     match r.status {
                         200..=299 => {
                             ok.fetch_add(1, Ordering::Relaxed);
@@ -182,6 +208,7 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
                             }
                             local_ok.push(us);
                             local_admitted.push(us);
+                            local_ttfb.push(ttfb_us);
                         }
                         503 => {
                             rejected.fetch_add(1, Ordering::Relaxed);
@@ -211,6 +238,10 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
             .lock()
             .expect("latency vec poisoned")
             .extend(local_admitted);
+        ttfb_lat
+            .lock()
+            .expect("latency vec poisoned")
+            .extend(local_ttfb);
     });
     let wall = t0.elapsed();
 
@@ -218,6 +249,8 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
     ok_lat.sort_unstable();
     let mut admitted_lat = admitted_lat.into_inner().expect("latency vec poisoned");
     admitted_lat.sort_unstable();
+    let mut ttfb_lat = ttfb_lat.into_inner().expect("latency vec poisoned");
+    ttfb_lat.sort_unstable();
     let mean_us = if ok_lat.is_empty() {
         0
     } else {
@@ -236,6 +269,9 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
         p99_us: percentile(&ok_lat, 0.99),
         mean_us,
         admitted_p99_us: percentile(&admitted_lat, 0.99),
+        ttfb_p50_us: percentile(&ttfb_lat, 0.50),
+        ttfb_p95_us: percentile(&ttfb_lat, 0.95),
+        ttfb_p99_us: percentile(&ttfb_lat, 0.99),
     }
 }
 
@@ -268,6 +304,9 @@ mod tests {
             p99_us: 300,
             mean_us: 120,
             admitted_p99_us: 350,
+            ttfb_p50_us: 50,
+            ttfb_p95_us: 90,
+            ttfb_p99_us: 95,
         };
         assert_eq!(r.completed(), 100);
         assert!((r.throughput() - 45.0).abs() < 1e-9);

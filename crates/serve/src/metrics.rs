@@ -165,8 +165,14 @@ pub struct Metrics {
     pub queue_depth: AtomicU64,
     /// High-water mark of the accept queue.
     pub queue_peak: AtomicU64,
+    /// Body bytes written to peers (chunk framing overhead excluded).
+    pub bytes_sent: AtomicU64,
+    /// Streamed bodies that outgrew the cache's per-entry byte cap and
+    /// were served uncached.
+    pub stream_uncacheable: AtomicU64,
     per_route_requests: [AtomicU64; ROUTES.len()],
     per_route_latency: [Histogram; ROUTES.len()],
+    per_route_ttfb: [Histogram; ROUTES.len()],
 }
 
 impl Metrics {
@@ -190,6 +196,22 @@ impl Metrics {
     /// Latency histogram of a route.
     pub fn route_latency(&self, route: Route) -> &Histogram {
         &self.per_route_latency[route.index()]
+    }
+
+    /// Record time-to-first-byte for a request on `route` (measured from
+    /// request start to the first body chunk hitting the socket).
+    pub fn record_ttfb(&self, route: Route, ttfb_us: u64) {
+        self.per_route_ttfb[route.index()].record_us(ttfb_us);
+    }
+
+    /// Time-to-first-byte histogram of a route.
+    pub fn route_ttfb(&self, route: Route) -> &Histogram {
+        &self.per_route_ttfb[route.index()]
+    }
+
+    /// Count body bytes written to a peer.
+    pub fn add_bytes_sent(&self, n: u64) {
+        self.bytes_sent.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Update the queue-depth gauge (called with the depth after a
@@ -244,6 +266,16 @@ impl Metrics {
             "ee_serve_not_modified_total",
             "Conditional requests answered 304 Not Modified",
             self.not_modified.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_bytes_sent_total",
+            "Response body bytes written to peers",
+            self.bytes_sent.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_stream_uncacheable_total",
+            "Streamed bodies too large for the response cache",
+            self.stream_uncacheable.load(Ordering::Relaxed),
         );
         counter("ee_serve_cache_hits_total", "Response cache hits", cache_hits);
         counter(
@@ -331,6 +363,37 @@ impl Metrics {
                 h.count()
             ));
         }
+        out.push_str(
+            "# HELP ee_serve_ttfb_us Time to first body byte histogram (µs)\n\
+             # TYPE ee_serve_ttfb_us histogram\n",
+        );
+        for r in ROUTES {
+            let h = self.route_ttfb(r);
+            if h.count() == 0 {
+                continue;
+            }
+            let snap = h.snapshot();
+            let mut cum = 0u64;
+            for (i, c) in snap.iter().enumerate() {
+                cum += c;
+                if *c > 0 || i == BUCKETS - 1 {
+                    out.push_str(&format!(
+                        "ee_serve_ttfb_us_bucket{{route=\"{}\",le=\"{}\"}} {}\n",
+                        r.label(),
+                        Histogram::bucket_bound(i),
+                        cum
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "ee_serve_ttfb_us_sum{{route=\"{}\"}} {}\n\
+                 ee_serve_ttfb_us_count{{route=\"{}\"}} {}\n",
+                r.label(),
+                h.sum_us(),
+                r.label(),
+                h.count()
+            ));
+        }
         out
     }
 }
@@ -378,7 +441,14 @@ mod tests {
         assert_eq!(m.handled.load(Ordering::Relaxed), 3);
         assert_eq!(m.queue_peak.load(Ordering::Relaxed), 3);
         m.not_modified.fetch_add(2, Ordering::Relaxed);
+        m.add_bytes_sent(4096);
+        m.stream_uncacheable.fetch_add(1, Ordering::Relaxed);
+        m.record_ttfb(Route::Tiles, 15);
+        assert_eq!(m.route_ttfb(Route::Tiles).count(), 1);
         let text = m.render_prometheus(5, 10, 7, (4, 2, 2));
+        assert!(text.contains("ee_serve_bytes_sent_total 4096"));
+        assert!(text.contains("ee_serve_stream_uncacheable_total 1"));
+        assert!(text.contains("ee_serve_ttfb_us_count{route=\"tiles\"} 1"));
         assert!(text.contains("ee_serve_route_requests_total{route=\"query\"} 2"));
         assert!(text.contains("ee_serve_cache_hit_rate 0.333"));
         assert!(text.contains("ee_serve_not_modified_total 2"));

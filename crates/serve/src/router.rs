@@ -21,13 +21,14 @@
 //! (`/metrics` is answered by the server itself, which owns the metrics
 //! and cache objects.)
 
-use crate::http::{Request, Response};
+use crate::http::{BodyStream, Request, Response};
 use crate::metrics::Route;
 use crate::state::{selection_sparql, AppState, ICE_REGIONS, REGION};
 use ee_geo::Envelope;
 use ee_polar::pcdss::encode_bundle;
 use ee_rdf::term::Term;
 use ee_util::json::Json;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a dispatch produced: a response, or proof that the per-request
@@ -78,9 +79,10 @@ pub fn cache_key(req: &Request) -> Option<String> {
     }
 }
 
-/// Dispatch a request to its handler.
+/// Dispatch a request to its handler. Takes the shared `Arc` so streamed
+/// response bodies can co-own the state past the handler's return.
 pub fn dispatch(
-    state: &AppState,
+    state: &Arc<AppState>,
     req: &Request,
     deadline: Instant,
     debug_routes: bool,
@@ -99,6 +101,7 @@ pub fn dispatch(
         ["ice", region] => Outcome::Ready(handle_ice(state, req, region)),
         ["healthz"] => Outcome::Ready(handle_healthz(state)),
         ["debug", "sleep"] if debug_routes => debug_sleep(req, deadline),
+        ["debug", "stream"] if debug_routes => Outcome::Ready(debug_stream(req)),
         _ => Outcome::Ready(Response::error(404, "no such route")),
     }
 }
@@ -106,7 +109,7 @@ pub fn dispatch(
 /// `/query` — rectangular selections (or raw SPARQL) over the point
 /// store. Parameters: `sparql` (raw query) or `x0`,`y0`,`side`
 /// (selection window, E2 shape); `limit` caps materialised rows.
-fn handle_query(state: &AppState, req: &Request) -> Response {
+fn handle_query(state: &Arc<AppState>, req: &Request) -> Response {
     let sparql = match req.param("sparql") {
         Some(q) => q.to_string(),
         None => {
@@ -125,7 +128,7 @@ fn handle_query(state: &AppState, req: &Request) -> Response {
 
 /// `POST /query` — the request body is the raw SPARQL text. Executes
 /// through the same prepared-plan path as GET.
-fn handle_query_post(state: &AppState, req: &Request) -> Response {
+fn handle_query_post(state: &Arc<AppState>, req: &Request) -> Response {
     let Ok(sparql) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 SPARQL text");
     };
@@ -136,26 +139,104 @@ fn handle_query_post(state: &AppState, req: &Request) -> Response {
     run_query(state, sparql, limit)
 }
 
-/// Shared GET/POST tail: prepared-plan execution + JSON materialisation.
-fn run_query(state: &AppState, sparql: &str, limit: usize) -> Response {
-    match state.prepared_query(sparql) {
-        Ok(sol) => {
-            let rows: Vec<Json> = sol
-                .rows
-                .iter()
-                .take(limit)
-                .map(|row| {
-                    Json::Arr(row.iter().map(|t| term_json(t.as_ref())).collect())
-                })
-                .collect();
-            Json::obj(vec![
-                ("vars", Json::Arr(sol.vars.iter().map(|v| Json::Str(v.clone())).collect())),
-                ("count", Json::Num(sol.rows.len() as f64)),
-                ("rows", Json::Arr(rows)),
-            ])
-            .pipe_json()
-        }
+/// Shared GET/POST tail: prepared-plan execution, serialised batch by
+/// batch. The joins run here (planning errors surface as a sized 400);
+/// on success the response body is a [`QueryStream`] that materialises
+/// and serialises one `ee_rdf` batch per chunk, so the first bytes of a
+/// large result hit the wire before the last row exists. The `count`
+/// field counts **all** result rows (`rows` is capped at `limit`) and is
+/// emitted last — its value is only known once the stream has drained.
+fn run_query(state: &Arc<AppState>, sparql: &str, limit: usize) -> Response {
+    match state.prepared_query_stream(sparql) {
+        Ok(core) => Response::streamed(
+            200,
+            "application/json",
+            Box::new(QueryStream {
+                state: Arc::clone(state),
+                core,
+                limit,
+                emitted: 0,
+                count: 0,
+                stage: QueryStage::Head,
+                buf: Vec::new(),
+            }),
+        ),
         Err(e) => Response::error(400, &format!("query failed: {e}")),
+    }
+}
+
+/// Where a [`QueryStream`] is in its JSON framing.
+enum QueryStage {
+    /// `{"vars":[...],"rows":[` not yet emitted.
+    Head,
+    /// Emitting row batches.
+    Rows,
+    /// Everything emitted.
+    Done,
+}
+
+/// A [`BodyStream`] serialising query results batch by batch: holds the
+/// state `Arc` (the stream outlives the handler) plus the borrow-free
+/// [`ee_rdf::exec::StreamCore`], and feeds each materialised batch
+/// through the same per-term JSON mapping the collect path used.
+struct QueryStream {
+    state: Arc<AppState>,
+    core: ee_rdf::exec::StreamCore,
+    limit: usize,
+    emitted: usize,
+    count: usize,
+    stage: QueryStage,
+    buf: Vec<u8>,
+}
+
+impl BodyStream for QueryStream {
+    fn next_chunk(&mut self) -> std::io::Result<Option<&[u8]>> {
+        self.buf.clear();
+        match self.stage {
+            QueryStage::Head => {
+                let vars = Json::Arr(
+                    self.core
+                        .vars()
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                );
+                self.buf
+                    .extend_from_slice(format!("{{\"vars\":{},\"rows\":[", vars.emit()).as_bytes());
+                self.stage = QueryStage::Rows;
+                Ok(Some(&self.buf))
+            }
+            QueryStage::Rows => match self.core.next_batch(&self.state.store) {
+                Some(batch) => {
+                    let mut out = String::new();
+                    for row in &batch {
+                        self.count += 1;
+                        if self.emitted < self.limit {
+                            if self.emitted > 0 {
+                                out.push(',');
+                            }
+                            let row_json =
+                                Json::Arr(row.iter().map(|t| term_json(t.as_ref())).collect());
+                            out.push_str(&row_json.emit());
+                            self.emitted += 1;
+                        }
+                    }
+                    // May be empty when every row is past `limit` (still
+                    // counting); the chunked writer skips empty chunks.
+                    self.buf.extend_from_slice(out.as_bytes());
+                    Ok(Some(&self.buf))
+                }
+                None => {
+                    self.buf.extend_from_slice(
+                        format!("],\"count\":{}}}", Json::Num(self.count as f64).emit())
+                            .as_bytes(),
+                    );
+                    self.stage = QueryStage::Done;
+                    Ok(Some(&self.buf))
+                }
+            },
+            QueryStage::Done => Ok(None),
+        }
     }
 }
 
@@ -225,8 +306,14 @@ fn handle_catalogue(state: &AppState, req: &Request) -> Response {
 }
 
 /// `/tiles/{level}/{row}/{col}` — a codec-encoded tile window of the
-/// overview pyramid. The body is the `ee_raster::codec` byte stream;
-/// grid geometry comes back in `x-tile-*` headers.
+/// overview pyramid, **streamed**: the body is an
+/// [`ee_raster::codec::EncodeChunks`] producer transmitted chunked, so a
+/// tile bigger than memory-comfortable never materialises server-side.
+/// The strong ETag still has to be in the headers before the first body
+/// byte, so the tile is hashed in a sink-only encode pass first (two
+/// encode passes trade CPU for never holding the body; revalidations
+/// that end in 304 skip the payload pass entirely). Grid geometry comes
+/// back in `x-tile-*` headers.
 fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response {
     let (Ok(level), Ok(row), Ok(col)) = (
         level.parse::<usize>(),
@@ -249,24 +336,77 @@ fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response 
     let w = ts.min(raster.cols() - col0);
     let h = ts.min(raster.rows() - row0);
     let window = raster.window(col0, row0, w, h).expect("bounds checked");
-    let body = ee_raster::codec::encode(&window);
-    let etag = etag_of(&body);
-    Response::octets(200, body)
-        .with_header("x-tile-cols", w.to_string())
-        .with_header("x-tile-rows", h.to_string())
-        .with_header("x-pyramid-levels", state.pyramid.len().to_string())
-        .with_header("etag", etag)
+    // Hash pass: stream the encoding through the FNV sink (no buffer).
+    let mut sink = FnvSink::new();
+    ee_raster::codec::encode_into(&window, &mut sink).expect("hash sink cannot fail");
+    let etag = sink.etag();
+    Response::streamed(
+        200,
+        "application/octet-stream",
+        Box::new(TileStream(ee_raster::codec::EncodeChunks::new(window))),
+    )
+    .with_header("x-tile-cols", w.to_string())
+    .with_header("x-tile-rows", h.to_string())
+    .with_header("x-pyramid-levels", state.pyramid.len().to_string())
+    .with_header("etag", etag)
 }
 
-/// Strong ETag for a response body: quoted FNV-1a hex over the bytes.
-/// Deterministic, so revalidation works across restarts and replicas.
-pub fn etag_of(body: &[u8]) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in body {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// A [`BodyStream`] over an incremental tile encoding (owns the window).
+struct TileStream(ee_raster::codec::EncodeChunks<f32>);
+
+impl BodyStream for TileStream {
+    fn next_chunk(&mut self) -> std::io::Result<Option<&[u8]>> {
+        Ok(self.0.next_chunk())
     }
-    format!("\"{h:016x}\"")
+}
+
+/// An incremental FNV-1a hasher that doubles as a `Write` sink, so a
+/// body can be ETagged by streaming it through without buffering.
+pub struct FnvSink(u64);
+
+impl FnvSink {
+    /// Start from the FNV-1a offset basis.
+    pub fn new() -> FnvSink {
+        FnvSink(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold more bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The quoted strong-ETag form of the current hash.
+    pub fn etag(&self) -> String {
+        format!("\"{:016x}\"", self.0)
+    }
+}
+
+impl Default for FnvSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::io::Write for FnvSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Strong ETag for a fully materialised body: quoted FNV-1a hex over the
+/// bytes. Deterministic, so revalidation works across restarts and
+/// replicas; identical to streaming the same bytes through [`FnvSink`].
+pub fn etag_of(body: &[u8]) -> String {
+    let mut sink = FnvSink::new();
+    sink.update(body);
+    sink.etag()
 }
 
 /// `/ice/{region}` — the PCDSS product bundle for a region, encoded
@@ -335,6 +475,43 @@ fn debug_sleep(req: &Request, deadline: Instant) -> Outcome {
     ))
 }
 
+/// `/debug/stream?chunks=N&bytes=B&ms=M` — a streamed body of `N`
+/// chunks of `B` bytes each, pausing `M` ms before every chunk. Exists
+/// so chunked framing and the deadline-between-chunks abort are testable
+/// end-to-end: with a tight deadline and a non-zero pause, the server
+/// must truncate the stream instead of pinning a worker.
+fn debug_stream(req: &Request) -> Response {
+    let chunks = req.param_or("chunks", 4usize).min(10_000);
+    let bytes = req.param_or("bytes", 1024usize).clamp(1, 1 << 20);
+    let ms = req.param_or("ms", 0u64).min(60_000);
+    struct SlowChunks {
+        left: usize,
+        chunk: Vec<u8>,
+        pause: std::time::Duration,
+    }
+    impl BodyStream for SlowChunks {
+        fn next_chunk(&mut self) -> std::io::Result<Option<&[u8]>> {
+            if self.left == 0 {
+                return Ok(None);
+            }
+            self.left -= 1;
+            if !self.pause.is_zero() {
+                std::thread::sleep(self.pause);
+            }
+            Ok(Some(&self.chunk))
+        }
+    }
+    Response::streamed(
+        200,
+        "application/octet-stream",
+        Box::new(SlowChunks {
+            left: chunks,
+            chunk: vec![0x5A; bytes],
+            pause: std::time::Duration::from_millis(ms),
+        }),
+    )
+}
+
 /// Small helper: turn a [`Json`] into a 200 response.
 trait PipeJson {
     fn pipe_json(self) -> Response;
@@ -354,9 +531,14 @@ mod tests {
     use std::io::BufReader;
     use std::sync::OnceLock;
 
-    fn state() -> &'static AppState {
-        static STATE: OnceLock<AppState> = OnceLock::new();
-        STATE.get_or_init(|| AppState::build(DataConfig::tiny()))
+    fn state() -> &'static Arc<AppState> {
+        static STATE: OnceLock<Arc<AppState>> = OnceLock::new();
+        STATE.get_or_init(|| Arc::new(AppState::build(DataConfig::tiny())))
+    }
+
+    /// Drain a response body (full or streamed) into bytes.
+    fn body_of(resp: Response) -> Vec<u8> {
+        resp.body.collect().expect("body drains")
     }
 
     fn get(target: &str) -> Request {
@@ -392,7 +574,9 @@ mod tests {
     fn query_route_returns_solutions() {
         let resp = ready(dispatch(state(), &get("/query?x0=10&y0=10&side=20"), far_deadline(), false));
         assert_eq!(resp.status, 200);
-        let v = ee_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(resp.body.is_streamed(), "query bodies stream");
+        let body = body_of(resp);
+        let v = ee_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
         assert!(v.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
         // Raw SPARQL arm and the 400 path.
         let resp = ready(dispatch(state(), &get("/query?sparql=nonsense"), far_deadline(), false));
@@ -404,14 +588,16 @@ mod tests {
         let target = "/catalogue/search?minx=5&miny=5&maxx=12&maxy=12";
         let classic = ready(dispatch(state(), &get(target), far_deadline(), false));
         assert_eq!(classic.status, 200);
-        let cv = ee_util::json::parse(std::str::from_utf8(&classic.body).unwrap()).unwrap();
+        let classic_body = body_of(classic);
+        let cv = ee_util::json::parse(std::str::from_utf8(&classic_body).unwrap()).unwrap();
         let semantic = ready(dispatch(
             state(),
             &get(&format!("{target}&mode=semantic")),
             far_deadline(),
             false,
         ));
-        let sv = ee_util::json::parse(std::str::from_utf8(&semantic.body).unwrap()).unwrap();
+        let semantic_body = body_of(semantic);
+        let sv = ee_util::json::parse(std::str::from_utf8(&semantic_body).unwrap()).unwrap();
         assert_eq!(
             cv.get("count").and_then(Json::as_f64),
             sv.get("count").and_then(Json::as_f64),
@@ -423,7 +609,8 @@ mod tests {
     fn tile_route_serves_decodable_windows() {
         let resp = ready(dispatch(state(), &get("/tiles/0/0/0"), far_deadline(), false));
         assert_eq!(resp.status, 200);
-        let tile: ee_raster::Raster<f32> = ee_raster::codec::decode(&resp.body).unwrap();
+        assert!(resp.body.is_streamed(), "tile bodies stream");
+        let tile: ee_raster::Raster<f32> = ee_raster::codec::decode(&body_of(resp)).unwrap();
         assert_eq!(tile.shape(), (32, 32));
         // Edge tile is clipped, deep level is small, out of range 404s.
         let deep = ready(dispatch(state(), &get("/tiles/5/0/0"), far_deadline(), false));
@@ -463,7 +650,7 @@ mod tests {
             .parse()
             .unwrap();
         assert!(ds > 1, "tight budget forces downsampling");
-        assert!(tight.body.len() < full.body.len());
+        assert!(body_of(tight).len() < body_of(full).len());
         assert_eq!(
             ready(dispatch(state(), &get("/ice/atlantis"), far_deadline(), false)).status,
             404
@@ -496,7 +683,8 @@ mod tests {
         let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
         let resp = ready(dispatch(state(), &req, far_deadline(), false));
         assert_eq!(resp.status, 200);
-        let v = ee_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let body = body_of(resp);
+        let v = ee_util::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
         assert!(v.get("count").and_then(Json::as_f64).unwrap() >= 1.0);
         // Malformed SPARQL and empty bodies are 400, not 500.
         let raw = "POST /query HTTP/1.1\r\ncontent-length: 8\r\n\r\nnonsense";
@@ -510,7 +698,7 @@ mod tests {
     #[test]
     fn get_and_post_query_share_the_plan_cache() {
         // A fresh state so cache counters start at zero.
-        let s = AppState::build(DataConfig::tiny());
+        let s = Arc::new(AppState::build(DataConfig::tiny()));
         let sparql = "PREFIX e: <http://e/>  SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g }";
         let via_get = ready(dispatch(
             &s,
@@ -529,7 +717,7 @@ mod tests {
         let req = read_request(&mut BufReader::new(raw.as_bytes())).unwrap();
         let via_post = ready(dispatch(&s, &req, far_deadline(), false));
         assert_eq!(via_post.status, 200);
-        assert_eq!(via_get.body, via_post.body, "same answer both verbs");
+        assert_eq!(body_of(via_get), body_of(via_post), "same answer both verbs");
         let (hits, misses, entries) = s.plan_cache_stats();
         assert_eq!((hits, misses, entries), (1, 1, 1), "one plan, reused");
     }

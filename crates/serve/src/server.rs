@@ -25,7 +25,7 @@
 //! touching the engines and marked `x-cache: HIT`.
 
 use crate::cache::{CachedBody, ShardedLru};
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{read_request, Body, HttpError, Response};
 use crate::metrics::Metrics;
 use crate::router::{cache_key, classify, dispatch, Outcome};
 use crate::state::AppState;
@@ -59,8 +59,19 @@ pub struct ServerConfig {
     pub cache_capacity_per_shard: usize,
     /// Response-cache TTL.
     pub cache_ttl: Duration,
+    /// Largest response body the cache stores per entry. Streamed bodies
+    /// are teed into the cache only up to this size; anything bigger
+    /// streams through uncached (counted in
+    /// `ee_serve_stream_uncacheable_total`).
+    pub cache_max_body_bytes: usize,
     /// `Retry-After` seconds advertised on 503.
     pub retry_after_secs: u64,
+    /// Per-write socket timeout. Streamed responses issue many writes —
+    /// one per chunk — and each write gets this budget, so the knob
+    /// bounds how long one slow consumer can hold a worker per chunk
+    /// without capping total transfer time for a healthy one. Also used
+    /// when answering 503 at the admission watermark.
+    pub write_timeout: Duration,
     /// Enable `/debug/*` routes (tests and experiments only).
     pub debug_routes: bool,
 }
@@ -77,7 +88,9 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 512,
             cache_ttl: Duration::from_secs(60),
+            cache_max_body_bytes: 256 * 1024,
             retry_after_secs: 1,
+            write_timeout: Duration::from_millis(200),
             debug_routes: false,
         }
     }
@@ -143,10 +156,11 @@ pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<Serv
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        cache: ShardedLru::new(
+        cache: ShardedLru::with_max_entry_bytes(
             config.cache_shards,
             config.cache_capacity_per_shard,
             config.cache_ttl,
+            config.cache_max_body_bytes,
         ),
         metrics: Metrics::new(),
         state,
@@ -196,8 +210,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if depth >= shared.config.queue_watermark {
             // Overload: shed in O(1) with an explicit retry hint.
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-            let resp = Response::error(503, "admission queue full")
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let mut resp = Response::error(503, "admission queue full")
                 .with_header("retry-after", shared.config.retry_after_secs.to_string());
             let mut s = stream;
             let _ = resp.write_to(&mut s, false);
@@ -243,6 +257,7 @@ fn worker_loop(shared: &Shared) {
 fn serve_connection(shared: &Shared, conn: Conn) {
     let Conn { stream, admitted } = conn;
     let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -275,6 +290,11 @@ fn serve_connection(shared: &Shared, conn: Conn) {
         let route = classify(&req.path);
         let t0 = Instant::now();
 
+        // When a cacheable miss returns a *streamed* body there is nothing
+        // to store up front; the write observer below tees the chunks into
+        // this buffer and the entry is inserted only after a clean write.
+        let mut stream_tee: Option<StreamTee> = None;
+
         let mut response = if Instant::now() >= deadline {
             // Expired while queued (or while the previous exchange ran).
             shared
@@ -305,7 +325,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                         status: hit.status,
                         content_type: hit.content_type.clone(),
                         headers,
-                        body: hit.body.clone(),
+                        body: Body::Full(hit.body.clone()),
                     }
                 }
                 None => {
@@ -320,15 +340,30 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                         Outcome::Ready(mut resp) => {
                             if resp.status == 200 {
                                 if let Some(k) = key {
-                                    shared.cache.put(
-                                        k,
-                                        Arc::new(CachedBody {
+                                    // Full bodies can be cached before the
+                                    // write; streamed ones are teed during it
+                                    // (headers snapshotted *before* the
+                                    // x-cache marker so replays re-mark).
+                                    if let Some(full) = resp.body.as_full() {
+                                        shared.cache.put(
+                                            k,
+                                            Arc::new(CachedBody {
+                                                status: resp.status,
+                                                content_type: resp.content_type.clone(),
+                                                headers: resp.headers.clone(),
+                                                body: full.to_vec(),
+                                            }),
+                                        );
+                                    } else {
+                                        stream_tee = Some(StreamTee {
+                                            key: k,
                                             status: resp.status,
                                             content_type: resp.content_type.clone(),
                                             headers: resp.headers.clone(),
-                                            body: resp.body.clone(),
-                                        }),
-                                    );
+                                            buf: Vec::new(),
+                                            overflowed: false,
+                                        });
+                                    }
                                 }
                             }
                             if cacheable {
@@ -356,20 +391,88 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 if inm == tag || inm == "*" {
                     shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
                     response.status = 304;
-                    response.body = Vec::new();
+                    response.body = Body::empty();
+                    // The elided stream never produces chunks; don't cache
+                    // an empty body under the resource's key.
+                    stream_tee = None;
                 }
             }
         }
 
         let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         shared.metrics.record(route, latency_us);
-        if response.write_to(&mut writer, keep_alive).is_err() {
+
+        // The observer runs once per body chunk *before* it hits the wire:
+        // it records time-to-first-byte and bytes sent, tees cacheable
+        // streamed bodies, and re-checks the deadline between chunks (a
+        // `false` return aborts only streamed bodies — full bodies keep
+        // their pre-dispatch 504 semantics).
+        let streamed = response.body.is_streamed();
+        let max_tee = shared.cache.max_entry_bytes();
+        let mut first_chunk = true;
+        let write_res = response.write_to_observed(&mut writer, keep_alive, |chunk| {
+            if first_chunk {
+                first_chunk = false;
+                let ttfb_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                shared.metrics.record_ttfb(route, ttfb_us);
+            }
+            shared.metrics.add_bytes_sent(chunk.len() as u64);
+            if let Some(tee) = stream_tee.as_mut() {
+                if !tee.overflowed {
+                    if tee.buf.len() + chunk.len() > max_tee {
+                        tee.overflowed = true;
+                        tee.buf = Vec::new();
+                        shared
+                            .metrics
+                            .stream_uncacheable
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tee.buf.extend_from_slice(chunk);
+                    }
+                }
+            }
+            !streamed || Instant::now() < deadline
+        });
+        if write_res.is_err() {
+            if streamed && Instant::now() >= deadline {
+                shared
+                    .metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // A truncated chunked body poisons the connection; close it.
             return;
+        }
+        if let Some(tee) = stream_tee.take() {
+            if !tee.overflowed {
+                shared.cache.put(
+                    tee.key,
+                    Arc::new(CachedBody {
+                        status: tee.status,
+                        content_type: tee.content_type,
+                        headers: tee.headers,
+                        body: tee.buf,
+                    }),
+                );
+            }
         }
         if !keep_alive {
             return;
         }
     }
+}
+
+/// Pending cache insert for a streamed cacheable miss: metadata captured
+/// at dispatch time plus the chunk bytes accumulated by the write
+/// observer. `overflowed` flips once the body exceeds the cache's
+/// per-entry cap; the buffer is dropped and the entry never inserted.
+struct StreamTee {
+    key: String,
+    status: u16,
+    content_type: String,
+    headers: Vec<(String, String)>,
+    buf: Vec<u8>,
+    overflowed: bool,
 }
 
 #[cfg(test)]

@@ -179,22 +179,19 @@ impl AppState {
         }
     }
 
-    /// Evaluate a SPARQL query through the prepared-plan path: the text
-    /// is canonicalised (whitespace-collapsed), looked up in the plan
-    /// cache, planned on miss, then executed with
-    /// [`ee_rdf::exec::execute_plan`]. Both GET and POST `/query` land
-    /// here, so a repeated query — however submitted — pays parse +
-    /// planning once.
-    pub fn prepared_query(
+    /// Resolve a SPARQL text to a prepared plan: the text is
+    /// canonicalised (whitespace-collapsed), looked up in the plan
+    /// cache, and planned on miss.
+    fn prepared_plan(
         &self,
         sparql: &str,
-    ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
+    ) -> Result<Arc<ee_rdf::plan::Plan>, ee_rdf::RdfError> {
         let key = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
         let cached = self.plans.lock().expect("plan cache lock").get(&key).cloned();
-        let plan = match cached {
+        match cached {
             Some(p) => {
                 self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                p
+                Ok(p)
             }
             None => {
                 let q = ee_rdf::parser::parse_query(sparql)?;
@@ -204,10 +201,33 @@ impl AppState {
                     .lock()
                     .expect("plan cache lock")
                     .insert(key, p.clone());
-                p
+                Ok(p)
             }
-        };
+        }
+    }
+
+    /// Evaluate a SPARQL query through the prepared-plan path and collect
+    /// every row. Both GET and POST `/query` share the plan cache, so a
+    /// repeated query — however submitted — pays parse + planning once.
+    pub fn prepared_query(
+        &self,
+        sparql: &str,
+    ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
+        let plan = self.prepared_plan(sparql)?;
         ee_rdf::exec::execute_plan(&self.store, &plan, ee_util::par::available_threads())
+    }
+
+    /// Evaluate a SPARQL query through the prepared-plan path, returning
+    /// a [`ee_rdf::exec::StreamCore`] that yields result batches
+    /// incrementally. The joins run here (they are blocking); row
+    /// materialisation is deferred to `next_batch(&self.store)` calls —
+    /// the `/query` route serialises JSON batch by batch off this.
+    pub fn prepared_query_stream(
+        &self,
+        sparql: &str,
+    ) -> Result<ee_rdf::exec::StreamCore, ee_rdf::RdfError> {
+        let plan = self.prepared_plan(sparql)?;
+        ee_rdf::exec::stream_plan(&self.store, &plan, ee_util::par::available_threads())
     }
 
     /// Plan-cache statistics: `(hits, misses, entries)`.

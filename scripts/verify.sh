@@ -22,6 +22,10 @@ cargo clippy --offline --all-targets -- -D warnings
 echo "== smoke: harness e4 e5 kernels e-s0 (quick scale) =="
 ./target/release/harness e4 e5 kernels e-s0
 
+echo "== smoke: e-s0 streaming stage wrote its artifact =="
+grep -q '"ttfb_p50_us"' BENCH_PR4.json
+grep -q '"experiment": "e-s0-streaming"' BENCH_PR4.json
+
 echo "== smoke: harness e3 --threads 4 (serial-vs-parallel identity) =="
 ./target/release/harness e3 --threads 4
 
