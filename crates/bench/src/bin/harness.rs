@@ -7,7 +7,7 @@
 //! harness --full          # the EXPERIMENTS.md scale
 //! harness e2 e3 --full    # selected experiments
 //! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
-//! harness e-s0 --full     # serving tier; writes BENCH_PR2.json + BENCH_PR4.json
+//! harness e-s0 --full     # serving tier; writes BENCH_PR2/PR4/PR5.json
 //! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
 //! ```
 //!
@@ -102,9 +102,17 @@ fn main() {
                 for t in tables {
                     println!("{}", t.markdown());
                 }
+                // The query-streaming TTFB stage does too; its internal
+                // streamed-vs-collected identity check panics (non-zero
+                // exit) on divergence.
+                let (tables, query_json) = e_s0_serve::query_streaming_report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
                 vec![
                     ("BENCH_PR2.json", json),
                     ("BENCH_PR4.json", streaming_json),
+                    ("BENCH_PR5.json", query_json),
                 ]
             }
             "e3" => {

@@ -426,6 +426,157 @@ pub fn streaming_report(scale: Scale) -> (Vec<Table>, Json) {
     (vec![t], json)
 }
 
+/// Stage 4 — TTFB of a large un-ordered `/query` as the result set grows.
+///
+/// Non-aggregate spatial SELECTs over windows of increasing side stream
+/// through the pull-based executor. Time-to-first-byte must stay roughly
+/// flat in result-set size — the first [`ee_rdf::exec::STREAM_BATCH_ROWS`]
+/// batch is produced after O(batch) probe work — where the pre-pipeline
+/// executor materialised the full join before the first byte, making
+/// TTFB linear. For every window the streamed rows are checked
+/// bit-identical to the collect path at t ∈ {1, 4} (a divergence panics,
+/// failing the harness), and the executor's own instrumentation records
+/// rows touched before the first batch plus the peak resident row count.
+///
+/// Returns the table plus the JSON value the harness writes to
+/// `BENCH_PR5.json`.
+pub fn query_streaming_report(scale: Scale) -> (Vec<Table>, Json) {
+    let (points, clients, requests_per_client) = match scale {
+        Scale::Quick => (2_000usize, 2usize, 6usize),
+        Scale::Full => (20_000, 4, 12),
+    };
+    let state = Arc::new(AppState::build(DataConfig {
+        points,
+        products: 50,
+        scene_size: 64,
+        tile_size: 32,
+        ice_size: 16,
+        seed: 2019,
+    }));
+    let region = ee_serve::state::REGION;
+    // Window sides selecting ~1.5%, 6%, 25% and 100% of the features.
+    let sides = [region / 8.0, region / 4.0, region / 2.0, region];
+    let sparql_for = |side: f64| {
+        format!(
+            "PREFIX e: <http://e/> SELECT ?s ?g WHERE {{ ?s e:hasGeometry ?g . \
+             FILTER(geof:sfWithin(?g, \"POLYGON ((0 0, {side} 0, {side} {side}, 0 {side}, 0 0))\"^^geo:wktLiteral)) }}"
+        )
+    };
+    let server = start(
+        ServerConfig {
+            workers: 4,
+            queue_watermark: 64,
+            deadline: Duration::from_secs(30),
+            // Nothing is cached: every request runs the executor and
+            // streams its chunked body end-to-end.
+            cache_max_body_bytes: 0,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&state),
+    )
+    .expect("start server");
+
+    let mut t = Table::new(
+        "E-s0d — streamed /query TTFB vs result-set size",
+        format!(
+            "{clients} keep-alive clients streaming a non-aggregate spatial SELECT over \
+             {points} features; window side grows the result set ~64×. With the \
+             pull-based executor the first chunk leaves after O(batch) probe work, so \
+             TTFB stays flat while full-transfer latency grows with the rows.",
+        ),
+        &[
+            "window", "rows", "touched@first", "peak rows", "ttfb p50", "ttfb p99", "p50",
+            "p99",
+        ],
+    );
+    let mut windows = Vec::new();
+    for side in sides {
+        let sparql = sparql_for(side);
+        // Executor-level instrumentation: rows of probe work before the
+        // first batch, and the resident-row high-water mark.
+        let q = ee_rdf::parser::parse_query(&sparql).expect("parse");
+        let plan = ee_rdf::plan::plan(&state.store, &q).expect("plan");
+        let mut core = ee_rdf::exec::stream_plan(&state.store, &plan, 1).expect("stream");
+        let mut rows = 0usize;
+        let mut touched_first = 0u64;
+        let mut peak_first = 0u64;
+        while let Some(b) = core.next_batch(&state.store) {
+            if rows == 0 {
+                touched_first = core.rows_touched();
+                peak_first = core.peak_resident_rows();
+            }
+            rows += b.len();
+        }
+        // Identity gate: streamed ≡ collected at t ∈ {1, 4}. A mismatch
+        // panics, which fails the harness (and the verify stage).
+        for threads in [1usize, 4] {
+            let collected =
+                ee_rdf::exec::query_with_threads(&state.store, &sparql, threads)
+                    .expect("collect");
+            let streamed = ee_rdf::exec::SolutionStream::new(&state.store, &plan, threads)
+                .expect("stream")
+                .collect();
+            assert_eq!(
+                streamed, collected,
+                "streamed vs collected diverged (threads={threads}, side={side})"
+            );
+            assert_eq!(rows, collected.len(), "drain count (threads={threads})");
+        }
+        // Wire-level TTFB under closed-loop load.
+        let target = format!("/query?limit={points}&sparql={}", sparql.replace(' ', "%20"));
+        let report = loadgen::run(
+            server.addr,
+            &[target],
+            &LoadPlan {
+                clients,
+                requests_per_client,
+                mode: ConnMode::KeepAlive,
+                timeout: Duration::from_secs(60),
+            },
+        );
+        t.row(vec![
+            format!("{side:.1}²"),
+            rows.to_string(),
+            touched_first.to_string(),
+            peak_first.to_string(),
+            fmt_us(report.ttfb_p50_us),
+            fmt_us(report.ttfb_p99_us),
+            fmt_us(report.p50_us),
+            fmt_us(report.p99_us),
+        ]);
+        windows.push(Json::obj(vec![
+            ("window_side", Json::Num(side)),
+            ("rows", Json::Num(rows as f64)),
+            ("rows_touched_first_batch", Json::Num(touched_first as f64)),
+            ("peak_resident_rows", Json::Num(peak_first as f64)),
+            ("ok", Json::Num(report.ok as f64)),
+            ("errors", Json::Num(report.errors as f64)),
+            ("ttfb_p50_us", Json::Num(report.ttfb_p50_us as f64)),
+            ("ttfb_p95_us", Json::Num(report.ttfb_p95_us as f64)),
+            ("ttfb_p99_us", Json::Num(report.ttfb_p99_us as f64)),
+            ("p50_us", Json::Num(report.p50_us as f64)),
+            ("p99_us", Json::Num(report.p99_us as f64)),
+        ]));
+    }
+    server.shutdown();
+
+    let json = Json::obj(vec![
+        ("experiment", Json::Str("e-s0-query-streaming".into())),
+        (
+            "scale",
+            Json::Str(if scale == Scale::Full { "full" } else { "quick" }.into()),
+        ),
+        ("points", Json::Num(points as f64)),
+        (
+            "stream_batch_rows",
+            Json::Num(ee_rdf::exec::STREAM_BATCH_ROWS as f64),
+        ),
+        ("identity_checked_threads", Json::Str("1,4".into())),
+        ("windows", Json::Arr(windows)),
+    ]);
+    (vec![t], json)
+}
+
 /// Run E-s0, discarding the JSON (the `run(id, scale)` registry shape).
 pub fn run(scale: Scale) -> Vec<Table> {
     report(scale).0
@@ -451,6 +602,43 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!(uncacheable >= ok, "every request bypassed the cache");
+    }
+
+    #[test]
+    fn quick_query_streaming_report_pipelines_and_stays_identical() {
+        let (tables, json) = query_streaming_report(Scale::Quick);
+        assert_eq!(tables.len(), 1);
+        let text = json.emit();
+        let v = ee_util::json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("experiment").and_then(Json::as_str),
+            Some("e-s0-query-streaming")
+        );
+        let windows = v.get("windows").and_then(Json::as_arr).unwrap();
+        assert_eq!(windows.len(), 4);
+        let rows: Vec<f64> = windows
+            .iter()
+            .map(|w| w.get("rows").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(
+            rows.windows(2).all(|p| p[0] <= p[1]),
+            "result set grows with the window: {rows:?}"
+        );
+        assert!(rows[3] >= 1_900.0, "full window selects every feature: {rows:?}");
+        // The pipelining claim: even the full-region window produced its
+        // first batch after O(batch) probe work, not O(result).
+        for w in windows {
+            let touched = w
+                .get("rows_touched_first_batch")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(
+                touched <= 8.0 * ee_rdf::exec::STREAM_BATCH_ROWS as f64,
+                "first batch touched {touched} rows"
+            );
+            let ok = w.get("ok").and_then(Json::as_f64).unwrap();
+            assert!(ok >= 12.0, "2 clients × 6 requests: {text}");
+        }
     }
 
     #[test]

@@ -90,6 +90,24 @@ impl Batch {
         self.len += other.len;
     }
 
+    /// Remove and return the first `n` rows (fewer when the batch is
+    /// shorter), preserving order in both halves. The pipelined executor
+    /// uses this to hand a bounded slice of a stage's output buffer
+    /// downstream while keeping the overflow for the next pull.
+    pub fn drain_front(&mut self, n: usize) -> Batch {
+        let n = n.min(self.len);
+        let mut out = Batch::new(self.width());
+        if n == 0 {
+            return out;
+        }
+        for (oc, c) in out.cols.iter_mut().zip(&mut self.cols) {
+            oc.extend(c.drain(..n));
+        }
+        out.len = n;
+        self.len -= n;
+        out
+    }
+
     /// Keep only rows where `keep[row]` is true, preserving order.
     pub fn retain(&mut self, keep: &[bool]) {
         debug_assert_eq!(keep.len(), self.len);
@@ -159,6 +177,23 @@ mod tests {
         b.retain(&[true, false, true, false, true, false]);
         assert_eq!(b.col(0), &[0, 2, 4]);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn drain_front_splits_in_order() {
+        let mut b = Batch::new(2);
+        for i in 0..5 {
+            b.push_row(&[i, i + 10]);
+        }
+        let front = b.drain_front(3);
+        assert_eq!(front.len(), 3);
+        assert_eq!(front.col(0), &[0, 1, 2]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.col(1), &[13, 14]);
+        let rest = b.drain_front(99);
+        assert_eq!(rest.len(), 2);
+        assert!(b.is_empty());
+        assert!(b.drain_front(4).is_empty());
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! The query executor: a thin pipeline over the staged engine.
+//! The query executor: a thin driver over the staged engine.
 //!
 //! Pipeline: [`crate::plan::plan`] (constant resolution, static greedy
 //! join order, filter placement, spatial pushdown) → [`crate::join`]
-//! physical operators over columnar [`crate::batch::Batch`]es (parallel,
-//! bit-identical to serial) → OPTIONAL left-joins → residual filters →
-//! grouping / aggregation → DISTINCT / ORDER / LIMIT → term
+//! pull-based physical operators over columnar [`crate::batch::Batch`]es
+//! (parallel, bit-identical to serial) → OPTIONAL left-joins → residual
+//! filters → grouping / aggregation → DISTINCT / ORDER / LIMIT → term
 //! materialisation.
+//!
+//! The non-aggregate, non-ORDER-BY path is fully pipelined: nothing runs
+//! until [`StreamCore::next_batch`] pulls, and producing a batch touches
+//! O(batch) probe rows. Grouping/aggregation and ORDER BY are inherently
+//! blocking (every input row feeds the result), so those paths drain the
+//! pipeline eagerly up front and stream only the drained rows.
 //!
 //! [`query`] parses + plans + executes at the ambient thread count;
 //! [`query_with_threads`] pins the thread count (the E3 speedup sweep and
 //! the parallel-identity tests); [`execute_plan`] runs a prepared
 //! [`Plan`] directly — the serving tier's plan cache calls this.
 
-use crate::batch::Batch;
 use crate::parser::{AggFunc, Query, SelectItem};
 use crate::plan::Plan;
 use crate::store::TripleStore;
@@ -20,6 +25,7 @@ use crate::term::{Term, Value};
 use crate::{join, RdfError};
 use ee_util::par;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Query solutions: a header of variable names and rows of optional terms
 /// (unbound OPTIONAL variables are `None`).
@@ -105,22 +111,33 @@ pub fn execute_plan(
 /// materialised; big enough to amortise the per-batch bookkeeping.
 pub const STREAM_BATCH_ROWS: usize = 256;
 
-/// Where a [`StreamCore`] is in its life: draining raw id rows that are
-/// materialised per batch (the non-aggregate path), draining rows that
-/// had to be computed eagerly (grouping and alias-ORDER need every input
-/// row), or exhausted.
+/// Where a [`StreamCore`] is in its life: pulling id rows straight off
+/// the live join pipeline (the fully-streamed path), draining id rows
+/// that had to be sorted up front (ORDER BY), or draining term rows that
+/// had to be computed eagerly (grouping needs every input row).
 enum Phase {
-    /// Non-aggregate path: id rows (already globally sorted when the plan
-    /// orders), materialised [`STREAM_BATCH_ROWS`] at a time.
+    /// Non-aggregate, non-ORDER path: the pull-based pipeline, with a
+    /// small buffer of id rows from the last pull. Nothing has run yet
+    /// when a `StreamCore` is built in this phase; each
+    /// [`StreamCore::next_batch`] does O(batch) join work.
+    Stream {
+        pipe: join::Pipeline,
+        buf: std::vec::IntoIter<Vec<Option<u64>>>,
+    },
+    /// ORDER BY path: id rows globally sorted up front (sorting is
+    /// blocking), materialised [`STREAM_BATCH_ROWS`] at a time.
     Ids(std::vec::IntoIter<Vec<Option<u64>>>),
     /// Aggregate/grouped path: fully processed term rows, drained in
     /// batches (groups are few — the expensive part was the join).
     Rows(std::vec::IntoIter<Vec<Option<Term>>>),
 }
 
-/// Incremental query results: the join pipeline has run, but rows are
-/// materialised and post-processed (DISTINCT, OFFSET, LIMIT) lazily,
-/// one batch per [`next_batch`](StreamCore::next_batch) call.
+/// Incremental query results. On the non-aggregate, non-ORDER-BY path
+/// the join pipeline itself is pull-based: each
+/// [`next_batch`](StreamCore::next_batch) call runs only enough probe
+/// work to fill one batch, so memory stays O(batch) and a slow consumer
+/// pauses the joins instead of buffering them. Grouping and ORDER BY are
+/// blocking and run eagerly at build time (documented on [`stream_plan`]).
 ///
 /// Owns no borrows — the store is passed to each `next_batch` call — so
 /// a serving tier can park a `StreamCore` inside a response object next
@@ -131,12 +148,20 @@ pub struct StreamCore {
     vars: Vec<String>,
     projection: Vec<(String, usize)>,
     phase: Phase,
-    /// DISTINCT dedup keys seen so far, persistent across batches.
-    seen: Option<HashSet<Vec<Option<String>>>>,
+    /// DISTINCT dedup keys seen so far — projected dictionary ids, not
+    /// stringified terms (ids and terms are bijective through the
+    /// dictionary, so the semantics are identical and no per-row string
+    /// allocation happens). Persistent across batches.
+    seen: Option<HashSet<Vec<Option<u64>>>>,
     /// OFFSET rows still to skip (counted after DISTINCT).
     to_skip: usize,
     /// LIMIT rows still to emit (`None` = unlimited).
     remaining: Option<usize>,
+    /// Probe rows touched by an eager (aggregate/ORDER) build; the
+    /// streamed phase reads its pipeline's live counter instead.
+    touched_eager: u64,
+    /// Peak resident rows of an eager build (the whole drained set).
+    peak_eager: u64,
 }
 
 impl StreamCore {
@@ -147,6 +172,27 @@ impl StreamCore {
 
     fn take_vars(&mut self) -> Vec<String> {
         std::mem::take(&mut self.vars)
+    }
+
+    /// Probe rows touched so far: raw seed matches scanned plus rows
+    /// consumed by every pipeline stage. On the streamed path this grows
+    /// with each pulled batch — the acceptance metric for "first batch
+    /// touches O(batch) rows". Eager paths report the full drain.
+    pub fn rows_touched(&self) -> u64 {
+        match &self.phase {
+            Phase::Stream { pipe, .. } => pipe.rows_touched(),
+            _ => self.touched_eager,
+        }
+    }
+
+    /// High-water mark of rows resident in the executor at once: stage
+    /// buffers for the streamed path, the whole materialised row set for
+    /// the eager (aggregate/ORDER) paths.
+    pub fn peak_resident_rows(&self) -> u64 {
+        match &self.phase {
+            Phase::Stream { pipe, .. } => pipe.peak_resident_rows(),
+            _ => self.peak_eager,
+        }
     }
 
     /// Produce the next batch of up to [`STREAM_BATCH_ROWS`] result rows,
@@ -160,33 +206,51 @@ impl StreamCore {
         // Pull input rows until a non-empty output batch forms (DISTINCT
         // and OFFSET may eat whole input chunks) or input runs dry.
         while out.len() < STREAM_BATCH_ROWS {
-            let row = match &mut self.phase {
-                Phase::Ids(it) => match it.next() {
-                    Some(ids) => self
-                        .projection
-                        .iter()
-                        .map(|&(_, i)| ids[i].map(|id| store.dict.term(id).clone()))
-                        .collect::<Vec<Option<Term>>>(),
-                    None => break,
-                },
+            // Aggregate rows are already terms; the id phases project,
+            // dedup and skip on dictionary ids and materialise terms last.
+            let row: Vec<Option<Term>> = match &mut self.phase {
                 Phase::Rows(it) => match it.next() {
-                    Some(r) => r,
+                    Some(r) => {
+                        if self.to_skip > 0 {
+                            self.to_skip -= 1;
+                            continue;
+                        }
+                        r
+                    }
                     None => break,
                 },
-            };
-            if let Some(seen) = &mut self.seen {
-                let key: Vec<Option<String>> = row
-                    .iter()
-                    .map(|t| t.as_ref().map(|t| t.ntriples()))
-                    .collect();
-                if !seen.insert(key) {
-                    continue;
+                phase => {
+                    let ids = match phase {
+                        Phase::Ids(it) => it.next(),
+                        Phase::Stream { pipe, buf } => loop {
+                            if let Some(ids) = buf.next() {
+                                break Some(ids);
+                            }
+                            let b = pipe.next_rows(store, STREAM_BATCH_ROWS);
+                            if b.is_empty() {
+                                break None;
+                            }
+                            *buf = b.into_rows().into_iter();
+                        },
+                        Phase::Rows(_) => unreachable!("handled above"),
+                    };
+                    let Some(ids) = ids else { break };
+                    let key: Vec<Option<u64>> =
+                        self.projection.iter().map(|&(_, i)| ids[i]).collect();
+                    if let Some(seen) = &mut self.seen {
+                        if !seen.insert(key.clone()) {
+                            continue;
+                        }
+                    }
+                    if self.to_skip > 0 {
+                        self.to_skip -= 1;
+                        continue;
+                    }
+                    key.iter()
+                        .map(|id| id.map(|id| store.dict.term(id).clone()))
+                        .collect()
                 }
-            }
-            if self.to_skip > 0 {
-                self.to_skip -= 1;
-                continue;
-            }
+            };
             out.push(row);
             if let Some(rem) = &mut self.remaining {
                 *rem -= 1;
@@ -203,60 +267,40 @@ impl StreamCore {
     }
 }
 
-/// Run a prepared [`Plan`]'s join pipeline and return a [`StreamCore`]
-/// that yields result batches incrementally. The joins (the expensive,
-/// parallel part) run here; materialisation, DISTINCT, OFFSET and LIMIT
-/// are deferred to [`StreamCore::next_batch`]. Aggregated or grouped
-/// queries are inherently blocking (every input row feeds the result),
-/// so their rows are computed here and merely drained in batches.
+/// Build a [`StreamCore`] for a prepared [`Plan`] (clones the plan into
+/// an `Arc`; callers that already hold one should use
+/// [`stream_plan_shared`] to avoid the copy).
 pub fn stream_plan(
     store: &TripleStore,
     plan: &Plan,
     threads: usize,
 ) -> Result<StreamCore, RdfError> {
-    let width = plan.vars.len();
-    let mut batch = if plan.impossible {
-        Batch::new(width)
-    } else {
-        Batch::unit(width)
-    };
-    if !plan.impossible {
-        for (step, &pi) in plan.order.iter().enumerate() {
-            batch = join::extend(store, plan, &batch, &plan.slots[pi], threads);
-            for f in &plan.filters {
-                if f.apply_after == Some(step) {
-                    let mask = join::filter_mask(store, plan, f, &batch, threads);
-                    batch.retain(&mask);
-                }
-            }
-            if batch.is_empty() {
-                break;
-            }
-        }
-        batch = join::apply_optionals(store, plan, batch, threads);
-        for f in &plan.filters {
-            if f.apply_after.is_none() {
-                let mask = join::filter_mask(store, plan, f, &batch, threads);
-                batch.retain(&mask);
-            }
-        }
-    }
-    let raw = batch.into_rows();
+    stream_plan_shared(store, Arc::new(plan.clone()), threads)
+}
 
+/// Build a [`StreamCore`] over a shared prepared [`Plan`].
+///
+/// Non-aggregate, non-ORDER-BY queries are fully pipelined: **no join
+/// work happens here** — each [`StreamCore::next_batch`] pulls just
+/// enough probe rows through the operator chain to fill one batch.
+/// Grouping/aggregation and ORDER BY are blocking by nature (every input
+/// row feeds the output), so those paths drain the pipeline eagerly here
+/// and stream only the post-processed rows; this is the documented eager
+/// exception.
+pub fn stream_plan_shared(
+    store: &TripleStore,
+    plan: Arc<Plan>,
+    threads: usize,
+) -> Result<StreamCore, RdfError> {
     if plan.has_agg || !plan.group_by.is_empty() {
-        // Blocking path: aggregate, then DISTINCT, then alias ORDER BY —
-        // the exact op order of the historical collect path. OFFSET and
-        // LIMIT stay streaming for uniformity.
-        let (header, mut out_rows) = aggregate(store, plan, raw)?;
+        // Blocking path: drain the pipeline, aggregate, then DISTINCT,
+        // then alias ORDER BY — the exact op order of the historical
+        // collect path. OFFSET and LIMIT stay streaming for uniformity.
+        let (raw, touched, peak) = drain_pipeline(store, &plan, threads);
+        let (header, mut out_rows) = aggregate(store, &plan, raw)?;
         if plan.distinct {
-            let mut seen = HashSet::new();
-            out_rows.retain(|row| {
-                let key: Vec<Option<String>> = row
-                    .iter()
-                    .map(|t| t.as_ref().map(|t| t.ntriples()))
-                    .collect();
-                seen.insert(key)
-            });
+            let mut seen: HashSet<Vec<Option<Term>>> = HashSet::new();
+            out_rows.retain(|row| seen.insert(row.clone()));
         }
         if let Some((ov, asc)) = plan.order_by_name() {
             if let Some(ci) = header.iter().position(|h| h == ov) {
@@ -277,13 +321,21 @@ pub fn stream_plan(
             seen: None, // already applied eagerly above
             to_skip: plan.offset.unwrap_or(0),
             remaining: plan.limit,
+            touched_eager: touched,
+            peak_eager: peak,
         });
     }
 
-    // Non-aggregate path: ORDER BY is global, so sort the id rows now
-    // (same stable sort and key as ever); everything downstream streams.
-    let mut rows = raw;
+    let vars: Vec<String> = plan.projection.iter().map(|(n, _)| n.clone()).collect();
+    let projection = plan.projection.clone();
+    let seen = plan.distinct.then(HashSet::new);
+    let to_skip = plan.offset.unwrap_or(0);
+    let remaining = plan.limit;
+
     if let Some((oi, asc)) = plan.order_by {
+        // ORDER BY is global: drain and sort the id rows now (same stable
+        // sort and key as ever); everything downstream streams.
+        let (mut rows, touched, peak) = drain_pipeline(store, &plan, threads);
         rows.sort_by(|a, b| {
             let ka = a[oi].map(|id| order_key(store, id));
             let kb = b[oi].map(|id| order_key(store, id));
@@ -294,15 +346,55 @@ pub fn stream_plan(
                 ord.reverse()
             }
         });
+        return Ok(StreamCore {
+            vars,
+            projection,
+            phase: Phase::Ids(rows.into_iter()),
+            seen,
+            to_skip,
+            remaining,
+            touched_eager: touched,
+            peak_eager: peak,
+        });
     }
+
+    // The fully-streamed path: park the un-started pipeline; every
+    // next_batch call does O(batch) probe work.
     Ok(StreamCore {
-        vars: plan.projection.iter().map(|(n, _)| n.clone()).collect(),
-        projection: plan.projection.clone(),
-        phase: Phase::Ids(rows.into_iter()),
-        seen: plan.distinct.then(HashSet::new),
-        to_skip: plan.offset.unwrap_or(0),
-        remaining: plan.limit,
+        vars,
+        projection,
+        phase: Phase::Stream {
+            pipe: join::Pipeline::new(store, plan, threads),
+            buf: Vec::new().into_iter(),
+        },
+        seen,
+        to_skip,
+        remaining,
+        touched_eager: 0,
+        peak_eager: 0,
     })
+}
+
+/// Run a plan's pipeline to exhaustion (the blocking aggregate/ORDER
+/// paths). Returns the raw id rows plus the probe-rows-touched and
+/// peak-resident instrumentation (here the peak is the whole row set).
+fn drain_pipeline(
+    store: &TripleStore,
+    plan: &Arc<Plan>,
+    threads: usize,
+) -> (Vec<Vec<Option<u64>>>, u64, u64) {
+    let mut pipe = join::Pipeline::new(store, Arc::clone(plan), threads);
+    let mut rows = Vec::new();
+    loop {
+        let b = pipe.next_rows(store, STREAM_BATCH_ROWS);
+        if b.is_empty() {
+            break;
+        }
+        rows.extend(b.into_rows());
+    }
+    let touched = pipe.rows_touched();
+    let peak = rows.len() as u64;
+    (rows, touched, peak)
 }
 
 /// A [`StreamCore`] bundled with its store — the ergonomic form for
@@ -851,6 +943,14 @@ mod tests {
             "PREFIX e: <http://e/> SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s e:class ?c . ?s e:near ?t } GROUP BY ?c ORDER BY ?c",
             "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:near ?t } OFFSET 13 LIMIT 40",
             "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?s e:class ?c } OFFSET 1",
+            // Op-order matrix over the fully pipelined (no ORDER / no agg) path.
+            "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?s e:class ?c } LIMIT 1",
+            "PREFIX e: <http://e/> SELECT ?s ?t WHERE { ?s e:near ?t } OFFSET 550 LIMIT 100",
+            "PREFIX e: <http://e/> SELECT DISTINCT ?n WHERE { ?s e:name ?n } OFFSET 5 LIMIT 20",
+            // Dup-heavy DISTINCT over a join: 600 bindings collapse to 2.
+            "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?s e:class ?c . ?s e:near ?t }",
+            // ORDER + OFFSET + LIMIT without DISTINCT (eager sort path).
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?s e:name ?n } ORDER BY DESC(?n) OFFSET 3 LIMIT 7",
         ] ;
         for q_text in corpus {
             for t in [1usize, 4] {
@@ -875,6 +975,85 @@ mod tests {
                 let again = SolutionStream::new(&st, &plan, t).unwrap().collect();
                 assert_eq!(again, collected, "{q_text}");
             }
+        }
+    }
+
+    /// The tentpole's memory bound: on the non-aggregate, non-ORDER path
+    /// the first streamed batch is produced after touching only O(batch)
+    /// probe rows — not the full result set — and the resident-row
+    /// high-water mark stays O(batch) even after a full drain.
+    #[test]
+    fn first_batch_touches_o_batch_probe_rows() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let near = e("near");
+        let poi = e("poi");
+        let name = e("name");
+        for i in 0..10_000u32 {
+            let s = e(&format!("s{i}"));
+            st.insert(&s, &near, &e(&format!("s{}", (i + 1) % 10_000)));
+            if i < 500 {
+                st.insert(&s, &poi, &e("marker"));
+            }
+            if i < 600 {
+                st.insert(&s, &name, &Term::string(format!("site {i}")));
+            }
+        }
+        let cases: [(&str, usize); 2] = [
+            // Single-pattern scan over 10k matches.
+            ("PREFIX e: <http://e/> SELECT ?s ?t WHERE { ?s e:near ?t }", 10_000),
+            // Dense two-pattern join (hash-probe eligible: build side < cap).
+            (
+                "PREFIX e: <http://e/> SELECT ?s ?n WHERE { ?s e:poi ?x . ?s e:name ?n }",
+                500,
+            ),
+        ];
+        let bound = (8 * STREAM_BATCH_ROWS) as u64;
+        for (q_text, total) in cases {
+            let q = crate::parser::parse_query(q_text).unwrap();
+            let plan = crate::plan::plan(&st, &q).unwrap();
+            for t in [1usize, 4] {
+                let mut core = stream_plan(&st, &plan, t).unwrap();
+                assert_eq!(core.rows_touched(), 0, "no join work before the first pull");
+                let first = core.next_batch(&st).unwrap();
+                assert_eq!(first.len(), STREAM_BATCH_ROWS);
+                let touched = core.rows_touched();
+                assert!(
+                    touched <= bound,
+                    "t={t} {q_text}: first batch touched {touched} probe rows (> {bound})"
+                );
+                assert!(
+                    core.peak_resident_rows() <= bound,
+                    "t={t} {q_text}: peak resident {} rows after first batch",
+                    core.peak_resident_rows()
+                );
+                let mut rows = first.len();
+                while let Some(b) = core.next_batch(&st) {
+                    rows += b.len();
+                }
+                assert_eq!(rows, total, "t={t} {q_text}");
+                assert!(
+                    core.peak_resident_rows() <= bound,
+                    "t={t} {q_text}: full drain kept {} rows resident (> {bound})",
+                    core.peak_resident_rows()
+                );
+            }
+        }
+    }
+
+    /// Satellite: streamed DISTINCT dedups on projected dictionary ids,
+    /// so a dup-heavy unordered projection stays identical to collect
+    /// and never materialises the non-distinct rows.
+    #[test]
+    fn distinct_streams_dedup_on_ids() {
+        let st = parallel_corpus_store();
+        let q_text = "PREFIX e: <http://e/> SELECT DISTINCT ?c WHERE { ?s e:class ?c }";
+        for t in [1usize, 4] {
+            let collected = query_with_threads(&st, q_text, t).unwrap();
+            assert_eq!(collected.len(), 2, "600 class bindings collapse to 2 classes");
+            let q = crate::parser::parse_query(q_text).unwrap();
+            let plan = crate::plan::plan(&st, &q).unwrap();
+            let streamed = SolutionStream::new(&st, &plan, t).unwrap().collect();
+            assert_eq!(streamed, collected, "t={t}");
         }
     }
 

@@ -162,8 +162,35 @@ impl TripleStore {
         o: Option<u64>,
         f: &mut F,
     ) {
+        let mut cursor = PatternCursor::default();
+        self.match_pattern_from(s, p, o, &mut cursor, f);
+    }
+
+    /// Resumable form of [`match_pattern`]: enumerates matches in the same
+    /// order, but a callback returning `false` *pauses* the enumeration
+    /// instead of abandoning it — the cursor remembers the pause point and
+    /// the next call picks up strictly after the last delivered triple.
+    /// Start from `PatternCursor::default()`; [`PatternCursor::is_done`]
+    /// reports exhaustion. Resuming a B-tree range is an O(log n) re-seek,
+    /// so pulling a total of k matches in batches costs O(k + batches ·
+    /// log n) — this is what lets the pipelined executor's index scans
+    /// yield a batch at a time without rescanning from the start.
+    pub fn match_pattern_from<F: FnMut(IdTriple) -> bool>(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        cursor: &mut PatternCursor,
+        f: &mut F,
+    ) {
+        if cursor.done {
+            return;
+        }
         if self.mode == IndexMode::Scan {
-            for &(ts, tp, to) in &self.all {
+            // Scan order is `all` order; the cursor is a plain position.
+            while cursor.scan_pos < self.all.len() {
+                let (ts, tp, to) = self.all[cursor.scan_pos];
+                cursor.scan_pos += 1;
                 if s.map(|v| v == ts).unwrap_or(true)
                     && p.map(|v| v == tp).unwrap_or(true)
                     && o.map(|v| v == to).unwrap_or(true)
@@ -172,58 +199,76 @@ impl TripleStore {
                     return;
                 }
             }
+            cursor.done = true;
             return;
         }
+        // Indexed modes: resume each B-tree range exclusively after the
+        // last delivered triple, mapped into that index's component order.
+        let spo_key = |t: IdTriple| (t.0, t.1, t.2);
+        let pos_key = |t: IdTriple| (t.1, t.2, t.0);
+        let osp_key = |t: IdTriple| (t.2, t.0, t.1);
+        let after = cursor.last;
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s, p, o)) {
+                if after.is_none() && self.spo.contains(&(s, p, o)) {
                     f((s, p, o));
                 }
             }
             (Some(s), Some(p), None) => {
-                for &(ts, tp, to) in range3(&self.spo, s, Some(p)) {
+                for &(ts, tp, to) in range3_from(&self.spo, s, Some(p), after.map(spo_key)) {
                     debug_assert!(ts == s && tp == p);
                     if !f((ts, tp, to)) {
+                        cursor.last = Some((ts, tp, to));
                         return;
                     }
                 }
             }
             (Some(s), None, _) => {
-                for &(ts, tp, to) in range3(&self.spo, s, None) {
+                for &(ts, tp, to) in range3_from(&self.spo, s, None, after.map(spo_key)) {
                     if o.map(|v| v == to).unwrap_or(true) && !f((ts, tp, to)) {
+                        cursor.last = Some((ts, tp, to));
                         return;
                     }
                 }
             }
             (None, Some(p), Some(o)) => {
-                for &(tp, to, ts) in range3(&self.pos, p, Some(o)) {
+                for &(tp, to, ts) in range3_from(&self.pos, p, Some(o), after.map(pos_key)) {
                     if !f((ts, tp, to)) {
+                        cursor.last = Some((ts, tp, to));
                         return;
                     }
                 }
             }
             (None, Some(p), None) => {
-                for &(tp, to, ts) in range3(&self.pos, p, None) {
+                for &(tp, to, ts) in range3_from(&self.pos, p, None, after.map(pos_key)) {
                     if !f((ts, tp, to)) {
+                        cursor.last = Some((ts, tp, to));
                         return;
                     }
                 }
             }
             (None, None, Some(o)) => {
-                for &(to, ts, tp) in range3(&self.osp, o, None) {
+                for &(to, ts, tp) in range3_from(&self.osp, o, None, after.map(osp_key)) {
                     if !f((ts, tp, to)) {
+                        cursor.last = Some((ts, tp, to));
                         return;
                     }
                 }
             }
             (None, None, None) => {
-                for &t in &self.spo {
+                let lo = match after {
+                    Some(k) => Bound::Excluded(k),
+                    None => Bound::Unbounded,
+                };
+                for &t in self.spo.range((lo, Bound::Unbounded)) {
                     if !f(t) {
+                        cursor.last = Some(t);
                         return;
                     }
                 }
             }
         }
+        cursor.done = true;
     }
 
     /// Estimated result count of a pattern (exact for indexed lookups,
@@ -250,6 +295,28 @@ impl TripleStore {
     }
 }
 
+/// Pause/resume state for [`TripleStore::match_pattern_from`]. One cursor
+/// serves one `(s, p, o)` pattern against one store; reusing it for a
+/// different pattern or store is a logic error (the resume key would skip
+/// or repeat matches).
+#[derive(Debug, Clone, Default)]
+pub struct PatternCursor {
+    /// Last triple delivered before a pause (indexed modes resume
+    /// exclusively after it).
+    last: Option<IdTriple>,
+    /// Next position in `all` (scan mode).
+    scan_pos: usize,
+    /// The enumeration ran to the end.
+    done: bool,
+}
+
+impl PatternCursor {
+    /// True once the pattern's matches are exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
 /// Range over a 3-tuple B-tree with the first component fixed and the
 /// second optionally fixed.
 fn range3(
@@ -257,15 +324,25 @@ fn range3(
     first: u64,
     second: Option<u64>,
 ) -> impl Iterator<Item = &(u64, u64, u64)> {
-    let (lo, hi) = match second {
-        Some(s) => (
-            Bound::Included((first, s, u64::MIN)),
-            Bound::Included((first, s, u64::MAX)),
-        ),
-        None => (
-            Bound::Included((first, u64::MIN, u64::MIN)),
-            Bound::Included((first, u64::MAX, u64::MAX)),
-        ),
+    range3_from(set, first, second, None)
+}
+
+/// [`range3`] resuming exclusively after `after` (a full key in this
+/// index's component order); `None` starts from the beginning.
+fn range3_from(
+    set: &BTreeSet<(u64, u64, u64)>,
+    first: u64,
+    second: Option<u64>,
+    after: Option<(u64, u64, u64)>,
+) -> impl Iterator<Item = &(u64, u64, u64)> {
+    let lo = match (after, second) {
+        (Some(k), _) => Bound::Excluded(k),
+        (None, Some(s)) => Bound::Included((first, s, u64::MIN)),
+        (None, None) => Bound::Included((first, u64::MIN, u64::MIN)),
+    };
+    let hi = match second {
+        Some(s) => Bound::Included((first, s, u64::MAX)),
+        None => Bound::Included((first, u64::MAX, u64::MAX)),
     };
     set.range((lo, hi))
 }
@@ -364,6 +441,53 @@ mod tests {
             let lf = resolve(&full, collect(&full, s, p, o));
             let ls = resolve(&scan, collect(&scan, s, p, o));
             assert_eq!(lf, ls, "pattern {s:?} {p:?} {o:?}");
+        }
+    }
+
+    #[test]
+    fn match_pattern_from_resumes_identically() {
+        // Pulling 1..=3 triples per resume must enumerate exactly what a
+        // one-shot match_pattern delivers, in the same order, for every
+        // pattern shape and both index modes.
+        for mode in [IndexMode::Full, IndexMode::Scan] {
+            let st = store(mode);
+            let a = t("a");
+            let knows = t("knows");
+            let c = t("c");
+            let id = |x: &Term| st.dict.id_of(x).unwrap();
+            let cases = [
+                (None, None, None),
+                (Some(id(&a)), None, None),
+                (None, Some(id(&knows)), None),
+                (None, None, Some(id(&c))),
+                (Some(id(&a)), Some(id(&knows)), None),
+                (None, Some(id(&knows)), Some(id(&c))),
+                (Some(id(&a)), None, Some(id(&c))),
+                (Some(id(&a)), Some(id(&knows)), Some(id(&c))),
+            ];
+            for (s, p, o) in cases {
+                let mut oneshot = Vec::new();
+                st.match_pattern(s, p, o, &mut |t| {
+                    oneshot.push(t);
+                    true
+                });
+                for chunk in 1..=3usize {
+                    let mut cursor = PatternCursor::default();
+                    let mut resumed = Vec::new();
+                    while !cursor.is_done() {
+                        let mut got = 0;
+                        st.match_pattern_from(s, p, o, &mut cursor, &mut |t| {
+                            resumed.push(t);
+                            got += 1;
+                            got < chunk
+                        });
+                    }
+                    assert_eq!(
+                        resumed, oneshot,
+                        "mode {mode:?} pattern {s:?} {p:?} {o:?} chunk {chunk}"
+                    );
+                }
+            }
         }
     }
 

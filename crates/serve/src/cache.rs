@@ -13,9 +13,11 @@
 //! * **True LRU per shard.** Each shard keeps an intrusive doubly-linked
 //!   list threaded through a slab of nodes; get/put/evict are all O(1).
 //! * **TTL.** Every entry carries an expiry instant; expired entries are
-//!   treated as misses and reclaimed lazily on access or eviction.
+//!   treated as misses and reclaimed on access, and the insert path
+//!   sweeps a generation-stamped expiry queue so entries that expire and
+//!   are never touched again stop counting against shard capacity.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -51,6 +53,10 @@ struct Node {
     key: String,
     value: Arc<CachedBody>,
     expires: Instant,
+    /// Generation stamp for this slab slot, bumped on every write and
+    /// removal, so stale expiry-queue entries referring to an earlier
+    /// occupant of the slot are recognised and skipped.
+    generation: u64,
     prev: usize,
     next: usize,
 }
@@ -63,6 +69,11 @@ struct Shard {
     head: usize,
     tail: usize,
     capacity: usize,
+    /// Pending expiries in insertion order: `(expires, slot, generation)`.
+    /// The TTL is uniform per cache, so insertion order is expiry order
+    /// (up to lock-acquisition jitter, which only delays a reclaim by
+    /// the jitter) and `put` can sweep the queue front in O(expired).
+    expiry: VecDeque<(Instant, usize, u64)>,
 }
 
 impl Shard {
@@ -74,6 +85,7 @@ impl Shard {
             head: NIL,
             tail: NIL,
             capacity,
+            expiry: VecDeque::new(),
         }
     }
 
@@ -108,8 +120,26 @@ impl Shard {
     fn remove_index(&mut self, idx: usize) {
         self.unlink(idx);
         let key = std::mem::take(&mut self.nodes[idx].key);
+        self.nodes[idx].generation += 1;
         self.map.remove(&key);
         self.free.push(idx);
+    }
+
+    /// Drop entries whose TTL has elapsed, so an expired-but-untouched
+    /// entry stops counting against capacity without waiting for a `get`
+    /// to land on its key. Queue entries whose generation no longer
+    /// matches the slot were superseded (refreshed, evicted, or already
+    /// reclaimed) and are discarded without touching the slot.
+    fn sweep_expired(&mut self, now: Instant) {
+        while let Some(&(expires, idx, generation)) = self.expiry.front() {
+            if expires > now {
+                break;
+            }
+            self.expiry.pop_front();
+            if self.nodes[idx].generation == generation {
+                self.remove_index(idx);
+            }
+        }
     }
 
     fn get(&mut self, key: &str, now: Instant) -> Option<Arc<CachedBody>> {
@@ -125,11 +155,15 @@ impl Shard {
     }
 
     fn put(&mut self, key: String, value: Arc<CachedBody>, expires: Instant) {
+        self.sweep_expired(Instant::now());
         if let Some(&idx) = self.map.get(&key) {
+            let generation = self.nodes[idx].generation + 1;
             self.nodes[idx].value = value;
             self.nodes[idx].expires = expires;
+            self.nodes[idx].generation = generation;
             self.unlink(idx);
             self.push_front(idx);
+            self.expiry.push_back((expires, idx, generation));
             return;
         }
         if self.map.len() >= self.capacity {
@@ -139,25 +173,34 @@ impl Shard {
             }
             self.remove_index(victim);
         }
-        let node = Node {
-            key: key.clone(),
-            value,
-            expires,
-            prev: NIL,
-            next: NIL,
-        };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = node;
+                let generation = self.nodes[i].generation + 1;
+                self.nodes[i] = Node {
+                    key: key.clone(),
+                    value,
+                    expires,
+                    generation,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.nodes.push(node);
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    value,
+                    expires,
+                    generation: 0,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.expiry.push_back((expires, idx, self.nodes[idx].generation));
     }
 }
 
@@ -334,6 +377,39 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert!(c.get("k").is_none(), "expired entry is a miss");
         assert_eq!(c.len(), 0, "expired entry reclaimed on access");
+    }
+
+    #[test]
+    fn expired_entries_are_swept_on_insert() {
+        // Single shard, capacity 2: a and b expire untouched, so the
+        // insert of c must reclaim them instead of letting them occupy
+        // (and LRU-evict against) the full shard.
+        let c = ShardedLru::new(1, 2, Duration::from_millis(30));
+        c.put("a".into(), body("1"));
+        c.put("b".into(), body("2"));
+        assert_eq!(c.len(), 2);
+        std::thread::sleep(Duration::from_millis(60));
+        c.put("c".into(), body("3"));
+        assert_eq!(c.len(), 1, "expired a and b no longer count against capacity");
+        assert_eq!(c.get("c").unwrap().body, b"3");
+        assert!(c.get("a").is_none());
+        assert!(c.get("b").is_none());
+    }
+
+    #[test]
+    fn refresh_invalidates_stale_expiry_entries() {
+        // A refreshed key bumps the slot generation, so the original
+        // expiry-queue entry must not reclaim the still-live refresh.
+        let c = ShardedLru::new(1, 4, Duration::from_millis(40));
+        c.put("k".into(), body("v1"));
+        std::thread::sleep(Duration::from_millis(25));
+        c.put("k".into(), body("v2")); // refresh: new expiry, new generation
+        std::thread::sleep(Duration::from_millis(25));
+        // Original expiry has passed; the refresh has not. The sweep on
+        // this insert pops the stale entry but leaves k alone.
+        c.put("other".into(), body("x"));
+        assert_eq!(c.get("k").unwrap().body, b"v2", "refreshed entry survives");
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

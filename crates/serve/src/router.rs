@@ -409,6 +409,21 @@ pub fn etag_of(body: &[u8]) -> String {
     sink.etag()
 }
 
+/// RFC 7232 `If-None-Match` evaluation against a response ETag: the
+/// header is either `*` or a comma-separated list of entity-tags, each
+/// optionally `W/`-prefixed. 304 revalidation uses weak comparison, so
+/// the `W/` prefix is ignored on both sides.
+pub fn if_none_match_matches(header: &str, etag: &str) -> bool {
+    fn opaque(tag: &str) -> &str {
+        tag.strip_prefix("W/").unwrap_or(tag)
+    }
+    let target = opaque(etag);
+    header
+        .split(',')
+        .map(str::trim)
+        .any(|tag| tag == "*" || opaque(tag) == target)
+}
+
 /// `/ice/{region}` — the PCDSS product bundle for a region, encoded
 /// within `?budget=` bytes (default 1 MB). The body concatenates the
 /// three length-prefixed codec segments (concentration, stage, leads) in
@@ -739,6 +754,26 @@ mod tests {
         assert_ne!(tag(&a), tag(&c), "different tile, different tag");
         assert_eq!(etag_of(b"x"), etag_of(b"x"));
         assert_ne!(etag_of(b"x"), etag_of(b"y"));
+    }
+
+    #[test]
+    fn if_none_match_handles_lists_and_wildcard() {
+        let tag = "\"abc123\"";
+        // Single exact tag and the * form.
+        assert!(if_none_match_matches("\"abc123\"", tag));
+        assert!(if_none_match_matches("*", tag));
+        assert!(!if_none_match_matches("\"zzz\"", tag));
+        // Comma-separated lists, with and without surrounding whitespace.
+        assert!(if_none_match_matches("\"zzz\", \"abc123\"", tag));
+        assert!(if_none_match_matches("\"abc123\",\"zzz\"", tag));
+        assert!(if_none_match_matches("\"a\" , \"b\",\"abc123\"", tag));
+        assert!(!if_none_match_matches("\"a\", \"b\", \"c\"", tag));
+        // Weak validators compare equal to their strong counterparts.
+        assert!(if_none_match_matches("W/\"abc123\"", tag));
+        assert!(if_none_match_matches("\"zzz\", W/\"abc123\"", tag));
+        assert!(if_none_match_matches("\"abc123\"", "W/\"abc123\""));
+        // A list containing * anywhere still matches.
+        assert!(if_none_match_matches("\"zzz\", *", tag));
     }
 
     #[test]

@@ -388,7 +388,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     .find(|(n, _)| n == "etag")
                     .map(|(_, v)| v.clone()),
             ) {
-                if inm == tag || inm == "*" {
+                if crate::router::if_none_match_matches(inm, &tag) {
                     shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
                     response.status = 304;
                     response.body = Body::empty();

@@ -219,15 +219,17 @@ impl AppState {
 
     /// Evaluate a SPARQL query through the prepared-plan path, returning
     /// a [`ee_rdf::exec::StreamCore`] that yields result batches
-    /// incrementally. The joins run here (they are blocking); row
-    /// materialisation is deferred to `next_batch(&self.store)` calls —
-    /// the `/query` route serialises JSON batch by batch off this.
+    /// incrementally. For non-aggregate, non-ORDER-BY queries no join
+    /// work happens here at all: the pull-based pipeline runs inside
+    /// `next_batch(&self.store)` calls, so the `/query` route's
+    /// chunk-by-chunk serialisation exerts real backpressure — a slow
+    /// client pauses the joins instead of buffering their output.
     pub fn prepared_query_stream(
         &self,
         sparql: &str,
     ) -> Result<ee_rdf::exec::StreamCore, ee_rdf::RdfError> {
         let plan = self.prepared_plan(sparql)?;
-        ee_rdf::exec::stream_plan(&self.store, &plan, ee_util::par::available_threads())
+        ee_rdf::exec::stream_plan_shared(&self.store, plan, ee_util::par::available_threads())
     }
 
     /// Plan-cache statistics: `(hits, misses, entries)`.

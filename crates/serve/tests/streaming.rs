@@ -1,12 +1,15 @@
 //! End-to-end tests for the streaming response path: a tile bigger than
 //! the old 1 MiB response cap arrives chunked and byte-identical to the
 //! one-shot codec encoder, `/query` streams its solution JSON, oversized
-//! streams bypass the cache, and a deadline expiring mid-stream aborts
-//! the chunked body instead of blocking a worker.
+//! streams bypass the cache, a deadline expiring mid-stream aborts the
+//! chunked body instead of blocking a worker, a client draining the
+//! chunked `/query` body a few bytes at a time (backpressuring the
+//! executor) receives identical rows, and a client disconnecting
+//! mid-stream leaves the server healthy for the next connection.
 
 use ee_serve::http::read_response;
 use ee_serve::{start, AppState, DataConfig, ServerConfig};
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -167,6 +170,128 @@ fn query_streams_solution_json() {
         count >= rows.len() as f64,
         "count spans all rows, rows are capped by limit"
     );
+    server.shutdown();
+}
+
+/// A state with enough point features that a full non-aggregate SELECT
+/// streams through many chunked batches (several hundred KB of JSON),
+/// so slow-drain and mid-stream-disconnect behaviour is observable.
+fn many_rows_state() -> Arc<AppState> {
+    static STATE: OnceLock<Arc<AppState>> = OnceLock::new();
+    Arc::clone(STATE.get_or_init(|| {
+        Arc::new(AppState::build(DataConfig {
+            points: 8_000,
+            products: 50,
+            scene_size: 64,
+            tile_size: 32,
+            ice_size: 16,
+            seed: 7,
+        }))
+    }))
+}
+
+/// `/query` target streaming every feature's geometry binding.
+fn all_features_target() -> String {
+    let sparql = "PREFIX e: <http://e/> SELECT ?s ?g WHERE { ?s e:hasGeometry ?g }";
+    format!("/query?limit=10000&sparql={}", sparql.replace(' ', "%20"))
+}
+
+#[test]
+fn slow_reader_draining_bytes_at_a_time_gets_identical_rows() {
+    let mut config = test_config();
+    config.write_timeout = Duration::from_secs(30);
+    config.deadline = Duration::from_secs(30);
+    let server = start(config, many_rows_state()).expect("start");
+
+    // Fast baseline client.
+    let (mut s, mut r) = connect(server.addr);
+    let fast = send(&mut s, &mut r, &all_features_target(), false);
+    assert_eq!(fast.status, 200);
+    assert_eq!(fast.header("transfer-encoding"), Some("chunked"));
+
+    // Slow client: tiny reads straight off the socket with periodic
+    // stalls, so the server's chunk writes back up against the send
+    // buffer and the pull-based executor pauses between batches.
+    let mut slow_sock = TcpStream::connect(server.addr).expect("connect");
+    slow_sock
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        slow_sock,
+        "GET {} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        all_features_target()
+    )
+    .unwrap();
+    slow_sock.flush().unwrap();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 31];
+    loop {
+        match slow_sock.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&buf[..n]);
+                if raw.len() % 8192 < 31 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            Err(e) => panic!("slow read failed after {} bytes: {e}", raw.len()),
+        }
+    }
+    let slow = read_response(&mut raw.as_slice()).expect("parse accumulated response");
+    assert_eq!(slow.status, 200);
+    assert_eq!(slow.body, fast.body, "slow drain is byte-identical");
+
+    let text = String::from_utf8(slow.body).unwrap();
+    let v = ee_util::json::parse(&text).expect("valid JSON");
+    let rows = v.get("rows").and_then(ee_util::json::Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 8_000, "every feature row arrived");
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_stream_leaves_server_healthy() {
+    let server = start(test_config(), many_rows_state()).expect("start");
+
+    // Start a large streamed query, read only the first few hundred
+    // bytes, then vanish. The server's next chunk write fails instead of
+    // wedging the worker.
+    let mut s = TcpStream::connect(server.addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(
+        s,
+        "GET {} HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\n\r\n",
+        all_features_target()
+    )
+    .unwrap();
+    s.flush().unwrap();
+    let mut partial = [0u8; 512];
+    let mut seen = 0usize;
+    while seen < partial.len() {
+        match s.read(&mut partial[seen..]) {
+            Ok(0) => break,
+            Ok(n) => seen += n,
+            Err(_) => break,
+        }
+    }
+    assert!(
+        partial[..seen].starts_with(b"HTTP/1.1 200"),
+        "stream started before the disconnect"
+    );
+    drop(s);
+
+    // The server stays healthy: a fresh keep-alive connection is served
+    // repeatedly, including another full streamed query.
+    let (mut s2, mut r2) = connect(server.addr);
+    for i in 0..3 {
+        let ok = send(&mut s2, &mut r2, "/healthz", true);
+        assert_eq!(ok.status, 200, "healthz {i} after disconnect");
+    }
+    let full = send(&mut s2, &mut r2, &all_features_target(), false);
+    assert_eq!(full.status, 200);
+    let text = String::from_utf8(full.body).unwrap();
+    let v = ee_util::json::parse(&text).expect("valid JSON");
+    let rows = v.get("rows").and_then(ee_util::json::Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 8_000);
     server.shutdown();
 }
 

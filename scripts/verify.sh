@@ -26,6 +26,14 @@ echo "== smoke: e-s0 streaming stage wrote its artifact =="
 grep -q '"ttfb_p50_us"' BENCH_PR4.json
 grep -q '"experiment": "e-s0-streaming"' BENCH_PR4.json
 
+echo "== smoke: e-s0 query-streaming TTFB stage wrote its artifact =="
+# The stage itself aborts the harness (non-zero exit above) if the
+# streamed rows ever diverge from the collected rows at t in {1,4};
+# reaching this point with the artifact present means identity held.
+test -s BENCH_PR5.json
+grep -q '"experiment": "e-s0-query-streaming"' BENCH_PR5.json
+grep -q '"rows_touched_first_batch"' BENCH_PR5.json
+
 echo "== smoke: harness e3 --threads 4 (serial-vs-parallel identity) =="
 ./target/release/harness e3 --threads 4
 
