@@ -9,6 +9,7 @@
 //! harness kernels --full  # kernel throughput; also writes BENCH_PR1.json
 //! harness e-s0 --full     # serving tier; writes BENCH_PR2/PR4/PR5.json
 //! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
+//! harness e-k6            # top-k + BM25 sweeps; writes BENCH_PR6.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
@@ -16,7 +17,7 @@
 //! sweep asserts each parallel run bit-identical to serial and aborts
 //! (non-zero exit) on divergence.
 
-use ee_bench::{e3_complexity, e_s0_serve, kernels, run, Scale, ALL};
+use ee_bench::{e3_complexity, e_k6_topk, e_s0_serve, kernels, run, Scale, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -124,6 +125,15 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 vec![("BENCH_PR3.json", json)]
+            }
+            "e-k6" => {
+                // Panics inside on any top-k or BM25 identity divergence,
+                // so verify.sh sees a non-zero exit.
+                let (tables, json) = e_k6_topk::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![("BENCH_PR6.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

@@ -12,6 +12,7 @@
 
 pub mod table;
 
+pub mod e_k6_topk;
 pub mod e_s0_serve;
 pub mod kernels;
 
@@ -38,8 +39,9 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
+    "e-k6",
 ];
 
 /// Run one experiment by id.
@@ -59,6 +61,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e12" => Some(e12_seaice::run(scale)),
         "kernels" => Some(kernels::run(scale)),
         "e-s0" => Some(e_s0_serve::run(scale)),
+        "e-k6" => Some(e_k6_topk::run(scale)),
         _ => None,
     }
 }

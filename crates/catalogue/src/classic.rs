@@ -74,6 +74,14 @@ impl ClassicCatalogue {
         self.products.len()
     }
 
+    /// All indexed products, in ingest order. Document id `i` in a
+    /// [`crate::Bm25Index`] built over this slice refers to
+    /// `products()[i]`, which is how the serving tier maps ranked hits
+    /// back to product records.
+    pub fn products(&self) -> &[Product] {
+        &self.products
+    }
+
     /// True if no products are indexed.
     pub fn is_empty(&self) -> bool {
         self.products.is_empty()

@@ -15,10 +15,12 @@
 //! generator used to scale the E9 experiments ("trillions of metadata
 //! records", scaled to this machine).
 
+pub mod bm25;
 pub mod classic;
 pub mod product;
 pub mod semantic;
 
+pub use bm25::{Bm25Index, ScanSearcher};
 pub use classic::ClassicCatalogue;
 pub use product::{Product, ProductGenerator};
 pub use semantic::SemanticCatalogue;

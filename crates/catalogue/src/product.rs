@@ -50,6 +50,60 @@ impl Product {
         self.polygon().envelope()
     }
 
+    /// The synthesised "title + description" that the ranked (BM25)
+    /// catalogue search indexes: the product id, mission/platform/type
+    /// vocabulary, instrument and processing-level words, month and
+    /// season, a cloud-cover bucket for optical products, and a coarse 1°
+    /// grid cell from the footprint anchor. A pure function of the
+    /// metadata, so index builds are reproducible and queries like
+    /// "sentinel-2 surface reflectance july clear" have real signal.
+    pub fn search_text(&self) -> String {
+        const MONTHS: [&str; 12] = [
+            "january", "february", "march", "april", "may", "june", "july", "august",
+            "september", "october", "november", "december",
+        ];
+        let (month, _) = self.sensing_date().month_day();
+        let season = match month {
+            12 | 1 | 2 => "winter",
+            3..=5 => "spring",
+            6..=8 => "summer",
+            _ => "autumn",
+        };
+        let (family, instrument) = match self.mission.as_str() {
+            "S1" => ("sentinel-1", "radar sar c-band"),
+            "S2" => ("sentinel-2", "optical multispectral msi"),
+            _ => ("sentinel-3", "ocean colour olci"),
+        };
+        let level = match self.product_type.as_str() {
+            "GRD" => "ground range detected",
+            "SLC" => "single look complex",
+            "MSIL1C" => "level-1c top-of-atmosphere",
+            "MSIL2A" => "level-2a surface reflectance",
+            _ => "full resolution",
+        };
+        let cloud = if self.mission == "S1" {
+            "all-weather"
+        } else if self.cloud_cover < 10.0 {
+            "clear sky"
+        } else if self.cloud_cover < 40.0 {
+            "scattered clouds"
+        } else if self.cloud_cover < 75.0 {
+            "cloudy"
+        } else {
+            "overcast"
+        };
+        let (ax, ay) = self.footprint.first().copied().unwrap_or((0.0, 0.0));
+        format!(
+            "{} {family} {} {} {instrument} {level} {} {season} {cloud} cell e{} n{}",
+            self.id,
+            self.platform,
+            self.product_type,
+            MONTHS[(month as usize - 1).min(11)],
+            ax.floor() as i64,
+            ay.floor() as i64,
+        )
+    }
+
     /// Serialise to a JSON value ([`ee_util::json`]).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![

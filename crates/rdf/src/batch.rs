@@ -122,6 +122,13 @@ impl Batch {
         self.len = keep.iter().filter(|&&k| k).count();
     }
 
+    /// Number of rows whose value in `col` is bound (not [`UNBOUND`]).
+    /// The executor's COUNT fast path calls this per pulled batch, so a
+    /// `COUNT(?v)` never materialises row-major `Option` form at all.
+    pub fn count_bound(&self, col: usize) -> usize {
+        self.cols[col].iter().filter(|&&v| v != UNBOUND).count()
+    }
+
     /// Materialise into row-major `Option` form for the execution tail
     /// (grouping, ordering, projection).
     pub fn into_rows(self) -> Vec<Vec<Option<u64>>> {
@@ -194,6 +201,16 @@ mod tests {
         assert_eq!(rest.len(), 2);
         assert!(b.is_empty());
         assert!(b.drain_front(4).is_empty());
+    }
+
+    #[test]
+    fn count_bound_skips_unbound_sentinels() {
+        let mut b = Batch::new(2);
+        b.push_row(&[1, UNBOUND]);
+        b.push_row(&[UNBOUND, UNBOUND]);
+        b.push_row(&[3, 4]);
+        assert_eq!(b.count_bound(0), 2);
+        assert_eq!(b.count_bound(1), 1);
     }
 
     #[test]

@@ -13,18 +13,32 @@
 //! blocking (every input row feeds the result), so those paths drain the
 //! pipeline eagerly up front and stream only the drained rows.
 //!
+//! Within the blocking family, [`crate::plan::FastPath`] routes the
+//! common shapes onto cheaper physical forms — all bit-identical to the
+//! generic routes they replace:
+//!
+//! * **Top-k** (`ORDER BY ?v LIMIT k`, ± OFFSET, no DISTINCT): a bounded
+//!   max-heap of size `k + offset` fed by the pipeline — O(n log k)
+//!   comparisons, O(batch + k) resident rows, no global sort.
+//! * **Fast count** (`COUNT(*)` / `COUNT(?v)`, no GROUP BY): rows are
+//!   counted column-wise off the pipeline, never materialised as terms.
+//! * **Group count** (GROUP BY whose aggregates are all COUNTs): a
+//!   single-pass id-keyed counter table replaces materialise-then-group.
+//!
 //! [`query`] parses + plans + executes at the ambient thread count;
 //! [`query_with_threads`] pins the thread count (the E3 speedup sweep and
 //! the parallel-identity tests); [`execute_plan`] runs a prepared
 //! [`Plan`] directly — the serving tier's plan cache calls this.
+//! [`execute_plan_baseline`] forces the pre-fast-path routes, as the
+//! comparison baseline for benches and equivalence tests.
 
 use crate::parser::{AggFunc, Query, SelectItem};
-use crate::plan::Plan;
+use crate::plan::{FastPath, Plan};
 use crate::store::TripleStore;
 use crate::term::{Term, Value};
 use crate::{join, RdfError};
 use ee_util::par;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Query solutions: a header of variable names and rows of optional terms
@@ -95,15 +109,34 @@ pub fn execute_plan(
     plan: &Plan,
     threads: usize,
 ) -> Result<Solutions, RdfError> {
-    let mut core = stream_plan(store, plan, threads)?;
+    let core = stream_plan(store, plan, threads)?;
+    Ok(collect_core(store, core))
+}
+
+/// Execute a prepared [`Plan`] with every fast path disabled: ORDER BY
+/// always global-sorts and counts always run the generic
+/// materialise-then-group aggregate. This is the pre-fast-path physical
+/// behaviour, kept callable as the baseline the E-k6 harness and the
+/// fast-path equivalence tests compare against. Results are bit-identical
+/// to [`execute_plan`] — only the work done differs.
+pub fn execute_plan_baseline(
+    store: &TripleStore,
+    plan: &Plan,
+    threads: usize,
+) -> Result<Solutions, RdfError> {
+    let core = stream_plan_opts(store, Arc::new(plan.clone()), threads, false)?;
+    Ok(collect_core(store, core))
+}
+
+fn collect_core(store: &TripleStore, mut core: StreamCore) -> Solutions {
     let mut rows = Vec::new();
     while let Some(batch) = core.next_batch(store) {
         rows.extend(batch);
     }
-    Ok(Solutions {
+    Solutions {
         vars: core.take_vars(),
         rows,
-    })
+    }
 }
 
 /// Rows per batch yielded by [`StreamCore::next_batch`]. Small enough
@@ -292,12 +325,47 @@ pub fn stream_plan_shared(
     plan: Arc<Plan>,
     threads: usize,
 ) -> Result<StreamCore, RdfError> {
-    if plan.has_agg || !plan.group_by.is_empty() {
-        // Blocking path: drain the pipeline, aggregate, then DISTINCT,
-        // then alias ORDER BY — the exact op order of the historical
-        // collect path. OFFSET and LIMIT stay streaming for uniformity.
-        let (raw, touched, peak) = drain_pipeline(store, &plan, threads);
-        let (header, mut out_rows) = aggregate(store, &plan, raw)?;
+    stream_plan_opts(store, plan, threads, true)
+}
+
+/// [`stream_plan_shared`] with the fast paths switchable. `fast_paths =
+/// false` demotes top-k to the global sort and the count shortcuts to the
+/// generic aggregate — the physical routes that predate PR 6 — without
+/// changing any result bit. Routing itself comes from
+/// [`Plan::fast_path`], so the executor and the serving tier's
+/// per-fast-path counter can never disagree about which route ran.
+pub fn stream_plan_opts(
+    store: &TripleStore,
+    plan: Arc<Plan>,
+    threads: usize,
+    fast_paths: bool,
+) -> Result<StreamCore, RdfError> {
+    let mut route = plan.fast_path();
+    if !fast_paths {
+        route = match route {
+            FastPath::TopK => FastPath::FullSort,
+            FastPath::FastCount | FastPath::GroupCount => FastPath::Aggregate,
+            other => other,
+        };
+    }
+
+    if matches!(
+        route,
+        FastPath::FastCount | FastPath::GroupCount | FastPath::Aggregate
+    ) {
+        // Blocking path: run the pipeline to exhaustion (counting in
+        // place on the fast routes), aggregate, then DISTINCT, then alias
+        // ORDER BY — the exact op order of the historical collect path.
+        // OFFSET and LIMIT stay streaming for uniformity.
+        let (header, mut out_rows, touched, peak) = match route {
+            FastPath::FastCount => fast_count(store, &plan, threads)?,
+            FastPath::GroupCount => group_count(store, &plan, threads)?,
+            _ => {
+                let (raw, touched, peak) = drain_pipeline(store, &plan, threads);
+                let (header, rows) = aggregate(store, &plan, raw)?;
+                (header, rows, touched, peak)
+            }
+        };
         if plan.distinct {
             let mut seen: HashSet<Vec<Option<Term>>> = HashSet::new();
             out_rows.retain(|row| seen.insert(row.clone()));
@@ -332,47 +400,63 @@ pub fn stream_plan_shared(
     let to_skip = plan.offset.unwrap_or(0);
     let remaining = plan.limit;
 
-    if let Some((oi, asc)) = plan.order_by {
-        // ORDER BY is global: drain and sort the id rows now (same stable
-        // sort and key as ever); everything downstream streams.
-        let (mut rows, touched, peak) = drain_pipeline(store, &plan, threads);
-        rows.sort_by(|a, b| {
-            let ka = a[oi].map(|id| order_key(store, id));
-            let kb = b[oi].map(|id| order_key(store, id));
-            let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
-            if asc {
-                ord
-            } else {
-                ord.reverse()
-            }
-        });
-        return Ok(StreamCore {
-            vars,
-            projection,
-            phase: Phase::Ids(rows.into_iter()),
-            seen,
-            to_skip,
-            remaining,
-            touched_eager: touched,
-            peak_eager: peak,
-        });
+    match route {
+        FastPath::TopK => {
+            // Bounded-heap ORDER BY + LIMIT: only the k + offset best id
+            // rows survive the drain; everything downstream streams.
+            let (oi, asc) = plan.order_by.expect("topk implies ORDER BY");
+            let n_keep = plan
+                .limit
+                .expect("topk implies LIMIT")
+                .saturating_add(plan.offset.unwrap_or(0));
+            let (rows, touched, peak) = topk_rows(store, &plan, threads, oi, asc, n_keep);
+            Ok(StreamCore {
+                vars,
+                projection,
+                phase: Phase::Ids(rows.into_iter()),
+                seen,
+                to_skip,
+                remaining,
+                touched_eager: touched,
+                peak_eager: peak,
+            })
+        }
+        FastPath::FullSort => {
+            // ORDER BY is global: drain and sort the id rows now, with
+            // keys computed once per row (decorate–sort–undecorate);
+            // everything downstream streams.
+            let (oi, asc) = plan.order_by.expect("full sort implies ORDER BY");
+            let (raw, touched, peak) = drain_pipeline(store, &plan, threads);
+            let rows = full_sort_rows(store, raw, threads, oi, asc);
+            Ok(StreamCore {
+                vars,
+                projection,
+                phase: Phase::Ids(rows.into_iter()),
+                seen,
+                to_skip,
+                remaining,
+                touched_eager: touched,
+                peak_eager: peak,
+            })
+        }
+        _ => {
+            // The fully-streamed path: park the un-started pipeline; every
+            // next_batch call does O(batch) probe work.
+            Ok(StreamCore {
+                vars,
+                projection,
+                phase: Phase::Stream {
+                    pipe: join::Pipeline::new(store, plan, threads),
+                    buf: Vec::new().into_iter(),
+                },
+                seen,
+                to_skip,
+                remaining,
+                touched_eager: 0,
+                peak_eager: 0,
+            })
+        }
     }
-
-    // The fully-streamed path: park the un-started pipeline; every
-    // next_batch call does O(batch) probe work.
-    Ok(StreamCore {
-        vars,
-        projection,
-        phase: Phase::Stream {
-            pipe: join::Pipeline::new(store, plan, threads),
-            buf: Vec::new().into_iter(),
-        },
-        seen,
-        to_skip,
-        remaining,
-        touched_eager: 0,
-        peak_eager: 0,
-    })
 }
 
 /// Run a plan's pipeline to exhaustion (the blocking aggregate/ORDER
@@ -452,14 +536,331 @@ fn numeric_of(store: &TripleStore, id: u64) -> Option<f64> {
 
 /// Sort key for ORDER BY and MIN/MAX: numbers before dates before strings
 /// before everything else, each ordered internally.
-fn order_key(store: &TripleStore, id: u64) -> (u8, f64, String) {
-    match store.dict.value(id) {
+///
+/// The `Ord` impl is a **total** order (`f64::total_cmp` on the numeric
+/// component). The historical `partial_cmp().unwrap_or(Equal)` comparator
+/// is non-transitive once a NaN key appears (a NaN row compares "equal"
+/// to everything, so `a < b`, `b ~ anything`, `c < a` cycles are
+/// constructible), and both `sort_by` and `BinaryHeap` are only specified
+/// under total orders. Under `total_cmp`, NaN sorts above +∞ (and -NaN
+/// below -∞) — the one observable change, documented in DESIGN.md, and
+/// shared by every ordering path so they stay mutually bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+struct OrderKey {
+    rank: u8,
+    num: f64,
+    text: String,
+}
+
+impl Eq for OrderKey {}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank
+            .cmp(&other.rank)
+            .then_with(|| self.num.total_cmp(&other.num))
+            .then_with(|| self.text.cmp(&other.text))
+    }
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn order_key(store: &TripleStore, id: u64) -> OrderKey {
+    let (rank, num, text) = match store.dict.value(id) {
         Value::Int(i) => (0, *i as f64, String::new()),
         Value::Float(f) => (0, *f, String::new()),
         Value::Date(d) => (1, *d as f64, String::new()),
         Value::Str(s) => (2, 0.0, s.clone()),
         _ => (3, 0.0, store.dict.term(id).ntriples()),
+    };
+    OrderKey { rank, num, text }
+}
+
+/// The one ordering shared by the full-sort and top-k paths: the
+/// (possibly reversed) key, then the original input position. Unbound
+/// (`None`) sorts first ascending, as ever; `seq` is globally unique, so
+/// this is a **strict** total order — ties cannot exist, the top-`n` set
+/// and its sorted order are partition-independent, and per-chunk heaps
+/// merged in any order reproduce the serial answer bit-for-bit.
+fn cmp_keyed(
+    ka: &Option<OrderKey>,
+    sa: u64,
+    kb: &Option<OrderKey>,
+    sb: u64,
+    asc: bool,
+) -> std::cmp::Ordering {
+    let ord = ka.cmp(kb);
+    let ord = if asc { ord } else { ord.reverse() };
+    ord.then_with(|| sa.cmp(&sb))
+}
+
+/// The retained global-sort path, decorated: keys are computed **once
+/// per row** (in parallel, fixed-order concat via `par::map`) instead of
+/// twice per comparison inside `sort_by` — the historical comparator
+/// recomputed (and re-allocated) `order_key` O(n log n) times.
+fn full_sort_rows(
+    store: &TripleStore,
+    rows: Vec<Vec<Option<u64>>>,
+    threads: usize,
+    oi: usize,
+    asc: bool,
+) -> Vec<Vec<Option<u64>>> {
+    let keys: Vec<Option<OrderKey>> =
+        par::map(&rows, threads, |_, r| r[oi].map(|id| order_key(store, id)));
+    let mut decorated: Vec<(Option<OrderKey>, u64, Vec<Option<u64>>)> = keys
+        .into_iter()
+        .zip(rows)
+        .enumerate()
+        .map(|(i, (k, r))| (k, i as u64, r))
+        .collect();
+    // Unstable is fine: the seq component makes the order strict, which
+    // is exactly what stability used to provide.
+    decorated.sort_unstable_by(|a, b| cmp_keyed(&a.0, a.1, &b.0, b.1, asc));
+    decorated.into_iter().map(|(_, _, r)| r).collect()
+}
+
+/// Rows pulled per pipeline batch on the top-k path: larger than
+/// [`STREAM_BATCH_ROWS`] so the per-batch parallel decorate amortises
+/// its fan-out, small enough that resident memory stays O(batch + k).
+const TOPK_PULL_ROWS: usize = 4096;
+
+/// A heap entry on the top-k path. `BinaryHeap` is a max-heap, so the
+/// root is the **worst** retained row (greatest under [`cmp_keyed`]) and
+/// a bounded heap holds exactly the `n_keep` smallest seen so far. The
+/// sort direction rides in each entry because `Ord` has no side channel;
+/// all entries in one heap share it.
+struct TopKEntry {
+    key: Option<OrderKey>,
+    seq: u64,
+    row: Vec<Option<u64>>,
+    asc: bool,
+}
+
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
+}
+
+impl Eq for TopKEntry {}
+
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_keyed(&self.key, self.seq, &other.key, other.seq, self.asc)
+    }
+}
+
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keep the `n_keep` smallest entries: below capacity push outright, at
+/// capacity a candidate only enters by evicting the current worst.
+/// `n_keep == 0` (LIMIT 0 with no OFFSET) keeps nothing.
+fn push_bounded(heap: &mut BinaryHeap<TopKEntry>, e: TopKEntry, n_keep: usize) {
+    if heap.len() < n_keep {
+        heap.push(e);
+    } else if let Some(worst) = heap.peek() {
+        if e.cmp(worst) == std::cmp::Ordering::Less {
+            heap.pop();
+            heap.push(e);
+        }
+    }
+}
+
+/// The bounded-heap ORDER BY + LIMIT path: O(n log k) comparisons, O(k)
+/// retained rows, no global sort. Each pulled batch is decorated and
+/// pre-pruned in parallel per chunk — a row outside its chunk's local
+/// top-`n_keep` cannot be in the global top-`n_keep` — then the chunk
+/// survivors merge into one global heap in fixed chunk order. Because
+/// [`cmp_keyed`] is strict over unique `seq`s, the retained set and
+/// `into_sorted_vec`'s order equal the first `n_keep` rows of the full
+/// sort for any thread count and any batch size.
+fn topk_rows(
+    store: &TripleStore,
+    plan: &Arc<Plan>,
+    threads: usize,
+    oi: usize,
+    asc: bool,
+    n_keep: usize,
+) -> (Vec<Vec<Option<u64>>>, u64, u64) {
+    let mut pipe = join::Pipeline::new(store, Arc::clone(plan), threads);
+    let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut peak_exec = 0u64;
+    loop {
+        let b = pipe.next_rows(store, TOPK_PULL_ROWS);
+        if b.is_empty() {
+            break;
+        }
+        let rows = b.into_rows();
+        peak_exec = peak_exec.max((heap.len() + rows.len()) as u64);
+        let locals: Vec<Vec<TopKEntry>> = par::map_chunks(&rows, threads, |start, chunk| {
+            let mut local: BinaryHeap<TopKEntry> = BinaryHeap::new();
+            for (i, row) in chunk.iter().enumerate() {
+                let key = row[oi].map(|id| order_key(store, id));
+                let s = seq + (start + i) as u64;
+                // Clone the row only when it can actually enter the heap.
+                if local.len() == n_keep {
+                    match local.peek() {
+                        Some(worst)
+                            if cmp_keyed(&key, s, &worst.key, worst.seq, asc)
+                                == std::cmp::Ordering::Less => {}
+                        _ => continue,
+                    }
+                }
+                let e = TopKEntry { key, seq: s, row: row.clone(), asc };
+                push_bounded(&mut local, e, n_keep);
+            }
+            local.into_vec()
+        });
+        seq += rows.len() as u64;
+        for local in locals {
+            for e in local {
+                push_bounded(&mut heap, e, n_keep);
+            }
+        }
+    }
+    let rows: Vec<Vec<Option<u64>>> = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
+    let touched = pipe.rows_touched();
+    let peak = pipe.peak_resident_rows().max(peak_exec).max(rows.len() as u64);
+    (rows, touched, peak)
+}
+
+/// Shared return shape of the blocking aggregate routes: header, term
+/// rows, probe rows touched, peak resident rows.
+type AggOut = (Vec<String>, Vec<Vec<Option<Term>>>, u64, u64);
+
+/// `COUNT(*)` / `COUNT(?v)` without GROUP BY: count rows (or bound
+/// values, column-wise) batch-by-batch straight off the columnar
+/// pipeline — no `into_rows`, no term materialisation, O(batch) resident.
+/// Zero input rows produce an **empty** result set, exactly like the
+/// generic path (grouping an empty input yields no groups).
+fn fast_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
+    let (alias, var) = match plan.select.as_slice() {
+        [SelectItem::Agg { func: AggFunc::Count, var, alias }] => (alias.clone(), var.clone()),
+        _ => unreachable!("fast_path gates on a single COUNT item"),
+    };
+    let vi = var
+        .map(|v| {
+            plan.vars
+                .iter()
+                .position(|x| x == &v)
+                .ok_or_else(|| RdfError::Eval(format!("unknown ?{v}")))
+        })
+        .transpose()?;
+    let mut pipe = join::Pipeline::new(store, Arc::clone(plan), threads);
+    let mut input_rows = 0u64;
+    let mut n = 0u64;
+    loop {
+        let b = pipe.next_rows(store, STREAM_BATCH_ROWS);
+        if b.is_empty() {
+            break;
+        }
+        input_rows += b.len() as u64;
+        n += match vi {
+            None => b.len() as u64,
+            Some(i) => b.count_bound(i) as u64,
+        };
+    }
+    let rows = if input_rows == 0 {
+        Vec::new()
+    } else {
+        vec![vec![Some(Term::integer(n as i64))]]
+    };
+    Ok((vec![alias], rows, pipe.rows_touched(), pipe.peak_resident_rows()))
+}
+
+/// GROUP BY where every aggregate is a COUNT: a single pass over the
+/// pipeline updates an id-keyed counter table (group key → one counter
+/// per COUNT item) instead of materialising every input row into
+/// per-group vectors and re-walking them per aggregate. Header layout,
+/// error cases and the sorted deterministic group order match
+/// [`aggregate`] exactly.
+fn group_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
+    let group_names: Vec<&str> = plan.group_by.iter().map(|&i| plan.vars[i].as_str()).collect();
+    let mut header = Vec::new();
+    for item in &plan.select {
+        match item {
+            SelectItem::Var(v) => {
+                if !group_names.contains(&v.as_str()) {
+                    return Err(RdfError::Eval(format!(
+                        "?{v} selected but not in GROUP BY"
+                    )));
+                }
+                header.push(v.clone());
+            }
+            SelectItem::Agg { alias, .. } => header.push(alias.clone()),
+        }
+    }
+    // Count column per aggregate item (`None` = COUNT(*)). Resolvability
+    // is part of the fast-path gate; the error arm is defensive.
+    let mut agg_cols: Vec<Option<usize>> = Vec::new();
+    for item in &plan.select {
+        if let SelectItem::Agg { var, .. } = item {
+            agg_cols.push(
+                var.as_ref()
+                    .map(|v| {
+                        plan.vars
+                            .iter()
+                            .position(|x| x == v)
+                            .ok_or_else(|| RdfError::Eval(format!("unknown ?{v}")))
+                    })
+                    .transpose()?,
+            );
+        }
+    }
+    let mut counters: HashMap<Vec<Option<u64>>, Vec<u64>> = HashMap::new();
+    let mut pipe = join::Pipeline::new(store, Arc::clone(plan), threads);
+    loop {
+        let b = pipe.next_rows(store, STREAM_BATCH_ROWS);
+        if b.is_empty() {
+            break;
+        }
+        for row in b.into_rows() {
+            let key: Vec<Option<u64>> = plan.group_by.iter().map(|&i| row[i]).collect();
+            let slots = counters
+                .entry(key)
+                .or_insert_with(|| vec![0u64; agg_cols.len()]);
+            for (slot, vi) in slots.iter_mut().zip(&agg_cols) {
+                match vi {
+                    None => *slot += 1,
+                    Some(i) if row[*i].is_some() => *slot += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Deterministic group order, same as the generic path.
+    let mut keys: Vec<Vec<Option<u64>>> = counters.keys().cloned().collect();
+    keys.sort();
+    let mut out = Vec::with_capacity(keys.len());
+    for key in keys {
+        let slots = &counters[&key];
+        let mut next_agg = 0usize;
+        let mut row: Vec<Option<Term>> = Vec::with_capacity(plan.select.len());
+        for item in &plan.select {
+            match item {
+                SelectItem::Var(v) => {
+                    let gi = group_names.iter().position(|x| x == v).expect("checked");
+                    row.push(key[gi].map(|id| store.dict.term(id).clone()));
+                }
+                SelectItem::Agg { .. } => {
+                    row.push(Some(Term::integer(slots[next_agg] as i64)));
+                    next_agg += 1;
+                }
+            }
+        }
+        out.push(row);
+    }
+    let peak = pipe.peak_resident_rows().max(out.len() as u64);
+    Ok((header, out, pipe.rows_touched(), peak))
 }
 
 fn cmp_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
@@ -474,7 +875,9 @@ fn cmp_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
         }
     };
     match (num(a), num(b)) {
-        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        // total_cmp keeps the alias-ORDER comparator a total order too
+        // (NaN-typed literals would otherwise break transitivity).
+        (Some(x), Some(y)) => x.total_cmp(&y),
         _ => format!("{a:?}").cmp(&format!("{b:?}")),
     }
 }
@@ -564,7 +967,8 @@ fn agg_value(
             }
         }
         AggFunc::Min | AggFunc::Max => {
-            let mut best: Option<(u64, (u8, f64, String))> = None;
+            // MIN/MAX share the executor's total OrderKey ordering.
+            let mut best: Option<(u64, OrderKey)> = None;
             for r in members {
                 if let Some(id) = vi.and_then(|i| r[i]) {
                     let k = order_key(store, id);
@@ -1054,6 +1458,181 @@ mod tests {
             let plan = crate::plan::plan(&st, &q).unwrap();
             let streamed = SolutionStream::new(&st, &plan, t).unwrap().collect();
             assert_eq!(streamed, collected, "t={t}");
+        }
+    }
+
+    /// A store whose ORDER BY column mixes every OrderKey rank with
+    /// heavy duplication: integers mod 7, floats (including a NaN-typed
+    /// double, reachable because `decode_non_geometry` parses "NaN"),
+    /// dates, strings from a tiny alphabet, and IRIs. Some subjects have
+    /// no value at all (unbound keys via OPTIONAL).
+    fn topk_corpus_store() -> TripleStore {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let val = e("val");
+        let tag = e("tag");
+        let mut rng: u64 = 7;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as u32
+        };
+        for i in 0..400u32 {
+            let s = e(&format!("s{i}"));
+            st.insert(&s, &tag, &e("thing"));
+            let t = match next() % 6 {
+                0 => Term::integer((next() % 7) as i64),
+                1 => Term::double((next() % 5) as f64 / 2.0),
+                2 => Term::Literal {
+                    lexical: "NaN".into(),
+                    datatype: crate::term::XSD_DOUBLE.into(),
+                },
+                3 => Term::Literal {
+                    lexical: format!("2017-0{}-01", 1 + next() % 9),
+                    datatype: crate::term::XSD_DATE.into(),
+                },
+                4 => Term::string(format!("s{}", next() % 4)),
+                _ => e(&format!("iri{}", next() % 3)),
+            };
+            if next() % 8 != 0 {
+                st.insert(&s, &val, &t);
+            }
+        }
+        st
+    }
+
+    /// Tentpole identity: for every (k, offset, direction, thread count)
+    /// the bounded-heap top-k path, the forced full-sort baseline and the
+    /// batch-at-a-time streamed drain produce the same rows — across
+    /// dup-heavy keys, NaN doubles, mixed literal types, unbound keys,
+    /// OFFSET > 0 and k ≥ n.
+    #[test]
+    fn topk_equals_full_sort_equals_streamed() {
+        let st = topk_corpus_store();
+        let queries = [
+            "PREFIX e: <http://e/> SELECT ?s ?v WHERE { ?s e:val ?v } ORDER BY ?v LIMIT {K} OFFSET {O}",
+            "PREFIX e: <http://e/> SELECT ?s ?v WHERE { ?s e:val ?v } ORDER BY DESC(?v) LIMIT {K} OFFSET {O}",
+            // Unbound keys: OPTIONAL rows sort first ascending.
+            "PREFIX e: <http://e/> SELECT ?s ?v WHERE { ?s e:tag e:thing . OPTIONAL { ?s e:val ?v } } ORDER BY ?v LIMIT {K} OFFSET {O}",
+        ];
+        for template in queries {
+            for (k, o) in [(0usize, 0usize), (1, 0), (3, 5), (10, 0), (50, 17), (400, 0), (1000, 3)] {
+                let q_text = template
+                    .replace("{K}", &k.to_string())
+                    .replace("{O}", &o.to_string());
+                let q = crate::parser::parse_query(&q_text).unwrap();
+                let plan = crate::plan::plan(&st, &q).unwrap();
+                assert_eq!(plan.fast_path(), crate::plan::FastPath::TopK, "{q_text}");
+                for t in [1usize, 4] {
+                    let fast = execute_plan(&st, &plan, t).unwrap();
+                    let slow = execute_plan_baseline(&st, &plan, t).unwrap();
+                    assert_eq!(fast, slow, "t={t} k={k} o={o}: heap != full sort: {q_text}");
+                    let mut stream = SolutionStream::new(&st, &plan, t).unwrap();
+                    let mut rows = Vec::new();
+                    while let Some(b) = stream.next_batch() {
+                        rows.extend(b);
+                    }
+                    assert_eq!(rows, fast.rows, "t={t} k={k} o={o}: streamed != heap: {q_text}");
+                    assert!(fast.rows.len() <= k, "LIMIT respected");
+                }
+            }
+        }
+    }
+
+    /// The count fast paths (COUNT without GROUP BY, all-COUNT GROUP BY)
+    /// are bit-identical to the generic materialise-then-group aggregate,
+    /// including the zero-input-rows edge (empty result, not a 0 row).
+    #[test]
+    fn count_fast_paths_match_generic_aggregate() {
+        let st = parallel_corpus_store();
+        let cases = [
+            ("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s e:near ?t }", crate::plan::FastPath::FastCount),
+            ("PREFIX e: <http://e/> SELECT (COUNT(?n) AS ?c) WHERE { ?s e:class e:crop . OPTIONAL { ?s e:name ?n } }", crate::plan::FastPath::FastCount),
+            // Zero join rows: both paths yield an empty result set.
+            ("PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s e:nosuch ?g }", crate::plan::FastPath::FastCount),
+            ("PREFIX e: <http://e/> SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s e:class ?c . ?s e:near ?t } GROUP BY ?c ORDER BY ?c", crate::plan::FastPath::GroupCount),
+            ("PREFIX e: <http://e/> SELECT ?c (COUNT(*) AS ?all) (COUNT(?n) AS ?named) WHERE { ?s e:class ?c . OPTIONAL { ?s e:name ?n } } GROUP BY ?c", crate::plan::FastPath::GroupCount),
+            ("PREFIX e: <http://e/> SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s e:nosuch ?c } GROUP BY ?c", crate::plan::FastPath::GroupCount),
+            // Non-count aggregates stay generic and still agree.
+            ("PREFIX e: <http://e/> SELECT (SUM(?s) AS ?n) WHERE { ?s e:near ?t }", crate::plan::FastPath::Aggregate),
+        ];
+        for (q_text, want_route) in cases {
+            let q = crate::parser::parse_query(q_text).unwrap();
+            let plan = crate::plan::plan(&st, &q).unwrap();
+            assert_eq!(plan.fast_path(), want_route, "{q_text}");
+            for t in [1usize, 4] {
+                let fast = execute_plan(&st, &plan, t).unwrap();
+                let slow = execute_plan_baseline(&st, &plan, t).unwrap();
+                assert_eq!(fast, slow, "t={t}: {q_text}");
+            }
+        }
+    }
+
+    /// COUNT(*) on the fast path never materialises terms and keeps the
+    /// pipeline's O(batch) resident bound instead of draining the whole
+    /// row set like the generic aggregate.
+    #[test]
+    fn fast_count_keeps_pipeline_memory_bound() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let near = e("near");
+        for i in 0..10_000u32 {
+            st.insert(&e(&format!("s{i}")), &near, &e(&format!("s{}", (i + 1) % 10_000)));
+        }
+        let q = crate::parser::parse_query(
+            "PREFIX e: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s e:near ?t }",
+        )
+        .unwrap();
+        let plan = crate::plan::plan(&st, &q).unwrap();
+        let bound = (8 * STREAM_BATCH_ROWS) as u64;
+        for t in [1usize, 4] {
+            let mut fast = stream_plan(&st, &plan, t).unwrap();
+            let rows = fast.next_batch(&st).unwrap();
+            assert_eq!(rows[0][0], Some(Term::integer(10_000)));
+            assert!(
+                fast.peak_resident_rows() <= bound,
+                "t={t}: fast count kept {} rows resident",
+                fast.peak_resident_rows()
+            );
+            let mut slow = stream_plan_opts(&st, Arc::new(plan.clone()), t, false).unwrap();
+            let srows = slow.next_batch(&st).unwrap();
+            assert_eq!(srows, rows);
+            assert_eq!(slow.peak_resident_rows(), 10_000, "generic path drains all");
+        }
+    }
+
+    /// The bounded heap's memory win, observable at test scale: draining
+    /// 10k rows through ORDER BY + LIMIT 5 keeps O(batch + k) resident
+    /// where the full sort holds all 10k.
+    #[test]
+    fn topk_keeps_bounded_resident_rows() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let score = e("score");
+        let mut rng: u64 = 99;
+        for i in 0..10_000u32 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            st.insert(
+                &e(&format!("s{i}")),
+                &score,
+                &Term::integer((rng >> 33) as i64 % 1000),
+            );
+        }
+        let q = crate::parser::parse_query(
+            "PREFIX e: <http://e/> SELECT ?s ?v WHERE { ?s e:score ?v } ORDER BY DESC(?v) LIMIT 5",
+        )
+        .unwrap();
+        let plan = crate::plan::plan(&st, &q).unwrap();
+        for t in [1usize, 4] {
+            let fast = stream_plan(&st, &plan, t).unwrap();
+            let slow = stream_plan_opts(&st, Arc::new(plan.clone()), t, false).unwrap();
+            assert!(
+                fast.peak_resident_rows() <= (2 * TOPK_PULL_ROWS) as u64,
+                "t={t}: top-k kept {} rows resident",
+                fast.peak_resident_rows()
+            );
+            assert_eq!(slow.peak_resident_rows(), 10_000, "full sort drains all");
+            assert_eq!(
+                collect_core(&st, fast).rows,
+                collect_core(&st, slow).rows,
+                "t={t}"
+            );
         }
     }
 

@@ -21,12 +21,65 @@
 //! concurrently from many worker threads.
 
 use crate::expr::{collect_const_geometries, spatial_pushdown, Expr};
-use crate::parser::{PatternTerm, Query, SelectItem, TriplePattern};
+use crate::parser::{AggFunc, PatternTerm, Query, SelectItem, TriplePattern};
 use crate::store::TripleStore;
 use crate::term::Term;
 use crate::RdfError;
 use ee_geo::{Envelope, Geometry};
 use std::collections::HashMap;
+
+/// The executor route a plan takes, decided purely from the plan shape
+/// (never from store contents or thread count, so routing is stable
+/// across replans and deterministic for tests and metrics).
+///
+/// The first four kinds are the interesting ones for the
+/// `ee_rdf_fastpath_total{kind}` counter; `Aggregate` and `Stream` are
+/// the generic routes that predate the fast paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FastPath {
+    /// `ORDER BY ?v LIMIT k` (± OFFSET), no DISTINCT, no aggregation:
+    /// bounded max-heap of size `k + offset` fed by the pipeline.
+    TopK,
+    /// `COUNT(*)` / `COUNT(?v)` as the sole SELECT item, no GROUP BY:
+    /// rows are counted in the pipeline without materialising terms.
+    FastCount,
+    /// GROUP BY where every aggregate is a COUNT: one-pass id-keyed
+    /// counter table instead of materialise-then-group row vectors.
+    GroupCount,
+    /// ORDER BY without a usable LIMIT (or with DISTINCT): global sort
+    /// with precomputed keys (decorate–sort–undecorate).
+    FullSort,
+    /// Generic grouping/aggregation (SUM/AVG/MIN/MAX, or shapes the
+    /// count fast paths cannot reproduce exactly).
+    Aggregate,
+    /// The fully pipelined non-aggregate, non-ORDER path.
+    Stream,
+}
+
+impl FastPath {
+    /// Every variant, in metric-rendering order.
+    pub const ALL: [FastPath; 6] = [
+        FastPath::TopK,
+        FastPath::FastCount,
+        FastPath::GroupCount,
+        FastPath::FullSort,
+        FastPath::Aggregate,
+        FastPath::Stream,
+    ];
+
+    /// Stable label for metrics (`ee_rdf_fastpath_total{kind="..."}`)
+    /// and [`Plan::describe`].
+    pub fn label(self) -> &'static str {
+        match self {
+            FastPath::TopK => "topk",
+            FastPath::FastCount => "fast_count",
+            FastPath::GroupCount => "group_count",
+            FastPath::FullSort => "full_sort",
+            FastPath::Aggregate => "aggregate",
+            FastPath::Stream => "stream",
+        }
+    }
+}
 
 /// A triple-pattern position with the variable resolved to a column and
 /// (for physical plans) the constant resolved to a dictionary id.
@@ -468,6 +521,52 @@ impl Plan {
             .map(|(i, asc)| (self.vars[i].as_str(), asc))
     }
 
+    /// Which executor route this plan takes (see [`FastPath`]). A pure
+    /// function of the plan shape: the executor and the serving tier's
+    /// `ee_rdf_fastpath_total{kind}` counter call this and always agree.
+    ///
+    /// Count fast paths additionally require every aggregated variable to
+    /// resolve in the variable table: an unknown `COUNT(?ghost)` stays on
+    /// the generic path, which reproduces the historical semantics of
+    /// erroring only when at least one group exists.
+    pub fn fast_path(&self) -> FastPath {
+        if self.has_agg || !self.group_by.is_empty() {
+            let resolvable = |var: &Option<String>| match var {
+                None => true,
+                Some(v) => self.vars.iter().any(|x| x == v),
+            };
+            if self.group_by.is_empty() {
+                if let [SelectItem::Agg { func: AggFunc::Count, var, .. }] =
+                    self.select.as_slice()
+                {
+                    if resolvable(var) {
+                        return FastPath::FastCount;
+                    }
+                }
+                return FastPath::Aggregate;
+            }
+            let all_count = self.has_agg
+                && self.select.iter().all(|item| match item {
+                    SelectItem::Var(_) => true,
+                    SelectItem::Agg { func: AggFunc::Count, var, .. } => resolvable(var),
+                    SelectItem::Agg { .. } => false,
+                });
+            if all_count {
+                FastPath::GroupCount
+            } else {
+                FastPath::Aggregate
+            }
+        } else if self.order_by.is_some() {
+            if self.limit.is_some() && !self.distinct {
+                FastPath::TopK
+            } else {
+                FastPath::FullSort
+            }
+        } else {
+            FastPath::Stream
+        }
+    }
+
     /// A stable human-readable rendering of the chosen plan, for
     /// inspection and snapshot tests. Deliberately excludes anything that
     /// varies with store content beyond the join order itself (no
@@ -526,6 +625,13 @@ impl Plan {
         }
         if let Some(o) = self.offset {
             s.push_str(&format!("offset {o}\n"));
+        }
+        // The routing decision, for non-default routes only: the plain
+        // pipelined path stays unannotated so historical plan snapshots
+        // keep their shape.
+        let fp = self.fast_path();
+        if fp != FastPath::Stream {
+            s.push_str(&format!("fastpath: {}\n", fp.label()));
         }
         s
     }
@@ -602,7 +708,8 @@ mod tests {
             "join order:\n\
              \x20 0: ?s <http://e/hasGeometry> ?g [pushdown ?g]\n\
              filter 0 on ?g after step 0\n\
-             aggregate\n"
+             aggregate\n\
+             fastpath: fast_count\n"
         );
         assert!(p.region.is_some());
         assert_eq!(p.candidates.len(), 1);
@@ -651,6 +758,97 @@ mod tests {
         assert!(p.candidates.is_empty());
         assert!(!p.impossible);
         assert_eq!(p.projection.len(), 2);
+    }
+
+    #[test]
+    fn fast_path_routing_covers_every_shape() {
+        let st = store();
+        let route = |q_text: &str| {
+            let q = parse_query(q_text).unwrap();
+            plan(&st, &q).unwrap().fast_path()
+        };
+        let cases = [
+            // ORDER BY + LIMIT without DISTINCT: bounded heap.
+            (
+                "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n } ORDER BY ?n LIMIT 2",
+                FastPath::TopK,
+            ),
+            // OFFSET rides along with the heap (k + offset resident rows).
+            (
+                "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n } ORDER BY DESC(?n) LIMIT 2 OFFSET 1",
+                FastPath::TopK,
+            ),
+            // DISTINCT dedups after the sort — the heap would under-produce.
+            (
+                "PREFIX e: <http://e/> SELECT DISTINCT ?n WHERE { ?x e:name ?n } ORDER BY ?n LIMIT 2",
+                FastPath::FullSort,
+            ),
+            // No LIMIT: nothing to bound.
+            (
+                "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n } ORDER BY ?n",
+                FastPath::FullSort,
+            ),
+            ("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }", FastPath::FastCount),
+            (
+                "PREFIX e: <http://e/> SELECT (COUNT(?y) AS ?n) WHERE { ?x e:knows ?y }",
+                FastPath::FastCount,
+            ),
+            // Non-count aggregate: generic path.
+            (
+                "PREFIX e: <http://e/> SELECT (MIN(?n) AS ?lo) WHERE { ?x e:name ?n }",
+                FastPath::Aggregate,
+            ),
+            (
+                "PREFIX e: <http://e/> SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x e:knows ?y } GROUP BY ?x",
+                FastPath::GroupCount,
+            ),
+            // Grouped non-count aggregate: generic path.
+            (
+                "PREFIX e: <http://e/> SELECT ?x (MIN(?y) AS ?lo) WHERE { ?x e:knows ?y } GROUP BY ?x",
+                FastPath::Aggregate,
+            ),
+            (
+                "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n } LIMIT 2",
+                FastPath::Stream,
+            ),
+        ];
+        for (q_text, want) in cases {
+            assert_eq!(route(q_text), want, "{q_text}");
+        }
+        // Labels are stable — the metrics contract.
+        assert_eq!(FastPath::TopK.label(), "topk");
+        assert_eq!(FastPath::ALL.len(), 6);
+        let mut labels: Vec<&str> = FastPath::ALL.iter().map(|f| f.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 6, "labels are distinct");
+    }
+
+    #[test]
+    fn describe_names_the_chosen_fast_path() {
+        let st = store();
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n } ORDER BY ?n LIMIT 2 OFFSET 1",
+        )
+        .unwrap();
+        let d = plan(&st, &q).unwrap().describe();
+        assert!(d.ends_with("fastpath: topk\n"), "{d}");
+        // The plain pipelined route stays unannotated.
+        let q = parse_query("PREFIX e: <http://e/> SELECT ?n WHERE { ?x e:name ?n }").unwrap();
+        let d = plan(&st, &q).unwrap().describe();
+        assert!(!d.contains("fastpath"), "{d}");
+    }
+
+    #[test]
+    fn unresolvable_count_var_stays_on_generic_path() {
+        // COUNT over a variable the query never binds must keep the
+        // historical semantics (error only when a group exists), so it
+        // routes to the generic aggregate path.
+        let st = store();
+        let q = parse_query(
+            "PREFIX e: <http://e/> SELECT (COUNT(?ghost) AS ?n) WHERE { ?x e:name ?m }",
+        )
+        .unwrap();
+        assert_eq!(plan(&st, &q).unwrap().fast_path(), FastPath::Aggregate);
     }
 
     #[test]

@@ -145,6 +145,46 @@ impl Route {
     }
 }
 
+/// Append one Prometheus histogram family to `out`: a `# HELP`/`# TYPE`
+/// header, then per-series cumulative buckets plus `_sum`/`_count` lines
+/// labelled `{label_name="<series>"}`. Series with no samples are
+/// skipped (their label would otherwise add dead cardinality), and empty
+/// buckets are elided except the final `+Inf`-equivalent one, matching
+/// what [`Metrics::render_prometheus`] always emitted.
+pub fn render_histogram_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_name: &str,
+    series: impl IntoIterator<Item = (&'a str, &'a Histogram)>,
+) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} histogram\n"
+    ));
+    for (label, h) in series {
+        if h.count() == 0 {
+            continue;
+        }
+        let snap = h.snapshot();
+        let mut cum = 0u64;
+        for (i, c) in snap.iter().enumerate() {
+            cum += c;
+            if *c > 0 || i == BUCKETS - 1 {
+                out.push_str(&format!(
+                    "{name}_bucket{{{label_name}=\"{label}\",le=\"{}\"}} {cum}\n",
+                    Histogram::bucket_bound(i),
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{name}_sum{{{label_name}=\"{label}\"}} {}\n\
+             {name}_count{{{label_name}=\"{label}\"}} {}\n",
+            h.sum_us(),
+            h.count()
+        ));
+    }
+}
+
 /// All serving-tier metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -332,68 +372,20 @@ impl Metrics {
                 self.route_requests(r)
             ));
         }
-        out.push_str(
-            "# HELP ee_serve_latency_us Request latency histogram (µs)\n\
-             # TYPE ee_serve_latency_us histogram\n",
+        render_histogram_family(
+            &mut out,
+            "ee_serve_latency_us",
+            "Request latency histogram (µs)",
+            "route",
+            ROUTES.iter().map(|&r| (r.label(), self.route_latency(r))),
         );
-        for r in ROUTES {
-            let h = self.route_latency(r);
-            if h.count() == 0 {
-                continue;
-            }
-            let snap = h.snapshot();
-            let mut cum = 0u64;
-            for (i, c) in snap.iter().enumerate() {
-                cum += c;
-                if *c > 0 || i == BUCKETS - 1 {
-                    out.push_str(&format!(
-                        "ee_serve_latency_us_bucket{{route=\"{}\",le=\"{}\"}} {}\n",
-                        r.label(),
-                        Histogram::bucket_bound(i),
-                        cum
-                    ));
-                }
-            }
-            out.push_str(&format!(
-                "ee_serve_latency_us_sum{{route=\"{}\"}} {}\n\
-                 ee_serve_latency_us_count{{route=\"{}\"}} {}\n",
-                r.label(),
-                h.sum_us(),
-                r.label(),
-                h.count()
-            ));
-        }
-        out.push_str(
-            "# HELP ee_serve_ttfb_us Time to first body byte histogram (µs)\n\
-             # TYPE ee_serve_ttfb_us histogram\n",
+        render_histogram_family(
+            &mut out,
+            "ee_serve_ttfb_us",
+            "Time to first body byte histogram (µs)",
+            "route",
+            ROUTES.iter().map(|&r| (r.label(), self.route_ttfb(r))),
         );
-        for r in ROUTES {
-            let h = self.route_ttfb(r);
-            if h.count() == 0 {
-                continue;
-            }
-            let snap = h.snapshot();
-            let mut cum = 0u64;
-            for (i, c) in snap.iter().enumerate() {
-                cum += c;
-                if *c > 0 || i == BUCKETS - 1 {
-                    out.push_str(&format!(
-                        "ee_serve_ttfb_us_bucket{{route=\"{}\",le=\"{}\"}} {}\n",
-                        r.label(),
-                        Histogram::bucket_bound(i),
-                        cum
-                    ));
-                }
-            }
-            out.push_str(&format!(
-                "ee_serve_ttfb_us_sum{{route=\"{}\"}} {}\n\
-                 ee_serve_ttfb_us_count{{route=\"{}\"}} {}\n",
-                r.label(),
-                h.sum_us(),
-                r.label(),
-                h.count()
-            ));
-        }
         out
     }
 }

@@ -248,9 +248,51 @@ fn term_json(t: Option<&Term>) -> Json {
     }
 }
 
-/// `/catalogue/search` — AOI search. Parameters: `minx,miny,maxx,maxy`
-/// (AOI), `mode=classic|semantic`, `limit` (classic result cap).
+/// `/catalogue/search` — product search. Parameters: `mode=classic|
+/// semantic|ranked`. The classic and semantic arms take an AOI
+/// (`minx,miny,maxx,maxy`) and, for classic, `limit` (result cap); the
+/// ranked arm takes free text `q` (required) and `k` (result cap,
+/// default 10) and answers with BM25 score-ordered products. Handler
+/// latency is recorded per mode, so `/metrics` exposes classic vs
+/// ranked p50 side by side.
 fn handle_catalogue(state: &AppState, req: &Request) -> Response {
+    let t0 = Instant::now();
+    let mode = req.param("mode").unwrap_or("classic");
+    let resp = catalogue_by_mode(state, req, mode);
+    if resp.status == 200 {
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        state.record_catalogue_mode(mode, us);
+    }
+    resp
+}
+
+/// The mode dispatch of `/catalogue/search` (split out so the wrapper
+/// can time every arm uniformly).
+fn catalogue_by_mode(state: &AppState, req: &Request, mode: &str) -> Response {
+    if mode == "ranked" {
+        let Some(q) = req.param("q").filter(|q| !q.trim().is_empty()) else {
+            return Response::error(400, "mode=ranked needs a non-empty q= query");
+        };
+        let k = req.param_or("k", 10usize).min(1000);
+        let hits = state.ranked_search(q, k);
+        let results: Vec<Json> = hits
+            .iter()
+            .map(|(score, p)| {
+                Json::obj(vec![
+                    ("score", Json::Num(*score)),
+                    ("product", p.to_json()),
+                ])
+            })
+            .collect();
+        return Json::obj(vec![
+            ("mode", Json::Str("ranked".into())),
+            ("query", Json::Str(q.to_string())),
+            ("count", Json::Num(results.len() as f64)),
+            ("indexed", Json::Num(state.bm25.len() as f64)),
+            ("results", Json::Arr(results)),
+        ])
+        .pipe_json();
+    }
     let minx: f64 = req.param_or("minx", 10.0);
     let miny: f64 = req.param_or("miny", 10.0);
     let maxx = req.param_or("maxx", minx + 2.0);
@@ -259,7 +301,7 @@ fn handle_catalogue(state: &AppState, req: &Request) -> Response {
         return Response::error(400, "need finite minx,miny < maxx,maxy");
     }
     let aoi = Envelope::new(minx, miny, maxx, maxy);
-    match req.param("mode").unwrap_or("classic") {
+    match mode {
         "classic" => match state.classic_search(aoi) {
             Ok(hits) => {
                 let limit = req.param_or("limit", 50usize);
@@ -618,6 +660,81 @@ mod tests {
             sv.get("count").and_then(Json::as_f64),
             "both catalogue arms count the same products"
         );
+    }
+
+    #[test]
+    fn catalogue_route_ranked_mode_orders_by_score() {
+        let resp = ready(dispatch(
+            state(),
+            &get("/catalogue/search?mode=ranked&q=sentinel-2%20surface%20reflectance%20clear&k=5"),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(resp.status, 200);
+        let v = ee_util::json::parse(std::str::from_utf8(&body_of(resp)).unwrap()).unwrap();
+        assert_eq!(v.get("mode").and_then(Json::as_str), Some("ranked"));
+        let results = v.get("results").and_then(Json::as_arr).unwrap();
+        assert!(!results.is_empty() && results.len() <= 5);
+        let scores: Vec<f64> = results
+            .iter()
+            .map(|r| r.get("score").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "scores descend: {scores:?}"
+        );
+        // Every hit matches the query's strongest constraint: the
+        // level-2a surface-reflectance vocabulary only appears on MSIL2A.
+        for r in results {
+            let pt = r
+                .get("product")
+                .and_then(|p| p.get("product_type"))
+                .and_then(Json::as_str)
+                .unwrap();
+            assert_eq!(pt, "MSIL2A", "surface-reflectance terms rank MSIL2A first");
+        }
+        // Missing or empty q is a 400, not a panic or an empty 200.
+        for target in [
+            "/catalogue/search?mode=ranked",
+            "/catalogue/search?mode=ranked&q=%20",
+        ] {
+            assert_eq!(ready(dispatch(state(), &get(target), far_deadline(), false)).status, 400);
+        }
+        // Unknown modes still 400.
+        assert_eq!(
+            ready(dispatch(state(), &get("/catalogue/search?mode=psychic"), far_deadline(), false)).status,
+            400
+        );
+    }
+
+    #[test]
+    fn catalogue_modes_record_latency_metrics() {
+        let s = Arc::new(AppState::build(DataConfig::tiny()));
+        let classic = ready(dispatch(
+            &s,
+            &get("/catalogue/search?minx=5&miny=5&maxx=12&maxy=12"),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(classic.status, 200);
+        let ranked = ready(dispatch(
+            &s,
+            &get("/catalogue/search?mode=ranked&q=radar"),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(ranked.status, 200);
+        assert_eq!(s.catalogue_mode_latency("classic").unwrap().count(), 1);
+        assert_eq!(s.catalogue_mode_latency("ranked").unwrap().count(), 1);
+        assert_eq!(s.catalogue_mode_latency("semantic").unwrap().count(), 0);
+        // The 400 arm records nothing.
+        let bad = ready(dispatch(&s, &get("/catalogue/search?mode=ranked"), far_deadline(), false));
+        assert_eq!(bad.status, 400);
+        assert_eq!(s.catalogue_mode_latency("ranked").unwrap().count(), 1);
+        let section = s.render_prometheus_section();
+        assert!(section.contains("ee_serve_catalogue_mode_requests_total{mode=\"classic\"} 1"));
+        assert!(section.contains("ee_serve_catalogue_mode_requests_total{mode=\"ranked\"} 1"));
+        assert!(section.contains("ee_serve_catalogue_mode_latency_us_count{mode=\"ranked\"} 1"));
     }
 
     #[test]

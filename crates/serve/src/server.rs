@@ -311,7 +311,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                     shared.cache.misses(),
                     shared.cache.len(),
                     shared.state.plan_cache_stats(),
-                ),
+                ) + &shared.state.render_prometheus_section(),
             )
         } else {
             let key = cache_key(&req);

@@ -14,8 +14,9 @@
 //!
 //! Everything is deterministic from [`DataConfig::seed`].
 
+use crate::metrics::{render_histogram_family, Histogram};
 use ee_catalogue::classic::Search;
-use ee_catalogue::{ClassicCatalogue, ProductGenerator, SemanticCatalogue};
+use ee_catalogue::{Bm25Index, ClassicCatalogue, ProductGenerator, SemanticCatalogue};
 use ee_datasets::landscape::{Landscape, LandscapeConfig};
 use ee_datasets::optics::{simulate_s2, OpticsConfig};
 use ee_datasets::seaice::{IceWorld, IceWorldConfig};
@@ -24,6 +25,7 @@ use ee_polar::icemap::{products_from_map, truth_masks, IceProducts};
 use ee_raster::scene::Band;
 use ee_raster::tile::pyramid;
 use ee_raster::Raster;
+use ee_rdf::plan::FastPath;
 use ee_rdf::store::IndexMode;
 use ee_rdf::term::Term;
 use ee_rdf::TripleStore;
@@ -39,6 +41,10 @@ pub const REGION: f64 = 100.0;
 
 /// Ice regions served by `/ice/{region}`.
 pub const ICE_REGIONS: [&str; 3] = ["fram-strait", "norske-oer", "baffin-bay"];
+
+/// The `/catalogue/search` modes tracked separately in the per-mode
+/// latency metrics (`mode=` parameter values, fixed cardinality).
+pub const CATALOGUE_MODES: [&str; 3] = ["classic", "semantic", "ranked"];
 
 /// Sizing knobs for the engines behind the routes.
 #[derive(Debug, Clone)]
@@ -95,6 +101,10 @@ pub struct AppState {
     pub classic: ClassicCatalogue,
     /// GeoSPARQL catalogue over the same archive (the semantic arm).
     pub semantic: SemanticCatalogue,
+    /// BM25 inverted index over the same archive's
+    /// [`ee_catalogue::Product::search_text`] documents (the ranked
+    /// arm); hit doc ids index [`ClassicCatalogue::products`].
+    pub bm25: Bm25Index,
     /// Overview pyramid, level 0 = full resolution.
     pub pyramid: Vec<Raster<f32>>,
     /// Tile side for `/tiles`.
@@ -110,6 +120,14 @@ pub struct AppState {
     plan_hits: AtomicU64,
     /// Plan-cache misses (reported by `/metrics`).
     plan_misses: AtomicU64,
+    /// Executions per [`FastPath`] kind, indexed by position in
+    /// [`FastPath::ALL`] (rendered as `ee_rdf_fastpath_total{kind}`).
+    fastpath: [AtomicU64; FastPath::ALL.len()],
+    /// Requests per `/catalogue/search` mode, indexed by position in
+    /// [`CATALOGUE_MODES`].
+    catalogue_mode_requests: [AtomicU64; CATALOGUE_MODES.len()],
+    /// Handler latency per `/catalogue/search` mode, same indexing.
+    catalogue_mode_latency: [Histogram; CATALOGUE_MODES.len()],
 }
 
 impl AppState {
@@ -122,6 +140,7 @@ impl AppState {
         let products =
             ProductGenerator::new(region, 2017, config.seed ^ 5).take(config.products);
         let classic = ClassicCatalogue::build(products.clone());
+        let bm25 = Bm25Index::build_products(classic.products());
         let mut semantic = SemanticCatalogue::new();
         for p in &products {
             semantic.ingest_product(p);
@@ -169,6 +188,7 @@ impl AppState {
             store,
             classic,
             semantic,
+            bm25,
             pyramid,
             tile_size,
             ice,
@@ -176,7 +196,103 @@ impl AppState {
             plans: Mutex::new(HashMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            fastpath: std::array::from_fn(|_| AtomicU64::new(0)),
+            catalogue_mode_requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            catalogue_mode_latency: std::array::from_fn(|_| Histogram::new()),
         }
+    }
+
+    /// Count one execution of `plan`'s chosen fast path (both the
+    /// collecting and streaming `/query` arms call this, so the
+    /// `ee_rdf_fastpath_total{kind}` counters cover every execution).
+    fn note_fastpath(&self, plan: &ee_rdf::plan::Plan) {
+        let route = plan.fast_path();
+        let i = FastPath::ALL
+            .iter()
+            .position(|f| *f == route)
+            .expect("every FastPath is in ALL");
+        self.fastpath[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Executions recorded for one fast-path kind.
+    pub fn fastpath_count(&self, kind: FastPath) -> u64 {
+        let i = FastPath::ALL
+            .iter()
+            .position(|f| *f == kind)
+            .expect("every FastPath is in ALL");
+        self.fastpath[i].load(Ordering::Relaxed)
+    }
+
+    /// Record one `/catalogue/search` request on `mode` with its handler
+    /// latency. Unknown modes (the 400 arm) are not recorded — the label
+    /// set stays fixed at [`CATALOGUE_MODES`].
+    pub fn record_catalogue_mode(&self, mode: &str, latency_us: u64) {
+        if let Some(i) = CATALOGUE_MODES.iter().position(|m| *m == mode) {
+            self.catalogue_mode_requests[i].fetch_add(1, Ordering::Relaxed);
+            self.catalogue_mode_latency[i].record_us(latency_us);
+        }
+    }
+
+    /// Latency histogram of one catalogue mode (`None` for labels
+    /// outside [`CATALOGUE_MODES`]).
+    pub fn catalogue_mode_latency(&self, mode: &str) -> Option<&Histogram> {
+        CATALOGUE_MODES
+            .iter()
+            .position(|m| *m == mode)
+            .map(|i| &self.catalogue_mode_latency[i])
+    }
+
+    /// BM25-ranked catalogue search: top-`k` products by score for a
+    /// free-text query, best first. Doc ids from the index resolve
+    /// through [`ClassicCatalogue::products`] (same build order).
+    pub fn ranked_search(&self, query: &str, k: usize) -> Vec<(f64, &ee_catalogue::Product)> {
+        let products = self.classic.products();
+        self.bm25
+            .search(query, k)
+            .into_iter()
+            .map(|h| (h.score, &products[h.doc as usize]))
+            .collect()
+    }
+
+    /// The state-owned slice of `/metrics`: fast-path execution counters
+    /// and per-catalogue-mode request counts + latency histograms. The
+    /// server appends this to [`crate::metrics::Metrics::render_prometheus`]'s
+    /// output, keeping engine-level counters next to the engines they
+    /// describe.
+    pub fn render_prometheus_section(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(
+            "# HELP ee_rdf_fastpath_total Query executions per executor fast path\n\
+             # TYPE ee_rdf_fastpath_total counter\n",
+        );
+        for (i, kind) in FastPath::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "ee_rdf_fastpath_total{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                self.fastpath[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP ee_serve_catalogue_mode_requests_total Catalogue searches per mode\n\
+             # TYPE ee_serve_catalogue_mode_requests_total counter\n",
+        );
+        for (i, mode) in CATALOGUE_MODES.iter().enumerate() {
+            out.push_str(&format!(
+                "ee_serve_catalogue_mode_requests_total{{mode=\"{mode}\"}} {}\n",
+                self.catalogue_mode_requests[i].load(Ordering::Relaxed)
+            ));
+        }
+        render_histogram_family(
+            &mut out,
+            "ee_serve_catalogue_mode_latency_us",
+            "Catalogue search handler latency per mode (µs)",
+            "mode",
+            CATALOGUE_MODES
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (*m, &self.catalogue_mode_latency[i])),
+        );
+        out
     }
 
     /// Resolve a SPARQL text to a prepared plan: the text is
@@ -214,6 +330,7 @@ impl AppState {
         sparql: &str,
     ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
         let plan = self.prepared_plan(sparql)?;
+        self.note_fastpath(&plan);
         ee_rdf::exec::execute_plan(&self.store, &plan, ee_util::par::available_threads())
     }
 
@@ -229,6 +346,7 @@ impl AppState {
         sparql: &str,
     ) -> Result<ee_rdf::exec::StreamCore, ee_rdf::RdfError> {
         let plan = self.prepared_plan(sparql)?;
+        self.note_fastpath(&plan);
         ee_rdf::exec::stream_plan_shared(&self.store, plan, ee_util::par::available_threads())
     }
 
@@ -309,6 +427,54 @@ mod tests {
         let b = AppState::build(DataConfig::tiny());
         assert_eq!(a.store.len(), b.store.len());
         assert_eq!(a.pyramid[2], b.pyramid[2]);
+    }
+
+    #[test]
+    fn fastpath_counters_track_query_shapes() {
+        let state = AppState::build(DataConfig::tiny());
+        // COUNT without GROUP BY → fast_count (twice: collect + stream).
+        let count_q =
+            "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g }";
+        state.prepared_query(count_q).expect("count query");
+        state.prepared_query_stream(count_q).expect("count stream");
+        // ORDER BY + LIMIT → topk.
+        state
+            .prepared_query(
+                "PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:hasGeometry ?g } \
+                 ORDER BY ?s LIMIT 3",
+            )
+            .expect("topk query");
+        // Plain projection → stream.
+        state
+            .prepared_query("PREFIX e: <http://e/> SELECT ?s WHERE { ?s e:hasGeometry ?g }")
+            .expect("stream query");
+        assert_eq!(state.fastpath_count(FastPath::FastCount), 2);
+        assert_eq!(state.fastpath_count(FastPath::TopK), 1);
+        assert_eq!(state.fastpath_count(FastPath::Stream), 1);
+        assert_eq!(state.fastpath_count(FastPath::FullSort), 0);
+        let section = state.render_prometheus_section();
+        assert!(section.contains("ee_rdf_fastpath_total{kind=\"fast_count\"} 2"));
+        assert!(section.contains("ee_rdf_fastpath_total{kind=\"topk\"} 1"));
+        assert!(section.contains("ee_rdf_fastpath_total{kind=\"group_count\"} 0"));
+        // Prometheus text shape: every non-comment line is `name value`.
+        for line in section.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn ranked_search_resolves_products_in_score_order() {
+        let state = AppState::build(DataConfig::tiny());
+        assert_eq!(state.bm25.len(), state.classic.len());
+        let hits = state.ranked_search("radar ground range detected", 7);
+        assert!(!hits.is_empty() && hits.len() <= 7);
+        assert!(
+            hits.windows(2).all(|w| w[0].0 >= w[1].0),
+            "descending scores"
+        );
+        for (_, p) in &hits {
+            assert_eq!(p.mission, "S1", "radar vocabulary only matches Sentinel-1");
+        }
     }
 
     #[test]

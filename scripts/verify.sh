@@ -3,8 +3,9 @@
 # network access, lint with clippy as errors, then smoke-run the
 # distributed-training (E4), classification (E5), kernel-throughput
 # (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
-# sweep at 4 threads (the harness aborts non-zero if any parallel run
-# diverges from the serial answer).
+# sweep at 4 threads and the E-k6 top-k/BM25 sweep (the harness aborts
+# non-zero if any parallel, top-k, or ranked-search run diverges from
+# its reference answer).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -36,5 +37,14 @@ grep -q '"rows_touched_first_batch"' BENCH_PR5.json
 
 echo "== smoke: harness e3 --threads 4 (serial-vs-parallel identity) =="
 ./target/release/harness e3 --threads 4
+
+echo "== smoke: harness e-k6 (top-k heap + BM25 identity) =="
+# Every sweep point asserts heap == full sort == collected API, and
+# BM25 index hits == exhaustive scan hits; divergence aborts non-zero.
+./target/release/harness e-k6
+test -s BENCH_PR6.json
+grep -q '"topk_identical": true' BENCH_PR6.json
+grep -q '"bm25_identical": true' BENCH_PR6.json
+grep -q '"topk_sweep"' BENCH_PR6.json
 
 echo "verify.sh: all green"
