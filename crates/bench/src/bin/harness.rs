@@ -10,6 +10,7 @@
 //! harness e-s0 --full     # serving tier; writes BENCH_PR2/PR4/PR5.json
 //! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
 //! harness e-k6            # top-k + BM25 sweeps; writes BENCH_PR6.json
+//! harness e-w7 --quick    # durable store; writes BENCH_PR7.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
@@ -17,7 +18,7 @@
 //! sweep asserts each parallel run bit-identical to serial and aborts
 //! (non-zero exit) on divergence.
 
-use ee_bench::{e3_complexity, e_k6_topk, e_s0_serve, kernels, run, Scale, ALL};
+use ee_bench::{e3_complexity, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +36,9 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--full" => {}
+            // Quick is already the default; the explicit spelling lets
+            // scripts (verify.sh's E-w7 smoke) state the scale they mean.
+            "--quick" => {}
             "--threads" => {
                 let Some(v) = it.next() else {
                     eprintln!("[harness] --threads needs a value, e.g. --threads 4");
@@ -50,7 +54,7 @@ fn main() {
             }
             other if other.starts_with("--") => {
                 eprintln!(
-                    "[harness] unknown flag {other:?}; known: --full, --list, --threads N"
+                    "[harness] unknown flag {other:?}; known: --full, --quick, --list, --threads N"
                 );
                 std::process::exit(2);
             }
@@ -134,6 +138,15 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 vec![("BENCH_PR6.json", json)]
+            }
+            "e-w7" => {
+                // The in-bench crash-recovery check panics on any
+                // divergence, so verify.sh sees a non-zero exit.
+                let (tables, json) = e_w7_store::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![("BENCH_PR7.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

@@ -495,12 +495,12 @@ pub fn query_streaming_report(scale: Scale) -> (Vec<Table>, Json) {
         // Executor-level instrumentation: rows of probe work before the
         // first batch, and the resident-row high-water mark.
         let q = ee_rdf::parser::parse_query(&sparql).expect("parse");
-        let plan = ee_rdf::plan::plan(&state.store, &q).expect("plan");
-        let mut core = ee_rdf::exec::stream_plan(&state.store, &plan, 1).expect("stream");
+        let plan = ee_rdf::plan::plan(&state.store(), &q).expect("plan");
+        let mut core = ee_rdf::exec::stream_plan(&state.store(), &plan, 1).expect("stream");
         let mut rows = 0usize;
         let mut touched_first = 0u64;
         let mut peak_first = 0u64;
-        while let Some(b) = core.next_batch(&state.store) {
+        while let Some(b) = core.next_batch(&state.store()) {
             if rows == 0 {
                 touched_first = core.rows_touched();
                 peak_first = core.peak_resident_rows();
@@ -511,9 +511,9 @@ pub fn query_streaming_report(scale: Scale) -> (Vec<Table>, Json) {
         // panics, which fails the harness (and the verify stage).
         for threads in [1usize, 4] {
             let collected =
-                ee_rdf::exec::query_with_threads(&state.store, &sparql, threads)
+                ee_rdf::exec::query_with_threads(&state.store(), &sparql, threads)
                     .expect("collect");
-            let streamed = ee_rdf::exec::SolutionStream::new(&state.store, &plan, threads)
+            let streamed = ee_rdf::exec::SolutionStream::new(&state.store(), &plan, threads)
                 .expect("stream")
                 .collect();
             assert_eq!(

@@ -7,13 +7,16 @@
 //! experiments ride along: [`kernels`] (`E-k0`) times the parallel compute
 //! kernels against their serial references (writes `BENCH_PR1.json`), and
 //! [`e_s0_serve`] (`E-s0`) load-tests the `ee-serve` serving tier over real
-//! sockets (writes `BENCH_PR2.json`). The [`table::Table`] type renders
+//! sockets (writes `BENCH_PR2.json`). [`e_w7_store`] (`E-w7`) measures
+//! the durable store's cold-start, write-while-serve latency, and crash
+//! recovery (writes `BENCH_PR7.json`). The [`table::Table`] type renders
 //! GitHub-flavoured markdown.
 
 pub mod table;
 
 pub mod e_k6_topk;
 pub mod e_s0_serve;
+pub mod e_w7_store;
 pub mod kernels;
 
 pub mod e1_extraction;
@@ -39,9 +42,9 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
-    "e-k6",
+    "e-k6", "e-w7",
 ];
 
 /// Run one experiment by id.
@@ -62,6 +65,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "kernels" => Some(kernels::run(scale)),
         "e-s0" => Some(e_s0_serve::run(scale)),
         "e-k6" => Some(e_k6_topk::run(scale)),
+        "e-w7" => Some(e_w7_store::run(scale)),
         _ => None,
     }
 }

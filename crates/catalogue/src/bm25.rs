@@ -144,12 +144,27 @@ fn bm25_term(idf: f64, tf: f64, doc_len: f64, avg_len: f64) -> f64 {
     idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * doc_len / avg_len))
 }
 
-/// The inverted index. Build once over the corpus, query many times.
+/// The inverted index. Build once over the corpus, query many times —
+/// and maintain incrementally: [`Bm25Index::upsert`] /
+/// [`Bm25Index::remove`] keep single-document writes from forcing a
+/// full rebuild (the catalogue analogue of the triple store's write
+/// path). All scoring statistics (N, df, document length, average
+/// length) are maintained from integer totals, so an incrementally
+/// maintained index scores **bit-identically** to one rebuilt from
+/// scratch over the same live documents.
 pub struct Bm25Index {
     dict: HashMap<String, u32>,
-    /// Per term: `(doc, tf)` pairs in ascending doc order.
+    /// Per term: `(doc, tf)` pairs in ascending doc order. Only live
+    /// documents appear, so df is each list's length.
     postings: Vec<Vec<(u32, u32)>>,
+    /// Per slot: token count (0 for dead slots).
     doc_len: Vec<u32>,
+    /// Per slot: does it currently hold a document?
+    live: Vec<bool>,
+    /// Per slot: its `(term id, tf)` pairs, for O(|doc|·log df) removal.
+    doc_terms: Vec<Vec<(u32, u32)>>,
+    n_live: usize,
+    total_len: u64,
     avg_len: f64,
 }
 
@@ -161,39 +176,20 @@ impl Bm25Index {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut dict: HashMap<String, u32> = HashMap::new();
-        let mut postings: Vec<Vec<(u32, u32)>> = Vec::new();
-        let mut doc_len: Vec<u32> = Vec::new();
-        for (doc, text) in texts.into_iter().enumerate() {
-            let doc = doc as u32;
-            let tokens = tokenize(text.as_ref());
-            doc_len.push(tokens.len() as u32);
-            for tok in tokens {
-                let tid = *dict.entry(tok).or_insert_with(|| {
-                    postings.push(Vec::new());
-                    (postings.len() - 1) as u32
-                });
-                let list = &mut postings[tid as usize];
-                match list.last_mut() {
-                    // Docs arrive in ascending order, so a term's repeat
-                    // occurrences within one doc always hit the tail.
-                    Some((d, tf)) if *d == doc => *tf += 1,
-                    _ => list.push((doc, 1)),
-                }
-            }
-        }
-        let total: u64 = doc_len.iter().map(|&l| l as u64).sum();
-        let avg_len = if doc_len.is_empty() {
-            1.0
-        } else {
-            total as f64 / doc_len.len() as f64
+        let mut idx = Bm25Index {
+            dict: HashMap::new(),
+            postings: Vec::new(),
+            doc_len: Vec::new(),
+            live: Vec::new(),
+            doc_terms: Vec::new(),
+            n_live: 0,
+            total_len: 0,
+            avg_len: 1.0,
         };
-        Bm25Index {
-            dict,
-            postings,
-            doc_len,
-            avg_len,
+        for text in texts {
+            idx.upsert(idx.doc_len.len(), text.as_ref());
         }
+        idx
     }
 
     /// Index the [`Product::search_text`] of every product, in order.
@@ -201,17 +197,98 @@ impl Bm25Index {
         Self::build(products.iter().map(|p| p.search_text()))
     }
 
-    /// Number of indexed documents.
+    /// Insert or replace the document in slot `doc`. `doc` may be at
+    /// most the current slot count (equal appends a new slot —
+    /// [`Bm25Index::build`] is a sequence of appends).
+    pub fn upsert(&mut self, doc: usize, text: &str) {
+        assert!(
+            doc <= self.doc_len.len(),
+            "upsert slot {doc} out of range (slots: {})",
+            self.doc_len.len()
+        );
+        if doc == self.doc_len.len() {
+            self.doc_len.push(0);
+            self.live.push(false);
+            self.doc_terms.push(Vec::new());
+        } else if self.live[doc] {
+            self.remove(doc);
+        }
+        let tokens = tokenize(text);
+        let n_tokens = tokens.len() as u32;
+        // Per-term counts in first-appearance order (assigns term ids in
+        // the same order a from-scratch build would).
+        let mut counts: Vec<(u32, u32)> = Vec::new();
+        for tok in tokens {
+            let tid = *self.dict.entry(tok).or_insert_with(|| {
+                self.postings.push(Vec::new());
+                (self.postings.len() - 1) as u32
+            });
+            match counts.iter_mut().find(|(t, _)| *t == tid) {
+                Some((_, tf)) => *tf += 1,
+                None => counts.push((tid, 1)),
+            }
+        }
+        let doc_id = doc as u32;
+        for &(tid, tf) in &counts {
+            let list = &mut self.postings[tid as usize];
+            // Ascending doc order; an append (the build path) hits the
+            // end immediately.
+            let at = list.partition_point(|&(d, _)| d < doc_id);
+            list.insert(at, (doc_id, tf));
+        }
+        self.doc_terms[doc] = counts;
+        self.doc_len[doc] = n_tokens;
+        self.live[doc] = true;
+        self.n_live += 1;
+        self.total_len += u64::from(n_tokens);
+        self.recompute_avg();
+    }
+
+    /// Remove the document in slot `doc`; `true` when one was there.
+    /// Slot ids of other documents do not shift. (Dictionary entries
+    /// whose postings become empty are kept; they contribute nothing to
+    /// any score.)
+    pub fn remove(&mut self, doc: usize) -> bool {
+        if doc >= self.doc_len.len() || !self.live[doc] {
+            return false;
+        }
+        let doc_id = doc as u32;
+        for (tid, _) in std::mem::take(&mut self.doc_terms[doc]) {
+            let list = &mut self.postings[tid as usize];
+            if let Ok(at) = list.binary_search_by_key(&doc_id, |&(d, _)| d) {
+                list.remove(at);
+            }
+        }
+        self.live[doc] = false;
+        self.n_live -= 1;
+        self.total_len -= u64::from(self.doc_len[doc]);
+        self.doc_len[doc] = 0;
+        self.recompute_avg();
+        true
+    }
+
+    /// Maintain `avg_len` from the integer totals — the same division a
+    /// from-scratch build performs, hence bit-identical.
+    fn recompute_avg(&mut self) {
+        self.avg_len = if self.n_live == 0 {
+            1.0
+        } else {
+            self.total_len as f64 / self.n_live as f64
+        };
+    }
+
+    /// Number of live (searchable) documents.
     pub fn len(&self) -> usize {
-        self.doc_len.len()
+        self.n_live
     }
 
     /// True when no documents are indexed.
     pub fn is_empty(&self) -> bool {
-        self.doc_len.is_empty()
+        self.n_live == 0
     }
 
-    /// Number of distinct terms in the dictionary.
+    /// Number of distinct terms in the dictionary (including terms only
+    /// dead documents used — the dictionary never shrinks).
     pub fn vocabulary(&self) -> usize {
         self.dict.len()
     }
@@ -417,6 +494,84 @@ mod tests {
         assert!(empty.is_empty());
         assert!(empty.search("anything", 10).is_empty());
         assert_eq!(idx.search("sentinel", 0).len(), 0, "k = 0 keeps nothing");
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild_bit_for_bit() {
+        // Mutate an index with upserts/removes, rebuild a second index
+        // from scratch over the resulting live corpus, and require the
+        // exact same scores (f64 bits) and the same ranked documents.
+        let mut docs = corpus();
+        let mut idx = Bm25Index::build(&docs);
+
+        // Replace one doc's text, append a new doc, remove two docs
+        // (one of them the replaced one’s neighbour), re-add one.
+        idx.upsert(5, "sentinel-1 radar interferometric wide swath dusk");
+        docs[5] = "sentinel-1 radar interferometric wide swath dusk".into();
+        let appended = "brand new olci ocean colour scene overcast".to_string();
+        idx.upsert(docs.len(), &appended);
+        docs.push(appended);
+        assert!(idx.remove(7));
+        assert!(!idx.remove(7), "second remove is a no-op");
+        assert!(idx.remove(120));
+        idx.upsert(120, "resurrected acquisition clear sky summer");
+        docs[120] = "resurrected acquisition clear sky summer".into();
+
+        // The live corpus: every doc except slot 7.
+        let live: Vec<(usize, &String)> = docs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 7)
+            .collect();
+        let rebuilt = Bm25Index::build(live.iter().map(|(_, t)| t.as_str()));
+        assert_eq!(idx.len(), rebuilt.len());
+
+        let queries = [
+            "sentinel radar wide swath",
+            "olci ocean colour overcast",
+            "clear sky summer",
+            "sentinel", // matches everything: exercises ties + shifts
+            "resurrected dusk",
+        ];
+        for q in queries {
+            for k in [1usize, 5, 50, docs.len()] {
+                let a = idx.search(q, k);
+                let b = rebuilt.search(q, k);
+                // Slot ids differ (the rebuild compacts slot 7 away);
+                // compare by document text. The id shift is monotone,
+                // so tie order by id is preserved too.
+                let a_key: Vec<(u64, &str)> = a
+                    .iter()
+                    .map(|h| (h.score.to_bits(), docs[h.doc as usize].as_str()))
+                    .collect();
+                let b_key: Vec<(u64, &str)> = b
+                    .iter()
+                    .map(|h| (h.score.to_bits(), live[h.doc as usize].1.as_str()))
+                    .collect();
+                assert_eq!(a_key, b_key, "q={q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn upsert_remove_edge_cases() {
+        let mut idx = Bm25Index::build(Vec::<String>::new());
+        assert!(!idx.remove(0), "empty index");
+        idx.upsert(0, "alpha beta alpha");
+        assert_eq!(idx.len(), 1);
+        let hits = idx.search("alpha", 10);
+        assert_eq!(hits.len(), 1);
+        // Replacing in place changes the scored terms.
+        idx.upsert(0, "gamma");
+        assert!(idx.search("alpha", 10).is_empty());
+        assert_eq!(idx.search("gamma", 10).len(), 1);
+        // Removing the only doc empties the index but keeps the slot.
+        assert!(idx.remove(0));
+        assert!(idx.is_empty());
+        assert!(idx.search("gamma", 10).is_empty());
+        // The slot can be refilled.
+        idx.upsert(0, "delta");
+        assert_eq!(idx.search("delta", 10).len(), 1);
     }
 
     #[test]

@@ -36,7 +36,14 @@
 //!   parallelised with fixed-order reduction so any thread count is
 //!   bit-identical to serial;
 //! * [`exec`] — the executor pipeline tying plan → batches → operators →
-//!   aggregation / ordering / materialisation together.
+//!   aggregation / ordering / materialisation together;
+//! * [`update`] — SPARQL UPDATE evaluation (`INSERT DATA` / `DELETE
+//!   DATA` / `DELETE WHERE`), split into a read-only evaluate step and
+//!   an apply step so the durable store can WAL the delta in between;
+//! * [`storage`] — durability: a compact checksummed binary snapshot
+//!   format (dictionary blocks + sorted triple segments), a write-ahead
+//!   log with torn-tail recovery, and the [`storage::Store`] wrapper
+//!   that ties them to a monotonic generation counter.
 
 pub mod batch;
 pub mod dict;
@@ -45,8 +52,10 @@ pub mod expr;
 pub mod join;
 pub mod parser;
 pub mod plan;
+pub mod storage;
 pub mod store;
 pub mod term;
+pub mod update;
 
 pub use store::{IndexMode, TripleStore};
 pub use term::Term;

@@ -99,6 +99,27 @@ pub struct Query {
     pub offset: Option<usize>,
 }
 
+/// One operation of a SPARQL UPDATE request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { ... }` — ground triples to add.
+    InsertData(Vec<(Term, Term, Term)>),
+    /// `DELETE DATA { ... }` — ground triples to remove.
+    DeleteData(Vec<(Term, Term, Term)>),
+    /// `DELETE WHERE { ... }` — remove every instantiation of the
+    /// pattern group (the group is both template and WHERE clause).
+    DeleteWhere(Vec<TriplePattern>),
+}
+
+/// A parsed SPARQL UPDATE request: one or more operations separated by
+/// `;`, sharing one PREFIX header. The supported subset is `INSERT
+/// DATA`, `DELETE DATA` and `DELETE WHERE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Operations in request order.
+    pub ops: Vec<UpdateOp>,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Iri(String),
@@ -402,6 +423,28 @@ pub fn parse_query(src: &str) -> Result<Query, RdfError> {
     p.query()
 }
 
+/// Parse a SPARQL UPDATE string (`INSERT DATA` / `DELETE DATA` /
+/// `DELETE WHERE`, `;`-separated, with an optional shared PREFIX
+/// header).
+pub fn parse_update(src: &str) -> Result<Update, RdfError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lexer.next()?;
+        let end = t == Tok::Eof;
+        toks.push(t);
+        if end {
+            break;
+        }
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        prefixes: default_prefixes(),
+    };
+    p.update()
+}
+
 fn default_prefixes() -> HashMap<String, String> {
     let mut m = HashMap::new();
     m.insert("xsd".into(), "http://www.w3.org/2001/XMLSchema#".into());
@@ -464,7 +507,7 @@ impl Parser {
             .ok_or_else(|| RdfError::Parse(format!("unknown prefix {prefix:?}")))
     }
 
-    fn query(&mut self) -> Result<Query, RdfError> {
+    fn prefix_decls(&mut self) -> Result<(), RdfError> {
         while self.is_word("PREFIX") {
             self.advance();
             let (prefix, _) = match self.advance() {
@@ -485,6 +528,11 @@ impl Parser {
             };
             self.prefixes.insert(prefix, iri);
         }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<Query, RdfError> {
+        self.prefix_decls()?;
         self.eat_word("SELECT")?;
         let distinct = if self.is_word("DISTINCT") {
             self.advance();
@@ -588,6 +636,75 @@ impl Parser {
             limit,
             offset,
         })
+    }
+
+    fn update(&mut self) -> Result<Update, RdfError> {
+        self.prefix_decls()?;
+        let mut ops = Vec::new();
+        loop {
+            if self.is_word("INSERT") {
+                self.advance();
+                self.eat_word("DATA")?;
+                ops.push(UpdateOp::InsertData(self.ground_block()?));
+            } else if self.is_word("DELETE") {
+                self.advance();
+                if self.is_word("DATA") {
+                    self.advance();
+                    ops.push(UpdateOp::DeleteData(self.ground_block()?));
+                } else if self.is_word("WHERE") {
+                    self.advance();
+                    let patterns = self.pattern_block()?;
+                    if patterns.is_empty() {
+                        return Err(RdfError::Parse(
+                            "DELETE WHERE needs at least one triple pattern".into(),
+                        ));
+                    }
+                    ops.push(UpdateOp::DeleteWhere(patterns));
+                } else {
+                    return Err(self.error("expected DATA or WHERE after DELETE"));
+                }
+            } else {
+                return Err(self.error("expected INSERT DATA, DELETE DATA or DELETE WHERE"));
+            }
+            if matches!(self.peek(), Tok::Punct(";")) {
+                self.advance();
+            }
+            if self.peek() == &Tok::Eof {
+                break;
+            }
+        }
+        Ok(Update { ops })
+    }
+
+    /// `{ triples }` where every position must be a concrete term.
+    fn ground_block(&mut self) -> Result<Vec<(Term, Term, Term)>, RdfError> {
+        let patterns = self.pattern_block()?;
+        let mut out = Vec::with_capacity(patterns.len());
+        for tp in patterns {
+            let (PatternTerm::Const(s), PatternTerm::Const(p), PatternTerm::Const(o)) =
+                (tp.s, tp.p, tp.o)
+            else {
+                return Err(RdfError::Parse(
+                    "variables are not allowed in INSERT DATA / DELETE DATA".into(),
+                ));
+            };
+            out.push((s, p, o));
+        }
+        Ok(out)
+    }
+
+    /// `{ triple_block* }` with no FILTER/OPTIONAL.
+    fn pattern_block(&mut self) -> Result<Vec<TriplePattern>, RdfError> {
+        self.eat_punct("{")?;
+        let mut patterns = Vec::new();
+        while !matches!(self.peek(), Tok::Punct("}")) {
+            if self.peek() == &Tok::Eof {
+                return Err(self.error("unterminated block"));
+            }
+            self.triple_block(&mut patterns)?;
+        }
+        self.eat_punct("}")?;
+        Ok(patterns)
     }
 
     fn number_usize(&mut self) -> Result<usize, RdfError> {
@@ -1139,6 +1256,57 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(&q.filters[0], Expr::Cmp(_, CmpOp::Lt, _)));
+    }
+
+    #[test]
+    fn insert_data_parses_ground_triples() {
+        let u = parse_update(
+            "PREFIX e: <http://e/> INSERT DATA { e:s e:p e:o . e:s e:q 5 ; e:r \"x\" }",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 1);
+        let UpdateOp::InsertData(ts) = &u.ops[0] else {
+            panic!("{:?}", u.ops[0]);
+        };
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].0, Term::iri("http://e/s"));
+        assert_eq!(ts[1].2, Term::integer(5));
+        assert_eq!(ts[2].2, Term::string("x"));
+    }
+
+    #[test]
+    fn update_ops_chain_with_semicolons() {
+        let u = parse_update(
+            "PREFIX e: <http://e/> \
+             DELETE DATA { e:a e:p e:b } ; \
+             INSERT DATA { e:a e:p e:c } ; \
+             DELETE WHERE { ?s e:stale ?o }",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 3);
+        assert!(matches!(u.ops[0], UpdateOp::DeleteData(_)));
+        assert!(matches!(u.ops[1], UpdateOp::InsertData(_)));
+        let UpdateOp::DeleteWhere(ps) = &u.ops[2] else {
+            panic!()
+        };
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].s, PatternTerm::Var("s".into()));
+    }
+
+    #[test]
+    fn update_parse_errors() {
+        for bad in [
+            "",
+            "INSERT { <http://e/s> <http://e/p> <http://e/o> }", // missing DATA
+            "INSERT DATA { ?s <http://e/p> <http://e/o> }",      // variable in DATA
+            "DELETE DATA { <http://e/s> <http://e/p> ?o }",
+            "DELETE WHERE { }",                                  // empty group
+            "DELETE <http://e/s>",                               // neither DATA nor WHERE
+            "INSERT DATA { <http://e/s> <http://e/p> <http://e/o> ", // unterminated
+            "SELECT ?s WHERE { ?s ?p ?o }",                      // a query, not an update
+        ] {
+            assert!(parse_update(bad).is_err(), "{bad:?} parsed as update");
+        }
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Durable storage for the triple store: WAL + snapshot lifecycle.
+//!
+//! A store directory holds at most two files:
+//!
+//! * `snapshot.bin` — a complete, immutable image of the store at some
+//!   generation ([`snapshot`]: dictionary blocks + sorted triple
+//!   segments, every record length-prefixed and FNV-1a-checksummed);
+//! * `wal.log` — one checksummed record per commit since that snapshot
+//!   ([`wal`]).
+//!
+//! [`Store::open`] replays the snapshot, then the WAL tail (dropping a
+//! torn final record), and arrives at exactly the last fully-committed
+//! generation. [`Store::commit`] evaluates a SPARQL UPDATE read-only,
+//! appends the resulting delta to the WAL (fsync'd by default), applies
+//! it to the in-memory indexes, and bumps the monotonic **generation**
+//! — the number the serving tier mixes into ETags and cache keys, so
+//! "did anything change?" is one integer compare. [`Store::compact`]
+//! folds the WAL into a fresh snapshot (write-tmp, fsync, rename).
+//!
+//! The wrapper derefs to [`TripleStore`], so every read path — pattern
+//! matching, planning, execution, streaming — works unchanged.
+
+pub mod encode;
+pub mod segment;
+pub mod snapshot;
+pub mod wal;
+
+use crate::store::{IndexMode, TripleStore};
+use crate::term::{Term, XSD_STRING};
+use crate::update::{apply_delta, evaluate_update, Delta, GroundTriple};
+use crate::RdfError;
+use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_FILE};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+pub use wal::Durability;
+use wal::{Wal, WalCommit};
+
+/// Errors from the storage layer: either the SPARQL side of an update
+/// or the filesystem side of durability.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Update failed to parse or evaluate.
+    Rdf(RdfError),
+    /// Filesystem failure (or corrupt on-disk data).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Rdf(e) => write!(f, "{e}"),
+            StoreError::Io(e) => write!(f, "storage i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<RdfError> for StoreError {
+    fn from(e: RdfError) -> Self {
+        StoreError::Rdf(e)
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// What one commit did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Generation after the commit (unchanged for no-op commits).
+    pub generation: u64,
+    /// Triples actually added.
+    pub inserted: usize,
+    /// Triples actually removed.
+    pub deleted: usize,
+    /// Bytes appended to the WAL (0 for no-ops and ephemeral stores).
+    pub wal_bytes: u64,
+}
+
+/// Bulk-load timing, for the E-w7 ingest benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BulkLoadStats {
+    /// Triples loaded (after dedup).
+    pub triples: usize,
+    /// Wall time for build + index + snapshot write.
+    pub elapsed: Duration,
+    /// `triples / elapsed` in triples per second.
+    pub triples_per_sec: f64,
+}
+
+/// A mutable, optionally durable triple store with a monotonic
+/// generation counter. Derefs to [`TripleStore`] for all reads.
+pub struct Store {
+    inner: TripleStore,
+    generation: u64,
+    /// `None` for ephemeral (memory-only) stores.
+    wal: Option<Wal>,
+    dir: Option<PathBuf>,
+}
+
+impl std::ops::Deref for Store {
+    type Target = TripleStore;
+
+    fn deref(&self) -> &TripleStore {
+        &self.inner
+    }
+}
+
+impl Store {
+    /// Wrap an in-memory store with no persistence: commits apply and
+    /// bump the generation, nothing touches disk. This is what a
+    /// default `ee-serve` (no data dir) runs on.
+    pub fn ephemeral(inner: TripleStore) -> Self {
+        Store {
+            inner,
+            generation: 0,
+            wal: None,
+            dir: None,
+        }
+    }
+
+    /// Open (or initialise) a durable store in `dir`: replay the
+    /// snapshot if one exists, then the WAL tail — a torn final record
+    /// is dropped, never partially applied. Durability of future
+    /// commits comes from `EE_WAL_NO_SYNC` (see [`Durability`]).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, Durability::from_env())
+    }
+
+    /// [`Store::open`] with explicit durability (tests, benchmarks).
+    pub fn open_with(dir: impl AsRef<Path>, durability: Durability) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (mut inner, mut generation) = if snap_path.exists() {
+            let data = read_snapshot(&snap_path)?;
+            let mut st = TripleStore::new(data.mode);
+            for t in &data.terms {
+                st.dict.intern(t);
+            }
+            debug_assert_eq!(st.dict.len(), data.terms.len(), "ids must be positional");
+            // Snapshot segments are strictly-ascending SPO, so the
+            // indexes bulk-build from sorted runs instead of paying a
+            // tree walk per triple.
+            st.bulk_load_sorted_ids(&data.triples);
+            (st, data.generation)
+        } else {
+            (TripleStore::new(IndexMode::Full), 0)
+        };
+        let (wal, commits) = Wal::open(dir, durability)?;
+        for c in &commits {
+            if c.generation <= generation {
+                // Already folded into the snapshot by a compaction that
+                // crashed before resetting the WAL; deltas are
+                // idempotent either way, skipping is just cheaper.
+                continue;
+            }
+            for (s, p, o) in &c.delete {
+                inner.remove(s, p, o);
+            }
+            for (s, p, o) in &c.insert {
+                inner.insert(s, p, o);
+            }
+            generation = c.generation;
+        }
+        inner.build_spatial_index();
+        Ok(Store {
+            inner,
+            generation,
+            wal: Some(wal),
+            dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// Initialise a durable store in `dir` from an already-built
+    /// [`TripleStore`]: writes a generation-0 snapshot and an empty
+    /// WAL, replacing whatever the directory held.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        inner: TripleStore,
+        durability: Durability,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        write_snapshot(dir, &inner, 0)?;
+        let (mut wal, _stale) = Wal::open(dir, durability)?;
+        if !wal.is_empty() {
+            wal.reset()?;
+        }
+        Ok(Store {
+            inner,
+            generation: 0,
+            wal: Some(wal),
+            dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// Build a store from a triple stream and persist it in one step —
+    /// **without** per-triple WAL records (the snapshot itself is the
+    /// durable copy). Reports load throughput.
+    pub fn bulk_load<I>(
+        dir: impl AsRef<Path>,
+        mode: IndexMode,
+        triples: I,
+        durability: Durability,
+    ) -> Result<(Self, BulkLoadStats), StoreError>
+    where
+        I: IntoIterator<Item = GroundTriple>,
+    {
+        let start = Instant::now();
+        let mut st = TripleStore::new(mode);
+        for (s, p, o) in triples {
+            st.insert(&s, &p, &o);
+        }
+        st.build_spatial_index();
+        let n = st.len();
+        let store = Self::create(dir, st, durability)?;
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let stats = BulkLoadStats {
+            triples: n,
+            elapsed,
+            triples_per_sec: if secs > 0.0 { n as f64 / secs } else { f64::INFINITY },
+        };
+        Ok((store, stats))
+    }
+
+    /// Monotonic change counter: bumps by one per effective commit,
+    /// survives restarts (it is recorded in both snapshot and WAL).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Directory backing this store (`None` when ephemeral).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Evaluate and durably apply a SPARQL UPDATE.
+    ///
+    /// Order of operations is the crash-safety contract: (1) evaluate
+    /// read-only into a [`Delta`], (2) append the delta to the WAL and
+    /// fsync, (3) apply to the in-memory indexes, (4) bump the
+    /// generation. A crash before (2) completes loses the commit
+    /// entirely (torn tail → dropped on reopen); after (2) the commit
+    /// replays on reopen. There is no state in between.
+    ///
+    /// A commit whose effective delta is empty (inserting only present
+    /// triples, deleting only absent ones) does **not** bump the
+    /// generation — caches stay warm across no-ops.
+    pub fn commit(&mut self, update: &crate::parser::Update) -> Result<CommitStats, StoreError> {
+        let delta = evaluate_update(&self.inner, update)?;
+        self.commit_delta(delta)
+    }
+
+    /// [`Store::commit`] for a pre-evaluated delta.
+    pub fn commit_delta(&mut self, delta: Delta) -> Result<CommitStats, StoreError> {
+        // Reduce to the effective delta so WAL records are minimal and
+        // replay is trivially idempotent.
+        let delete: Vec<GroundTriple> = delta
+            .delete
+            .iter()
+            .filter(|(s, p, o)| self.inner.contains(s, p, o))
+            .cloned()
+            .collect();
+        let deleted_set: std::collections::HashSet<&GroundTriple> = delete.iter().collect();
+        let insert: Vec<GroundTriple> = delta
+            .insert
+            .iter()
+            .filter(|t| !self.inner.contains(&t.0, &t.1, &t.2) || deleted_set.contains(t))
+            .cloned()
+            .collect();
+        if insert.is_empty() && delete.is_empty() {
+            return Ok(CommitStats {
+                generation: self.generation,
+                inserted: 0,
+                deleted: 0,
+                wal_bytes: 0,
+            });
+        }
+        let generation = self.generation + 1;
+        let mut wal_bytes = 0;
+        if let Some(wal) = &mut self.wal {
+            wal_bytes = wal.append(&WalCommit {
+                generation,
+                delete: delete.clone(),
+                insert: insert.clone(),
+            })?;
+        }
+        let effective = Delta { insert, delete };
+        let (inserted, deleted) = apply_delta(&mut self.inner, &effective);
+        self.generation = generation;
+        Ok(CommitStats {
+            generation,
+            inserted,
+            deleted,
+            wal_bytes,
+        })
+    }
+
+    /// Fold the WAL into a fresh snapshot at the current generation.
+    /// Crash-safe: the new snapshot is published atomically (tmp +
+    /// fsync + rename) before the WAL is reset, and replay skips WAL
+    /// records at or below the snapshot generation — a crash between
+    /// the two steps recovers to the same state.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(());
+        };
+        write_snapshot(&dir, &self.inner, self.generation)?;
+        if let Some(wal) = &mut self.wal {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently in the WAL (0 when ephemeral or just compacted).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.as_ref().map(Wal::len).unwrap_or(0)
+    }
+}
+
+/// Serialise every triple in N-Triples syntax (the interchange format
+/// the E-w7 cold-rebuild benchmark parses back in).
+pub fn export_ntriples(store: &TripleStore) -> String {
+    let mut out = String::new();
+    for (s, p, o) in store.triples() {
+        out.push_str(&s.ntriples());
+        out.push(' ');
+        out.push_str(&p.ntriples());
+        out.push(' ');
+        out.push_str(&o.ntriples());
+        out.push_str(" .\n");
+    }
+    out
+}
+
+/// Parse N-Triples text (the subset [`export_ntriples`] emits: IRIs and
+/// quoted literals with optional `^^<datatype>`) into a store.
+/// Returns the number of triple lines parsed.
+pub fn load_ntriples(store: &mut TripleStore, text: &str) -> io::Result<usize> {
+    let mut n = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut pos = 0;
+        let s = parse_nt_term(line, &mut pos)
+            .ok_or_else(|| nt_err(lineno, "bad subject"))?;
+        let p = parse_nt_term(line, &mut pos)
+            .ok_or_else(|| nt_err(lineno, "bad predicate"))?;
+        let o = parse_nt_term(line, &mut pos)
+            .ok_or_else(|| nt_err(lineno, "bad object"))?;
+        let rest = line[pos..].trim();
+        if rest != "." {
+            return Err(nt_err(lineno, "missing terminating '.'"));
+        }
+        store.insert(&s, &p, &o);
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn nt_err(lineno: usize, msg: &str) -> io::Error {
+    encode::bad_data(&format!("N-Triples line {}: {msg}", lineno + 1))
+}
+
+/// Parse one term starting at `*pos` (after skipping spaces).
+fn parse_nt_term(line: &str, pos: &mut usize) -> Option<Term> {
+    let bytes = line.as_bytes();
+    while *pos < bytes.len() && bytes[*pos] == b' ' {
+        *pos += 1;
+    }
+    match bytes.get(*pos)? {
+        b'<' => {
+            let end = line[*pos..].find('>')? + *pos;
+            let iri = line[*pos + 1..end].to_string();
+            *pos = end + 1;
+            Some(Term::Iri(iri))
+        }
+        b'"' => {
+            // Rust-debug-style escapes, matching `Term::ntriples`.
+            let mut lexical = String::new();
+            let mut i = *pos + 1;
+            loop {
+                match *bytes.get(i)? {
+                    b'"' => break,
+                    b'\\' => {
+                        i += 1;
+                        match *bytes.get(i)? {
+                            b'n' => lexical.push('\n'),
+                            b't' => lexical.push('\t'),
+                            b'r' => lexical.push('\r'),
+                            b'0' => lexical.push('\0'),
+                            b'u' => {
+                                // \u{hex}
+                                if bytes.get(i + 1) != Some(&b'{') {
+                                    return None;
+                                }
+                                let close = line[i..].find('}')? + i;
+                                let cp = u32::from_str_radix(&line[i + 2..close], 16).ok()?;
+                                lexical.push(char::from_u32(cp)?);
+                                i = close;
+                            }
+                            other => lexical.push(other as char),
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        let c = line[i..].chars().next()?;
+                        lexical.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            *pos = i + 1;
+            let datatype = if line[*pos..].starts_with("^^<") {
+                let end = line[*pos..].find('>')? + *pos;
+                let dt = line[*pos + 3..end].to_string();
+                *pos = end + 1;
+                dt
+            } else {
+                XSD_STRING.to_string()
+            };
+            Some(Term::Literal { lexical, datatype })
+        }
+        _ => None,
+    }
+}
+
+/// A unique scratch directory under the system temp dir, for tests and
+/// benchmarks (the caller removes it).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ee-store-{tag}-{}-{n}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+pub(crate) use scratch_dir as test_dir;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_update;
+
+    fn e(n: &str) -> Term {
+        Term::iri(format!("http://e/{n}"))
+    }
+
+    fn upd(src: &str) -> crate::parser::Update {
+        parse_update(&format!("PREFIX e: <http://e/> {src}")).unwrap()
+    }
+
+    #[test]
+    fn open_commit_reopen_round_trips() {
+        let dir = test_dir("open-commit");
+        {
+            let mut st = Store::open_with(&dir, Durability::Sync).unwrap();
+            assert_eq!(st.generation(), 0);
+            let stats = st
+                .commit(&upd("INSERT DATA { e:a e:p e:b . e:a e:p e:c }"))
+                .unwrap();
+            assert_eq!(stats.generation, 1);
+            assert_eq!(stats.inserted, 2);
+            assert!(stats.wal_bytes > 0);
+            st.commit(&upd("DELETE DATA { e:a e:p e:b }")).unwrap();
+            assert_eq!(st.generation(), 2);
+        }
+        let st = Store::open_with(&dir, Durability::Sync).unwrap();
+        assert_eq!(st.generation(), 2);
+        assert_eq!(st.len(), 1);
+        assert!(st.contains(&e("a"), &e("p"), &e("c")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn noop_commit_does_not_bump_generation() {
+        let dir = test_dir("noop-commit");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        st.commit(&upd("INSERT DATA { e:a e:p e:b }")).unwrap();
+        let before = st.generation();
+        let wal_before = st.wal_len();
+        // Insert of a present triple + delete of an absent one: no-op.
+        let stats = st
+            .commit(&upd("INSERT DATA { e:a e:p e:b } ; DELETE DATA { e:x e:p e:y }"))
+            .unwrap();
+        assert_eq!(stats.generation, before);
+        assert_eq!((stats.inserted, stats.deleted), (0, 0));
+        assert_eq!(st.wal_len(), wal_before, "no WAL record for no-ops");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_wal_and_reopens_identically() {
+        let dir = test_dir("compact");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        for i in 0..10 {
+            st.commit(&upd(&format!("INSERT DATA {{ e:s{i} e:p e:o }}")))
+                .unwrap();
+        }
+        st.commit(&upd("DELETE WHERE { e:s3 ?p ?o }")).unwrap();
+        let gen = st.generation();
+        let triples: Vec<String> = {
+            let mut v: Vec<String> = st
+                .triples()
+                .map(|(s, p, o)| format!("{} {} {}", s.ntriples(), p.ntriples(), o.ntriples()))
+                .collect();
+            v.sort();
+            v
+        };
+        st.compact().unwrap();
+        assert_eq!(st.wal_len(), 0);
+        // Commits keep working after compaction.
+        st.commit(&upd("INSERT DATA { e:post e:p e:o }")).unwrap();
+        assert_eq!(st.generation(), gen + 1);
+        drop(st);
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        assert_eq!(st.generation(), gen + 1);
+        let mut got: Vec<String> = st
+            .triples()
+            .map(|(s, p, o)| format!("{} {} {}", s.ntriples(), p.ntriples(), o.ntriples()))
+            .collect();
+        got.sort();
+        let mut want = triples;
+        want.push(format!(
+            "{} {} {}",
+            e("post").ntriples(),
+            e("p").ntriples(),
+            e("o").ntriples()
+        ));
+        want.sort();
+        assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_store_commits_without_disk() {
+        let mut st = Store::ephemeral(TripleStore::new(IndexMode::Full));
+        let stats = st.commit(&upd("INSERT DATA { e:a e:p e:b }")).unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.wal_bytes, 0);
+        assert!(st.dir().is_none());
+        assert_eq!(st.wal_len(), 0);
+    }
+
+    #[test]
+    fn bulk_load_builds_snapshot_without_wal_records() {
+        let dir = test_dir("bulk");
+        let triples: Vec<GroundTriple> = (0..5000)
+            .map(|i| (e(&format!("s{i}")), e("p"), Term::integer(i)))
+            .collect();
+        let (st, stats) = Store::bulk_load(&dir, IndexMode::Full, triples, Durability::NoSync)
+            .unwrap();
+        assert_eq!(stats.triples, 5000);
+        assert!(stats.triples_per_sec > 0.0);
+        assert_eq!(st.wal_len(), 0, "bulk load must not write per-triple WAL");
+        drop(st);
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        assert_eq!(st.len(), 5000);
+        assert_eq!(st.generation(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spatial_candidates_survive_reopen() {
+        let dir = test_dir("spatial-reopen");
+        {
+            let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+            st.commit(&upd(
+                "INSERT DATA { e:f e:geo \"POINT (5 5)\"^^<http://www.opengis.net/ont/geosparql#wktLiteral> }",
+            ))
+            .unwrap();
+        }
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        let hits = st
+            .spatial_candidates(&ee_geo::Envelope::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        assert_eq!(hits.len(), 1, "R-tree rebuilt from replayed triples");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ntriples_export_import_round_trips() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        st.insert(&e("a"), &e("p"), &Term::string("line\nbreak \"quoted\" \\slash"));
+        st.insert(&e("a"), &e("v"), &Term::integer(-5));
+        st.insert(&e("a"), &e("g"), &Term::wkt("POINT (1 2)"));
+        let text = export_ntriples(&st);
+        let mut back = TripleStore::new(IndexMode::Full);
+        assert_eq!(load_ntriples(&mut back, &text).unwrap(), 3);
+        for (s, p, o) in st.triples() {
+            assert!(back.contains(s, p, o), "{} missing", o.ntriples());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Snapshot files: a complete store image at one generation.
+//!
+//! ```text
+//! record 0           header: "EESNAP01" magic, index mode, generation,
+//!                    term count, triple count
+//! records 1..=D      dictionary blocks (terms in id order, DICT_CHUNK each)
+//! records D+1..=D+S  triple segments (SPO-sorted, TRIPLE_CHUNK each)
+//! ```
+//!
+//! Snapshots are immutable once published: the writer streams to
+//! `snapshot.tmp`, fsyncs, then renames over `snapshot.bin` and fsyncs
+//! the directory — a crash mid-write leaves the previous snapshot (or
+//! none) fully intact, never a half-written one. Any torn or corrupt
+//! record while *reading* is therefore a hard error, unlike the WAL
+//! where a torn tail is expected after a crash.
+
+use super::encode::{bad_data, get_uvarint, put_uvarint, write_record, RecordOutcome, RecordReader};
+use super::segment::{
+    decode_dict_block, decode_triple_segment, encode_dict_block, encode_triple_segment,
+    DICT_CHUNK, TRIPLE_CHUNK,
+};
+use crate::store::{IdTriple, IndexMode, TripleStore};
+use crate::term::Term;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"EESNAP01";
+
+/// Published snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// A decoded snapshot: everything needed to rebuild a store.
+pub struct SnapshotData {
+    /// Index mode the store was built with.
+    pub mode: IndexMode,
+    /// Generation the snapshot captures.
+    pub generation: u64,
+    /// All terms, position = dictionary id.
+    pub terms: Vec<Term>,
+    /// All triples, SPO-sorted.
+    pub triples: Vec<IdTriple>,
+}
+
+fn mode_byte(mode: IndexMode) -> u8 {
+    match mode {
+        IndexMode::Full => 0,
+        IndexMode::NoPushdown => 1,
+        IndexMode::Scan => 2,
+    }
+}
+
+fn byte_mode(b: u8) -> io::Result<IndexMode> {
+    match b {
+        0 => Ok(IndexMode::Full),
+        1 => Ok(IndexMode::NoPushdown),
+        2 => Ok(IndexMode::Scan),
+        other => Err(bad_data(&format!("unknown index mode byte {other}"))),
+    }
+}
+
+/// Write a snapshot of `store` at `generation` into `dir`, atomically
+/// replacing any previous one.
+pub fn write_snapshot(dir: &Path, store: &TripleStore, generation: u64) -> io::Result<()> {
+    let tmp_path = dir.join(SNAPSHOT_TMP);
+    let final_path = dir.join(SNAPSHOT_FILE);
+    {
+        let file = File::create(&tmp_path)?;
+        let mut w = BufWriter::new(file);
+
+        let n_terms = store.dict.len();
+        let mut triples: Vec<IdTriple> = store.id_triples().to_vec();
+        triples.sort_unstable();
+
+        let mut header = Vec::with_capacity(32);
+        header.extend_from_slice(MAGIC);
+        header.push(mode_byte(store.mode()));
+        put_uvarint(&mut header, generation);
+        put_uvarint(&mut header, n_terms as u64);
+        put_uvarint(&mut header, triples.len() as u64);
+        write_record(&mut w, &header)?;
+
+        let mut block: Vec<&Term> = Vec::with_capacity(DICT_CHUNK);
+        for id in 0..n_terms as u64 {
+            block.push(store.dict.term(id));
+            if block.len() == DICT_CHUNK {
+                write_record(&mut w, &encode_dict_block(&block))?;
+                block.clear();
+            }
+        }
+        if !block.is_empty() {
+            write_record(&mut w, &encode_dict_block(&block))?;
+        }
+
+        let mut prev_s = 0;
+        for chunk in triples.chunks(TRIPLE_CHUNK) {
+            write_record(&mut w, &encode_triple_segment(chunk, prev_s))?;
+            prev_s = chunk.last().unwrap().0;
+        }
+
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    // Persist the rename itself (directory metadata).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and verify a snapshot file.
+pub fn read_snapshot(path: &Path) -> io::Result<SnapshotData> {
+    let mut r = RecordReader::new(BufReader::new(File::open(path)?));
+    let header = must_record(&mut r, "snapshot header")?;
+    if header.len() < 9 || &header[..8] != MAGIC {
+        return Err(bad_data("not a snapshot file (bad magic)"));
+    }
+    let mode = byte_mode(header[8])?;
+    let mut pos = 9;
+    let generation = get_uvarint(&header, &mut pos)?;
+    let n_terms = get_uvarint(&header, &mut pos)? as usize;
+    let n_triples = get_uvarint(&header, &mut pos)? as usize;
+
+    let mut terms = Vec::with_capacity(n_terms);
+    while terms.len() < n_terms {
+        let block = must_record(&mut r, "dictionary block")?;
+        terms.extend(decode_dict_block(&block)?);
+    }
+    if terms.len() != n_terms {
+        return Err(bad_data("dictionary block overshoots declared term count"));
+    }
+
+    let mut triples = Vec::with_capacity(n_triples);
+    let mut prev_s = 0;
+    while triples.len() < n_triples {
+        let seg = must_record(&mut r, "triple segment")?;
+        prev_s = decode_triple_segment(&seg, prev_s, &mut triples)?;
+    }
+    if triples.len() != n_triples {
+        return Err(bad_data("triple segment overshoots declared count"));
+    }
+    match r.next_record()? {
+        RecordOutcome::Eof => {}
+        _ => return Err(bad_data("trailing records after snapshot body")),
+    }
+    Ok(SnapshotData {
+        mode,
+        generation,
+        terms,
+        triples,
+    })
+}
+
+fn must_record<R: io::Read>(r: &mut RecordReader<R>, what: &str) -> io::Result<Vec<u8>> {
+    match r.next_record()? {
+        RecordOutcome::Record(p) => Ok(p),
+        _ => Err(bad_data(&format!("snapshot truncated or corrupt in {what}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::test_dir;
+
+    fn sample_store() -> TripleStore {
+        let mut st = TripleStore::new(IndexMode::Full);
+        for i in 0..5000u64 {
+            st.insert(
+                &Term::iri(format!("http://e/f{i}")),
+                &Term::iri("http://e/v"),
+                &Term::integer(i as i64 % 97),
+            );
+        }
+        st.insert(
+            &Term::iri("http://e/g"),
+            &Term::iri("http://e/geo"),
+            &Term::wkt("POINT (4 4)"),
+        );
+        st
+    }
+
+    #[test]
+    fn snapshot_round_trips_multi_chunk_store() {
+        let dir = test_dir("snap-roundtrip");
+        let st = sample_store();
+        write_snapshot(&dir, &st, 7).unwrap();
+        let data = read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+        assert_eq!(data.generation, 7);
+        assert_eq!(data.mode, IndexMode::Full);
+        assert_eq!(data.terms.len(), st.dict.len());
+        assert_eq!(data.triples.len(), st.len());
+        let mut want: Vec<IdTriple> = st.id_triples().to_vec();
+        want.sort_unstable();
+        assert_eq!(data.triples, want);
+        // Term ids are positional: term 0 decodes to the first interned term.
+        for id in 0..data.terms.len() as u64 {
+            assert_eq!(&data.terms[id as usize], st.dict.term(id));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = test_dir("snap-corrupt");
+        write_snapshot(&dir, &sample_store(), 1).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

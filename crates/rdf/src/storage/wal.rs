@@ -1,0 +1,288 @@
+//! The write-ahead log: one checksummed record per commit.
+//!
+//! ```text
+//! commit payload := uvarint generation
+//!                   uvarint n_delete, n_delete × (term term term)
+//!                   uvarint n_insert, n_insert × (term term term)
+//! ```
+//!
+//! Commits log **terms, not dictionary ids**: replay re-interns against
+//! whatever dictionary the snapshot produced, so a WAL written before a
+//! compaction (or against an older snapshot) stays meaningful. Deltas
+//! are stored delete-first, matching application order.
+//!
+//! Recovery contract: [`Wal::open`] replays every complete record and
+//! **truncates** a torn tail in place (a crash mid-`append` leaves
+//! either the whole record or nothing). Fsync on append is the default;
+//! `Durability::NoSync` skips it for tests and benchmarks on slow disks
+//! (`EE_WAL_NO_SYNC=1` — test-only, a power loss may then lose the last
+//! commits, though never corrupt the store).
+
+use super::encode::{
+    bad_data, get_term, get_uvarint, put_term, put_uvarint, write_record, RecordOutcome,
+    RecordReader,
+};
+use crate::update::GroundTriple;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Whether appends fsync before a commit is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// `fdatasync` every commit record (the default).
+    Sync,
+    /// Skip fsync — test/bench only; a torn tail is still recovered,
+    /// but acknowledged commits may be lost on power failure.
+    NoSync,
+}
+
+impl Durability {
+    /// Resolve the default from `EE_WAL_NO_SYNC` (test-only escape
+    /// hatch; anything non-empty and not `0` disables fsync).
+    pub fn from_env() -> Self {
+        match std::env::var("EE_WAL_NO_SYNC") {
+            Ok(v) if !v.is_empty() && v != "0" => Durability::NoSync,
+            _ => Durability::Sync,
+        }
+    }
+}
+
+/// One logged commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalCommit {
+    /// Generation this commit produced.
+    pub generation: u64,
+    /// Triples removed (applied first).
+    pub delete: Vec<GroundTriple>,
+    /// Triples added.
+    pub insert: Vec<GroundTriple>,
+}
+
+fn encode_commit(c: &WalCommit) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_uvarint(&mut out, c.generation);
+    put_uvarint(&mut out, c.delete.len() as u64);
+    for (s, p, o) in &c.delete {
+        put_term(&mut out, s);
+        put_term(&mut out, p);
+        put_term(&mut out, o);
+    }
+    put_uvarint(&mut out, c.insert.len() as u64);
+    for (s, p, o) in &c.insert {
+        put_term(&mut out, s);
+        put_term(&mut out, p);
+        put_term(&mut out, o);
+    }
+    out
+}
+
+fn decode_commit(payload: &[u8]) -> io::Result<WalCommit> {
+    let mut pos = 0;
+    let generation = get_uvarint(payload, &mut pos)?;
+    let read_triples = |pos: &mut usize| -> io::Result<Vec<GroundTriple>> {
+        let n = get_uvarint(payload, pos)? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = get_term(payload, pos)?;
+            let p = get_term(payload, pos)?;
+            let o = get_term(payload, pos)?;
+            out.push((s, p, o));
+        }
+        Ok(out)
+    };
+    let delete = read_triples(&mut pos)?;
+    let insert = read_triples(&mut pos)?;
+    if pos != payload.len() {
+        return Err(bad_data("trailing bytes in WAL commit"));
+    }
+    Ok(WalCommit {
+        generation,
+        delete,
+        insert,
+    })
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    durability: Durability,
+    /// Bytes of clean records currently in the file.
+    len: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent) the WAL in `dir`, replaying every
+    /// complete commit and truncating any torn tail. Returns the log
+    /// handle plus the replayed commits in append order.
+    pub fn open(dir: &Path, durability: Durability) -> io::Result<(Wal, Vec<WalCommit>)> {
+        let path = dir.join(WAL_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Existing bytes are the commit history: replay them, never
+            // truncate here (torn tails are trimmed after replay).
+            .truncate(false)
+            .open(&path)?;
+        let mut commits = Vec::new();
+        let mut reader = RecordReader::new(BufReader::new(&file));
+        let valid_len = loop {
+            match reader.next_record()? {
+                RecordOutcome::Record(payload) => commits.push(decode_commit(&payload)?),
+                RecordOutcome::Eof => break reader.valid_len(),
+                RecordOutcome::Torn { valid_len } => break valid_len,
+            }
+        };
+        let mut wal = Wal {
+            file,
+            path,
+            durability,
+            len: valid_len,
+        };
+        let disk_len = wal.file.metadata()?.len();
+        if disk_len != valid_len {
+            // Drop the torn tail so future appends start on a clean
+            // record boundary.
+            wal.file.set_len(valid_len)?;
+            wal.file.sync_all()?;
+        }
+        wal.file.seek(SeekFrom::Start(valid_len))?;
+        Ok((wal, commits))
+    }
+
+    /// Append one commit record; returns its on-disk size in bytes.
+    /// With [`Durability::Sync`] the record is fdatasync'd before
+    /// returning — the commit is durable once this call succeeds.
+    pub fn append(&mut self, commit: &WalCommit) -> io::Result<u64> {
+        let payload = encode_commit(commit);
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        write_record(&mut framed, &payload)?;
+        self.file.write_all(&framed)?;
+        if self.durability == Durability::Sync {
+            self.file.sync_data()?;
+        }
+        self.len += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Current clean length in bytes (for tests and truncation fuzzing).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no commits are logged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop every record (after a successful compaction folded them
+    /// into a fresh snapshot).
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::test_dir;
+    use crate::term::Term;
+
+    fn commit(generation: u64, n: usize) -> WalCommit {
+        WalCommit {
+            generation,
+            delete: (0..n / 2)
+                .map(|i| {
+                    (
+                        Term::iri(format!("http://e/d{i}")),
+                        Term::iri("http://e/p"),
+                        Term::integer(i as i64),
+                    )
+                })
+                .collect(),
+            insert: (0..n)
+                .map(|i| {
+                    (
+                        Term::iri(format!("http://e/s{i}")),
+                        Term::iri("http://e/p"),
+                        Term::string(format!("v{i}")),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let dir = test_dir("wal-roundtrip");
+        let commits: Vec<WalCommit> = (1..=5).map(|g| commit(g, g as usize * 2)).collect();
+        {
+            let (mut wal, replayed) = Wal::open(&dir, Durability::NoSync).unwrap();
+            assert!(replayed.is_empty());
+            for c in &commits {
+                wal.append(c).unwrap();
+            }
+        }
+        let (wal, replayed) = Wal::open(&dir, Durability::NoSync).unwrap();
+        assert_eq!(replayed, commits);
+        assert_eq!(wal.len(), std::fs::metadata(wal.path()).unwrap().len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = test_dir("wal-torn");
+        let keep = commit(1, 4);
+        let torn = commit(2, 6);
+        let clean_len;
+        {
+            let (mut wal, _) = Wal::open(&dir, Durability::NoSync).unwrap();
+            wal.append(&keep).unwrap();
+            clean_len = wal.len();
+            wal.append(&torn).unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        for cut in (clean_len as usize)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (wal, replayed) = Wal::open(&dir, Durability::NoSync).unwrap();
+            assert_eq!(replayed, vec![keep.clone()], "cut at {cut}");
+            assert_eq!(wal.len(), clean_len);
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                clean_len,
+                "torn tail must be physically truncated (cut {cut})"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = test_dir("wal-reset");
+        let (mut wal, _) = Wal::open(&dir, Durability::NoSync).unwrap();
+        wal.append(&commit(1, 2)).unwrap();
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        wal.append(&commit(2, 2)).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, Durability::NoSync).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].generation, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

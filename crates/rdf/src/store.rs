@@ -35,8 +35,9 @@ pub struct TripleStore {
     pub dict: Dictionary,
     mode: IndexMode,
     all: Vec<IdTriple>,
-    /// Scan-mode dedup set (the indexed mode dedups through `spo`).
-    seen: std::collections::HashSet<IdTriple>,
+    /// Position of every triple in `all`, for O(1) removal (doubles as
+    /// the scan-mode dedup set; indexed modes also dedup through `spo`).
+    pos_of: std::collections::HashMap<IdTriple, usize>,
     spo: BTreeSet<(u64, u64, u64)>,
     pos: BTreeSet<(u64, u64, u64)>,
     osp: BTreeSet<(u64, u64, u64)>,
@@ -51,7 +52,7 @@ impl TripleStore {
             dict: Dictionary::new(),
             mode,
             all: Vec::new(),
-            seen: std::collections::HashSet::new(),
+            pos_of: std::collections::HashMap::new(),
             spo: BTreeSet::new(),
             pos: BTreeSet::new(),
             osp: BTreeSet::new(),
@@ -100,12 +101,104 @@ impl TripleStore {
                 }
             }
             IndexMode::Scan => {
-                if !self.seen.insert((s, p, o)) {
+                if self.pos_of.contains_key(&(s, p, o)) {
                     return;
                 }
             }
         }
+        self.pos_of.insert((s, p, o), self.all.len());
         self.all.push((s, p, o));
+    }
+
+    /// Remove a triple of terms. Returns `true` when the triple was
+    /// present. Unknown terms make this a no-op (they cannot appear in
+    /// any triple). Dictionary ids are never reclaimed — term ids stay
+    /// stable across deletes, which is what keeps on-disk dictionary
+    /// blocks and baked query plans valid.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(si), Some(pi), Some(oi)) =
+            (self.dict.id_of(s), self.dict.id_of(p), self.dict.id_of(o))
+        else {
+            return false;
+        };
+        self.remove_ids(si, pi, oi)
+    }
+
+    /// Remove a triple of pre-interned ids; `true` when it was present.
+    ///
+    /// All three B-tree indexes are updated in place. The R-tree (and the
+    /// pending-spatial buffer) deliberately keeps any entry for the
+    /// object: spatial candidates are only ever a candidate *superset*,
+    /// and rows bind exclusively through B-tree pattern matches, so a
+    /// stale geometry id costs one rejected probe, never a wrong answer.
+    ///
+    /// Cursor invariant: active [`PatternCursor`]s in the indexed modes
+    /// resume via an `Excluded(last)` re-seek, so removal of triples
+    /// other than the cursor's exact resume key is safe between batches
+    /// (removing the resume key itself is also safe — the seek lands on
+    /// the next greater key). Scan-mode cursors are positional and are
+    /// only valid while the store is unmodified, which the `&mut self`
+    /// borrow already enforces within a single query execution.
+    pub fn remove_ids(&mut self, s: u64, p: u64, o: u64) -> bool {
+        let t = (s, p, o);
+        let Some(i) = self.pos_of.remove(&t) else {
+            return false;
+        };
+        // O(1) removal from the insertion-order list; fix up the moved
+        // tail entry's recorded position.
+        self.all.swap_remove(i);
+        if i < self.all.len() {
+            self.pos_of.insert(self.all[i], i);
+        }
+        if matches!(self.mode, IndexMode::Full | IndexMode::NoPushdown) {
+            self.spo.remove(&t);
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        true
+    }
+
+    /// Bulk-load a strictly-ascending, deduplicated SPO-sorted triple
+    /// slice into an **empty** store — the snapshot-open fast path.
+    /// Instead of 3n individual B-tree inserts (each paying a root-to-
+    /// leaf walk and node splits), the three indexes are built through
+    /// `FromIterator`, which packs nodes from sorted runs in one linear
+    /// pass. Equivalent to calling [`TripleStore::insert_ids`] per
+    /// triple, which the storage tests assert.
+    pub fn bulk_load_sorted_ids(&mut self, triples: &[IdTriple]) {
+        debug_assert!(self.all.is_empty(), "bulk load requires an empty store");
+        debug_assert!(
+            triples.windows(2).all(|w| w[0] < w[1]),
+            "bulk load input must be strictly ascending SPO"
+        );
+        if matches!(self.mode, IndexMode::Full | IndexMode::NoPushdown) {
+            self.spo = triples.iter().copied().collect();
+            self.pos = triples.iter().map(|&(s, p, o)| (p, o, s)).collect();
+            self.osp = triples.iter().map(|&(s, p, o)| (o, s, p)).collect();
+            if self.mode == IndexMode::Full {
+                for &(_, _, o) in triples {
+                    if let Some(env) = self.dict.envelope_of(o) {
+                        self.pending_spatial.push((env, o));
+                    }
+                }
+            }
+        }
+        self.all = triples.to_vec();
+        self.pos_of.reserve(triples.len());
+        self.pos_of
+            .extend(triples.iter().enumerate().map(|(i, &t)| (t, i)));
+    }
+
+    /// Membership test on pre-interned ids.
+    pub fn contains_ids(&self, s: u64, p: u64, o: u64) -> bool {
+        self.pos_of.contains_key(&(s, p, o))
+    }
+
+    /// Every triple as raw dictionary ids, in insertion order (absent
+    /// deletes; a delete swaps the last triple into the hole). The
+    /// storage layer encodes snapshots from this.
+    pub fn id_triples(&self) -> &[IdTriple] {
+        &self.all
     }
 
     /// Finish an ingest: bulk-(re)load the spatial index from all geometry
@@ -358,11 +451,7 @@ impl TripleStore {
         ) else {
             return false;
         };
-        if self.mode == IndexMode::Scan {
-            self.all.contains(&(s, p, o))
-        } else {
-            self.spo.contains(&(s, p, o))
-        }
+        self.pos_of.contains_key(&(s, p, o))
     }
 
     /// The decoded value of an object id (exposed for the evaluator).
@@ -522,6 +611,69 @@ mod tests {
     }
 
     #[test]
+    fn bulk_load_sorted_ids_matches_per_triple_inserts() {
+        // Same triple set through insert() and through the snapshot-open
+        // bulk path: every index, the insertion-order list, and the
+        // spatial candidate set must agree.
+        let reference = {
+            let mut st = store(IndexMode::Full);
+            st.insert(&t("g"), &t("hasGeometry"), &Term::wkt("POINT (3 4)"));
+            st.build_spatial_index();
+            st
+        };
+        let mut sorted = reference.id_triples().to_vec();
+        sorted.sort_unstable();
+        let mut bulk = TripleStore::new(IndexMode::Full);
+        for id in 0..reference.dict.len() as u64 {
+            bulk.dict.intern(reference.dict.term(id));
+        }
+        bulk.bulk_load_sorted_ids(&sorted);
+        bulk.build_spatial_index();
+
+        assert_eq!(bulk.len(), reference.len());
+        for &(s, p, o) in reference.id_triples() {
+            assert!(bulk.contains_ids(s, p, o));
+        }
+        for (pat, label) in [
+            ((None, reference.dict.id_of(&t("knows")), None), "POS"),
+            ((reference.dict.id_of(&t("a")), None, None), "SPO"),
+            ((None, None, reference.dict.id_of(&t("c"))), "OSP"),
+        ] {
+            assert_eq!(
+                collect_ids(&bulk, pat.0, pat.1, pat.2),
+                collect_ids(&reference, pat.0, pat.1, pat.2),
+                "{label} pattern must match"
+            );
+        }
+        let env = Envelope::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(
+            bulk.spatial_candidates(&env).map(|mut v| {
+                v.sort_unstable();
+                v
+            }),
+            reference.spatial_candidates(&env).map(|mut v| {
+                v.sort_unstable();
+                v
+            }),
+        );
+    }
+
+    fn collect_ids(
+        st: &TripleStore,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+    ) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        st.match_pattern(s, p, o, &mut |t| {
+            out.push(t);
+            true
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
     fn estimates_reflect_selectivity() {
         let st = store(IndexMode::Full);
         let knows = st.dict.id_of(&t("knows")).unwrap();
@@ -597,6 +749,62 @@ mod tests {
             .spatial_candidates(&Envelope::new(0.0, 0.0, 3.0, 3.0))
             .unwrap();
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn remove_updates_every_index() {
+        for mode in [IndexMode::Full, IndexMode::NoPushdown, IndexMode::Scan] {
+            let mut st = store(mode);
+            assert!(st.remove(&t("a"), &t("knows"), &t("b")), "mode {mode:?}");
+            assert!(!st.remove(&t("a"), &t("knows"), &t("b")), "double remove");
+            assert_eq!(st.len(), 3);
+            assert!(!st.contains(&t("a"), &t("knows"), &t("b")));
+            assert!(st.contains(&t("a"), &t("knows"), &t("c")));
+            // Pattern matching no longer surfaces the removed triple.
+            let got = collect(&st, Some(&t("a")), Some(&t("knows")), None);
+            assert_eq!(got.len(), 1, "mode {mode:?}");
+            // Unknown term: no-op.
+            assert!(!st.remove(&t("nobody"), &t("knows"), &t("b")));
+            // Re-insert after removal works and dedups.
+            st.insert(&t("a"), &t("knows"), &t("b"));
+            st.insert(&t("a"), &t("knows"), &t("b"));
+            assert_eq!(st.len(), 4);
+        }
+    }
+
+    #[test]
+    fn remove_is_safe_mid_stream_in_indexed_mode() {
+        // A paused cursor must resume correctly even when the triple it
+        // paused on — and others — were removed between batches.
+        let mut st = TripleStore::new(IndexMode::Full);
+        for i in 0..10 {
+            st.insert(&t(&format!("s{i:02}")), &t("p"), &t("o"));
+        }
+        let p = st.dict.id_of(&t("p")).unwrap();
+        let mut cursor = PatternCursor::default();
+        let mut first = Vec::new();
+        st.match_pattern_from(None, Some(p), None, &mut cursor, &mut |tr| {
+            first.push(tr);
+            first.len() < 3
+        });
+        assert_eq!(first.len(), 3);
+        // Remove the resume key itself plus a not-yet-seen triple.
+        let (ls, lp, lo) = *first.last().unwrap();
+        assert!(st.remove_ids(ls, lp, lo));
+        assert!(st.remove(&t("s07"), &t("p"), &t("o")));
+        let mut rest = Vec::new();
+        while !cursor.is_done() {
+            st.match_pattern_from(None, Some(p), None, &mut cursor, &mut |tr| {
+                rest.push(tr);
+                true
+            });
+        }
+        // 10 - 3 delivered - 1 removed-unseen = 6 remaining, none repeated.
+        assert_eq!(rest.len(), 6);
+        let mut seen: Vec<_> = first.iter().chain(&rest).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 9, "no triple delivered twice");
     }
 
     #[test]

@@ -154,6 +154,17 @@ impl Shard {
         Some(Arc::clone(&self.nodes[idx].value))
     }
 
+    /// Drop every entry, returning how many were held. Slot generations
+    /// are bumped by `remove_index`, so queued expiries for the dropped
+    /// entries are recognised as stale and skipped.
+    fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        while self.head != NIL {
+            self.remove_index(self.head);
+        }
+        n
+    }
+
     fn put(&mut self, key: String, value: Arc<CachedBody>, expires: Instant) {
         self.sweep_expired(Instant::now());
         if let Some(&idx) = self.map.get(&key) {
@@ -279,6 +290,18 @@ impl ShardedLru {
             .expect("cache shard poisoned")
             .put(key, value, expires);
         true
+    }
+
+    /// Drop every entry across all shards, returning how many were
+    /// held. Used by the write path: a committed update invalidates the
+    /// whole response cache in one sweep (generation-stamped keys
+    /// already make stale entries unreachable; clearing also reclaims
+    /// their memory immediately and feeds the invalidation counter).
+    pub fn clear(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").clear())
+            .sum()
     }
 
     /// Entries currently held (expired-but-unreclaimed entries count).

@@ -12,6 +12,7 @@
 //! | Route | Engine | Paper path |
 //! |---|---|---|
 //! | `GET /query` | `ee-rdf` BGP + spatial filter | E2/E3 selections |
+//! | `POST /update` | `ee-rdf` SPARQL UPDATE (durable commit) | live ingest |
 //! | `GET /catalogue/search` | `ee-catalogue` classic / semantic | E9 |
 //! | `GET /tiles/{level}/{row}/{col}` | `ee-raster` overview pyramid | browse imagery |
 //! | `GET /ice/{region}` | `ee-polar` PCDSS bundle | E12 |

@@ -4,7 +4,15 @@
 //! cargo run -p ee-serve --release              # defaults (127.0.0.1:7207)
 //! EE_SERVE_ADDR=0.0.0.0:8080 cargo run -p ee-serve --release
 //! EE_SERVE_TINY=1 cargo run -p ee-serve        # small dataset, fast start
+//! cargo run -p ee-serve --release -- --writable            # accept POST /update
+//! EE_SERVE_DATA_DIR=/var/lib/ee cargo run -p ee-serve --release -- --writable
 //! ```
+//!
+//! `--writable` (or `EE_SERVE_WRITABLE=1`) enables `POST /update`;
+//! without it every update is answered 403. `EE_SERVE_DATA_DIR` makes
+//! the point store durable: the first start seeds the directory with a
+//! generation-0 snapshot, later starts reopen snapshot + WAL tail, so
+//! committed updates survive restarts.
 
 use ee_serve::{start, AppState, DataConfig, ServerConfig};
 use std::sync::Arc;
@@ -17,6 +25,8 @@ fn main() {
     } else {
         DataConfig::default()
     };
+    let writable = std::env::args().any(|a| a == "--writable")
+        || matches!(std::env::var("EE_SERVE_WRITABLE"), Ok(v) if !v.is_empty() && v != "0");
     eprintln!(
         "ee-serve: building engines (points={}, products={}, scene={}px, ice={} regions)...",
         data.points,
@@ -25,7 +35,26 @@ fn main() {
         ee_serve::state::ICE_REGIONS.len()
     );
     let t0 = std::time::Instant::now();
-    let state = Arc::new(AppState::build(data));
+    let mut state = match std::env::var("EE_SERVE_DATA_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            match AppState::build_durable(data, std::path::Path::new(&dir)) {
+                Ok(s) => {
+                    eprintln!(
+                        "ee-serve: durable store in {dir} (generation {})",
+                        s.generation()
+                    );
+                    s
+                }
+                Err(e) => {
+                    eprintln!("ee-serve: cannot open data dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => AppState::build(data),
+    };
+    state.writable = writable;
+    let state = Arc::new(state);
     eprintln!("ee-serve: engines ready in {:?}", t0.elapsed());
 
     let config = ServerConfig {
@@ -41,8 +70,10 @@ fn main() {
         }
     };
     eprintln!(
-        "ee-serve: listening on http://{} ({} workers) — try /healthz, /query, /tiles/0/0/0",
-        handle.addr, workers
+        "ee-serve: listening on http://{} ({} workers{}) — try /healthz, /query, /tiles/0/0/0",
+        handle.addr,
+        workers,
+        if writable { ", writable" } else { "" }
     );
     // Serve forever; the process is stopped by signal.
     loop {

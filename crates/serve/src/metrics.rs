@@ -97,6 +97,8 @@ impl Histogram {
 pub enum Route {
     /// `/query` — RDF BGP selection.
     Query,
+    /// `POST /update` — SPARQL UPDATE against the point store.
+    Update,
     /// `/catalogue/search`.
     Catalogue,
     /// `/tiles/{level}/{row}/{col}`.
@@ -114,8 +116,9 @@ pub enum Route {
 }
 
 /// All routes, for iteration.
-pub const ROUTES: [Route; 8] = [
+pub const ROUTES: [Route; 9] = [
     Route::Query,
+    Route::Update,
     Route::Catalogue,
     Route::Tiles,
     Route::Ice,
@@ -130,6 +133,7 @@ impl Route {
     pub fn label(self) -> &'static str {
         match self {
             Route::Query => "query",
+            Route::Update => "update",
             Route::Catalogue => "catalogue",
             Route::Tiles => "tiles",
             Route::Ice => "ice",

@@ -6,6 +6,7 @@
 //! | route                       | engine                         | verb     |
 //! |-----------------------------|--------------------------------|----------|
 //! | `/query`                    | `ee-rdf` BGP selection (E2/E3) | GET/POST |
+//! | `/update`                   | `ee-rdf` SPARQL UPDATE commit  | POST     |
 //! | `/catalogue/search`         | `ee-catalogue` (E9)            | GET      |
 //! | `/tiles/{level}/{row}/{col}`| `ee-raster` pyramid            | GET      |
 //! | `/ice/{region}`             | `ee-polar` PCDSS bundle (E12)  | GET      |
@@ -15,8 +16,14 @@
 //! `POST /query` takes the raw SPARQL text as the request body; both
 //! verbs execute through [`AppState::prepared_query`], so a repeated
 //! query hits the prepared-plan cache regardless of how it arrives.
-//! Tile responses carry a strong `etag` derived from the body bytes;
-//! the server layer answers `If-None-Match` revalidations with 304.
+//! `POST /update` takes SPARQL UPDATE text (INSERT DATA / DELETE DATA /
+//! DELETE WHERE) and commits it through the durable store — 403 unless
+//! the server runs `--writable`, 400 on a parse error.
+//!
+//! Tile and query responses carry a strong `etag` that mixes in the
+//! store **generation**, so a committed update invalidates every
+//! client-held validator in one counter bump; the server layer answers
+//! `If-None-Match` revalidations with 304.
 //!
 //! (`/metrics` is answered by the server itself, which owns the metrics
 //! and cache objects.)
@@ -46,6 +53,7 @@ pub fn classify(path: &str) -> Route {
     let mut segs = path.split('/').filter(|s| !s.is_empty());
     match segs.next() {
         Some("query") => Route::Query,
+        Some("update") => Route::Update,
         Some("catalogue") => Route::Catalogue,
         Some("tiles") => Route::Tiles,
         Some("ice") => Route::Ice,
@@ -62,18 +70,30 @@ pub fn classify(path: &str) -> Route {
 /// The key canonicalises the query string — parameters sorted by name
 /// (stable for equal names) — so `?a=1&b=2` and `?b=2&a=1` share an
 /// entry. Only GETs on the four engine routes are cacheable; health,
-/// metrics and debug endpoints always reflect live state.
-pub fn cache_key(req: &Request) -> Option<String> {
+/// metrics and debug endpoints always reflect live state (they never
+/// get a key, so they bypass the generation stamping below entirely).
+///
+/// Keys for the store-derived routes (`/query`, `/tiles`) embed the
+/// store `generation`: an entry cached under generation G can never be
+/// served once a commit moves the store to G+1, because every later
+/// lookup uses a different key. Catalogue and ice responses are not
+/// store-derived, so they stay on pure TTL freshness.
+pub fn cache_key(req: &Request, generation: u64) -> Option<String> {
     if req.method != "GET" {
         return None;
     }
-    match classify(&req.path) {
+    let route = classify(&req.path);
+    match route {
         Route::Query | Route::Catalogue | Route::Tiles | Route::Ice => {
             let mut params = req.query.clone();
             params.sort_by(|a, b| a.0.cmp(&b.0));
             let canon: Vec<String> =
                 params.iter().map(|(k, v)| format!("{k}={v}")).collect();
-            Some(format!("GET|{}|{}", req.path, canon.join("&")))
+            let stamp = match route {
+                Route::Query | Route::Tiles => format!("|g{generation}"),
+                _ => String::new(),
+            };
+            Some(format!("GET|{}|{}{stamp}", req.path, canon.join("&")))
         }
         _ => None,
     }
@@ -91,8 +111,14 @@ pub fn dispatch(
     if req.method == "POST" && segs.as_slice() == ["query"] {
         return Outcome::Ready(handle_query_post(state, req));
     }
+    if req.method == "POST" && segs.as_slice() == ["update"] {
+        return Outcome::Ready(handle_update(state, req));
+    }
     if req.method != "GET" {
-        return Outcome::Ready(Response::error(405, "only GET is served (and POST /query)"));
+        return Outcome::Ready(Response::error(
+            405,
+            "only GET is served (and POST /query, POST /update)",
+        ));
     }
     match segs.as_slice() {
         ["query"] => Outcome::Ready(handle_query(state, req)),
@@ -139,6 +165,39 @@ fn handle_query_post(state: &Arc<AppState>, req: &Request) -> Response {
     run_query(state, sparql, limit)
 }
 
+/// `POST /update` — the request body is SPARQL UPDATE text, committed
+/// through [`AppState::commit_update`] (evaluate → WAL fsync → apply →
+/// generation bump). Refused with 403 on read-only servers, 400 on
+/// parse errors. A 200 answer means the commit is durable (when the
+/// store has a data directory) and reports the resulting generation
+/// plus the effective triple counts.
+fn handle_update(state: &Arc<AppState>, req: &Request) -> Response {
+    if !state.writable {
+        return Response::error(403, "server is read-only; start with --writable");
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body must be UTF-8 SPARQL UPDATE text");
+    };
+    if text.trim().is_empty() {
+        return Response::error(400, "empty body; POST the SPARQL UPDATE text");
+    }
+    let update = match ee_rdf::parser::parse_update(text) {
+        Ok(u) => u,
+        Err(e) => return Response::error(400, &format!("update failed: {e}")),
+    };
+    match state.commit_update(&update) {
+        Ok(stats) => Response::json(
+            200,
+            &Json::obj(vec![
+                ("generation", Json::Num(stats.generation as f64)),
+                ("inserted", Json::Num(stats.inserted as f64)),
+                ("deleted", Json::Num(stats.deleted as f64)),
+            ]),
+        ),
+        Err(e) => Response::error(500, &format!("commit failed: {e}")),
+    }
+}
+
 /// Shared GET/POST tail: prepared-plan execution, serialised batch by
 /// batch. The joins run here (planning errors surface as a sized 400);
 /// on success the response body is a [`QueryStream`] that materialises
@@ -148,19 +207,29 @@ fn handle_query_post(state: &Arc<AppState>, req: &Request) -> Response {
 /// emitted last — its value is only known once the stream has drained.
 fn run_query(state: &Arc<AppState>, sparql: &str, limit: usize) -> Response {
     match state.prepared_query_stream(sparql) {
-        Ok(core) => Response::streamed(
-            200,
-            "application/json",
-            Box::new(QueryStream {
-                state: Arc::clone(state),
-                core,
-                limit,
-                emitted: 0,
-                count: 0,
-                stage: QueryStage::Head,
-                buf: Vec::new(),
-            }),
-        ),
+        Ok(core) => {
+            // Strong validator without buffering the (streamed) body:
+            // the result is a function of the canonical query text, the
+            // row cap, and the store generation — so the tag is
+            // computable up front and flips on every committed update.
+            let canon = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
+            let etag =
+                etag_of(format!("query|{canon}|{limit}|g{}", state.generation()).as_bytes());
+            Response::streamed(
+                200,
+                "application/json",
+                Box::new(QueryStream {
+                    state: Arc::clone(state),
+                    core,
+                    limit,
+                    emitted: 0,
+                    count: 0,
+                    stage: QueryStage::Head,
+                    buf: Vec::new(),
+                }),
+            )
+            .with_header("etag", etag)
+        }
         Err(e) => Response::error(400, &format!("query failed: {e}")),
     }
 }
@@ -206,7 +275,11 @@ impl BodyStream for QueryStream {
                 self.stage = QueryStage::Rows;
                 Ok(Some(&self.buf))
             }
-            QueryStage::Rows => match self.core.next_batch(&self.state.store) {
+            // The read lock is taken per batch, not for the whole
+            // stream: a slow download never starves a writer, and
+            // indexed-mode cursors re-seek past concurrent mutations
+            // (the serve store always runs `IndexMode::Full`).
+            QueryStage::Rows => match self.core.next_batch(&self.state.store()) {
                 Some(batch) => {
                     let mut out = String::new();
                     for row in &batch {
@@ -379,7 +452,11 @@ fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response 
     let h = ts.min(raster.rows() - row0);
     let window = raster.window(col0, row0, w, h).expect("bounds checked");
     // Hash pass: stream the encoding through the FNV sink (no buffer).
+    // The store generation seeds the hash so every committed update
+    // rolls all tile validators at once, matching the
+    // generation-stamped cache keys.
     let mut sink = FnvSink::new();
+    sink.update(&state.generation().to_le_bytes());
     ee_raster::codec::encode_into(&window, &mut sink).expect("hash sink cannot fail");
     let etag = sink.etag();
     Response::streamed(
@@ -493,12 +570,16 @@ fn handle_ice(state: &AppState, req: &Request, region: &str) -> Response {
     }
 }
 
-/// `/healthz` — liveness, uptime, and the engine inventory.
+/// `/healthz` — liveness, uptime, and the engine inventory. Never
+/// cached (no [`cache_key`]), so `points` and `generation` always
+/// reflect the live store even immediately after a commit.
 fn handle_healthz(state: &AppState) -> Response {
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
-        ("points", Json::Num(state.store.len() as f64)),
+        ("writable", Json::Bool(state.writable)),
+        ("generation", Json::Num(state.generation() as f64)),
+        ("points", Json::Num(state.store().len() as f64)),
         ("products", Json::Num(state.classic.len() as f64)),
         ("pyramid_levels", Json::Num(state.pyramid.len() as f64)),
         (
@@ -616,15 +697,136 @@ mod tests {
 
     #[test]
     fn cache_key_canonicalises_query_order() {
-        let a = cache_key(&get("/query?x0=1&y0=2")).unwrap();
-        let b = cache_key(&get("/query?y0=2&x0=1")).unwrap();
+        let a = cache_key(&get("/query?x0=1&y0=2"), 0).unwrap();
+        let b = cache_key(&get("/query?y0=2&x0=1"), 0).unwrap();
         assert_eq!(a, b);
-        assert_ne!(a, cache_key(&get("/query?x0=1&y0=3")).unwrap());
-        assert!(cache_key(&get("/healthz")).is_none());
-        assert!(cache_key(&get("/metrics")).is_none());
+        assert_ne!(a, cache_key(&get("/query?x0=1&y0=3"), 0).unwrap());
+        assert!(cache_key(&get("/healthz"), 0).is_none());
+        assert!(cache_key(&get("/metrics"), 0).is_none());
         let mut post = get("/query?x0=1");
         post.method = "POST".into();
-        assert!(cache_key(&post).is_none());
+        assert!(cache_key(&post, 0).is_none());
+    }
+
+    #[test]
+    fn cache_key_stamps_store_derived_routes_with_generation() {
+        // Store-derived routes change key when the generation moves…
+        for target in ["/query?x0=1&y0=2", "/tiles/0/0/0"] {
+            let g0 = cache_key(&get(target), 0).unwrap();
+            let g1 = cache_key(&get(target), 1).unwrap();
+            assert_ne!(g0, g1, "{target} must be generation-stamped");
+        }
+        // …while catalogue and ice stay on TTL freshness (their data is
+        // not derived from the mutable store).
+        for target in ["/catalogue/search?minx=1", "/ice/fram-strait"] {
+            let g0 = cache_key(&get(target), 0).unwrap();
+            let g1 = cache_key(&get(target), 1).unwrap();
+            assert_eq!(g0, g1, "{target} must not depend on the generation");
+        }
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        let raw = format!(
+            "POST {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn update_route_requires_writable() {
+        // The shared read-only state 403s every update.
+        let resp = ready(dispatch(
+            state(),
+            &post("/update", "INSERT DATA { <http://e/x> <http://e/p> <http://e/o> }"),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(resp.status, 403);
+    }
+
+    #[test]
+    fn update_route_commits_and_reports_generation() {
+        let mut s = AppState::build(DataConfig::tiny());
+        s.writable = true;
+        let s = Arc::new(s);
+        let before = s.store().len();
+        let resp = ready(dispatch(
+            &s,
+            &post(
+                "/update",
+                "INSERT DATA { <http://e/x> <http://e/p> <http://e/o> . \
+                 <http://e/y> <http://e/p> \"lit\" }",
+            ),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(resp.status, 200);
+        let v = ee_util::json::parse(std::str::from_utf8(&body_of(resp)).unwrap()).unwrap();
+        assert_eq!(v.get("generation").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("inserted").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.get("deleted").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(s.store().len(), before + 2);
+        assert_eq!(s.generation(), 1);
+        // The written triple is immediately visible through /query.
+        let q = "SELECT ?o WHERE { <http://e/x> <http://e/p> ?o }";
+        let resp = ready(dispatch(
+            &s,
+            &get(&format!("/query?sparql={}", q.replace(' ', "%20"))),
+            far_deadline(),
+            false,
+        ));
+        let v = ee_util::json::parse(std::str::from_utf8(&body_of(resp)).unwrap()).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(1.0));
+        // DELETE WHERE takes it back out.
+        let resp = ready(dispatch(
+            &s,
+            &post("/update", "DELETE WHERE { <http://e/x> ?p ?o }"),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(resp.status, 200);
+        let v = ee_util::json::parse(std::str::from_utf8(&body_of(resp)).unwrap()).unwrap();
+        assert_eq!(v.get("deleted").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.generation(), 2);
+        // Parse errors and empty bodies are 400, not 500.
+        assert_eq!(
+            ready(dispatch(&s, &post("/update", "DROP ALL"), far_deadline(), false)).status,
+            400
+        );
+        assert_eq!(
+            ready(dispatch(&s, &post("/update", ""), far_deadline(), false)).status,
+            400
+        );
+    }
+
+    #[test]
+    fn query_and_tile_etags_roll_with_the_generation() {
+        let mut s = AppState::build(DataConfig::tiny());
+        s.writable = true;
+        let s = Arc::new(s);
+        let tag = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "etag")
+                .map(|(_, v)| v.clone())
+                .expect("response has etag")
+        };
+        let q0 = ready(dispatch(&s, &get("/query?x0=10&y0=10&side=20"), far_deadline(), false));
+        let t0 = ready(dispatch(&s, &get("/tiles/0/0/0"), far_deadline(), false));
+        // Same generation: tags are stable.
+        let q0b = ready(dispatch(&s, &get("/query?x0=10&y0=10&side=20"), far_deadline(), false));
+        assert_eq!(tag(&q0), tag(&q0b));
+        ready(dispatch(
+            &s,
+            &post("/update", "INSERT DATA { <http://e/z> <http://e/p> <http://e/o> }"),
+            far_deadline(),
+            false,
+        ));
+        let q1 = ready(dispatch(&s, &get("/query?x0=10&y0=10&side=20"), far_deadline(), false));
+        let t1 = ready(dispatch(&s, &get("/tiles/0/0/0"), far_deadline(), false));
+        assert_ne!(tag(&q0), tag(&q1), "query etag rolls on commit");
+        assert_ne!(tag(&t0), tag(&t1), "tile etag rolls on commit");
     }
 
     #[test]

@@ -314,7 +314,10 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 ) + &shared.state.render_prometheus_section(),
             )
         } else {
-            let key = cache_key(&req);
+            // Keys embed the store generation (for store-derived
+            // routes), so entries cached before a commit are
+            // unreachable after it.
+            let key = cache_key(&req, shared.state.generation());
             let cacheable = key.is_some();
             let cached = key.as_ref().and_then(|k| shared.cache.get(k));
             match cached {
@@ -375,6 +378,15 @@ fn serve_connection(shared: &Shared, conn: Conn) {
                 }
             }
         };
+
+        // A committed update: sweep the whole response cache. The
+        // generation-stamped keys already guarantee staleness can't be
+        // served; the sweep reclaims the dead entries' memory now and
+        // feeds `ee_serve_invalidated_total{kind="responses"}`.
+        if route == crate::metrics::Route::Update && response.status == 200 {
+            let swept = shared.cache.clear() as u64;
+            shared.state.note_invalidated_responses(swept);
+        }
 
         // Conditional requests: when the client's If-None-Match equals
         // the response's ETag the body is elided with a 304. Applied

@@ -1,9 +1,14 @@
 //! The application state behind the routes: one instance of each
-//! analytics engine, built once at startup and shared read-only by every
-//! worker thread.
+//! analytics engine, built once at startup and shared by every worker
+//! thread.
 //!
-//! * an [`ee_rdf::TripleStore`] of point features with a spatial index —
-//!   the E2/E3 rectangular-selection path, behind `/query`;
+//! * a mutable [`ee_rdf::storage::Store`] of point features with a
+//!   spatial index — the E2/E3 rectangular-selection path behind
+//!   `/query`, writable through `POST /update` when the server runs
+//!   `--writable`. Reads take a shared [`RwLock`] guard; commits take
+//!   the exclusive side, bump the store **generation**, and invalidate
+//!   the prepared-plan cache. The generation is mirrored into an atomic
+//!   so the hot path (cache keys, ETags) never touches the lock;
 //! * an [`ee_catalogue::ClassicCatalogue`] + [`SemanticCatalogue`] pair
 //!   over the same generated archive — the E9 path, behind
 //!   `/catalogue/search`;
@@ -26,14 +31,16 @@ use ee_raster::scene::Band;
 use ee_raster::tile::pyramid;
 use ee_raster::Raster;
 use ee_rdf::plan::FastPath;
+use ee_rdf::storage::{CommitStats, Durability, Store, StoreError};
 use ee_rdf::store::IndexMode;
 use ee_rdf::term::Term;
 use ee_rdf::TripleStore;
 use ee_util::timeline::Date;
 use ee_util::Rng;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// Side length of the square point-feature region served by `/query`
 /// (degree-like units, matching the E2 experiment).
@@ -90,13 +97,25 @@ impl DataConfig {
     }
 }
 
-/// Everything the handlers read. Built once, then immutable — workers
-/// share it behind an `Arc` with no locks.
+/// Everything the handlers touch. Built once; workers share it behind
+/// an `Arc`. All engines except the point store are immutable; the
+/// point store sits behind an [`RwLock`] so `POST /update` commits can
+/// mutate it while readers pause only for the commit's apply phase.
 pub struct AppState {
     /// Sizing used to build the state.
     pub config: DataConfig,
-    /// Point-feature store with spatial index (the `/query` engine).
-    pub store: TripleStore,
+    /// Whether `POST /update` is accepted (the `--writable` flag);
+    /// read-only servers answer it 403.
+    pub writable: bool,
+    /// Point-feature store with spatial index (the `/query` engine),
+    /// durable when built through [`AppState::build_durable`]. Private:
+    /// reads go through [`AppState::store`], writes through
+    /// [`AppState::commit_update`] (which keeps the generation mirror
+    /// and the plan cache coherent).
+    store: RwLock<Store>,
+    /// Mirror of the store generation, readable without the lock
+    /// (cache keys and ETags consult it on every request).
+    generation: AtomicU64,
     /// R-tree indexed product catalogue (the classic `/catalogue` arm).
     pub classic: ClassicCatalogue,
     /// GeoSPARQL catalogue over the same archive (the semantic arm).
@@ -128,14 +147,44 @@ pub struct AppState {
     catalogue_mode_requests: [AtomicU64; CATALOGUE_MODES.len()],
     /// Handler latency per `/catalogue/search` mode, same indexing.
     catalogue_mode_latency: [Histogram; CATALOGUE_MODES.len()],
+    /// Prepared plans dropped by commits
+    /// (`ee_serve_invalidated_total{kind="plans"}`).
+    invalidated_plans: AtomicU64,
+    /// Cached responses dropped by commits (counted by the server,
+    /// which owns the response cache; rendered here next to the plans).
+    invalidated_responses: AtomicU64,
+    /// `POST /update` commit latency (evaluate + WAL + apply).
+    update_latency: Histogram,
 }
 
 impl AppState {
-    /// Build every engine. Deterministic in `config`; the pyramid build
-    /// runs row-parallel on the `ee_util::par` pool.
+    /// Build every engine over an **ephemeral** point store (commits
+    /// apply in memory, nothing touches disk). Deterministic in
+    /// `config`; the pyramid build runs row-parallel on the
+    /// `ee_util::par` pool.
     pub fn build(config: DataConfig) -> AppState {
-        let store = point_store(config.points, config.seed);
+        let store = Store::ephemeral(point_store(config.points, config.seed));
+        Self::build_with_store(config, store)
+    }
 
+    /// [`AppState::build`] with a **durable** point store in `dir`: an
+    /// existing snapshot (plus WAL tail) is reopened — preserving every
+    /// committed update across restarts — and a fresh directory is
+    /// seeded with the deterministic generated point set.
+    pub fn build_durable(config: DataConfig, dir: &Path) -> Result<AppState, StoreError> {
+        let store = if dir.join(ee_rdf::storage::snapshot::SNAPSHOT_FILE).exists() {
+            Store::open(dir)?
+        } else {
+            Store::create(
+                dir,
+                point_store(config.points, config.seed),
+                Durability::from_env(),
+            )?
+        };
+        Ok(Self::build_with_store(config, store))
+    }
+
+    fn build_with_store(config: DataConfig, store: Store) -> AppState {
         let region = Envelope::new(0.0, 0.0, 40.0, 40.0);
         let products =
             ProductGenerator::new(region, 2017, config.seed ^ 5).take(config.products);
@@ -183,9 +232,12 @@ impl AppState {
             .collect();
 
         let tile_size = config.tile_size.max(1);
+        let generation = AtomicU64::new(store.generation());
         AppState {
             config,
-            store,
+            writable: false,
+            store: RwLock::new(store),
+            generation,
             classic,
             semantic,
             bm25,
@@ -199,7 +251,64 @@ impl AppState {
             fastpath: std::array::from_fn(|_| AtomicU64::new(0)),
             catalogue_mode_requests: std::array::from_fn(|_| AtomicU64::new(0)),
             catalogue_mode_latency: std::array::from_fn(|_| Histogram::new()),
+            invalidated_plans: AtomicU64::new(0),
+            invalidated_responses: AtomicU64::new(0),
+            update_latency: Histogram::new(),
         }
+    }
+
+    /// Shared read access to the point store. The guard derefs through
+    /// [`Store`] to [`TripleStore`], so every read API works on it
+    /// directly. Held only as long as a handler needs it — streamed
+    /// `/query` bodies re-take it per batch, so a long download never
+    /// starves a writer.
+    pub fn store(&self) -> RwLockReadGuard<'_, Store> {
+        self.store.read().expect("store lock")
+    }
+
+    /// Current store generation, lock-free (mirrored on every commit).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Commit a SPARQL UPDATE: takes the exclusive store lock, runs the
+    /// durable commit (evaluate → WAL fsync → apply), then — if the
+    /// generation moved — refreshes the mirror and drops every prepared
+    /// plan (plans bake in index statistics that the commit may have
+    /// changed). Response-cache entries need no action here: their keys
+    /// embed the generation, so the bump makes stale entries
+    /// unreachable (the server also sweeps them, counting into
+    /// [`ee_serve_invalidated_total`](Self::render_prometheus_section)).
+    pub fn commit_update(
+        &self,
+        update: &ee_rdf::parser::Update,
+    ) -> Result<CommitStats, StoreError> {
+        let t0 = std::time::Instant::now();
+        let mut store = self.store.write().expect("store lock");
+        let stats = store.commit(update)?;
+        let prev = self.generation.swap(stats.generation, Ordering::SeqCst);
+        drop(store);
+        if stats.generation != prev {
+            let mut plans = self.plans.lock().expect("plan cache lock");
+            let dropped = plans.len() as u64;
+            plans.clear();
+            self.invalidated_plans.fetch_add(dropped, Ordering::Relaxed);
+        }
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.update_latency.record_us(us);
+        Ok(stats)
+    }
+
+    /// Count response-cache entries swept after a commit (the server
+    /// owns the cache; the counter lives here so `/metrics` renders
+    /// both invalidation kinds together).
+    pub fn note_invalidated_responses(&self, n: u64) {
+        self.invalidated_responses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Commit-latency histogram of `POST /update` (for experiments).
+    pub fn update_latency(&self) -> &Histogram {
+        &self.update_latency
     }
 
     /// Count one execution of `plan`'s chosen fast path (both the
@@ -292,14 +401,36 @@ impl AppState {
                 .enumerate()
                 .map(|(i, m)| (*m, &self.catalogue_mode_latency[i])),
         );
+        out.push_str(&format!(
+            "# HELP ee_rdf_generation Point-store generation (bumps once per effective commit)\n\
+             # TYPE ee_rdf_generation gauge\nee_rdf_generation {}\n",
+            self.generation()
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_invalidated_total Cache entries invalidated by store commits\n\
+             # TYPE ee_serve_invalidated_total counter\n\
+             ee_serve_invalidated_total{{kind=\"plans\"}} {}\n\
+             ee_serve_invalidated_total{{kind=\"responses\"}} {}\n",
+            self.invalidated_plans.load(Ordering::Relaxed),
+            self.invalidated_responses.load(Ordering::Relaxed),
+        ));
+        render_histogram_family(
+            &mut out,
+            "ee_serve_update_commit_us",
+            "SPARQL UPDATE commit latency (µs)",
+            "op",
+            [("commit", &self.update_latency)],
+        );
         out
     }
 
     /// Resolve a SPARQL text to a prepared plan: the text is
     /// canonicalised (whitespace-collapsed), looked up in the plan
-    /// cache, and planned on miss.
+    /// cache, and planned on miss. Takes the store (already locked by
+    /// the caller) so planning and execution see one consistent state.
     fn prepared_plan(
         &self,
+        store: &TripleStore,
         sparql: &str,
     ) -> Result<Arc<ee_rdf::plan::Plan>, ee_rdf::RdfError> {
         let key = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
@@ -311,7 +442,7 @@ impl AppState {
             }
             None => {
                 let q = ee_rdf::parser::parse_query(sparql)?;
-                let p = Arc::new(ee_rdf::plan::plan(&self.store, &q)?);
+                let p = Arc::new(ee_rdf::plan::plan(store, &q)?);
                 self.plan_misses.fetch_add(1, Ordering::Relaxed);
                 self.plans
                     .lock()
@@ -329,9 +460,10 @@ impl AppState {
         &self,
         sparql: &str,
     ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
-        let plan = self.prepared_plan(sparql)?;
+        let store = self.store();
+        let plan = self.prepared_plan(&store, sparql)?;
         self.note_fastpath(&plan);
-        ee_rdf::exec::execute_plan(&self.store, &plan, ee_util::par::available_threads())
+        ee_rdf::exec::execute_plan(&store, &plan, ee_util::par::available_threads())
     }
 
     /// Evaluate a SPARQL query through the prepared-plan path, returning
@@ -345,9 +477,10 @@ impl AppState {
         &self,
         sparql: &str,
     ) -> Result<ee_rdf::exec::StreamCore, ee_rdf::RdfError> {
-        let plan = self.prepared_plan(sparql)?;
+        let store = self.store();
+        let plan = self.prepared_plan(&store, sparql)?;
         self.note_fastpath(&plan);
-        ee_rdf::exec::stream_plan_shared(&self.store, plan, ee_util::par::available_threads())
+        ee_rdf::exec::stream_plan_shared(&store, plan, ee_util::par::available_threads())
     }
 
     /// Plan-cache statistics: `(hits, misses, entries)`.
@@ -415,7 +548,7 @@ mod tests {
     #[test]
     fn build_is_deterministic_and_complete() {
         let a = AppState::build(DataConfig::tiny());
-        assert!(a.store.len() >= 2 * a.config.points);
+        assert!(a.store().len() >= 2 * a.config.points);
         assert_eq!(a.classic.len(), a.config.products);
         assert!(!a.semantic.is_empty());
         assert_eq!(a.pyramid[0].shape(), (96, 96));
@@ -425,8 +558,63 @@ mod tests {
         assert!(a.ice_region("atlantis").is_none());
         // Determinism: the same config builds the same data.
         let b = AppState::build(DataConfig::tiny());
-        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.store().len(), b.store().len());
         assert_eq!(a.pyramid[2], b.pyramid[2]);
+    }
+
+    #[test]
+    fn commit_update_bumps_generation_and_drops_plans() {
+        let state = AppState::build(DataConfig::tiny());
+        assert_eq!(state.generation(), 0);
+        // Warm the plan cache.
+        let q = "PREFIX e: <http://e/> SELECT (COUNT(?s) AS ?n) WHERE { ?s e:hasGeometry ?g }";
+        state.prepared_query(q).expect("query");
+        assert_eq!(state.plan_cache_stats().2, 1);
+        let before = state.store().len();
+        let u = ee_rdf::parser::parse_update(
+            "INSERT DATA { <http://e/new> <http://e/p> \"v\" }",
+        )
+        .unwrap();
+        let stats = state.commit_update(&u).expect("commit");
+        assert_eq!(stats.generation, 1);
+        assert_eq!(state.generation(), 1);
+        assert_eq!(state.store().len(), before + 1);
+        assert_eq!(state.plan_cache_stats().2, 0, "commit drops prepared plans");
+        // A no-op commit (same triple again) bumps nothing.
+        let stats = state.commit_update(&u).expect("noop commit");
+        assert_eq!(stats.generation, 1);
+        assert_eq!(state.generation(), 1);
+        assert_eq!(state.update_latency().count(), 2);
+        let section = state.render_prometheus_section();
+        assert!(section.contains("ee_rdf_generation 1"));
+        assert!(section.contains("ee_serve_invalidated_total{kind=\"plans\"} 1"));
+        assert!(section.contains("ee_serve_update_commit_us_count{op=\"commit\"} 2"));
+    }
+
+    #[test]
+    fn build_durable_reopens_committed_state() {
+        let dir = ee_rdf::storage::scratch_dir("serve-durable");
+        let cfg = DataConfig::tiny();
+        let fresh = AppState::build_durable(cfg.clone(), &dir).expect("seed durable state");
+        let seeded = fresh.store().len();
+        assert!(seeded >= 2 * cfg.points);
+        let u = ee_rdf::parser::parse_update(
+            "INSERT DATA { <http://e/durable> <http://e/p> <http://e/o> }",
+        )
+        .unwrap();
+        fresh.commit_update(&u).expect("commit");
+        drop(fresh);
+        // Reopen: snapshot + WAL replay restore the committed triple.
+        let reopened = AppState::build_durable(cfg, &dir).expect("reopen");
+        assert_eq!(reopened.generation(), 1);
+        assert_eq!(reopened.store().len(), seeded + 1);
+        assert!(reopened.store().contains(
+            &Term::iri("http://e/durable"),
+            &Term::iri("http://e/p"),
+            &Term::iri("http://e/o"),
+        ));
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -481,7 +669,7 @@ mod tests {
     fn selection_query_answers() {
         let state = AppState::build(DataConfig::tiny());
         let q = selection_sparql(10.0, 10.0, 10.0);
-        let sol = ee_rdf::exec::query(&state.store, &q).expect("selection");
+        let sol = ee_rdf::exec::query(&state.store(), &q).expect("selection");
         let n = match sol.scalar() {
             Some(Term::Literal { lexical, .. }) => lexical.parse::<usize>().unwrap(),
             other => panic!("expected scalar count, got {other:?}"),

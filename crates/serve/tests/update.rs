@@ -1,0 +1,233 @@
+//! End-to-end write-path tests over real localhost sockets: `POST
+//! /update` authorisation and error handling, write-then-read
+//! visibility, generation-stamped response-cache invalidation (an entry
+//! cached under generation G never serves after G+1, including the
+//! refresh-after-write race), and the always-live `/healthz` +
+//! `/metrics` bypass.
+
+use ee_serve::http::read_response;
+use ee_serve::{start, AppState, DataConfig, ServerConfig};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A writable state per test server: the write path mutates the store,
+/// so unlike the read-only suites nothing is shared across tests.
+fn writable_state() -> Arc<AppState> {
+    let mut s = AppState::build(DataConfig::tiny());
+    s.writable = true;
+    Arc::new(s)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_watermark: 8,
+        deadline: Duration::from_millis(5_000),
+        idle_timeout: Duration::from_millis(2_000),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let r = s.try_clone().expect("clone");
+    (s, BufReader::new(r))
+}
+
+fn get(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+) -> ee_serve::http::ClientResponse {
+    let _ = write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\n\r\n"
+    );
+    let _ = stream.flush();
+    read_response(reader).expect("response")
+}
+
+fn post_update(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    body: &str,
+) -> ee_serve::http::ClientResponse {
+    let _ = write!(
+        stream,
+        "POST /update HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    read_response(reader).expect("response")
+}
+
+fn json_of(resp: &ee_serve::http::ClientResponse) -> ee_util::json::Json {
+    ee_util::json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("json body")
+}
+
+#[test]
+fn update_is_403_without_writable_and_400_on_bad_syntax() {
+    // Default state: read-only.
+    let server = start(test_config(), Arc::new(AppState::build(DataConfig::tiny())))
+        .expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    let resp = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/a> <http://e/p> <http://e/o> }",
+    );
+    assert_eq!(resp.status, 403);
+    server.shutdown();
+
+    // Writable state: parse errors are 400, valid text commits.
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    assert_eq!(post_update(&mut s, &mut r, "CLEAR GRAPH <g>").status, 400);
+    let ok = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/a> <http://e/p> <http://e/o> }",
+    );
+    assert_eq!(ok.status, 200);
+    let v = json_of(&ok);
+    assert_eq!(v.get("generation").and_then(ee_util::json::Json::as_f64), Some(1.0));
+    assert_eq!(v.get("inserted").and_then(ee_util::json::Json::as_f64), Some(1.0));
+    server.shutdown();
+}
+
+#[test]
+fn committed_writes_invalidate_cached_queries() {
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    // Count triples about a marker subject: 0 before the write.
+    let q = "/query?sparql=SELECT%20?o%20WHERE%20{%20<http://e/marker>%20<http://e/p>%20?o%20}";
+    let miss = get(&mut s, &mut r, q);
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.header("x-cache"), Some("MISS"));
+    let count = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("count")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+    assert_eq!(count(&miss), 0.0);
+    let hit = get(&mut s, &mut r, q);
+    assert_eq!(hit.header("x-cache"), Some("HIT"));
+
+    // Commit a write touching the queried subject.
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/marker> <http://e/p> <http://e/one> }",
+    );
+    assert_eq!(upd.status, 200);
+
+    // The very next read misses the cache (generation-stamped key) and
+    // sees the new triple — an entry stored under generation G never
+    // serves after G+1.
+    let after = get(&mut s, &mut r, q);
+    assert_eq!(after.header("x-cache"), Some("MISS"), "stale entry must not serve");
+    assert_eq!(count(&after), 1.0);
+    // And the fresh result caches again under the new generation.
+    let again = get(&mut s, &mut r, q);
+    assert_eq!(again.header("x-cache"), Some("HIT"));
+    assert_eq!(count(&again), 1.0);
+
+    // ETags rolled with the generation, so revalidation with the stale
+    // tag refetches instead of 304ing.
+    let stale_tag = miss.header("etag").expect("query etag").to_string();
+    let fresh_tag = after.header("etag").expect("query etag");
+    assert_ne!(stale_tag, fresh_tag);
+    server.shutdown();
+}
+
+#[test]
+fn refresh_after_write_race_never_resurrects_stale_entries() {
+    // The race: a cacheable read starts under generation G, a commit
+    // moves the store to G+1 while the response is in flight, and the
+    // read's tee inserts its (stale) entry afterwards. The entry lands
+    // under the G-stamped key, so post-commit lookups (G+1 keys) can
+    // never return it. Interleave reads and writes on one keep-alive
+    // connection and assert every read reflects all prior commits.
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    let q = "/query?sparql=SELECT%20?o%20WHERE%20{%20<http://e/race>%20<http://e/p>%20?o%20}";
+    for round in 1..=4u32 {
+        let upd = post_update(
+            &mut s,
+            &mut r,
+            &format!("INSERT DATA {{ <http://e/race> <http://e/p> <http://e/o{round}> }}"),
+        );
+        assert_eq!(upd.status, 200);
+        let read = get(&mut s, &mut r, q);
+        assert_eq!(read.status, 200);
+        assert_eq!(
+            read.header("x-cache"),
+            Some("MISS"),
+            "round {round}: the commit must have rolled the cache key"
+        );
+        let n = json_of(&read)
+            .get("count")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap();
+        assert_eq!(n, f64::from(round), "round {round}: reads see all commits");
+        // The re-cached entry serves until the next write.
+        assert_eq!(get(&mut s, &mut r, q).header("x-cache"), Some("HIT"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_bypass_the_cache_and_track_the_generation() {
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    let h0 = get(&mut s, &mut r, "/healthz");
+    assert_eq!(h0.header("x-cache"), None, "healthz is never cached");
+    let gen_of = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("generation")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+    let points_of = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("points")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+    assert_eq!(gen_of(&h0), 0.0);
+
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/h> <http://e/p> <http://e/o> }",
+    );
+    assert_eq!(upd.status, 200);
+
+    // Same requests immediately after the write: live values, no cache.
+    let h1 = get(&mut s, &mut r, "/healthz");
+    assert_eq!(h1.header("x-cache"), None);
+    assert_eq!(gen_of(&h1), 1.0, "healthz reports the live generation");
+    assert_eq!(points_of(&h1), points_of(&h0) + 1.0);
+
+    let m = get(&mut s, &mut r, "/metrics");
+    assert_eq!(m.header("x-cache"), None, "metrics is never cached");
+    let text = String::from_utf8(m.body).unwrap();
+    assert!(text.contains("ee_rdf_generation 1"), "live generation gauge");
+    assert!(
+        text.contains("ee_serve_update_commit_us_count{op=\"commit\"} 1"),
+        "commit latency recorded"
+    );
+    assert!(text.contains("ee_serve_invalidated_total{kind=\"responses\"}"));
+    assert!(
+        text.contains("ee_serve_route_requests_total{route=\"update\"} 1"),
+        "update has its own route metrics"
+    );
+    server.shutdown();
+}

@@ -3,9 +3,10 @@
 # network access, lint with clippy as errors, then smoke-run the
 # distributed-training (E4), classification (E5), kernel-throughput
 # (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
-# sweep at 4 threads and the E-k6 top-k/BM25 sweep (the harness aborts
-# non-zero if any parallel, top-k, or ranked-search run diverges from
-# its reference answer).
+# sweep at 4 threads, the E-k6 top-k/BM25 sweep, and the E-w7 durable
+# store run (the harness aborts non-zero if any parallel, top-k,
+# ranked-search, or crash-recovery run diverges from its reference
+# answer).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -46,5 +47,18 @@ test -s BENCH_PR6.json
 grep -q '"topk_identical": true' BENCH_PR6.json
 grep -q '"bm25_identical": true' BENCH_PR6.json
 grep -q '"topk_sweep"' BENCH_PR6.json
+
+echo "== smoke: harness e-w7 --quick (durable store + crash recovery) =="
+# EE_WAL_NO_SYNC=1 skips per-commit fsync so CI measures the storage
+# layer, not the CI disk. The run bulk-loads a store, times snapshot
+# open vs a cold N-Triples rebuild, serves queries against a concurrent
+# writer, then tears the WAL mid-record and reopens — any divergence
+# from the last fully-committed state panics the harness (non-zero
+# exit); reaching the greps means recovery was bit-identical.
+EE_WAL_NO_SYNC=1 ./target/release/harness e-w7 --quick
+test -s BENCH_PR7.json
+grep -q '"recovery_identical": true' BENCH_PR7.json
+grep -q '"bulk_load_triples_per_sec"' BENCH_PR7.json
+grep -q '"with_writer_p99_us"' BENCH_PR7.json
 
 echo "verify.sh: all green"
