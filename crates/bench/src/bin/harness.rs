@@ -11,6 +11,7 @@
 //! harness e3 --threads 4  # join threads sweep up to 4; writes BENCH_PR3.json
 //! harness e-k6            # top-k + BM25 sweeps; writes BENCH_PR6.json
 //! harness e-w7 --quick    # durable store; writes BENCH_PR7.json
+//! harness e-c8 --quick    # C10K event serve tier; writes BENCH_PR8.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
@@ -18,7 +19,9 @@
 //! sweep asserts each parallel run bit-identical to serial and aborts
 //! (non-zero exit) on divergence.
 
-use ee_bench::{e3_complexity, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale, ALL};
+use ee_bench::{
+    e3_complexity, e_c8_event, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale, ALL,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -147,6 +150,16 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 vec![("BENCH_PR7.json", json)]
+            }
+            "e-c8" => {
+                // The in-bench stalled-reader backpressure check panics
+                // on unbounded buffering, so verify.sh sees a non-zero
+                // exit.
+                let (tables, json) = e_c8_event::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![("BENCH_PR8.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

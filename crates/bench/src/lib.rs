@@ -9,11 +9,15 @@
 //! [`e_s0_serve`] (`E-s0`) load-tests the `ee-serve` serving tier over real
 //! sockets (writes `BENCH_PR2.json`). [`e_w7_store`] (`E-w7`) measures
 //! the durable store's cold-start, write-while-serve latency, and crash
-//! recovery (writes `BENCH_PR7.json`). The [`table::Table`] type renders
-//! GitHub-flavoured markdown.
+//! recovery (writes `BENCH_PR7.json`). [`e_c8_event`] (`E-c8`) measures
+//! the event-driven serve tier holding thousands of mostly-idle
+//! keep-alive connections against the thread-pool baseline (writes
+//! `BENCH_PR8.json`). The [`table::Table`] type renders GitHub-flavoured
+//! markdown.
 
 pub mod table;
 
+pub mod e_c8_event;
 pub mod e_k6_topk;
 pub mod e_s0_serve;
 pub mod e_w7_store;
@@ -42,9 +46,9 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
-    "e-k6", "e-w7",
+    "e-k6", "e-w7", "e-c8",
 ];
 
 /// Run one experiment by id.
@@ -66,6 +70,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e-s0" => Some(e_s0_serve::run(scale)),
         "e-k6" => Some(e_k6_topk::run(scale)),
         "e-w7" => Some(e_w7_store::run(scale)),
+        "e-c8" => Some(e_c8_event::run(scale)),
         _ => None,
     }
 }

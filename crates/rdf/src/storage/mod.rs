@@ -93,6 +93,46 @@ pub struct BulkLoadStats {
     pub triples_per_sec: f64,
 }
 
+/// When a durable store folds its WAL into a fresh snapshot on its own.
+/// Both triggers are optional; either one firing after a commit runs
+/// [`Store::compact`] inline (the caller's `commit` pays the snapshot
+/// write — bounded by the triggers themselves, since a small WAL folds
+/// fast). Ephemeral stores ignore the policy entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionPolicy {
+    /// Compact once the WAL holds more than this many bytes.
+    pub max_wal_bytes: Option<u64>,
+    /// Compact once this many effective commits landed since the last
+    /// snapshot.
+    pub max_commits: Option<u64>,
+}
+
+impl CompactionPolicy {
+    /// Never auto-compact (the default; callers run [`Store::compact`]
+    /// by hand).
+    pub fn disabled() -> Self {
+        CompactionPolicy::default()
+    }
+
+    /// Read `EE_WAL_COMPACT_BYTES` / `EE_WAL_COMPACT_COMMITS` from the
+    /// environment (unset, empty or unparsable → that trigger disabled).
+    pub fn from_env() -> Self {
+        fn parse(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        CompactionPolicy {
+            max_wal_bytes: parse("EE_WAL_COMPACT_BYTES"),
+            max_commits: parse("EE_WAL_COMPACT_COMMITS"),
+        }
+    }
+
+    /// True when either trigger fires for the given WAL state.
+    pub fn should_compact(&self, wal_bytes: u64, commits_since_snapshot: u64) -> bool {
+        self.max_wal_bytes.is_some_and(|b| wal_bytes > b)
+            || self.max_commits.is_some_and(|c| commits_since_snapshot >= c)
+    }
+}
+
 /// A mutable, optionally durable triple store with a monotonic
 /// generation counter. Derefs to [`TripleStore`] for all reads.
 pub struct Store {
@@ -101,6 +141,11 @@ pub struct Store {
     /// `None` for ephemeral (memory-only) stores.
     wal: Option<Wal>,
     dir: Option<PathBuf>,
+    policy: CompactionPolicy,
+    /// Effective commits since the snapshot on disk was written (seeded
+    /// from the WAL tail on open).
+    commits_since_snapshot: u64,
+    compactions: u64,
 }
 
 impl std::ops::Deref for Store {
@@ -121,6 +166,9 @@ impl Store {
             generation: 0,
             wal: None,
             dir: None,
+            policy: CompactionPolicy::disabled(),
+            commits_since_snapshot: 0,
+            compactions: 0,
         }
     }
 
@@ -153,6 +201,7 @@ impl Store {
             (TripleStore::new(IndexMode::Full), 0)
         };
         let (wal, commits) = Wal::open(dir, durability)?;
+        let mut replayed = 0u64;
         for c in &commits {
             if c.generation <= generation {
                 // Already folded into the snapshot by a compaction that
@@ -167,6 +216,7 @@ impl Store {
                 inner.insert(s, p, o);
             }
             generation = c.generation;
+            replayed += 1;
         }
         inner.build_spatial_index();
         Ok(Store {
@@ -174,6 +224,9 @@ impl Store {
             generation,
             wal: Some(wal),
             dir: Some(dir.to_path_buf()),
+            policy: CompactionPolicy::disabled(),
+            commits_since_snapshot: replayed,
+            compactions: 0,
         })
     }
 
@@ -197,6 +250,9 @@ impl Store {
             generation: 0,
             wal: Some(wal),
             dir: Some(dir.to_path_buf()),
+            policy: CompactionPolicy::disabled(),
+            commits_since_snapshot: 0,
+            compactions: 0,
         })
     }
 
@@ -295,6 +351,16 @@ impl Store {
         let effective = Delta { insert, delete };
         let (inserted, deleted) = apply_delta(&mut self.inner, &effective);
         self.generation = generation;
+        self.commits_since_snapshot += 1;
+        // Threshold-triggered fold: keep the WAL (and therefore restart
+        // replay time) bounded without anyone scheduling maintenance.
+        if self.wal.is_some()
+            && self
+                .policy
+                .should_compact(self.wal_len(), self.commits_since_snapshot)
+        {
+            self.compact()?;
+        }
         Ok(CommitStats {
             generation,
             inserted,
@@ -316,12 +382,34 @@ impl Store {
         if let Some(wal) = &mut self.wal {
             wal.reset()?;
         }
+        self.commits_since_snapshot = 0;
+        self.compactions += 1;
         Ok(())
     }
 
     /// Bytes currently in the WAL (0 when ephemeral or just compacted).
     pub fn wal_len(&self) -> u64 {
         self.wal.as_ref().map(Wal::len).unwrap_or(0)
+    }
+
+    /// Install an automatic compaction policy (see [`CompactionPolicy`]).
+    pub fn set_compaction_policy(&mut self, policy: CompactionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active automatic compaction policy.
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// Effective commits since the last snapshot write.
+    pub fn commits_since_snapshot(&self) -> u64 {
+        self.commits_since_snapshot
+    }
+
+    /// Snapshot folds performed by this instance (manual or automatic).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -548,6 +636,75 @@ mod tests {
         want.sort();
         assert_eq!(got, want);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_count_policy_triggers_automatic_compaction() {
+        let dir = test_dir("auto-compact-commits");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        st.set_compaction_policy(CompactionPolicy {
+            max_wal_bytes: None,
+            max_commits: Some(3),
+        });
+        for i in 0..2 {
+            st.commit(&upd(&format!("INSERT DATA {{ e:s{i} e:p e:o }}")))
+                .unwrap();
+        }
+        assert_eq!(st.compactions(), 0);
+        assert!(st.wal_len() > 0);
+        st.commit(&upd("INSERT DATA { e:s2 e:p e:o }")).unwrap();
+        // Third effective commit crossed the threshold: the WAL folded.
+        assert_eq!(st.compactions(), 1);
+        assert_eq!(st.wal_len(), 0);
+        assert_eq!(st.commits_since_snapshot(), 0);
+        let gen = st.generation();
+        drop(st);
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        assert_eq!(st.generation(), gen);
+        assert_eq!(st.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_byte_policy_triggers_automatic_compaction() {
+        let dir = test_dir("auto-compact-bytes");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        st.set_compaction_policy(CompactionPolicy {
+            max_wal_bytes: Some(256),
+            max_commits: None,
+        });
+        let mut compacted = false;
+        for i in 0..50 {
+            st.commit(&upd(&format!(
+                "INSERT DATA {{ e:subject-{i} e:predicate e:object-{i} }}"
+            )))
+            .unwrap();
+            assert!(
+                st.wal_len() <= 256 + 512,
+                "WAL must stay near the byte cap (one record of slack)"
+            );
+            compacted |= st.compactions() > 0;
+        }
+        assert!(compacted, "50 commits must cross a 256-byte WAL cap");
+        drop(st);
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        assert_eq!(st.len(), 50);
+        assert_eq!(st.generation(), 50);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_policy_from_env_parses_and_defaults() {
+        // Not set in the test environment → both triggers off.
+        let p = CompactionPolicy::disabled();
+        assert!(!p.should_compact(u64::MAX, u64::MAX));
+        let p = CompactionPolicy {
+            max_wal_bytes: Some(100),
+            max_commits: Some(5),
+        };
+        assert!(!p.should_compact(100, 4));
+        assert!(p.should_compact(101, 0));
+        assert!(p.should_compact(0, 5));
     }
 
     #[test]

@@ -467,6 +467,41 @@ impl Response {
         keep_alive: bool,
         mut observe: impl FnMut(&[u8]) -> bool,
     ) -> std::io::Result<()> {
+        let head = self.head_bytes(keep_alive);
+        w.write_all(&head)?;
+        match &mut self.body {
+            Body::Full(b) => {
+                observe(b);
+                w.write_all(b)?;
+            }
+            Body::Streamed(s) => {
+                let mut frame = Vec::new();
+                while let Some(chunk) = s.next_chunk()? {
+                    if chunk.is_empty() {
+                        continue; // an empty chunk would mean "end of body"
+                    }
+                    if !observe(chunk) {
+                        w.flush()?;
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "response aborted between chunks",
+                        ));
+                    }
+                    frame.clear();
+                    frame_chunk(chunk, &mut frame);
+                    w.write_all(&frame)?;
+                }
+                w.write_all(CHUNK_TERMINATOR)?;
+            }
+        }
+        w.flush()
+    }
+
+    /// The serialised status line + headers + blank line, exactly as
+    /// [`write_to_observed`](Response::write_to_observed) emits them.
+    /// Shared by the blocking writer and the event loop's send buffer so
+    /// the two paths are byte-identical by construction.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let framing = match &self.body {
             Body::Full(b) => format!("content-length: {}", b.len()),
             Body::Streamed(_) => "transfer-encoding: chunked".to_string(),
@@ -486,32 +521,184 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        match &mut self.body {
-            Body::Full(b) => {
-                observe(b);
-                w.write_all(b)?;
+        head.into_bytes()
+    }
+}
+
+/// The final frame of a chunked body: zero-size chunk + empty trailers.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// Append one chunked-framing frame (`{len:x}\r\n{chunk}\r\n`) to `out`.
+/// Empty chunks are skipped — framing one would terminate the body early.
+/// Shared by the blocking writer and the event loop's chunk producer.
+pub fn frame_chunk(chunk: &[u8], out: &mut Vec<u8>) {
+    if chunk.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    write!(out, "{:x}\r\n", chunk.len()).expect("write into Vec cannot fail");
+    out.extend_from_slice(chunk);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// An incremental request parser for nonblocking sockets: feed it bytes
+/// as they arrive, poll it for a complete request. Parsing of a complete
+/// message is delegated to [`read_request`] over the accumulated bytes,
+/// so the event loop accepts and rejects exactly what the blocking path
+/// does.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with no buffered bytes.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// True when no partial request is buffered — the connection is idle
+    /// between requests (idle-timeout territory) rather than mid-message
+    /// (slow-loris / read-deadline territory).
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (partial request and/or pipelined next).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append freshly-read socket bytes; follow with
+    /// [`poll_request`](RequestParser::poll_request).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Try to extract one complete request from the buffer. `Ok(None)`
+    /// means "need more bytes". Leftover bytes (pipelined requests) stay
+    /// buffered for the next call. Errors are terminal for the
+    /// connection, same as the blocking reader's.
+    pub fn poll_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            // No blank line yet. Cap the raw accumulation: the blocking
+            // reader bounds the header section at MAX_HEADER_BYTES of
+            // line payload, so 2x raw bytes is unreachable for a legal
+            // head and a slow-loris head must not grow without bound.
+            if self.buf.len() > 2 * MAX_HEADER_BYTES {
+                return Err(HttpError::Malformed("header section too large".into()));
             }
-            Body::Streamed(s) => {
-                while let Some(chunk) = s.next_chunk()? {
-                    if chunk.is_empty() {
-                        continue; // an empty chunk would mean "end of body"
-                    }
-                    if !observe(chunk) {
-                        w.flush()?;
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            "response aborted between chunks",
-                        ));
-                    }
-                    write!(w, "{:x}\r\n", chunk.len())?;
-                    w.write_all(chunk)?;
-                    w.write_all(b"\r\n")?;
-                }
-                w.write_all(b"0\r\n\r\n")?;
+            return Ok(None);
+        };
+        let content_length = scan_content_length(&self.buf[..head_end]).unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            // Produce the error through the canonical parser so the
+            // variant (and any future behaviour) matches the blocking
+            // path exactly.
+            let mut r = std::io::BufReader::new(&self.buf[..head_end]);
+            return match read_request(&mut r) {
+                Err(e) => Err(e),
+                Ok(_) => Err(HttpError::BodyTooLarge(content_length)),
+            };
+        }
+        let total = head_end + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut r = std::io::BufReader::new(&self.buf[..total]);
+        let req = read_request(&mut r)?;
+        self.buf.drain(..total);
+        Ok(Some(req))
+    }
+}
+
+/// Index one past the blank line ending a request head, if present.
+/// Accepts both CRLF and bare-LF line endings, like [`read_crlf_line`].
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                Some(b'\n') => return Some(i + 2),
+                _ => {}
             }
         }
-        w.flush()
+        i += 1;
+    }
+    None
+}
+
+/// First `Content-Length` value in a raw head, mirroring
+/// [`read_request`]'s first-match selection. `None` for absent or
+/// unparseable values — the canonical parser then reports the error.
+fn scan_content_length(head: &[u8]) -> Option<usize> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).ok()?;
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value.trim().parse().ok();
+            }
+        }
+    }
+    None
+}
+
+/// An outgoing byte queue for a nonblocking socket: push serialised
+/// response bytes in, drain them out as the socket reports writable.
+#[derive(Default)]
+pub struct SendBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl SendBuf {
+    /// An empty send buffer.
+    pub fn new() -> SendBuf {
+        SendBuf::default()
+    }
+
+    /// Queue bytes for transmission.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim the consumed prefix before growing.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unsent bytes still queued.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when everything pushed has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Write as much as the socket will take. `Ok(true)` when the queue
+    /// drained, `Ok(false)` when the socket would block with bytes still
+    /// pending (re-arm `POLLOUT`). Other errors are terminal.
+    pub fn write_some<W: Write>(&mut self, w: &mut W) -> std::io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
     }
 }
 
@@ -868,6 +1055,133 @@ mod tests {
         assert_eq!(body.collect().unwrap(), b"abc");
         assert_eq!(Body::Full(b"xy".to_vec()).collect().unwrap(), b"xy");
         assert_eq!(Body::empty().as_full(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader_byte_at_a_time() {
+        let raw: &[u8] =
+            b"POST /query?mode=a%20b HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let want = read_request(&mut BufReader::new(raw)).unwrap();
+        let mut parser = RequestParser::new();
+        let mut got = None;
+        for (i, b) in raw.iter().enumerate() {
+            parser.feed(&[*b]);
+            if let Some(req) = parser.poll_request().unwrap() {
+                assert_eq!(i, raw.len() - 1, "parsed before all bytes arrived");
+                got = Some(req);
+            }
+        }
+        let got = got.expect("request parsed");
+        assert_eq!(got.method, want.method);
+        assert_eq!(got.path, want.path);
+        assert_eq!(got.query, want.query);
+        assert_eq!(got.headers, want.headers);
+        assert_eq!(got.body, want.body);
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        let a = parser.poll_request().unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        assert!(!parser.is_idle());
+        let b = parser.poll_request().unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(parser.is_idle());
+        assert!(parser.poll_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversize_heads_and_bodies() {
+        // A never-terminated head stops accumulating at the cap.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; 2 * MAX_HEADER_BYTES + 16];
+        parser.feed(&filler);
+        assert!(matches!(
+            parser.poll_request(),
+            Err(HttpError::Malformed(_))
+        ));
+        // An oversized declared body is refused as soon as the head is
+        // complete, without waiting for the body bytes.
+        let mut parser = RequestParser::new();
+        parser.feed(
+            format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert!(matches!(
+            parser.poll_request(),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn head_bytes_and_frame_chunk_match_blocking_writer() {
+        let chunks = vec![b"alpha".to_vec(), Vec::new(), b"beta-gamma".to_vec()];
+        let mut resp = Response::streamed(
+            200,
+            "application/json",
+            Box::new(ChunkedSlices::new(chunks.clone())),
+        )
+        .with_header("etag", "\"abc\"");
+        let head = resp.head_bytes(true);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        assert!(wire.starts_with(&head));
+        let mut rebuilt = head;
+        for c in &chunks {
+            frame_chunk(c, &mut rebuilt);
+        }
+        rebuilt.extend_from_slice(CHUNK_TERMINATOR);
+        assert_eq!(rebuilt, wire);
+    }
+
+    /// A writer that accepts a fixed quota of bytes per call, then
+    /// reports `WouldBlock` — a nonblocking socket in miniature.
+    struct Trickle {
+        out: Vec<u8>,
+        quota: usize,
+        calls: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(2) {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "later"));
+            }
+            let n = buf.len().min(self.quota);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_buf_resumes_across_would_block() {
+        let mut sb = SendBuf::new();
+        sb.push(b"hello ");
+        sb.push(b"world");
+        let mut w = Trickle {
+            out: Vec::new(),
+            quota: 3,
+            calls: 0,
+        };
+        let mut rounds = 0;
+        while !sb.write_some(&mut w).unwrap() {
+            rounds += 1;
+            assert!(rounds < 100, "never drained");
+        }
+        assert!(sb.is_empty());
+        assert_eq!(w.out, b"hello world");
+        assert!(rounds > 0, "Trickle must have exercised WouldBlock");
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //! | `GET /healthz` | — | liveness + data inventory |
 //! | `GET /metrics` | — | Prometheus text format |
 //!
-//! Module map: [`http`] wire parsing, [`router`] request→engine
-//! dispatch, [`state`] the engines, [`cache`] a sharded LRU with TTL,
-//! [`metrics`] counters + latency histograms, [`server`] the accept
-//! loop / bounded queue / worker pool, [`loadgen`] the closed-loop
-//! client driving the E-s0 experiment.
+//! Module map: [`http`] wire parsing (blocking and resumable
+//! nonblocking forms), [`router`] request→engine dispatch, [`state`]
+//! the engines, [`cache`] a sharded LRU with TTL, [`metrics`] counters
+//! and latency histograms, [`server`] the two connection architectures
+//! — the default poll-driven event loop (C10K tier) and the
+//! thread-per-connection baseline — over one shared resolution core,
+//! [`loadgen`] the closed-loop client driving E-s0 and the open-loop
+//! nonblocking fleet driving E-c8.
 
 pub mod cache;
 pub mod http;
@@ -33,5 +36,5 @@ pub mod router;
 pub mod server;
 pub mod state;
 
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, ServerConfig, ServerHandle, ServerKind};
 pub use state::{AppState, DataConfig};

@@ -1,10 +1,11 @@
-//! Closed-loop load generator for the serving tier.
+//! Load generators for the serving tier: a closed-loop thread fleet and
+//! an open-loop nonblocking fleet.
 //!
-//! `N` client threads each drive real localhost TCP connections against a
-//! running server: issue a request, wait for the full response, record
-//! the latency, repeat. Closed-loop means offered load adapts to service
-//! rate — exactly the client model behind the E-s0 experiment's
-//! concurrency sweep.
+//! **Closed loop** ([`run`]): `N` client threads each drive real
+//! localhost TCP connections against a running server: issue a request,
+//! wait for the full response, record the latency, repeat. Closed-loop
+//! means offered load adapts to service rate — exactly the client model
+//! behind the E-s0 experiment's concurrency sweep.
 //!
 //! Two connection modes:
 //!
@@ -14,9 +15,19 @@
 //! * [`ConnMode::KeepAlive`] — one persistent connection per client
 //!   reused for all its requests; measures steady-state service latency
 //!   (and warm-cache behaviour) without per-connection setup noise.
+//!
+//! **Open loop** ([`run_open_loop`]): one poll-driven thread holds
+//! thousands of concurrent nonblocking keep-alive connections and issues
+//! requests at a **fixed arrival rate** spread across the fleet —
+//! offered load does *not* adapt to service rate, so queueing delay
+//! shows up in the latency numbers instead of silently throttling the
+//! generator. This is the C10K client model behind E-c8: a mostly-idle
+//! fleet (rate ≪ connections) probing how much memory and tail latency
+//! each parked connection costs the server.
 
 use crate::http::{read_response_body, read_response_head, ClientResponse, HttpError};
-use std::io::{BufReader, Write};
+use ee_util::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -275,6 +286,454 @@ pub fn run(addr: SocketAddr, targets: &[String], plan: &LoadPlan) -> LoadReport 
     }
 }
 
+// ---------------------------------------------------------------------
+// Open-loop nonblocking fleet
+// ---------------------------------------------------------------------
+
+/// Plan for an open-loop run: a fixed fleet of keep-alive connections
+/// plus a fixed aggregate request arrival rate.
+#[derive(Debug, Clone)]
+pub struct OpenLoopPlan {
+    /// Connections to hold open for the whole run.
+    pub conns: usize,
+    /// Aggregate request arrivals per second across the fleet.
+    pub rate_per_sec: f64,
+    /// Measurement window (in-flight requests get a short grace period
+    /// to finish afterwards).
+    pub duration: Duration,
+    /// Connect retry budget while building the fleet.
+    pub timeout: Duration,
+}
+
+impl Default for OpenLoopPlan {
+    fn default() -> Self {
+        OpenLoopPlan {
+            conns: 100,
+            rate_per_sec: 100.0,
+            duration: Duration::from_millis(1_000),
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Fleet size the plan asked for.
+    pub conns_target: usize,
+    /// Connections actually established (fd limits, refused connects).
+    pub conns_open: usize,
+    /// Connections still alive when the run ended.
+    pub conns_alive: usize,
+    /// Requests issued.
+    pub sent: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// Non-2xx responses.
+    pub other: u64,
+    /// Transport failures (close mid-response, malformed framing).
+    pub errors: u64,
+    /// Arrival ticks skipped because every connection was busy — a
+    /// non-zero value means the fleet saturated (closed-loop behaviour
+    /// crept in) and latency numbers understate queueing.
+    pub missed_ticks: u64,
+    /// Latency percentiles over 2xx requests, µs (measured from the
+    /// scheduled arrival tick, so server queueing counts).
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Mean 2xx latency, µs.
+    pub mean_us: u64,
+    /// Wall-clock of the measurement window including the drain grace.
+    pub wall: Duration,
+}
+
+/// Incremental HTTP/1.1 response decoder for the open-loop client: feed
+/// bytes as they arrive, get `Some(status)` once the full message
+/// (content-length or chunked framing) is present.
+struct ResponseDecoder {
+    buf: Vec<u8>,
+    head_end: usize,
+    status: u16,
+    chunked: bool,
+    content_length: usize,
+}
+
+impl ResponseDecoder {
+    fn new() -> ResponseDecoder {
+        ResponseDecoder {
+            buf: Vec::new(),
+            head_end: 0,
+            status: 0,
+            chunked: false,
+            content_length: 0,
+        }
+    }
+
+    /// Append bytes; `Ok(Some(status))` when the response is complete,
+    /// `Err(())` on malformed framing.
+    fn feed(&mut self, bytes: &[u8]) -> Result<Option<u16>, ()> {
+        self.buf.extend_from_slice(bytes);
+        if self.head_end == 0 {
+            let Some(pos) = self
+                .buf
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+            else {
+                return Ok(None);
+            };
+            self.head_end = pos + 4;
+            let head = std::str::from_utf8(&self.buf[..pos]).map_err(|_| ())?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().ok_or(())?;
+            self.status = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or(())?;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                    self.chunked = true;
+                } else if name == "content-length" {
+                    self.content_length = value.parse().map_err(|_| ())?;
+                }
+            }
+        }
+        if !self.chunked {
+            if self.buf.len() >= self.head_end + self.content_length {
+                return Ok(Some(self.status));
+            }
+            return Ok(None);
+        }
+        // Walk the chunk framing from the head each time; E-c8 bodies
+        // are small, so the rescan is noise.
+        let mut at = self.head_end;
+        loop {
+            let Some(nl) = self.buf[at..].windows(2).position(|w| w == b"\r\n") else {
+                return Ok(None);
+            };
+            let size_line = std::str::from_utf8(&self.buf[at..at + nl]).map_err(|_| ())?;
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| ())?;
+            let data_start = at + nl + 2;
+            let data_end = data_start + size + 2; // chunk bytes + CRLF
+            if self.buf.len() < data_end {
+                return Ok(None);
+            }
+            if size == 0 {
+                return Ok(Some(self.status));
+            }
+            at = data_end;
+        }
+    }
+}
+
+/// What one open-loop connection is doing.
+enum OpenState {
+    /// Parked keep-alive connection, available for the next tick.
+    Idle,
+    /// Writing a request (nonblocking; resumes on POLLOUT).
+    Sending {
+        buf: Vec<u8>,
+        pos: usize,
+        t0: Instant,
+    },
+    /// Reading a response.
+    Receiving { dec: ResponseDecoder, t0: Instant },
+    /// Closed (server reap, transport error); stays dead for the run.
+    Dead,
+}
+
+struct OpenConn {
+    stream: TcpStream,
+    state: OpenState,
+}
+
+fn connect_nonblocking(addr: SocketAddr, budget: Duration) -> Option<TcpStream> {
+    let t0 = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                if s.set_nonblocking(true).is_err() {
+                    return None;
+                }
+                return Some(s);
+            }
+            Err(_) if t0.elapsed() < budget => {
+                // Accept backlog full while the fleet ramps: back off.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Run an open-loop fleet against `addr`, requests cycling through
+/// `targets`. Single-threaded and poll-driven: the same readiness model
+/// the event server uses, applied client-side, so one thread can hold
+/// a five-digit connection count.
+///
+/// Panics if `targets` is empty.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    targets: &[String],
+    plan: &OpenLoopPlan,
+) -> OpenLoopReport {
+    assert!(!targets.is_empty(), "open loop needs at least one target");
+    let mut conns: Vec<OpenConn> = Vec::with_capacity(plan.conns);
+    for _ in 0..plan.conns {
+        let Some(stream) = connect_nonblocking(addr, plan.timeout) else {
+            break;
+        };
+        conns.push(OpenConn {
+            stream,
+            state: OpenState::Idle,
+        });
+    }
+    let conns_open = conns.len();
+    if conns_open == 0 {
+        return OpenLoopReport {
+            conns_target: plan.conns,
+            conns_open: 0,
+            conns_alive: 0,
+            sent: 0,
+            ok: 0,
+            other: 0,
+            errors: 0,
+            missed_ticks: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            mean_us: 0,
+            wall: Duration::ZERO,
+        };
+    }
+
+    let interval_s = 1.0 / plan.rate_per_sec.max(1e-6);
+    let mut sent = 0u64;
+    let mut missed = 0u64;
+    let mut ok = 0u64;
+    let mut other = 0u64;
+    let mut errors = 0u64;
+    let mut lat: Vec<u64> = Vec::new();
+    let mut next_idle = 0usize;
+    let mut pollset: Vec<PollFd> = Vec::new();
+    let mut slots: Vec<usize> = Vec::new();
+    let mut target_i = 0usize;
+
+    let t0 = Instant::now();
+    let grace = Duration::from_millis(1_000);
+    loop {
+        let now = Instant::now();
+        let in_window = now.duration_since(t0) < plan.duration;
+        if !in_window {
+            // Drain: stop once nothing is in flight or the grace ends.
+            let in_flight = conns
+                .iter()
+                .any(|c| matches!(c.state, OpenState::Sending { .. } | OpenState::Receiving { .. }));
+            if !in_flight || now.duration_since(t0) >= plan.duration + grace {
+                break;
+            }
+        }
+
+        // Fire every arrival tick that is due.
+        while in_window
+            && t0 + Duration::from_secs_f64((sent + missed) as f64 * interval_s) <= Instant::now()
+        {
+            let due = t0 + Duration::from_secs_f64((sent + missed) as f64 * interval_s);
+            // Next idle connection, round-robin from where we stopped.
+            let mut picked = None;
+            for off in 0..conns.len() {
+                let i = (next_idle + off) % conns.len();
+                if matches!(conns[i].state, OpenState::Idle) {
+                    picked = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = picked else {
+                missed += 1;
+                continue;
+            };
+            next_idle = (i + 1) % conns.len();
+            let target = &targets[target_i % targets.len()];
+            target_i += 1;
+            let req = format!(
+                "GET {target} HTTP/1.1\r\nhost: localhost\r\nconnection: keep-alive\r\n\r\n"
+            );
+            conns[i].state = OpenState::Sending {
+                buf: req.into_bytes(),
+                pos: 0,
+                t0: due, // measured from the scheduled arrival
+            };
+            sent += 1;
+            drive_send(&mut conns[i], &mut errors);
+        }
+
+        // Poll everything with an interest: writers for POLLOUT, readers
+        // and parked keep-alive conns for POLLIN (parked conns only to
+        // notice server-side closes).
+        pollset.clear();
+        slots.clear();
+        for (i, c) in conns.iter().enumerate() {
+            let events = match c.state {
+                OpenState::Sending { .. } => POLLOUT,
+                OpenState::Receiving { .. } | OpenState::Idle => POLLIN,
+                OpenState::Dead => continue,
+            };
+            use std::os::fd::AsRawFd;
+            pollset.push(PollFd::new(c.stream.as_raw_fd(), events));
+            slots.push(i);
+        }
+        if pollset.is_empty() {
+            break; // whole fleet is dead
+        }
+        let next_due = t0 + Duration::from_secs_f64((sent + missed) as f64 * interval_s);
+        let timeout_ms = if in_window {
+            next_due
+                .saturating_duration_since(Instant::now())
+                .as_millis()
+                .min(50) as i32
+        } else {
+            20
+        };
+        let n = poll_fds(&mut pollset, timeout_ms).unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        for (k, pfd) in pollset.iter().enumerate() {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let i = slots[k];
+            match &mut conns[i].state {
+                OpenState::Sending { .. } => drive_send(&mut conns[i], &mut errors),
+                OpenState::Receiving { .. } => {
+                    drive_recv(&mut conns[i], &mut ok, &mut other, &mut errors, &mut lat)
+                }
+                OpenState::Idle => {
+                    // Data or EOF on a parked connection = server closed
+                    // it (idle reap, shutdown).
+                    let mut probe = [0u8; 64];
+                    match conns[i].stream.read(&mut probe) {
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        _ => conns[i].state = OpenState::Dead,
+                    }
+                }
+                OpenState::Dead => {}
+            }
+        }
+    }
+
+    let conns_alive = conns
+        .iter()
+        .filter(|c| !matches!(c.state, OpenState::Dead))
+        .count();
+    lat.sort_unstable();
+    let mean_us = if lat.is_empty() {
+        0
+    } else {
+        lat.iter().sum::<u64>() / lat.len() as u64
+    };
+    OpenLoopReport {
+        conns_target: plan.conns,
+        conns_open,
+        conns_alive,
+        sent,
+        ok,
+        other,
+        errors,
+        missed_ticks: missed,
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+        mean_us,
+        wall: t0.elapsed(),
+    }
+}
+
+fn drive_send(conn: &mut OpenConn, errors: &mut u64) {
+    let OpenState::Sending { buf, pos, t0 } = &mut conn.state else {
+        return;
+    };
+    while *pos < buf.len() {
+        match conn.stream.write(&buf[*pos..]) {
+            Ok(0) => {
+                *errors += 1;
+                conn.state = OpenState::Dead;
+                return;
+            }
+            Ok(n) => *pos += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *errors += 1;
+                conn.state = OpenState::Dead;
+                return;
+            }
+        }
+    }
+    let t0 = *t0;
+    conn.state = OpenState::Receiving {
+        dec: ResponseDecoder::new(),
+        t0,
+    };
+}
+
+fn drive_recv(
+    conn: &mut OpenConn,
+    ok: &mut u64,
+    other: &mut u64,
+    errors: &mut u64,
+    lat: &mut Vec<u64>,
+) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let OpenState::Receiving { dec, t0 } = &mut conn.state else {
+            return;
+        };
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                *errors += 1;
+                conn.state = OpenState::Dead;
+                return;
+            }
+            Ok(n) => match dec.feed(&buf[..n]) {
+                Ok(Some(status)) => {
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    if (200..300).contains(&status) {
+                        *ok += 1;
+                        lat.push(us);
+                    } else {
+                        *other += 1;
+                    }
+                    conn.state = OpenState::Idle;
+                    return;
+                }
+                Ok(None) => {}
+                Err(()) => {
+                    *errors += 1;
+                    conn.state = OpenState::Dead;
+                    return;
+                }
+            },
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *errors += 1;
+                conn.state = OpenState::Dead;
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +746,37 @@ mod tests {
         assert_eq!(percentile(&v, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn response_decoder_handles_sized_bodies_byte_at_a_time() {
+        let wire = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\ncontent-type: text/plain\r\n\r\nhello";
+        let mut dec = ResponseDecoder::new();
+        let mut done = None;
+        for b in wire.iter() {
+            if let Some(s) = dec.feed(std::slice::from_ref(b)).unwrap() {
+                done = Some(s);
+            }
+        }
+        assert_eq!(done, Some(200));
+    }
+
+    #[test]
+    fn response_decoder_handles_chunked_bodies() {
+        let wire =
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n3\r\nwor\r\n0\r\n\r\n";
+        // All at once.
+        let mut dec = ResponseDecoder::new();
+        assert_eq!(dec.feed(wire).unwrap(), Some(200));
+        // Split mid-chunk.
+        let mut dec = ResponseDecoder::new();
+        assert_eq!(dec.feed(&wire[..40]).unwrap(), None);
+        assert_eq!(dec.feed(&wire[40..]).unwrap(), Some(200));
+        // Garbage framing errors out instead of hanging.
+        let mut dec = ResponseDecoder::new();
+        assert!(dec
+            .feed(b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n")
+            .is_err());
     }
 
     #[test]

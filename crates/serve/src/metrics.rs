@@ -214,6 +214,16 @@ pub struct Metrics {
     /// Streamed bodies that outgrew the cache's per-entry byte cap and
     /// were served uncached.
     pub stream_uncacheable: AtomicU64,
+    /// `accept(2)` failures (fd exhaustion and friends) — each one also
+    /// costs the acceptor a short backoff sleep.
+    pub accept_errors: AtomicU64,
+    /// Keep-alive connections reaped by the idle timeout.
+    pub idle_reaped: AtomicU64,
+    /// Connections currently open in the event loop.
+    pub open_connections: AtomicU64,
+    /// High-water mark of open event-loop connections.
+    pub open_peak: AtomicU64,
+    per_route_shed: [AtomicU64; ROUTES.len()],
     per_route_requests: [AtomicU64; ROUTES.len()],
     per_route_latency: [Histogram; ROUTES.len()],
     per_route_ttfb: [Histogram; ROUTES.len()],
@@ -265,6 +275,28 @@ impl Metrics {
         self.queue_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Count a request shed with 503 because its route's in-flight quota
+    /// was exhausted.
+    pub fn record_route_shed(&self, route: Route) {
+        self.per_route_shed[route.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed on a route by its quota.
+    pub fn route_shed(&self, route: Route) -> u64 {
+        self.per_route_shed[route.index()].load(Ordering::Relaxed)
+    }
+
+    /// A connection opened in the event loop: bump the gauge + peak.
+    pub fn conn_opened(&self) {
+        let now = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.open_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A connection closed in the event loop.
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Render everything in Prometheus text exposition format. Cache and
     /// plan-cache statistics come from the caller so the metrics type
     /// stays decoupled from the cache types.
@@ -276,6 +308,27 @@ impl Metrics {
         plan_stats: (u64, u64, usize),
     ) -> String {
         let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "# HELP ee_serve_open_connections Connections currently open in the event loop\n\
+             # TYPE ee_serve_open_connections gauge\nee_serve_open_connections {}\n",
+            self.open_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_open_connections_peak High-water mark of open connections\n\
+             # TYPE ee_serve_open_connections_peak gauge\nee_serve_open_connections_peak {}\n",
+            self.open_peak.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP ee_serve_route_shed_total Requests shed 503 by per-route quotas\n\
+             # TYPE ee_serve_route_shed_total counter\n",
+        );
+        for r in ROUTES {
+            out.push_str(&format!(
+                "ee_serve_route_shed_total{{route=\"{}\"}} {}\n",
+                r.label(),
+                self.route_shed(r)
+            ));
+        }
         let mut counter = |name: &str, help: &str, v: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
@@ -320,6 +373,16 @@ impl Metrics {
             "ee_serve_stream_uncacheable_total",
             "Streamed bodies too large for the response cache",
             self.stream_uncacheable.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_accept_errors_total",
+            "accept(2) failures (fd exhaustion and friends)",
+            self.accept_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "ee_serve_idle_reaped_total",
+            "Keep-alive connections reaped by the idle timeout",
+            self.idle_reaped.load(Ordering::Relaxed),
         );
         counter("ee_serve_cache_hits_total", "Response cache hits", cache_hits);
         counter(
@@ -441,7 +504,18 @@ mod tests {
         m.stream_uncacheable.fetch_add(1, Ordering::Relaxed);
         m.record_ttfb(Route::Tiles, 15);
         assert_eq!(m.route_ttfb(Route::Tiles).count(), 1);
+        m.accept_errors.fetch_add(3, Ordering::Relaxed);
+        m.record_route_shed(Route::Query);
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.idle_reaped.fetch_add(1, Ordering::Relaxed);
         let text = m.render_prometheus(5, 10, 7, (4, 2, 2));
+        assert!(text.contains("ee_serve_accept_errors_total 3"));
+        assert!(text.contains("ee_serve_route_shed_total{route=\"query\"} 1"));
+        assert!(text.contains("ee_serve_open_connections 1"));
+        assert!(text.contains("ee_serve_open_connections_peak 2"));
+        assert!(text.contains("ee_serve_idle_reaped_total 1"));
         assert!(text.contains("ee_serve_bytes_sent_total 4096"));
         assert!(text.contains("ee_serve_stream_uncacheable_total 1"));
         assert!(text.contains("ee_serve_ttfb_us_count{route=\"tiles\"} 1"));

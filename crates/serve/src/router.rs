@@ -350,18 +350,28 @@ fn catalogue_by_mode(state: &AppState, req: &Request, mode: &str) -> Response {
         let hits = state.ranked_search(q, k);
         let results: Vec<Json> = hits
             .iter()
-            .map(|(score, p)| {
-                Json::obj(vec![
-                    ("score", Json::Num(*score)),
+            .map(|hit| match &hit.doc {
+                crate::state::RankedDoc::Product(p) => Json::obj(vec![
+                    ("score", Json::Num(hit.score)),
                     ("product", p.to_json()),
-                ])
+                ]),
+                crate::state::RankedDoc::Live { subject, text } => Json::obj(vec![
+                    ("score", Json::Num(hit.score)),
+                    (
+                        "document",
+                        Json::obj(vec![
+                            ("subject", Json::Str(subject.clone())),
+                            ("text", Json::Str(text.clone())),
+                        ]),
+                    ),
+                ]),
             })
             .collect();
         return Json::obj(vec![
             ("mode", Json::Str("ranked".into())),
             ("query", Json::Str(q.to_string())),
             ("count", Json::Num(results.len() as f64)),
-            ("indexed", Json::Num(state.bm25.len() as f64)),
+            ("indexed", Json::Num(state.ranked_indexed() as f64)),
             ("results", Json::Arr(results)),
         ])
         .pipe_json();

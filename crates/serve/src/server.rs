@@ -1,51 +1,96 @@
-//! The server: accept loop, bounded admission queue, fixed worker pool,
-//! per-request deadlines, and graceful overload.
+//! The server: two interchangeable connection architectures over one
+//! shared request-resolution core.
 //!
-//! Threading model (no async runtime — `std::net` + the same scoped-pool
-//! spirit as `ee_util::par`, but with long-lived workers):
+//! **Event-driven (default, [`ServerKind::Event`])** — the C10K tier:
 //!
 //! ```text
-//!   acceptor thread ──► bounded VecDeque<Conn> ──► N worker threads
-//!        │                    (Mutex + Condvar)          │
-//!        └─ depth ≥ watermark ⇒ immediate 503            └─ full keep-alive
-//!           + Retry-After, connection closed                conversation per
-//!                                                          dequeued connection
+//!   acceptor ──► shard inboxes ──► N event-loop shards (poll(2))
+//!                                     │  nonblocking sockets, one
+//!                                     │  EventConn state machine each:
+//!                                     │  Reading → Dispatched →
+//!                                     │  StreamingBody → KeepAliveIdle
+//!                                     ▼
+//!                               job queue ──► M worker threads
+//!                                     ▲            (resolve / pull
+//!                                     └── ready ◄─ body chunks)
+//!                                         queue + wake pipe
 //! ```
 //!
-//! Admission control happens **per connection** at accept time: once the
-//! queue is at the watermark the acceptor answers `503 Service
-//! Unavailable` with `Retry-After` and closes, so overload sheds load in
-//! O(1) instead of stacking sockets until memory or latency collapses.
-//! Admitted connections carry their admission instant; every request on
-//! the connection gets a deadline (queue wait counts against the first),
-//! and a request that cannot finish in time is answered `504`.
+//! A connection is a small state struct, not a thread: the shard polls
+//! its sockets, feeds bytes to a resumable [`RequestParser`], and hands
+//! complete requests to the worker pool. Heavy route work (plan/execute,
+//! tile encode) runs on workers; streamed bodies are pulled in bounded
+//! batches **only while the socket drains**, so a stalled reader parks
+//! its `BodyStream` in the shard (O(batch) memory) instead of pinning a
+//! worker. Admission control is layered: a max-connections cap at
+//! accept, the dispatch-queue watermark, and per-route in-flight quotas
+//! — each shedding with a graceful 503 + `Retry-After`. Idle keep-alive
+//! connections and stuck partial request heads (slow loris) are reaped
+//! on timers.
 //!
-//! Responses to cacheable GETs are stored in the sharded LRU
-//! ([`crate::cache`]) under a canonical key; hits are replayed without
-//! touching the engines and marked `x-cache: HIT`.
+//! **Thread-per-connection ([`ServerKind::Threaded`])** — the
+//! pre-event-loop architecture, kept as the E-c8 baseline: acceptor →
+//! bounded `VecDeque<Conn>` → fixed workers, each owning a blocking
+//! connection end-to-end. It saturates at `workers` concurrent
+//! connections by construction.
+//!
+//! Both paths answer requests through the same [`resolve`] function and
+//! serialise with the same [`Response::head_bytes`] / [`frame_chunk`]
+//! helpers, so their wire bytes are identical by construction (and
+//! asserted in `tests/event.rs`).
 
 use crate::cache::{CachedBody, ShardedLru};
-use crate::http::{read_request, Body, HttpError, Response};
-use crate::metrics::Metrics;
+use crate::http::{
+    frame_chunk, read_request, Body, BodyStream, HttpError, Request, RequestParser, Response,
+    SendBuf, CHUNK_TERMINATOR,
+};
+use crate::metrics::{Metrics, Route, ROUTES};
 use crate::router::{cache_key, classify, dispatch, Outcome};
 use crate::state::AppState;
+use ee_util::poll::{poll_fds, PollFd, WakePipe, Waker, POLLIN, POLLOUT};
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Connection architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// Nonblocking sockets on poll-based event-loop shards; connections
+    /// are state machines, heavy work runs on the worker pool.
+    Event,
+    /// Thread-per-connection over the fixed worker pool (the pre-C10K
+    /// architecture, kept as the measured baseline).
+    Threaded,
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Connection architecture (event-driven by default).
+    pub kind: ServerKind,
+    /// Worker threads. Event mode: the pool running route work and body
+    /// chunk production. Threaded mode: connection-serving threads.
     pub workers: usize,
-    /// Admission watermark: accepts are 503-rejected while the queue
-    /// holds this many connections.
+    /// Event-loop shards (event mode only), each owning a poll set.
+    pub event_shards: usize,
+    /// Hard cap on concurrently open connections (event mode); accepts
+    /// beyond it are answered 503 and closed.
+    pub max_connections: usize,
+    /// Admission watermark. Threaded: accepts are 503-rejected while the
+    /// connection queue holds this many. Event: requests are 503-shed
+    /// while this many dispatched jobs await a worker.
     pub queue_watermark: usize,
+    /// Default per-route in-flight request quota (event mode); a route
+    /// at its quota sheds further requests with 503 without costing the
+    /// connection.
+    pub route_quota: usize,
+    /// Per-route overrides of [`route_quota`](ServerConfig::route_quota).
+    pub route_quota_overrides: Vec<(Route, usize)>,
     /// Per-request deadline (first request: measured from admission, so
     /// queue wait counts; later keep-alive requests: from read).
     pub deadline: Duration,
@@ -66,11 +111,8 @@ pub struct ServerConfig {
     pub cache_max_body_bytes: usize,
     /// `Retry-After` seconds advertised on 503.
     pub retry_after_secs: u64,
-    /// Per-write socket timeout. Streamed responses issue many writes —
-    /// one per chunk — and each write gets this budget, so the knob
-    /// bounds how long one slow consumer can hold a worker per chunk
-    /// without capping total transfer time for a healthy one. Also used
-    /// when answering 503 at the admission watermark.
+    /// Per-write socket timeout (threaded mode; also used for the
+    /// blocking 503 writes at accept time in both modes).
     pub write_timeout: Duration,
     /// Enable `/debug/*` routes (tests and experiments only).
     pub debug_routes: bool,
@@ -80,8 +122,13 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            kind: ServerKind::Event,
             workers: ee_util::par::available_threads().min(8),
+            event_shards: ee_util::par::available_threads().clamp(1, 4),
+            max_connections: 8_192,
             queue_watermark: 64,
+            route_quota: 512,
+            route_quota_overrides: Vec::new(),
             deadline: Duration::from_millis(2_000),
             idle_timeout: Duration::from_millis(5_000),
             max_requests_per_conn: 10_000,
@@ -96,10 +143,90 @@ impl Default for ServerConfig {
     }
 }
 
-/// An admitted connection waiting for (or being served by) a worker.
+impl ServerConfig {
+    /// The in-flight quota for `route` (event mode).
+    pub fn quota_for(&self, route: Route) -> usize {
+        self.route_quota_overrides
+            .iter()
+            .find(|(r, _)| *r == route)
+            .map(|(_, q)| *q)
+            .unwrap_or(self.route_quota)
+    }
+}
+
+/// An admitted connection waiting for (or being served by) a worker
+/// (threaded mode).
 struct Conn {
     stream: TcpStream,
     admitted: Instant,
+}
+
+/// A connection's identity across the shard/worker boundary: slab slot
+/// plus a per-shard sequence number, so a completion for a connection
+/// that died (and whose slot was reused) is recognised as stale.
+type Token = (usize, u64);
+
+/// A streamed response in flight: the pull-based body plus everything
+/// the chunk producer needs. Travels shard → worker → shard; while the
+/// socket is backed up it parks in the shard, holding O(batch) state.
+struct StreamCtx {
+    body: Box<dyn BodyStream>,
+    tee: Option<StreamTee>,
+    deadline: Instant,
+    route: Route,
+    t0: Instant,
+    first_chunk: bool,
+}
+
+/// Work for the event-mode worker pool.
+enum Job {
+    /// Resolve a parsed request into response bytes.
+    Resolve {
+        shard: usize,
+        token: Token,
+        req: Box<Request>,
+        deadline: Instant,
+        keep_alive: bool,
+    },
+    /// Pull the next bounded batch of body chunks.
+    NextChunk {
+        shard: usize,
+        token: Token,
+        ctx: StreamCtx,
+    },
+}
+
+/// How a streamed body continues after a chunk batch.
+enum StreamNext {
+    /// More chunks remain; the context comes back to the shard.
+    More(StreamCtx),
+    /// Clean end: the terminator was emitted (and any tee inserted).
+    Finished,
+    /// Error or deadline expiry: the chunked body is truncated on the
+    /// wire and the connection must close.
+    Abort,
+}
+
+/// A worker's result, routed back to the owning shard.
+enum Done {
+    /// A complete serialised response (head + sized body).
+    Full { bytes: Vec<u8> },
+    /// Streamed-response bytes (head and/or framed chunks) plus how the
+    /// stream continues.
+    Stream { bytes: Vec<u8>, next: StreamNext },
+}
+
+struct Completion {
+    token: Token,
+    done: Done,
+}
+
+/// Per-shard mailboxes: fresh sockets from the acceptor, completions
+/// from workers, and the waker that interrupts the shard's poll.
+struct ShardHandle {
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<VecDeque<Completion>>,
+    waker: Waker,
 }
 
 struct Shared {
@@ -107,9 +234,45 @@ struct Shared {
     state: Arc<AppState>,
     metrics: Metrics,
     cache: ShardedLru,
+    // Threaded-mode connection queue.
     queue: Mutex<VecDeque<Conn>>,
     queue_cv: Condvar,
+    // Event-mode job queue and shard mailboxes.
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    shards: Vec<ShardHandle>,
+    route_inflight: [AtomicU64; ROUTES.len()],
     stop: AtomicBool,
+}
+
+impl Shared {
+    fn push_job(&self, job: Job) {
+        let mut q = self.jobs.lock().expect("jobs poisoned");
+        q.push_back(job);
+        self.metrics.set_queue_depth(q.len() as u64);
+        drop(q);
+        self.jobs_cv.notify_one();
+    }
+
+    fn route_index(route: Route) -> usize {
+        ROUTES.iter().position(|r| *r == route).expect("in ROUTES")
+    }
+
+    /// Try to take one in-flight slot on `route`; `false` means the
+    /// quota is exhausted and the request must be shed.
+    fn acquire_route(&self, route: Route) -> bool {
+        let i = Self::route_index(route);
+        let prev = self.route_inflight[i].fetch_add(1, Ordering::AcqRel);
+        if prev as usize >= self.config.quota_for(route) {
+            self.route_inflight[i].fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    fn release_route(&self, route: Route) {
+        self.route_inflight[Self::route_index(route)].fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// A running server; dropping it does **not** stop the threads — call
@@ -132,22 +295,23 @@ impl ServerHandle {
         &self.shared.cache
     }
 
-    /// Stop accepting, wake the workers, and join every thread. Idempotent
-    /// in effect; consumes the handle.
+    /// Stop accepting, wake the workers and shards, and join every
+    /// thread. Idempotent in effect; consumes the handle.
     pub fn shutdown(self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         self.shared.queue_cv.notify_all();
+        self.shared.jobs_cv.notify_all();
+        for s in &self.shared.shards {
+            s.waker.wake();
+        }
         for t in self.threads {
             let _ = t.join();
         }
         // Close anything still queued.
-        self.shared
-            .queue
-            .lock()
-            .expect("queue poisoned")
-            .clear();
+        self.shared.queue.lock().expect("queue poisoned").clear();
+        self.shared.jobs.lock().expect("jobs poisoned").clear();
     }
 }
 
@@ -155,6 +319,33 @@ impl ServerHandle {
 pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let kind = config.kind;
+    if kind == ServerKind::Event {
+        // Two fds per loopback connection (plus listener, pipes, data
+        // files): make sure the fleet fits.
+        let _ = ee_util::poll::raise_nofile_limit(config.max_connections as u64 * 2 + 512);
+    }
+
+    // Shard mailboxes (and their wake pipes) exist before the Shared so
+    // workers can address them; the pipes themselves move into the shard
+    // threads below.
+    let shard_count = if kind == ServerKind::Event {
+        config.event_shards.max(1)
+    } else {
+        0
+    };
+    let mut pipes = Vec::with_capacity(shard_count);
+    let mut handles = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let pipe = WakePipe::new()?;
+        handles.push(ShardHandle {
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(VecDeque::new()),
+            waker: pipe.waker()?,
+        });
+        pipes.push(pipe);
+    }
+
     let shared = Arc::new(Shared {
         cache: ShardedLru::with_max_entry_bytes(
             config.cache_shards,
@@ -166,6 +357,10 @@ pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<Serv
         state,
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
+        jobs: Mutex::new(VecDeque::new()),
+        jobs_cv: Condvar::new(),
+        shards: handles,
+        route_inflight: Default::default(),
         stop: AtomicBool::new(false),
         config,
     });
@@ -176,7 +371,18 @@ pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<Serv
         threads.push(
             std::thread::Builder::new()
                 .name("ee-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?,
+                .spawn(move || match kind {
+                    ServerKind::Event => event_accept_loop(&listener, &shared),
+                    ServerKind::Threaded => accept_loop(&listener, &shared),
+                })?,
+        );
+    }
+    for (i, pipe) in pipes.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ee-serve-shard-{i}"))
+                .spawn(move || Shard::new(&shared, i, pipe).run())?,
         );
     }
     for w in 0..shared.config.workers.max(1) {
@@ -184,7 +390,10 @@ pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<Serv
         threads.push(
             std::thread::Builder::new()
                 .name(format!("ee-serve-worker-{w}"))
-                .spawn(move || worker_loop(&shared))?,
+                .spawn(move || match kind {
+                    ServerKind::Event => event_worker_loop(&shared),
+                    ServerKind::Threaded => worker_loop(&shared),
+                })?,
         );
     }
     Ok(ServerHandle {
@@ -194,11 +403,44 @@ pub fn start(config: ServerConfig, state: Arc<AppState>) -> std::io::Result<Serv
     })
 }
 
+/// Classify an `accept(2)` failure: fd exhaustion (`EMFILE`/`ENFILE`)
+/// earns a longer backoff than transient per-connection errors.
+fn accept_backoff(e: &std::io::Error) -> Duration {
+    match e.raw_os_error() {
+        Some(23) | Some(24) => Duration::from_millis(50), // ENFILE / EMFILE
+        _ => Duration::from_millis(5),
+    }
+}
+
+/// Answer a just-accepted connection 503 and close it (used by both
+/// architectures for accept-time shedding).
+fn shed_at_accept(shared: &Shared, stream: TcpStream, msg: &str) {
+    shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut resp = Response::error(503, msg)
+        .with_header("retry-after", shared.config.retry_after_secs.to_string());
+    let mut s = stream;
+    let _ = resp.write_to(&mut s, false);
+}
+
+// ---------------------------------------------------------------------
+// Threaded architecture (baseline)
+// ---------------------------------------------------------------------
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         let stream = match listener.accept() {
             Ok((s, _)) => s,
-            Err(_) => continue,
+            Err(e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // fd exhaustion (or a transient error): back off instead
+                // of spinning on a hot failing accept.
+                shared.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(accept_backoff(&e));
+                continue;
+            }
         };
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -209,12 +451,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         };
         if depth >= shared.config.queue_watermark {
             // Overload: shed in O(1) with an explicit retry hint.
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-            let mut resp = Response::error(503, "admission queue full")
-                .with_header("retry-after", shared.config.retry_after_secs.to_string());
-            let mut s = stream;
-            let _ = resp.write_to(&mut s, false);
+            shed_at_accept(shared, stream, "admission queue full");
             continue;
         }
         shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -287,132 +524,13 @@ fn serve_connection(shared: &Shared, conn: Conn) {
             }
         };
         let keep_alive = req.wants_keep_alive() && served + 1 < shared.config.max_requests_per_conn;
-        let route = classify(&req.path);
-        let t0 = Instant::now();
 
-        // When a cacheable miss returns a *streamed* body there is nothing
-        // to store up front; the write observer below tees the chunks into
-        // this buffer and the entry is inserted only after a clean write.
-        let mut stream_tee: Option<StreamTee> = None;
-
-        let mut response = if Instant::now() >= deadline {
-            // Expired while queued (or while the previous exchange ran).
-            shared
-                .metrics
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
-            Response::error(504, "deadline exceeded before handling")
-        } else if route == crate::metrics::Route::Metrics {
-            // Served here because it needs the metrics + cache objects.
-            Response::text(
-                200,
-                shared.metrics.render_prometheus(
-                    shared.cache.hits(),
-                    shared.cache.misses(),
-                    shared.cache.len(),
-                    shared.state.plan_cache_stats(),
-                ) + &shared.state.render_prometheus_section(),
-            )
-        } else {
-            // Keys embed the store generation (for store-derived
-            // routes), so entries cached before a commit are
-            // unreachable after it.
-            let key = cache_key(&req, shared.state.generation());
-            let cacheable = key.is_some();
-            let cached = key.as_ref().and_then(|k| shared.cache.get(k));
-            match cached {
-                Some(hit) => {
-                    let mut headers = hit.headers.clone();
-                    headers.push(("x-cache".into(), "HIT".into()));
-                    Response {
-                        status: hit.status,
-                        content_type: hit.content_type.clone(),
-                        headers,
-                        body: Body::Full(hit.body.clone()),
-                    }
-                }
-                None => {
-                    match dispatch(&shared.state, &req, deadline, shared.config.debug_routes) {
-                        Outcome::DeadlineExceeded => {
-                            shared
-                                .metrics
-                                .deadline_expired
-                                .fetch_add(1, Ordering::Relaxed);
-                            Response::error(504, "deadline exceeded in handler")
-                        }
-                        Outcome::Ready(mut resp) => {
-                            if resp.status == 200 {
-                                if let Some(k) = key {
-                                    // Full bodies can be cached before the
-                                    // write; streamed ones are teed during it
-                                    // (headers snapshotted *before* the
-                                    // x-cache marker so replays re-mark).
-                                    if let Some(full) = resp.body.as_full() {
-                                        shared.cache.put(
-                                            k,
-                                            Arc::new(CachedBody {
-                                                status: resp.status,
-                                                content_type: resp.content_type.clone(),
-                                                headers: resp.headers.clone(),
-                                                body: full.to_vec(),
-                                            }),
-                                        );
-                                    } else {
-                                        stream_tee = Some(StreamTee {
-                                            key: k,
-                                            status: resp.status,
-                                            content_type: resp.content_type.clone(),
-                                            headers: resp.headers.clone(),
-                                            buf: Vec::new(),
-                                            overflowed: false,
-                                        });
-                                    }
-                                }
-                            }
-                            if cacheable {
-                                resp.headers.push(("x-cache".into(), "MISS".into()));
-                            }
-                            resp
-                        }
-                    }
-                }
-            }
-        };
-
-        // A committed update: sweep the whole response cache. The
-        // generation-stamped keys already guarantee staleness can't be
-        // served; the sweep reclaims the dead entries' memory now and
-        // feeds `ee_serve_invalidated_total{kind="responses"}`.
-        if route == crate::metrics::Route::Update && response.status == 200 {
-            let swept = shared.cache.clear() as u64;
-            shared.state.note_invalidated_responses(swept);
-        }
-
-        // Conditional requests: when the client's If-None-Match equals
-        // the response's ETag the body is elided with a 304. Applied
-        // after cache resolution so both hits and misses revalidate.
-        if response.status == 200 {
-            if let (Some(inm), Some(tag)) = (
-                req.header("if-none-match"),
-                response
-                    .headers
-                    .iter()
-                    .find(|(n, _)| n == "etag")
-                    .map(|(_, v)| v.clone()),
-            ) {
-                if crate::router::if_none_match_matches(inm, &tag) {
-                    shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
-                    response.status = 304;
-                    response.body = Body::empty();
-                    // The elided stream never produces chunks; don't cache
-                    // an empty body under the resource's key.
-                    stream_tee = None;
-                }
-            }
-        }
-
-        let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        shared.metrics.record(route, latency_us);
+        let Resolved {
+            mut response,
+            route,
+            t0,
+            mut stream_tee,
+        } = resolve(shared, &req, deadline);
 
         // The observer runs once per body chunk *before* it hits the wire:
         // it records time-to-first-byte and bytes sent, tees cacheable
@@ -430,18 +548,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
             }
             shared.metrics.add_bytes_sent(chunk.len() as u64);
             if let Some(tee) = stream_tee.as_mut() {
-                if !tee.overflowed {
-                    if tee.buf.len() + chunk.len() > max_tee {
-                        tee.overflowed = true;
-                        tee.buf = Vec::new();
-                        shared
-                            .metrics
-                            .stream_uncacheable
-                            .fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        tee.buf.extend_from_slice(chunk);
-                    }
-                }
+                tee.absorb(chunk, max_tee, &shared.metrics);
             }
             !streamed || Instant::now() < deadline
         });
@@ -456,17 +563,7 @@ fn serve_connection(shared: &Shared, conn: Conn) {
             return;
         }
         if let Some(tee) = stream_tee.take() {
-            if !tee.overflowed {
-                shared.cache.put(
-                    tee.key,
-                    Arc::new(CachedBody {
-                        status: tee.status,
-                        content_type: tee.content_type,
-                        headers: tee.headers,
-                        body: tee.buf,
-                    }),
-                );
-            }
+            tee.insert_if_complete(&shared.cache);
         }
         if !keep_alive {
             return;
@@ -474,10 +571,164 @@ fn serve_connection(shared: &Shared, conn: Conn) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shared request resolution
+// ---------------------------------------------------------------------
+
+/// Everything both architectures need to transmit a resolved request:
+/// the response itself, its route and start time (TTFB accounting), and
+/// the pending cache tee for cacheable streamed misses.
+struct Resolved {
+    response: Response,
+    route: Route,
+    t0: Instant,
+    stream_tee: Option<StreamTee>,
+}
+
+/// Answer one parsed request: deadline check, `/metrics` special case,
+/// response-cache hit/miss, engine dispatch, post-commit cache sweep,
+/// conditional-request (`If-None-Match`) elision, and per-route latency
+/// accounting. Used verbatim by the threaded path (followed by a
+/// blocking observed write) and by event-mode workers (followed by
+/// serialisation into the connection's send queue).
+fn resolve(shared: &Shared, req: &Request, deadline: Instant) -> Resolved {
+    let route = classify(&req.path);
+    let t0 = Instant::now();
+
+    // When a cacheable miss returns a *streamed* body there is nothing
+    // to store up front; the write path tees the chunks into this buffer
+    // and the entry is inserted only after the body completes.
+    let mut stream_tee: Option<StreamTee> = None;
+
+    let mut response = if Instant::now() >= deadline {
+        // Expired while queued (or while the previous exchange ran).
+        shared
+            .metrics
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        Response::error(504, "deadline exceeded before handling")
+    } else if route == Route::Metrics {
+        // Served here because it needs the metrics + cache objects.
+        Response::text(
+            200,
+            shared.metrics.render_prometheus(
+                shared.cache.hits(),
+                shared.cache.misses(),
+                shared.cache.len(),
+                shared.state.plan_cache_stats(),
+            ) + &shared.state.render_prometheus_section(),
+        )
+    } else {
+        // Keys embed the store generation (for store-derived
+        // routes), so entries cached before a commit are
+        // unreachable after it.
+        let key = cache_key(req, shared.state.generation());
+        let cacheable = key.is_some();
+        let cached = key.as_ref().and_then(|k| shared.cache.get(k));
+        match cached {
+            Some(hit) => {
+                let mut headers = hit.headers.clone();
+                headers.push(("x-cache".into(), "HIT".into()));
+                Response {
+                    status: hit.status,
+                    content_type: hit.content_type.clone(),
+                    headers,
+                    body: Body::Full(hit.body.clone()),
+                }
+            }
+            None => match dispatch(&shared.state, req, deadline, shared.config.debug_routes) {
+                Outcome::DeadlineExceeded => {
+                    shared
+                        .metrics
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::error(504, "deadline exceeded in handler")
+                }
+                Outcome::Ready(mut resp) => {
+                    if resp.status == 200 {
+                        if let Some(k) = key {
+                            // Full bodies can be cached before the
+                            // write; streamed ones are teed during it
+                            // (headers snapshotted *before* the
+                            // x-cache marker so replays re-mark).
+                            if let Some(full) = resp.body.as_full() {
+                                shared.cache.put(
+                                    k,
+                                    Arc::new(CachedBody {
+                                        status: resp.status,
+                                        content_type: resp.content_type.clone(),
+                                        headers: resp.headers.clone(),
+                                        body: full.to_vec(),
+                                    }),
+                                );
+                            } else {
+                                stream_tee = Some(StreamTee {
+                                    key: k,
+                                    status: resp.status,
+                                    content_type: resp.content_type.clone(),
+                                    headers: resp.headers.clone(),
+                                    buf: Vec::new(),
+                                    overflowed: false,
+                                });
+                            }
+                        }
+                    }
+                    if cacheable {
+                        resp.headers.push(("x-cache".into(), "MISS".into()));
+                    }
+                    resp
+                }
+            },
+        }
+    };
+
+    // A committed update: sweep the whole response cache. The
+    // generation-stamped keys already guarantee staleness can't be
+    // served; the sweep reclaims the dead entries' memory now and
+    // feeds `ee_serve_invalidated_total{kind="responses"}`.
+    if route == Route::Update && response.status == 200 {
+        let swept = shared.cache.clear() as u64;
+        shared.state.note_invalidated_responses(swept);
+    }
+
+    // Conditional requests: when the client's If-None-Match equals
+    // the response's ETag the body is elided with a 304. Applied
+    // after cache resolution so both hits and misses revalidate.
+    if response.status == 200 {
+        if let (Some(inm), Some(tag)) = (
+            req.header("if-none-match"),
+            response
+                .headers
+                .iter()
+                .find(|(n, _)| n == "etag")
+                .map(|(_, v)| v.clone()),
+        ) {
+            if crate::router::if_none_match_matches(inm, &tag) {
+                shared.metrics.not_modified.fetch_add(1, Ordering::Relaxed);
+                response.status = 304;
+                response.body = Body::empty();
+                // The elided stream never produces chunks; don't cache
+                // an empty body under the resource's key.
+                stream_tee = None;
+            }
+        }
+    }
+
+    let latency_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shared.metrics.record(route, latency_us);
+
+    Resolved {
+        response,
+        route,
+        t0,
+        stream_tee,
+    }
+}
+
 /// Pending cache insert for a streamed cacheable miss: metadata captured
-/// at dispatch time plus the chunk bytes accumulated by the write
-/// observer. `overflowed` flips once the body exceeds the cache's
-/// per-entry cap; the buffer is dropped and the entry never inserted.
+/// at dispatch time plus the chunk bytes accumulated during the write.
+/// `overflowed` flips once the body exceeds the cache's per-entry cap;
+/// the buffer is dropped and the entry never inserted.
 struct StreamTee {
     key: String,
     status: u16,
@@ -487,10 +738,747 @@ struct StreamTee {
     overflowed: bool,
 }
 
+impl StreamTee {
+    /// Accumulate one body chunk, flipping to overflowed (and counting
+    /// the stream uncacheable) when the per-entry cap is crossed.
+    fn absorb(&mut self, chunk: &[u8], max_tee: usize, metrics: &Metrics) {
+        if self.overflowed {
+            return;
+        }
+        if self.buf.len() + chunk.len() > max_tee {
+            self.overflowed = true;
+            self.buf = Vec::new();
+            metrics.stream_uncacheable.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.buf.extend_from_slice(chunk);
+        }
+    }
+
+    /// Insert the accumulated entry after a complete body (no-op if it
+    /// overflowed the cap).
+    fn insert_if_complete(self, cache: &ShardedLru) {
+        if !self.overflowed {
+            cache.put(
+                self.key,
+                Arc::new(CachedBody {
+                    status: self.status,
+                    content_type: self.content_type,
+                    headers: self.headers,
+                    body: self.buf,
+                }),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event-driven architecture
+// ---------------------------------------------------------------------
+
+/// Target size of one framed chunk batch a worker produces per
+/// `NextChunk` job — the unit of memory a stalled client can hold.
+const CHUNK_BATCH_BYTES: usize = 64 * 1024;
+
+/// A stream parked in the shard resumes (next `NextChunk` job) once the
+/// connection's send queue drains to this few bytes.
+const STREAM_RESUME_BYTES: usize = 16 * 1024;
+
+/// Bytes read from one socket per readiness event before yielding to
+/// the next (fairness under pipelined load).
+const READ_QUANTUM: usize = 64 * 1024;
+
+/// How often the shard sweeps for idle / stuck-head connections.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(100);
+
+fn event_accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next_shard = 0usize;
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // EMFILE/ENFILE (or a transient failure): count it and
+                // back off instead of tight-looping on a hot error.
+                shared.metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(accept_backoff(&e));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.metrics.open_connections.load(Ordering::Relaxed)
+            >= shared.config.max_connections as u64
+        {
+            shed_at_accept(shared, stream, "connection limit reached");
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.conn_opened();
+        let shard = &shared.shards[next_shard];
+        next_shard = (next_shard + 1) % shared.shards.len();
+        shard.inbox.lock().expect("inbox poisoned").push(stream);
+        shard.waker.wake();
+    }
+}
+
+fn event_worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.jobs.lock().expect("jobs poisoned");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    shared.metrics.set_queue_depth(q.len() as u64);
+                    break j;
+                }
+                let (guard, _) = shared
+                    .jobs_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("jobs poisoned");
+                q = guard;
+            }
+        };
+        let (shard, completion) = match job {
+            Job::Resolve {
+                shard,
+                token,
+                req,
+                deadline,
+                keep_alive,
+            } => {
+                let done = run_resolve(shared, &req, deadline, keep_alive);
+                (shard, Completion { token, done })
+            }
+            Job::NextChunk { shard, token, ctx } => {
+                let (bytes, next) = produce_chunks(shared, ctx);
+                (
+                    shard,
+                    Completion {
+                        token,
+                        done: Done::Stream { bytes, next },
+                    },
+                )
+            }
+        };
+        let mailbox = &shared.shards[shard];
+        mailbox
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .push_back(completion);
+        mailbox.waker.wake();
+    }
+}
+
+/// Worker-side request handling: resolve, then serialise. Full bodies
+/// become one complete byte run; streamed bodies yield their head plus
+/// the first chunk batch, with the context returned for continuation.
+fn run_resolve(shared: &Shared, req: &Request, deadline: Instant, keep_alive: bool) -> Done {
+    let Resolved {
+        response,
+        route,
+        t0,
+        stream_tee,
+    } = resolve(shared, req, deadline);
+    let mut bytes = response.head_bytes(keep_alive);
+    match response.body {
+        Body::Full(b) => {
+            let ttfb_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            shared.metrics.record_ttfb(route, ttfb_us);
+            shared.metrics.add_bytes_sent(b.len() as u64);
+            bytes.extend_from_slice(&b);
+            Done::Full { bytes }
+        }
+        Body::Streamed(body) => {
+            let ctx = StreamCtx {
+                body,
+                tee: stream_tee,
+                deadline,
+                route,
+                t0,
+                first_chunk: true,
+            };
+            let (chunks, next) = produce_chunks(shared, ctx);
+            bytes.extend_from_slice(&chunks);
+            Done::Stream { bytes, next }
+        }
+    }
+}
+
+/// Pull body chunks until the batch budget fills, the stream ends, or
+/// the deadline expires — the event-mode equivalent of the threaded
+/// path's per-chunk write observer (TTFB, bytes-sent, cache tee, and
+/// deadline-between-chunks abort semantics are identical).
+fn produce_chunks(shared: &Shared, mut ctx: StreamCtx) -> (Vec<u8>, StreamNext) {
+    let mut out = Vec::new();
+    let max_tee = shared.cache.max_entry_bytes();
+    loop {
+        if Instant::now() >= ctx.deadline {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            return (out, StreamNext::Abort);
+        }
+        match ctx.body.next_chunk() {
+            Err(_) => return (out, StreamNext::Abort),
+            Ok(None) => {
+                out.extend_from_slice(CHUNK_TERMINATOR);
+                if let Some(tee) = ctx.tee.take() {
+                    tee.insert_if_complete(&shared.cache);
+                }
+                return (out, StreamNext::Finished);
+            }
+            Ok(Some(chunk)) => {
+                if chunk.is_empty() {
+                    continue; // an empty chunk would mean "end of body"
+                }
+                if ctx.first_chunk {
+                    ctx.first_chunk = false;
+                    let ttfb_us = ctx.t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    shared.metrics.record_ttfb(ctx.route, ttfb_us);
+                }
+                shared.metrics.add_bytes_sent(chunk.len() as u64);
+                if let Some(tee) = ctx.tee.as_mut() {
+                    tee.absorb(chunk, max_tee, &shared.metrics);
+                }
+                frame_chunk(chunk, &mut out);
+                if out.len() >= CHUNK_BATCH_BYTES {
+                    return (out, StreamNext::More(ctx));
+                }
+            }
+        }
+    }
+}
+
+/// Where a connection's state machine stands.
+enum Phase {
+    /// Between requests (or reading one): the shard may dispatch the
+    /// next complete request.
+    Idle,
+    /// A `Resolve` job is at the workers.
+    Busy,
+    /// A streamed body is parked here, waiting for the send queue to
+    /// drain before the next chunk batch is requested.
+    StreamWait(StreamCtx),
+    /// A `NextChunk` job is at the workers.
+    StreamBusy,
+}
+
+/// One nonblocking connection owned by an event-loop shard.
+struct EventConn {
+    stream: TcpStream,
+    seq: u64,
+    parser: RequestParser,
+    send: SendBuf,
+    phase: Phase,
+    /// Keep-alive decision for the response currently in flight.
+    keep_alive: bool,
+    /// Route holding one of this connection's in-flight quota slots.
+    inflight_route: Option<Route>,
+    last_activity: Instant,
+    /// Set while a partial request sits in the parser: the slow-loris
+    /// budget. Cleared on dispatch or when the parser drains.
+    read_deadline: Option<Instant>,
+    served: usize,
+    /// Peer half-closed its write side (EOF on read).
+    eof: bool,
+    /// Close once the send queue drains (response bodies flushed).
+    close_after_flush: bool,
+}
+
+struct Shard<'a> {
+    shared: &'a Shared,
+    id: usize,
+    wake: WakePipe,
+    conns: Vec<Option<EventConn>>,
+    free: Vec<usize>,
+    next_seq: u64,
+}
+
+impl<'a> Shard<'a> {
+    fn new(shared: &'a Shared, id: usize, wake: WakePipe) -> Shard<'a> {
+        Shard {
+            shared,
+            id,
+            wake,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let mut pollset: Vec<PollFd> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                return; // conns drop → sockets close
+            }
+            self.drain_inbox();
+            self.drain_completions();
+
+            pollset.clear();
+            slots.clear();
+            pollset.push(PollFd::new(self.wake.poll_fd(), POLLIN));
+            slots.push(usize::MAX);
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(c) = conn else { continue };
+                let mut events = 0i16;
+                if !c.eof {
+                    events |= POLLIN;
+                }
+                if !c.send.is_empty() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    pollset.push(PollFd::new(raw_fd(&c.stream), events));
+                    slots.push(slot);
+                }
+            }
+            let n = match poll_fds(&mut pollset, SWEEP_INTERVAL.as_millis() as i32) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if n > 0 {
+                if pollset[0].ready(POLLIN) {
+                    self.wake.drain();
+                }
+                for i in 1..pollset.len() {
+                    let pfd = pollset[i];
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let slot = slots[i];
+                    if pfd.ready(POLLIN) {
+                        self.handle_readable(slot);
+                    }
+                    if self.conns[slot].is_some() && pfd.ready(POLLOUT) {
+                        self.handle_writable(slot);
+                    }
+                    if let Some(c) = &self.conns[slot] {
+                        // Error/hangup with nothing actionable above:
+                        // the peer is gone.
+                        if pfd.failed() && c.send.is_empty() && !pfd.ready(POLLIN) {
+                            self.close(slot);
+                        }
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= SWEEP_INTERVAL {
+                last_sweep = now;
+                self.sweep(now);
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(s) = self.free.pop() {
+            s
+        } else {
+            self.conns.push(None);
+            self.conns.len() - 1
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let fresh = {
+            let mut inbox = self.shared.shards[self.id]
+                .inbox
+                .lock()
+                .expect("inbox poisoned");
+            std::mem::take(&mut *inbox)
+        };
+        for stream in fresh {
+            let slot = self.alloc_slot();
+            self.next_seq += 1;
+            let now = Instant::now();
+            self.conns[slot] = Some(EventConn {
+                stream,
+                seq: self.next_seq,
+                parser: RequestParser::new(),
+                send: SendBuf::new(),
+                phase: Phase::Idle,
+                keep_alive: true,
+                inflight_route: None,
+                last_activity: now,
+                read_deadline: None,
+                served: 0,
+                eof: false,
+                close_after_flush: false,
+            });
+            // The client may already have sent its request.
+            self.handle_readable(slot);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let completion = {
+                let mut q = self.shared.shards[self.id]
+                    .completions
+                    .lock()
+                    .expect("completions poisoned");
+                q.pop_front()
+            };
+            let Some(c) = completion else { return };
+            self.apply_completion(c);
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let (slot, seq) = completion.token;
+        let live = matches!(&self.conns[slot], Some(c) if c.seq == seq);
+        if !live {
+            // The connection died while the job ran; dropping the
+            // completion drops any stream context (and its engine
+            // cursors) with it. The quota slot was released at close.
+            return;
+        }
+        {
+            let conn = self.conns[slot].as_mut().expect("live checked");
+            conn.last_activity = Instant::now();
+            match completion.done {
+                Done::Full { bytes } => {
+                    conn.send.push(&bytes);
+                    if let Some(route) = conn.inflight_route.take() {
+                        self.shared.release_route(route);
+                    }
+                    conn.phase = Phase::Idle;
+                    if !conn.keep_alive {
+                        conn.close_after_flush = true;
+                    }
+                }
+                Done::Stream { bytes, next } => {
+                    conn.send.push(&bytes);
+                    match next {
+                        StreamNext::More(ctx) => {
+                            conn.phase = Phase::StreamWait(ctx);
+                        }
+                        StreamNext::Finished => {
+                            if let Some(route) = conn.inflight_route.take() {
+                                self.shared.release_route(route);
+                            }
+                            conn.phase = Phase::Idle;
+                            if !conn.keep_alive {
+                                conn.close_after_flush = true;
+                            }
+                        }
+                        StreamNext::Abort => {
+                            // Truncated chunked body: flush what was
+                            // produced, then close — never reuse.
+                            if let Some(route) = conn.inflight_route.take() {
+                                self.shared.release_route(route);
+                            }
+                            conn.phase = Phase::Idle;
+                            conn.keep_alive = false;
+                            conn.close_after_flush = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Push bytes out (and pump / dispatch / close as the new state
+        // allows) without waiting for the next poll round.
+        self.flush(slot);
+    }
+
+    /// Drive the send queue; on drain, advance whatever the connection
+    /// was waiting on (next chunk batch, next pipelined request, close).
+    fn flush(&mut self, slot: usize) {
+        let drained = {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            let EventConn { stream, send, .. } = conn;
+            match send.write_some(stream) {
+                Ok(d) => d,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        };
+        if !drained {
+            return; // POLLOUT re-arms on the next loop iteration
+        }
+        let conn = self.conns[slot].as_mut().expect("checked above");
+        if matches!(conn.phase, Phase::StreamWait(_))
+            && conn.send.pending() <= STREAM_RESUME_BYTES
+        {
+            let Phase::StreamWait(ctx) =
+                std::mem::replace(&mut conn.phase, Phase::StreamBusy)
+            else {
+                unreachable!()
+            };
+            let token = (slot, conn.seq);
+            self.shared.push_job(Job::NextChunk {
+                shard: self.id,
+                token,
+                ctx,
+            });
+            return;
+        }
+        if matches!(conn.phase, Phase::Idle) {
+            if conn.close_after_flush {
+                self.close(slot);
+                return;
+            }
+            if conn.eof && conn.parser.is_idle() {
+                self.close(slot);
+                return;
+            }
+            self.try_dispatch(slot);
+        }
+    }
+
+    fn handle_readable(&mut self, slot: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        let mut total = 0usize;
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    if matches!(conn.phase, Phase::Idle)
+                        && conn.parser.is_idle()
+                        && conn.send.is_empty()
+                    {
+                        self.close(slot);
+                    } else {
+                        // Finish the response in flight, then close.
+                        conn.close_after_flush = true;
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    let was_idle = conn.parser.is_idle();
+                    conn.parser.feed(&buf[..n]);
+                    conn.last_activity = Instant::now();
+                    if was_idle {
+                        conn.read_deadline =
+                            Some(Instant::now() + self.shared.config.deadline);
+                    }
+                    total += n;
+                    if total >= READ_QUANTUM {
+                        break;
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        let can_dispatch = matches!(
+            self.conns[slot].as_ref().map(|c| &c.phase),
+            Some(Phase::Idle)
+        );
+        if can_dispatch {
+            self.try_dispatch(slot);
+        }
+    }
+
+    fn handle_writable(&mut self, slot: usize) {
+        self.flush(slot);
+    }
+
+    /// Parse-and-dispatch loop while the connection is idle: sheds at
+    /// the dispatch watermark and per-route quotas, hands everything
+    /// else to the worker pool, and answers parse errors directly.
+    fn try_dispatch(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if !matches!(conn.phase, Phase::Idle) || conn.close_after_flush {
+                return;
+            }
+            let parsed = conn.parser.poll_request();
+            let req = match parsed {
+                Ok(Some(r)) => r,
+                Ok(None) => {
+                    if conn.parser.is_idle() {
+                        conn.read_deadline = None;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    self.shared
+                        .metrics
+                        .bad_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (status, msg) = match e {
+                        HttpError::BodyTooLarge(_) => (413, "body too large".to_string()),
+                        HttpError::Malformed(m) => (400, m),
+                        // The incremental parser never reports these.
+                        HttpError::ConnectionClosed
+                        | HttpError::IdleTimeout
+                        | HttpError::Io(_) => (400, "bad request".to_string()),
+                    };
+                    let bytes = serialize_error(status, &msg, false, None);
+                    conn.send.push(&bytes);
+                    conn.keep_alive = false;
+                    conn.close_after_flush = true;
+                    self.flush(slot);
+                    return;
+                }
+            };
+            // Deadline from when this request's bytes started arriving
+            // (the stamp the reader left in `read_deadline`), not from
+            // accept: a keep-alive connection may sit parked for minutes
+            // before its first request, and that idle time is the
+            // client's to spend, not service time. Requests parsed while
+            // an earlier one was in flight keep their arrival stamp, so
+            // head-of-line queueing does count against the budget.
+            let deadline = conn
+                .read_deadline
+                .take()
+                .unwrap_or_else(|| Instant::now() + self.shared.config.deadline);
+            conn.served += 1;
+            let keep_alive = req.wants_keep_alive()
+                && conn.served < self.shared.config.max_requests_per_conn;
+
+            // Dispatch-queue watermark: the event-mode face of the old
+            // accept-queue admission control.
+            let depth = self.shared.jobs.lock().expect("jobs poisoned").len();
+            if depth >= self.shared.config.queue_watermark {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let bytes = serialize_error(
+                    503,
+                    "admission queue full",
+                    false,
+                    Some(self.shared.config.retry_after_secs),
+                );
+                conn.send.push(&bytes);
+                conn.keep_alive = false;
+                conn.close_after_flush = true;
+                self.flush(slot);
+                return;
+            }
+
+            // Per-route quota: shed the request, keep the connection.
+            let route = classify(&req.path);
+            if !self.shared.acquire_route(route) {
+                self.shared.metrics.record_route_shed(route);
+                let bytes = serialize_error(
+                    503,
+                    "route quota exhausted",
+                    keep_alive,
+                    Some(self.shared.config.retry_after_secs),
+                );
+                conn.send.push(&bytes);
+                if !keep_alive {
+                    conn.keep_alive = false;
+                    conn.close_after_flush = true;
+                }
+                self.flush(slot);
+                continue; // still idle: a pipelined request may follow
+            }
+
+            conn.inflight_route = Some(route);
+            conn.keep_alive = keep_alive;
+            conn.phase = Phase::Busy;
+            let token = (slot, conn.seq);
+            self.shared.push_job(Job::Resolve {
+                shard: self.id,
+                token,
+                req: Box::new(req),
+                deadline,
+                keep_alive,
+            });
+            return;
+        }
+    }
+
+    /// Timer pass: reap idle keep-alive connections and stuck partial
+    /// request heads (slow loris).
+    fn sweep(&mut self, now: Instant) {
+        let idle_timeout = self.shared.config.idle_timeout;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            if let Some(rd) = conn.read_deadline {
+                if now >= rd {
+                    // A request head (or body) stalled mid-read past the
+                    // request deadline: answer 408 and close.
+                    self.shared
+                        .metrics
+                        .bad_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    let bytes = serialize_error(408, "request read timed out", false, None);
+                    conn.send.push(&bytes);
+                    conn.keep_alive = false;
+                    conn.close_after_flush = true;
+                    conn.read_deadline = None;
+                    self.flush(slot);
+                    continue;
+                }
+            }
+            let idle = matches!(conn.phase, Phase::Idle)
+                && conn.parser.is_idle()
+                && conn.send.is_empty()
+                && !conn.close_after_flush;
+            if idle && now.duration_since(conn.last_activity) >= idle_timeout {
+                self.shared
+                    .metrics
+                    .idle_reaped
+                    .fetch_add(1, Ordering::Relaxed);
+                self.close(slot);
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            if let Some(route) = conn.inflight_route {
+                self.shared.release_route(route);
+            }
+            self.shared.metrics.conn_closed();
+            self.free.push(slot);
+            // conn (stream, parser buffers, parked stream ctx) drops here.
+        }
+    }
+}
+
+/// Serialise a full error response (head + sized body) for direct
+/// enqueueing by a shard.
+fn serialize_error(status: u16, msg: &str, keep_alive: bool, retry_after: Option<u64>) -> Vec<u8> {
+    let mut resp = Response::error(status, msg);
+    if let Some(ra) = retry_after {
+        resp = resp.with_header("retry-after", ra.to_string());
+    }
+    let mut bytes = resp.head_bytes(keep_alive);
+    bytes.extend_from_slice(resp.body.as_full().expect("error bodies are sized"));
+    bytes
+}
+
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
 #[cfg(test)]
 mod tests {
     // The server is exercised end-to-end over real sockets in
-    // `tests/server.rs`; unit tests here stay within module seams.
+    // `tests/server.rs` (both kinds) and `tests/event.rs` (event-loop
+    // specifics); unit tests here stay within module seams.
     use super::*;
 
     #[test]
@@ -500,5 +1488,29 @@ mod tests {
         assert!(c.queue_watermark > 0);
         assert!(c.deadline > Duration::ZERO);
         assert!(c.cache_shards > 0);
+        assert_eq!(c.kind, ServerKind::Event);
+        assert!(c.event_shards >= 1);
+        assert!(c.max_connections > 0);
+        assert!(c.route_quota > 0);
+    }
+
+    #[test]
+    fn route_quota_overrides_apply() {
+        let c = ServerConfig {
+            route_quota: 100,
+            route_quota_overrides: vec![(Route::Query, 2), (Route::Tiles, 7)],
+            ..ServerConfig::default()
+        };
+        assert_eq!(c.quota_for(Route::Query), 2);
+        assert_eq!(c.quota_for(Route::Tiles), 7);
+        assert_eq!(c.quota_for(Route::Ice), 100);
+    }
+
+    #[test]
+    fn serialized_errors_match_the_blocking_writer() {
+        let mut resp = Response::error(503, "x").with_header("retry-after", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).unwrap();
+        assert_eq!(serialize_error(503, "x", false, Some(1)), wire);
     }
 }

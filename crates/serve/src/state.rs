@@ -31,7 +31,7 @@ use ee_raster::scene::Band;
 use ee_raster::tile::pyramid;
 use ee_raster::Raster;
 use ee_rdf::plan::FastPath;
-use ee_rdf::storage::{CommitStats, Durability, Store, StoreError};
+use ee_rdf::storage::{CommitStats, CompactionPolicy, Durability, Store, StoreError};
 use ee_rdf::store::IndexMode;
 use ee_rdf::term::Term;
 use ee_rdf::TripleStore;
@@ -52,6 +52,11 @@ pub const ICE_REGIONS: [&str; 3] = ["fram-strait", "norske-oer", "baffin-bay"];
 /// The `/catalogue/search` modes tracked separately in the per-mode
 /// latency metrics (`mode=` parameter values, fixed cardinality).
 pub const CATALOGUE_MODES: [&str; 3] = ["classic", "semantic", "ranked"];
+
+/// Predicate whose literal objects are indexed into the ranked (BM25)
+/// search arm: committing `<s> eo:searchText "..."` through `/update`
+/// makes `s` findable by `mode=ranked`, deleting the triple removes it.
+pub const SEARCH_TEXT_IRI: &str = "http://extremeearth.eu/ont/eo#searchText";
 
 /// Sizing knobs for the engines behind the routes.
 #[derive(Debug, Clone)]
@@ -120,10 +125,16 @@ pub struct AppState {
     pub classic: ClassicCatalogue,
     /// GeoSPARQL catalogue over the same archive (the semantic arm).
     pub semantic: SemanticCatalogue,
-    /// BM25 inverted index over the same archive's
-    /// [`ee_catalogue::Product::search_text`] documents (the ranked
-    /// arm); hit doc ids index [`ClassicCatalogue::products`].
-    pub bm25: Bm25Index,
+    /// BM25 inverted index over the archive's
+    /// [`ee_catalogue::Product::search_text`] documents **plus** any
+    /// live documents committed through `/update` ([`SEARCH_TEXT_IRI`]
+    /// triples). Doc ids below the product count index
+    /// [`ClassicCatalogue::products`]; higher slots resolve through the
+    /// live-document registry. Behind an [`RwLock`] because commits
+    /// maintain it incrementally.
+    bm25: RwLock<Bm25Index>,
+    /// Subject↔slot registry for the live (committed) ranked documents.
+    live_docs: Mutex<LiveDocs>,
     /// Overview pyramid, level 0 = full resolution.
     pub pyramid: Vec<Raster<f32>>,
     /// Tile side for `/tiles`.
@@ -172,7 +183,7 @@ impl AppState {
     /// committed update across restarts — and a fresh directory is
     /// seeded with the deterministic generated point set.
     pub fn build_durable(config: DataConfig, dir: &Path) -> Result<AppState, StoreError> {
-        let store = if dir.join(ee_rdf::storage::snapshot::SNAPSHOT_FILE).exists() {
+        let mut store = if dir.join(ee_rdf::storage::snapshot::SNAPSHOT_FILE).exists() {
             Store::open(dir)?
         } else {
             Store::create(
@@ -181,6 +192,9 @@ impl AppState {
                 Durability::from_env(),
             )?
         };
+        // Threshold-triggered WAL folding (EE_WAL_COMPACT_BYTES /
+        // EE_WAL_COMPACT_COMMITS); both unset leaves compaction manual.
+        store.set_compaction_policy(CompactionPolicy::from_env());
         Ok(Self::build_with_store(config, store))
     }
 
@@ -233,14 +247,16 @@ impl AppState {
 
         let tile_size = config.tile_size.max(1);
         let generation = AtomicU64::new(store.generation());
-        AppState {
+        let live_docs = Mutex::new(LiveDocs::new(classic.len()));
+        let state = AppState {
             config,
             writable: false,
             store: RwLock::new(store),
             generation,
             classic,
             semantic,
-            bm25,
+            bm25: RwLock::new(bm25),
+            live_docs,
             pyramid,
             tile_size,
             ice,
@@ -254,7 +270,25 @@ impl AppState {
             invalidated_plans: AtomicU64::new(0),
             invalidated_responses: AtomicU64::new(0),
             update_latency: Histogram::new(),
+        };
+        // A reopened durable store may already hold committed
+        // `eo:searchText` documents — fold them into the ranked index so
+        // restarts don't lose live documents.
+        {
+            let store = state.store.read().expect("store lock");
+            let pred = Term::iri(SEARCH_TEXT_IRI);
+            let mut subjects = Vec::new();
+            if let Some(pid) = store.dict.id_of(&pred) {
+                store.match_pattern(None, Some(pid), None, &mut |(s, _, _)| {
+                    subjects.push(store.dict.term(s).clone());
+                    true
+                });
+            }
+            if !subjects.is_empty() {
+                state.reindex_search_docs(&store, &subjects);
+            }
         }
+        state
     }
 
     /// Shared read access to the point store. The guard derefs through
@@ -285,8 +319,25 @@ impl AppState {
     ) -> Result<CommitStats, StoreError> {
         let t0 = std::time::Instant::now();
         let mut store = self.store.write().expect("store lock");
-        let stats = store.commit(update)?;
+        // Evaluate first (read-only) so the delta can be inspected for
+        // ranked-index maintenance before it is applied.
+        let delta = ee_rdf::update::evaluate_update(&store, update)?;
+        let search_pred = Term::iri(SEARCH_TEXT_IRI);
+        let touched: Vec<Term> = delta
+            .insert
+            .iter()
+            .chain(delta.delete.iter())
+            .filter(|(_, p, _)| *p == search_pred)
+            .map(|(s, _, _)| s.clone())
+            .collect();
+        let stats = store.commit_delta(delta)?;
         let prev = self.generation.swap(stats.generation, Ordering::SeqCst);
+        if stats.generation != prev && !touched.is_empty() {
+            // Re-derive each touched subject's document from the
+            // post-commit store (still under the exclusive lock, so
+            // ranked results can never lag a visible commit).
+            self.reindex_search_docs(&store, &touched);
+        }
         drop(store);
         if stats.generation != prev {
             let mut plans = self.plans.lock().expect("plan cache lock");
@@ -351,16 +402,95 @@ impl AppState {
             .map(|i| &self.catalogue_mode_latency[i])
     }
 
-    /// BM25-ranked catalogue search: top-`k` products by score for a
-    /// free-text query, best first. Doc ids from the index resolve
-    /// through [`ClassicCatalogue::products`] (same build order).
-    pub fn ranked_search(&self, query: &str, k: usize) -> Vec<(f64, &ee_catalogue::Product)> {
+    /// BM25-ranked catalogue search: top-`k` documents by score for a
+    /// free-text query, best first. Doc ids below the product count
+    /// resolve through [`ClassicCatalogue::products`] (same build
+    /// order); higher slots are live documents committed through
+    /// `/update` and resolve through the live-document registry.
+    pub fn ranked_search(&self, query: &str, k: usize) -> Vec<RankedHit<'_>> {
         let products = self.classic.products();
-        self.bm25
-            .search(query, k)
-            .into_iter()
-            .map(|h| (h.score, &products[h.doc as usize]))
+        let hits = self.bm25.read().expect("bm25 lock").search(query, k);
+        let live = self.live_docs.lock().expect("live docs lock");
+        hits.into_iter()
+            .map(|h| {
+                let slot = h.doc as usize;
+                let doc = if slot < products.len() {
+                    RankedDoc::Product(&products[slot])
+                } else {
+                    let (subject, text) = live
+                        .by_slot
+                        .get(&slot)
+                        .cloned()
+                        .expect("live slots with postings are registered");
+                    RankedDoc::Live { subject, text }
+                };
+                RankedHit {
+                    score: h.score,
+                    doc,
+                }
+            })
             .collect()
+    }
+
+    /// Documents currently searchable by `mode=ranked` (seed products
+    /// plus live committed documents).
+    pub fn ranked_indexed(&self) -> usize {
+        self.bm25.read().expect("bm25 lock").len()
+    }
+
+    /// Rebuild each subject's ranked-index document from the store's
+    /// current [`SEARCH_TEXT_IRI`] triples: multiple literals join (in
+    /// sorted order) into one document, none at all removes it. Callers
+    /// hold the store lock, making index updates atomic with commits.
+    fn reindex_search_docs(&self, store: &TripleStore, subjects: &[Term]) {
+        let mut bm25 = self.bm25.write().expect("bm25 lock");
+        let mut live = self.live_docs.lock().expect("live docs lock");
+        let pid = store.dict.id_of(&Term::iri(SEARCH_TEXT_IRI));
+        let mut seen = std::collections::HashSet::new();
+        for subject in subjects {
+            let key = match subject {
+                Term::Iri(i) => i.clone(),
+                other => other.ntriples(),
+            };
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let mut texts: Vec<String> = Vec::new();
+            if let (Some(pid), Some(sid)) = (pid, store.dict.id_of(subject)) {
+                store.match_pattern(Some(sid), Some(pid), None, &mut |(_, _, o)| {
+                    if let Term::Literal { lexical, .. } = store.dict.term(o) {
+                        texts.push(lexical.clone());
+                    }
+                    true
+                });
+            }
+            if texts.is_empty() {
+                if let Some(slot) = live.by_subject.remove(&key) {
+                    bm25.remove(slot);
+                    live.by_slot.remove(&slot);
+                    live.free.push(slot);
+                }
+            } else {
+                texts.sort();
+                let text = texts.join(" ");
+                let slot = match live.by_subject.get(&key) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = if let Some(s) = live.free.pop() {
+                            s
+                        } else {
+                            let s = live.slots;
+                            live.slots += 1;
+                            s
+                        };
+                        live.by_subject.insert(key.clone(), slot);
+                        slot
+                    }
+                };
+                bm25.upsert(slot, &text);
+                live.by_slot.insert(slot, (key, text));
+            }
+        }
     }
 
     /// The state-owned slice of `/metrics`: fast-path execution counters
@@ -509,6 +639,52 @@ impl AppState {
     }
 }
 
+/// One `mode=ranked` search hit.
+pub struct RankedHit<'a> {
+    /// BM25 score (higher is better).
+    pub score: f64,
+    /// The document the hit resolved to.
+    pub doc: RankedDoc<'a>,
+}
+
+/// What a ranked-search doc id resolved to.
+pub enum RankedDoc<'a> {
+    /// A product of the seed catalogue archive.
+    Product(&'a ee_catalogue::Product),
+    /// A document committed live through `POST /update` as a
+    /// [`SEARCH_TEXT_IRI`] triple.
+    Live {
+        /// Subject IRI of the `eo:searchText` triple(s).
+        subject: String,
+        /// The indexed document text (sorted literals joined).
+        text: String,
+    },
+}
+
+/// Registry of live (committed) ranked documents: subject ↔ BM25 slot
+/// both ways, plus slot accounting. Slots `0..products` belong to the
+/// seed archive forever; live documents use slots above that, reusing
+/// freed ones before growing the slab.
+struct LiveDocs {
+    by_subject: HashMap<String, usize>,
+    by_slot: HashMap<usize, (String, String)>,
+    /// Total BM25 slots ever allocated (live or dead).
+    slots: usize,
+    /// Dead live-document slots available for reuse.
+    free: Vec<usize>,
+}
+
+impl LiveDocs {
+    fn new(products: usize) -> LiveDocs {
+        LiveDocs {
+            by_subject: HashMap::new(),
+            by_slot: HashMap::new(),
+            slots: products,
+            free: Vec::new(),
+        }
+    }
+}
+
 /// Build a spatially-indexed store of `n` point features — the same
 /// shape as the E2 experiment's store, so `/query` serves the paper's
 /// "selections over a rectangular area" workload.
@@ -653,16 +829,69 @@ mod tests {
     #[test]
     fn ranked_search_resolves_products_in_score_order() {
         let state = AppState::build(DataConfig::tiny());
-        assert_eq!(state.bm25.len(), state.classic.len());
+        assert_eq!(state.ranked_indexed(), state.classic.len());
         let hits = state.ranked_search("radar ground range detected", 7);
         assert!(!hits.is_empty() && hits.len() <= 7);
         assert!(
-            hits.windows(2).all(|w| w[0].0 >= w[1].0),
+            hits.windows(2).all(|w| w[0].score >= w[1].score),
             "descending scores"
         );
-        for (_, p) in &hits {
-            assert_eq!(p.mission, "S1", "radar vocabulary only matches Sentinel-1");
+        for hit in &hits {
+            match &hit.doc {
+                RankedDoc::Product(p) => {
+                    assert_eq!(p.mission, "S1", "radar vocabulary only matches Sentinel-1")
+                }
+                RankedDoc::Live { .. } => panic!("no live docs before any commit"),
+            }
         }
+    }
+
+    #[test]
+    fn committed_search_text_is_ranked_searchable_live() {
+        let state = AppState::build(DataConfig::tiny());
+        let absent = state.ranked_search("zanzibar mangrove flyover", 5);
+        assert!(absent.is_empty(), "nonsense vocabulary matches nothing");
+        let seed_count = state.ranked_indexed();
+
+        // Commit a document: it becomes searchable immediately.
+        let u = ee_rdf::parser::parse_update(&format!(
+            "INSERT DATA {{ <http://e/doc1> <{SEARCH_TEXT_IRI}> \
+             \"zanzibar mangrove flyover campaign\" }}"
+        ))
+        .unwrap();
+        state.commit_update(&u).expect("commit insert");
+        assert_eq!(state.ranked_indexed(), seed_count + 1);
+        let hits = state.ranked_search("zanzibar mangrove flyover", 5);
+        assert_eq!(hits.len(), 1);
+        match &hits[0].doc {
+            RankedDoc::Live { subject, text } => {
+                assert_eq!(subject, "http://e/doc1");
+                assert!(text.contains("zanzibar"));
+            }
+            RankedDoc::Product(_) => panic!("must resolve to the live doc"),
+        }
+
+        // A second literal on the same subject folds into one document.
+        let u2 = ee_rdf::parser::parse_update(&format!(
+            "INSERT DATA {{ <http://e/doc1> <{SEARCH_TEXT_IRI}> \"aardvark burrow\" }}"
+        ))
+        .unwrap();
+        state.commit_update(&u2).expect("commit second literal");
+        assert_eq!(state.ranked_indexed(), seed_count + 1, "same doc, updated");
+        assert_eq!(state.ranked_search("aardvark", 5).len(), 1);
+
+        // Deleting every searchText literal removes the document.
+        let u3 = ee_rdf::parser::parse_update(&format!(
+            "DELETE WHERE {{ <http://e/doc1> <{SEARCH_TEXT_IRI}> ?t }}"
+        ))
+        .unwrap();
+        state.commit_update(&u3).expect("commit delete");
+        assert_eq!(state.ranked_indexed(), seed_count);
+        assert!(state.ranked_search("zanzibar mangrove flyover", 5).is_empty());
+        assert!(state.ranked_search("aardvark", 5).is_empty());
+
+        // Seed products stay searchable throughout.
+        assert!(!state.ranked_search("radar ground range detected", 3).is_empty());
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! End-to-end tests of the event-driven serve tier over real localhost
+//! sockets: behaviours the thread-per-connection suites can't exercise
+//! — idle-connection reaping, slow-loris partial heads, per-route
+//! quotas, the max-connections cap, mid-stream client disconnects under
+//! the event loop — plus the byte-identity contract between the two
+//! architectures and an open-loop fleet smoke.
+
+use ee_serve::http::read_response;
+use ee_serve::loadgen::{run_open_loop, OpenLoopPlan};
+use ee_serve::metrics::Route;
+use ee_serve::{start, AppState, DataConfig, ServerConfig, ServerKind};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn state() -> Arc<AppState> {
+    static STATE: OnceLock<Arc<AppState>> = OnceLock::new();
+    Arc::clone(STATE.get_or_init(|| Arc::new(AppState::build(DataConfig::tiny()))))
+}
+
+fn event_config() -> ServerConfig {
+    ServerConfig {
+        kind: ServerKind::Event,
+        workers: 2,
+        event_shards: 2,
+        queue_watermark: 16,
+        deadline: Duration::from_millis(2_000),
+        idle_timeout: Duration::from_millis(2_000),
+        debug_routes: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let r = s.try_clone().expect("clone");
+    (s, BufReader::new(r))
+}
+
+fn send(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    target: &str,
+    keep_alive: bool,
+) -> ee_serve::http::ClientResponse {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let _ = write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nhost: t\r\nconnection: {conn}\r\n\r\n"
+    );
+    let _ = stream.flush();
+    read_response(reader).expect("response")
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let mut config = event_config();
+    config.idle_timeout = Duration::from_millis(300);
+    let server = start(config, state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    let resp = send(&mut s, &mut r, "/healthz", true);
+    assert_eq!(resp.status, 200);
+    assert!(resp.keep_alive);
+
+    // Park the connection past the idle timeout: the server closes it.
+    let mut probe = [0u8; 16];
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let n = s.read(&mut probe).expect("clean EOF, not a reset");
+    assert_eq!(n, 0, "reaped idle connection ends in EOF");
+    assert!(
+        server
+            .metrics()
+            .idle_reaped
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    // The server stays fully serviceable afterwards.
+    let (mut s2, mut r2) = connect(server.addr);
+    assert_eq!(send(&mut s2, &mut r2, "/healthz", false).status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_heads_get_408_and_close() {
+    let mut config = event_config();
+    config.deadline = Duration::from_millis(300);
+    let server = start(config, state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    // A request head that never finishes.
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: lor").unwrap();
+    s.flush().unwrap();
+    let t0 = Instant::now();
+    let resp = read_response(&mut r).expect("408 response");
+    assert_eq!(resp.status, 408);
+    assert!(!resp.keep_alive);
+    assert!(
+        t0.elapsed() >= Duration::from_millis(250),
+        "408 only after the read deadline, not immediately"
+    );
+    // The connection is closed after the 408.
+    let mut probe = [0u8; 16];
+    assert_eq!(s.read(&mut probe).unwrap_or(0), 0);
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_client_disconnect_leaves_event_server_healthy() {
+    let server = start(event_config(), state()).expect("start");
+    {
+        let (mut s, _r) = connect(server.addr);
+        // A long stream the client abandons after a few bytes.
+        let _ = write!(
+            s,
+            "GET /debug/stream?chunks=200&bytes=4096&ms=10 HTTP/1.1\r\nhost: t\r\n\r\n"
+        );
+        let _ = s.flush();
+        let mut first = [0u8; 512];
+        let _ = s.read(&mut first).expect("stream starts");
+        // Drop both halves: the event loop must notice and free the slot.
+    }
+    // The fleet gauge returns to zero and new requests are served.
+    let t0 = Instant::now();
+    loop {
+        let open = server
+            .metrics()
+            .open_connections
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if open == 0 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "disconnected stream still counted open after 5s (gauge {open})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (mut s, mut r) = connect(server.addr);
+    assert_eq!(send(&mut s, &mut r, "/healthz", false).status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn per_route_quota_sheds_requests_but_keeps_connections() {
+    let mut config = event_config();
+    config.route_quota_overrides = vec![(Route::Debug, 1)];
+    let server = start(config, state()).expect("start");
+
+    // Hold the single /debug in-flight slot.
+    let (mut s1, mut r1) = connect(server.addr);
+    let _ = write!(
+        s1,
+        "GET /debug/sleep?ms=800 HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\n\r\n"
+    );
+    let _ = s1.flush();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Second /debug request: shed with 503 + retry-after, but the
+    // connection survives and other routes still answer on it.
+    let (mut s2, mut r2) = connect(server.addr);
+    let shed = send(&mut s2, &mut r2, "/debug/sleep?ms=1", true);
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(
+        std::str::from_utf8(&shed.body).unwrap().contains("quota"),
+        "shed names the quota, not the admission queue"
+    );
+    let after = send(&mut s2, &mut r2, "/healthz", true);
+    assert_eq!(after.status, 200, "same connection serves other routes");
+
+    assert_eq!(read_response(&mut r1).expect("held request").status, 200);
+    assert!(server.metrics().route_shed(Route::Debug) >= 1);
+    // Once the slot frees, the route serves again.
+    let again = send(&mut s2, &mut r2, "/debug/sleep?ms=1", false);
+    assert_eq!(again.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn max_connections_cap_sheds_at_accept() {
+    let mut config = event_config();
+    config.max_connections = 2;
+    let server = start(config, state()).expect("start");
+    let (mut s1, mut r1) = connect(server.addr);
+    let (mut s2, mut r2) = connect(server.addr);
+    // Confirm both are registered (responses mean the acceptor counted
+    // them) before probing the cap.
+    assert_eq!(send(&mut s1, &mut r1, "/healthz", true).status, 200);
+    assert_eq!(send(&mut s2, &mut r2, "/healthz", true).status, 200);
+
+    let (_s3, mut r3) = connect(server.addr);
+    let resp = read_response(&mut r3).expect("503 at accept");
+    assert_eq!(resp.status, 503);
+    assert!(std::str::from_utf8(&resp.body)
+        .unwrap()
+        .contains("connection limit"));
+
+    // Freeing a slot re-admits newcomers.
+    drop((s1, r1));
+    std::thread::sleep(Duration::from_millis(200));
+    let (mut s4, mut r4) = connect(server.addr);
+    assert_eq!(send(&mut s4, &mut r4, "/healthz", false).status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn event_and_threaded_serve_byte_identical_responses() {
+    // /healthz is excluded: its body embeds a live uptime value.
+    let targets = [
+        "/query?x=12&y=34",
+        "/catalogue/search?mode=classic&minx=11&miny=11&maxx=13&maxy=13",
+        "/catalogue/search?mode=ranked&q=radar&k=3",
+        "/tiles/0/0/0",
+        "/tiles/1/1/1",
+        "/ice/fram-strait",
+        // Streamed chunked bodies, including a deterministic debug one.
+        "/debug/stream?chunks=9&bytes=1000&ms=0",
+    ];
+    let event = start(event_config(), state()).expect("start event");
+    let threaded = start(
+        ServerConfig {
+            kind: ServerKind::Threaded,
+            ..event_config()
+        },
+        state(),
+    )
+    .expect("start threaded");
+
+    let (mut es, mut er) = connect(event.addr);
+    let (mut ts, mut tr) = connect(threaded.addr);
+    for target in targets {
+        let a = send(&mut es, &mut er, target, true);
+        let b = send(&mut ts, &mut tr, target, true);
+        assert_eq!(a.status, b.status, "{target}: status");
+        assert_eq!(a.body, b.body, "{target}: body bytes");
+        // Headers agree apart from cache markers (each server has its
+        // own cache; both should be MISS here, but don't couple to it).
+        assert_eq!(
+            a.header("content-type"),
+            b.header("content-type"),
+            "{target}: content type"
+        );
+        assert_eq!(
+            a.header("transfer-encoding"),
+            b.header("transfer-encoding"),
+            "{target}: framing"
+        );
+    }
+    event.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn open_loop_fleet_holds_idle_connections_through_the_event_server() {
+    let mut config = event_config();
+    config.max_connections = 4_096;
+    config.idle_timeout = Duration::from_secs(30);
+    let server = start(config, state()).expect("start");
+    let plan = OpenLoopPlan {
+        conns: 64,
+        rate_per_sec: 200.0,
+        duration: Duration::from_millis(600),
+        timeout: Duration::from_secs(5),
+    };
+    let targets = vec!["/healthz".to_string(), "/query?x=12&y=34".to_string()];
+    let report = run_open_loop(server.addr, &targets, &plan);
+    assert_eq!(report.conns_open, 64, "whole fleet connects");
+    assert_eq!(report.conns_alive, 64, "nothing reaped under the timeout");
+    assert!(report.ok >= 60, "open loop completes requests: {report:?}");
+    assert_eq!(report.errors, 0, "no transport errors: {report:?}");
+    assert!(report.p99_us > 0);
+    let peak = server
+        .metrics()
+        .open_peak
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(peak >= 64, "gauge saw the fleet (peak {peak})");
+    server.shutdown();
+}

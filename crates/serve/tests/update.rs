@@ -183,6 +183,78 @@ fn refresh_after_write_race_never_resurrects_stale_entries() {
 }
 
 #[test]
+fn committed_search_text_is_ranked_searchable_over_the_socket() {
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    let q = "/catalogue/search?mode=ranked&q=cryoconite&k=5";
+
+    // Nothing matches the marker term before the write.
+    let before = get(&mut s, &mut r, q);
+    assert_eq!(before.status, 200);
+    let count_of = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("count")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+    let indexed_of = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("indexed")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+    assert_eq!(count_of(&before), 0.0);
+    let baseline_indexed = indexed_of(&before);
+
+    // Commit an eo:searchText annotation; the BM25 index must track the
+    // write inside the same commit, so the very next ranked search on
+    // the same connection sees it.
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/doc1> \
+         <http://extremeearth.eu/ont/eo#searchText> \
+         \"glacier cryoconite melt survey\" }",
+    );
+    assert_eq!(upd.status, 200);
+
+    let after = get(&mut s, &mut r, q);
+    assert_eq!(after.status, 200);
+    assert_eq!(count_of(&after), 1.0, "live document ranks for its term");
+    assert_eq!(indexed_of(&after), baseline_indexed + 1.0);
+    let hit = json_of(&after)
+        .get("results")
+        .and_then(ee_util::json::Json::as_arr)
+        .and_then(<[ee_util::json::Json]>::first)
+        .and_then(|h| h.get("document"))
+        .cloned()
+        .expect("live hit carries a document object");
+    assert_eq!(
+        hit.get("subject").and_then(ee_util::json::Json::as_str),
+        Some("http://e/doc1")
+    );
+
+    // Deleting the annotation removes it from the ranked index too.
+    let del = post_update(
+        &mut s,
+        &mut r,
+        "DELETE DATA { <http://e/doc1> \
+         <http://extremeearth.eu/ont/eo#searchText> \
+         \"glacier cryoconite melt survey\" }",
+    );
+    assert_eq!(del.status, 200);
+    let gone = get(&mut s, &mut r, q);
+    assert_eq!(count_of(&gone), 0.0, "deleted document stops ranking");
+    assert_eq!(indexed_of(&gone), baseline_indexed);
+
+    // Seed catalogue products still rank: the live docs ride alongside.
+    let seed = get(&mut s, &mut r, "/catalogue/search?mode=ranked&q=radar&k=3");
+    assert_eq!(seed.status, 200);
+    assert!(count_of(&seed) >= 1.0);
+    server.shutdown();
+}
+
+#[test]
 fn healthz_and_metrics_bypass_the_cache_and_track_the_generation() {
     let server = start(test_config(), writable_state()).expect("start");
     let (mut s, mut r) = connect(server.addr);

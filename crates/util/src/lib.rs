@@ -19,11 +19,14 @@
 //!   fan-out with deterministic fixed-order reduction.
 //! * [`json`] — a small JSON value tree, emitter and parser (no external
 //!   serialisation crates).
+//! * [`poll`] — `poll(2)` / wake-pipe / rlimit wrappers for the
+//!   event-driven serve tier (declared `extern "C"`, no libc crate).
 
 pub mod bytes;
 pub mod json;
 pub mod noise;
 pub mod par;
+pub mod poll;
 pub mod rng;
 pub mod stats;
 pub mod timeline;

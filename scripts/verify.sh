@@ -3,10 +3,11 @@
 # network access, lint with clippy as errors, then smoke-run the
 # distributed-training (E4), classification (E5), kernel-throughput
 # (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
-# sweep at 4 threads, the E-k6 top-k/BM25 sweep, and the E-w7 durable
-# store run (the harness aborts non-zero if any parallel, top-k,
-# ranked-search, or crash-recovery run diverges from its reference
-# answer).
+# sweep at 4 threads, the E-k6 top-k/BM25 sweep, the E-w7 durable
+# store run, and the E-c8 event-driven C10K run (the harness aborts
+# non-zero if any parallel, top-k, ranked-search, or crash-recovery run
+# diverges from its reference answer, or if a stalled streaming reader
+# grows server memory instead of hitting backpressure).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -60,5 +61,15 @@ test -s BENCH_PR7.json
 grep -q '"recovery_identical": true' BENCH_PR7.json
 grep -q '"bulk_load_triples_per_sec"' BENCH_PR7.json
 grep -q '"with_writer_p99_us"' BENCH_PR7.json
+
+echo "== smoke: harness e-c8 --quick (event-driven C10K serve tier) =="
+# Open-loop keep-alive fleets against the poll-driven event server plus
+# the thread-pool baseline; the in-bench stalled-reader check panics
+# (non-zero exit) if the server buffers a stream instead of applying
+# backpressure.
+./target/release/harness e-c8 --quick
+test -s BENCH_PR8.json
+grep -q 'p99' BENCH_PR8.json
+grep -q '"bytes_per_conn"' BENCH_PR8.json
 
 echo "verify.sh: all green"
