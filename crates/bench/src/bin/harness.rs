@@ -12,15 +12,19 @@
 //! harness e-k6            # top-k + BM25 sweeps; writes BENCH_PR6.json
 //! harness e-w7 --quick    # durable store; writes BENCH_PR7.json
 //! harness e-c8 --quick    # C10K event serve tier; writes BENCH_PR8.json
+//! harness e-f9 --shards 4 # sharded scatter-gather; writes BENCH_PR9.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
-//! anything runs; `--threads` must be a positive integer. The E3 threads
-//! sweep asserts each parallel run bit-identical to serial and aborts
-//! (non-zero exit) on divergence.
+//! anything runs; `--threads` and `--shards` must be positive integers.
+//! The E3 threads sweep asserts each parallel run bit-identical to
+//! serial, and the E-f9 shard sweep asserts routed answers identical to
+//! an unsharded reference process; both abort (non-zero exit) on
+//! divergence.
 
 use ee_bench::{
-    e3_complexity, e_c8_event, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale, ALL,
+    e3_complexity, e_c8_event, e_f9_shard, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale,
+    ALL,
 };
 
 fn main() {
@@ -34,6 +38,7 @@ fn main() {
     // Validate flags (and pull out --threads' value) before running
     // anything.
     let mut max_threads: Option<usize> = None;
+    let mut max_shards: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -55,9 +60,23 @@ fn main() {
                     }
                 }
             }
+            "--shards" => {
+                let Some(v) = it.next() else {
+                    eprintln!("[harness] --shards needs a value, e.g. --shards 4");
+                    std::process::exit(2);
+                };
+                match v.parse::<usize>() {
+                    Ok(s) if (1..=16).contains(&s) => max_shards = Some(s),
+                    _ => {
+                        eprintln!("[harness] --shards must be an integer in 1..=16, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!(
-                    "[harness] unknown flag {other:?}; known: --full, --quick, --list, --threads N"
+                    "[harness] unknown flag {other:?}; known: --full, --quick, --list, \
+                     --threads N, --shards N"
                 );
                 std::process::exit(2);
             }
@@ -160,6 +179,16 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 vec![("BENCH_PR8.json", json)]
+            }
+            "e-f9" => {
+                // Launches real ee-serve shard + router processes; every
+                // identity check (routed vs unsharded reference) panics
+                // on divergence, so verify.sh sees a non-zero exit.
+                let (tables, json) = e_f9_shard::report(scale, max_shards.unwrap_or(4));
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![("BENCH_PR9.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

@@ -346,6 +346,7 @@ pub fn streaming_report(scale: Scale) -> (Vec<Table>, Json) {
         tile_size: scene,
         ice_size: 32,
         seed: 2019,
+        shard: None,
     }));
     let tile_bytes = 40 + scene * scene * 4;
     let server = start(
@@ -452,6 +453,7 @@ pub fn query_streaming_report(scale: Scale) -> (Vec<Table>, Json) {
         tile_size: 32,
         ice_size: 16,
         seed: 2019,
+        shard: None,
     }));
     let region = ee_serve::state::REGION;
     // Window sides selecting ~1.5%, 6%, 25% and 100% of the features.

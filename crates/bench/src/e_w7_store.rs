@@ -82,7 +82,7 @@ struct ColdStart {
 fn cold_start(n: usize, durability: Durability) -> ColdStart {
     let dir = scratch_dir("e-w7-cold");
     let (store, stats) =
-        Store::bulk_load(&dir, IndexMode::Full, synthetic_triples(n, 0x57), durability)
+        Store::bulk_load(&dir, IndexMode::Full, synthetic_triples(n, 0x57), durability, None)
             .expect("bulk load");
     let loaded = store.len();
     // The no-snapshot baseline: what a restart costs when all you have

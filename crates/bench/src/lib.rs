@@ -12,12 +12,16 @@
 //! recovery (writes `BENCH_PR7.json`). [`e_c8_event`] (`E-c8`) measures
 //! the event-driven serve tier holding thousands of mostly-idle
 //! keep-alive connections against the thread-pool baseline (writes
-//! `BENCH_PR8.json`). The [`table::Table`] type renders GitHub-flavoured
+//! `BENCH_PR8.json`). [`e_f9_shard`] (`E-f9`) launches N real `ee-serve`
+//! shard processes behind the scatter-gather router and checks routed
+//! answers byte-for-byte against an unsharded reference (writes
+//! `BENCH_PR9.json`). The [`table::Table`] type renders GitHub-flavoured
 //! markdown.
 
 pub mod table;
 
 pub mod e_c8_event;
+pub mod e_f9_shard;
 pub mod e_k6_topk;
 pub mod e_s0_serve;
 pub mod e_w7_store;
@@ -46,9 +50,9 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
-    "e-k6", "e-w7", "e-c8",
+    "e-k6", "e-w7", "e-c8", "e-f9",
 ];
 
 /// Run one experiment by id.
@@ -71,6 +75,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e-k6" => Some(e_k6_topk::run(scale)),
         "e-w7" => Some(e_w7_store::run(scale)),
         "e-c8" => Some(e_c8_event::run(scale)),
+        "e-f9" => Some(e_f9_shard::run(scale)),
         _ => None,
     }
 }

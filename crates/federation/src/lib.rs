@@ -17,14 +17,20 @@
 //!   predicate, or — for spatially filtered queries — a disjoint extent);
 //!   *bind joins* ship intermediate bindings so only relevant remote rows
 //!   return. The naive baseline broadcasts every pattern everywhere and
-//!   joins locally, which is exactly what the optimised plan beats in E8.
+//!   joins locally, which is exactly what the optimised plan beats in E8;
+//! * [`remote`] — scatter-gather over HTTP shard backends: a keep-alive
+//!   connection pool driving all in-flight exchanges from one poll
+//!   loop, per-shard deadlines (partial results, never hangs), and
+//!   hedged requests to still-pending shards past a trigger.
 
 pub mod catalog;
 pub mod endpoint;
 pub mod exec;
+pub mod remote;
 
 pub use catalog::FederationCatalog;
 pub use endpoint::Endpoint;
+pub use remote::{select_shards, ScatterConfig, ScatterReport, ShardBackend, ShardPart, ShardPool};
 pub use exec::{
     execute_federated, federated_query, federated_query_cached, plan_federated, FedPlan,
     FedReport, Mode, PlanCache,

@@ -1,0 +1,549 @@
+//! Scatter-gather execution over HTTP shard backends.
+//!
+//! PR 8's federation layer talked to in-process [`crate::Endpoint`]s;
+//! this module generalises the source-selection + gather machinery to
+//! *real* `ee-serve` shard processes reached over HTTP/1.1. One
+//! [`ShardPool`] fronts N backends and drives every in-flight exchange
+//! from a single poll loop (the same readiness model as the event
+//! server, applied client-side):
+//!
+//! * **keep-alive pooling** — completed keep-alive connections return to
+//!   a per-shard idle list and are reused by the next scatter; a reused
+//!   connection that dies before any response byte past the head arrives
+//!   is retried once on a fresh connect (the shard may simply have
+//!   restarted between scatters);
+//! * **per-shard deadlines** — a shard that does not answer inside
+//!   [`ScatterConfig::deadline`] yields `None` for its slot and flips
+//!   [`ScatterReport::incomplete`]; the caller surfaces a partial
+//!   result, never a hang;
+//! * **hedged requests** — once [`ScatterConfig::hedge_after`] has
+//!   elapsed, each still-pending shard gets one duplicate request on a
+//!   fresh connection; whichever attempt completes first wins and the
+//!   loser is discarded. This trims the tail a transiently slow shard
+//!   would otherwise impose on every fan-out query.
+//!
+//! [`select_shards`] is the shard-level analogue of endpoint source
+//! selection: queries whose subjects are all constants route to just
+//! the owning shards of the subject-hash ring; everything else fans out
+//! to all of them.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ee_rdf::parser::{parse_query, PatternTerm};
+use ee_rdf::storage::ShardSpec;
+use ee_util::http1::ResponseDecoder;
+use ee_util::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+use crate::FedError;
+
+/// One HTTP shard backend.
+#[derive(Debug, Clone)]
+pub struct ShardBackend {
+    /// Display name (metrics, logs).
+    pub name: String,
+    /// The shard's listening address.
+    pub addr: SocketAddr,
+}
+
+/// Tuning for a scatter round.
+#[derive(Debug, Clone)]
+pub struct ScatterConfig {
+    /// Per-shard answer deadline; a miss yields a `None` part.
+    pub deadline: Duration,
+    /// Elapsed time after which still-pending shards get a hedged
+    /// duplicate request on a fresh connection.
+    pub hedge_after: Duration,
+}
+
+impl Default for ScatterConfig {
+    fn default() -> Self {
+        ScatterConfig {
+            deadline: Duration::from_millis(1500),
+            hedge_after: Duration::from_millis(150),
+        }
+    }
+}
+
+/// One shard's completed exchange.
+#[derive(Debug, Clone)]
+pub struct ShardPart {
+    /// Index into the pool's backend list.
+    pub shard: usize,
+    /// HTTP status of the winning response.
+    pub status: u16,
+    /// Response headers (lower-cased names), in wire order.
+    pub headers: Vec<(String, String)>,
+    /// De-chunked response body.
+    pub body: Vec<u8>,
+    /// Time from scatter start to this shard's completion.
+    pub latency: Duration,
+    /// The winning response came from a hedged duplicate.
+    pub hedged: bool,
+}
+
+/// The outcome of one scatter round.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterReport {
+    /// One slot per requested target, in target order; `None` means the
+    /// shard failed or missed its deadline.
+    pub parts: Vec<Option<ShardPart>>,
+    /// Hedged duplicate requests launched.
+    pub hedged: u64,
+    /// Stale pooled connections retried on a fresh connect.
+    pub retried: u64,
+    /// True when any slot is `None`.
+    pub incomplete: bool,
+}
+
+/// Which shards a query must visit, given the subject-hash ring.
+///
+/// The shard-level analogue of endpoint source selection: when every
+/// pattern subject is a constant term, only the owning shards can hold
+/// matching triples, so the scatter visits just those. Any variable
+/// subject fans out to all shards.
+pub fn select_shards(sparql: &str, shard_count: usize) -> Result<Vec<usize>, FedError> {
+    let q = parse_query(sparql).map_err(|e| FedError::Parse(e.to_string()))?;
+    let spec = ShardSpec::try_new(0, shard_count)
+        .ok_or_else(|| FedError::Unsupported("shard count must be >= 1".into()))?;
+    let mut owners = HashSet::new();
+    for p in &q.patterns {
+        match &p.s {
+            PatternTerm::Const(t) => {
+                owners.insert(spec.owner(t));
+            }
+            PatternTerm::Var(_) => return Ok((0..shard_count).collect()),
+        }
+    }
+    if owners.is_empty() {
+        // No patterns at all — nothing constrains the scatter.
+        return Ok((0..shard_count).collect());
+    }
+    let mut v: Vec<usize> = owners.into_iter().collect();
+    v.sort_unstable();
+    Ok(v)
+}
+
+/// Phase of one in-flight attempt.
+enum AttemptState {
+    Sending,
+    Receiving,
+}
+
+/// One connection carrying one request to one shard.
+struct Attempt {
+    shard: usize,
+    slot: usize,
+    stream: TcpStream,
+    state: AttemptState,
+    sent: usize,
+    decoder: ResponseDecoder,
+    /// Connection came from the idle pool (eligible for one retry).
+    reused: bool,
+    /// This attempt is the hedged duplicate.
+    hedge: bool,
+}
+
+/// A pool of keep-alive connections to N shard backends, driving all
+/// in-flight exchanges of a scatter from one poll loop.
+pub struct ShardPool {
+    backends: Vec<ShardBackend>,
+    config: ScatterConfig,
+    idle: Mutex<Vec<Vec<TcpStream>>>,
+}
+
+impl ShardPool {
+    /// A pool over `backends` with `config` tuning.
+    pub fn new(backends: Vec<ShardBackend>, config: ScatterConfig) -> ShardPool {
+        let idle = Mutex::new(backends.iter().map(|_| Vec::new()).collect());
+        ShardPool {
+            backends,
+            config,
+            idle,
+        }
+    }
+
+    /// The backends, in shard-index order.
+    pub fn backends(&self) -> &[ShardBackend] {
+        &self.backends
+    }
+
+    /// Send `request` to every shard in `targets` and gather the
+    /// responses. Returns one part per target in target order; slots for
+    /// shards that failed or missed the deadline are `None` and flip
+    /// `incomplete`. Never blocks past the per-shard deadline.
+    pub fn scatter(&self, request: &[u8], targets: &[usize]) -> ScatterReport {
+        let t0 = Instant::now();
+        let mut report = ScatterReport {
+            parts: vec![None; targets.len()],
+            ..ScatterReport::default()
+        };
+        let mut done = vec![false; targets.len()];
+        let mut retried = vec![false; targets.len()];
+        let mut hedge_launched = vec![false; targets.len()];
+        let mut attempts: Vec<Attempt> = Vec::new();
+        for (slot, &shard) in targets.iter().enumerate() {
+            if shard >= self.backends.len() {
+                done[slot] = true; // part stays None
+                continue;
+            }
+            match self.checkout(shard, slot) {
+                Some(a) => attempts.push(a),
+                None => done[slot] = true,
+            }
+        }
+        let deadline = t0 + self.config.deadline;
+        let hedge_at = t0 + self.config.hedge_after;
+        while !attempts.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Hedge every still-pending shard once the trigger passes.
+            if now >= hedge_at {
+                let pending: Vec<(usize, usize)> = attempts
+                    .iter()
+                    .filter(|a| !done[a.slot] && !hedge_launched[a.slot] && !a.hedge)
+                    .map(|a| (a.shard, a.slot))
+                    .collect();
+                for (shard, slot) in pending {
+                    hedge_launched[slot] = true;
+                    if let Some(mut h) = self.fresh(shard, slot) {
+                        h.hedge = true;
+                        report.hedged += 1;
+                        attempts.push(h);
+                    }
+                }
+            }
+            let next_wake = if now < hedge_at { hedge_at } else { deadline };
+            let budget = next_wake.saturating_duration_since(now).as_millis() as i32;
+            let mut fds: Vec<PollFd> = attempts
+                .iter()
+                .map(|a| {
+                    let events = match a.state {
+                        AttemptState::Sending => POLLOUT,
+                        AttemptState::Receiving => POLLIN,
+                    };
+                    PollFd::new(std::os::fd::AsRawFd::as_raw_fd(&a.stream), events)
+                })
+                .collect();
+            if poll_fds(&mut fds, budget.max(1)).is_err() {
+                break;
+            }
+            let mut i = 0;
+            while i < attempts.len() {
+                if done[attempts[i].slot] {
+                    // A sibling attempt already won this shard.
+                    attempts.swap_remove(i);
+                    continue;
+                }
+                let fd = &fds[i];
+                // fds and attempts are index-aligned only before the first
+                // removal this round; re-derive readiness conservatively.
+                let ready = fd.fd == std::os::fd::AsRawFd::as_raw_fd(&attempts[i].stream)
+                    && (fd.ready(POLLIN | POLLOUT) || fd.failed());
+                if !ready {
+                    i += 1;
+                    continue;
+                }
+                match Self::drive(&mut attempts[i], request) {
+                    Drive::Pending => i += 1,
+                    Drive::Complete => {
+                        let a = attempts.swap_remove(i);
+                        // swap_remove also moved an fd slot out of
+                        // alignment; rebuild alignment by truncating the
+                        // remaining drive pass.
+                        self.finish(a, t0, &mut report, &mut done);
+                        break;
+                    }
+                    Drive::Dead => {
+                        let a = attempts.swap_remove(i);
+                        if a.reused && !a.decoder.started_body() && !retried[a.slot] {
+                            retried[a.slot] = true;
+                            report.retried += 1;
+                            if let Some(fresh) = self.fresh(a.shard, a.slot) {
+                                attempts.push(fresh);
+                            }
+                        } else if !attempts.iter().any(|x| x.slot == a.slot) {
+                            done[a.slot] = true; // part stays None
+                        }
+                        break;
+                    }
+                }
+            }
+            attempts.retain(|a| !done[a.slot]);
+        }
+        report.incomplete = report.parts.iter().any(Option::is_none);
+        report
+    }
+
+    /// Checkout a connection for `shard`: pooled if available, else fresh.
+    fn checkout(&self, shard: usize, slot: usize) -> Option<Attempt> {
+        let pooled = self.idle.lock().unwrap()[shard].pop();
+        match pooled {
+            Some(stream) => Some(Attempt {
+                shard,
+                slot,
+                stream,
+                state: AttemptState::Sending,
+                sent: 0,
+                decoder: ResponseDecoder::new(),
+                reused: true,
+                hedge: false,
+            }),
+            None => self.fresh(shard, slot),
+        }
+    }
+
+    /// A brand-new nonblocking connection to `shard`.
+    fn fresh(&self, shard: usize, slot: usize) -> Option<Attempt> {
+        let stream = TcpStream::connect(self.backends[shard].addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).ok()?;
+        Some(Attempt {
+            shard,
+            slot,
+            stream,
+            state: AttemptState::Sending,
+            sent: 0,
+            decoder: ResponseDecoder::new(),
+            reused: false,
+            hedge: false,
+        })
+    }
+
+    /// Drive one ready attempt: flush request bytes, then read and feed
+    /// the decoder.
+    fn drive(a: &mut Attempt, request: &[u8]) -> Drive {
+        if matches!(a.state, AttemptState::Sending) {
+            while a.sent < request.len() {
+                match a.stream.write(&request[a.sent..]) {
+                    Ok(0) => return Drive::Dead,
+                    Ok(n) => a.sent += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return Drive::Pending
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return Drive::Dead,
+                }
+            }
+            a.state = AttemptState::Receiving;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match a.stream.read(&mut buf) {
+                Ok(0) => return Drive::Dead,
+                Ok(n) => match a.decoder.feed(&buf[..n]) {
+                    Ok(Some(_)) => return Drive::Complete,
+                    Ok(None) => {}
+                    Err(_) => return Drive::Dead,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Drive::Pending,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Drive::Dead,
+            }
+        }
+    }
+
+    /// Record a completed attempt and pool its connection if reusable.
+    fn finish(
+        &self,
+        a: Attempt,
+        t0: Instant,
+        report: &mut ScatterReport,
+        done: &mut [bool],
+    ) {
+        done[a.slot] = true;
+        report.parts[a.slot] = Some(ShardPart {
+            shard: a.shard,
+            status: a.decoder.status(),
+            headers: a.decoder.headers().to_vec(),
+            body: a.decoder.body(),
+            latency: t0.elapsed(),
+            hedged: a.hedge,
+        });
+        if a.decoder.is_keep_alive() {
+            let mut idle = self.idle.lock().unwrap();
+            // Bound the idle list: a couple of warm conns per shard is
+            // plenty for a router worker.
+            if idle[a.shard].len() < 4 {
+                idle[a.shard].push(a.stream);
+            }
+        }
+    }
+}
+
+enum Drive {
+    Pending,
+    Complete,
+    Dead,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn canned_shard(body: &'static str, delay: Duration) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                std::thread::spawn(move || loop {
+                    let mut buf = [0u8; 4096];
+                    let n = match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => n,
+                    };
+                    let _ = n;
+                    std::thread::sleep(delay);
+                    let resp = format!(
+                        "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    );
+                    if conn.write_all(resp.as_bytes()).is_err() {
+                        return;
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn pool_of(addrs: &[SocketAddr], config: ScatterConfig) -> ShardPool {
+        let backends = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| ShardBackend {
+                name: format!("shard-{i}"),
+                addr,
+            })
+            .collect();
+        ShardPool::new(backends, config)
+    }
+
+    const REQ: &[u8] = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+
+    #[test]
+    fn scatter_gathers_every_shard_and_reuses_connections() {
+        let addrs = [
+            canned_shard("a", Duration::ZERO),
+            canned_shard("b", Duration::ZERO),
+        ];
+        let pool = pool_of(&addrs, ScatterConfig::default());
+        let r = pool.scatter(REQ, &[0, 1]);
+        assert!(!r.incomplete);
+        assert_eq!(r.parts.len(), 2);
+        assert_eq!(r.parts[0].as_ref().unwrap().body, b"a");
+        assert_eq!(r.parts[1].as_ref().unwrap().body, b"b");
+        // Second round reuses the pooled keep-alive conns.
+        let r2 = pool.scatter(REQ, &[0, 1]);
+        assert!(!r2.incomplete);
+        assert_eq!(r2.retried, 0);
+    }
+
+    #[test]
+    fn down_shard_yields_partial_not_hang() {
+        let up = canned_shard("up", Duration::ZERO);
+        // Grab an address and immediately close the listener.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        let pool = pool_of(&[up, dead], ScatterConfig::default());
+        let t0 = Instant::now();
+        let r = pool.scatter(REQ, &[0, 1]);
+        assert!(r.incomplete);
+        assert!(r.parts[0].is_some());
+        assert!(r.parts[1].is_none());
+        assert!(t0.elapsed() < Duration::from_secs(2), "failed fast, no hang");
+    }
+
+    #[test]
+    fn slow_shard_is_hedged_and_deadline_bounds_the_round() {
+        // A shard whose every response takes far longer than the
+        // deadline: hedging fires (counts), deadline still bounds us.
+        let slow = canned_shard("slow", Duration::from_millis(500));
+        let fast = canned_shard("fast", Duration::ZERO);
+        let config = ScatterConfig {
+            deadline: Duration::from_millis(250),
+            hedge_after: Duration::from_millis(50),
+        };
+        let pool = pool_of(&[fast, slow], config);
+        let t0 = Instant::now();
+        let r = pool.scatter(REQ, &[0, 1]);
+        assert!(r.parts[0].is_some());
+        assert!(r.parts[1].is_none(), "slow shard misses its deadline");
+        assert!(r.incomplete);
+        assert!(r.hedged >= 1, "pending shard was hedged");
+        assert!(t0.elapsed() < Duration::from_millis(600));
+    }
+
+    #[test]
+    fn restarted_shard_triggers_stale_conn_retry() {
+        // First exchange pools a keep-alive conn; then the shard
+        // "restarts" (listener dropped, conn closed) and a new one takes
+        // over the port. The pooled conn dies before any body byte, so
+        // the scatter retries fresh and still answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = conn.read(&mut buf).unwrap();
+            conn.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nv1")
+                .unwrap();
+            // Drop conn + listener: the "crash".
+        });
+        let pool = pool_of(&[addr], ScatterConfig::default());
+        let r1 = pool.scatter(REQ, &[0]);
+        assert_eq!(r1.parts[0].as_ref().unwrap().body, b"v1");
+        h.join().unwrap();
+        // Restart on the same port (retry a few times for the kernel to
+        // release it; SO_REUSEADDR semantics vary).
+        let mut relisten = None;
+        for _ in 0..50 {
+            match TcpListener::bind(addr) {
+                Ok(l) => {
+                    relisten = Some(l);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        let listener = relisten.expect("rebind shard port");
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                let mut buf = [0u8; 4096];
+                if matches!(conn.read(&mut buf), Ok(0) | Err(_)) {
+                    continue;
+                }
+                let _ = conn.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nv2");
+            }
+        });
+        let r2 = pool.scatter(REQ, &[0]);
+        assert!(!r2.incomplete, "retry on fresh connect recovered");
+        assert_eq!(r2.parts[0].as_ref().unwrap().body, b"v2");
+        assert_eq!(r2.retried, 1);
+    }
+
+    #[test]
+    fn constant_subjects_route_to_owner_shards_only() {
+        let all = select_shards("SELECT ?s WHERE { ?s ?p ?o }", 4).unwrap();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        let one = select_shards(
+            "SELECT ?o WHERE { <http://e/f1> <http://e/p> ?o }",
+            4,
+        )
+        .unwrap();
+        assert_eq!(one.len(), 1);
+        let spec = ShardSpec::new(0, 4);
+        let owner = spec.owner(&ee_rdf::Term::iri("http://e/f1"));
+        assert_eq!(one, vec![owner]);
+        assert!(select_shards("nonsense", 4).is_err());
+        assert!(select_shards("SELECT ?s WHERE { ?s ?p ?o }", 0).is_err());
+    }
+}

@@ -43,13 +43,20 @@
 //! * [`storage`] — durability: a compact checksummed binary snapshot
 //!   format (dictionary blocks + sorted triple segments), a write-ahead
 //!   log with torn-tail recovery, and the [`storage::Store`] wrapper
-//!   that ties them to a monotonic generation counter.
+//!   that ties them to a monotonic generation counter. A
+//!   [`storage::ShardSpec`] filters bulk loads to one subject-hash
+//!   shard of a partitioned dataset;
+//! * [`merge`] — merge-aware combination of per-shard query results for
+//!   the scatter-gather router tier: strategy selection by query shape
+//!   (sum counts, canonical-order row concatenation) and rejection of
+//!   shapes that cannot be answered shard-locally.
 
 pub mod batch;
 pub mod dict;
 pub mod exec;
 pub mod expr;
 pub mod join;
+pub mod merge;
 pub mod parser;
 pub mod plan;
 pub mod storage;

@@ -1,0 +1,349 @@
+//! Merge-aware combination of per-shard query results.
+//!
+//! The sharded serving tier partitions one logical dataset by subject
+//! hash across N stores, runs the same query on every shard, and needs
+//! the partial answers folded back into one — with the fold chosen by
+//! the *shape* of the query, not guessed from the payloads:
+//!
+//! * a bare `COUNT` aggregate sums the per-shard counts
+//!   ([`MergeStrategy::SumCount`]) — the merged body is bit-identical to
+//!   what one store holding everything would have produced;
+//! * everything else concatenates rows in a canonical order
+//!   ([`MergeStrategy::ConcatRows`]), sorted by each row's serialised
+//!   form so the answer is independent of shard count and arrival
+//!   order (`DISTINCT` additionally dedups across shards at the merge).
+//!
+//! [`strategy_for`] also guards correctness: a query whose patterns
+//! join **across** subjects cannot be answered by per-shard evaluation
+//! at all (a join partner may live on another shard), so it is rejected
+//! rather than silently under-answered. Shardable shapes are: a single
+//! pattern, or a basic graph pattern whose triples all share one
+//! subject variable (the star-join shape every `/query` template uses)
+//! or each pin a constant subject.
+//!
+//! `LIMIT`-capped row sets are shard-order dependent by nature (each
+//! shard caps its own slice before the merge sees anything), so the
+//! bit-identity guarantee covers queries whose results fit the cap.
+
+use crate::parser::{parse_query, AggFunc, PatternTerm, SelectItem};
+use crate::RdfError;
+use ee_util::json::Json;
+
+/// How per-shard results of a query fold into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Single bare `COUNT` aggregate: sum the per-shard counts.
+    SumCount,
+    /// Concatenate rows in canonical (serialised, sorted) order;
+    /// `distinct` dedups identical rows across shards.
+    ConcatRows {
+        /// The query asked for `DISTINCT`.
+        distinct: bool,
+    },
+}
+
+/// Pick the merge strategy for `sparql`, or reject it as unshardable.
+///
+/// Errors are [`RdfError::Parse`] for text the engine cannot parse and
+/// [`RdfError::Eval`] for well-formed queries whose evaluation cannot
+/// be distributed over subject-hash shards (cross-subject joins,
+/// `OPTIONAL`, `GROUP BY`, non-`COUNT` aggregates, `ORDER BY`).
+pub fn strategy_for(sparql: &str) -> Result<MergeStrategy, RdfError> {
+    let q = parse_query(sparql)?;
+    if !q.optionals.is_empty() {
+        return Err(RdfError::Eval(
+            "OPTIONAL is not shardable: the optional side may live on another shard".into(),
+        ));
+    }
+    if !q.group_by.is_empty() {
+        return Err(RdfError::Eval(
+            "GROUP BY is not shardable yet; run it against a single store".into(),
+        ));
+    }
+    if q.order_by.is_some() {
+        return Err(RdfError::Eval(
+            "ORDER BY is not shardable: the merge defines its own canonical order".into(),
+        ));
+    }
+    // Shardable pattern shapes: one pattern, or all patterns sharing a
+    // single subject variable (star join — every join partner lives on
+    // the subject's own shard), or every subject a constant.
+    if q.patterns.len() > 1 {
+        let mut subject_var: Option<&str> = None;
+        let mut all_const = true;
+        let mut all_same_var = true;
+        for p in &q.patterns {
+            match &p.s {
+                PatternTerm::Var(v) => {
+                    all_const = false;
+                    match subject_var {
+                        None => subject_var = Some(v),
+                        Some(sv) if sv == v => {}
+                        Some(_) => all_same_var = false,
+                    }
+                }
+                PatternTerm::Const(_) => all_same_var = false,
+            }
+        }
+        if !(all_const || (all_same_var && subject_var.is_some())) {
+            return Err(RdfError::Eval(
+                "cross-subject joins are not shardable: join partners may live on \
+                 different shards"
+                    .into(),
+            ));
+        }
+    }
+    let aggs: Vec<&SelectItem> = q
+        .select
+        .iter()
+        .filter(|s| matches!(s, SelectItem::Agg { .. }))
+        .collect();
+    if aggs.is_empty() {
+        return Ok(MergeStrategy::ConcatRows {
+            distinct: q.distinct,
+        });
+    }
+    if let [SelectItem::Agg { func: AggFunc::Count, .. }] = q.select.as_slice() {
+        return Ok(MergeStrategy::SumCount);
+    }
+    Err(RdfError::Eval(
+        "only a single bare COUNT aggregate is shardable (SUM/AVG/MIN/MAX need \
+         a coordinator-side fold)"
+            .into(),
+    ))
+}
+
+/// One parsed `/query` result body: the `{"vars":…,"rows":…,"count":…}`
+/// shape the serving tier emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Projected variable names, in emission order.
+    pub vars: Vec<String>,
+    /// Result rows, each a JSON array of term values.
+    pub rows: Vec<Json>,
+    /// Total result rows (may exceed `rows.len()` under a row cap).
+    pub count: u64,
+}
+
+impl QueryResult {
+    /// Parse a serialised result body.
+    pub fn parse(body: &str) -> Result<QueryResult, RdfError> {
+        let v = ee_util::json::parse(body)
+            .map_err(|e| RdfError::Eval(format!("bad shard result body: {e}")))?;
+        let vars = v
+            .get("vars")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RdfError::Eval("shard result missing vars".into()))?
+            .iter()
+            .map(|j| {
+                j.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| RdfError::Eval("non-string var name".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let rows = v
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RdfError::Eval("shard result missing rows".into()))?
+            .to_vec();
+        let count = v
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| RdfError::Eval("shard result missing count".into()))?;
+        Ok(QueryResult { vars, rows, count })
+    }
+
+    /// Serialise back to the canonical body shape — byte-identical to
+    /// what the serving tier's streamed writer emits for the same
+    /// `vars`/`rows`/`count`.
+    pub fn emit(&self) -> String {
+        let vars = Json::Arr(self.vars.iter().cloned().map(Json::Str).collect());
+        let rows: Vec<String> = self.rows.iter().map(Json::emit).collect();
+        format!(
+            "{{\"vars\":{},\"rows\":[{}],\"count\":{}}}",
+            vars.emit(),
+            rows.join(","),
+            Json::Num(self.count as f64).emit()
+        )
+    }
+}
+
+/// Fold per-shard results into one under `strategy`.
+///
+/// `parts` must be non-empty and agree on `vars` (they ran the same
+/// query); `row_cap` is the serving tier's materialised-row cap, applied
+/// after the canonical sort so the kept prefix is deterministic.
+pub fn merge(
+    parts: &[QueryResult],
+    strategy: &MergeStrategy,
+    row_cap: usize,
+) -> Result<QueryResult, RdfError> {
+    let first = parts
+        .first()
+        .ok_or_else(|| RdfError::Eval("no shard results to merge".into()))?;
+    let vars = first.vars.clone();
+    if parts.iter().any(|p| p.vars != vars) {
+        return Err(RdfError::Eval(
+            "shard results disagree on projected vars".into(),
+        ));
+    }
+    match strategy {
+        MergeStrategy::SumCount => {
+            let mut total: u64 = 0;
+            for p in parts {
+                let lexical = p
+                    .rows
+                    .first()
+                    .and_then(|r| r.as_arr())
+                    .and_then(|r| r.first())
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| RdfError::Eval("COUNT shard result has no value".into()))?;
+                total += lexical
+                    .parse::<u64>()
+                    .map_err(|_| RdfError::Eval(format!("bad COUNT lexical {lexical:?}")))?;
+            }
+            Ok(QueryResult {
+                vars,
+                rows: vec![Json::Arr(vec![Json::Str(total.to_string())])],
+                count: 1,
+            })
+        }
+        MergeStrategy::ConcatRows { distinct } => {
+            let mut keyed: Vec<(String, Json)> = parts
+                .iter()
+                .flat_map(|p| p.rows.iter())
+                .map(|r| (r.emit(), r.clone()))
+                .collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            if *distinct {
+                keyed.dedup_by(|a, b| a.0 == b.0);
+            }
+            let count = if *distinct {
+                keyed.len() as u64
+            } else {
+                parts.iter().map(|p| p.count).sum()
+            };
+            keyed.truncate(row_cap);
+            Ok(QueryResult {
+                vars,
+                rows: keyed.into_iter().map(|(_, r)| r).collect(),
+                count,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_queries_sum() {
+        let q = "SELECT (COUNT(?s) AS ?n) WHERE { ?s ?p ?o }";
+        assert_eq!(strategy_for(q).unwrap(), MergeStrategy::SumCount);
+        let part = |n: u64| QueryResult {
+            vars: vec!["n".into()],
+            rows: vec![Json::Arr(vec![Json::Str(n.to_string())])],
+            count: 1,
+        };
+        let merged = merge(&[part(3), part(0), part(9)], &MergeStrategy::SumCount, 1000).unwrap();
+        assert_eq!(merged.emit(), "{\"vars\":[\"n\"],\"rows\":[[\"12\"]],\"count\":1}");
+    }
+
+    #[test]
+    fn row_queries_concat_in_canonical_order() {
+        let q = "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }";
+        assert_eq!(
+            strategy_for(q).unwrap(),
+            MergeStrategy::ConcatRows { distinct: false }
+        );
+        let row = |s: &str| Json::Arr(vec![Json::Str(s.into()), Json::Str("x".into())]);
+        let part = |names: &[&str]| QueryResult {
+            vars: vec!["s".into(), "o".into()],
+            rows: names.iter().map(|n| row(n)).collect(),
+            count: names.len() as u64,
+        };
+        let a = merge(
+            &[part(&["b", "a"]), part(&["c"])],
+            &MergeStrategy::ConcatRows { distinct: false },
+            1000,
+        )
+        .unwrap();
+        let b = merge(
+            &[part(&["c", "a"]), part(&["b"])],
+            &MergeStrategy::ConcatRows { distinct: false },
+            1000,
+        )
+        .unwrap();
+        assert_eq!(a, b, "merge is independent of shard arrangement");
+        assert_eq!(a.count, 3);
+        assert_eq!(a.rows.len(), 3);
+    }
+
+    #[test]
+    fn distinct_dedups_across_shards_and_cap_applies_after_sort() {
+        let row = |s: &str| Json::Arr(vec![Json::Str(s.into())]);
+        let part = |names: &[&str]| QueryResult {
+            vars: vec!["c".into()],
+            rows: names.iter().map(|n| row(n)).collect(),
+            count: names.len() as u64,
+        };
+        let merged = merge(
+            &[part(&["wheat", "maize"]), part(&["wheat"])],
+            &MergeStrategy::ConcatRows { distinct: true },
+            1000,
+        )
+        .unwrap();
+        assert_eq!(merged.rows.len(), 2);
+        assert_eq!(merged.count, 2);
+        let capped = merge(
+            &[part(&["b"]), part(&["a", "c"])],
+            &MergeStrategy::ConcatRows { distinct: false },
+            2,
+        )
+        .unwrap();
+        assert_eq!(capped.rows.len(), 2);
+        assert_eq!(capped.count, 3, "count still reports the full total");
+        assert_eq!(capped.rows[0].emit(), "[\"a\"]");
+    }
+
+    #[test]
+    fn unshardable_shapes_are_rejected() {
+        for q in [
+            // Cross-subject join.
+            "SELECT ?a ?b WHERE { ?a <http://e/p> ?x . ?b <http://e/q> ?x }",
+            // OPTIONAL.
+            "SELECT ?s WHERE { ?s ?p ?o . OPTIONAL { ?s <http://e/q> ?r } }",
+            // Non-count aggregate.
+            "SELECT (SUM(?v) AS ?t) WHERE { ?s <http://e/v> ?v }",
+            // GROUP BY.
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
+            // ORDER BY.
+            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s",
+        ] {
+            assert!(matches!(strategy_for(q), Err(RdfError::Eval(_))), "{q}");
+        }
+        // Parse errors stay parse errors.
+        assert!(matches!(strategy_for("nonsense"), Err(RdfError::Parse(_))));
+    }
+
+    #[test]
+    fn star_joins_and_const_subjects_are_shardable() {
+        for q in [
+            "SELECT ?s ?t ?g WHERE { ?s <http://e/type> ?t . ?s <http://e/geom> ?g }",
+            "SELECT ?o WHERE { <http://e/f1> <http://e/p> ?o . <http://e/f2> <http://e/p> ?o }",
+            "SELECT DISTINCT ?o WHERE { ?s <http://e/p> ?o }",
+        ] {
+            assert!(strategy_for(q).is_ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn result_bodies_round_trip() {
+        let body = "{\"vars\":[\"s\",\"o\"],\"rows\":[[\"http://e/a\",\"1\"],[\"http://e/b\",null]],\"count\":2}";
+        let parsed = QueryResult::parse(body).unwrap();
+        assert_eq!(parsed.emit(), body);
+        assert!(QueryResult::parse("{\"rows\":[]}").is_err());
+        assert!(QueryResult::parse("not json").is_err());
+    }
+}

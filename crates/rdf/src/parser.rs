@@ -109,11 +109,22 @@ pub enum UpdateOp {
     /// `DELETE WHERE { ... }` — remove every instantiation of the
     /// pattern group (the group is both template and WHERE clause).
     DeleteWhere(Vec<TriplePattern>),
+    /// `INSERT { template } WHERE { patterns }` — instantiate the
+    /// template with every solution of the WHERE group and add the
+    /// resulting ground triples. Every template variable must be bound
+    /// by the WHERE group (checked at parse time).
+    InsertWhere {
+        /// Triple templates instantiated once per solution.
+        template: Vec<TriplePattern>,
+        /// The WHERE group, evaluated as `SELECT *` through the
+        /// ordinary plan machinery.
+        patterns: Vec<TriplePattern>,
+    },
 }
 
 /// A parsed SPARQL UPDATE request: one or more operations separated by
 /// `;`, sharing one PREFIX header. The supported subset is `INSERT
-/// DATA`, `DELETE DATA` and `DELETE WHERE`.
+/// DATA`, `INSERT … WHERE`, `DELETE DATA` and `DELETE WHERE`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Update {
     /// Operations in request order.
@@ -644,8 +655,46 @@ impl Parser {
         loop {
             if self.is_word("INSERT") {
                 self.advance();
-                self.eat_word("DATA")?;
-                ops.push(UpdateOp::InsertData(self.ground_block()?));
+                if self.is_word("DATA") {
+                    self.advance();
+                    ops.push(UpdateOp::InsertData(self.ground_block()?));
+                } else if matches!(self.peek(), Tok::Punct("{")) {
+                    let template = self.pattern_block()?;
+                    if template.is_empty() {
+                        return Err(RdfError::Parse(
+                            "INSERT WHERE needs at least one template triple".into(),
+                        ));
+                    }
+                    self.eat_word("WHERE")?;
+                    let patterns = self.pattern_block()?;
+                    if patterns.is_empty() {
+                        return Err(RdfError::Parse(
+                            "INSERT WHERE needs at least one triple pattern".into(),
+                        ));
+                    }
+                    // Every template variable must be bound by the WHERE
+                    // group, or instantiation could never ground it.
+                    let bound: std::collections::HashSet<&str> = patterns
+                        .iter()
+                        .flat_map(|p| [&p.s, &p.p, &p.o])
+                        .filter_map(|t| match t {
+                            PatternTerm::Var(v) => Some(v.as_str()),
+                            PatternTerm::Const(_) => None,
+                        })
+                        .collect();
+                    for t in template.iter().flat_map(|p| [&p.s, &p.p, &p.o]) {
+                        if let PatternTerm::Var(v) = t {
+                            if !bound.contains(v.as_str()) {
+                                return Err(RdfError::Parse(format!(
+                                    "template variable ?{v} is not bound by the WHERE group"
+                                )));
+                            }
+                        }
+                    }
+                    ops.push(UpdateOp::InsertWhere { template, patterns });
+                } else {
+                    return Err(self.error("expected DATA or { template } WHERE after INSERT"));
+                }
             } else if self.is_word("DELETE") {
                 self.advance();
                 if self.is_word("DATA") {
@@ -664,7 +713,9 @@ impl Parser {
                     return Err(self.error("expected DATA or WHERE after DELETE"));
                 }
             } else {
-                return Err(self.error("expected INSERT DATA, DELETE DATA or DELETE WHERE"));
+                return Err(self.error(
+                    "expected INSERT DATA, INSERT { } WHERE, DELETE DATA or DELETE WHERE",
+                ));
             }
             if matches!(self.peek(), Tok::Punct(";")) {
                 self.advance();
@@ -1294,13 +1345,34 @@ mod tests {
     }
 
     #[test]
+    fn insert_where_parses_template_and_group() {
+        let u = parse_update(
+            "PREFIX e: <http://e/> \
+             INSERT { ?s e:met ?o . ?s e:type e:Person } WHERE { ?s e:knows ?o }",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 1);
+        let UpdateOp::InsertWhere { template, patterns } = &u.ops[0] else {
+            panic!("{:?}", u.ops[0]);
+        };
+        assert_eq!(template.len(), 2);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(template[0].s, PatternTerm::Var("s".into()));
+        assert_eq!(template[1].o, PatternTerm::Const(Term::iri("http://e/Person")));
+        assert_eq!(patterns[0].p, PatternTerm::Const(Term::iri("http://e/knows")));
+    }
+
+    #[test]
     fn update_parse_errors() {
         for bad in [
             "",
-            "INSERT { <http://e/s> <http://e/p> <http://e/o> }", // missing DATA
+            "INSERT { <http://e/s> <http://e/p> <http://e/o> }", // missing WHERE
             "INSERT DATA { ?s <http://e/p> <http://e/o> }",      // variable in DATA
             "DELETE DATA { <http://e/s> <http://e/p> ?o }",
             "DELETE WHERE { }",                                  // empty group
+            "INSERT { } WHERE { ?s ?p ?o }",                     // empty template
+            "INSERT { ?s ?p ?o } WHERE { }",                     // empty WHERE group
+            "INSERT { ?s <http://e/p> ?x } WHERE { ?s ?p ?o }",  // ?x unbound
             "DELETE <http://e/s>",                               // neither DATA nor WHERE
             "INSERT DATA { <http://e/s> <http://e/p> <http://e/o> ", // unterminated
             "SELECT ?s WHERE { ?s ?p ?o }",                      // a query, not an update

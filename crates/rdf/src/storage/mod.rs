@@ -93,6 +93,56 @@ pub struct BulkLoadStats {
     pub triples_per_sec: f64,
 }
 
+/// One shard's slice of a logical dataset, by deterministic subject
+/// hash: shard `index` of `count` keeps exactly the triples whose
+/// subject the shared consistent-hash ring ([`ee_util::ring`]) assigns
+/// to it. Every process that builds a `ShardSpec` with the same `count`
+/// partitions identically, so N shard stores built from the same triple
+/// stream hold disjoint slices whose union is the whole dataset — the
+/// property the router tier's scatter-gather merge relies on.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// This shard's index in `0..count`.
+    pub index: usize,
+    /// Total shards the dataset is split across.
+    pub count: usize,
+    ring: ee_util::ring::HashRing,
+}
+
+impl ShardSpec {
+    /// The spec for shard `index` of `count`. Panics unless
+    /// `index < count` (validate CLI input with [`ShardSpec::try_new`]).
+    pub fn new(index: usize, count: usize) -> ShardSpec {
+        ShardSpec::try_new(index, count).expect("shard index must be < count, count >= 1")
+    }
+
+    /// Non-panicking constructor for unvalidated (CLI / env) input.
+    pub fn try_new(index: usize, count: usize) -> Option<ShardSpec> {
+        if count == 0 || index >= count {
+            return None;
+        }
+        Some(ShardSpec {
+            index,
+            count,
+            ring: ee_util::ring::HashRing::new(count),
+        })
+    }
+
+    /// Whether this shard owns `subject` (IRIs hash on their IRI text,
+    /// anything else on its N-Triples form).
+    pub fn accepts(&self, subject: &Term) -> bool {
+        self.owner(subject) == self.index
+    }
+
+    /// The shard index owning `subject` on this spec's ring.
+    pub fn owner(&self, subject: &Term) -> usize {
+        match subject {
+            Term::Iri(iri) => self.ring.shard_of(iri),
+            other => self.ring.shard_of(&other.ntriples()),
+        }
+    }
+}
+
 /// When a durable store folds its WAL into a fresh snapshot on its own.
 /// Both triggers are optional; either one firing after a commit runs
 /// [`Store::compact`] inline (the caller's `commit` pays the snapshot
@@ -259,11 +309,18 @@ impl Store {
     /// Build a store from a triple stream and persist it in one step —
     /// **without** per-triple WAL records (the snapshot itself is the
     /// durable copy). Reports load throughput.
+    ///
+    /// With a [`ShardSpec`], only the triples whose subject the spec
+    /// owns are kept: N shard processes can each stream the *same*
+    /// logical dataset and build/snapshot only their slice, without any
+    /// coordinator shipping data around. `triples_per_sec` then reports
+    /// kept-triples over wall time (the filter walks the whole stream).
     pub fn bulk_load<I>(
         dir: impl AsRef<Path>,
         mode: IndexMode,
         triples: I,
         durability: Durability,
+        shard: Option<&ShardSpec>,
     ) -> Result<(Self, BulkLoadStats), StoreError>
     where
         I: IntoIterator<Item = GroundTriple>,
@@ -271,6 +328,11 @@ impl Store {
         let start = Instant::now();
         let mut st = TripleStore::new(mode);
         for (s, p, o) in triples {
+            if let Some(spec) = shard {
+                if !spec.accepts(&s) {
+                    continue;
+                }
+            }
             st.insert(&s, &p, &o);
         }
         st.build_spatial_index();
@@ -723,8 +785,8 @@ mod tests {
         let triples: Vec<GroundTriple> = (0..5000)
             .map(|i| (e(&format!("s{i}")), e("p"), Term::integer(i)))
             .collect();
-        let (st, stats) = Store::bulk_load(&dir, IndexMode::Full, triples, Durability::NoSync)
-            .unwrap();
+        let (st, stats) =
+            Store::bulk_load(&dir, IndexMode::Full, triples, Durability::NoSync, None).unwrap();
         assert_eq!(stats.triples, 5000);
         assert!(stats.triples_per_sec > 0.0);
         assert_eq!(st.wal_len(), 0, "bulk load must not write per-triple WAL");
@@ -733,6 +795,55 @@ mod tests {
         assert_eq!(st.len(), 5000);
         assert_eq!(st.generation(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_spec_validates_and_partitions() {
+        assert!(ShardSpec::try_new(0, 0).is_none());
+        assert!(ShardSpec::try_new(2, 2).is_none());
+        assert!(ShardSpec::try_new(1, 2).is_some());
+        // Every subject is owned by exactly one shard, and ownership
+        // agrees across independently-built specs.
+        let count = 4;
+        let specs: Vec<ShardSpec> = (0..count).map(|i| ShardSpec::new(i, count)).collect();
+        for i in 0..500 {
+            let s = e(&format!("f{i}"));
+            let owners: Vec<usize> = (0..count).filter(|&k| specs[k].accepts(&s)).collect();
+            assert_eq!(owners.len(), 1, "subject owned by exactly one shard");
+            assert_eq!(owners[0], specs[0].owner(&s));
+        }
+    }
+
+    #[test]
+    fn sharded_bulk_loads_partition_the_dataset() {
+        let count = 3;
+        let n = 2000;
+        let triples = |_: usize| -> Vec<GroundTriple> {
+            (0..n)
+                .map(|i| (e(&format!("s{i}")), e("p"), Term::integer(i)))
+                .collect()
+        };
+        let mut total = 0;
+        let mut stores = Vec::new();
+        for k in 0..count {
+            let dir = test_dir(&format!("bulk-shard-{k}"));
+            let spec = ShardSpec::new(k, count);
+            let (st, stats) =
+                Store::bulk_load(&dir, IndexMode::Full, triples(k), Durability::NoSync, Some(&spec))
+                    .unwrap();
+            assert_eq!(st.len(), stats.triples);
+            assert!(st.len() < n as usize, "a shard holds a strict slice");
+            total += st.len();
+            stores.push((st, spec, dir));
+        }
+        assert_eq!(total, n as usize, "slices are disjoint and exhaustive");
+        // Each shard holds exactly the subjects its spec accepts.
+        for (st, spec, dir) in &stores {
+            for (s, _, _) in st.triples() {
+                assert!(spec.accepts(s));
+            }
+            std::fs::remove_dir_all(dir).unwrap();
+        }
     }
 
     #[test]

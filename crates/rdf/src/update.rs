@@ -6,11 +6,12 @@
 //! delta to its WAL, and only then mutates the in-memory indexes — so a
 //! crash between the two never leaves a half-applied commit.
 //!
-//! `DELETE WHERE` runs its pattern group through the ordinary
-//! plan/execute pipeline (`SELECT *` over the group), then instantiates
-//! the same group with each solution row. All operations in one request
-//! are evaluated against the state at the start of the request and
-//! applied in order (atomic-batch semantics).
+//! `DELETE WHERE` and `INSERT … WHERE` run their WHERE group through
+//! the ordinary plan/execute pipeline (`SELECT *` over the group), then
+//! instantiate a template with each solution row — for `DELETE WHERE`
+//! the group is its own template. All operations in one request are
+//! evaluated against the state at the start of the request and applied
+//! in order (atomic-batch semantics).
 
 use crate::parser::{PatternTerm, Query, TriplePattern, Update, UpdateOp};
 use crate::store::TripleStore;
@@ -63,9 +64,16 @@ pub fn evaluate_update(store: &TripleStore, update: &Update) -> Result<Delta, Rd
                 }
             }
             UpdateOp::DeleteWhere(patterns) => {
-                for t in delete_where_matches(store, patterns)? {
+                for t in instantiate(store, patterns, patterns)? {
                     if seen_del.insert(t.clone()) {
                         delta.delete.push(t);
+                    }
+                }
+            }
+            UpdateOp::InsertWhere { template, patterns } => {
+                for t in instantiate(store, patterns, template)? {
+                    if seen_ins.insert(t.clone()) {
+                        delta.insert.push(t);
                     }
                 }
             }
@@ -74,12 +82,14 @@ pub fn evaluate_update(store: &TripleStore, update: &Update) -> Result<Delta, Rd
     Ok(delta)
 }
 
-/// Instantiate a `DELETE WHERE` group: run it as `SELECT *` through the
-/// regular plan/execute pipeline, then substitute each solution row
-/// back into the group's patterns.
-fn delete_where_matches(
+/// Instantiate `template` with every solution of `patterns`: run the
+/// WHERE group as `SELECT *` through the regular plan/execute pipeline,
+/// then substitute each solution row into the template. `DELETE WHERE`
+/// passes the same group for both.
+fn instantiate(
     store: &TripleStore,
     patterns: &[TriplePattern],
+    template: &[TriplePattern],
 ) -> Result<Vec<GroundTriple>, RdfError> {
     let q = Query {
         select: Vec::new(),
@@ -103,10 +113,10 @@ fn delete_where_matches(
                 PatternTerm::Var(name) => col_of(name).and_then(|i| row[i].clone()),
             }
         };
-        for p in patterns {
+        for p in template {
             // A row with any unbound position instantiates nothing for
             // this pattern (cannot happen for required patterns, but be
-            // defensive rather than delete a wrong triple).
+            // defensive rather than write a wrong triple).
             if let (Some(s), Some(pr), Some(o)) = (bind(&p.s), bind(&p.p), bind(&p.o)) {
                 out.push((s, pr, o));
             }
@@ -202,6 +212,71 @@ mod tests {
         let (ins, del) = apply_delta(&mut st, &d);
         assert_eq!((ins, del), (1, 1));
         assert!(st.contains(&e("a"), &e("knows"), &e("b")));
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    fn insert_where_instantiates_via_pipeline() {
+        let mut st = store();
+        // Everyone ?s knows becomes someone ?s e:met.
+        let u = parse_update(
+            "PREFIX e: <http://e/> INSERT { ?s e:met ?o } WHERE { ?s e:knows ?o }",
+        )
+        .unwrap();
+        let d = evaluate_update(&st, &u).unwrap();
+        assert_eq!(d.insert.len(), 3);
+        assert!(d.delete.is_empty());
+        let (ins, del) = apply_delta(&mut st, &d);
+        assert_eq!((ins, del), (3, 0));
+        assert!(st.contains(&e("a"), &e("met"), &e("b")));
+        assert!(st.contains(&e("b"), &e("met"), &e("c")));
+        // Idempotent: re-running inserts nothing new (the WHERE group
+        // still matches only the e:knows triples).
+        let d2 = evaluate_update(&st, &u).unwrap();
+        assert_eq!(apply_delta(&mut st, &d2), (0, 0));
+    }
+
+    #[test]
+    fn insert_where_with_constant_template_parts() {
+        let mut st = store();
+        let u = parse_update(
+            "PREFIX e: <http://e/> \
+             INSERT { ?s e:type e:Person } WHERE { ?s e:knows ?o }",
+        )
+        .unwrap();
+        let d = evaluate_update(&st, &u).unwrap();
+        // Two distinct subjects (a, b) — dedup collapses repeated rows.
+        assert_eq!(d.insert.len(), 2);
+        apply_delta(&mut st, &d);
+        assert!(st.contains(&e("a"), &e("type"), &e("Person")));
+        assert!(st.contains(&e("b"), &e("type"), &e("Person")));
+    }
+
+    #[test]
+    fn insert_where_unbound_template_var_is_parse_error() {
+        let err = parse_update(
+            "PREFIX e: <http://e/> INSERT { ?s e:met ?x } WHERE { ?s e:knows ?o }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("?x"), "got: {err}");
+    }
+
+    #[test]
+    fn insert_where_then_delete_where_in_one_request() {
+        let mut st = store();
+        // Copy e:knows to e:met, then drop the originals — evaluated
+        // against the same starting state, applied deletes-then-inserts.
+        let u = parse_update(
+            "PREFIX e: <http://e/> \
+             INSERT { ?s e:met ?o } WHERE { ?s e:knows ?o } ; \
+             DELETE WHERE { ?s e:knows ?o }",
+        )
+        .unwrap();
+        let d = evaluate_update(&st, &u).unwrap();
+        let (ins, del) = apply_delta(&mut st, &d);
+        assert_eq!((ins, del), (3, 3));
+        assert!(st.contains(&e("a"), &e("met"), &e("b")));
+        assert!(!st.contains(&e("a"), &e("knows"), &e("b")));
         assert_eq!(st.len(), 4);
     }
 

@@ -26,7 +26,11 @@
 //! — the default poll-driven event loop (C10K tier) and the
 //! thread-per-connection baseline — over one shared resolution core,
 //! [`loadgen`] the closed-loop client driving E-s0 and the open-loop
-//! nonblocking fleet driving E-c8.
+//! nonblocking fleet driving E-c8, [`shard`] the scale-out router tier
+//! (`--router`): scatter-gather `/query` over N shard processes with
+//! canonical merges, consistent-hash forwarding for `/tiles` and
+//! `/ice`, per-shard deadlines with partial results, and hedged
+//! requests against slow shards.
 
 pub mod cache;
 pub mod http;
@@ -34,7 +38,9 @@ pub mod loadgen;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod shard;
 pub mod state;
 
 pub use server::{start, ServerConfig, ServerHandle, ServerKind};
+pub use shard::RouterTier;
 pub use state::{AppState, DataConfig};

@@ -26,6 +26,7 @@
 //! each parked connection costs the server.
 
 use crate::http::{read_response_body, read_response_head, ClientResponse, HttpError};
+use ee_util::http1::ResponseDecoder;
 use ee_util::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -350,90 +351,6 @@ pub struct OpenLoopReport {
     pub wall: Duration,
 }
 
-/// Incremental HTTP/1.1 response decoder for the open-loop client: feed
-/// bytes as they arrive, get `Some(status)` once the full message
-/// (content-length or chunked framing) is present.
-struct ResponseDecoder {
-    buf: Vec<u8>,
-    head_end: usize,
-    status: u16,
-    chunked: bool,
-    content_length: usize,
-}
-
-impl ResponseDecoder {
-    fn new() -> ResponseDecoder {
-        ResponseDecoder {
-            buf: Vec::new(),
-            head_end: 0,
-            status: 0,
-            chunked: false,
-            content_length: 0,
-        }
-    }
-
-    /// Append bytes; `Ok(Some(status))` when the response is complete,
-    /// `Err(())` on malformed framing.
-    fn feed(&mut self, bytes: &[u8]) -> Result<Option<u16>, ()> {
-        self.buf.extend_from_slice(bytes);
-        if self.head_end == 0 {
-            let Some(pos) = self
-                .buf
-                .windows(4)
-                .position(|w| w == b"\r\n\r\n")
-            else {
-                return Ok(None);
-            };
-            self.head_end = pos + 4;
-            let head = std::str::from_utf8(&self.buf[..pos]).map_err(|_| ())?;
-            let mut lines = head.split("\r\n");
-            let status_line = lines.next().ok_or(())?;
-            self.status = status_line
-                .split_whitespace()
-                .nth(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or(())?;
-            for line in lines {
-                let Some((name, value)) = line.split_once(':') else {
-                    continue;
-                };
-                let name = name.trim().to_ascii_lowercase();
-                let value = value.trim();
-                if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
-                    self.chunked = true;
-                } else if name == "content-length" {
-                    self.content_length = value.parse().map_err(|_| ())?;
-                }
-            }
-        }
-        if !self.chunked {
-            if self.buf.len() >= self.head_end + self.content_length {
-                return Ok(Some(self.status));
-            }
-            return Ok(None);
-        }
-        // Walk the chunk framing from the head each time; E-c8 bodies
-        // are small, so the rescan is noise.
-        let mut at = self.head_end;
-        loop {
-            let Some(nl) = self.buf[at..].windows(2).position(|w| w == b"\r\n") else {
-                return Ok(None);
-            };
-            let size_line = std::str::from_utf8(&self.buf[at..at + nl]).map_err(|_| ())?;
-            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| ())?;
-            let data_start = at + nl + 2;
-            let data_end = data_start + size + 2; // chunk bytes + CRLF
-            if self.buf.len() < data_end {
-                return Ok(None);
-            }
-            if size == 0 {
-                return Ok(Some(self.status));
-            }
-            at = data_end;
-        }
-    }
-}
-
 /// What one open-loop connection is doing.
 enum OpenState {
     /// Parked keep-alive connection, available for the next tick.
@@ -717,7 +634,7 @@ fn drive_recv(
                     return;
                 }
                 Ok(None) => {}
-                Err(()) => {
+                Err(_) => {
                     *errors += 1;
                     conn.state = OpenState::Dead;
                     return;
@@ -749,30 +666,14 @@ mod tests {
     }
 
     #[test]
-    fn response_decoder_handles_sized_bodies_byte_at_a_time() {
-        let wire = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\ncontent-type: text/plain\r\n\r\nhello";
-        let mut dec = ResponseDecoder::new();
-        let mut done = None;
-        for b in wire.iter() {
-            if let Some(s) = dec.feed(std::slice::from_ref(b)).unwrap() {
-                done = Some(s);
-            }
-        }
-        assert_eq!(done, Some(200));
-    }
-
-    #[test]
-    fn response_decoder_handles_chunked_bodies() {
+    fn shared_decoder_still_drives_the_open_loop_shapes() {
+        // The decoder lives in `ee_util::http1` now (the router's shard
+        // pool shares it); this pins the open-loop usage contract.
         let wire =
             b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n3\r\nwor\r\n0\r\n\r\n";
-        // All at once.
-        let mut dec = ResponseDecoder::new();
-        assert_eq!(dec.feed(wire).unwrap(), Some(200));
-        // Split mid-chunk.
         let mut dec = ResponseDecoder::new();
         assert_eq!(dec.feed(&wire[..40]).unwrap(), None);
         assert_eq!(dec.feed(&wire[40..]).unwrap(), Some(200));
-        // Garbage framing errors out instead of hanging.
         let mut dec = ResponseDecoder::new();
         assert!(dec
             .feed(b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n")

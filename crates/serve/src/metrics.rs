@@ -202,6 +202,8 @@ pub struct Metrics {
     pub handled: AtomicU64,
     /// Malformed requests answered 4xx.
     pub bad_requests: AtomicU64,
+    /// Requests shed with 503 at the per-connection pipelining cap.
+    pub pipeline_capped: AtomicU64,
     /// Conditional requests answered 304 Not Modified (`If-None-Match`
     /// matched the response's ETag, so the body was elided).
     pub not_modified: AtomicU64,
@@ -360,6 +362,11 @@ impl Metrics {
             self.bad_requests.load(Ordering::Relaxed),
         );
         counter(
+            "ee_serve_pipeline_capped_total",
+            "Requests shed with 503 at the per-connection pipelining cap",
+            self.pipeline_capped.load(Ordering::Relaxed),
+        );
+        counter(
             "ee_serve_not_modified_total",
             "Conditional requests answered 304 Not Modified",
             self.not_modified.load(Ordering::Relaxed),
@@ -510,8 +517,10 @@ mod tests {
         m.conn_opened();
         m.conn_closed();
         m.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        m.pipeline_capped.fetch_add(2, Ordering::Relaxed);
         let text = m.render_prometheus(5, 10, 7, (4, 2, 2));
         assert!(text.contains("ee_serve_accept_errors_total 3"));
+        assert!(text.contains("ee_serve_pipeline_capped_total 2"));
         assert!(text.contains("ee_serve_route_shed_total{route=\"query\"} 1"));
         assert!(text.contains("ee_serve_open_connections 1"));
         assert!(text.contains("ee_serve_open_connections_peak 2"));

@@ -30,7 +30,7 @@
 
 use crate::http::{BodyStream, Request, Response};
 use crate::metrics::Route;
-use crate::state::{selection_sparql, AppState, ICE_REGIONS, REGION};
+use crate::state::{AppState, ICE_REGIONS};
 use ee_geo::Envelope;
 use ee_polar::pcdss::encode_bundle;
 use ee_rdf::term::Term;
@@ -107,6 +107,15 @@ pub fn dispatch(
     deadline: Instant,
     debug_routes: bool,
 ) -> Outcome {
+    // Router tier: scatter /query, forward /tiles and /ice to their
+    // ring owners, refuse /update. Everything it declines (catalogue,
+    // healthz is intercepted, debug, 404s) falls through to the local
+    // engines below.
+    if let Some(tier) = &state.router {
+        if let Some(resp) = crate::shard::route(state, tier, req) {
+            return Outcome::Ready(resp);
+        }
+    }
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     if req.method == "POST" && segs.as_slice() == ["query"] {
         return Outcome::Ready(handle_query_post(state, req));
@@ -136,33 +145,19 @@ pub fn dispatch(
 /// store. Parameters: `sparql` (raw query) or `x0`,`y0`,`side`
 /// (selection window, E2 shape); `limit` caps materialised rows.
 fn handle_query(state: &Arc<AppState>, req: &Request) -> Response {
-    let sparql = match req.param("sparql") {
-        Some(q) => q.to_string(),
-        None => {
-            let x0 = req.param_or("x0", REGION * 0.45);
-            let y0 = req.param_or("y0", REGION * 0.45);
-            let side = req.param_or("side", REGION / 10.0);
-            if !(x0.is_finite() && y0.is_finite() && side.is_finite() && side > 0.0) {
-                return Response::error(400, "x0/y0/side must be finite, side > 0");
-            }
-            selection_sparql(x0, y0, side)
-        }
-    };
-    let limit = req.param_or("limit", 1000usize);
-    run_query(state, &sparql, limit)
+    match crate::shard::query_of(req) {
+        Ok((sparql, limit)) => run_query(state, &sparql, limit),
+        Err(resp) => resp,
+    }
 }
 
 /// `POST /query` — the request body is the raw SPARQL text. Executes
 /// through the same prepared-plan path as GET.
 fn handle_query_post(state: &Arc<AppState>, req: &Request) -> Response {
-    let Ok(sparql) = std::str::from_utf8(&req.body) else {
-        return Response::error(400, "body must be UTF-8 SPARQL text");
-    };
-    if sparql.trim().is_empty() {
-        return Response::error(400, "empty body; POST the SPARQL query text");
+    match crate::shard::query_of(req) {
+        Ok((sparql, limit)) => run_query(state, &sparql, limit),
+        Err(resp) => resp,
     }
-    let limit = req.param_or("limit", 1000usize);
-    run_query(state, sparql, limit)
 }
 
 /// `POST /update` — the request body is SPARQL UPDATE text, committed
@@ -206,6 +201,7 @@ fn handle_update(state: &Arc<AppState>, req: &Request) -> Response {
 /// field counts **all** result rows (`rows` is capped at `limit`) and is
 /// emitted last — its value is only known once the stream has drained.
 fn run_query(state: &Arc<AppState>, sparql: &str, limit: usize) -> Response {
+    state.maybe_inject_slowdown();
     match state.prepared_query_stream(sparql) {
         Ok(core) => {
             // Strong validator without buffering the (streamed) body:

@@ -98,6 +98,12 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Requests served on one connection before it is recycled.
     pub max_requests_per_conn: usize,
+    /// HTTP/1.1 pipelining depth cap (event mode): consecutive requests
+    /// dispatched while more request bytes sit buffered behind them.
+    /// A client streaming requests faster than it drains responses is
+    /// answered 503 and closed once it exceeds this depth (counted in
+    /// `ee_serve_pipeline_capped_total`).
+    pub max_pipeline_depth: usize,
     /// Response-cache shards.
     pub cache_shards: usize,
     /// Response-cache entries per shard.
@@ -132,6 +138,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_millis(2_000),
             idle_timeout: Duration::from_millis(5_000),
             max_requests_per_conn: 10_000,
+            max_pipeline_depth: 64,
             cache_shards: 8,
             cache_capacity_per_shard: 512,
             cache_ttl: Duration::from_secs(60),
@@ -990,6 +997,9 @@ struct EventConn {
     /// budget. Cleared on dispatch or when the parser drains.
     read_deadline: Option<Instant>,
     served: usize,
+    /// Consecutive requests dispatched while further request bytes were
+    /// already buffered behind them; resets whenever the parser drains.
+    pipeline_depth: usize,
     /// Peer half-closed its write side (EOF on read).
     eof: bool,
     /// Close once the send queue drains (response bodies flushed).
@@ -1115,6 +1125,7 @@ impl<'a> Shard<'a> {
                 last_activity: now,
                 read_deadline: None,
                 served: 0,
+                pipeline_depth: 0,
                 eof: false,
                 close_after_flush: false,
             });
@@ -1339,6 +1350,36 @@ impl<'a> Shard<'a> {
                     return;
                 }
             };
+            // Pipelining cap: every request dispatched while the parser
+            // still holds buffered bytes deepens the backlog this
+            // connection asks the server to carry. A well-behaved client
+            // drains responses and the parser goes idle between
+            // requests, resetting the depth; one that streams requests
+            // blind is shed with 503 and closed once it exceeds the cap
+            // (its remaining buffered requests are dropped with it).
+            if conn.parser.is_idle() {
+                conn.pipeline_depth = 0;
+            } else {
+                conn.pipeline_depth += 1;
+                if conn.pipeline_depth > self.shared.config.max_pipeline_depth {
+                    self.shared
+                        .metrics
+                        .pipeline_capped
+                        .fetch_add(1, Ordering::Relaxed);
+                    let bytes = serialize_error(
+                        503,
+                        "pipeline depth exceeded",
+                        false,
+                        Some(self.shared.config.retry_after_secs),
+                    );
+                    conn.send.push(&bytes);
+                    conn.keep_alive = false;
+                    conn.close_after_flush = true;
+                    self.flush(slot);
+                    return;
+                }
+            }
+
             // Deadline from when this request's bytes started arriving
             // (the stamp the reader left in `read_deadline`), not from
             // accept: a keep-alive connection may sit parked for minutes

@@ -73,6 +73,13 @@ pub struct DataConfig {
     pub ice_size: usize,
     /// Master seed; every engine derives from it.
     pub seed: u64,
+    /// Shard assignment `(index, count)`: when set, the point store
+    /// holds only the subjects the consistent-hash ring assigns to this
+    /// shard. The generator still draws every feature (so coordinates
+    /// stay identical across shard counts) and filters on ownership —
+    /// the union of N shards is always bit-identical to the unsharded
+    /// store.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for DataConfig {
@@ -84,6 +91,7 @@ impl Default for DataConfig {
             tile_size: 64,
             ice_size: 64,
             seed: 2019,
+            shard: None,
         }
     }
 }
@@ -98,6 +106,7 @@ impl DataConfig {
             tile_size: 32,
             ice_size: 48,
             seed: 2019,
+            shard: None,
         }
     }
 }
@@ -166,6 +175,21 @@ pub struct AppState {
     invalidated_responses: AtomicU64,
     /// `POST /update` commit latency (evaluate + WAL + apply).
     update_latency: Histogram,
+    /// Router tier, when this process runs `--router`: dispatch sends
+    /// `/query`, `/tiles` and `/ice` through it instead of the local
+    /// engines.
+    pub router: Option<crate::shard::RouterTier>,
+    /// Slow-shard fault injection: every `slow_every`-th `/query`
+    /// execution sleeps [`slow_ms`](AppState::slow_ms) milliseconds
+    /// (0 = off). Models a transient hiccup — most requests stay fast,
+    /// so a hedged retry lands on the fast path. Set from
+    /// `EE_SERVE_SLOW_EVERY` by the binary; used by the hedging
+    /// demonstration in E-f9.
+    pub slow_every: u64,
+    /// Injected sleep in milliseconds (`EE_SERVE_SLOW_MS`).
+    pub slow_ms: u64,
+    /// Requests seen by the fault injector.
+    slow_counter: AtomicU64,
 }
 
 impl AppState {
@@ -174,7 +198,12 @@ impl AppState {
     /// `config`; the pyramid build runs row-parallel on the
     /// `ee_util::par` pool.
     pub fn build(config: DataConfig) -> AppState {
-        let store = Store::ephemeral(point_store(config.points, config.seed));
+        let spec = shard_spec_of(&config);
+        let store = Store::ephemeral(point_store_sharded(
+            config.points,
+            config.seed,
+            spec.as_ref(),
+        ));
         Self::build_with_store(config, store)
     }
 
@@ -183,12 +212,13 @@ impl AppState {
     /// committed update across restarts — and a fresh directory is
     /// seeded with the deterministic generated point set.
     pub fn build_durable(config: DataConfig, dir: &Path) -> Result<AppState, StoreError> {
+        let spec = shard_spec_of(&config);
         let mut store = if dir.join(ee_rdf::storage::snapshot::SNAPSHOT_FILE).exists() {
             Store::open(dir)?
         } else {
             Store::create(
                 dir,
-                point_store(config.points, config.seed),
+                point_store_sharded(config.points, config.seed, spec.as_ref()),
                 Durability::from_env(),
             )?
         };
@@ -270,6 +300,10 @@ impl AppState {
             invalidated_plans: AtomicU64::new(0),
             invalidated_responses: AtomicU64::new(0),
             update_latency: Histogram::new(),
+            router: None,
+            slow_every: 0,
+            slow_ms: 0,
+            slow_counter: AtomicU64::new(0),
         };
         // A reopened durable store may already hold committed
         // `eo:searchText` documents — fold them into the ranked index so
@@ -551,7 +585,24 @@ impl AppState {
             "op",
             [("commit", &self.update_latency)],
         );
+        if let Some(router) = &self.router {
+            out.push_str(&router.render_prometheus_section());
+        }
         out
+    }
+
+    /// Slow-shard fault injection hook, called once per `/query`
+    /// execution: sleeps [`slow_ms`](AppState::slow_ms) on every
+    /// [`slow_every`](AppState::slow_every)-th call. A no-op unless the
+    /// injector is armed.
+    pub fn maybe_inject_slowdown(&self) {
+        if self.slow_every == 0 || self.slow_ms == 0 {
+            return;
+        }
+        let n = self.slow_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.slow_every) {
+            std::thread::sleep(std::time::Duration::from_millis(self.slow_ms));
+        }
     }
 
     /// Resolve a SPARQL text to a prepared plan: the text is
@@ -689,6 +740,19 @@ impl LiveDocs {
 /// shape as the E2 experiment's store, so `/query` serves the paper's
 /// "selections over a rectangular area" workload.
 pub fn point_store(n: usize, seed: u64) -> TripleStore {
+    point_store_sharded(n, seed, None)
+}
+
+/// [`point_store`] restricted to one shard's subject-hash slice. Every
+/// feature's coordinates are still drawn (the RNG advances identically
+/// for every shard), then non-owned subjects are skipped — so N shard
+/// stores union to exactly the unsharded store, coordinate for
+/// coordinate.
+pub fn point_store_sharded(
+    n: usize,
+    seed: u64,
+    shard: Option<&ee_rdf::storage::ShardSpec>,
+) -> TripleStore {
     let mut store = TripleStore::new(IndexMode::Full);
     let mut rng = Rng::seed_from(seed);
     let geom = Term::iri("http://e/hasGeometry");
@@ -698,11 +762,23 @@ pub fn point_store(n: usize, seed: u64) -> TripleStore {
         let s = Term::iri(format!("http://e/f{i}"));
         let x = rng.range_f64(0.0, REGION);
         let y = rng.range_f64(0.0, REGION);
+        if shard.is_some_and(|spec| !spec.accepts(&s)) {
+            continue;
+        }
         store.insert(&s, &kind, &feature);
         store.insert(&s, &geom, &Term::wkt(format!("POINT ({x} {y})")));
     }
     store.build_spatial_index();
     store
+}
+
+/// The [`ee_rdf::storage::ShardSpec`] a config's `shard` field names.
+/// Panics on an invalid assignment (index ≥ count) — a startup
+/// configuration error, not a runtime condition.
+fn shard_spec_of(config: &DataConfig) -> Option<ee_rdf::storage::ShardSpec> {
+    config
+        .shard
+        .map(|(index, count)| ee_rdf::storage::ShardSpec::new(index, count))
 }
 
 /// The rectangular-selection query `/query` issues when given a window

@@ -106,6 +106,46 @@ fn slow_loris_partial_heads_get_408_and_close() {
 }
 
 #[test]
+fn pipelining_past_the_depth_cap_is_shed_with_503() {
+    let mut config = event_config();
+    config.max_pipeline_depth = 3;
+    let server = start(config, state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    // Ten requests in one burst: the server answers while further
+    // request bytes sit buffered, so each dispatch deepens the pipeline.
+    let burst = "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n".repeat(10);
+    s.write_all(burst.as_bytes()).unwrap();
+    s.flush().unwrap();
+
+    // Depth 1..=3 are served, the fourth dispatch exceeds the cap.
+    for i in 0..3 {
+        let resp = read_response(&mut r).expect("pipelined response");
+        assert_eq!(resp.status, 200, "response {i} within the cap");
+    }
+    let shed = read_response(&mut r).expect("shed response");
+    assert_eq!(shed.status, 503);
+    assert!(!shed.keep_alive);
+    let mut probe = [0u8; 16];
+    assert_eq!(s.read(&mut probe).unwrap_or(0), 0, "connection closed");
+    assert_eq!(
+        server
+            .metrics()
+            .pipeline_capped
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // A well-behaved client on a fresh connection still gets more than
+    // `max_pipeline_depth` requests served sequentially.
+    let (mut s2, mut r2) = connect(server.addr);
+    for _ in 0..6 {
+        assert_eq!(send(&mut s2, &mut r2, "/healthz", true).status, 200);
+    }
+    server.shutdown();
+}
+
+#[test]
 fn mid_stream_client_disconnect_leaves_event_server_healthy() {
     let server = start(event_config(), state()).expect("start");
     {

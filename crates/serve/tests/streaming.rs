@@ -28,6 +28,7 @@ fn big_tile_state() -> Arc<AppState> {
             tile_size: 520,
             ice_size: 32,
             seed: 2019,
+            shard: None,
         }))
     }))
 }
@@ -186,6 +187,7 @@ fn many_rows_state() -> Arc<AppState> {
             tile_size: 32,
             ice_size: 16,
             seed: 7,
+            shard: None,
         }))
     }))
 }

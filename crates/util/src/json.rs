@@ -429,13 +429,21 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the whole run of unescaped bytes up to
+                    // the next quote or escape, validated as UTF-8 once.
+                    // (Validating from `pos` to end-of-input per character
+                    // turns parsing quadratic — megabyte documents took
+                    // tens of seconds.)
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }
@@ -651,5 +659,29 @@ mod tests {
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_i64(), Some(-1));
         assert_eq!(Json::Str("7".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn megabyte_string_documents_parse_in_linear_time() {
+        // Regression: the string scanner used to UTF-8-validate from the
+        // cursor to end-of-input for every character, making large
+        // documents quadratic (a 1.3 MB query result took ~27 s). The
+        // bulk-run path must keep escapes and multibyte runs intact.
+        let row = "[\"http://e/f17\",\"POINT (12.5 ± ε 83.7)\",\"a\\\"b\\nc\"]";
+        let doc = format!("[{}]", vec![row; 20_000].join(","));
+        assert!(doc.len() > 1_000_000);
+        let t0 = std::time::Instant::now();
+        let v = parse(&doc).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "megabyte parse must be far from quadratic: {:?}",
+            t0.elapsed()
+        );
+        let rows = v.as_arr().unwrap();
+        assert_eq!(rows.len(), 20_000);
+        let first = rows[0].as_arr().unwrap();
+        assert_eq!(first[0].as_str(), Some("http://e/f17"));
+        assert_eq!(first[1].as_str(), Some("POINT (12.5 ± ε 83.7)"));
+        assert_eq!(first[2].as_str(), Some("a\"b\nc"));
     }
 }

@@ -21,12 +21,19 @@
 //!   serialisation crates).
 //! * [`poll`] — `poll(2)` / wake-pipe / rlimit wrappers for the
 //!   event-driven serve tier (declared `extern "C"`, no libc crate).
+//! * [`ring`] — the consistent-hash ring shared by the shard data
+//!   loaders and the scatter-gather router tier.
+//! * [`http1`] — an incremental HTTP/1.1 response decoder for
+//!   nonblocking client sockets (the loadgen fleet and the router's
+//!   shard-client pool).
 
 pub mod bytes;
+pub mod http1;
 pub mod json;
 pub mod noise;
 pub mod par;
 pub mod poll;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod timeline;

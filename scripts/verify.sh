@@ -4,10 +4,12 @@
 # distributed-training (E4), classification (E5), kernel-throughput
 # (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
 # sweep at 4 threads, the E-k6 top-k/BM25 sweep, the E-w7 durable
-# store run, and the E-c8 event-driven C10K run (the harness aborts
-# non-zero if any parallel, top-k, ranked-search, or crash-recovery run
-# diverges from its reference answer, or if a stalled streaming reader
-# grows server memory instead of hitting backpressure).
+# store run, the E-c8 event-driven C10K run, and the E-f9 sharded
+# scatter-gather run over real shard processes (the harness aborts
+# non-zero if any parallel, top-k, ranked-search, crash-recovery, or
+# routed-vs-unsharded run diverges from its reference answer, or if a
+# stalled streaming reader grows server memory instead of hitting
+# backpressure).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -71,5 +73,17 @@ echo "== smoke: harness e-c8 --quick (event-driven C10K serve tier) =="
 test -s BENCH_PR8.json
 grep -q 'p99' BENCH_PR8.json
 grep -q '"bytes_per_conn"' BENCH_PR8.json
+
+echo "== smoke: harness e-f9 --quick (sharded scatter-gather router) =="
+# Launches real ee-serve shard + router processes on localhost. Every
+# routed answer (COUNT bytes and canonical row sets) is checked against
+# a single unsharded reference process, per-shard slices must partition
+# the dataset, and the slow-shard stage asserts hedged requests keep
+# admitted p99 under the per-shard deadline — any violation panics the
+# harness (non-zero exit).
+./target/release/harness e-f9 --quick --shards 2
+test -s BENCH_PR9.json
+grep -q '"sharded_identical": true' BENCH_PR9.json
+grep -q '"hedged_total"' BENCH_PR9.json
 
 echo "verify.sh: all green"
