@@ -13,6 +13,7 @@
 //! harness e-w7 --quick    # durable store; writes BENCH_PR7.json
 //! harness e-c8 --quick    # C10K event serve tier; writes BENCH_PR8.json
 //! harness e-f9 --shards 4 # sharded scatter-gather; writes BENCH_PR9.json
+//! harness e-t10 --quick   # versioned time-travel; writes BENCH_PR10.json
 //! ```
 //!
 //! Unknown experiment ids and unknown flags are rejected up front, before
@@ -23,8 +24,8 @@
 //! divergence.
 
 use ee_bench::{
-    e3_complexity, e_c8_event, e_f9_shard, e_k6_topk, e_s0_serve, e_w7_store, kernels, run, Scale,
-    ALL,
+    e3_complexity, e_c8_event, e_f9_shard, e_k6_topk, e_s0_serve, e_t10, e_w7_store, kernels, run,
+    Scale, ALL,
 };
 
 fn main() {
@@ -189,6 +190,16 @@ fn main() {
                     println!("{}", t.markdown());
                 }
                 vec![("BENCH_PR9.json", json)]
+            }
+            "e-t10" => {
+                // Every as-of identity, 304-zero-store-reads, and
+                // catalogue-freshness check panics on divergence, so
+                // verify.sh sees a non-zero exit.
+                let (tables, json) = e_t10::report(scale);
+                for t in tables {
+                    println!("{}", t.markdown());
+                }
+                vec![("BENCH_PR10.json", json)]
             }
             _ => {
                 let tables = run(id, scale).expect("id validated above");

@@ -12,7 +12,9 @@
 //!    COUNT answers must be byte-identical, row answers must contain
 //!    exactly the same solution set (the router emits rows in canonical
 //!    sorted order; the reference is sorted the same way before
-//!    comparison). Per-shard COUNTs must sum to the full count with
+//!    comparison), and a `LIMIT n` query must return exactly
+//!    min(n, total) rows — the canonical prefix of the reference
+//!    answer. Per-shard COUNTs must sum to the full count with
 //!    every shard holding a strict, non-empty slice (N > 1). Any
 //!    violation panics, so the harness exits non-zero; the verdict is
 //!    machine-checked into `BENCH_PR9.json` as `"sharded_identical"`.
@@ -191,6 +193,16 @@ fn rows_target() -> String {
     format!("/query?limit=100000&sparql={}", sparql.replace(' ', "%20"))
 }
 
+/// How many rows the LIMIT-capped identity query asks for.
+const LIMIT_N: usize = 5;
+
+fn limit_target() -> String {
+    let sparql = format!(
+        "PREFIX e: <http://e/> SELECT ?s ?g WHERE {{ ?s e:hasGeometry ?g }} LIMIT {LIMIT_N}"
+    );
+    format!("/query?limit=100000&sparql={}", sparql.replace(' ', "%20"))
+}
+
 /// Parse a `/query` body into (rows-as-emitted-bytes, count).
 fn parse_rows(body: &[u8]) -> (Vec<String>, u64) {
     let text = std::str::from_utf8(body).expect("UTF-8 query body");
@@ -232,6 +244,7 @@ struct SweepPoint {
     per_shard_counts: Vec<u64>,
     count_identical: bool,
     rows_identical: bool,
+    limit_identical: bool,
     report: OpenLoopReport,
 }
 
@@ -276,6 +289,23 @@ fn run_point(
         ref_rows_sorted.1,
     );
 
+    // Identity: a routed `LIMIT n` query returns exactly min(n, total)
+    // rows — the canonical sorted prefix of the unsharded answer (the
+    // router strips the clause from the scattered text and re-applies
+    // the cap after the merge), with the count capped the same way.
+    let routed_limited = get(router.addr, &limit_target());
+    assert_eq!(routed_limited.status, 200, "routed LIMIT query failed");
+    let (limited, limited_count) = parse_rows(&routed_limited.body);
+    let want = LIMIT_N.min(ref_rows_sorted.0.len());
+    let expect_rows = &ref_rows_sorted.0[..want];
+    let limit_identical = limited == expect_rows && limited_count == want as u64;
+    assert!(
+        limit_identical,
+        "shards={n}: routed LIMIT {LIMIT_N} diverged: {} rows / count {limited_count}, \
+         expected the {want}-row canonical prefix of the reference",
+        limited.len(),
+    );
+
     // Partitioning: per-shard counts are non-empty strict slices that
     // sum to the whole.
     let per_shard_counts: Vec<u64> = shards
@@ -316,6 +346,7 @@ fn run_point(
         per_shard_counts,
         count_identical,
         rows_identical,
+        limit_identical,
         report,
     }
 }
@@ -425,7 +456,9 @@ pub fn report(scale: Scale, max_shards: usize) -> (Vec<Table>, Json) {
     // 5th execution sleeps 800 ms, so ~2 slow/s × 0.8 s ≈ 2 busy workers
     // (hedged duplicates land on the spare ones and answer fast).
     let slow = slow_shard(&bin, scale, 10.0, slow_duration);
-    let sharded_identical = points.iter().all(|p| p.count_identical && p.rows_identical);
+    let sharded_identical = points
+        .iter()
+        .all(|p| p.count_identical && p.rows_identical && p.limit_identical);
 
     let mut t1 = Table::new(
         "E-f9a — N shard processes behind the router",
@@ -433,7 +466,8 @@ pub fn report(scale: Scale, max_shards: usize) -> (Vec<Table>, Json) {
             "Real `ee-serve` processes on localhost: N shards plus one router, \
              open-loop fleet of 16 connections at {rate:.0} req/s over scatter \
              (`/query` COUNT) and forward (`/tiles`) targets. Identity: routed \
-             answers vs one unsharded reference process ({ref_total} subjects)."
+             answers (COUNT, full rows, and a `LIMIT {LIMIT_N}` cap) vs one \
+             unsharded reference process ({ref_total} subjects)."
         ),
         &[
             "shards", "per-shard subjects", "ok", "errors", "p50", "p99", "identical",
@@ -453,7 +487,7 @@ pub fn report(scale: Scale, max_shards: usize) -> (Vec<Table>, Json) {
             p.report.errors.to_string(),
             fmt_us(p.report.p50_us),
             fmt_us(p.report.p99_us),
-            (p.count_identical && p.rows_identical).to_string(),
+            (p.count_identical && p.rows_identical && p.limit_identical).to_string(),
         ]);
     }
 
@@ -492,6 +526,7 @@ pub fn report(scale: Scale, max_shards: usize) -> (Vec<Table>, Json) {
             ),
             ("count_identical", Json::Bool(p.count_identical)),
             ("rows_identical", Json::Bool(p.rows_identical)),
+            ("limit_identical", Json::Bool(p.limit_identical)),
             ("sent", Json::Num(p.report.sent as f64)),
             ("ok", Json::Num(p.report.ok as f64)),
             ("errors", Json::Num(p.report.errors as f64)),

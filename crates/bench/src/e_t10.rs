@@ -1,0 +1,466 @@
+//! E-t10 — versioned commits and time travel over real sockets.
+//!
+//! Two stages against in-process `ee-serve` servers on localhost:
+//!
+//! 1. **As-of identity** — a writable server takes a sequence of
+//!    committed updates, recording the head commit id after each. For
+//!    every recorded commit `G`, the live server's `?asOf=G` answer is
+//!    checked against a *replayed* server: a fresh store that applied
+//!    only the updates up through `G`, queried at head. Row multisets
+//!    (canonically sorted — the as-of overlay may enumerate in a
+//!    different order) and counts must match, and because commit ids
+//!    are content-derived hash chains, the replayed server's head id
+//!    must equal `G` itself. Any divergence panics, so the harness
+//!    exits non-zero; the verdict lands in `BENCH_PR10.json` as
+//!    `"asof_identical"`.
+//! 2. **Versioned-read caching** — interleaving writes with reads, the
+//!    pinned `?asOf=` entry must keep serving cache hits across commits
+//!    while the head entry misses after every write (hit rates are
+//!    reported side by side). A conditional request against the
+//!    unchanged commit id must come back `304` with **zero** store
+//!    reads (`ee_serve_store_reads_total` scraped before and after),
+//!    and a ranked catalogue search must reflect a committed
+//!    `eo:searchText` document on the very next request — never a
+//!    stale cached ranking.
+//!
+//! [`report`] returns the tables plus the JSON the harness writes to
+//! `BENCH_PR10.json`.
+
+use crate::table::Table;
+use crate::Scale;
+use ee_serve::http::{read_response, ClientResponse};
+use ee_serve::{start, AppState, DataConfig, ServerConfig};
+use ee_util::json::Json;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn writable_server() -> ee_serve::ServerHandle {
+    let mut s = AppState::build(DataConfig::tiny());
+    s.writable = true;
+    start(
+        ServerConfig {
+            workers: 2,
+            queue_watermark: 16,
+            deadline: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        Arc::new(s),
+    )
+    .expect("start server")
+}
+
+/// One blocking request with optional extra headers.
+fn request(addr: SocketAddr, method: &str, target: &str, headers: &[(&str, &str)], body: &str) -> ClientResponse {
+    let mut s = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut r = BufReader::new(s.try_clone().expect("clone"));
+    let mut extra = String::new();
+    for (k, v) in headers {
+        extra.push_str(&format!("{k}: {v}\r\n"));
+    }
+    write!(
+        s,
+        "{method} {target} HTTP/1.1\r\nhost: b\r\nconnection: close\r\n{extra}\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    s.flush().unwrap();
+    read_response(&mut r).expect("response")
+}
+
+fn get(addr: SocketAddr, target: &str) -> ClientResponse {
+    request(addr, "GET", target, &[], "")
+}
+
+fn post_update(addr: SocketAddr, sparql: &str) -> ClientResponse {
+    let resp = request(addr, "POST", "/update", &[], sparql);
+    assert_eq!(
+        resp.status,
+        200,
+        "update failed: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    resp
+}
+
+fn json_of(resp: &ClientResponse) -> Json {
+    ee_util::json::parse(std::str::from_utf8(&resp.body).expect("UTF-8 body")).expect("JSON body")
+}
+
+/// The head commit id `/healthz` reports (16 lowercase hex digits).
+fn head_commit(addr: SocketAddr) -> String {
+    json_of(&get(addr, "/healthz"))
+        .get("commit")
+        .and_then(Json::as_str)
+        .expect("healthz reports the head commit id")
+        .to_string()
+}
+
+/// Parse a `/query` body into (sorted row emissions, count).
+fn sorted_rows(resp: &ClientResponse) -> (Vec<String>, u64) {
+    let v = json_of(resp);
+    let mut rows: Vec<String> = v
+        .get("rows")
+        .and_then(Json::as_arr)
+        .expect("rows array")
+        .iter()
+        .map(Json::emit)
+        .collect();
+    rows.sort_unstable();
+    let count = v.get("count").and_then(Json::as_u64).expect("count");
+    (rows, count)
+}
+
+/// The value of a plain `name value` counter in Prometheus text.
+fn scrape_counter(addr: SocketAddr, name: &str) -> u64 {
+    let resp = get(addr, "/metrics");
+    let text = std::str::from_utf8(&resp.body).expect("metrics text");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{name} not found in /metrics"))
+}
+
+/// The committed update sequence Part 1 replays: inserts, a delete, and
+/// a re-insert of a previously deleted triple (the overlay must
+/// resurrect it). `n_commits` takes a prefix, padded with generated
+/// inserts when longer than the base script.
+fn update_script(n_commits: usize) -> Vec<String> {
+    let base = [
+        "INSERT DATA { <http://e/va> <http://e/vp> \"one\" . \
+         <http://e/va> <http://e/vp> \"two\" }"
+            .to_string(),
+        "INSERT DATA { <http://e/vb> <http://e/vp> \"three\" }".to_string(),
+        "DELETE DATA { <http://e/va> <http://e/vp> \"one\" }".to_string(),
+        "INSERT DATA { <http://e/va> <http://e/vp> \"one\" . \
+         <http://e/vb> <http://e/vp> \"four\" }"
+            .to_string(),
+    ];
+    let mut out: Vec<String> = base.into_iter().take(n_commits).collect();
+    for i in out.len()..n_commits {
+        out.push(format!(
+            "INSERT DATA {{ <http://e/vc> <http://e/vp> \"extra {i}\" }}"
+        ));
+    }
+    out
+}
+
+fn query_target(as_of: Option<&str>) -> String {
+    let sparql = "SELECT ?s ?o WHERE { ?s <http://e/vp> ?o }".replace(' ', "%20");
+    match as_of {
+        Some(id) => format!("/query?sparql={sparql}&asOf={id}"),
+        None => format!("/query?sparql={sparql}"),
+    }
+}
+
+struct AsOfPoint {
+    commit: String,
+    rows: usize,
+    replay_rows: usize,
+    identical: bool,
+    replay_head_matches: bool,
+}
+
+/// Stage 1: every commit's as-of view vs the replayed store's head.
+fn as_of_identity(n_commits: usize) -> (Vec<AsOfPoint>, bool, bool) {
+    let live = writable_server();
+    let script = update_script(n_commits);
+    let mut commits = Vec::with_capacity(script.len());
+    for update in &script {
+        post_update(live.addr, update);
+        commits.push(head_commit(live.addr));
+    }
+
+    let mut points = Vec::with_capacity(commits.len());
+    for (i, commit) in commits.iter().enumerate() {
+        let pinned = get(live.addr, &query_target(Some(commit)));
+        assert_eq!(
+            pinned.status, 200,
+            "asOf={commit} failed: {}",
+            String::from_utf8_lossy(&pinned.body)
+        );
+        assert_eq!(
+            pinned.header("x-commit"),
+            Some(commit.as_str()),
+            "the versioned response must echo the pinned commit id"
+        );
+        let (rows, count) = sorted_rows(&pinned);
+
+        // Replay: a fresh server applies only the prefix, queried at
+        // head.
+        let replay = writable_server();
+        for update in &script[..=i] {
+            post_update(replay.addr, update);
+        }
+        let replay_head = head_commit(replay.addr);
+        let head_resp = get(replay.addr, &query_target(None));
+        assert_eq!(head_resp.status, 200);
+        let (replay_rows, replay_count) = sorted_rows(&head_resp);
+        replay.shutdown();
+
+        let identical = rows == replay_rows && count == replay_count;
+        let replay_head_matches = &replay_head == commit;
+        assert!(
+            identical,
+            "commit {commit}: as-of view ({} rows, count {count}) diverged from the \
+             replayed store ({} rows, count {replay_count})",
+            rows.len(),
+            replay_rows.len(),
+        );
+        assert!(
+            replay_head_matches,
+            "commit {commit}: the replayed chain ended at {replay_head} — commit ids \
+             must be content-derived"
+        );
+        points.push(AsOfPoint {
+            commit: commit.clone(),
+            rows: rows.len(),
+            replay_rows: replay_rows.len(),
+            identical,
+            replay_head_matches,
+        });
+    }
+    live.shutdown();
+    let all_identical = points.iter().all(|p| p.identical);
+    let all_heads = points.iter().all(|p| p.replay_head_matches);
+    (points, all_identical, all_heads)
+}
+
+struct CacheRun {
+    rounds: usize,
+    versioned_hits: usize,
+    head_hits: usize,
+    conditional_304: bool,
+    store_reads_during_304: u64,
+    catalogue_fresh: bool,
+}
+
+/// Stage 2: pinned versioned entries vs head entries under a write
+/// load, the 304-with-zero-store-reads contract, and catalogue
+/// freshness after a `searchText` commit.
+fn cache_behaviour(rounds: usize) -> CacheRun {
+    let server = writable_server();
+    let addr = server.addr;
+    post_update(addr, "INSERT DATA { <http://e/va> <http://e/vp> \"pinned\" }");
+    let pinned_commit = head_commit(addr);
+    let pinned_target = query_target(Some(&pinned_commit));
+    let head_target = query_target(None);
+
+    // Prime both entries, then interleave writes with reads.
+    let primed = get(addr, &pinned_target);
+    assert_eq!(primed.status, 200);
+    let etag = primed.header("etag").expect("versioned etag").to_string();
+    get(addr, &head_target);
+    let mut versioned_hits = 0usize;
+    let mut head_hits = 0usize;
+    for i in 0..rounds {
+        post_update(
+            addr,
+            &format!("INSERT DATA {{ <http://e/w{i}> <http://e/vp> \"w{i}\" }}"),
+        );
+        if get(addr, &pinned_target).header("x-cache") == Some("HIT") {
+            versioned_hits += 1;
+        }
+        if get(addr, &head_target).header("x-cache") == Some("HIT") {
+            head_hits += 1;
+        }
+    }
+    assert_eq!(
+        versioned_hits, rounds,
+        "every versioned read after priming must hit the pinned cache entry"
+    );
+    assert_eq!(
+        head_hits, 0,
+        "every head read lands on a fresh commit id, so none may hit"
+    );
+
+    // The metrics scrape itself must not read the store, or the delta
+    // below would be meaningless.
+    let a = scrape_counter(addr, "ee_serve_store_reads_total");
+    let b = scrape_counter(addr, "ee_serve_store_reads_total");
+    assert_eq!(a, b, "scraping /metrics must not take store read guards");
+
+    // Conditional request against the unchanged commit id: 304 out of
+    // the cache, zero store reads.
+    let before = scrape_counter(addr, "ee_serve_store_reads_total");
+    let cond = request(addr, "GET", &pinned_target, &[("if-none-match", &etag)], "");
+    let after = scrape_counter(addr, "ee_serve_store_reads_total");
+    let conditional_304 = cond.status == 304 && cond.body.is_empty();
+    let store_reads_during_304 = after - before;
+    assert!(conditional_304, "expected 304, got {}", cond.status);
+    assert_eq!(
+        store_reads_during_304, 0,
+        "a 304 against an unchanged commit id must not touch the store"
+    );
+
+    // Catalogue freshness: the ranked search must see a committed
+    // searchText document on the very next request.
+    let cat = "/catalogue/search?mode=ranked&q=polynya&k=5";
+    let count_of = |resp: &ClientResponse| {
+        json_of(resp).get("count").and_then(Json::as_f64).unwrap()
+    };
+    let empty = get(addr, cat);
+    assert_eq!(empty.status, 200);
+    let before_count = count_of(&empty);
+    get(addr, cat); // cache the pre-write ranking
+    post_update(
+        addr,
+        "INSERT DATA { <http://e/doc-e-t10> \
+         <http://extremeearth.eu/ont/eo#searchText> \
+         \"polynya extent time series\" }",
+    );
+    let fresh = get(addr, cat);
+    let catalogue_fresh = count_of(&fresh) == before_count + 1.0;
+    assert!(
+        catalogue_fresh,
+        "ranked search served a stale ranking after a searchText commit"
+    );
+    server.shutdown();
+    CacheRun {
+        rounds,
+        versioned_hits,
+        head_hits,
+        conditional_304,
+        store_reads_during_304,
+        catalogue_fresh,
+    }
+}
+
+/// Run E-t10 and return the tables plus the `BENCH_PR10.json` value.
+pub fn report(scale: Scale) -> (Vec<Table>, Json) {
+    let (n_commits, rounds) = match scale {
+        Scale::Quick => (4usize, 4usize),
+        Scale::Full => (8, 16),
+    };
+    let (points, asof_identical, heads_match) = as_of_identity(n_commits);
+    let cache = cache_behaviour(rounds);
+
+    let mut t1 = Table::new(
+        "E-t10a — as-of views vs replayed stores",
+        format!(
+            "A writable server takes {n_commits} committed updates; for every \
+             recorded commit id G, its `?asOf=G` answer is checked against a fresh \
+             server that replayed only the updates up through G and queried head. \
+             Row multisets and counts must match, and the replayed chain must end \
+             at G itself (commit ids are content-derived)."
+        ),
+        &["commit", "as-of rows", "replay rows", "identical", "head = G"],
+    );
+    for p in &points {
+        t1.row(vec![
+            p.commit.clone(),
+            p.rows.to_string(),
+            p.replay_rows.to_string(),
+            p.identical.to_string(),
+            p.replay_head_matches.to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E-t10b — versioned-read caching under writes",
+        format!(
+            "{} write rounds, each followed by one pinned `?asOf=` read and one \
+             head read of the same query. Pinned entries name immutable history, \
+             so they survive every commit; head entries land on a fresh commit id \
+             each round. A conditional request against the unchanged commit id \
+             revalidates as 304 without taking a single store read guard.",
+            cache.rounds
+        ),
+        &[
+            "reads",
+            "versioned hits",
+            "head hits",
+            "304",
+            "store reads in 304",
+            "catalogue fresh",
+        ],
+    );
+    t2.row(vec![
+        cache.rounds.to_string(),
+        cache.versioned_hits.to_string(),
+        cache.head_hits.to_string(),
+        cache.conditional_304.to_string(),
+        cache.store_reads_during_304.to_string(),
+        cache.catalogue_fresh.to_string(),
+    ]);
+
+    let point_json = |p: &AsOfPoint| {
+        Json::obj(vec![
+            ("commit", Json::Str(p.commit.clone())),
+            ("rows", Json::Num(p.rows as f64)),
+            ("replay_rows", Json::Num(p.replay_rows as f64)),
+            ("identical", Json::Bool(p.identical)),
+            ("replay_head_matches", Json::Bool(p.replay_head_matches)),
+        ])
+    };
+    let json = Json::obj(vec![
+        ("experiment", Json::Str("e-t10".into())),
+        (
+            "scale",
+            Json::Str(if scale == Scale::Full { "full" } else { "quick" }.into()),
+        ),
+        ("commits", Json::Num(n_commits as f64)),
+        ("sweep", Json::Arr(points.iter().map(point_json).collect())),
+        ("asof_identical", Json::Bool(asof_identical)),
+        ("replayed_head_ids_match", Json::Bool(heads_match)),
+        ("cache_rounds", Json::Num(cache.rounds as f64)),
+        (
+            "versioned_hit_rate",
+            Json::Num(cache.versioned_hits as f64 / cache.rounds as f64),
+        ),
+        (
+            "head_hit_rate",
+            Json::Num(cache.head_hits as f64 / cache.rounds as f64),
+        ),
+        ("conditional_304", Json::Bool(cache.conditional_304)),
+        (
+            "store_reads_during_304",
+            Json::Num(cache.store_reads_during_304 as f64),
+        ),
+        ("catalogue_fresh_after_write", Json::Bool(cache.catalogue_fresh)),
+    ]);
+    (vec![t1, t2], json)
+}
+
+/// Run E-t10, discarding the JSON (the `run(id, scale)` registry shape).
+pub fn run(scale: Scale) -> Vec<Table> {
+    report(scale).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_machine_checks_the_asof_identity() {
+        let (tables, json) = report(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        let text = json.emit_pretty();
+        assert!(
+            text.contains("\"asof_identical\": true"),
+            "the exact text verify.sh greps for must be present: {text}"
+        );
+        let v = ee_util::json::parse(&text).unwrap();
+        assert_eq!(v.get("asof_identical"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("replayed_head_ids_match"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("conditional_304"), Some(&Json::Bool(true)));
+        assert_eq!(
+            v.get("store_reads_during_304").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            v.get("versioned_hit_rate").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(v.get("head_hit_rate").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            v.get("catalogue_fresh_after_write"),
+            Some(&Json::Bool(true))
+        );
+        let sweep = v.get("sweep").and_then(Json::as_arr).unwrap();
+        assert_eq!(sweep.len(), 4);
+    }
+}

@@ -15,8 +15,10 @@
 //! `BENCH_PR8.json`). [`e_f9_shard`] (`E-f9`) launches N real `ee-serve`
 //! shard processes behind the scatter-gather router and checks routed
 //! answers byte-for-byte against an unsharded reference (writes
-//! `BENCH_PR9.json`). The [`table::Table`] type renders GitHub-flavoured
-//! markdown.
+//! `BENCH_PR9.json`). [`e_t10`] (`E-t10`) machine-checks versioned
+//! `?asOf=` reads against replayed stores and measures the pinned
+//! versioned-read cache under writes (writes `BENCH_PR10.json`). The
+//! [`table::Table`] type renders GitHub-flavoured markdown.
 
 pub mod table;
 
@@ -24,6 +26,7 @@ pub mod e_c8_event;
 pub mod e_f9_shard;
 pub mod e_k6_topk;
 pub mod e_s0_serve;
+pub mod e_t10;
 pub mod e_w7_store;
 pub mod kernels;
 
@@ -50,9 +53,9 @@ pub enum Scale {
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "kernels", "e-s0",
-    "e-k6", "e-w7", "e-c8", "e-f9",
+    "e-k6", "e-w7", "e-c8", "e-f9", "e-t10",
 ];
 
 /// Run one experiment by id.
@@ -76,6 +79,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Vec<table::Table>> {
         "e-w7" => Some(e_w7_store::run(scale)),
         "e-c8" => Some(e_c8_event::run(scale)),
         "e-f9" => Some(e_f9_shard::run(scale)),
+        "e-t10" => Some(e_t10::run(scale)),
         _ => None,
     }
 }

@@ -34,7 +34,7 @@
 
 use crate::parser::{AggFunc, Query, SelectItem};
 use crate::plan::{FastPath, Plan};
-use crate::store::TripleStore;
+use crate::store::{StoreView, TripleStore};
 use crate::term::{Term, Value};
 use crate::{join, RdfError};
 use ee_util::par;
@@ -126,6 +126,27 @@ pub fn execute_plan_baseline(
 ) -> Result<Solutions, RdfError> {
     let core = stream_plan_opts(store, Arc::new(plan.clone()), threads, false)?;
     Ok(collect_core(store, core))
+}
+
+/// Execute a prepared [`Plan`] against a [`StoreView`] and collect every
+/// row — the versioned-read (`AS OF`) collect path. The plan must have
+/// been built against the **same view** ([`crate::plan::plan_view`]).
+/// Collecting rather than streaming lets a caller answer a versioned
+/// query under one store guard, i.e. against one immutable snapshot.
+pub fn execute_plan_view(
+    view: StoreView<'_>,
+    plan: Arc<Plan>,
+    threads: usize,
+) -> Result<Solutions, RdfError> {
+    let mut core = stream_plan_view(view, plan, threads)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = core.next_batch_view(view) {
+        rows.extend(batch);
+    }
+    Ok(Solutions {
+        vars: core.take_vars(),
+        rows,
+    })
 }
 
 fn collect_core(store: &TripleStore, mut core: StreamCore) -> Solutions {
@@ -232,6 +253,13 @@ impl StreamCore {
     /// or `None` when the stream is exhausted (or LIMIT was reached).
     /// `store` must be the store the stream was built from.
     pub fn next_batch(&mut self, store: &TripleStore) -> Option<Vec<Vec<Option<Term>>>> {
+        self.next_batch_view(StoreView::from(store))
+    }
+
+    /// [`StreamCore::next_batch`] against a [`StoreView`] — the
+    /// versioned-read form. The view must be the one the stream was
+    /// planned and built from (same base store, same novelty overlay).
+    pub fn next_batch_view(&mut self, store: StoreView<'_>) -> Option<Vec<Vec<Option<Term>>>> {
         if self.remaining == Some(0) {
             return None;
         }
@@ -280,7 +308,7 @@ impl StreamCore {
                         continue;
                     }
                     key.iter()
-                        .map(|id| id.map(|id| store.dict.term(id).clone()))
+                        .map(|id| id.map(|id| store.dict().term(id).clone()))
                         .collect()
                 }
             };
@@ -328,6 +356,19 @@ pub fn stream_plan_shared(
     stream_plan_opts(store, plan, threads, true)
 }
 
+/// Build a [`StreamCore`] over a [`StoreView`] — the versioned-read
+/// entry point. The plan must have been built against the **same view**
+/// ([`crate::plan::plan_view`]): its spatial candidate sets encode the
+/// overlay. Batches must then be pulled with
+/// [`StreamCore::next_batch_view`] using the same view.
+pub fn stream_plan_view(
+    view: StoreView<'_>,
+    plan: Arc<Plan>,
+    threads: usize,
+) -> Result<StreamCore, RdfError> {
+    stream_plan_opts_view(view, plan, threads, true)
+}
+
 /// [`stream_plan_shared`] with the fast paths switchable. `fast_paths =
 /// false` demotes top-k to the global sort and the count shortcuts to the
 /// generic aggregate — the physical routes that predate PR 6 — without
@@ -336,6 +377,15 @@ pub fn stream_plan_shared(
 /// per-fast-path counter can never disagree about which route ran.
 pub fn stream_plan_opts(
     store: &TripleStore,
+    plan: Arc<Plan>,
+    threads: usize,
+    fast_paths: bool,
+) -> Result<StreamCore, RdfError> {
+    stream_plan_opts_view(StoreView::from(store), plan, threads, fast_paths)
+}
+
+fn stream_plan_opts_view(
+    store: StoreView<'_>,
     plan: Arc<Plan>,
     threads: usize,
     fast_paths: bool,
@@ -463,7 +513,7 @@ pub fn stream_plan_opts(
 /// paths). Returns the raw id rows plus the probe-rows-touched and
 /// peak-resident instrumentation (here the peak is the whole row set).
 fn drain_pipeline(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Arc<Plan>,
     threads: usize,
 ) -> (Vec<Vec<Option<u64>>>, u64, u64) {
@@ -526,8 +576,8 @@ impl<'a> SolutionStream<'a> {
     }
 }
 
-fn numeric_of(store: &TripleStore, id: u64) -> Option<f64> {
-    match store.dict.value(id) {
+fn numeric_of(store: StoreView<'_>, id: u64) -> Option<f64> {
+    match store.dict().value(id) {
         Value::Int(i) => Some(*i as f64),
         Value::Float(f) => Some(*f),
         _ => None,
@@ -569,13 +619,13 @@ impl PartialOrd for OrderKey {
     }
 }
 
-fn order_key(store: &TripleStore, id: u64) -> OrderKey {
-    let (rank, num, text) = match store.dict.value(id) {
+fn order_key(store: StoreView<'_>, id: u64) -> OrderKey {
+    let (rank, num, text) = match store.dict().value(id) {
         Value::Int(i) => (0, *i as f64, String::new()),
         Value::Float(f) => (0, *f, String::new()),
         Value::Date(d) => (1, *d as f64, String::new()),
         Value::Str(s) => (2, 0.0, s.clone()),
-        _ => (3, 0.0, store.dict.term(id).ntriples()),
+        _ => (3, 0.0, store.dict().term(id).ntriples()),
     };
     OrderKey { rank, num, text }
 }
@@ -603,7 +653,7 @@ fn cmp_keyed(
 /// twice per comparison inside `sort_by` — the historical comparator
 /// recomputed (and re-allocated) `order_key` O(n log n) times.
 fn full_sort_rows(
-    store: &TripleStore,
+    store: StoreView<'_>,
     rows: Vec<Vec<Option<u64>>>,
     threads: usize,
     oi: usize,
@@ -683,7 +733,7 @@ fn push_bounded(heap: &mut BinaryHeap<TopKEntry>, e: TopKEntry, n_keep: usize) {
 /// `into_sorted_vec`'s order equal the first `n_keep` rows of the full
 /// sort for any thread count and any batch size.
 fn topk_rows(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Arc<Plan>,
     threads: usize,
     oi: usize,
@@ -742,7 +792,7 @@ type AggOut = (Vec<String>, Vec<Vec<Option<Term>>>, u64, u64);
 /// pipeline — no `into_rows`, no term materialisation, O(batch) resident.
 /// Zero input rows produce an **empty** result set, exactly like the
 /// generic path (grouping an empty input yields no groups).
-fn fast_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
+fn fast_count(store: StoreView<'_>, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
     let (alias, var) = match plan.select.as_slice() {
         [SelectItem::Agg { func: AggFunc::Count, var, alias }] => (alias.clone(), var.clone()),
         _ => unreachable!("fast_path gates on a single COUNT item"),
@@ -783,7 +833,7 @@ fn fast_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<A
 /// per-group vectors and re-walking them per aggregate. Header layout,
 /// error cases and the sorted deterministic group order match
 /// [`aggregate`] exactly.
-fn group_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
+fn group_count(store: StoreView<'_>, plan: &Arc<Plan>, threads: usize) -> Result<AggOut, RdfError> {
     let group_names: Vec<&str> = plan.group_by.iter().map(|&i| plan.vars[i].as_str()).collect();
     let mut header = Vec::new();
     for item in &plan.select {
@@ -849,7 +899,7 @@ fn group_count(store: &TripleStore, plan: &Arc<Plan>, threads: usize) -> Result<
             match item {
                 SelectItem::Var(v) => {
                     let gi = group_names.iter().position(|x| x == v).expect("checked");
-                    row.push(key[gi].map(|id| store.dict.term(id).clone()));
+                    row.push(key[gi].map(|id| store.dict().term(id).clone()));
                 }
                 SelectItem::Agg { .. } => {
                     row.push(Some(Term::integer(slots[next_agg] as i64)));
@@ -885,7 +935,7 @@ fn cmp_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
 type Grouped = (Vec<String>, Vec<Vec<Option<Term>>>);
 
 fn aggregate(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     rows: Vec<Vec<Option<u64>>>,
 ) -> Result<Grouped, RdfError> {
@@ -920,7 +970,7 @@ fn aggregate(
             match item {
                 SelectItem::Var(v) => {
                     let gi = group_names.iter().position(|x| x == v).expect("checked");
-                    row.push(key[gi].map(|id| store.dict.term(id).clone()));
+                    row.push(key[gi].map(|id| store.dict().term(id).clone()));
                 }
                 SelectItem::Agg { func, var, .. } => {
                     let vi = var
@@ -942,7 +992,7 @@ fn aggregate(
 }
 
 fn agg_value(
-    store: &TripleStore,
+    store: StoreView<'_>,
     func: AggFunc,
     vi: Option<usize>,
     members: &[Vec<Option<u64>>],
@@ -987,7 +1037,7 @@ fn agg_value(
                     }
                 }
             }
-            best.map(|(id, _)| store.dict.term(id).clone())
+            best.map(|(id, _)| store.dict().term(id).clone())
                 .unwrap_or_else(|| Term::integer(0))
         }
     }

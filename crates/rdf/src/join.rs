@@ -39,7 +39,7 @@
 use crate::batch::{Batch, UNBOUND};
 use crate::expr::{eval, truth, EvalCtx};
 use crate::plan::{FilterPlan, Plan, Slot};
-use crate::store::{IdTriple, IndexMode, PatternCursor, TripleStore, ESTIMATE_CAP};
+use crate::store::{IdTriple, IndexMode, StoreView, ViewCursor, ESTIMATE_CAP};
 use ee_util::par;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,7 +63,7 @@ pub const PIPELINE_CHUNK_ROWS: usize = 256;
 /// object is a still-unbound variable with an R-tree pushdown set and the
 /// store supports indexed enumeration.
 fn object_candidates<'p>(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &'p Plan,
     slots: &[Slot; 3],
     row: &[u64],
@@ -98,7 +98,7 @@ fn fixed_ids(slots: &[Slot; 3], row: &[u64]) -> [Option<u64>; 3] {
 /// thread count — so serial and parallel runs pick the same path. When
 /// this says no, the direct scan still honours the candidate set: `unify`
 /// rejects non-candidates by binary search.
-fn candidates_pay(store: &TripleStore, cands: &[u64], fixed: &[Option<u64>; 3]) -> bool {
+fn candidates_pay(store: StoreView<'_>, cands: &[u64], fixed: &[Option<u64>; 3]) -> bool {
     let est = store.estimate(fixed[0], fixed[1], None);
     est >= ESTIMATE_CAP || cands.len() < est
 }
@@ -107,7 +107,7 @@ fn candidates_pay(store: &TripleStore, cands: &[u64], fixed: &[Option<u64>; 3]) 
 /// candidate-enumeration access path when spatial pushdown applies and
 /// is estimated cheaper than the direct scan.
 fn collect_matches(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     slots: &[Slot; 3],
     row: &[u64],
@@ -174,11 +174,11 @@ enum SeedKind {
     /// variable `v`, `next` ids consumed so far.
     Candidates { pi: usize, v: usize, next: usize },
     /// Resumable direct scan of the pattern's best index.
-    Scan { pi: usize, cursor: PatternCursor },
+    Scan { pi: usize, cursor: ViewCursor },
 }
 
 impl SeedScan {
-    fn new(store: &TripleStore, plan: &Plan) -> SeedScan {
+    fn new(store: StoreView<'_>, plan: &Plan) -> SeedScan {
         if plan.impossible {
             return SeedScan { kind: SeedKind::Done };
         }
@@ -199,7 +199,7 @@ impl SeedScan {
             },
             None => SeedKind::Scan {
                 pi,
-                cursor: PatternCursor::default(),
+                cursor: ViewCursor::default(),
             },
         };
         SeedScan { kind }
@@ -210,7 +210,7 @@ impl SeedScan {
     /// index matches scanned or candidate ids enumerated.
     fn next_rows(
         &mut self,
-        store: &TripleStore,
+        store: StoreView<'_>,
         plan: &Plan,
         threads: usize,
         want: usize,
@@ -305,7 +305,7 @@ struct StepProbe {
 }
 
 impl StepProbe {
-    fn new(store: &TripleStore, plan: &Plan, pi: usize, bound: &[bool]) -> StepProbe {
+    fn new(store: StoreView<'_>, plan: &Plan, pi: usize, bound: &[bool]) -> StepProbe {
         let slots = &plan.slots[pi];
         let key_cols: Vec<(usize, usize)> = slots
             .iter()
@@ -332,7 +332,7 @@ impl StepProbe {
     /// candidate enumeration where it pays) otherwise.
     fn probe(
         &mut self,
-        store: &TripleStore,
+        store: StoreView<'_>,
         plan: &Plan,
         pi: usize,
         chunk: &Batch,
@@ -438,7 +438,7 @@ enum StageKind {
 impl Stage {
     fn process(
         &mut self,
-        store: &TripleStore,
+        store: StoreView<'_>,
         plan: &Plan,
         threads: usize,
         chunk: &Batch,
@@ -493,7 +493,7 @@ pub struct Pipeline {
 impl Pipeline {
     /// Build the operator chain for a prepared plan. Cheap: the only
     /// store work is one cardinality estimate per join step.
-    pub fn new(store: &TripleStore, plan: Arc<Plan>, threads: usize) -> Pipeline {
+    pub fn new(store: StoreView<'_>, plan: Arc<Plan>, threads: usize) -> Pipeline {
         let source = SeedScan::new(store, &plan);
         let mut stages = Vec::new();
         let mut bound = vec![false; plan.vars.len()];
@@ -543,7 +543,7 @@ impl Pipeline {
 
     /// Pull up to `want` fully-joined, fully-filtered rows. An empty batch
     /// means the pipeline is exhausted.
-    pub fn next_rows(&mut self, store: &TripleStore, want: usize) -> Batch {
+    pub fn next_rows(&mut self, store: StoreView<'_>, want: usize) -> Batch {
         let out = pull_chain(
             store,
             &self.plan,
@@ -574,7 +574,7 @@ impl Pipeline {
 /// prefix (ultimately the seed scan) one [`PIPELINE_CHUNK_ROWS`] chunk at
 /// a time until it can hand back `want` rows or its upstream is dry.
 fn pull_chain(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     threads: usize,
     source: &mut SeedScan,
@@ -627,7 +627,7 @@ fn pull_chain(
 /// in row order. Rows where the expression errors (e.g. an unbound
 /// variable) are dropped, matching SPARQL's error-is-false semantics.
 pub fn filter_mask(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     f: &FilterPlan,
     batch: &Batch,
@@ -652,7 +652,7 @@ pub fn filter_mask(
                         })
                 };
                 let ctx = EvalCtx {
-                    dict: &store.dict,
+                    dict: store.dict(),
                     lookup: &lookup,
                     const_geoms: &plan.const_geoms,
                 };
@@ -666,7 +666,7 @@ pub fn filter_mask(
 /// Depth-first join of an optional group's patterns under one row's
 /// bindings; emits extended rows row-major into `out`.
 fn join_group(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     group: &[[Slot; 3]],
     gi: usize,
@@ -695,7 +695,7 @@ fn join_group(
 /// unchanged. Row-local, so applying it chunk-wise inside the pipeline is
 /// identical to applying it to the concatenated batch.
 fn apply_optional_group(
-    store: &TripleStore,
+    store: StoreView<'_>,
     plan: &Plan,
     group: &[[Slot; 3]],
     batch: &Batch,

@@ -64,7 +64,7 @@ pub mod store;
 pub mod term;
 pub mod update;
 
-pub use store::{IndexMode, TripleStore};
+pub use store::{IndexMode, Novelty, StoreView, TripleStore, ViewCursor};
 pub use term::Term;
 
 /// Errors from the RDF layer.

@@ -21,9 +21,16 @@
 //! subject variable (the star-join shape every `/query` template uses)
 //! or each pin a constant subject.
 //!
-//! `LIMIT`-capped row sets are shard-order dependent by nature (each
-//! shard caps its own slice before the merge sees anything), so the
-//! bit-identity guarantee covers queries whose results fit the cap.
+//! A query-level `LIMIT n` is applied **at the merge**, never per
+//! shard: [`strategy_for`] captures the parsed limit, [`scatter_text`]
+//! strips the trailing `LIMIT` clause from the text each shard runs
+//! (a per-shard `LIMIT` would keep enumeration-order prefixes, not the
+//! canonical top rows), and [`merge`] truncates the sorted concat to
+//! `min(row_cap, n)` — so a routed `LIMIT n` query returns exactly
+//! `min(n, total)` rows, identical to the canonically sorted prefix of
+//! the unsharded answer. The serving tier's transport `row_cap`
+//! remains the one shard-order-dependent edge: bit-identity covers
+//! queries whose per-shard row sets fit the cap.
 
 use crate::parser::{parse_query, AggFunc, PatternTerm, SelectItem};
 use crate::RdfError;
@@ -39,7 +46,38 @@ pub enum MergeStrategy {
     ConcatRows {
         /// The query asked for `DISTINCT`.
         distinct: bool,
+        /// The query's own `LIMIT n`, applied after the canonical sort
+        /// (the scattered text has the clause stripped — see
+        /// [`scatter_text`] — so shards never pre-prune).
+        limit: Option<usize>,
     },
+}
+
+/// The SPARQL text the router scatters to each shard: `sparql` with a
+/// trailing `LIMIT` clause removed. A shard that applied the query's
+/// own `LIMIT n` would keep its *enumeration-order* first `n` rows —
+/// generally not its canonical-order top rows — so the merged prefix
+/// would diverge from the unsharded answer. Stripping the clause makes
+/// the merge the single place the cap is applied.
+///
+/// Only call with text [`strategy_for`] accepted: the grammar puts
+/// `LIMIT` last, so the clause is the trailing keyword + digits (when
+/// absent the text is returned unchanged).
+pub fn scatter_text(sparql: &str) -> String {
+    let trimmed = sparql.trim_end();
+    if let Some(pos) = trimmed.to_ascii_lowercase().rfind("limit") {
+        let before_ok = trimmed[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(char::is_whitespace);
+        let tail = &trimmed[pos + "limit".len()..];
+        let tail_ok = !tail.trim().is_empty()
+            && tail.chars().all(|c| c.is_ascii_whitespace() || c.is_ascii_digit());
+        if before_ok && tail_ok {
+            return trimmed[..pos].trim_end().to_string();
+        }
+    }
+    sparql.to_string()
 }
 
 /// Pick the merge strategy for `sparql`, or reject it as unshardable.
@@ -50,6 +88,17 @@ pub enum MergeStrategy {
 /// `OPTIONAL`, `GROUP BY`, non-`COUNT` aggregates, `ORDER BY`).
 pub fn strategy_for(sparql: &str) -> Result<MergeStrategy, RdfError> {
     let q = parse_query(sparql)?;
+    if q.as_of.is_some() {
+        return Err(RdfError::Eval(
+            "AS OF is not routable: commit ids are per-shard; query a shard directly".into(),
+        ));
+    }
+    if q.offset.is_some() {
+        return Err(RdfError::Eval(
+            "OFFSET is not shardable: a per-shard skip drops different rows on every shard"
+                .into(),
+        ));
+    }
     if !q.optionals.is_empty() {
         return Err(RdfError::Eval(
             "OPTIONAL is not shardable: the optional side may live on another shard".into(),
@@ -101,6 +150,7 @@ pub fn strategy_for(sparql: &str) -> Result<MergeStrategy, RdfError> {
     if aggs.is_empty() {
         return Ok(MergeStrategy::ConcatRows {
             distinct: q.distinct,
+            limit: q.limit,
         });
     }
     if let [SelectItem::Agg { func: AggFunc::Count, .. }] = q.select.as_slice() {
@@ -208,7 +258,7 @@ pub fn merge(
                 count: 1,
             })
         }
-        MergeStrategy::ConcatRows { distinct } => {
+        MergeStrategy::ConcatRows { distinct, limit } => {
             let mut keyed: Vec<(String, Json)> = parts
                 .iter()
                 .flat_map(|p| p.rows.iter())
@@ -218,12 +268,19 @@ pub fn merge(
             if *distinct {
                 keyed.dedup_by(|a, b| a.0 == b.0);
             }
-            let count = if *distinct {
+            let total = if *distinct {
                 keyed.len() as u64
             } else {
                 parts.iter().map(|p| p.count).sum()
             };
-            keyed.truncate(row_cap);
+            // The query's own LIMIT is part of its semantics: it caps
+            // both the kept rows and the reported count. The transport
+            // row_cap caps rows only (count still reports the total).
+            let count = match limit {
+                Some(n) => total.min(*n as u64),
+                None => total,
+            };
+            keyed.truncate(row_cap.min(limit.unwrap_or(usize::MAX)));
             Ok(QueryResult {
                 vars,
                 rows: keyed.into_iter().map(|(_, r)| r).collect(),
@@ -255,7 +312,10 @@ mod tests {
         let q = "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }";
         assert_eq!(
             strategy_for(q).unwrap(),
-            MergeStrategy::ConcatRows { distinct: false }
+            MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: None
+            }
         );
         let row = |s: &str| Json::Arr(vec![Json::Str(s.into()), Json::Str("x".into())]);
         let part = |names: &[&str]| QueryResult {
@@ -265,13 +325,19 @@ mod tests {
         };
         let a = merge(
             &[part(&["b", "a"]), part(&["c"])],
-            &MergeStrategy::ConcatRows { distinct: false },
+            &MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: None,
+            },
             1000,
         )
         .unwrap();
         let b = merge(
             &[part(&["c", "a"]), part(&["b"])],
-            &MergeStrategy::ConcatRows { distinct: false },
+            &MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: None,
+            },
             1000,
         )
         .unwrap();
@@ -290,7 +356,10 @@ mod tests {
         };
         let merged = merge(
             &[part(&["wheat", "maize"]), part(&["wheat"])],
-            &MergeStrategy::ConcatRows { distinct: true },
+            &MergeStrategy::ConcatRows {
+                distinct: true,
+                limit: None,
+            },
             1000,
         )
         .unwrap();
@@ -298,13 +367,82 @@ mod tests {
         assert_eq!(merged.count, 2);
         let capped = merge(
             &[part(&["b"]), part(&["a", "c"])],
-            &MergeStrategy::ConcatRows { distinct: false },
+            &MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: None,
+            },
             2,
         )
         .unwrap();
         assert_eq!(capped.rows.len(), 2);
         assert_eq!(capped.count, 3, "count still reports the full total");
         assert_eq!(capped.rows[0].emit(), "[\"a\"]");
+    }
+
+    #[test]
+    fn query_limit_is_applied_at_the_merge() {
+        let q = "SELECT ?s WHERE { ?s <http://e/p> ?o } LIMIT 2";
+        let strategy = strategy_for(q).unwrap();
+        assert_eq!(
+            strategy,
+            MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: Some(2)
+            }
+        );
+        // The scattered text drops the clause so shards never pre-prune.
+        assert_eq!(scatter_text(q), "SELECT ?s WHERE { ?s <http://e/p> ?o }");
+        assert_eq!(
+            scatter_text("SELECT ?s WHERE { ?s ?p ?o }"),
+            "SELECT ?s WHERE { ?s ?p ?o }",
+            "no LIMIT: text unchanged"
+        );
+        // A literal merely *containing* "limit" is left alone.
+        let tricky = "SELECT ?s WHERE { ?s <http://e/p> \"limit 3\" }";
+        assert_eq!(scatter_text(tricky), tricky);
+        let row = |s: &str| Json::Arr(vec![Json::Str(s.into())]);
+        let part = |names: &[&str]| QueryResult {
+            vars: vec!["s".into()],
+            rows: names.iter().map(|n| row(n)).collect(),
+            count: names.len() as u64,
+        };
+        // LIMIT 2 over 4 merged rows: exactly 2 rows — the canonical
+        // prefix — and the count reports the capped length, however the
+        // rows were spread across shards.
+        let merged = merge(&[part(&["d", "b"]), part(&["a", "c"])], &strategy, 1000).unwrap();
+        assert_eq!(merged.rows.len(), 2, "LIMIT re-applied post-merge");
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.rows[0].emit(), "[\"a\"]");
+        assert_eq!(merged.rows[1].emit(), "[\"b\"]");
+        // LIMIT above the total: everything survives, count = total.
+        let all = merge(&[part(&["b"]), part(&["a"])], &strategy, 1000).unwrap();
+        assert_eq!(all.rows.len(), 2);
+        assert_eq!(all.count, 2);
+        // DISTINCT + LIMIT: dedup first, then cap.
+        let dd = merge(
+            &[part(&["b", "a"]), part(&["a", "c"])],
+            &MergeStrategy::ConcatRows {
+                distinct: true,
+                limit: Some(2),
+            },
+            1000,
+        )
+        .unwrap();
+        assert_eq!(dd.rows.len(), 2);
+        assert_eq!(dd.count, 2);
+        assert_eq!(dd.rows[0].emit(), "[\"a\"]");
+        // The transport row_cap still binds when tighter than LIMIT.
+        let tight = merge(
+            &[part(&["a", "b", "c"])],
+            &MergeStrategy::ConcatRows {
+                distinct: false,
+                limit: Some(3),
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(tight.rows.len(), 1);
+        assert_eq!(tight.count, 3, "row_cap elides rows without changing the count");
     }
 
     #[test]
@@ -320,6 +458,10 @@ mod tests {
             "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s",
             // ORDER BY.
             "SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s",
+            // OFFSET: a per-shard skip drops different rows per shard.
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 OFFSET 2",
+            // AS OF: commit ids are per-shard, never fleet-wide.
+            "SELECT ?s WHERE { ?s ?p ?o } AS OF <cbf29ce484222325>",
         ] {
             assert!(matches!(strategy_for(q), Err(RdfError::Eval(_))), "{q}");
         }

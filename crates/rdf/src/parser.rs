@@ -97,6 +97,10 @@ pub struct Query {
     pub limit: Option<usize>,
     /// OFFSET.
     pub offset: Option<usize>,
+    /// `AS OF <hexid>` — pin evaluation to the store as of that commit
+    /// id (16 lowercase hex digits, as reported by the serving tier's
+    /// `X-Commit` header). `None` reads the head.
+    pub as_of: Option<u64>,
 }
 
 /// One operation of a SPARQL UPDATE request.
@@ -621,6 +625,7 @@ impl Parser {
         }
         let mut limit = None;
         let mut offset = None;
+        let mut as_of = None;
         loop {
             if self.is_word("LIMIT") {
                 self.advance();
@@ -628,6 +633,20 @@ impl Parser {
             } else if self.is_word("OFFSET") {
                 self.advance();
                 offset = Some(self.number_usize()?);
+            } else if self.is_word("AS") {
+                self.advance();
+                self.eat_word("OF")?;
+                let id = match self.advance() {
+                    Tok::Iri(text) => u64::from_str_radix(&text, 16).map_err(|_| {
+                        RdfError::Parse(format!("AS OF expects a hex commit id, found <{text}>"))
+                    })?,
+                    other => {
+                        return Err(RdfError::Parse(format!(
+                            "AS OF expects <hexid>, found {other:?}"
+                        )))
+                    }
+                };
+                as_of = Some(id);
             } else {
                 break;
             }
@@ -646,6 +665,7 @@ impl Parser {
             order_by,
             limit,
             offset,
+            as_of,
         })
     }
 
@@ -1243,6 +1263,19 @@ mod tests {
         assert_eq!(q.order_by, Some(("n".into(), false)));
         assert_eq!(q.limit, Some(5));
         assert_eq!(q.offset, Some(2));
+        assert_eq!(q.as_of, None);
+    }
+
+    #[test]
+    fn as_of_pins_a_commit_id() {
+        let q = parse_query("SELECT ?s WHERE { ?s ?p ?o } AS OF <cbf29ce484222325>").unwrap();
+        assert_eq!(q.as_of, Some(0xcbf2_9ce4_8422_2325));
+        // Order-insensitive among the trailing clauses.
+        let q = parse_query("SELECT ?s WHERE { ?s ?p ?o } AS OF <1f> LIMIT 3").unwrap();
+        assert_eq!(q.as_of, Some(0x1f));
+        assert_eq!(q.limit, Some(3));
+        assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o } AS OF <nothex>").is_err());
+        assert!(parse_query("SELECT ?s WHERE { ?s ?p ?o } AS OF 12").is_err());
     }
 
     #[test]

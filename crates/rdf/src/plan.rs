@@ -22,7 +22,7 @@
 
 use crate::expr::{collect_const_geometries, spatial_pushdown, Expr};
 use crate::parser::{AggFunc, PatternTerm, Query, SelectItem, TriplePattern};
-use crate::store::TripleStore;
+use crate::store::{StoreView, TripleStore};
 use crate::term::Term;
 use crate::RdfError;
 use ee_geo::{Envelope, Geometry};
@@ -170,10 +170,10 @@ fn var_index(vars: &mut Vec<String>, name: &str) -> usize {
     }
 }
 
-fn resolve_slot(t: &PatternTerm, store: &TripleStore, vars: &mut Vec<String>) -> Slot {
+fn resolve_slot(t: &PatternTerm, store: StoreView<'_>, vars: &mut Vec<String>) -> Slot {
     match t {
         PatternTerm::Var(name) => Slot::Var(var_index(vars, name)),
-        PatternTerm::Const(term) => match store.dict.id_of(term) {
+        PatternTerm::Const(term) => match store.dict().id_of(term) {
             Some(id) => Slot::Const(id),
             None => Slot::Impossible,
         },
@@ -215,7 +215,7 @@ fn slot_vars(slots: &[Slot; 3]) -> impl Iterator<Item = usize> + '_ {
 /// patterns), breaking ties by the store's cardinality estimate over the
 /// constant positions, then by pattern index. `estimate == None` (logical
 /// planning) falls back to position count alone.
-fn choose_order(slots: &[[Slot; 3]], store: Option<&TripleStore>) -> Vec<usize> {
+fn choose_order(slots: &[[Slot; 3]], store: Option<StoreView<'_>>) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..slots.len()).collect();
     let mut bound: Vec<bool> = Vec::new();
     let grow = |bound: &mut Vec<bool>, v: usize| {
@@ -291,7 +291,7 @@ fn place_filters(filters: &mut [FilterPlan], slots: &[[Slot; 3]], order: &[usize
 }
 
 /// The shared planning scaffold. `store == None` builds a logical plan.
-fn build(store: Option<&TripleStore>, q: &Query) -> Result<Plan, RdfError> {
+fn build(store: Option<StoreView<'_>>, q: &Query) -> Result<Plan, RdfError> {
     let mut vars = Vec::new();
     // Select order defines projection order for named vars.
     for item in &q.select {
@@ -487,7 +487,15 @@ fn build(store: Option<&TripleStore>, q: &Query) -> Result<Plan, RdfError> {
 
 /// Plan a query against a concrete store (physical plan).
 pub fn plan(store: &TripleStore, q: &Query) -> Result<Plan, RdfError> {
-    build(Some(store), q)
+    build(Some(StoreView::from(store)), q)
+}
+
+/// Plan a query against a [`StoreView`] — the versioned-read entry
+/// point. Spatial candidate sets include the view's overlay geometries,
+/// so plans built here are valid **only for that exact view** (the
+/// serving tier never caches them; the overlay grows as head advances).
+pub fn plan_view(view: StoreView<'_>, q: &Query) -> Result<Plan, RdfError> {
+    build(Some(view), q)
 }
 
 /// Plan a query without a store (logical plan): no dictionary ids, no

@@ -1,0 +1,245 @@
+//! The versioned commit log: an immutable, hash-chained history of every
+//! commit the store has ever applied.
+//!
+//! `commits.log` sits beside `wal.log` and reuses the same record framing
+//! ([`super::encode::write_record`]). Each record's payload is
+//!
+//! ```text
+//! [u64 LE parent commit id][WAL commit payload (generation, delete, insert)]
+//! ```
+//!
+//! and a record's **commit id** is `fnv1a(payload)` — the same value the
+//! framing already stores as the record checksum. Because the parent id is
+//! folded into the payload, ids form a hash chain rooted at
+//! [`ROOT_COMMIT_ID`] (the FNV offset basis, i.e. `fnv1a("")`): a commit id
+//! names not just one delta but the entire history that produced it, which
+//! is what makes it safe to use as an ETag and a cache key upstream.
+//!
+//! Unlike the WAL, the commit log is **never reset by compaction** — the
+//! WAL holds only the deltas since the last snapshot fold, while the
+//! commit log holds the whole history so `AS OF` reads can rewind past
+//! compaction points. Recovery exploits the write order (WAL append →
+//! commit-log append → apply): a torn commit-log tail is truncated and the
+//! missing records are re-derived from the WAL's replayed commits, which
+//! reproduces them bit-identically because the chain hash is
+//! deterministic.
+
+use super::encode::{bad_data, fnv1a, write_record, RecordOutcome, RecordReader};
+use super::wal::{decode_commit, encode_commit, Durability, WalCommit};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the commit log inside a store directory.
+pub const COMMITS_FILE: &str = "commits.log";
+
+/// The commit id of the empty history — the store as created/bulk-loaded,
+/// before any commit. Equal to `fnv1a(&[])`, the FNV-1a offset basis.
+pub const ROOT_COMMIT_ID: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One immutable entry in the commit history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// This commit's id: `fnv1a(parent LE bytes ‖ commit payload)`.
+    pub id: u64,
+    /// The id of the preceding commit ([`ROOT_COMMIT_ID`] for the first).
+    pub parent: u64,
+    /// The delta, in the same shape the WAL stores it.
+    pub commit: WalCommit,
+}
+
+impl CommitRecord {
+    /// The generation this commit produced.
+    pub fn generation(&self) -> u64 {
+        self.commit.generation
+    }
+}
+
+fn encode_record(parent: u64, commit: &WalCommit) -> Vec<u8> {
+    let body = encode_commit(commit);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&parent.to_le_bytes());
+    payload.extend_from_slice(&body);
+    payload
+}
+
+fn decode_record(payload: &[u8]) -> io::Result<CommitRecord> {
+    if payload.len() < 8 {
+        return Err(bad_data("commit record shorter than its parent id"));
+    }
+    let parent = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let commit = decode_commit(&payload[8..])?;
+    Ok(CommitRecord {
+        id: fnv1a(payload),
+        parent,
+        commit,
+    })
+}
+
+/// Derive the commit record a given delta produces on top of `parent`.
+/// Pure and deterministic: the live commit path and crash recovery both
+/// call this, which is why a re-derived record is bit-identical to the
+/// one lost in a torn tail.
+pub fn derive_record(parent: u64, commit: &WalCommit) -> CommitRecord {
+    let payload = encode_record(parent, commit);
+    CommitRecord {
+        id: fnv1a(&payload),
+        parent,
+        commit: commit.clone(),
+    }
+}
+
+/// An open commit log.
+pub struct CommitLog {
+    file: File,
+    path: PathBuf,
+    durability: Durability,
+    /// Bytes of clean records currently in the file.
+    len: u64,
+}
+
+impl CommitLog {
+    /// Open (creating if absent) the commit log in `dir` and reconcile it
+    /// against the WAL-recovered state of the store:
+    ///
+    /// 1. torn or chain-breaking tail records are truncated away;
+    /// 2. records whose generation exceeds `head_generation` (written
+    ///    ahead of a WAL tail that itself tore) are dropped;
+    /// 3. records missing relative to the WAL (crash between WAL append
+    ///    and commit-log append, or a torn commit-log tail) are
+    ///    re-derived from `wal_commits` and appended.
+    ///
+    /// Returns the log handle plus the full reconciled history in commit
+    /// order. If the history has a gap the WAL cannot fill (a missing or
+    /// externally-truncated file on a store that already compacted), the
+    /// stale prefix is discarded and the chain restarts at the earliest
+    /// state the WAL can still reach: time travel then only goes back
+    /// that far, but the store always opens.
+    pub fn open(
+        dir: &Path,
+        durability: Durability,
+        wal_commits: &[WalCommit],
+        head_generation: u64,
+    ) -> io::Result<(CommitLog, Vec<CommitRecord>)> {
+        let path = dir.join(COMMITS_FILE);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut records: Vec<CommitRecord> = Vec::new();
+        // End offset of each clean record, so dropping a logical tail
+        // maps back to a byte length.
+        let mut ends: Vec<u64> = Vec::new();
+        let mut reader = RecordReader::new(BufReader::new(&file));
+        let mut valid_len = loop {
+            match reader.next_record()? {
+                RecordOutcome::Record(payload) => {
+                    let rec = decode_record(&payload)?;
+                    let expect = records.last().map_or(ROOT_COMMIT_ID, |r| r.id);
+                    if rec.parent != expect {
+                        // A record that does not extend the chain is as
+                        // good as torn: keep the clean prefix.
+                        break *ends.last().unwrap_or(&0);
+                    }
+                    records.push(rec);
+                    ends.push(reader.valid_len());
+                }
+                RecordOutcome::Eof => break reader.valid_len(),
+                RecordOutcome::Torn { valid_len } => break valid_len,
+            }
+        };
+        while records
+            .last()
+            .is_some_and(|r| r.generation() > head_generation)
+        {
+            records.pop();
+            ends.pop();
+            valid_len = *ends.last().unwrap_or(&0);
+        }
+        let mut log = CommitLog {
+            file,
+            path,
+            durability,
+            len: valid_len,
+        };
+        let disk_len = log.file.metadata()?.len();
+        if disk_len != valid_len {
+            log.file.set_len(valid_len)?;
+            log.file.sync_all()?;
+        }
+        log.file.seek(SeekFrom::Start(valid_len))?;
+
+        // Re-derive whatever the tail lost from the WAL's commits.
+        let logged_gen = records.last().map_or(0, |r| r.generation());
+        let mut missing: Vec<&WalCommit> = wal_commits
+            .iter()
+            .filter(|c| c.generation > logged_gen && c.generation <= head_generation)
+            .collect();
+        let gap = match missing.first() {
+            Some(first) => first.generation != logged_gen + 1,
+            None => logged_gen < head_generation,
+        };
+        if gap {
+            // The log lost records older than the WAL's coverage (it was
+            // deleted or truncated externally — the write order never
+            // produces this). A chain with a hole is useless for as-of
+            // rewinding, so restart it at the earliest state the WAL can
+            // still reconstruct; commits before that are no longer
+            // addressable, but the store opens.
+            records.clear();
+            ends.clear();
+            log.file.set_len(0)?;
+            log.file.sync_all()?;
+            log.file.seek(SeekFrom::Start(0))?;
+            log.len = 0;
+            missing = wal_commits
+                .iter()
+                .filter(|c| c.generation <= head_generation)
+                .collect();
+        }
+        for c in missing {
+            let parent = records.last().map_or(ROOT_COMMIT_ID, |r| r.id);
+            let rec = derive_record(parent, c);
+            log.append(&rec)?;
+            records.push(rec);
+        }
+        Ok((log, records))
+    }
+
+    /// Append one commit record; returns its on-disk size in bytes.
+    pub fn append(&mut self, rec: &CommitRecord) -> io::Result<u64> {
+        let payload = encode_record(rec.parent, &rec.commit);
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        write_record(&mut framed, &payload)?;
+        self.file.write_all(&framed)?;
+        if self.durability == Durability::Sync {
+            self.file.sync_data()?;
+        }
+        self.len += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Force the log to disk. Compaction calls this before resetting the
+    /// WAL: once the WAL is empty, a lost commit-log tail could no longer
+    /// be re-derived, so it must be durable first.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Current clean length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no commits are logged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}

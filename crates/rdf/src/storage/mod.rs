@@ -1,34 +1,43 @@
-//! Durable storage for the triple store: WAL + snapshot lifecycle.
+//! Durable storage for the triple store: WAL + snapshot + commit-log
+//! lifecycle.
 //!
-//! A store directory holds at most two files:
+//! A store directory holds at most three files:
 //!
 //! * `snapshot.bin` — a complete, immutable image of the store at some
 //!   generation ([`snapshot`]: dictionary blocks + sorted triple
 //!   segments, every record length-prefixed and FNV-1a-checksummed);
 //! * `wal.log` — one checksummed record per commit since that snapshot
-//!   ([`wal`]).
+//!   ([`wal`]);
+//! * `commits.log` — the hash-chained record of **every** commit since
+//!   the store was created, never reset by compaction ([`commitlog`]).
 //!
 //! [`Store::open`] replays the snapshot, then the WAL tail (dropping a
 //! torn final record), and arrives at exactly the last fully-committed
 //! generation. [`Store::commit`] evaluates a SPARQL UPDATE read-only,
-//! appends the resulting delta to the WAL (fsync'd by default), applies
-//! it to the in-memory indexes, and bumps the monotonic **generation**
-//! — the number the serving tier mixes into ETags and cache keys, so
-//! "did anything change?" is one integer compare. [`Store::compact`]
-//! folds the WAL into a fresh snapshot (write-tmp, fsync, rename).
+//! appends the resulting delta to the WAL (fsync'd by default), appends
+//! the hash-chained commit record, applies the delta to the in-memory
+//! indexes, and bumps the monotonic **generation**. The serving tier
+//! keys ETags and caches on the **head commit id**
+//! ([`Store::head_commit`]) — unlike a bare counter, the id names the
+//! exact history that produced the state, and [`Store::as_of`] can
+//! rewind reads to any id in that history. [`Store::compact`] folds the
+//! WAL into a fresh snapshot (write-tmp, fsync, rename).
 //!
 //! The wrapper derefs to [`TripleStore`], so every read path — pattern
 //! matching, planning, execution, streaming — works unchanged.
 
+pub mod commitlog;
 pub mod encode;
 pub mod segment;
 pub mod snapshot;
 pub mod wal;
 
-use crate::store::{IndexMode, TripleStore};
+use crate::store::{IdTriple, IndexMode, Novelty, TripleStore};
 use crate::term::{Term, XSD_STRING};
 use crate::update::{apply_delta, evaluate_update, Delta, GroundTriple};
 use crate::RdfError;
+pub use commitlog::{CommitRecord, ROOT_COMMIT_ID};
+use commitlog::{derive_record, CommitLog};
 use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_FILE};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -190,6 +199,13 @@ pub struct Store {
     generation: u64,
     /// `None` for ephemeral (memory-only) stores.
     wal: Option<Wal>,
+    /// `None` for ephemeral stores (which still keep `history` in
+    /// memory, so versioned reads work without a disk).
+    commits: Option<CommitLog>,
+    /// Every commit applied since the store was created, oldest first,
+    /// with consecutive generations (normally starting at 1; later if a
+    /// lost commit log forced the chain to restart mid-history).
+    history: Vec<CommitRecord>,
     dir: Option<PathBuf>,
     policy: CompactionPolicy,
     /// Effective commits since the snapshot on disk was written (seeded
@@ -215,6 +231,8 @@ impl Store {
             inner,
             generation: 0,
             wal: None,
+            commits: None,
+            history: Vec::new(),
             dir: None,
             policy: CompactionPolicy::disabled(),
             commits_since_snapshot: 0,
@@ -269,10 +287,13 @@ impl Store {
             replayed += 1;
         }
         inner.build_spatial_index();
+        let (commit_log, history) = CommitLog::open(dir, durability, &commits, generation)?;
         Ok(Store {
             inner,
             generation,
             wal: Some(wal),
+            commits: Some(commit_log),
+            history,
             dir: Some(dir.to_path_buf()),
             policy: CompactionPolicy::disabled(),
             commits_since_snapshot: replayed,
@@ -295,10 +316,16 @@ impl Store {
         if !wal.is_empty() {
             wal.reset()?;
         }
+        // A fresh store starts a fresh history: reconciling against an
+        // empty WAL at generation 0 drops every stale commit record.
+        let (commit_log, history) = CommitLog::open(dir, durability, &[], 0)?;
+        debug_assert!(history.is_empty());
         Ok(Store {
             inner,
             generation: 0,
             wal: Some(wal),
+            commits: Some(commit_log),
+            history,
             dir: Some(dir.to_path_buf()),
             policy: CompactionPolicy::disabled(),
             commits_since_snapshot: 0,
@@ -354,6 +381,78 @@ impl Store {
         self.generation
     }
 
+    /// The id of the latest commit — [`ROOT_COMMIT_ID`] before any
+    /// commit. Because each id hashes its parent's id, the head id names
+    /// the store's entire history: equal head ids mean byte-identical
+    /// stores, which is what makes it a sound ETag and cache key.
+    pub fn head_commit(&self) -> u64 {
+        self.history.last().map_or(ROOT_COMMIT_ID, |r| r.id)
+    }
+
+    /// Whether `id` names a commit in this store's history (the root id
+    /// always qualifies).
+    pub fn commit_known(&self, id: u64) -> bool {
+        id == ROOT_COMMIT_ID || self.history.iter().any(|r| r.id == id)
+    }
+
+    /// The full commit history, oldest first.
+    pub fn history(&self) -> &[CommitRecord] {
+        &self.history
+    }
+
+    /// Build the novelty overlay that rewinds reads to `commit_id`:
+    /// [`crate::StoreView::with_novelty`] over the *current* indexes
+    /// plus this overlay sees exactly the store as of that commit — no
+    /// copy of the store is made. Returns `None` for unknown ids; the
+    /// head id yields an empty (transparent) overlay.
+    ///
+    /// Commits are undone newest-first over their effective deltas: an
+    /// inserted triple not re-added later is hidden, a deleted triple
+    /// not re-hidden later is resurrected. Needs `&mut self` because
+    /// resurrected triples may reference terms absent from a
+    /// reopened-store dictionary (snapshots only carry live terms);
+    /// those are re-interned, which is safe — the dictionary is
+    /// append-only and ids are stable.
+    pub fn as_of(&mut self, commit_id: u64) -> Option<Novelty> {
+        if commit_id == self.head_commit() {
+            return Some(Novelty::default());
+        }
+        let cut = if commit_id == ROOT_COMMIT_ID {
+            0
+        } else {
+            self.history.iter().position(|r| r.id == commit_id)? + 1
+        };
+        let mut hide: std::collections::HashSet<IdTriple> = std::collections::HashSet::new();
+        let mut add: std::collections::HashSet<IdTriple> = std::collections::HashSet::new();
+        // Take the history out so the dictionary can be borrowed mutably
+        // while walking it (interning never touches the history).
+        let history = std::mem::take(&mut self.history);
+        for rec in history[cut..].iter().rev() {
+            for (s, p, o) in &rec.commit.insert {
+                let t = (
+                    self.inner.dict.intern(s),
+                    self.inner.dict.intern(p),
+                    self.inner.dict.intern(o),
+                );
+                if !add.remove(&t) {
+                    hide.insert(t);
+                }
+            }
+            for (s, p, o) in &rec.commit.delete {
+                let t = (
+                    self.inner.dict.intern(s),
+                    self.inner.dict.intern(p),
+                    self.inner.dict.intern(o),
+                );
+                if !hide.remove(&t) {
+                    add.insert(t);
+                }
+            }
+        }
+        self.history = history;
+        Some(Novelty::new(hide, add.into_iter().collect()))
+    }
+
     /// Directory backing this store (`None` when ephemeral).
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
@@ -402,14 +501,23 @@ impl Store {
             });
         }
         let generation = self.generation + 1;
+        let commit = WalCommit {
+            generation,
+            delete: delete.clone(),
+            insert: insert.clone(),
+        };
         let mut wal_bytes = 0;
         if let Some(wal) = &mut self.wal {
-            wal_bytes = wal.append(&WalCommit {
-                generation,
-                delete: delete.clone(),
-                insert: insert.clone(),
-            })?;
+            wal_bytes = wal.append(&commit)?;
         }
+        // Commit-log append comes *after* the WAL append: a crash in
+        // between leaves the record re-derivable from the WAL on reopen
+        // (the chain hash is deterministic), never the other way round.
+        let record = derive_record(self.head_commit(), &commit);
+        if let Some(log) = &mut self.commits {
+            log.append(&record)?;
+        }
+        self.history.push(record);
         let effective = Delta { insert, delete };
         let (inserted, deleted) = apply_delta(&mut self.inner, &effective);
         self.generation = generation;
@@ -441,6 +549,11 @@ impl Store {
             return Ok(());
         };
         write_snapshot(&dir, &self.inner, self.generation)?;
+        if let Some(log) = &mut self.commits {
+            // Once the WAL is empty, a lost commit-log tail could no
+            // longer be re-derived from it — make the log durable first.
+            log.sync()?;
+        }
         if let Some(wal) = &mut self.wal {
             wal.reset()?;
         }
@@ -861,6 +974,196 @@ mod tests {
             .spatial_candidates(&ee_geo::Envelope::new(0.0, 0.0, 10.0, 10.0))
             .unwrap();
         assert_eq!(hits.len(), 1, "R-tree rebuilt from replayed triples");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Every triple visible through the store (or a rewound view of it),
+    /// as sorted N-Triples lines — id-independent, so states of
+    /// different store instances compare directly.
+    fn visible(st: &TripleStore, novelty: Option<&Novelty>) -> Vec<String> {
+        let view = match novelty {
+            Some(n) => crate::StoreView::with_novelty(st, n),
+            None => crate::StoreView::from(st),
+        };
+        let mut out: Vec<String> = view
+            .id_triples_sorted()
+            .into_iter()
+            .map(|(s, p, o)| {
+                format!(
+                    "{} {} {}",
+                    view.dict().term(s).ntriples(),
+                    view.dict().term(p).ntriples(),
+                    view.dict().term(o).ntriples()
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn commit_ids_chain_deterministically() {
+        let updates = [
+            "INSERT DATA { e:a e:p e:b . e:a e:p e:c }",
+            "DELETE DATA { e:a e:p e:b }",
+            "INSERT DATA { e:d e:p e:e }",
+        ];
+        let run = |mut st: Store| -> (Vec<u64>, Store) {
+            let ids = updates
+                .iter()
+                .map(|u| {
+                    st.commit(&upd(u)).unwrap();
+                    st.head_commit()
+                })
+                .collect();
+            (ids, st)
+        };
+        let dir = test_dir("chain-durable");
+        let (durable_ids, durable) = run(Store::open_with(&dir, Durability::NoSync).unwrap());
+        let (ephemeral_ids, _) = run(Store::ephemeral(TripleStore::new(IndexMode::Full)));
+        // Same commit sequence → same chain, with or without a disk.
+        assert_eq!(durable_ids, ephemeral_ids);
+        assert_eq!(durable_ids.len(), 3);
+        let mut uniq = durable_ids.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3, "each commit gets a distinct id");
+        for id in &durable_ids {
+            assert!(durable.commit_known(*id));
+        }
+        assert!(durable.commit_known(ROOT_COMMIT_ID));
+        assert!(!durable.commit_known(0xdead_beef));
+        drop(durable);
+        let st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        let reopened: Vec<u64> = st.history().iter().map(|r| r.id).collect();
+        assert_eq!(reopened, durable_ids, "ids survive reopen");
+        assert_eq!(st.head_commit(), *durable_ids.last().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn as_of_views_match_replayed_stores() {
+        let updates = [
+            "INSERT DATA { e:a e:p e:b . e:a e:p e:c . e:x e:q e:y }",
+            "DELETE DATA { e:a e:p e:b } ; INSERT DATA { e:a e:p e:d }",
+            "DELETE WHERE { e:a ?p ?o }",
+            "INSERT DATA { e:a e:p e:b . e:z e:q \"POINT (2 2)\"^^<http://www.opengis.net/ont/geosparql#wktLiteral> }",
+            "DELETE DATA { e:x e:q e:y }",
+        ];
+        let mut st = Store::ephemeral(TripleStore::new(IndexMode::Full));
+        let mut ids = vec![ROOT_COMMIT_ID];
+        for u in &updates {
+            st.commit(&upd(u)).unwrap();
+            ids.push(st.head_commit());
+        }
+        for (k, id) in ids.iter().enumerate() {
+            // Reference: a fresh store replayed through the first k
+            // commits, queried at head.
+            let mut reference = Store::ephemeral(TripleStore::new(IndexMode::Full));
+            for u in &updates[..k] {
+                reference.commit(&upd(u)).unwrap();
+            }
+            let novelty = st.as_of(*id).expect("known commit");
+            assert_eq!(
+                visible(&st, Some(&novelty)),
+                visible(&reference, None),
+                "as_of commit #{k} must equal replay-to-{k}"
+            );
+        }
+        assert!(st.as_of(0x1234_5678).is_none(), "unknown id");
+        // The head view is transparent (no overlay work).
+        assert!(st.as_of(st.head_commit()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn as_of_resurrects_triples_folded_away_by_compaction() {
+        let dir = test_dir("asof-resurrect");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        st.commit(&upd("INSERT DATA { e:a e:p \"only-in-history\" }"))
+            .unwrap();
+        let before_delete = st.head_commit();
+        st.commit(&upd("DELETE DATA { e:a e:p \"only-in-history\" }"))
+            .unwrap();
+        st.compact().unwrap();
+        drop(st);
+        // After compaction + reopen the triple is in no snapshot segment
+        // and no WAL record: only the commit log still knows it.
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        assert!(visible(&st, None).is_empty());
+        let novelty = st.as_of(before_delete).unwrap();
+        let rows = visible(&st, Some(&novelty));
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains("only-in-history"), "{rows:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_history_survives_compaction_and_reopen() {
+        let dir = test_dir("history-compact");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        for i in 0..6 {
+            st.commit(&upd(&format!("INSERT DATA {{ e:s{i} e:p e:o{i} }}")))
+                .unwrap();
+        }
+        let mid = st.history()[2].id;
+        let mid_rows = {
+            let n = st.as_of(mid).unwrap();
+            visible(&st, Some(&n))
+        };
+        let ids: Vec<u64> = st.history().iter().map(|r| r.id).collect();
+        st.compact().unwrap();
+        st.commit(&upd("INSERT DATA { e:post e:p e:o }")).unwrap();
+        drop(st);
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        let reopened: Vec<u64> = st.history().iter().map(|r| r.id).collect();
+        assert_eq!(&reopened[..ids.len()], &ids[..], "pre-compaction history intact");
+        assert_eq!(reopened.len(), ids.len() + 1);
+        let n = st.as_of(mid).unwrap();
+        assert_eq!(visible(&st, Some(&n)), mid_rows, "as-of crosses compaction");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The commit-log sibling of `wal::tests::torn_tail_is_truncated_on_open`,
+    /// extended to the recovery contract: tear `commits.log` at **every**
+    /// byte boundary and the reopened store must re-derive the lost
+    /// records from the WAL bit-identically — same head commit id, same
+    /// history ids, same `as_of` views.
+    #[test]
+    fn torn_commit_log_recovers_bit_identically_at_every_byte() {
+        let dir = test_dir("torn-commitlog");
+        let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+        st.commit(&upd("INSERT DATA { e:a e:p e:b . e:a e:p e:c }"))
+            .unwrap();
+        st.commit(&upd("DELETE DATA { e:a e:p e:b } ; INSERT DATA { e:d e:p e:e }"))
+            .unwrap();
+        st.commit(&upd("INSERT DATA { e:f e:p e:g }")).unwrap();
+        let ids: Vec<u64> = st.history().iter().map(|r| r.id).collect();
+        let head = st.head_commit();
+        let views: Vec<Vec<String>> = ids
+            .iter()
+            .map(|id| {
+                let n = st.as_of(*id).unwrap();
+                visible(&st, Some(&n))
+            })
+            .collect();
+        drop(st);
+        let path = dir.join(commitlog::COMMITS_FILE);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut st = Store::open_with(&dir, Durability::NoSync).unwrap();
+            assert_eq!(st.head_commit(), head, "cut at {cut}");
+            let reopened: Vec<u64> = st.history().iter().map(|r| r.id).collect();
+            assert_eq!(reopened, ids, "cut at {cut}");
+            for (id, want) in ids.iter().zip(&views) {
+                let n = st.as_of(*id).unwrap();
+                assert_eq!(&visible(&st, Some(&n)), want, "cut at {cut}");
+            }
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                full,
+                "recovery must rewrite the exact bytes (cut {cut})"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

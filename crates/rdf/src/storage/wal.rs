@@ -62,7 +62,7 @@ pub struct WalCommit {
     pub insert: Vec<GroundTriple>,
 }
 
-fn encode_commit(c: &WalCommit) -> Vec<u8> {
+pub(crate) fn encode_commit(c: &WalCommit) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     put_uvarint(&mut out, c.generation);
     put_uvarint(&mut out, c.delete.len() as u64);
@@ -80,7 +80,7 @@ fn encode_commit(c: &WalCommit) -> Vec<u8> {
     out
 }
 
-fn decode_commit(payload: &[u8]) -> io::Result<WalCommit> {
+pub(crate) fn decode_commit(payload: &[u8]) -> io::Result<WalCommit> {
     let mut pos = 0;
     let generation = get_uvarint(payload, &mut pos)?;
     let read_triples = |pos: &mut usize| -> io::Result<Vec<GroundTriple>> {

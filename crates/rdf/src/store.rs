@@ -460,6 +460,270 @@ impl TripleStore {
     }
 }
 
+/// The difference between the store's current state and a historical
+/// commit, expressed over the **current** dictionary ids: triples to
+/// hide (inserted after the as-of commit, still present in the base) and
+/// triples to add back (deleted after it, absent from the base). Built
+/// by [`crate::storage::Store::as_of`] from the immutable commit log;
+/// the overlay is proportional to the churn since the commit, never to
+/// the store size.
+#[derive(Debug, Clone, Default)]
+pub struct Novelty {
+    hide: std::collections::HashSet<IdTriple>,
+    /// Sorted SPO, deduplicated, disjoint from the base.
+    add: Vec<IdTriple>,
+}
+
+impl Novelty {
+    /// Build an overlay from the triples to hide and to add back. `add`
+    /// is sorted and deduplicated here so view enumeration over it is
+    /// deterministic.
+    pub fn new(hide: std::collections::HashSet<IdTriple>, mut add: Vec<IdTriple>) -> Novelty {
+        add.sort_unstable();
+        add.dedup();
+        Novelty { hide, add }
+    }
+
+    /// True when the view is the base itself.
+    pub fn is_empty(&self) -> bool {
+        self.hide.is_empty() && self.add.is_empty()
+    }
+
+    /// Base triples hidden from the view.
+    pub fn hidden(&self) -> usize {
+        self.hide.len()
+    }
+
+    /// Overlay triples added back into the view.
+    pub fn added(&self) -> usize {
+        self.add.len()
+    }
+}
+
+/// A read view over a [`TripleStore`], optionally through a [`Novelty`]
+/// overlay: the plan/join/exec pipeline runs against this, so the same
+/// code answers head queries (`novelty: None`, zero overhead) and
+/// historical `as_of` queries (base enumeration minus hidden triples,
+/// plus the overlay's adds) without ever duplicating the indexes.
+///
+/// Enumeration order with an overlay: each pattern first yields the
+/// base's index-order matches (skipping hidden triples), then the
+/// overlay's matches in SPO order. That order is deterministic for a
+/// given view but not identical to a head store holding the same
+/// triples, so order-insensitive consumers (aggregates, `ORDER BY`,
+/// sorted comparisons) see bit-identical results while plain streamed
+/// projections agree up to row order.
+#[derive(Clone, Copy)]
+pub struct StoreView<'a> {
+    base: &'a TripleStore,
+    novelty: Option<&'a Novelty>,
+}
+
+impl<'a> From<&'a TripleStore> for StoreView<'a> {
+    fn from(base: &'a TripleStore) -> StoreView<'a> {
+        StoreView {
+            base,
+            novelty: None,
+        }
+    }
+}
+
+/// Does `t` match the optional-constant pattern?
+fn pattern_matches(t: IdTriple, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> bool {
+    s.map(|v| v == t.0).unwrap_or(true)
+        && p.map(|v| v == t.1).unwrap_or(true)
+        && o.map(|v| v == t.2).unwrap_or(true)
+}
+
+impl<'a> StoreView<'a> {
+    /// The head view: the store itself, no overlay.
+    pub fn head(base: &'a TripleStore) -> StoreView<'a> {
+        StoreView {
+            base,
+            novelty: None,
+        }
+    }
+
+    /// A historical view through `novelty`.
+    pub fn with_novelty(base: &'a TripleStore, novelty: &'a Novelty) -> StoreView<'a> {
+        StoreView {
+            base,
+            novelty: Some(novelty),
+        }
+    }
+
+    /// The shared term dictionary (ids are append-only, so overlay
+    /// triples resolve through the same dictionary as base triples).
+    pub fn dict(&self) -> &'a Dictionary {
+        &self.base.dict
+    }
+
+    /// The base store's index mode.
+    pub fn mode(&self) -> IndexMode {
+        self.base.mode()
+    }
+
+    /// Triples visible through the view.
+    pub fn len(&self) -> usize {
+        match self.novelty {
+            None => self.base.len(),
+            Some(n) => self.base.len() - n.hide.len() + n.add.len(),
+        }
+    }
+
+    /// True when the view holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test on pre-interned ids, through the overlay.
+    pub fn contains_ids(&self, s: u64, p: u64, o: u64) -> bool {
+        match self.novelty {
+            None => self.base.contains_ids(s, p, o),
+            Some(n) => {
+                if n.hide.contains(&(s, p, o)) {
+                    false
+                } else {
+                    self.base.contains_ids(s, p, o) || n.add.binary_search(&(s, p, o)).is_ok()
+                }
+            }
+        }
+    }
+
+    /// The decoded value of an object id.
+    pub fn value_of(&self, id: u64) -> &'a Value {
+        self.base.dict.value(id)
+    }
+
+    /// Estimated result count of a pattern. Overlay adds are counted in
+    /// (hidden triples are not subtracted — estimates only drive join
+    /// ordering, where a superset is safe).
+    pub fn estimate(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> usize {
+        let base = self.base.estimate(s, p, o);
+        match self.novelty {
+            None => base,
+            Some(n) => {
+                base + n
+                    .add
+                    .iter()
+                    .filter(|&&t| pattern_matches(t, s, p, o))
+                    .count()
+            }
+        }
+    }
+
+    /// Geometry-literal ids whose envelope intersects `query`, including
+    /// overlay objects — candidate sets are used by the executor to
+    /// *reject* bindings outside them, so a view that resurrects a
+    /// deleted geometry must surface its id here or the row would be
+    /// silently dropped. Stale base entries stay (superset semantics).
+    pub fn spatial_candidates(&self, query: &Envelope) -> Option<Vec<u64>> {
+        let mut out = self.base.spatial_candidates(query)?;
+        if let Some(n) = self.novelty {
+            for &(_, _, o) in &n.add {
+                if let Some(env) = self.base.dict.envelope_of(o) {
+                    if env.intersects(query) {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// All view triples matching a pattern; the callback returns `false`
+    /// to stop early. See [`StoreView`] for the enumeration order.
+    pub fn match_pattern<F: FnMut(IdTriple) -> bool>(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        f: &mut F,
+    ) {
+        let mut cursor = ViewCursor::default();
+        self.match_pattern_from(s, p, o, &mut cursor, f);
+    }
+
+    /// Resumable form of [`StoreView::match_pattern`], mirroring
+    /// [`TripleStore::match_pattern_from`]: a `false` return pauses, the
+    /// cursor resumes strictly after the last delivered triple.
+    pub fn match_pattern_from<F: FnMut(IdTriple) -> bool>(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        cursor: &mut ViewCursor,
+        f: &mut F,
+    ) {
+        if cursor.done {
+            return;
+        }
+        let Some(n) = self.novelty else {
+            self.base.match_pattern_from(s, p, o, &mut cursor.base, f);
+            cursor.done = cursor.base.is_done();
+            return;
+        };
+        if !cursor.base.is_done() {
+            let mut paused = false;
+            self.base.match_pattern_from(s, p, o, &mut cursor.base, &mut |t| {
+                if n.hide.contains(&t) {
+                    return true;
+                }
+                let more = f(t);
+                if !more {
+                    paused = true;
+                }
+                more
+            });
+            if paused {
+                return; // the base cursor holds the resume point
+            }
+        }
+        while cursor.add_pos < n.add.len() {
+            let t = n.add[cursor.add_pos];
+            cursor.add_pos += 1;
+            if pattern_matches(t, s, p, o) && !f(t) {
+                return;
+            }
+        }
+        cursor.done = true;
+    }
+
+    /// Every view triple as ids, sorted SPO — the canonical content
+    /// comparison the as-of identity tests use.
+    pub fn id_triples_sorted(&self) -> Vec<IdTriple> {
+        let mut out: Vec<IdTriple> = match self.novelty {
+            None => self.base.id_triples().to_vec(),
+            Some(n) => self
+                .base
+                .id_triples()
+                .iter()
+                .filter(|t| !n.hide.contains(t))
+                .copied()
+                .chain(n.add.iter().copied())
+                .collect(),
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Pause/resume state for [`StoreView::match_pattern_from`]: the base
+/// store's cursor plus a position into the overlay's adds.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCursor {
+    base: PatternCursor,
+    add_pos: usize,
+    done: bool,
+}
+
+impl ViewCursor {
+    /// True once the view's matches are exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -815,5 +1079,145 @@ mod tests {
         assert!(all
             .iter()
             .any(|(s, p, o)| *s == &t("a") && *p == &t("age") && *o == &Term::integer(30)));
+    }
+
+    /// A store plus a novelty that hides (a knows c) and adds back a
+    /// deleted triple (d knows a) — the view should look exactly like
+    /// the store did before those two changes.
+    fn view_fixture(mode: IndexMode) -> (TripleStore, Novelty) {
+        let mut st = store(mode);
+        // Intern the resurrected triple's terms, then remove it so the
+        // base doesn't contain it (mirrors what Store::as_of does).
+        st.insert(&t("d"), &t("knows"), &t("a"));
+        let d = st.dict.id_of(&t("d")).unwrap();
+        let knows = st.dict.id_of(&t("knows")).unwrap();
+        let a = st.dict.id_of(&t("a")).unwrap();
+        let c = st.dict.id_of(&t("c")).unwrap();
+        assert!(st.remove_ids(d, knows, a));
+        let hide: std::collections::HashSet<IdTriple> = [(a, knows, c)].into_iter().collect();
+        let nov = Novelty::new(hide, vec![(d, knows, a)]);
+        (st, nov)
+    }
+
+    fn view_collect(
+        view: StoreView<'_>,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+    ) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        view.match_pattern(s, p, o, &mut |t| {
+            out.push(t);
+            true
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn view_overlays_hide_and_add_in_both_modes() {
+        for mode in [IndexMode::Full, IndexMode::Scan] {
+            let (st, nov) = view_fixture(mode);
+            let view = StoreView::with_novelty(&st, &nov);
+            let a = st.dict.id_of(&t("a")).unwrap();
+            let c = st.dict.id_of(&t("c")).unwrap();
+            let d = st.dict.id_of(&t("d")).unwrap();
+            let knows = st.dict.id_of(&t("knows")).unwrap();
+            assert_eq!(view.len(), st.len()); // one hidden, one added
+            assert!(!view.contains_ids(a, knows, c), "hidden triple visible");
+            assert!(view.contains_ids(d, knows, a), "added triple missing");
+            assert!(st.contains_ids(a, knows, c) && !st.contains_ids(d, knows, a));
+            // Every pattern shape agrees with a materialised reference.
+            let reference: Vec<IdTriple> = {
+                let mut v: Vec<IdTriple> = st
+                    .id_triples()
+                    .iter()
+                    .copied()
+                    .filter(|&tr| tr != (a, knows, c))
+                    .collect();
+                v.push((d, knows, a));
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(view.id_triples_sorted(), reference);
+            for (s, p, o) in [
+                (None, None, None),
+                (Some(a), None, None),
+                (Some(d), Some(knows), None),
+                (None, Some(knows), None),
+                (None, Some(knows), Some(a)),
+                (None, None, Some(c)),
+                (Some(d), Some(knows), Some(a)),
+                (Some(a), Some(knows), Some(c)),
+            ] {
+                let got = view_collect(view, s, p, o);
+                let want: Vec<IdTriple> = reference
+                    .iter()
+                    .copied()
+                    .filter(|&tr| pattern_matches(tr, s, p, o))
+                    .collect();
+                assert_eq!(got, want, "pattern {s:?} {p:?} {o:?} in {mode:?}");
+                assert!(
+                    view.estimate(s, p, o) >= want.len(),
+                    "estimate must not undercount"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_cursor_resumes_across_base_and_overlay() {
+        let (st, nov) = view_fixture(IndexMode::Full);
+        let view = StoreView::with_novelty(&st, &nov);
+        let knows = st.dict.id_of(&t("knows")).unwrap();
+        let all = view_collect(view, None, Some(knows), None);
+        // Pause after every delivery; resumed enumeration must be
+        // identical (as a set) with no duplicates.
+        let mut cursor = ViewCursor::default();
+        let mut got = Vec::new();
+        while !cursor.is_done() {
+            view.match_pattern_from(None, Some(knows), None, &mut cursor, &mut |tr| {
+                got.push(tr);
+                false
+            });
+        }
+        got.sort_unstable();
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn head_view_is_transparent() {
+        let st = store(IndexMode::Full);
+        let view = StoreView::from(&st);
+        assert_eq!(view.len(), st.len());
+        assert_eq!(
+            view.id_triples_sorted(),
+            {
+                let mut v = st.id_triples().to_vec();
+                v.sort_unstable();
+                v
+            },
+            "head view enumerates the store itself"
+        );
+    }
+
+    #[test]
+    fn view_spatial_candidates_include_resurrected_geometries() {
+        let mut st = TripleStore::new(IndexMode::Full);
+        let wkt_near = Term::wkt("POINT (1 1)");
+        let wkt_far = Term::wkt("POINT (50 50)");
+        st.insert(&t("x"), &t("hasGeometry"), &wkt_near);
+        st.insert(&t("y"), &t("hasGeometry"), &wkt_far);
+        let x = st.dict.id_of(&t("x")).unwrap();
+        let geom = st.dict.id_of(&t("hasGeometry")).unwrap();
+        let near = st.dict.id_of(&wkt_near).unwrap();
+        // Delete the near geometry, then resurrect it through a view.
+        assert!(st.remove_ids(x, geom, near));
+        st.build_spatial_index();
+        let nov = Novelty::new(Default::default(), vec![(x, geom, near)]);
+        let view = StoreView::with_novelty(&st, &nov);
+        let query = Envelope::new(0.0, 0.0, 2.0, 2.0);
+        let cands = view.spatial_candidates(&query).expect("full mode prunes");
+        assert!(cands.contains(&near), "overlay geometry must be a candidate");
     }
 }

@@ -102,6 +102,7 @@ fn instantiate(
         order_by: None,
         limit: None,
         offset: None,
+        as_of: None,
     };
     let sols = crate::exec::execute(store, &q)?;
     let col_of = |name: &str| sols.vars.iter().position(|v| v == name);

@@ -57,6 +57,11 @@ struct Node {
     /// removal, so stale expiry-queue entries referring to an earlier
     /// occupant of the slot are recognised and skipped.
     generation: u64,
+    /// Pinned entries never expire and survive [`Shard::sweep_unpinned`]
+    /// — used for responses keyed by an immutable commit id, which stay
+    /// correct forever. They remain LRU-evictable: pinning is about
+    /// invalidation semantics, not a memory guarantee.
+    pinned: bool,
     prev: usize,
     next: usize,
 }
@@ -144,7 +149,7 @@ impl Shard {
 
     fn get(&mut self, key: &str, now: Instant) -> Option<Arc<CachedBody>> {
         let idx = *self.map.get(key)?;
-        if self.nodes[idx].expires <= now {
+        if !self.nodes[idx].pinned && self.nodes[idx].expires <= now {
             self.remove_index(idx);
             return None;
         }
@@ -165,16 +170,36 @@ impl Shard {
         n
     }
 
-    fn put(&mut self, key: String, value: Arc<CachedBody>, expires: Instant) {
+    /// Drop every non-pinned entry, returning how many were dropped.
+    /// The write path sweeps with this so commit-id-pinned versioned
+    /// responses — which can never go stale — survive updates.
+    fn sweep_unpinned(&mut self) -> usize {
+        let victims: Vec<usize> = self
+            .map
+            .values()
+            .copied()
+            .filter(|&idx| !self.nodes[idx].pinned)
+            .collect();
+        let n = victims.len();
+        for idx in victims {
+            self.remove_index(idx);
+        }
+        n
+    }
+
+    fn put(&mut self, key: String, value: Arc<CachedBody>, expires: Instant, pinned: bool) {
         self.sweep_expired(Instant::now());
         if let Some(&idx) = self.map.get(&key) {
             let generation = self.nodes[idx].generation + 1;
             self.nodes[idx].value = value;
             self.nodes[idx].expires = expires;
             self.nodes[idx].generation = generation;
+            self.nodes[idx].pinned = pinned;
             self.unlink(idx);
             self.push_front(idx);
-            self.expiry.push_back((expires, idx, generation));
+            if !pinned {
+                self.expiry.push_back((expires, idx, generation));
+            }
             return;
         }
         if self.map.len() >= self.capacity {
@@ -192,6 +217,7 @@ impl Shard {
                     value,
                     expires,
                     generation,
+                    pinned,
                     prev: NIL,
                     next: NIL,
                 };
@@ -203,6 +229,7 @@ impl Shard {
                     value,
                     expires,
                     generation: 0,
+                    pinned,
                     prev: NIL,
                     next: NIL,
                 });
@@ -211,7 +238,9 @@ impl Shard {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
-        self.expiry.push_back((expires, idx, self.nodes[idx].generation));
+        if !pinned {
+            self.expiry.push_back((expires, idx, self.nodes[idx].generation));
+        }
     }
 }
 
@@ -288,19 +317,50 @@ impl ShardedLru {
         self.shard(&key)
             .lock()
             .expect("cache shard poisoned")
-            .put(key, value, expires);
+            .put(key, value, expires, false);
+        true
+    }
+
+    /// Insert (or refresh) a key as **pinned**: no TTL, and the entry
+    /// survives [`sweep_unpinned`](ShardedLru::sweep_unpinned). For
+    /// responses keyed by an immutable commit id (`?asOf=` reads), which
+    /// can never go stale — only LRU pressure evicts them. Returns
+    /// `false` when the body exceeds the per-entry byte cap.
+    pub fn put_pinned(&self, key: String, value: Arc<CachedBody>) -> bool {
+        if value.body.len() > self.max_entry_bytes {
+            return false;
+        }
+        // The expiry instant is ignored for pinned entries; any value do.
+        let expires = Instant::now();
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .put(key, value, expires, true);
         true
     }
 
     /// Drop every entry across all shards, returning how many were
-    /// held. Used by the write path: a committed update invalidates the
-    /// whole response cache in one sweep (generation-stamped keys
-    /// already make stale entries unreachable; clearing also reclaims
-    /// their memory immediately and feeds the invalidation counter).
+    /// held. Test/teardown helper; the write path uses
+    /// [`sweep_unpinned`](ShardedLru::sweep_unpinned) so versioned
+    /// responses survive commits.
     pub fn clear(&self) -> usize {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").clear())
+            .sum()
+    }
+
+    /// Drop every non-pinned entry across all shards, returning how
+    /// many were dropped. Used by the write path: a committed update
+    /// invalidates all head-of-store responses in one sweep
+    /// (commit-stamped keys already make stale entries unreachable;
+    /// sweeping also reclaims their memory immediately and feeds the
+    /// invalidation counter), while commit-id-pinned versioned
+    /// responses stay valid forever and are kept.
+    pub fn sweep_unpinned(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").sweep_unpinned())
             .sum()
     }
 
@@ -459,6 +519,29 @@ mod tests {
         // Recent keys are present with their latest values.
         let v = c.get("k39").expect("most recent key cached");
         assert_eq!(v.body, b"r49v39");
+    }
+
+    #[test]
+    fn pinned_entries_survive_sweep_and_never_expire() {
+        let c = ShardedLru::new(1, 8, Duration::from_millis(30));
+        assert!(c.put_pinned("v1".into(), body("versioned")));
+        c.put("head".into(), body("h"));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(c.get("v1").unwrap().body, b"versioned", "no TTL on pinned");
+        assert!(c.get("head").is_none(), "unpinned entry expired");
+        c.put("head2".into(), body("h2"));
+        assert_eq!(c.sweep_unpinned(), 1, "only the unpinned entry swept");
+        assert_eq!(c.get("v1").unwrap().body, b"versioned");
+        assert!(c.get("head2").is_none());
+        // Pinned entries are still LRU-evictable under pressure.
+        let small = ShardedLru::new(1, 2, Duration::from_secs(60));
+        small.put_pinned("a".into(), body("1"));
+        small.put("b".into(), body("2"));
+        small.put("c".into(), body("3"));
+        assert!(small.get("a").is_none(), "pinned but least-recent: evicted");
+        // clear() still drops pinned entries (teardown semantics).
+        assert_eq!(c.clear(), 1);
+        assert!(c.get("v1").is_none());
     }
 
     #[test]

@@ -21,9 +21,17 @@
 //! the server runs `--writable`, 400 on a parse error.
 //!
 //! Tile and query responses carry a strong `etag` that mixes in the
-//! store **generation**, so a committed update invalidates every
-//! client-held validator in one counter bump; the server layer answers
-//! `If-None-Match` revalidations with 304.
+//! store's **head commit id** — a hash-chained name for the entire
+//! history, so equal tags provably mean byte-identical stores — and a
+//! committed update rolls every client-held validator at once; the
+//! server layer answers `If-None-Match` revalidations with 304.
+//!
+//! `/query`, `/tiles` and `/ice` additionally accept `?asOf=<hexid>`
+//! (and `/query` the SPARQL `AS OF <hexid>` clause): the response is
+//! computed against the store as of that commit, its ETag embeds the
+//! requested id, and — because a commit id is immutable — the response
+//! is cached **pinned** (no TTL, survives the post-commit sweep).
+//! Unknown ids 404, malformed ones 400.
 //!
 //! (`/metrics` is answered by the server itself, which owns the metrics
 //! and cache objects.)
@@ -73,12 +81,18 @@ pub fn classify(path: &str) -> Route {
 /// metrics and debug endpoints always reflect live state (they never
 /// get a key, so they bypass the generation stamping below entirely).
 ///
-/// Keys for the store-derived routes (`/query`, `/tiles`) embed the
-/// store `generation`: an entry cached under generation G can never be
-/// served once a commit moves the store to G+1, because every later
-/// lookup uses a different key. Catalogue and ice responses are not
-/// store-derived, so they stay on pure TTL freshness.
-pub fn cache_key(req: &Request, generation: u64) -> Option<String> {
+/// Keys for the store-derived routes (`/query`, `/tiles`) embed a
+/// **commit id** — the requested `?asOf=` id when present, else the
+/// head `commit`: an entry cached at head H can never be served once a
+/// commit moves the head, because every later lookup uses a different
+/// key, while a versioned entry's key never changes (its id names an
+/// immutable history — the server pins such entries past TTL and
+/// sweeps). `/catalogue/search` keys embed the ranked-index
+/// `search_generation` instead, so a committed `searchText` document
+/// can never be shadowed by a stale cached ranking. Ice responses are
+/// not store-derived and stay on pure TTL freshness — unless pinned to
+/// a commit by `?asOf=`.
+pub fn cache_key(req: &Request, commit: u64, search_generation: u64) -> Option<String> {
     if req.method != "GET" {
         return None;
     }
@@ -89,14 +103,59 @@ pub fn cache_key(req: &Request, generation: u64) -> Option<String> {
             params.sort_by(|a, b| a.0.cmp(&b.0));
             let canon: Vec<String> =
                 params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let as_of = as_of_param(req).ok().flatten();
             let stamp = match route {
-                Route::Query | Route::Tiles => format!("|g{generation}"),
-                _ => String::new(),
+                Route::Query | Route::Tiles => {
+                    format!("|c{:016x}", as_of.unwrap_or(commit))
+                }
+                Route::Catalogue => format!("|s{search_generation}"),
+                _ => match as_of {
+                    Some(id) => format!("|c{id:016x}"),
+                    None => String::new(),
+                },
             };
             Some(format!("GET|{}|{}{stamp}", req.path, canon.join("&")))
         }
         _ => None,
     }
+}
+
+/// The `?asOf=` commit id of a request: `Ok(None)` when absent,
+/// `Err(400)` when present but not valid hex. Whether the id names a
+/// real commit is checked later, against the store's history.
+pub(crate) fn as_of_param(req: &Request) -> Result<Option<u64>, Response> {
+    match req.param("asOf") {
+        None => Ok(None),
+        Some(v) => u64::from_str_radix(v, 16).map(Some).map_err(|_| {
+            Response::error(
+                400,
+                "asOf must be a hex commit id (as reported by x-commit)",
+            )
+        }),
+    }
+}
+
+/// Whether this request is a versioned (`?asOf=`) read of a cacheable
+/// route. The server caches such responses **pinned**: their key embeds
+/// an immutable commit id, so they never go stale — no TTL, and they
+/// survive the post-commit sweep.
+pub fn versioned_read(req: &Request) -> bool {
+    matches!(as_of_param(req), Ok(Some(_)))
+        && matches!(classify(&req.path), Route::Query | Route::Tiles | Route::Ice)
+}
+
+/// Cheap pre-parse scan for the `AS OF` clause (case-insensitive token
+/// pair). False positives only cost one real parse, never a wrong
+/// route.
+pub(crate) fn mentions_as_of(sparql: &str) -> bool {
+    let mut prev_was_as = false;
+    for tok in sparql.split_whitespace() {
+        if prev_was_as && tok.eq_ignore_ascii_case("OF") {
+            return true;
+        }
+        prev_was_as = tok.eq_ignore_ascii_case("AS");
+    }
+    false
 }
 
 /// Dispatch a request to its handler. Takes the shared `Arc` so streamed
@@ -132,7 +191,7 @@ pub fn dispatch(
     match segs.as_slice() {
         ["query"] => Outcome::Ready(handle_query(state, req)),
         ["catalogue", "search"] => Outcome::Ready(handle_catalogue(state, req)),
-        ["tiles", level, row, col] => Outcome::Ready(handle_tile(state, level, row, col)),
+        ["tiles", level, row, col] => Outcome::Ready(handle_tile(state, req, level, row, col)),
         ["ice", region] => Outcome::Ready(handle_ice(state, req, region)),
         ["healthz"] => Outcome::Ready(handle_healthz(state)),
         ["debug", "sleep"] if debug_routes => debug_sleep(req, deadline),
@@ -146,7 +205,7 @@ pub fn dispatch(
 /// (selection window, E2 shape); `limit` caps materialised rows.
 fn handle_query(state: &Arc<AppState>, req: &Request) -> Response {
     match crate::shard::query_of(req) {
-        Ok((sparql, limit)) => run_query(state, &sparql, limit),
+        Ok((sparql, limit)) => run_query(state, req, &sparql, limit),
         Err(resp) => resp,
     }
 }
@@ -155,7 +214,7 @@ fn handle_query(state: &Arc<AppState>, req: &Request) -> Response {
 /// through the same prepared-plan path as GET.
 fn handle_query_post(state: &Arc<AppState>, req: &Request) -> Response {
     match crate::shard::query_of(req) {
-        Ok((sparql, limit)) => run_query(state, &sparql, limit),
+        Ok((sparql, limit)) => run_query(state, req, &sparql, limit),
         Err(resp) => resp,
     }
 }
@@ -200,17 +259,74 @@ fn handle_update(state: &Arc<AppState>, req: &Request) -> Response {
 /// large result hit the wire before the last row exists. The `count`
 /// field counts **all** result rows (`rows` is capped at `limit`) and is
 /// emitted last — its value is only known once the stream has drained.
-fn run_query(state: &Arc<AppState>, sparql: &str, limit: usize) -> Response {
+///
+/// A versioned read — `?asOf=` or the SPARQL `AS OF <hexid>` clause —
+/// takes the collect path instead: the whole answer is computed against
+/// a [`ee_rdf::store::StoreView`] under one store guard (snapshot
+/// consistency beats streaming for historical reads), its plan is built
+/// fresh per view (never cached), and the ETag embeds the requested
+/// commit id rather than the head.
+fn run_query(state: &Arc<AppState>, req: &Request, sparql: &str, limit: usize) -> Response {
     state.maybe_inject_slowdown();
+    let param = match as_of_param(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let clause = if mentions_as_of(sparql) {
+        match ee_rdf::parser::parse_query(sparql) {
+            Ok(q) => q.as_of,
+            Err(e) => return Response::error(400, &format!("query failed: {e}")),
+        }
+    } else {
+        None
+    };
+    let as_of = match (param, clause) {
+        (Some(a), Some(b)) if a != b => {
+            return Response::error(400, "asOf= and AS OF name different commit ids")
+        }
+        (a, b) => a.or(b),
+    };
+    let canon = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
+    if let Some(commit) = as_of {
+        // Resolve the overlay *before* any read guard is taken — a miss
+        // rewinds under the exclusive lock.
+        let Some(novelty) = state.novelty_for(commit) else {
+            return Response::error(404, &format!("unknown commit id {commit:016x}"));
+        };
+        return match state.versioned_query(sparql, &novelty) {
+            Ok(sols) => {
+                let total = sols.rows.len();
+                let rows: Vec<Json> = sols
+                    .rows
+                    .iter()
+                    .take(limit)
+                    .map(|row| Json::Arr(row.iter().map(|t| term_json(t.as_ref())).collect()))
+                    .collect();
+                let body = Json::obj(vec![
+                    (
+                        "vars",
+                        Json::Arr(sols.vars.iter().map(|v| Json::Str(v.clone())).collect()),
+                    ),
+                    ("rows", Json::Arr(rows)),
+                    ("count", Json::Num(total as f64)),
+                ]);
+                let etag = etag_of(format!("query|{canon}|{limit}|c{commit:016x}").as_bytes());
+                Response::json(200, &body)
+                    .with_header("etag", etag)
+                    .with_header("x-commit", format!("{commit:016x}"))
+            }
+            Err(e) => Response::error(400, &format!("query failed: {e}")),
+        };
+    }
+    let head = state.head_commit();
     match state.prepared_query_stream(sparql) {
         Ok(core) => {
             // Strong validator without buffering the (streamed) body:
             // the result is a function of the canonical query text, the
-            // row cap, and the store generation — so the tag is
-            // computable up front and flips on every committed update.
-            let canon = sparql.split_whitespace().collect::<Vec<_>>().join(" ");
-            let etag =
-                etag_of(format!("query|{canon}|{limit}|g{}", state.generation()).as_bytes());
+            // row cap, and the head commit id — computable up front, and
+            // provably stable while the head doesn't move (equal commit
+            // ids mean byte-identical stores, via the hash chain).
+            let etag = etag_of(format!("query|{canon}|{limit}|c{head:016x}").as_bytes());
             Response::streamed(
                 200,
                 "application/json",
@@ -225,6 +341,7 @@ fn run_query(state: &Arc<AppState>, sparql: &str, limit: usize) -> Response {
                 }),
             )
             .with_header("etag", etag)
+            .with_header("x-commit", format!("{head:016x}"))
         }
         Err(e) => Response::error(400, &format!("query failed: {e}")),
     }
@@ -435,7 +552,17 @@ fn catalogue_by_mode(state: &AppState, req: &Request, mode: &str) -> Response {
 /// encode passes trade CPU for never holding the body; revalidations
 /// that end in 304 skip the payload pass entirely). Grid geometry comes
 /// back in `x-tile-*` headers.
-fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response {
+fn handle_tile(state: &AppState, req: &Request, level: &str, row: &str, col: &str) -> Response {
+    let commit = match as_of_param(req) {
+        Ok(None) => state.head_commit(),
+        Ok(Some(id)) => {
+            if !state.commit_known(id) {
+                return Response::error(404, &format!("unknown commit id {id:016x}"));
+            }
+            id
+        }
+        Err(resp) => return resp,
+    };
     let (Ok(level), Ok(row), Ok(col)) = (
         level.parse::<usize>(),
         row.parse::<usize>(),
@@ -458,11 +585,12 @@ fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response 
     let h = ts.min(raster.rows() - row0);
     let window = raster.window(col0, row0, w, h).expect("bounds checked");
     // Hash pass: stream the encoding through the FNV sink (no buffer).
-    // The store generation seeds the hash so every committed update
-    // rolls all tile validators at once, matching the
-    // generation-stamped cache keys.
+    // The commit id (requested `asOf` or the head) seeds the hash so
+    // every committed update rolls all tile validators at once, matching
+    // the commit-stamped cache keys — while a versioned tile's validator
+    // is pinned to its immutable id forever.
     let mut sink = FnvSink::new();
-    sink.update(&state.generation().to_le_bytes());
+    sink.update(&commit.to_le_bytes());
     ee_raster::codec::encode_into(&window, &mut sink).expect("hash sink cannot fail");
     let etag = sink.etag();
     Response::streamed(
@@ -473,6 +601,7 @@ fn handle_tile(state: &AppState, level: &str, row: &str, col: &str) -> Response 
     .with_header("x-tile-cols", w.to_string())
     .with_header("x-tile-rows", h.to_string())
     .with_header("x-pyramid-levels", state.pyramid.len().to_string())
+    .with_header("x-commit", format!("{commit:016x}"))
     .with_header("etag", etag)
 }
 
@@ -552,8 +681,20 @@ pub fn if_none_match_matches(header: &str, etag: &str) -> bool {
 /// `/ice/{region}` — the PCDSS product bundle for a region, encoded
 /// within `?budget=` bytes (default 1 MB). The body concatenates the
 /// three length-prefixed codec segments (concentration, stage, leads) in
-/// the order PCDSS ships them.
+/// the order PCDSS ships them. The strong ETag hashes the body; a
+/// `?asOf=` request additionally seeds it with the (validated) commit
+/// id, so versioned ice responses revalidate and cache-pin like every
+/// other versioned read.
 fn handle_ice(state: &AppState, req: &Request, region: &str) -> Response {
+    let as_of = match as_of_param(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Some(id) = as_of {
+        if !state.commit_known(id) {
+            return Response::error(404, &format!("unknown commit id {id:016x}"));
+        }
+    }
     let Some(products) = state.ice_region(region) else {
         return Response::error(
             404,
@@ -568,9 +709,19 @@ fn handle_ice(state: &AppState, req: &Request, region: &str) -> Response {
                 body.extend_from_slice(&(seg.len() as u32).to_le_bytes());
                 body.extend_from_slice(seg);
             }
-            Response::octets(200, body)
+            let mut sink = FnvSink::new();
+            if let Some(id) = as_of {
+                sink.update(&id.to_le_bytes());
+            }
+            sink.update(&body);
+            let mut resp = Response::octets(200, body)
                 .with_header("x-downsample", bundle.downsample.to_string())
                 .with_header("x-bundle-bytes", bundle.bytes().to_string())
+                .with_header("etag", sink.etag());
+            if let Some(id) = as_of {
+                resp = resp.with_header("x-commit", format!("{id:016x}"));
+            }
+            resp
         }
         Err(e) => Response::error(400, &format!("budget unsatisfiable: {e}")),
     }
@@ -585,6 +736,7 @@ fn handle_healthz(state: &AppState) -> Response {
         ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
         ("writable", Json::Bool(state.writable)),
         ("generation", Json::Num(state.generation() as f64)),
+        ("commit", Json::Str(format!("{:016x}", state.head_commit()))),
         ("points", Json::Num(state.store().len() as f64)),
         ("products", Json::Num(state.classic.len() as f64)),
         ("pyramid_levels", Json::Num(state.pyramid.len() as f64)),
@@ -703,32 +855,66 @@ mod tests {
 
     #[test]
     fn cache_key_canonicalises_query_order() {
-        let a = cache_key(&get("/query?x0=1&y0=2"), 0).unwrap();
-        let b = cache_key(&get("/query?y0=2&x0=1"), 0).unwrap();
+        let a = cache_key(&get("/query?x0=1&y0=2"), 0, 0).unwrap();
+        let b = cache_key(&get("/query?y0=2&x0=1"), 0, 0).unwrap();
         assert_eq!(a, b);
-        assert_ne!(a, cache_key(&get("/query?x0=1&y0=3"), 0).unwrap());
-        assert!(cache_key(&get("/healthz"), 0).is_none());
-        assert!(cache_key(&get("/metrics"), 0).is_none());
+        assert_ne!(a, cache_key(&get("/query?x0=1&y0=3"), 0, 0).unwrap());
+        assert!(cache_key(&get("/healthz"), 0, 0).is_none());
+        assert!(cache_key(&get("/metrics"), 0, 0).is_none());
         let mut post = get("/query?x0=1");
         post.method = "POST".into();
-        assert!(cache_key(&post, 0).is_none());
+        assert!(cache_key(&post, 0, 0).is_none());
     }
 
     #[test]
-    fn cache_key_stamps_store_derived_routes_with_generation() {
-        // Store-derived routes change key when the generation moves…
+    fn cache_key_stamps_store_derived_routes_with_commit_id() {
+        // Store-derived routes change key when the head commit moves…
         for target in ["/query?x0=1&y0=2", "/tiles/0/0/0"] {
-            let g0 = cache_key(&get(target), 0).unwrap();
-            let g1 = cache_key(&get(target), 1).unwrap();
-            assert_ne!(g0, g1, "{target} must be generation-stamped");
+            let c0 = cache_key(&get(target), 7, 0).unwrap();
+            let c1 = cache_key(&get(target), 8, 0).unwrap();
+            assert_ne!(c0, c1, "{target} must be commit-stamped");
         }
-        // …while catalogue and ice stay on TTL freshness (their data is
-        // not derived from the mutable store).
-        for target in ["/catalogue/search?minx=1", "/ice/fram-strait"] {
-            let g0 = cache_key(&get(target), 0).unwrap();
-            let g1 = cache_key(&get(target), 1).unwrap();
-            assert_eq!(g0, g1, "{target} must not depend on the generation");
+        // …catalogue keys follow the ranked-index generation (not the
+        // store commit — a searchText commit must never be shadowed by a
+        // stale cached ranking)…
+        let cat = "/catalogue/search?minx=1";
+        assert_eq!(
+            cache_key(&get(cat), 7, 3).unwrap(),
+            cache_key(&get(cat), 8, 3).unwrap(),
+            "catalogue keys ignore the store commit"
+        );
+        assert_ne!(
+            cache_key(&get(cat), 7, 3).unwrap(),
+            cache_key(&get(cat), 7, 4).unwrap(),
+            "catalogue keys follow the search generation"
+        );
+        // …and ice stays on TTL freshness (not store-derived).
+        assert_eq!(
+            cache_key(&get("/ice/fram-strait"), 7, 0).unwrap(),
+            cache_key(&get("/ice/fram-strait"), 8, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_key_pins_versioned_reads_to_their_commit_id() {
+        // An `asOf` key embeds the requested id, not the moving head —
+        // so the entry stays addressable across commits and can be
+        // pinned.
+        for target in [
+            "/query?x0=1&asOf=00000000000000ab",
+            "/tiles/0/0/0?asOf=00000000000000ab",
+            "/ice/fram-strait?asOf=00000000000000ab",
+        ] {
+            let k7 = cache_key(&get(target), 7, 0).unwrap();
+            let k8 = cache_key(&get(target), 8, 0).unwrap();
+            assert_eq!(k7, k8, "{target} key must not follow the head");
+            assert!(k7.ends_with("|c00000000000000ab"), "got {k7}");
+            assert!(versioned_read(&get(target)), "{target}");
         }
+        assert!(!versioned_read(&get("/query?x0=1")));
+        assert!(!versioned_read(&get("/catalogue/search?asOf=ab")));
+        // Malformed hex: not a versioned read (the handler 400s).
+        assert!(!versioned_read(&get("/query?asOf=zzz")));
     }
 
     fn post(target: &str, body: &str) -> Request {
@@ -833,6 +1019,99 @@ mod tests {
         let t1 = ready(dispatch(&s, &get("/tiles/0/0/0"), far_deadline(), false));
         assert_ne!(tag(&q0), tag(&q1), "query etag rolls on commit");
         assert_ne!(tag(&t0), tag(&t1), "tile etag rolls on commit");
+    }
+
+    #[test]
+    fn as_of_queries_read_historical_commits() {
+        let mut s = AppState::build(DataConfig::tiny());
+        s.writable = true;
+        let s = Arc::new(s);
+        let header = |r: &Response, name: &str| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        let count_of = |r: Response| {
+            ee_util::json::parse(std::str::from_utf8(&body_of(r)).unwrap())
+                .unwrap()
+                .get("count")
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        ready(dispatch(
+            &s,
+            &post("/update", "INSERT DATA { <http://e/v> <http://e/p> \"v1\" }"),
+            far_deadline(),
+            false,
+        ));
+        let c1 = s.head_commit();
+        ready(dispatch(
+            &s,
+            &post("/update", "INSERT DATA { <http://e/v> <http://e/p> \"v2\" }"),
+            far_deadline(),
+            false,
+        ));
+        assert_ne!(c1, s.head_commit());
+        let q = "SELECT ?o WHERE { <http://e/v> <http://e/p> ?o }".replace(' ', "%20");
+        // Head sees both versions, the pinned read sees only v1.
+        let head = ready(dispatch(&s, &get(&format!("/query?sparql={q}")), far_deadline(), false));
+        assert_eq!(
+            header(&head, "x-commit").as_deref(),
+            Some(format!("{:016x}", s.head_commit()).as_str())
+        );
+        assert_eq!(count_of(head), 2.0);
+        let pinned = ready(dispatch(
+            &s,
+            &get(&format!("/query?sparql={q}&asOf={c1:016x}")),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(pinned.status, 200);
+        assert_eq!(header(&pinned, "x-commit").as_deref(), Some(format!("{c1:016x}").as_str()));
+        assert!(header(&pinned, "etag").is_some());
+        assert_eq!(count_of(pinned), 1.0);
+        // The SPARQL `AS OF` clause names the same view.
+        let clause = format!(
+            "SELECT ?o WHERE {{ <http://e/v> <http://e/p> ?o }} AS OF <{c1:016x}>"
+        )
+        .replace(' ', "%20");
+        let via_clause = ready(dispatch(&s, &get(&format!("/query?sparql={clause}")), far_deadline(), false));
+        assert_eq!(via_clause.status, 200);
+        assert_eq!(count_of(via_clause), 1.0);
+        // Param/clause conflict, malformed hex, and unknown ids fail loudly.
+        let conflict = ready(dispatch(
+            &s,
+            &get(&format!("/query?sparql={clause}&asOf={:016x}", s.head_commit())),
+            far_deadline(),
+            false,
+        ));
+        assert_eq!(conflict.status, 400);
+        assert_eq!(
+            ready(dispatch(&s, &get(&format!("/query?sparql={q}&asOf=zz")), far_deadline(), false)).status,
+            400
+        );
+        assert_eq!(
+            ready(dispatch(
+                &s,
+                &get(&format!("/query?sparql={q}&asOf=00000000000000ff")),
+                far_deadline(),
+                false,
+            ))
+            .status,
+            404
+        );
+        // Tiles and ice accept the same pin: stable bytes + commit echo.
+        let t = ready(dispatch(&s, &get(&format!("/tiles/0/0/0?asOf={c1:016x}")), far_deadline(), false));
+        assert_eq!(t.status, 200);
+        assert_eq!(header(&t, "x-commit").as_deref(), Some(format!("{c1:016x}").as_str()));
+        assert_eq!(
+            ready(dispatch(&s, &get("/tiles/0/0/0?asOf=00000000000000ff"), far_deadline(), false)).status,
+            404
+        );
+        let ice = ready(dispatch(&s, &get(&format!("/ice/fram-strait?asOf={c1:016x}")), far_deadline(), false));
+        assert_eq!(ice.status, 200);
+        assert_eq!(header(&ice, "x-commit").as_deref(), Some(format!("{c1:016x}").as_str()));
     }
 
     #[test]

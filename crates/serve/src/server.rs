@@ -626,11 +626,18 @@ fn resolve(shared: &Shared, req: &Request, deadline: Instant) -> Resolved {
             ) + &shared.state.render_prometheus_section(),
         )
     } else {
-        // Keys embed the store generation (for store-derived
-        // routes), so entries cached before a commit are
-        // unreachable after it.
-        let key = cache_key(req, shared.state.generation());
+        // Keys embed the head commit id (store-derived routes) or the
+        // ranked-search index generation (catalogue), so entries cached
+        // before a commit or reindex are unreachable after it.
+        let key = cache_key(
+            req,
+            shared.state.head_commit(),
+            shared.state.search_generation(),
+        );
         let cacheable = key.is_some();
+        // Versioned (`asOf`) responses are immutable: pin them so the
+        // update sweep and TTL expiry leave them alone.
+        let pinned = cacheable && crate::router::versioned_read(req);
         let cached = key.as_ref().and_then(|k| shared.cache.get(k));
         match cached {
             Some(hit) => {
@@ -659,15 +666,17 @@ fn resolve(shared: &Shared, req: &Request, deadline: Instant) -> Resolved {
                             // (headers snapshotted *before* the
                             // x-cache marker so replays re-mark).
                             if let Some(full) = resp.body.as_full() {
-                                shared.cache.put(
-                                    k,
-                                    Arc::new(CachedBody {
-                                        status: resp.status,
-                                        content_type: resp.content_type.clone(),
-                                        headers: resp.headers.clone(),
-                                        body: full.to_vec(),
-                                    }),
-                                );
+                                let entry = Arc::new(CachedBody {
+                                    status: resp.status,
+                                    content_type: resp.content_type.clone(),
+                                    headers: resp.headers.clone(),
+                                    body: full.to_vec(),
+                                });
+                                if pinned {
+                                    shared.cache.put_pinned(k, entry);
+                                } else {
+                                    shared.cache.put(k, entry);
+                                }
                             } else {
                                 stream_tee = Some(StreamTee {
                                     key: k,
@@ -676,6 +685,7 @@ fn resolve(shared: &Shared, req: &Request, deadline: Instant) -> Resolved {
                                     headers: resp.headers.clone(),
                                     buf: Vec::new(),
                                     overflowed: false,
+                                    pinned,
                                 });
                             }
                         }
@@ -689,12 +699,13 @@ fn resolve(shared: &Shared, req: &Request, deadline: Instant) -> Resolved {
         }
     };
 
-    // A committed update: sweep the whole response cache. The
-    // generation-stamped keys already guarantee staleness can't be
-    // served; the sweep reclaims the dead entries' memory now and
-    // feeds `ee_serve_invalidated_total{kind="responses"}`.
+    // A committed update: sweep the unpinned response cache. The
+    // commit-stamped keys already guarantee staleness can't be served;
+    // the sweep reclaims the dead entries' memory now and feeds
+    // `ee_serve_invalidated_total{kind="responses"}`. Pinned versioned
+    // entries survive — their commit ids are immutable history.
     if route == Route::Update && response.status == 200 {
-        let swept = shared.cache.clear() as u64;
+        let swept = shared.cache.sweep_unpinned() as u64;
         shared.state.note_invalidated_responses(swept);
     }
 
@@ -743,6 +754,9 @@ struct StreamTee {
     headers: Vec<(String, String)>,
     buf: Vec<u8>,
     overflowed: bool,
+    /// Versioned (`asOf`) response: insert with `put_pinned` so the
+    /// entry is exempt from TTL expiry and update sweeps.
+    pinned: bool,
 }
 
 impl StreamTee {
@@ -765,15 +779,17 @@ impl StreamTee {
     /// overflowed the cap).
     fn insert_if_complete(self, cache: &ShardedLru) {
         if !self.overflowed {
-            cache.put(
-                self.key,
-                Arc::new(CachedBody {
-                    status: self.status,
-                    content_type: self.content_type,
-                    headers: self.headers,
-                    body: self.buf,
-                }),
-            );
+            let entry = Arc::new(CachedBody {
+                status: self.status,
+                content_type: self.content_type,
+                headers: self.headers,
+                body: self.buf,
+            });
+            if self.pinned {
+                cache.put_pinned(self.key, entry);
+            } else {
+                cache.put(self.key, entry);
+            }
         }
     }
 }

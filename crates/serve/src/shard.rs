@@ -191,6 +191,14 @@ fn scatter_query(tier: &RouterTier, req: &Request) -> Response {
         Ok(v) => v,
         Err(resp) => return resp,
     };
+    // Commit ids are per-shard (each shard grows its own hash chain),
+    // so a versioned read has no fleet-wide meaning here.
+    if req.param("asOf").is_some() || crate::router::mentions_as_of(&sparql) {
+        return Response::error(
+            400,
+            "versioned reads (asOf / AS OF) are not routable; query a shard endpoint directly",
+        );
+    }
     let strategy = match merge::strategy_for(&sparql) {
         Ok(s) => s,
         Err(e) => return Response::error(400, &format!("query failed: {e}")),
@@ -199,9 +207,12 @@ fn scatter_query(tier: &RouterTier, req: &Request) -> Response {
         Ok(t) => t,
         Err(e) => return Response::error(400, &format!("query failed: {e}")),
     };
+    // Shards run the query without its LIMIT clause (the merge is the
+    // only place the cap applies — see `ee_rdf::merge::scatter_text`).
+    let scattered = merge::scatter_text(&sparql);
     let wire = format!(
-        "POST /query?limit={limit} HTTP/1.1\r\nhost: ee-router\r\ncontent-length: {}\r\n\r\n{sparql}",
-        sparql.len()
+        "POST /query?limit={limit} HTTP/1.1\r\nhost: ee-router\r\ncontent-length: {}\r\n\r\n{scattered}",
+        scattered.len()
     );
     let report = tier.pool.scatter(wire.as_bytes(), &targets);
     tier.note(&report);

@@ -32,7 +32,7 @@ use ee_raster::tile::pyramid;
 use ee_raster::Raster;
 use ee_rdf::plan::FastPath;
 use ee_rdf::storage::{CommitStats, CompactionPolicy, Durability, Store, StoreError};
-use ee_rdf::store::IndexMode;
+use ee_rdf::store::{IndexMode, Novelty, StoreView};
 use ee_rdf::term::Term;
 use ee_rdf::TripleStore;
 use ee_util::timeline::Date;
@@ -128,8 +128,28 @@ pub struct AppState {
     /// and the plan cache coherent).
     store: RwLock<Store>,
     /// Mirror of the store generation, readable without the lock
-    /// (cache keys and ETags consult it on every request).
+    /// (metrics and the shard merge layer consult it).
     generation: AtomicU64,
+    /// Mirror of the store's head commit id, readable without the lock.
+    /// Cache keys and ETags consult it on every request: a commit id
+    /// names the entire history that produced it (hash chain), so equal
+    /// ids guarantee byte-identical stores — which a bare generation
+    /// counter cannot.
+    head: AtomicU64,
+    /// Generation of the ranked (BM25) search index, bumped on every
+    /// reindex. Catalogue cache keys stamp this — not the store
+    /// generation — so `/catalogue/search` responses go stale exactly
+    /// when the index changes, and never linger past a `searchText`
+    /// commit.
+    search_generation: AtomicU64,
+    /// Resolved `AS OF` overlays by commit id. Novelties are relative to
+    /// the **current** head, so the whole map is dropped on every
+    /// effective commit.
+    novelty: Mutex<HashMap<u64, Arc<Novelty>>>,
+    /// Times the store read guard was taken ([`AppState::store`]).
+    /// `ee_serve_store_reads_total`: lets experiments prove a cached
+    /// 304 revalidation touched the store zero times.
+    store_reads: AtomicU64,
     /// R-tree indexed product catalogue (the classic `/catalogue` arm).
     pub classic: ClassicCatalogue,
     /// GeoSPARQL catalogue over the same archive (the semantic arm).
@@ -277,12 +297,17 @@ impl AppState {
 
         let tile_size = config.tile_size.max(1);
         let generation = AtomicU64::new(store.generation());
+        let head = AtomicU64::new(store.head_commit());
         let live_docs = Mutex::new(LiveDocs::new(classic.len()));
         let state = AppState {
             config,
             writable: false,
             store: RwLock::new(store),
             generation,
+            head,
+            search_generation: AtomicU64::new(0),
+            novelty: Mutex::new(HashMap::new()),
+            store_reads: AtomicU64::new(0),
             classic,
             semantic,
             bm25: RwLock::new(bm25),
@@ -331,12 +356,65 @@ impl AppState {
     /// `/query` bodies re-take it per batch, so a long download never
     /// starves a writer.
     pub fn store(&self) -> RwLockReadGuard<'_, Store> {
+        self.store_reads.fetch_add(1, Ordering::Relaxed);
         self.store.read().expect("store lock")
     }
 
     /// Current store generation, lock-free (mirrored on every commit).
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Current head commit id, lock-free (mirrored on every commit).
+    pub fn head_commit(&self) -> u64 {
+        self.head.load(Ordering::SeqCst)
+    }
+
+    /// Current ranked-index generation, lock-free (bumped on reindex).
+    pub fn search_generation(&self) -> u64 {
+        self.search_generation.load(Ordering::SeqCst)
+    }
+
+    /// Times the store read guard has been taken so far.
+    pub fn store_reads(&self) -> u64 {
+        self.store_reads.load(Ordering::Relaxed)
+    }
+
+    /// Resolve a commit id to its [`Novelty`] overlay (empty for the
+    /// head), or `None` when the id names no known commit. Cached per
+    /// id; the cache is dropped on every effective commit because
+    /// overlays are relative to the current head. Resolving a miss takes
+    /// the **exclusive** store lock (rewinding may re-intern terms that
+    /// compaction folded away), so callers must resolve *before* taking
+    /// any read guard.
+    pub fn novelty_for(&self, commit_id: u64) -> Option<Arc<Novelty>> {
+        if commit_id == self.head_commit() {
+            return Some(Arc::new(Novelty::default()));
+        }
+        if let Some(n) = self
+            .novelty
+            .lock()
+            .expect("novelty cache lock")
+            .get(&commit_id)
+        {
+            return Some(Arc::clone(n));
+        }
+        let novelty = {
+            let mut store = self.store.write().expect("store lock");
+            Arc::new(store.as_of(commit_id)?)
+        };
+        self.novelty
+            .lock()
+            .expect("novelty cache lock")
+            .insert(commit_id, Arc::clone(&novelty));
+        Some(novelty)
+    }
+
+    /// Whether `commit_id` names a commit in the store's history (the
+    /// root id always does). Takes the read guard — used on cache
+    /// misses only.
+    pub fn commit_known(&self, commit_id: u64) -> bool {
+        self.store().commit_known(commit_id)
     }
 
     /// Commit a SPARQL UPDATE: takes the exclusive store lock, runs the
@@ -366,6 +444,7 @@ impl AppState {
             .collect();
         let stats = store.commit_delta(delta)?;
         let prev = self.generation.swap(stats.generation, Ordering::SeqCst);
+        self.head.store(store.head_commit(), Ordering::SeqCst);
         if stats.generation != prev && !touched.is_empty() {
             // Re-derive each touched subject's document from the
             // post-commit store (still under the exclusive lock, so
@@ -378,6 +457,9 @@ impl AppState {
             let dropped = plans.len() as u64;
             plans.clear();
             self.invalidated_plans.fetch_add(dropped, Ordering::Relaxed);
+            drop(plans);
+            // AS OF overlays are relative to the head that just moved.
+            self.novelty.lock().expect("novelty cache lock").clear();
         }
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.update_latency.record_us(us);
@@ -477,6 +559,9 @@ impl AppState {
     /// sorted order) into one document, none at all removes it. Callers
     /// hold the store lock, making index updates atomic with commits.
     fn reindex_search_docs(&self, store: &TripleStore, subjects: &[Term]) {
+        // Stamp first: catalogue cache keys embed this generation, so
+        // any key built from here on can only name the new index state.
+        self.search_generation.fetch_add(1, Ordering::SeqCst);
         let mut bm25 = self.bm25.write().expect("bm25 lock");
         let mut live = self.live_docs.lock().expect("live docs lock");
         let pid = store.dict.id_of(&Term::iri(SEARCH_TEXT_IRI));
@@ -571,6 +656,16 @@ impl AppState {
             self.generation()
         ));
         out.push_str(&format!(
+            "# HELP ee_serve_search_generation Ranked-index generation (bumps on reindex)\n\
+             # TYPE ee_serve_search_generation gauge\nee_serve_search_generation {}\n",
+            self.search_generation()
+        ));
+        out.push_str(&format!(
+            "# HELP ee_serve_store_reads_total Times the point-store read guard was taken\n\
+             # TYPE ee_serve_store_reads_total counter\nee_serve_store_reads_total {}\n",
+            self.store_reads()
+        ));
+        out.push_str(&format!(
             "# HELP ee_serve_invalidated_total Cache entries invalidated by store commits\n\
              # TYPE ee_serve_invalidated_total counter\n\
              ee_serve_invalidated_total{{kind=\"plans\"}} {}\n\
@@ -662,6 +757,26 @@ impl AppState {
         let plan = self.prepared_plan(&store, sparql)?;
         self.note_fastpath(&plan);
         ee_rdf::exec::stream_plan_shared(&store, plan, ee_util::par::available_threads())
+    }
+
+    /// Evaluate a SPARQL query against the historical view `novelty`
+    /// describes (an `AS OF` read), collecting every row under **one**
+    /// read guard so the whole response reflects a single immutable
+    /// snapshot — versioned reads trade streaming for snapshot
+    /// consistency. The plan is built fresh against the view and never
+    /// cached: its spatial candidate sets are valid only for this exact
+    /// overlay, which changes as head advances.
+    pub fn versioned_query(
+        &self,
+        sparql: &str,
+        novelty: &Novelty,
+    ) -> Result<ee_rdf::exec::Solutions, ee_rdf::RdfError> {
+        let store = self.store();
+        let q = ee_rdf::parser::parse_query(sparql)?;
+        let view = StoreView::with_novelty(&store, novelty);
+        let plan = Arc::new(ee_rdf::plan::plan_view(view, &q)?);
+        self.note_fastpath(&plan);
+        ee_rdf::exec::execute_plan_view(view, plan, ee_util::par::available_threads())
     }
 
     /// Plan-cache statistics: `(hits, misses, entries)`.
@@ -841,6 +956,65 @@ mod tests {
         assert!(section.contains("ee_rdf_generation 1"));
         assert!(section.contains("ee_serve_invalidated_total{kind=\"plans\"} 1"));
         assert!(section.contains("ee_serve_update_commit_us_count{op=\"commit\"} 2"));
+    }
+
+    #[test]
+    fn versioned_reads_rewind_through_the_novelty_cache() {
+        let state = AppState::build(DataConfig::tiny());
+        let root = state.head_commit();
+        assert_eq!(root, ee_rdf::storage::ROOT_COMMIT_ID);
+        let q = "SELECT ?o WHERE { <http://e/vdoc> <http://e/p> ?o }";
+        let v = |sols: ee_rdf::exec::Solutions| -> Vec<String> {
+            sols.rows
+                .iter()
+                .map(|r| match r[0].as_ref() {
+                    Some(Term::Literal { lexical, .. }) => lexical.clone(),
+                    other => panic!("expected literal, got {other:?}"),
+                })
+                .collect()
+        };
+        let u1 = ee_rdf::parser::parse_update(
+            "INSERT DATA { <http://e/vdoc> <http://e/p> \"v1\" }",
+        )
+        .unwrap();
+        state.commit_update(&u1).expect("commit v1");
+        let c1 = state.head_commit();
+        assert_ne!(c1, root, "commit moves the head id");
+        let u2 = ee_rdf::parser::parse_update(
+            "DELETE DATA { <http://e/vdoc> <http://e/p> \"v1\" } ; \
+             INSERT DATA { <http://e/vdoc> <http://e/p> \"v2\" }",
+        )
+        .unwrap();
+        state.commit_update(&u2).expect("commit v2");
+        let c2 = state.head_commit();
+        assert!(c2 != c1 && c2 != root);
+        assert!(state.commit_known(c1) && state.commit_known(c2));
+
+        assert_eq!(v(state.prepared_query(q).unwrap()), ["v2"], "head sees v2");
+        let n1 = state.novelty_for(c1).expect("c1 resolvable");
+        assert_eq!(v(state.versioned_query(q, &n1).unwrap()), ["v1"]);
+        let nroot = state.novelty_for(root).expect("root resolvable");
+        assert!(v(state.versioned_query(q, &nroot).unwrap()).is_empty());
+        let nhead = state.novelty_for(c2).expect("head resolvable");
+        assert_eq!(v(state.versioned_query(q, &nhead).unwrap()), ["v2"]);
+        assert!(state.novelty_for(0xdead_beef).is_none(), "unknown id");
+
+        // The cache serves repeats and is dropped by the next commit.
+        let again = state.novelty_for(c1).expect("cached");
+        assert!(Arc::ptr_eq(&n1, &again), "second resolve is the cached Arc");
+        let u3 = ee_rdf::parser::parse_update(
+            "INSERT DATA { <http://e/vdoc2> <http://e/p> \"x\" }",
+        )
+        .unwrap();
+        state.commit_update(&u3).expect("commit x");
+        let fresh = state.novelty_for(c1).expect("re-resolved against new head");
+        assert!(!Arc::ptr_eq(&n1, &fresh), "overlay cache dropped on commit");
+        assert_eq!(v(state.versioned_query(q, &fresh).unwrap()), ["v1"]);
+        // A no-op update moves neither generation nor head.
+        let before = state.head_commit();
+        state.commit_update(&u3).expect("noop");
+        assert_eq!(state.head_commit(), before);
+        assert!(state.store_reads() > 0);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! End-to-end write-path tests over real localhost sockets: `POST
 //! /update` authorisation and error handling, write-then-read
-//! visibility, generation-stamped response-cache invalidation (an entry
-//! cached under generation G never serves after G+1, including the
-//! refresh-after-write race), and the always-live `/healthz` +
-//! `/metrics` bypass.
+//! visibility, commit-stamped response-cache invalidation (an entry
+//! cached under commit C never serves after C′, including the
+//! refresh-after-write race), ranked-catalogue cache freshness after a
+//! `searchText` write, pinned versioned (`?asOf=`) reads surviving
+//! commits, and the always-live `/healthz` + `/metrics` bypass.
 
 use ee_serve::http::read_response;
 use ee_serve::{start, AppState, DataConfig, ServerConfig};
@@ -251,6 +252,126 @@ fn committed_search_text_is_ranked_searchable_over_the_socket() {
     let seed = get(&mut s, &mut r, "/catalogue/search?mode=ranked&q=radar&k=3");
     assert_eq!(seed.status, 200);
     assert!(count_of(&seed) >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn ranked_catalogue_never_serves_stale_hits_after_a_write() {
+    // The regression: catalogue responses used to sit on TTL freshness
+    // only, so a committed `eo:searchText` write could keep serving the
+    // pre-commit ranking out of the response cache until expiry. Keys
+    // now carry the BM25 index generation, so the very next ranked
+    // search after the write must miss the cache and see the new doc.
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+    let q = "/catalogue/search?mode=ranked&q=firnline&k=5";
+    let count_of = |resp: &ee_serve::http::ClientResponse| {
+        json_of(resp)
+            .get("count")
+            .and_then(ee_util::json::Json::as_f64)
+            .unwrap()
+    };
+
+    // Prime the cache with the empty ranking and prove it serves hits.
+    let before = get(&mut s, &mut r, q);
+    assert_eq!(before.status, 200);
+    assert_eq!(before.header("x-cache"), Some("MISS"));
+    assert_eq!(count_of(&before), 0.0);
+    assert_eq!(get(&mut s, &mut r, q).header("x-cache"), Some("HIT"));
+
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/doc2> \
+         <http://extremeearth.eu/ont/eo#searchText> \
+         \"firnline retreat mapping\" }",
+    );
+    assert_eq!(upd.status, 200);
+
+    // The cached empty ranking must be unreachable now.
+    let after = get(&mut s, &mut r, q);
+    assert_eq!(
+        after.header("x-cache"),
+        Some("MISS"),
+        "the searchText commit must roll the catalogue cache key"
+    );
+    assert_eq!(count_of(&after), 1.0, "fresh ranking sees the committed doc");
+    // And the fresh ranking caches again under the new index generation.
+    let again = get(&mut s, &mut r, q);
+    assert_eq!(again.header("x-cache"), Some("HIT"));
+    assert_eq!(count_of(&again), 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn versioned_reads_survive_commits_and_revalidate_as_304() {
+    let server = start(test_config(), writable_state()).expect("start");
+    let (mut s, mut r) = connect(server.addr);
+
+    // Commit a marker triple and capture the resulting commit id.
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/vm> <http://e/p> <http://e/v1> }",
+    );
+    assert_eq!(upd.status, 200);
+    let h = get(&mut s, &mut r, "/healthz");
+    let c1 = json_of(&h)
+        .get("commit")
+        .and_then(ee_util::json::Json::as_str)
+        .expect("healthz reports the head commit id")
+        .to_string();
+
+    let q = "SELECT ?o WHERE { <http://e/vm> <http://e/p> ?o }".replace(' ', "%20");
+    let pinned_target = format!("/query?sparql={q}&asOf={c1}");
+    let head_target = format!("/query?sparql={q}");
+
+    let miss = get(&mut s, &mut r, &pinned_target);
+    assert_eq!(miss.status, 200);
+    assert_eq!(miss.header("x-cache"), Some("MISS"));
+    assert_eq!(miss.header("x-commit"), Some(c1.as_str()));
+    let tag = miss.header("etag").expect("versioned etag").to_string();
+    assert_eq!(get(&mut s, &mut r, &pinned_target).header("x-cache"), Some("HIT"));
+    // Prime the head entry too, for contrast after the write.
+    get(&mut s, &mut r, &head_target);
+    assert_eq!(get(&mut s, &mut r, &head_target).header("x-cache"), Some("HIT"));
+
+    // A new commit sweeps head entries but must leave the pinned
+    // versioned entry alone: its commit id names immutable history.
+    let upd = post_update(
+        &mut s,
+        &mut r,
+        "INSERT DATA { <http://e/vm> <http://e/p> <http://e/v2> }",
+    );
+    assert_eq!(upd.status, 200);
+    let pinned_after = get(&mut s, &mut r, &pinned_target);
+    assert_eq!(
+        pinned_after.header("x-cache"),
+        Some("HIT"),
+        "versioned entries are pinned across commits"
+    );
+    let n = json_of(&pinned_after)
+        .get("count")
+        .and_then(ee_util::json::Json::as_f64)
+        .unwrap();
+    assert_eq!(n, 1.0, "the pinned view still shows one value");
+    assert_eq!(
+        get(&mut s, &mut r, &head_target).header("x-cache"),
+        Some("MISS"),
+        "head entries are swept on commit"
+    );
+
+    // Conditional revalidation against the unchanged commit id: 304,
+    // empty body, same tag.
+    let _ = write!(
+        s,
+        "GET {pinned_target} HTTP/1.1\r\nhost: t\r\nconnection: keep-alive\r\n\
+         if-none-match: {tag}\r\n\r\n"
+    );
+    let _ = s.flush();
+    let cond = read_response(&mut r).expect("response");
+    assert_eq!(cond.status, 304);
+    assert!(cond.body.is_empty(), "304 elides the body");
     server.shutdown();
 }
 

@@ -4,10 +4,11 @@
 # distributed-training (E4), classification (E5), kernel-throughput
 # (E-k0) and serving-tier (E-s0) experiments, plus the E3 parallel-join
 # sweep at 4 threads, the E-k6 top-k/BM25 sweep, the E-w7 durable
-# store run, the E-c8 event-driven C10K run, and the E-f9 sharded
-# scatter-gather run over real shard processes (the harness aborts
-# non-zero if any parallel, top-k, ranked-search, crash-recovery, or
-# routed-vs-unsharded run diverges from its reference answer, or if a
+# store run, the E-c8 event-driven C10K run, the E-f9 sharded
+# scatter-gather run over real shard processes, and the E-t10
+# versioned time-travel run (the harness aborts non-zero if any
+# parallel, top-k, ranked-search, crash-recovery, routed-vs-unsharded,
+# or as-of-vs-replayed run diverges from its reference answer, or if a
 # stalled streaming reader grows server memory instead of hitting
 # backpressure).
 #
@@ -85,5 +86,20 @@ echo "== smoke: harness e-f9 --quick (sharded scatter-gather router) =="
 test -s BENCH_PR9.json
 grep -q '"sharded_identical": true' BENCH_PR9.json
 grep -q '"hedged_total"' BENCH_PR9.json
+
+echo "== smoke: harness e-t10 --quick (versioned commits + time travel) =="
+# A writable server takes a committed update sequence; every commit's
+# ?asOf= answer is checked against a fresh store replayed to that
+# commit and queried at head (row multisets, counts, and the replayed
+# chain's head id must all match), a conditional request against an
+# unchanged commit id must 304 with zero store reads, and a ranked
+# catalogue search must see a committed searchText doc immediately —
+# any violation panics the harness (non-zero exit).
+./target/release/harness e-t10 --quick
+test -s BENCH_PR10.json
+grep -q '"asof_identical": true' BENCH_PR10.json
+grep -q '"replayed_head_ids_match": true' BENCH_PR10.json
+grep -q '"store_reads_during_304": 0' BENCH_PR10.json
+grep -q '"catalogue_fresh_after_write": true' BENCH_PR10.json
 
 echo "verify.sh: all green"
